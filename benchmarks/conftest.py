@@ -1,0 +1,31 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure from the paper and
+prints the rows it produced next to the published values, so running
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
+section on the terminal.  Assertions keep the reproduction honest: a
+code change that breaks a published number fails the bench.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def print_rows(capsys):
+    """Print a small paper-vs-measured table, bypassing capture."""
+
+    def _print(title: str, header: tuple, rows: list[tuple]) -> None:
+        with capsys.disabled():
+            widths = [max(len(str(header[i])),
+                          max((len(str(r[i])) for r in rows), default=0))
+                      for i in range(len(header))]
+            line = "  ".join(str(h).ljust(w) for h, w in zip(header, widths))
+            print(f"\n=== {title} ===")
+            print(line)
+            print("-" * len(line))
+            for row in rows:
+                print("  ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+
+    return _print

@@ -1,0 +1,95 @@
+"""Ablation A8 — DMA double-buffering for L2-resident networks.
+
+Network B cannot fit the cluster's 64 kB L1, so its weights must
+stream from L2.  This ablation uses the DMA timing model to show the
+asymmetry the calibrated Table III constants absorbed: a single core is
+compute-bound on every layer (the DMA hides entirely), while eight
+cores' aggregate demand pushes against the shared port and the big
+layers flip to transfer-bound once the port is shared with core
+traffic.
+"""
+
+import pytest
+
+from repro.fann import build_network_b
+from repro.isa import DmaEngine, double_buffered_layer_cycles
+from repro.timing.calibration import CALIBRATED
+
+SINGLE_CORE_CYCLES_PER_WEIGHT = CALIBRATED["ri5cy_single"].c_weight_fast
+
+
+def layer_geometry():
+    """(weights, bytes) per connection layer of Network B."""
+    sizes = build_network_b().layer_sizes
+    return [((n_in + 1) * n_out, 4 * (n_in + 1) * n_out)
+            for n_in, n_out in zip(sizes[:-1], sizes[1:])]
+
+
+def test_dma_ablation(benchmark, print_rows):
+    nominal = DmaEngine()                      # dedicated 8 B/cycle port
+    shared = DmaEngine(bytes_per_cycle=4.0)    # port shared with cores
+
+    def analyse():
+        single_exposed = 0.0
+        eight_exposed_nominal = 0.0
+        eight_exposed_shared = 0.0
+        for weights, weight_bytes in layer_geometry():
+            compute1 = weights * SINGLE_CORE_CYCLES_PER_WEIGHT
+            compute8 = compute1 / 8.0
+            single_exposed += (double_buffered_layer_cycles(
+                compute1, weight_bytes, nominal) - compute1)
+            eight_exposed_nominal += (double_buffered_layer_cycles(
+                compute8, weight_bytes, nominal) - compute8)
+            eight_exposed_shared += (double_buffered_layer_cycles(
+                compute8, weight_bytes, shared) - compute8)
+        return single_exposed, eight_exposed_nominal, eight_exposed_shared
+
+    single, eight_nominal, eight_shared = benchmark(analyse)
+    total_compute1 = sum(w for w, _ in layer_geometry()) \
+        * SINGLE_CORE_CYCLES_PER_WEIGHT
+
+    rows = [
+        ("1 core, dedicated port", f"{single:.0f}",
+         f"{100 * single / total_compute1:.2f} %"),
+        ("8 cores, dedicated port", f"{eight_nominal:.0f}",
+         f"{100 * eight_nominal / (total_compute1 / 8):.2f} %"),
+        ("8 cores, shared port", f"{eight_shared:.0f}",
+         f"{100 * eight_shared / (total_compute1 / 8):.2f} %"),
+    ]
+    print_rows("Ablation: DMA exposure on Network B (cycles beyond compute)",
+               ("configuration", "exposed cycles", "of compute time"), rows)
+
+    # Single core: only per-layer setup shows (25 layers x 24 cycles).
+    assert single == pytest.approx(25 * nominal.setup_cycles)
+    # Eight cores on a shared port: exposure becomes a real fraction.
+    assert eight_shared > 5 * eight_nominal
+
+
+def test_dma_exposure_scales_with_port_sharing():
+    """Less DMA bandwidth -> more exposed transfer time, monotonically."""
+    exposures = []
+    for bandwidth in (8.0, 6.0, 4.0, 2.0):
+        engine = DmaEngine(bytes_per_cycle=bandwidth)
+        total = 0.0
+        for weights, weight_bytes in layer_geometry():
+            compute8 = weights * SINGLE_CORE_CYCLES_PER_WEIGHT / 8.0
+            total += double_buffered_layer_cycles(compute8, weight_bytes, engine)
+        exposures.append(total)
+    assert all(b >= a for a, b in zip(exposures, exposures[1:]))
+
+
+def test_dma_story_consistent_with_calibration():
+    """In a transfer-bound regime the effective per-core cycles/weight
+    equal ``8 cores x 4 bytes / port_bandwidth``.  Inverting the
+    calibrated 8-core L2 constant (8.19 cycles/weight) yields an
+    effective bandwidth of ~3.9 B/cycle — about half the dedicated
+    8 B/cycle port, i.e. exactly the shared-port regime the DMA model
+    brackets.  The fit and the microarchitectural model agree."""
+    multi = CALIBRATED["ri5cy_multi"]
+    effective_bandwidth = 8 * 4 / multi.c_weight_slow
+    assert 2.0 < effective_bandwidth < 8.0
+    assert effective_bandwidth == pytest.approx(3.9, abs=0.3)
+    # And the L1 (fast) constant is compute-limited, not port-limited:
+    # demand at 5.55 cycles/weight is 5.8 B/cycle < the 8 B/cycle port.
+    demand = 8 * 4 / multi.c_weight_fast
+    assert demand < 8.0

@@ -1,0 +1,96 @@
+"""Ablation A2 — MPPT fraction sweep for both harvester channels.
+
+InfiniWolf programs the BQ25570 to 80 % of V_oc (solar) and the
+BQ25505 to 50 % (TEG).  The ablation sweeps the fraction and finds:
+
+* the TEG's optimum is *exactly* 0.5 V_oc (matched Thevenin load);
+* the solar 80 % setting is exactly optimal in the indoor regime the
+  self-sustainability analysis assumes — but the calibrated panel's
+  high series resistance (the same parameter that reproduces Table I's
+  sub-linear light scaling) drags the true MPP towards ~0.6 V_oc under
+  strong sun, where a fixed 80 % setting captures only ~70 % of the
+  available power.  A light-adaptive fraction is therefore a real
+  optimisation opportunity for this class of thin-film panel.
+"""
+
+import pytest
+
+from repro.harvest import (
+    BQ25505,
+    BQ25570,
+    INDOOR_OFFICE_700LX,
+    OUTDOOR_SUN_30KLX,
+    TEG_ROOM_15C_NO_WIND,
+    SolarHarvester,
+    TEGHarvester,
+)
+from repro.harvest.calibrated import solar_panel_params, teg_params
+from repro.harvest.photovoltaic import PVPanel
+from repro.harvest.teg import TEGDevice
+
+FRACTIONS = [0.4, 0.5, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9]
+
+
+def solar_intake_at_fraction(fraction, lighting):
+    harvester = SolarHarvester(panel=PVPanel(solar_panel_params()),
+                               converter=BQ25570(mppt_fraction=fraction))
+    return harvester.battery_intake_w(lighting)
+
+
+def teg_intake_at_fraction(fraction):
+    harvester = TEGHarvester(device=TEGDevice(teg_params()),
+                             converter=BQ25505(mppt_fraction=fraction))
+    return harvester.battery_intake_w(TEG_ROOM_15C_NO_WIND)
+
+
+def test_mppt_fraction_sweep(benchmark, print_rows):
+    def sweep():
+        return {
+            "solar @ 30 klx": {f: solar_intake_at_fraction(f, OUTDOOR_SUN_30KLX)
+                               for f in FRACTIONS},
+            "solar @ 700 lx": {f: solar_intake_at_fraction(f, INDOOR_OFFICE_700LX)
+                               for f in FRACTIONS},
+            "TEG @ 15C still": {f: teg_intake_at_fraction(f) for f in FRACTIONS},
+        }
+
+    sweeps = benchmark(sweep)
+    rows = []
+    for channel, values in sweeps.items():
+        best = max(values, key=values.get)
+        for fraction, watts in values.items():
+            marker = " <- best" if fraction == best else ""
+            rows.append((channel, f"{fraction:.2f}",
+                         f"{watts * 1e6:.1f} uW{marker}"))
+    print_rows("Ablation: MPPT fraction sweep",
+               ("channel", "fraction of Voc", "battery intake"), rows)
+
+    # The TEG optimum is the matched load at exactly 0.5.
+    teg = sweeps["TEG @ 15C still"]
+    assert max(teg, key=teg.get) == 0.5
+
+
+def test_teg_half_voc_is_optimal():
+    matched = teg_intake_at_fraction(0.5)
+    for fraction in (0.3, 0.4, 0.6, 0.7):
+        assert teg_intake_at_fraction(fraction) < matched
+
+
+def test_solar_80pct_optimal_indoors():
+    """In the 700 lx regime the sustainability analysis rests on, the
+    board's 80 % setting is the best fractional-V_oc choice."""
+    values = {f: solar_intake_at_fraction(f, INDOOR_OFFICE_700LX)
+              for f in FRACTIONS}
+    assert max(values, key=values.get) == 0.8
+    assert values[0.8] >= 0.999 * max(values.values())
+
+
+def test_high_light_shifts_solar_mpp_to_lower_fractions():
+    """Under strong sun the panel's I^2*Rs losses move the MPP well
+    below 0.8 V_oc: a fixed 80 % setting leaves ~30 % of the available
+    power unharvested — an adaptive-fraction opportunity the paper's
+    fixed-resistor configuration cannot exploit."""
+    values = {f: solar_intake_at_fraction(f, OUTDOOR_SUN_30KLX)
+              for f in FRACTIONS}
+    best_fraction = max(values, key=values.get)
+    assert best_fraction < 0.8
+    assert values[0.8] < 0.85 * values[best_fraction]

@@ -1,0 +1,58 @@
+"""Fig. 3 — the stress-classifier architecture (Network A).
+
+The figure shows 5 input features feeding two hidden layers of 50
+nodes each and 3 output classes; the accompanying text fixes the tanh
+activation, 108 neurons, 3003 weights and the ~14 kB footprint.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fann import Activation, build_network_a, convert_to_fixed
+from repro.features.pipeline import FEATURE_NAMES
+
+
+def test_fig3_reproduction(benchmark, print_rows):
+    network = benchmark(build_network_a)
+    rows = [
+        ("input features", 5, network.num_inputs),
+        ("hidden layers", 2, network.num_connection_layers - 1),
+        ("hidden width", 50, network.layers[0].size),
+        ("output classes", 3, network.num_outputs),
+        ("total neurons", 108, network.total_neurons),
+        ("total weights", 3003, network.total_weights),
+        ("memory bytes", 13772, network.memory_footprint_bytes()),
+    ]
+    for label, expected, actual in rows:
+        assert actual == expected, label
+    print_rows("Fig. 3: Network A structure",
+               ("element", "expected", "measured"), rows)
+
+
+def test_fig3_input_features_are_the_papers_five():
+    """RMSSD, SDSD, NN50 from ECG; GSRL, GSRH from GSR."""
+    assert FEATURE_NAMES == ("rmssd", "sdsd", "nn50", "gsrl", "gsrh")
+    assert len(FEATURE_NAMES) == build_network_a().num_inputs
+
+
+def test_fig3_activation_is_tanh():
+    network = build_network_a()
+    assert all(spec.activation is Activation.TANH for spec in network.layers)
+
+
+def test_fig3_inference_latency_benchmark(benchmark):
+    """Python-side inference speed of the Fig. 3 network (host-side
+    sanity; the deployed latency comes from Table III)."""
+    network = build_network_a()
+    x = np.zeros(5)
+    out = benchmark(network.forward, x)
+    assert out.shape == (3,)
+
+
+def test_fig3_quantises_cleanly():
+    """Network A converts to fixed point without losing the argmax."""
+    network = build_network_a(seed=11)
+    fixed = convert_to_fixed(network)
+    probe = np.random.default_rng(0).uniform(-1, 1, size=(64, 5))
+    agreement = np.mean(network.classify(probe) == fixed.classify(probe))
+    assert agreement > 0.95

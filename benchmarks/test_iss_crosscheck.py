@@ -1,0 +1,98 @@
+"""Ablation A4 — instruction-set-simulator cross-check.
+
+The Table III/IV reproduction rests on calibrated analytical constants.
+This bench validates them bottom-up: generated MLP kernels run on the
+RV32IM / XpulpV2 / ARMv7E-M simulators, and the measured cycles-per-MAC
+are compared with the calibrated per-weight costs.  The ISS kernels are
+leaner than the real FANN runtime (no per-neuron structs, no Q-format
+renormalisation per MAC), so the calibrated constants sit above the ISS
+floor — within a factor of two, with the same processor ordering.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fann import Activation, LayerSpec, MultiLayerPerceptron, convert_to_fixed
+from repro.isa.kernels import compile_mlp, run_mlp, with_power_of_two_tables
+from repro.timing.calibration import CALIBRATED
+
+TARGET_TO_KEY = {
+    "xpulp": "ri5cy_single",
+    "armv7m": "arm_m4f",
+    "rv32im": "ibex",
+}
+
+
+@pytest.fixture(scope="module")
+def fixed_network():
+    net = MultiLayerPerceptron(64, [LayerSpec(32, Activation.TANH),
+                                    LayerSpec(8, Activation.TANH)], seed=4)
+    rng = np.random.default_rng(4)
+    net.set_weights([rng.uniform(-1.0, 1.0, size=w.shape) for w in net.weights])
+    return convert_to_fixed(net, decimal_point=10)
+
+
+def iss_cycles_per_mac(fixed_network, target):
+    compiled = compile_mlp(fixed_network, target=target)
+    _, result = run_mlp(compiled, np.zeros(64))
+    total_macs = sum(w.size for w in fixed_network.weights)
+    return result.cycles / total_macs
+
+
+def test_iss_crosscheck(benchmark, fixed_network, print_rows):
+    def measure_all():
+        return {t: iss_cycles_per_mac(fixed_network, t) for t in TARGET_TO_KEY}
+
+    measured = benchmark(measure_all)
+    rows = []
+    for target, key in TARGET_TO_KEY.items():
+        calibrated = CALIBRATED[key].c_weight_fast
+        ratio = calibrated / measured[target]
+        rows.append((target, key, f"{measured[target]:.2f}",
+                     f"{calibrated:.2f}", f"{ratio:.2f}x"))
+        assert 0.5 < ratio < 2.2
+    print_rows("Ablation: ISS cycles/MAC vs calibrated constants",
+               ("ISS target", "calibrated key", "ISS cyc/MAC",
+                "calibrated cyc/weight", "calibrated/ISS"), rows)
+
+
+def test_iss_preserves_processor_ordering(fixed_network):
+    """RI5CY < M4 < IBEX in both worlds."""
+    measured = {t: iss_cycles_per_mac(fixed_network, t) for t in TARGET_TO_KEY}
+    assert measured["xpulp"] < measured["armv7m"] < measured["rv32im"]
+    assert (CALIBRATED["ri5cy_single"].c_weight_fast
+            < CALIBRATED["arm_m4f"].c_weight_fast
+            < CALIBRATED["ibex"].c_weight_fast)
+
+
+def test_iss_functional_equivalence(fixed_network):
+    """The kernels that produce the cycle counts compute the right
+    answer: bit-exact against the Python fixed-point reference."""
+    reference = with_power_of_two_tables(fixed_network)
+    x = np.random.default_rng(8).uniform(-1, 1, size=64)
+    raw_in = np.asarray(reference.fmt.to_fixed(x), dtype=np.int64)[np.newaxis, :]
+    expected = reference.forward_raw(raw_in)[0]
+    for target in TARGET_TO_KEY:
+        out, _ = run_mlp(compile_mlp(fixed_network, target=target), x)
+        np.testing.assert_array_equal(out, expected)
+
+
+def test_iss_cluster_speedup_shape(benchmark, fixed_network, print_rows):
+    """8-core ISS speed-up lands in the window Table III spans (the
+    paper's Net A gets 3.7x, Net B 4.8x; this kernel's layers are
+    between those sizes)."""
+
+    def measure():
+        _, single = run_mlp(compile_mlp(fixed_network, target="xpulp"),
+                            np.zeros(64))
+        _, eight = run_mlp(compile_mlp(fixed_network, target="xpulp",
+                                       num_cores=8), np.zeros(64))
+        return single.cycles, eight.cycles
+
+    single_cycles, eight_cycles = benchmark(measure)
+    speedup = single_cycles / eight_cycles
+    print_rows("Ablation: ISS 8-core speed-up",
+               ("cores", "cycles", "speed-up"),
+               [(1, single_cycles, "1.00x"),
+                (8, eight_cycles, f"{speedup:.2f}x")])
+    assert 3.0 < speedup < 8.0

@@ -1,0 +1,80 @@
+"""Table III — runtime in cycles, PULP vs ARM Cortex-M4F.
+
+Paper values (cycles per inference):
+
+=============  =======  =======  ============  ===========
+Network        ARM M4   IBEX     1x RI5CY      8x RI5CY
+=============  =======  =======  ============  ===========
+Network A      30210    40661    22772         6126
+Network B      902763   955588   519354        108316
+=============  =======  =======  ============  ===========
+
+Plus the in-text speed-ups over the ARM: 1.3x / 1.7x single-core and
+4.9x / 8.3x eight-core.
+"""
+
+import pytest
+
+from repro.fann import build_network_a, build_network_b
+from repro.timing import (
+    ALL_PROCESSORS,
+    MRWOLF_RI5CY_CLUSTER8,
+    MRWOLF_RI5CY_SINGLE,
+    NORDIC_ARM_M4F,
+    cycles_for_network,
+)
+from repro.timing.calibration import TABLE3_ANCHORS
+
+
+@pytest.fixture(scope="module")
+def networks():
+    return {"Network A": build_network_a(), "Network B": build_network_b()}
+
+
+def test_table3_reproduction(benchmark, networks, print_rows):
+    def compute():
+        table = {}
+        for name, net in networks.items():
+            table[name] = {p.key: cycles_for_network(net, p).total_cycles
+                           for p in ALL_PROCESSORS}
+        return table
+
+    table = benchmark(compute)
+    rows = []
+    for idx, (name, per_proc) in enumerate(table.items()):
+        for proc in ALL_PROCESSORS:
+            paper = TABLE3_ANCHORS[proc.key][idx]
+            ours = per_proc[proc.key]
+            rows.append((name, proc.display_name, paper, ours,
+                         "exact" if paper == ours else "MISMATCH"))
+            assert ours == paper
+    print_rows("Table III: runtime in cycles",
+               ("network", "processor", "paper", "measured", "status"), rows)
+
+
+def test_in_text_speedups(networks, print_rows):
+    """The four speed-up claims of Section IV."""
+    rows = []
+    cases = [
+        ("Net A, 1x RI5CY", "Network A", MRWOLF_RI5CY_SINGLE, 1.3),
+        ("Net B, 1x RI5CY", "Network B", MRWOLF_RI5CY_SINGLE, 1.7),
+        ("Net A, 8x RI5CY", "Network A", MRWOLF_RI5CY_CLUSTER8, 4.9),
+        ("Net B, 8x RI5CY", "Network B", MRWOLF_RI5CY_CLUSTER8, 8.3),
+    ]
+    for label, net_name, processor, paper_speedup in cases:
+        net = networks[net_name]
+        arm = cycles_for_network(net, NORDIC_ARM_M4F).total_cycles
+        ours = arm / cycles_for_network(net, processor).total_cycles
+        rows.append((label, f"{paper_speedup}x", f"{ours:.2f}x"))
+        assert ours == pytest.approx(paper_speedup, abs=0.05)
+    print_rows("Section IV: speed-ups vs ARM Cortex-M4",
+               ("case", "paper", "measured"), rows)
+
+
+def test_ibex_slower_but_leaner(networks):
+    """IBEX loses to the ARM on cycles for Network A — the paper's
+    table shows the small core is not about speed."""
+    net = networks["Network A"]
+    ibex = cycles_for_network(net, ALL_PROCESSORS[1]).total_cycles
+    arm = cycles_for_network(net, NORDIC_ARM_M4F).total_cycles
+    assert ibex > arm

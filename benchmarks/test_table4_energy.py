@@ -1,0 +1,78 @@
+"""Table IV — energy consumption per classification in microjoules.
+
+Paper values: Network A costs 5.1 / 1.3 / 2.9 / 1.2 uJ and Network B
+153.8 / 31.5 / 65.6 / 21.6 uJ on the ARM M4, IBEX, single RI5CY and
+8-core RI5CY respectively.
+"""
+
+import pytest
+
+from repro.fann import build_network_a, build_network_b
+from repro.timing import (
+    ALL_PROCESSORS,
+    MRWOLF_IBEX,
+    MRWOLF_RI5CY_CLUSTER8,
+    energy_per_inference,
+)
+
+PAPER_TABLE4_UJ = {
+    "arm_m4f": (5.1, 153.8),
+    "ibex": (1.3, 31.5),
+    "ri5cy_single": (2.9, 65.6),
+    "ri5cy_multi": (1.2, 21.6),
+}
+
+
+@pytest.fixture(scope="module")
+def networks():
+    return {"Network A": build_network_a(), "Network B": build_network_b()}
+
+
+def test_table4_reproduction(benchmark, networks, print_rows):
+    def compute():
+        table = {}
+        for name, net in networks.items():
+            table[name] = {p.key: energy_per_inference(net, p).energy_uj_rounded
+                           for p in ALL_PROCESSORS}
+        return table
+
+    table = benchmark(compute)
+    rows = []
+    for idx, (name, per_proc) in enumerate(table.items()):
+        for proc in ALL_PROCESSORS:
+            paper = PAPER_TABLE4_UJ[proc.key][idx]
+            ours = per_proc[proc.key]
+            rows.append((name, proc.display_name, f"{paper} uJ", f"{ours} uJ",
+                         "exact" if paper == ours else "MISMATCH"))
+            assert ours == paper
+    print_rows("Table IV: energy per classification",
+               ("network", "processor", "paper", "measured", "status"), rows)
+
+
+def test_energy_winner_story(networks):
+    """Who wins on energy: IBEX for Network A (barely over the
+    cluster), the 8-core cluster for Network B."""
+    a, b = networks["Network A"], networks["Network B"]
+    a_energies = {p.key: energy_per_inference(a, p).energy_j for p in ALL_PROCESSORS}
+    b_energies = {p.key: energy_per_inference(b, p).energy_j for p in ALL_PROCESSORS}
+    assert min(a_energies, key=a_energies.get) in ("ri5cy_multi", "ibex")
+    assert min(b_energies, key=b_energies.get) == "ri5cy_multi"
+
+
+def test_cluster_energy_ratio_on_network_b(networks):
+    """The cluster uses ~7x less energy than the ARM on Network B —
+    the paper's headline efficiency claim."""
+    b = networks["Network B"]
+    arm = energy_per_inference(b, ALL_PROCESSORS[0]).energy_j
+    multi = energy_per_inference(b, MRWOLF_RI5CY_CLUSTER8).energy_j
+    assert arm / multi == pytest.approx(153.8 / 21.6, rel=0.02)
+
+
+def test_ibex_vs_cluster_tradeoff(networks):
+    """IBEX matches the cluster's energy on Network A but is an order
+    of magnitude slower — latency is what the cluster buys."""
+    a = networks["Network A"]
+    ibex = energy_per_inference(a, MRWOLF_IBEX)
+    multi = energy_per_inference(a, MRWOLF_RI5CY_CLUSTER8)
+    assert ibex.energy_j == pytest.approx(multi.energy_j, rel=0.15)
+    assert ibex.latency_s > 6 * multi.latency_s

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Day-in-the-life simulation: harvest, battery and detections over 24 h.
+
+Steps the full system (calibrated harvesting chains, 120 mAh battery,
+energy-aware power manager, per-detection energy) through an office day
+and prints an hourly trace plus the day's energy balance.
+
+Run with::
+
+    python examples/day_in_the_life.py
+"""
+
+from repro.core import DaySimulation
+from repro.core.sustainability import analyze_self_sustainability
+from repro.harvest.environment import (
+    DARKNESS,
+    EnvironmentSample,
+    EnvironmentTimeline,
+    INDOOR_OFFICE_700LX,
+    OUTDOOR_SUN_30KLX,
+    TEG_ROOM_15C_WIND_42KMH,
+    TEG_ROOM_22C_NO_WIND,
+)
+from repro.power.battery import LiPoBattery
+
+
+def office_day_with_commute() -> EnvironmentTimeline:
+    """Sleep, a windy sunny cycle commute, office light, commute, evening."""
+    return EnvironmentTimeline([
+        EnvironmentSample(7 * 3600.0, DARKNESS, TEG_ROOM_22C_NO_WIND),
+        EnvironmentSample(0.5 * 3600.0, OUTDOOR_SUN_30KLX, TEG_ROOM_15C_WIND_42KMH),
+        EnvironmentSample(8.5 * 3600.0, INDOOR_OFFICE_700LX, TEG_ROOM_22C_NO_WIND),
+        EnvironmentSample(0.5 * 3600.0, OUTDOOR_SUN_30KLX, TEG_ROOM_15C_WIND_42KMH),
+        EnvironmentSample(7.5 * 3600.0, DARKNESS, TEG_ROOM_22C_NO_WIND),
+    ])
+
+
+def main() -> None:
+    battery = LiPoBattery(initial_soc=0.5)
+    simulation = DaySimulation(office_day_with_commute(), battery=battery,
+                               step_s=300.0)
+    result = simulation.run()
+
+    print("hour  harvest     rate      SoC")
+    for step in result.steps[::12]:  # one row per hour (12 x 300 s)
+        hour = step.time_s / 3600.0
+        print(f"{hour:4.0f}  {step.harvest_w * 1e3:7.3f} mW "
+              f"{step.detection_rate_per_min:6.1f}/min   "
+              f"{100 * step.state_of_charge:5.1f} %")
+
+    print(f"\nharvested : {result.total_harvest_j:7.2f} J")
+    print(f"consumed  : {result.total_consumed_j:7.2f} J")
+    print(f"detections: {result.total_detections:7.0f}")
+    print(f"SoC       : {100 * result.initial_soc:.1f} % -> "
+          f"{100 * result.final_soc:.1f} % "
+          f"({'energy-neutral or better' if result.energy_neutral else 'draining'})")
+
+    static = analyze_self_sustainability()
+    print(f"\nstatic paper scenario for reference: "
+          f"{static.daily_intake_j:.2f} J/day supports up to "
+          f"{static.detections_per_minute_floor} detections/minute")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Deployment export: train, quantise and emit firmware artefacts.
+
+Plays the FannCortexM role from the paper's toolchain: takes the
+trained stress classifier, converts it to fixed point, and writes the
+C header a firmware build would compile, plus the ``.net``-style float
+checkpoint, then prints the integrator's summary (footprints and the
+Table IV cost on every processor configuration).
+
+Run with::
+
+    python examples/deployment_export.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.fann import (
+    RpropTrainer,
+    build_network_a,
+    convert_to_fixed,
+    deployment_summary,
+    export_c_header,
+    save_network,
+)
+from repro.features import FeatureExtractor, build_feature_matrix
+from repro.sensors import StressDatasetGenerator
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("build")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    # Train the Fig. 3 classifier on the synthetic dataset.
+    generator = StressDatasetGenerator(segment_duration_s=150.0, seed=42)
+    extractor = FeatureExtractor(window_duration_s=30.0, step_duration_s=15.0)
+    vectors = []
+    for subject in range(6):
+        vectors.extend(extractor.extract_from_recording(
+            generator.generate_recording(subject)))
+    x, y = build_feature_matrix(vectors)
+    x = (x - x.mean(axis=0)) / (x.std(axis=0) + 1e-9)
+    targets = -np.ones((y.size, 3))
+    targets[np.arange(y.size), y] = 1.0
+
+    network = build_network_a(seed=7)
+    report = RpropTrainer().train(network, x, targets, max_epochs=300,
+                                  desired_mse=0.05)
+    accuracy = float(np.mean(network.classify(x) == y))
+    print(f"trained: MSE {report.final_mse:.4f}, accuracy {100 * accuracy:.1f} %")
+
+    # Float checkpoint (reproducible training artefact).
+    net_path = out_dir / "stress_net.net"
+    save_network(network, net_path)
+    print(f"wrote {net_path}")
+
+    # Fixed-point firmware header.
+    fixed = convert_to_fixed(network)
+    header_path = out_dir / "stress_net.h"
+    header_path.write_text(export_c_header(fixed, "stress_net"))
+    print(f"wrote {header_path} (decimal point {fixed.decimal_point})")
+
+    # Integrator summary.
+    summary = deployment_summary(network)
+    print("\ndeployment summary")
+    print(f"  weights in flash : {summary.weights_bytes:7d} B")
+    print(f"  tanh table       : {summary.table_bytes:7d} B")
+    print(f"  RAM buffers      : {summary.buffer_bytes:7d} B")
+    print(f"  fits nRF52 RAM   : {summary.fits_nrf52_ram}")
+    print(f"  fits Mr. Wolf L1 : {summary.fits_mrwolf_l1}")
+    print("  energy per inference (Table IV):")
+    for key, energy in summary.energy_uj_by_processor.items():
+        print(f"    {key:14s}: {energy:5.1f} uJ")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Processor comparison: regenerate Tables III and IV.
+
+Prints runtime (cycles) and energy per classification for Networks A
+and B on the four measured configurations, plus the in-text speed-ups
+and the fixed-vs-float comparison on the Cortex-M4F.
+
+Run with::
+
+    python examples/processor_comparison.py
+"""
+
+from repro.fann import build_network_a, build_network_b
+from repro.timing import (
+    ALL_PROCESSORS,
+    NORDIC_ARM_M4F,
+    NumericMode,
+    cycles_for_network,
+    energy_per_inference,
+)
+
+
+def main() -> None:
+    networks = {"Network A": build_network_a(), "Network B": build_network_b()}
+
+    print("Table III: runtime in cycles")
+    header = f"{'':12s}" + "".join(f"{p.display_name:>34s}" for p in ALL_PROCESSORS)
+    print(header)
+    for name, net in networks.items():
+        cells = "".join(
+            f"{cycles_for_network(net, p).total_cycles:>34,d}"
+            for p in ALL_PROCESSORS)
+        print(f"{name:12s}{cells}")
+
+    print("\nTable IV: energy per classification [uJ]")
+    print(header)
+    for name, net in networks.items():
+        cells = "".join(
+            f"{energy_per_inference(net, p).energy_uj_rounded:>34.1f}"
+            for p in ALL_PROCESSORS)
+        print(f"{name:12s}{cells}")
+
+    print("\nSpeed-ups vs the ARM Cortex-M4 (paper: 1.3x/1.7x single, "
+          "4.9x/8.3x eight-core)")
+    for name, net in networks.items():
+        arm = cycles_for_network(net, NORDIC_ARM_M4F).total_cycles
+        single = cycles_for_network(net, ALL_PROCESSORS[2]).total_cycles
+        multi = cycles_for_network(net, ALL_PROCESSORS[3]).total_cycles
+        print(f"  {name}: single RI5CY {arm / single:.2f}x, "
+              f"8x RI5CY {arm / multi:.2f}x")
+
+    fixed = cycles_for_network(networks["Network A"], NORDIC_ARM_M4F).total_cycles
+    floating = cycles_for_network(networks["Network A"], NORDIC_ARM_M4F,
+                                  NumericMode.FLOAT).total_cycles
+    print(f"\nCortex-M4F, Network A: FPU {floating} cycles vs fixed point "
+          f"{fixed} cycles -> {floating / fixed:.2f}x (paper: 1.3x)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: build the watch, price a detection, check sustainability.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.core import (
+    InfiniWolfDevice,
+    StressDetectionApp,
+    analyze_self_sustainability,
+)
+from repro.timing import ALL_PROCESSORS, energy_per_inference
+from repro.fann import build_network_a
+
+
+def main() -> None:
+    # 1. The board (Fig. 1): components, buses, calibrated harvesters.
+    device = InfiniWolfDevice()
+    print(device.describe())
+
+    # 2. One stress detection (Section IV): acquire 3 s, extract
+    #    features, classify with Network A on the 8-core cluster.
+    app = StressDetectionApp()
+    budget = app.energy_budget()
+    print("\nEnergy per detection")
+    print(f"  acquisition        : {budget.acquisition_j * 1e6:8.1f} uJ")
+    print(f"  feature extraction : {budget.feature_extraction_j * 1e6:8.2f} uJ")
+    print(f"  classification     : {budget.classification_j * 1e6:8.2f} uJ")
+    print(f"  total              : {budget.total_uj:8.1f} uJ "
+          f"(paper books 602.2 uJ)")
+
+    # 3. Where would the classifier run best?  (Table IV)
+    network = build_network_a()
+    print("\nNetwork A energy per inference")
+    for processor in ALL_PROCESSORS:
+        report = energy_per_inference(network, processor)
+        print(f"  {processor.display_name:32s}: "
+              f"{report.energy_uj:6.2f} uJ in {report.latency_s * 1e6:7.1f} us")
+
+    # 4. Does the harvest cover it?  (Section IV-A)
+    report = analyze_self_sustainability()
+    print("\nSelf-sustainability (paper's indoor worst case)")
+    print(f"  solar intake : {report.solar_energy_j:6.2f} J/day")
+    print(f"  TEG intake   : {report.teg_energy_j:6.2f} J/day")
+    print(f"  detections   : {report.detections_per_day:6.0f}/day "
+          f"= up to {report.detections_per_minute_floor}/minute "
+          f"(paper: 24/minute)")
+    print(f"  self-sustaining: {report.is_self_sustaining}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,151 @@
+"""Command-line interface: regenerate any paper artefact from a shell.
+
+Usage::
+
+    python -m repro table1          # solar harvesting (Table I)
+    python -m repro table2          # TEG harvesting (Table II)
+    python -m repro table3          # runtime cycles (Table III)
+    python -m repro table4          # energy per classification (Table IV)
+    python -m repro detection       # per-detection energy budget
+    python -m repro sustainability  # Section IV-A analysis
+    python -m repro modes           # operating-mode power table
+    python -m repro all             # everything above
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.units import kmh_to_ms
+
+__all__ = ["main"]
+
+
+def _print_table1() -> None:
+    from repro.harvest import calibrated_solar_harvester
+    from repro.lab import HarvestTestBench
+
+    bench = HarvestTestBench()
+    solar = calibrated_solar_harvester()
+    print("Table I: solar power generation (battery intake)")
+    for lux, paper in ((30_000.0, "24.711 mW"), (700.0, "0.9 mW")):
+        intake = bench.measure_solar_intake_w(solar.panel, solar.converter, lux)
+        print(f"  {lux:8,.0f} lx : {intake * 1e3:7.3f} mW   (paper {paper})")
+
+
+def _print_table2() -> None:
+    from repro.harvest import calibrated_teg_harvester
+    from repro.lab import HarvestTestBench
+
+    bench = HarvestTestBench()
+    teg = calibrated_teg_harvester()
+    print("Table II: human-wrist TEG power (battery intake)")
+    cases = [(22.0, 32.0, 0.0, "24.0 uW"),
+             (15.0, 30.0, 0.0, "55.5 uW"),
+             (15.0, 30.0, kmh_to_ms(42.0), "155.4 uW")]
+    for ambient, skin, wind, paper in cases:
+        intake = bench.measure_teg_intake_w(teg.device, teg.converter,
+                                            ambient, skin, wind)
+        print(f"  room {ambient:4.1f} C / skin {skin:4.1f} C / "
+              f"wind {wind * 3.6:4.1f} km/h : {intake * 1e6:7.1f} uW "
+              f"(paper {paper})")
+
+
+def _print_table3() -> None:
+    from repro.fann import build_network_a, build_network_b
+    from repro.timing import ALL_PROCESSORS, cycles_for_network
+
+    print("Table III: runtime in cycles")
+    print(f"  {'network':10s}" + "".join(f"{p.key:>14s}" for p in ALL_PROCESSORS))
+    for name, net in (("Network A", build_network_a()),
+                      ("Network B", build_network_b())):
+        cells = "".join(f"{cycles_for_network(net, p).total_cycles:>14,d}"
+                        for p in ALL_PROCESSORS)
+        print(f"  {name:10s}{cells}")
+
+
+def _print_table4() -> None:
+    from repro.fann import build_network_a, build_network_b
+    from repro.timing import ALL_PROCESSORS, energy_per_inference
+
+    print("Table IV: energy per classification [uJ]")
+    print(f"  {'network':10s}" + "".join(f"{p.key:>14s}" for p in ALL_PROCESSORS))
+    for name, net in (("Network A", build_network_a()),
+                      ("Network B", build_network_b())):
+        cells = "".join(f"{energy_per_inference(net, p).energy_uj_rounded:>14.1f}"
+                        for p in ALL_PROCESSORS)
+        print(f"  {name:10s}{cells}")
+
+
+def _print_detection() -> None:
+    from repro.core import StressDetectionApp
+
+    budget = StressDetectionApp().energy_budget()
+    paper = StressDetectionApp().paper_energy_budget()
+    print("Energy per stress detection")
+    print(f"  acquisition        : {budget.acquisition_j * 1e6:8.1f} uJ")
+    print(f"  feature extraction : {budget.feature_extraction_j * 1e6:8.2f} uJ")
+    print(f"  classification     : {budget.classification_j * 1e6:8.2f} uJ")
+    print(f"  total (exact)      : {budget.total_uj:8.1f} uJ")
+    print(f"  total (paper mode) : {paper.total_uj:8.1f} uJ  (paper: 602.2 uJ)")
+
+
+def _print_sustainability() -> None:
+    from repro.core import analyze_self_sustainability
+
+    report = analyze_self_sustainability()
+    print("Self-sustainability (paper indoor worst case)")
+    print(f"  solar intake : {report.solar_energy_j:6.2f} J/day")
+    print(f"  TEG intake   : {report.teg_energy_j:6.2f} J/day")
+    print(f"  total        : {report.daily_intake_j:6.2f} J/day (paper 21.44 J)")
+    print(f"  detections   : up to {report.detections_per_minute_floor}/minute "
+          f"(paper: 24/minute)")
+
+
+def _print_modes() -> None:
+    from repro.core import OperatingMode, battery_lifetime_s, mode_power_w
+    from repro.units import SECONDS_PER_DAY
+
+    print("Operating modes (Section II)")
+    for mode in OperatingMode:
+        power = mode_power_w(mode)
+        days = battery_lifetime_s(mode) / SECONDS_PER_DAY
+        print(f"  {mode.value:14s}: {power * 1e3:9.4f} mW   "
+              f"full battery lasts {days:9.1f} days (no harvest)")
+
+
+_COMMANDS = {
+    "table1": _print_table1,
+    "table2": _print_table2,
+    "table3": _print_table3,
+    "table4": _print_table4,
+    "detection": _print_detection,
+    "sustainability": _print_sustainability,
+    "modes": _print_modes,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="InfiniWolf reproduction: regenerate the paper's "
+                    "evaluation artefacts.",
+    )
+    parser.add_argument("artifact", choices=sorted(_COMMANDS) + ["all"],
+                        help="which artefact to regenerate")
+    args = parser.parse_args(argv)
+
+    if args.artifact == "all":
+        for name in ("table1", "table2", "table3", "table4",
+                     "detection", "sustainability", "modes"):
+            _COMMANDS[name]()
+            print()
+    else:
+        _COMMANDS[args.artifact]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

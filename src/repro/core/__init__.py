@@ -1,0 +1,65 @@
+"""The InfiniWolf system model (the paper's primary contribution).
+
+Ties every substrate together:
+
+* :mod:`repro.core.device` — the board as a component/bus graph
+  (Fig. 1) wrapping the load catalog, harvesters and battery.
+* :mod:`repro.core.application` — the stress-detection duty cycle:
+  3 s multi-sensor acquisition, 50 us feature extraction on the
+  cluster, one Network-A classification; energy and latency budgets
+  per detection on any processor configuration.
+* :mod:`repro.core.sustainability` — the Section IV-A analysis: daily
+  harvest under a scenario vs energy per detection -> the
+  self-sustained detection rate.
+* :mod:`repro.core.manager` — the energy-aware power-manager policy
+  (periodic, opportunistic duty cycling against battery state).
+* :mod:`repro.core.simulation` — a time-stepped day-in-the-life
+  simulation of harvest, battery and workload.
+"""
+
+from repro.core.device import InfiniWolfDevice, build_device_graph, BUS_CONNECTIONS
+from repro.core.application import (
+    DetectionPhase,
+    DetectionEnergyBudget,
+    StressDetectionApp,
+    PAPER_ACQUISITION_WINDOW_S,
+    PAPER_FEATURE_EXTRACTION_S,
+)
+from repro.core.sustainability import (
+    SustainabilityScenario,
+    SustainabilityReport,
+    PAPER_INDOOR_WORST_CASE,
+    analyze_self_sustainability,
+)
+from repro.core.manager import EnergyAwareManager, ManagerPolicy
+from repro.core.modes import (
+    OperatingMode,
+    apply_mode,
+    battery_lifetime_s,
+    mode_power_w,
+)
+from repro.core.simulation import DaySimulation, SimulationResult, SimulationStep
+
+__all__ = [
+    "InfiniWolfDevice",
+    "build_device_graph",
+    "BUS_CONNECTIONS",
+    "DetectionPhase",
+    "DetectionEnergyBudget",
+    "StressDetectionApp",
+    "PAPER_ACQUISITION_WINDOW_S",
+    "PAPER_FEATURE_EXTRACTION_S",
+    "SustainabilityScenario",
+    "SustainabilityReport",
+    "PAPER_INDOOR_WORST_CASE",
+    "analyze_self_sustainability",
+    "EnergyAwareManager",
+    "ManagerPolicy",
+    "OperatingMode",
+    "apply_mode",
+    "battery_lifetime_s",
+    "mode_power_w",
+    "DaySimulation",
+    "SimulationResult",
+    "SimulationStep",
+]

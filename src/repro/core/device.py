@@ -1,0 +1,145 @@
+"""The InfiniWolf board model (Fig. 1 block diagram).
+
+The device is a graph: vertices are the Fig. 1 blocks (processors,
+sensors, power parts), edges are the buses and power paths that connect
+them (SPI, I2C, I2S, harvest inputs, battery rails).  The graph is the
+reproducible artefact of Fig. 1 — the architecture bench checks it —
+and :class:`InfiniWolfDevice` wraps it together with the live models:
+the load catalog, the dual-source harvester, the battery and its fuel
+gauge.
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.errors import ConfigurationError
+from repro.harvest.calibrated import calibrated_dual_harvester
+from repro.harvest.dual import DualSourceHarvester
+from repro.power.battery import LiPoBattery
+from repro.power.fuelgauge import BQ27441FuelGauge
+from repro.power.loads import ComponentCatalog, default_catalog
+from repro.power.regulators import LowDropoutRegulator
+
+__all__ = ["BUS_CONNECTIONS", "build_device_graph", "InfiniWolfDevice"]
+
+# (source, destination, bus/link label) — the edges of Fig. 1.
+BUS_CONNECTIONS = (
+    # Compute fabric.
+    ("nrf52832", "mrwolf", "spi"),
+    # Sensor buses into Mr. Wolf (local end-to-end processing).
+    ("max30001_ecg", "mrwolf", "spi"),
+    ("gsr_afe", "mrwolf", "adc"),
+    ("icm20948_imu", "nrf52832", "i2c"),
+    ("bmp280_pressure", "nrf52832", "i2c"),
+    ("ics43434_mic", "mrwolf", "i2s"),
+    # Power tree.
+    ("solar_panels", "bq25570", "harvest_in"),
+    ("teg_module", "bq25505", "harvest_in"),
+    ("bq25570", "battery", "charge"),
+    ("bq25505", "battery", "charge"),
+    ("battery", "ldo_1v8", "rail"),
+    ("battery", "bq27441_gauge", "sense"),
+    ("bq27441_gauge", "nrf52832", "i2c"),
+    ("ldo_1v8", "nrf52832", "rail"),
+    ("ldo_1v8", "mrwolf", "rail"),
+    ("ldo_1v8", "max30001_ecg", "rail"),
+    ("ldo_1v8", "gsr_afe", "rail"),
+    ("ldo_1v8", "icm20948_imu", "rail"),
+    ("ldo_1v8", "bmp280_pressure", "rail"),
+    ("ldo_1v8", "ics43434_mic", "rail"),
+)
+
+_NODE_KINDS = {
+    "nrf52832": "processor",
+    "mrwolf": "processor",
+    "max30001_ecg": "sensor",
+    "gsr_afe": "sensor",
+    "icm20948_imu": "sensor",
+    "bmp280_pressure": "sensor",
+    "ics43434_mic": "sensor",
+    "solar_panels": "transducer",
+    "teg_module": "transducer",
+    "bq25570": "power",
+    "bq25505": "power",
+    "battery": "power",
+    "ldo_1v8": "power",
+    "bq27441_gauge": "power",
+}
+
+
+def build_device_graph() -> nx.DiGraph:
+    """Construct the Fig. 1 block diagram as a directed graph.
+
+    Nodes carry a ``kind`` attribute (processor / sensor / transducer /
+    power); edges carry a ``bus`` attribute.
+    """
+    graph = nx.DiGraph()
+    for node, kind in _NODE_KINDS.items():
+        graph.add_node(node, kind=kind)
+    for src, dst, bus in BUS_CONNECTIONS:
+        if src not in _NODE_KINDS or dst not in _NODE_KINDS:
+            raise ConfigurationError(f"unknown block in connection {src}->{dst}")
+        graph.add_edge(src, dst, bus=bus)
+    return graph
+
+
+class InfiniWolfDevice:
+    """The full watch: structure graph plus live component models.
+
+    Args:
+        battery: the storage cell (defaults to the 120 mAh LiPo).
+        harvester: the dual-source harvesting chain (defaults to the
+            Table I/II-calibrated models).
+        catalog: the per-component load models.
+    """
+
+    def __init__(self, battery: LiPoBattery | None = None,
+                 harvester: DualSourceHarvester | None = None,
+                 catalog: ComponentCatalog | None = None) -> None:
+        self.graph = build_device_graph()
+        self.battery = battery if battery is not None else LiPoBattery()
+        self.harvester = (harvester if harvester is not None
+                          else calibrated_dual_harvester())
+        self.catalog = catalog if catalog is not None else default_catalog()
+        self.fuel_gauge = BQ27441FuelGauge(self.battery)
+        self.ldo = LowDropoutRegulator()
+
+    # -- structural queries -----------------------------------------------------
+
+    def components_of_kind(self, kind: str) -> list[str]:
+        """Names of all blocks with a given ``kind`` attribute."""
+        return sorted(n for n, d in self.graph.nodes(data=True) if d["kind"] == kind)
+
+    def buses_between(self, src: str, dst: str) -> list[str]:
+        """Bus labels on the direct edges from ``src`` to ``dst``."""
+        if not self.graph.has_edge(src, dst):
+            return []
+        return [self.graph.edges[src, dst]["bus"]]
+
+    def power_path_exists(self, transducer: str) -> bool:
+        """Whether a transducer has a charge path to the battery."""
+        return nx.has_path(self.graph, transducer, "battery")
+
+    # -- live state ---------------------------------------------------------------
+
+    def sleep_all(self) -> None:
+        """Put every component into its lowest available state."""
+        for component in self.catalog:
+            for preferred in ("off", "sleep", "standby"):
+                if preferred in component.states:
+                    component.set_state(preferred)
+                    break
+
+    def active_load_w(self) -> float:
+        """Current total component draw."""
+        return self.catalog.total_power_w()
+
+    def describe(self) -> str:
+        """A short multi-line architecture summary (used by examples)."""
+        lines = ["InfiniWolf block diagram:"]
+        for kind in ("processor", "sensor", "transducer", "power"):
+            names = ", ".join(self.components_of_kind(kind))
+            lines.append(f"  {kind:10s}: {names}")
+        lines.append(f"  buses     : {len(BUS_CONNECTIONS)} connections")
+        return "\n".join(lines)

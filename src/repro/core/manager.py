@@ -1,0 +1,115 @@
+"""Energy-aware power-manager policy.
+
+The paper motivates "power management [that] can opportunistically take
+advantage of periods of overabundant energy and survive intervals when
+the system is starving for energy".  :class:`EnergyAwareManager`
+implements that policy on top of the fuel gauge: it sets the detection
+rate from the recent harvest rate and the battery state of charge, with
+hysteresis bands so the rate does not chatter.
+
+The policy is deliberately simple enough to run on the nRF52832 (a few
+integer comparisons on gauge readings) — that is the class of policy
+the real smart power unit implements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ManagerPolicy", "EnergyAwareManager"]
+
+
+@dataclass(frozen=True)
+class ManagerPolicy:
+    """Tunable thresholds of the energy-aware policy.
+
+    Attributes:
+        min_rate_per_min: floor detection rate kept even when starving
+            (the watch must stay functional).
+        max_rate_per_min: ceiling rate in energy abundance; the paper's
+            self-sustained figure is 24/min, and running faster than
+            the harvest sustains only drains the buffer.
+        low_soc: below this state of charge the manager drops to the
+            floor rate.
+        high_soc: above this state of charge surplus harvest is spent
+            at the ceiling rate.
+        neutrality_margin: fraction of the harvest rate held back as
+            safety margin when computing the energy-neutral rate.
+    """
+
+    min_rate_per_min: float = 1.0
+    max_rate_per_min: float = 24.0
+    low_soc: float = 0.15
+    high_soc: float = 0.85
+    neutrality_margin: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.min_rate_per_min < 0 or self.max_rate_per_min <= 0:
+            raise ConfigurationError("rates must be non-negative / positive")
+        if self.min_rate_per_min > self.max_rate_per_min:
+            raise ConfigurationError("min rate cannot exceed max rate")
+        if not 0.0 <= self.low_soc < self.high_soc <= 1.0:
+            raise ConfigurationError("need 0 <= low_soc < high_soc <= 1")
+        if not 0.0 <= self.neutrality_margin < 1.0:
+            raise ConfigurationError("neutrality_margin must lie in [0, 1)")
+
+
+class EnergyAwareManager:
+    """Chooses the detection rate from harvest rate and battery state.
+
+    Args:
+        detection_energy_j: energy of one detection (from
+            :meth:`repro.core.application.StressDetectionApp.energy_budget`).
+        policy: threshold configuration.
+    """
+
+    def __init__(self, detection_energy_j: float,
+                 policy: ManagerPolicy | None = None) -> None:
+        if detection_energy_j <= 0:
+            raise ConfigurationError("detection energy must be positive")
+        self.detection_energy_j = detection_energy_j
+        self.policy = policy if policy is not None else ManagerPolicy()
+
+    def energy_neutral_rate_per_min(self, harvest_power_w: float) -> float:
+        """Detection rate that exactly spends the harvest power.
+
+        Applies the policy's safety margin; unclamped (the caller's
+        bands are applied by :meth:`detection_rate_per_min`).
+        """
+        if harvest_power_w <= 0:
+            return 0.0
+        usable = harvest_power_w * (1.0 - self.policy.neutrality_margin)
+        return usable * 60.0 / self.detection_energy_j
+
+    def detection_rate_per_min(self, harvest_power_w: float,
+                               state_of_charge: float) -> float:
+        """The policy's chosen rate for the current conditions.
+
+        Three regimes:
+
+        * **starving** (SoC below ``low_soc``): floor rate, regardless
+          of instantaneous harvest;
+        * **abundant** (SoC above ``high_soc``): ceiling rate — the
+          buffer is full, spend the surplus on detections;
+        * **neutral band**: the energy-neutral rate, clamped to the
+          policy's floor and ceiling.
+        """
+        if not 0.0 <= state_of_charge <= 1.0:
+            raise ConfigurationError("state of charge must lie in [0, 1]")
+        p = self.policy
+        if state_of_charge < p.low_soc:
+            return p.min_rate_per_min
+        if state_of_charge > p.high_soc:
+            return p.max_rate_per_min
+        neutral = self.energy_neutral_rate_per_min(harvest_power_w)
+        return min(p.max_rate_per_min, max(p.min_rate_per_min, neutral))
+
+    def detection_period_s(self, harvest_power_w: float,
+                           state_of_charge: float) -> float:
+        """Seconds between detection starts under the chosen rate."""
+        rate = self.detection_rate_per_min(harvest_power_w, state_of_charge)
+        if rate <= 0:
+            return float("inf")
+        return 60.0 / rate

@@ -1,0 +1,110 @@
+"""Operating modes of the watch (paper, Section II).
+
+The nRF52832 "performs power management [for] various modes of
+operation (sleep, raw data streaming, data acquisition, and
+processing)".  Each mode is a named assignment of component states
+plus, for the streaming mode, a BLE payload rate.  The mode table
+answers the system questions the paper's architecture section raises:
+what does each mode draw, and for how long can the battery hold it
+without harvesting.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+from repro.errors import ConfigurationError
+from repro.power.battery import LiPoBattery
+from repro.power.loads import BleRadioModel, ComponentCatalog, default_catalog
+
+__all__ = ["OperatingMode", "mode_component_states", "mode_power_w",
+           "battery_lifetime_s"]
+
+# Raw streaming pushes both biosignal front ends' samples out over BLE.
+STREAMING_BYTES_PER_S = 256 * 3 + 32 * 2  # ECG 256 sps x 3 B + GSR 32 sps x 2 B
+
+
+class OperatingMode(Enum):
+    """The four modes the paper names."""
+
+    SLEEP = "sleep"
+    RAW_STREAMING = "raw_streaming"
+    ACQUISITION = "acquisition"
+    PROCESSING = "processing"
+
+
+# Component state per mode; anything unlisted drops to its lowest state.
+_MODE_STATES: dict[OperatingMode, dict[str, str]] = {
+    # Sleep keeps the Nordic in system-on sleep (RAM retention, RTC)
+    # and the gauge in its low-power state; everything else is off.
+    OperatingMode.SLEEP: {"nrf52832": "sleep", "bq27441_gauge": "sleep"},
+    OperatingMode.RAW_STREAMING: {
+        "nrf52832": "active",
+        "max30001_ecg": "active",
+        "gsr_afe": "active",
+    },
+    OperatingMode.ACQUISITION: {
+        "nrf52832": "sleep",
+        "max30001_ecg": "active",
+        "gsr_afe": "active",
+    },
+    OperatingMode.PROCESSING: {
+        "nrf52832": "sleep",
+        "mrwolf_cluster": "active_parallel",
+    },
+}
+
+
+def mode_component_states(mode: OperatingMode) -> dict[str, str]:
+    """The non-default component states a mode asserts."""
+    if mode not in _MODE_STATES:
+        raise ConfigurationError(f"unknown mode {mode!r}")
+    return dict(_MODE_STATES[mode])
+
+
+def apply_mode(catalog: ComponentCatalog, mode: OperatingMode) -> None:
+    """Drive a component catalog into a mode's states."""
+    for component in catalog:
+        for preferred in ("off", "sleep", "standby"):
+            if preferred in component.states:
+                component.set_state(preferred)
+                break
+    for name, state in mode_component_states(mode).items():
+        catalog[name].set_state(state)
+
+
+def mode_power_w(mode: OperatingMode,
+                 catalog: ComponentCatalog | None = None,
+                 radio: BleRadioModel | None = None) -> float:
+    """Steady-state system draw in a mode.
+
+    Streaming adds the BLE radio's average power for the biosignal
+    byte rate on top of the component states.
+    """
+    if catalog is None:
+        catalog = default_catalog()
+    apply_mode(catalog, mode)
+    power = catalog.total_power_w()
+    if mode is OperatingMode.RAW_STREAMING:
+        if radio is None:
+            radio = BleRadioModel()
+        power += radio.streaming_power_w(STREAMING_BYTES_PER_S)
+    return power
+
+
+def battery_lifetime_s(mode: OperatingMode,
+                       battery: LiPoBattery | None = None,
+                       catalog: ComponentCatalog | None = None) -> float:
+    """How long a full battery holds a mode with zero harvest.
+
+    A first-order estimate at the nominal cell voltage; the paper's
+    always-on ambition is visible in the contrast between the sleep
+    mode (years) and raw streaming (days).
+    """
+    if battery is None:
+        battery = LiPoBattery(initial_soc=1.0)
+    power = mode_power_w(mode, catalog)
+    if power <= 0:
+        return float("inf")
+    stored_j = battery.charge_c * battery.open_circuit_voltage()
+    return stored_j / power

@@ -1,0 +1,56 @@
+"""Exception hierarchy shared by all :mod:`repro` subpackages.
+
+Every error raised on purpose by this library derives from
+:class:`ReproError`, so callers can catch the whole family with a single
+``except`` clause while still distinguishing the domain-specific kinds.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A model or component was configured with inconsistent parameters."""
+
+
+class QuantizationError(ReproError):
+    """A value cannot be represented in the requested fixed-point format."""
+
+
+class NetworkStructureError(ReproError):
+    """An MLP definition is structurally invalid (layer sizes, activations)."""
+
+
+class TrainingError(ReproError):
+    """Training failed to make progress or received invalid data."""
+
+
+class SerializationError(ReproError):
+    """A network file could not be parsed or written."""
+
+
+class AssemblyError(ReproError):
+    """Assembly source could not be assembled into a program."""
+
+
+class SimulationError(ReproError):
+    """An instruction-set or system simulation entered an invalid state."""
+
+
+class MemoryMapError(SimulationError):
+    """An access fell outside every mapped memory region."""
+
+
+class HarvestModelError(ReproError):
+    """An energy-harvesting model was driven outside its valid domain."""
+
+
+class PowerModelError(ReproError):
+    """A power/battery model was driven outside its valid domain."""
+
+
+class MeasurementError(ReproError):
+    """A lab-instrument emulation could not complete a measurement."""

@@ -1,0 +1,48 @@
+"""FANN-compatible multi-layer perceptron library.
+
+The paper trains its stress-detection MLP with the FANN library and
+deploys it on microcontrollers with the FannCortexM toolkit.  This
+package reimplements the parts of that stack the paper depends on:
+
+* :mod:`repro.fann.network` — network structure with FANN's
+  bias-neuron/connection bookkeeping and the memory-footprint model the
+  paper states (16 B per neuron, 4 B per weight, 8 B per layer).
+* :mod:`repro.fann.training` — RPROP (FANN's default) and plain
+  gradient-descent trainers.
+* :mod:`repro.fann.fixedpoint` — conversion to a network-wide Q-format
+  and fixed-point inference, mirroring FANN's ``save_to_fixed`` flow.
+* :mod:`repro.fann.serialize` — a text serialisation format in the
+  spirit of FANN ``.net`` files.
+* :mod:`repro.fann.zoo` — builders for the paper's Network A
+  (5-50-50-3) and Network B (100, 24 growing hidden layers, 8).
+"""
+
+from repro.fann.activation import Activation
+from repro.fann.network import LayerSpec, MultiLayerPerceptron
+from repro.fann.training import (
+    GradientDescentTrainer,
+    RpropTrainer,
+    TrainingReport,
+)
+from repro.fann.fixedpoint import FixedPointNetwork, convert_to_fixed
+from repro.fann.serialize import load_network, save_network
+from repro.fann.zoo import build_network_a, build_network_b
+from repro.fann.deploy import DeploymentSummary, deployment_summary, export_c_header
+
+__all__ = [
+    "Activation",
+    "LayerSpec",
+    "MultiLayerPerceptron",
+    "GradientDescentTrainer",
+    "RpropTrainer",
+    "TrainingReport",
+    "FixedPointNetwork",
+    "convert_to_fixed",
+    "load_network",
+    "save_network",
+    "build_network_a",
+    "build_network_b",
+    "DeploymentSummary",
+    "deployment_summary",
+    "export_c_header",
+]

@@ -1,0 +1,82 @@
+"""Activation functions for MLP layers.
+
+Mirrors the subset of FANN activation functions the paper's networks
+use (symmetric sigmoid a.k.a. tanh for hidden/output layers, linear for
+completeness) plus ReLU which the extension benchmarks exercise.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from repro.errors import NetworkStructureError
+
+__all__ = ["Activation"]
+
+
+class Activation(Enum):
+    """Supported layer activation functions.
+
+    ``TANH`` corresponds to FANN's ``SIGMOID_SYMMETRIC`` which the paper
+    uses for the stress network; ``SIGMOID`` to ``SIGMOID_STEPWISE``'s
+    smooth parent; ``LINEAR`` and ``RELU`` round out the set for the
+    extension experiments.
+    """
+
+    LINEAR = "linear"
+    SIGMOID = "sigmoid"
+    TANH = "tanh"
+    RELU = "relu"
+
+    def apply(self, x: np.ndarray) -> np.ndarray:
+        """Evaluate the activation element-wise."""
+        if self is Activation.LINEAR:
+            return x
+        if self is Activation.SIGMOID:
+            return 1.0 / (1.0 + np.exp(-x))
+        if self is Activation.TANH:
+            return np.tanh(x)
+        if self is Activation.RELU:
+            return np.maximum(x, 0.0)
+        raise NetworkStructureError(f"unhandled activation {self}")
+
+    def derivative_from_output(self, y: np.ndarray) -> np.ndarray:
+        """Derivative expressed in terms of the activation *output* ``y``.
+
+        Backpropagation only ever needs the derivative at points where
+        the forward pass already produced the output, so expressing it
+        as a function of ``y`` avoids recomputing the activation.
+        """
+        if self is Activation.LINEAR:
+            return np.ones_like(y)
+        if self is Activation.SIGMOID:
+            return y * (1.0 - y)
+        if self is Activation.TANH:
+            return 1.0 - y * y
+        if self is Activation.RELU:
+            return (y > 0.0).astype(y.dtype)
+        raise NetworkStructureError(f"unhandled activation {self}")
+
+    @property
+    def output_range(self) -> tuple[float, float]:
+        """(min, max) of the activation output, ``inf`` where unbounded."""
+        if self is Activation.SIGMOID:
+            return (0.0, 1.0)
+        if self is Activation.TANH:
+            return (-1.0, 1.0)
+        if self is Activation.RELU:
+            return (0.0, float("inf"))
+        return (float("-inf"), float("inf"))
+
+    @classmethod
+    def from_name(cls, name: str) -> "Activation":
+        """Parse an activation from its serialized name."""
+        try:
+            return cls(name)
+        except ValueError as exc:
+            valid = ", ".join(sorted(a.value for a in cls))
+            raise NetworkStructureError(
+                f"unknown activation {name!r}; expected one of: {valid}"
+            ) from exc

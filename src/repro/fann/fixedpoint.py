@@ -1,0 +1,178 @@
+"""Fixed-point conversion and inference, mirroring FANN's flow.
+
+FANN converts a trained float network to fixed point by picking one
+network-wide binary-point position that the largest weight still fits,
+then storing weights and propagating activations as 32-bit integers.
+Activations are evaluated through piecewise-linear lookup tables.
+
+:func:`convert_to_fixed` reproduces that scheme, with the headroom
+heuristic made explicit: beyond fitting the largest weight we reserve
+``accumulator_guard_bits`` so a neuron's weighted sum cannot overflow
+32-bit storage after the shift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.fann.activation import Activation
+from repro.fann.network import MultiLayerPerceptron
+from repro.quant.lut import ActivationTable, sigmoid_table, tanh_table
+from repro.quant.qformat import QFormat
+
+__all__ = ["FixedPointNetwork", "convert_to_fixed"]
+
+STORAGE_BITS = 32
+
+
+def _activation_table(activation: Activation, fmt: QFormat) -> ActivationTable | None:
+    """Lookup table for an activation, or None when it is exact in fixed point."""
+    if activation is Activation.TANH:
+        return tanh_table(fmt)
+    if activation is Activation.SIGMOID:
+        return sigmoid_table(fmt)
+    return None
+
+
+@dataclass
+class FixedPointNetwork:
+    """A quantised MLP executing entirely in integer arithmetic.
+
+    Attributes:
+        fmt: the network-wide fixed-point format.
+        weights: raw integer weight matrices, ``(n_out, n_in + 1)`` with
+            the bias in the last column.
+        activations: activation of each connection layer's destination.
+        tables: per-layer activation lookup tables (None for
+            activations that are exact in fixed point).
+        num_inputs: input width of the network.
+    """
+
+    fmt: QFormat
+    weights: list[np.ndarray]
+    activations: list[Activation]
+    tables: list[ActivationTable | None] = field(repr=False)
+    num_inputs: int = 0
+
+    @property
+    def decimal_point(self) -> int:
+        """FANN's name for the binary-point position."""
+        return self.fmt.frac_bits
+
+    @property
+    def num_outputs(self) -> int:
+        """Width of the output layer."""
+        return int(self.weights[-1].shape[0])
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Fixed-point inference on real-valued inputs.
+
+        Inputs are quantised to :attr:`fmt`, propagated with 64-bit
+        accumulators shifted back to storage precision per neuron (as
+        the C kernels do), and the output is dequantised to floats.
+        """
+        x = np.asarray(inputs, dtype=np.float64)
+        single = x.ndim == 1
+        if single:
+            x = x[np.newaxis, :]
+        if x.shape[1] != self.num_inputs:
+            raise QuantizationError(
+                f"expected {self.num_inputs} inputs, got {x.shape[1]}"
+            )
+        raw = np.asarray(self.fmt.to_fixed(x), dtype=np.int64)
+        raw = self.forward_raw(raw)
+        out = self.fmt.from_fixed(raw)
+        return out[0] if single else out
+
+    def forward_raw(self, raw_inputs: np.ndarray) -> np.ndarray:
+        """Inference on already-quantised raw integers (batch form)."""
+        raw = np.asarray(raw_inputs, dtype=np.int64)
+        one = self.fmt.scale  # the bias neuron outputs fixed-point 1.0
+        for w, activation, table in zip(self.weights, self.activations, self.tables):
+            bias_col = np.full((raw.shape[0], 1), one, dtype=np.int64)
+            with_bias = np.hstack([raw, bias_col])
+            acc = with_bias @ w.T  # 64-bit accumulation
+            pre = acc >> self.fmt.frac_bits
+            pre = np.clip(pre, self.fmt.min_int, self.fmt.max_int)
+            if table is None:
+                if activation is Activation.RELU:
+                    raw = np.maximum(pre, 0)
+                else:  # LINEAR
+                    raw = pre
+            else:
+                raw = table.lookup(pre)
+        return raw
+
+    def classify(self, inputs: np.ndarray) -> np.ndarray:
+        """Argmax class index for one sample or a batch."""
+        out = self.forward(inputs)
+        return np.argmax(out, axis=-1)
+
+    def to_float_network(self) -> MultiLayerPerceptron:
+        """Reconstruct a float network carrying the quantised weights.
+
+        Useful for measuring the quantisation error in isolation from
+        the activation-table error.
+        """
+        from repro.fann.network import LayerSpec
+
+        specs = [LayerSpec(w.shape[0], act)
+                 for w, act in zip(self.weights, self.activations)]
+        net = MultiLayerPerceptron(self.num_inputs, specs)
+        net.set_weights([np.asarray(self.fmt.from_fixed(w)) for w in self.weights])
+        return net
+
+
+def required_decimal_point(network: MultiLayerPerceptron,
+                           accumulator_guard_bits: int = 4) -> int:
+    """Largest binary point that fits the weights with headroom.
+
+    FANN picks the decimal point so the biggest weight magnitude is
+    representable; we additionally reserve guard bits so the shifted
+    accumulator of the widest layer has integer headroom.
+    """
+    max_weight = max(float(np.max(np.abs(w))) for w in network.weights)
+    integer_bits_needed = max(0, int(np.ceil(np.log2(max(max_weight, 1e-12) + 1))))
+    frac_bits = STORAGE_BITS - 1 - integer_bits_needed - accumulator_guard_bits
+    # Keep the binary point in FANN's practical range.
+    frac_bits = min(frac_bits, STORAGE_BITS - 2)
+    if frac_bits < 1:
+        raise QuantizationError(
+            f"weights too large for {STORAGE_BITS}-bit fixed point "
+            f"(max |w| = {max_weight})"
+        )
+    return frac_bits
+
+
+def convert_to_fixed(network: MultiLayerPerceptron,
+                     decimal_point: int | None = None,
+                     accumulator_guard_bits: int = 4) -> FixedPointNetwork:
+    """Quantise a trained float network to fixed point.
+
+    Args:
+        network: the trained float network.
+        decimal_point: override the binary-point position; by default it
+            is derived from the largest weight via
+            :func:`required_decimal_point`.
+        accumulator_guard_bits: integer headroom reserved when deriving
+            the decimal point automatically.
+
+    Returns:
+        A :class:`FixedPointNetwork` executing in Q(31 - dp).dp format.
+    """
+    if decimal_point is None:
+        decimal_point = required_decimal_point(network, accumulator_guard_bits)
+    fmt = QFormat(STORAGE_BITS, decimal_point)
+    weights = [np.asarray(fmt.to_fixed(w), dtype=np.int64) for w in network.weights]
+    activations = [spec.activation for spec in network.layers]
+    tables = [_activation_table(act, fmt) for act in activations]
+    return FixedPointNetwork(
+        fmt=fmt,
+        weights=weights,
+        activations=activations,
+        tables=tables,
+        num_inputs=network.num_inputs,
+    )

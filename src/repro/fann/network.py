@@ -1,0 +1,210 @@
+"""MLP structure with FANN-compatible bookkeeping.
+
+FANN represents a fully-connected feed-forward network as a list of
+layers in which every layer (except the output) carries an extra *bias
+neuron* whose output is constant 1.  Connection counts therefore
+include one bias weight per destination neuron:
+
+    weights(layer i -> i+1) = (n_i + 1) * n_{i+1}
+
+For the paper's Network A (5-50-50-3) this yields exactly the 3003
+weights and 108 computational neurons the paper reports, and for
+Network B exactly 81 032 weights and 1356 neurons.
+
+The memory-footprint model follows the paper's statement: each neuron
+costs 4 integers (16 B), each weight 4 B, and each layer 2 extra
+integers (8 B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NetworkStructureError
+from repro.fann.activation import Activation
+
+__all__ = ["LayerSpec", "MultiLayerPerceptron"]
+
+BYTES_PER_NEURON = 16
+BYTES_PER_WEIGHT = 4
+BYTES_PER_LAYER = 8
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Size and activation of one connection layer's destination.
+
+    Attributes:
+        size: number of computational neurons in the destination layer.
+        activation: activation applied at the destination layer.
+    """
+
+    size: int
+    activation: Activation
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise NetworkStructureError(f"layer size must be >= 1, got {self.size}")
+
+
+class MultiLayerPerceptron:
+    """A fully-connected feed-forward network in FANN's representation.
+
+    Weights for connection layer ``l`` are stored as an
+    ``(n_out, n_in + 1)`` matrix whose last column is the bias weight,
+    matching FANN's bias-neuron convention.
+
+    Args:
+        num_inputs: width of the input layer.
+        layers: destination layer specs, one per connection layer
+            (hidden layers first, output layer last).
+        seed: seed for the deterministic initial weight draw.
+    """
+
+    def __init__(self, num_inputs: int, layers: list[LayerSpec], seed: int = 0) -> None:
+        if num_inputs < 1:
+            raise NetworkStructureError(f"num_inputs must be >= 1, got {num_inputs}")
+        if not layers:
+            raise NetworkStructureError("a network needs at least one layer")
+        self.num_inputs = int(num_inputs)
+        self.layers = list(layers)
+        rng = np.random.default_rng(seed)
+        self.weights: list[np.ndarray] = []
+        fan_in = self.num_inputs
+        for spec in self.layers:
+            # FANN initialises weights uniformly in a small symmetric
+            # range; a fan-in scaled draw keeps deep Network B stable.
+            limit = 1.0 / np.sqrt(fan_in + 1)
+            self.weights.append(
+                rng.uniform(-limit, limit, size=(spec.size, fan_in + 1))
+            )
+            fan_in = spec.size
+
+    # -- structural queries ---------------------------------------------------
+
+    @property
+    def num_outputs(self) -> int:
+        """Width of the output layer."""
+        return self.layers[-1].size
+
+    @property
+    def layer_sizes(self) -> list[int]:
+        """All layer widths including the input layer."""
+        return [self.num_inputs] + [spec.size for spec in self.layers]
+
+    @property
+    def num_connection_layers(self) -> int:
+        """Number of weight matrices (layers of connections)."""
+        return len(self.layers)
+
+    @property
+    def total_neurons(self) -> int:
+        """Computational neurons across all layers, including inputs.
+
+        This is the count the paper quotes (108 for Network A, 1356 for
+        Network B); bias neurons are excluded.
+        """
+        return int(sum(self.layer_sizes))
+
+    @property
+    def total_weights(self) -> int:
+        """Total connection count including bias weights.
+
+        Matches FANN: ``sum((n_in + 1) * n_out)`` over connection
+        layers — 3003 for Network A, 81 032 for Network B.
+        """
+        return int(sum(w.size for w in self.weights))
+
+    def memory_footprint_bytes(self) -> int:
+        """Estimated deployed size using the paper's cost model.
+
+        16 B per neuron (4 integers), 4 B per weight, 8 B per layer
+        (2 integers holding the layer's input/output counts).
+        """
+        return (
+            self.total_neurons * BYTES_PER_NEURON
+            + self.total_weights * BYTES_PER_WEIGHT
+            + (self.num_connection_layers + 1) * BYTES_PER_LAYER
+        )
+
+    def connection_shapes(self) -> list[tuple[int, int]]:
+        """(n_out, n_in + 1) for each connection layer."""
+        return [tuple(w.shape) for w in self.weights]
+
+    # -- inference --------------------------------------------------------------
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Run float inference on one sample or a batch.
+
+        Args:
+            inputs: shape ``(num_inputs,)`` or ``(batch, num_inputs)``.
+
+        Returns:
+            Output activations with matching leading shape.
+        """
+        x = np.asarray(inputs, dtype=np.float64)
+        single = x.ndim == 1
+        if single:
+            x = x[np.newaxis, :]
+        if x.shape[1] != self.num_inputs:
+            raise NetworkStructureError(
+                f"expected {self.num_inputs} inputs, got {x.shape[1]}"
+            )
+        for spec, w in zip(self.layers, self.weights):
+            ones = np.ones((x.shape[0], 1), dtype=np.float64)
+            x = spec.activation.apply(np.hstack([x, ones]) @ w.T)
+        return x[0] if single else x
+
+    def forward_all_layers(self, inputs: np.ndarray) -> list[np.ndarray]:
+        """Like :meth:`forward` on a batch, but returns every layer's output.
+
+        The returned list starts with the input batch itself, so entry
+        ``i`` is the activation feeding connection layer ``i``.
+        Training uses this to avoid a second forward pass.
+        """
+        x = np.asarray(inputs, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.num_inputs:
+            raise NetworkStructureError(
+                f"expected batch of shape (n, {self.num_inputs}), got {x.shape}"
+            )
+        outputs = [x]
+        for spec, w in zip(self.layers, self.weights):
+            ones = np.ones((x.shape[0], 1), dtype=np.float64)
+            x = spec.activation.apply(np.hstack([x, ones]) @ w.T)
+            outputs.append(x)
+        return outputs
+
+    def classify(self, inputs: np.ndarray) -> np.ndarray:
+        """Argmax class index for one sample or a batch."""
+        out = self.forward(inputs)
+        return np.argmax(out, axis=-1)
+
+    # -- mutation ---------------------------------------------------------------
+
+    def set_weights(self, weights: list[np.ndarray]) -> None:
+        """Replace all weight matrices, validating shapes."""
+        if len(weights) != len(self.weights):
+            raise NetworkStructureError(
+                f"expected {len(self.weights)} weight matrices, got {len(weights)}"
+            )
+        for current, new in zip(self.weights, weights):
+            if current.shape != np.asarray(new).shape:
+                raise NetworkStructureError(
+                    f"weight shape mismatch: {current.shape} vs {np.asarray(new).shape}"
+                )
+        self.weights = [np.asarray(w, dtype=np.float64).copy() for w in weights]
+
+    def copy(self) -> "MultiLayerPerceptron":
+        """Deep copy of the network (structure and weights)."""
+        clone = MultiLayerPerceptron(self.num_inputs, self.layers)
+        clone.set_weights(self.weights)
+        return clone
+
+    def __repr__(self) -> str:
+        sizes = "-".join(str(s) for s in self.layer_sizes)
+        return (
+            f"MultiLayerPerceptron({sizes}, neurons={self.total_neurons}, "
+            f"weights={self.total_weights})"
+        )

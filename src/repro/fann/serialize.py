@@ -1,0 +1,124 @@
+"""Text serialisation of trained networks, in the spirit of FANN ``.net`` files.
+
+The format is line-oriented and self-describing:
+
+    repro_fann_format_version 1
+    num_inputs 5
+    num_layers 3
+    layer 50 tanh
+    layer 50 tanh
+    layer 3 tanh
+    weights 0 50 6
+    <50 lines of 6 whitespace-separated floats>
+    ...
+
+Only float networks are serialised; fixed-point networks are derived
+deterministically from a float network plus a decimal point, so the
+pair (file, decimal_point) fully reproduces them.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import NetworkStructureError, SerializationError
+from repro.fann.activation import Activation
+from repro.fann.network import LayerSpec, MultiLayerPerceptron
+
+__all__ = ["save_network", "load_network", "dumps_network", "loads_network"]
+
+FORMAT_HEADER = "repro_fann_format_version"
+FORMAT_VERSION = 1
+
+
+def dumps_network(network: MultiLayerPerceptron) -> str:
+    """Serialise a network to a string."""
+    lines = [f"{FORMAT_HEADER} {FORMAT_VERSION}"]
+    lines.append(f"num_inputs {network.num_inputs}")
+    lines.append(f"num_layers {network.num_connection_layers}")
+    for spec in network.layers:
+        lines.append(f"layer {spec.size} {spec.activation.value}")
+    for idx, w in enumerate(network.weights):
+        lines.append(f"weights {idx} {w.shape[0]} {w.shape[1]}")
+        for row in w:
+            lines.append(" ".join(repr(float(v)) for v in row))
+    return "\n".join(lines) + "\n"
+
+
+def save_network(network: MultiLayerPerceptron, path: str | Path) -> None:
+    """Write a network to ``path``."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(dumps_network(network))
+
+
+def _tokens(stream: Iterator[str]) -> Iterator[list[str]]:
+    """Yield non-empty, non-comment lines split into tokens."""
+    for line in stream:
+        stripped = line.strip()
+        if stripped and not stripped.startswith("#"):
+            yield stripped.split()
+
+
+def _expect(parts: list[str], keyword: str, count: int) -> list[str]:
+    """Validate a header line and return its arguments."""
+    if parts[0] != keyword or len(parts) != count + 1:
+        raise SerializationError(
+            f"expected '{keyword}' with {count} arguments, got: {' '.join(parts)}"
+        )
+    return parts[1:]
+
+
+def _load_from_lines(lines: Iterator[str]) -> MultiLayerPerceptron:
+    """Parse the serialisation format from an iterator of lines."""
+    tokens = _tokens(lines)
+    try:
+        version = _expect(next(tokens), FORMAT_HEADER, 1)[0]
+        if int(version) != FORMAT_VERSION:
+            raise SerializationError(f"unsupported format version {version}")
+        num_inputs = int(_expect(next(tokens), "num_inputs", 1)[0])
+        num_layers = int(_expect(next(tokens), "num_layers", 1)[0])
+        specs = []
+        for _ in range(num_layers):
+            size, name = _expect(next(tokens), "layer", 2)
+            specs.append(LayerSpec(int(size), Activation.from_name(name)))
+        network = MultiLayerPerceptron(num_inputs, specs)
+        weights = []
+        for idx in range(num_layers):
+            claimed_idx, rows, cols = (int(v) for v in
+                                       _expect(next(tokens), "weights", 3))
+            if claimed_idx != idx:
+                raise SerializationError(
+                    f"weight blocks out of order: expected {idx}, got {claimed_idx}"
+                )
+            matrix = np.empty((rows, cols), dtype=np.float64)
+            for r in range(rows):
+                row = next(tokens)
+                if len(row) != cols:
+                    raise SerializationError(
+                        f"weight row {r} of layer {idx} has {len(row)} values, "
+                        f"expected {cols}"
+                    )
+                matrix[r] = [float(v) for v in row]
+            weights.append(matrix)
+        network.set_weights(weights)
+        return network
+    except StopIteration as exc:
+        raise SerializationError("file ended mid-structure") from exc
+    except ValueError as exc:
+        raise SerializationError(f"malformed numeric field: {exc}") from exc
+    except NetworkStructureError as exc:
+        raise SerializationError(f"invalid network structure: {exc}") from exc
+
+
+def loads_network(text: str) -> MultiLayerPerceptron:
+    """Parse a network from a serialised string."""
+    return _load_from_lines(iter(text.splitlines()))
+
+
+def load_network(path: str | Path) -> MultiLayerPerceptron:
+    """Read a network from ``path``."""
+    with open(path, "r", encoding="ascii") as handle:
+        return _load_from_lines(iter(handle))

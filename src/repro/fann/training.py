@@ -1,0 +1,195 @@
+"""Trainers for :class:`~repro.fann.network.MultiLayerPerceptron`.
+
+FANN trains with iRPROP- by default; the paper's stress classifier was
+trained through FANN, so :class:`RpropTrainer` implements that
+algorithm (resilient backpropagation with sign-based step adaptation
+and weight-backtracking disabled, i.e. the "minus" variant).  A plain
+batch :class:`GradientDescentTrainer` is provided as a baseline and for
+tests that need predictable dynamics.
+
+Both trainers share the vectorised backpropagation in
+:func:`compute_gradients` and optimise mean squared error, FANN's
+default loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.fann.network import MultiLayerPerceptron
+
+__all__ = [
+    "compute_gradients",
+    "TrainingReport",
+    "GradientDescentTrainer",
+    "RpropTrainer",
+]
+
+
+def _validate_batch(network: MultiLayerPerceptron,
+                    inputs: np.ndarray, targets: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Check shapes and coerce the training batch to float64."""
+    x = np.asarray(inputs, dtype=np.float64)
+    t = np.asarray(targets, dtype=np.float64)
+    if x.ndim != 2 or t.ndim != 2:
+        raise TrainingError("inputs and targets must be 2-D batches")
+    if x.shape[0] != t.shape[0]:
+        raise TrainingError(
+            f"batch size mismatch: {x.shape[0]} inputs vs {t.shape[0]} targets"
+        )
+    if x.shape[1] != network.num_inputs:
+        raise TrainingError(
+            f"expected {network.num_inputs} input features, got {x.shape[1]}"
+        )
+    if t.shape[1] != network.num_outputs:
+        raise TrainingError(
+            f"expected {network.num_outputs} target values, got {t.shape[1]}"
+        )
+    if x.shape[0] == 0:
+        raise TrainingError("cannot train on an empty batch")
+    return x, t
+
+
+def compute_gradients(network: MultiLayerPerceptron,
+                      inputs: np.ndarray,
+                      targets: np.ndarray) -> tuple[list[np.ndarray], float]:
+    """Backpropagate MSE over a batch.
+
+    Returns:
+        A ``(gradients, mse)`` pair where ``gradients[i]`` matches the
+        shape of ``network.weights[i]`` (bias column included) and
+        ``mse`` is the mean squared error of the forward pass.
+    """
+    x, t = _validate_batch(network, inputs, targets)
+    batch = x.shape[0]
+    activations = network.forward_all_layers(x)
+    output = activations[-1]
+    error = output - t
+    mse = float(np.mean(error * error))
+
+    gradients: list[np.ndarray] = [np.empty(0)] * network.num_connection_layers
+    # delta holds dLoss/dPreactivation for the current layer.
+    delta = (2.0 / (batch * network.num_outputs)) * error
+    delta = delta * network.layers[-1].activation.derivative_from_output(output)
+    for layer_idx in range(network.num_connection_layers - 1, -1, -1):
+        prev = activations[layer_idx]
+        ones = np.ones((batch, 1), dtype=np.float64)
+        prev_with_bias = np.hstack([prev, ones])
+        gradients[layer_idx] = delta.T @ prev_with_bias
+        if layer_idx > 0:
+            w_no_bias = network.weights[layer_idx][:, :-1]
+            upstream = delta @ w_no_bias
+            act = network.layers[layer_idx - 1].activation
+            delta = upstream * act.derivative_from_output(prev)
+    return gradients, mse
+
+
+@dataclass
+class TrainingReport:
+    """Outcome of a training run.
+
+    Attributes:
+        epochs_run: number of epochs actually executed.
+        mse_history: mean squared error after each epoch.
+        converged: whether the desired MSE was reached.
+    """
+
+    epochs_run: int
+    mse_history: list[float] = field(default_factory=list)
+    converged: bool = False
+
+    @property
+    def final_mse(self) -> float:
+        """MSE after the last epoch."""
+        if not self.mse_history:
+            raise TrainingError("no epochs were run")
+        return self.mse_history[-1]
+
+
+class GradientDescentTrainer:
+    """Plain full-batch gradient descent with a fixed learning rate.
+
+    Args:
+        learning_rate: step size applied to the raw gradient.
+    """
+
+    def __init__(self, learning_rate: float = 0.7) -> None:
+        if learning_rate <= 0:
+            raise TrainingError("learning_rate must be positive")
+        self.learning_rate = float(learning_rate)
+
+    def train(self, network: MultiLayerPerceptron,
+              inputs: np.ndarray, targets: np.ndarray,
+              max_epochs: int = 500, desired_mse: float = 0.0) -> TrainingReport:
+        """Train in place until ``desired_mse`` or ``max_epochs``."""
+        report = TrainingReport(epochs_run=0)
+        for epoch in range(max_epochs):
+            gradients, mse = compute_gradients(network, inputs, targets)
+            report.mse_history.append(mse)
+            report.epochs_run = epoch + 1
+            if mse <= desired_mse:
+                report.converged = True
+                break
+            for w, g in zip(network.weights, gradients):
+                w -= self.learning_rate * g
+        return report
+
+
+class RpropTrainer:
+    """iRPROP- resilient backpropagation, FANN's default algorithm.
+
+    Each weight carries its own step size, grown by ``eta_plus`` when
+    the gradient keeps its sign and shrunk by ``eta_minus`` when it
+    flips; on a sign flip the gradient is zeroed for one update (the
+    "minus" variant's replacement for weight backtracking).
+
+    Args:
+        eta_plus: step growth factor (> 1).
+        eta_minus: step shrink factor (in (0, 1)).
+        delta_init: initial per-weight step.
+        delta_min: lower clamp on the step size.
+        delta_max: upper clamp on the step size.
+    """
+
+    def __init__(self, eta_plus: float = 1.2, eta_minus: float = 0.5,
+                 delta_init: float = 0.0125, delta_min: float = 1e-9,
+                 delta_max: float = 50.0) -> None:
+        if not eta_plus > 1.0:
+            raise TrainingError("eta_plus must be > 1")
+        if not 0.0 < eta_minus < 1.0:
+            raise TrainingError("eta_minus must lie in (0, 1)")
+        if delta_min <= 0 or delta_max <= delta_min or delta_init <= 0:
+            raise TrainingError("step sizes must satisfy 0 < min < max, init > 0")
+        self.eta_plus = float(eta_plus)
+        self.eta_minus = float(eta_minus)
+        self.delta_init = float(delta_init)
+        self.delta_min = float(delta_min)
+        self.delta_max = float(delta_max)
+
+    def train(self, network: MultiLayerPerceptron,
+              inputs: np.ndarray, targets: np.ndarray,
+              max_epochs: int = 500, desired_mse: float = 0.0) -> TrainingReport:
+        """Train in place until ``desired_mse`` or ``max_epochs``."""
+        steps = [np.full_like(w, self.delta_init) for w in network.weights]
+        prev_grads = [np.zeros_like(w) for w in network.weights]
+        report = TrainingReport(epochs_run=0)
+        for epoch in range(max_epochs):
+            gradients, mse = compute_gradients(network, inputs, targets)
+            report.mse_history.append(mse)
+            report.epochs_run = epoch + 1
+            if mse <= desired_mse:
+                report.converged = True
+                break
+            for w, g, step, prev in zip(network.weights, gradients, steps, prev_grads):
+                sign_product = prev * g
+                step *= np.where(sign_product > 0, self.eta_plus,
+                                 np.where(sign_product < 0, self.eta_minus, 1.0))
+                np.clip(step, self.delta_min, self.delta_max, out=step)
+                # iRPROP-: on a sign flip, suppress this update entirely.
+                g = np.where(sign_product < 0, 0.0, g)
+                w -= np.sign(g) * step
+                prev[...] = g
+        return report

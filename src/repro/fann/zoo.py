@@ -1,0 +1,62 @@
+"""Builders for the paper's two benchmark networks.
+
+Network A is the deployed stress classifier (Fig. 3): 5 input features,
+two hidden layers of 50 tanh units, 3 output classes — 108 neurons,
+3003 weights, ~14 kB.
+
+Network B is the memory-pressure benchmark: 100 inputs, 8 outputs and
+24 hidden layers whose widths grow pairwise (8, 8, 16, 16, ..., 96, 96)
+— 1356 neurons, 81 032 weights, ~346 kB with the paper's cost model.
+"""
+
+from __future__ import annotations
+
+from repro.fann.activation import Activation
+from repro.fann.network import LayerSpec, MultiLayerPerceptron
+
+__all__ = [
+    "NETWORK_A_INPUTS",
+    "NETWORK_A_HIDDEN",
+    "NETWORK_A_OUTPUTS",
+    "NETWORK_B_INPUTS",
+    "NETWORK_B_OUTPUTS",
+    "network_b_hidden_sizes",
+    "build_network_a",
+    "build_network_b",
+]
+
+NETWORK_A_INPUTS = 5
+NETWORK_A_HIDDEN = (50, 50)
+NETWORK_A_OUTPUTS = 3
+
+NETWORK_B_INPUTS = 100
+NETWORK_B_OUTPUTS = 8
+NETWORK_B_HIDDEN_PAIRS = 12
+NETWORK_B_PAIR_STEP = 8
+
+
+def network_b_hidden_sizes() -> list[int]:
+    """The 24 hidden-layer widths of Network B.
+
+    The first two hidden layers have 8 neurons each, the next pair has
+    8 more each, and so on: 8, 8, 16, 16, ..., 96, 96.
+    """
+    sizes: list[int] = []
+    for pair in range(1, NETWORK_B_HIDDEN_PAIRS + 1):
+        width = pair * NETWORK_B_PAIR_STEP
+        sizes.extend([width, width])
+    return sizes
+
+
+def build_network_a(seed: int = 0) -> MultiLayerPerceptron:
+    """Construct Network A (5-50-50-3, tanh everywhere)."""
+    layers = [LayerSpec(size, Activation.TANH) for size in NETWORK_A_HIDDEN]
+    layers.append(LayerSpec(NETWORK_A_OUTPUTS, Activation.TANH))
+    return MultiLayerPerceptron(NETWORK_A_INPUTS, layers, seed=seed)
+
+
+def build_network_b(seed: int = 0) -> MultiLayerPerceptron:
+    """Construct Network B (100, 24 growing hidden layers, 8; tanh)."""
+    layers = [LayerSpec(size, Activation.TANH) for size in network_b_hidden_sizes()]
+    layers.append(LayerSpec(NETWORK_B_OUTPUTS, Activation.TANH))
+    return MultiLayerPerceptron(NETWORK_B_INPUTS, layers, seed=seed)

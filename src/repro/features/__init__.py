@@ -1,0 +1,57 @@
+"""Feature extraction for stress detection (paper, Section III).
+
+From the ECG the paper derives three heart-rate-variability features
+over the RR-interval series — RMSSD, SDSD and NN50 — and from the GSR
+two slope features following Bakker et al. [18]: the height (GSRH) and
+length (GSRL) of detected rising edges.  These five numbers are the
+classifier's input vector (Fig. 3).
+
+The package covers the full acquisition path: R-peak detection on the
+sampled ECG (:mod:`repro.features.rpeaks`), the HRV metrics
+(:mod:`repro.features.hrv`), GSR edge features
+(:mod:`repro.features.eda`), overlapping windowing over equal-stress
+segments (:mod:`repro.features.windows`) and the end-to-end
+five-feature pipeline (:mod:`repro.features.pipeline`).
+"""
+
+from repro.features.rpeaks import detect_r_peaks, rr_intervals_from_peaks
+from repro.features.hrv import rmssd, sdsd, nn50, pnn50, successive_differences
+from repro.features.eda import GSREdge, detect_rising_edges, gsr_slope_features
+from repro.features.windows import overlapping_windows, window_rr_series
+from repro.features.pipeline import (
+    FEATURE_NAMES,
+    FeatureVector,
+    FeatureExtractor,
+    build_feature_matrix,
+)
+from repro.features.spectral import (
+    band_power,
+    hf_power,
+    lf_hf_ratio,
+    lf_power,
+    resample_rr,
+)
+
+__all__ = [
+    "detect_r_peaks",
+    "rr_intervals_from_peaks",
+    "rmssd",
+    "sdsd",
+    "nn50",
+    "pnn50",
+    "successive_differences",
+    "GSREdge",
+    "detect_rising_edges",
+    "gsr_slope_features",
+    "overlapping_windows",
+    "window_rr_series",
+    "FEATURE_NAMES",
+    "FeatureVector",
+    "FeatureExtractor",
+    "build_feature_matrix",
+    "band_power",
+    "hf_power",
+    "lf_hf_ratio",
+    "lf_power",
+    "resample_rr",
+]

@@ -1,0 +1,70 @@
+"""Time-domain heart-rate-variability metrics.
+
+The three HRV features the paper feeds its classifier, all computed on
+the differences of successive RR intervals:
+
+* **RMSSD** — root mean square of successive differences.
+* **SDSD** — standard deviation of successive differences.
+* **NN50** — count of adjacent interval pairs differing by > 50 ms.
+
+``pNN50`` (the NN50 count as a fraction of pairs) is included because
+it is the scale-free companion used throughout the HRV literature and
+by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["successive_differences", "rmssd", "sdsd", "nn50", "pnn50"]
+
+NN50_THRESHOLD_S = 0.050
+
+
+def _validate_rr(rr_intervals_s) -> np.ndarray:
+    """Coerce an RR series to a 1-D positive float array."""
+    rr = np.asarray(rr_intervals_s, dtype=np.float64)
+    if rr.ndim != 1:
+        raise ConfigurationError("RR series must be 1-D")
+    if rr.size < 2:
+        raise ConfigurationError(
+            f"HRV metrics need >= 2 RR intervals, got {rr.size}"
+        )
+    if np.any(rr <= 0):
+        raise ConfigurationError("RR intervals must be positive")
+    return rr
+
+
+def successive_differences(rr_intervals_s) -> np.ndarray:
+    """Differences between neighbouring RR intervals, in seconds."""
+    return np.diff(_validate_rr(rr_intervals_s))
+
+
+def rmssd(rr_intervals_s) -> float:
+    """Root mean square of successive RR differences, in seconds."""
+    diffs = successive_differences(rr_intervals_s)
+    return float(np.sqrt(np.mean(diffs * diffs)))
+
+
+def sdsd(rr_intervals_s) -> float:
+    """Standard deviation of successive RR differences, in seconds.
+
+    Uses the population convention (ddof=0), matching the classical
+    HRV definition where SDSD^2 = RMSSD^2 - mean(diff)^2.
+    """
+    diffs = successive_differences(rr_intervals_s)
+    return float(np.std(diffs))
+
+
+def nn50(rr_intervals_s) -> int:
+    """Number of successive-pair differences exceeding 50 ms."""
+    diffs = successive_differences(rr_intervals_s)
+    return int(np.sum(np.abs(diffs) > NN50_THRESHOLD_S))
+
+
+def pnn50(rr_intervals_s) -> float:
+    """NN50 as a fraction of the successive pairs."""
+    diffs = successive_differences(rr_intervals_s)
+    return float(np.sum(np.abs(diffs) > NN50_THRESHOLD_S) / diffs.size)

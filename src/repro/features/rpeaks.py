@@ -1,0 +1,91 @@
+"""R-peak detection on a sampled single-lead ECG.
+
+A compact Pan-Tompkins-style detector: band-pass the signal to the QRS
+band, square a derivative to emphasise steep slopes, integrate over a
+moving window, and pick peaks with an adaptive threshold and a
+refractory period.  It is intentionally the kind of detector that fits
+a microcontroller — causal filters, one adaptive threshold — because
+on the real watch this runs on Mr. Wolf.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.signal import butter, sosfiltfilt
+
+from repro.errors import ConfigurationError
+
+__all__ = ["detect_r_peaks", "rr_intervals_from_peaks"]
+
+REFRACTORY_S = 0.240  # physiological floor between QRS complexes
+
+
+def detect_r_peaks(ecg_mv, sampling_rate_hz: float) -> np.ndarray:
+    """Detect R peaks and return their sample indices.
+
+    Args:
+        ecg_mv: sampled single-lead ECG.
+        sampling_rate_hz: sample rate of the recording.
+
+    Returns:
+        Sorted integer sample indices of detected R peaks.
+    """
+    ecg = np.asarray(ecg_mv, dtype=np.float64)
+    if ecg.ndim != 1:
+        raise ConfigurationError("ECG must be 1-D")
+    if sampling_rate_hz <= 0:
+        raise ConfigurationError("sampling rate must be positive")
+    min_samples = int(round(0.5 * sampling_rate_hz))
+    if ecg.size < max(min_samples, 32):
+        raise ConfigurationError(
+            f"ECG too short for peak detection: {ecg.size} samples"
+        )
+
+    # 1) Band-pass to the QRS band (5-18 Hz keeps R, rejects P/T and wander).
+    nyquist = sampling_rate_hz / 2.0
+    high = min(18.0, 0.9 * nyquist)
+    sos = butter(2, [5.0 / nyquist, high / nyquist], btype="band", output="sos")
+    filtered = sosfiltfilt(sos, ecg)
+
+    # 2) Derivative, squaring, moving-window integration (120 ms window).
+    derivative = np.gradient(filtered)
+    squared = derivative * derivative
+    window = max(1, int(round(0.120 * sampling_rate_hz)))
+    energy = np.convolve(squared, np.ones(window) / window, mode="same")
+
+    # 3) Adaptive threshold with a refractory period.
+    refractory = int(round(REFRACTORY_S * sampling_rate_hz))
+    threshold = 0.30 * float(np.max(energy[: int(2.0 * sampling_rate_hz)])
+                             if energy.size > 2 * sampling_rate_hz
+                             else np.max(energy))
+    peaks: list[int] = []
+    signal_level = threshold
+    i = 1
+    while i < energy.size - 1:
+        is_local_max = energy[i] >= energy[i - 1] and energy[i] >= energy[i + 1]
+        if is_local_max and energy[i] > threshold:
+            if not peaks or i - peaks[-1] >= refractory:
+                peaks.append(i)
+                signal_level = 0.875 * signal_level + 0.125 * energy[i]
+                threshold = 0.30 * signal_level
+                i += refractory
+                continue
+        i += 1
+
+    # 4) Snap each detection to the steepest R peak in the raw signal.
+    half = int(round(0.06 * sampling_rate_hz))
+    snapped = []
+    for p in peaks:
+        lo, hi = max(0, p - half), min(ecg.size, p + half + 1)
+        snapped.append(lo + int(np.argmax(ecg[lo:hi])))
+    return np.asarray(sorted(set(snapped)), dtype=np.int64)
+
+
+def rr_intervals_from_peaks(peak_indices, sampling_rate_hz: float) -> np.ndarray:
+    """Convert R-peak sample indices into RR intervals in seconds."""
+    peaks = np.asarray(peak_indices, dtype=np.float64)
+    if peaks.ndim != 1 or peaks.size < 2:
+        raise ConfigurationError("need >= 2 peaks to form RR intervals")
+    if sampling_rate_hz <= 0:
+        raise ConfigurationError("sampling rate must be positive")
+    return np.diff(peaks) / sampling_rate_hz

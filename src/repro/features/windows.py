@@ -1,0 +1,71 @@
+"""Overlapping-window segmentation of equal-stress recordings.
+
+The paper splits each recording into equal-stress subsets (omitting the
+transitions between stress levels) and extracts features over
+overlapping windows.  These helpers implement that windowing for both
+sample-based traces (GSR) and event-based series (RR intervals).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["overlapping_windows", "window_rr_series"]
+
+
+def overlapping_windows(num_samples: int, window_samples: int,
+                        step_samples: int) -> list[tuple[int, int]]:
+    """Start/end index pairs of overlapping windows over a trace.
+
+    Windows are half-open ``[start, end)`` and only full windows are
+    returned (a trailing partial window is dropped, as the paper's
+    fixed-size feature extraction requires).
+    """
+    if window_samples < 1 or step_samples < 1:
+        raise ConfigurationError("window and step must be >= 1 sample")
+    if num_samples < window_samples:
+        return []
+    starts = range(0, num_samples - window_samples + 1, step_samples)
+    return [(s, s + window_samples) for s in starts]
+
+
+def window_rr_series(rr_intervals_s, window_duration_s: float,
+                     step_duration_s: float) -> list[np.ndarray]:
+    """Slice an RR-interval series into overlapping time windows.
+
+    An interval belongs to a window when the beat *ending* it falls
+    inside the window's time span.  Only windows fully covered by the
+    series are returned.
+
+    Args:
+        rr_intervals_s: RR intervals in seconds.
+        window_duration_s: window span in seconds.
+        step_duration_s: hop between window starts in seconds.
+
+    Returns:
+        One RR sub-series per window (possibly empty list when the
+        recording is shorter than a window).
+    """
+    rr = np.asarray(rr_intervals_s, dtype=np.float64)
+    if rr.ndim != 1:
+        raise ConfigurationError("RR series must be 1-D")
+    if window_duration_s <= 0 or step_duration_s <= 0:
+        raise ConfigurationError("window and step durations must be positive")
+    if rr.size == 0:
+        return []
+
+    beat_end_times = np.cumsum(rr)
+    total = float(beat_end_times[-1])
+    if total < window_duration_s:
+        return []
+
+    windows = []
+    start = 0.0
+    while start + window_duration_s <= total + 1e-12:
+        end = start + window_duration_s
+        mask = (beat_end_times > start) & (beat_end_times <= end)
+        windows.append(rr[mask])
+        start += step_duration_s
+    return windows

@@ -1,0 +1,65 @@
+"""Dual-source energy-harvesting models (Tables I and II).
+
+InfiniWolf harvests from two transducers through two TI harvester ICs:
+
+* two Flexsolarcells SP3-12 thin-film panels on the watch face, through
+  a BQ25570 (fractional-V_oc MPPT at 80 %),
+* the Matrix Powerwatch TEG on the wrist side, through a BQ25505
+  (fractional-V_oc MPPT at 50 %, i.e. matched load for a Thévenin
+  source).
+
+:mod:`repro.harvest.photovoltaic` implements a single-diode PV model
+(solved in closed form via the Lambert-W function),
+:mod:`repro.harvest.teg` a Seebeck + thermal-resistance-network TEG
+model with wind-speed-dependent convection, and
+:mod:`repro.harvest.converters` the harvester-IC behaviour (MPPT
+fraction, efficiency vs input power, cold start).  Device parameters
+are calibrated against the published Table I/II battery-intake numbers
+in :mod:`repro.harvest.calibrated`.
+"""
+
+from repro.harvest.environment import (
+    LightingCondition,
+    ThermalCondition,
+    INDOOR_OFFICE_700LX,
+    OUTDOOR_SUN_30KLX,
+    TEG_ROOM_22C_NO_WIND,
+    TEG_ROOM_15C_NO_WIND,
+    TEG_ROOM_15C_WIND_42KMH,
+)
+from repro.harvest.photovoltaic import PVPanel, PVPanelParams
+from repro.harvest.teg import TEGDevice, TEGParams
+from repro.harvest.converters import (
+    ConverterEfficiencyCurve,
+    HarvesterConverter,
+    BQ25570,
+    BQ25505,
+)
+from repro.harvest.calibrated import (
+    calibrated_solar_harvester,
+    calibrated_teg_harvester,
+)
+from repro.harvest.dual import DualSourceHarvester, SolarHarvester, TEGHarvester
+
+__all__ = [
+    "LightingCondition",
+    "ThermalCondition",
+    "INDOOR_OFFICE_700LX",
+    "OUTDOOR_SUN_30KLX",
+    "TEG_ROOM_22C_NO_WIND",
+    "TEG_ROOM_15C_NO_WIND",
+    "TEG_ROOM_15C_WIND_42KMH",
+    "PVPanel",
+    "PVPanelParams",
+    "TEGDevice",
+    "TEGParams",
+    "ConverterEfficiencyCurve",
+    "HarvesterConverter",
+    "BQ25570",
+    "BQ25505",
+    "calibrated_solar_harvester",
+    "calibrated_teg_harvester",
+    "DualSourceHarvester",
+    "SolarHarvester",
+    "TEGHarvester",
+]

@@ -1,0 +1,228 @@
+"""Calibrated transducer parameters reproducing Tables I and II.
+
+The physical structure of both harvesting models is fixed from
+datasheet-plausible values; only the parameters that a lab
+characterisation would pin down are calibrated against the published
+battery-intake anchors:
+
+* **Solar** (Table I): the per-lux photocurrent ``k_lux`` (panel size /
+  optical coupling) and the lumped series resistance ``R_s`` are solved
+  so the BQ25570 chain delivers exactly 24.711 mW at 30 klx and 0.9 mW
+  at 700 lx.  The published pair is strongly sublinear in illuminance
+  (27.5x the power for 42.9x the light), which in the single-diode
+  model is the signature of high-current I^2*R_s losses — exactly what
+  the high sheet resistance of small thin-film panels produces.
+* **TEG** (Table II): the module Seebeck coefficient ``S``, the
+  natural-convection coefficient ``h0``, the forced-convection gain
+  ``k_wind`` and the BQ25505 channel's quiescent draw are solved so the
+  chain delivers exactly 24.0 uW (22 °C room / 32 °C skin, still air),
+  55.5 uW (15/30, still air) and 155.4 uW (15/30, 42 km/h wind).  The
+  published still-air pair sits almost exactly on the quadratic
+  P ~ dT^2 law (55.5/24.0 = 2.31 vs (15 K/10 K)^2 = 2.25), which pins
+  the converter's efficiency slope and quiescent draw in the tens-of-uW
+  window.
+
+:func:`recalibrate` re-runs the fit from scratch; the regression tests
+verify that the hard-coded constants below match what it returns, so
+the provenance of every number is executable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.optimize import fsolve, least_squares
+
+from repro.errors import HarvestModelError
+from repro.harvest.converters import BQ25505, BQ25570, HarvesterConverter
+from repro.harvest.dual import DualSourceHarvester, SolarHarvester, TEGHarvester
+from repro.harvest.environment import (
+    INDOOR_OFFICE_700LX,
+    OUTDOOR_SUN_30KLX,
+    TEG_ROOM_15C_NO_WIND,
+    TEG_ROOM_15C_WIND_42KMH,
+    TEG_ROOM_22C_NO_WIND,
+)
+from repro.harvest.photovoltaic import PVPanel, PVPanelParams
+from repro.harvest.teg import TEGDevice, TEGParams
+
+__all__ = [
+    "TABLE1_ANCHORS_W",
+    "TABLE2_ANCHORS_W",
+    "SOLAR_FIXED",
+    "TEG_FIXED",
+    "CALIBRATED_PHOTOCURRENT_PER_LUX",
+    "CALIBRATED_SERIES_RESISTANCE",
+    "CALIBRATED_SEEBECK_V_PER_K",
+    "CALIBRATED_H_NATURAL",
+    "CALIBRATED_H_FORCED_COEFF",
+    "CALIBRATED_TEG_CONVERTER_QUIESCENT_W",
+    "solar_panel_params",
+    "teg_params",
+    "calibrated_solar_harvester",
+    "calibrated_teg_harvester",
+    "calibrated_dual_harvester",
+    "recalibrate",
+]
+
+# Published battery-intake anchors.
+TABLE1_ANCHORS_W = {
+    "outdoor_30klx": 24.711e-3,
+    "indoor_700lx": 0.9e-3,
+}
+TABLE2_ANCHORS_W = {
+    "room22_skin32_still": 24.0e-6,
+    "room15_skin30_still": 55.5e-6,
+    "room15_skin30_wind42": 155.4e-6,
+}
+
+# Fixed (non-calibrated) physical structure.  Values are plausible for
+# two parallel SP3-12 amorphous-silicon strips (5 series cells, high
+# ideality, thin-film series resistance) and a watch-sized BiTe TEG
+# (tens of couples, ~18 ohm, strap-limited skin coupling, case-back
+# convective sink).
+SOLAR_FIXED = {
+    "diode_saturation_current": 3.4e-10,
+    "diode_ideality": 1.8,
+    "cells_in_series": 5,
+    "shunt_resistance": 5.0e4,
+    "temperature_c": 25.0,
+}
+TEG_FIXED = {
+    "internal_resistance_ohm": 18.0,
+    "contact_resistance_k_per_w": 20.0,
+    "teg_thermal_resistance_k_per_w": 10.0,
+    "sink_area_m2": 0.0012,
+}
+
+# Calibrated constants (provenance: ``recalibrate()``; regression test
+# ``tests/harvest/test_calibrated.py`` re-derives them).
+CALIBRATED_PHOTOCURRENT_PER_LUX = 7.068357291041582e-07
+CALIBRATED_SERIES_RESISTANCE = 84.11309127066482
+CALIBRATED_SEEBECK_V_PER_K = 0.05801358349508241
+CALIBRATED_H_NATURAL = 10.496474284357738
+CALIBRATED_H_FORCED_COEFF = 2.1518399520276414
+CALIBRATED_TEG_CONVERTER_QUIESCENT_W = 4.6454755676464654e-07
+
+
+def solar_panel_params(photocurrent_per_lux: float | None = None,
+                       series_resistance: float | None = None) -> PVPanelParams:
+    """Panel parameters: fixed structure + (possibly overridden) calibration."""
+    return PVPanelParams(
+        photocurrent_per_lux=(CALIBRATED_PHOTOCURRENT_PER_LUX
+                              if photocurrent_per_lux is None else photocurrent_per_lux),
+        series_resistance=(CALIBRATED_SERIES_RESISTANCE
+                           if series_resistance is None else series_resistance),
+        **SOLAR_FIXED,
+    )
+
+
+def teg_params(seebeck_v_per_k: float | None = None,
+               h_natural: float | None = None,
+               h_forced_coeff: float | None = None) -> TEGParams:
+    """TEG parameters: fixed structure + (possibly overridden) calibration."""
+    return TEGParams(
+        seebeck_v_per_k=(CALIBRATED_SEEBECK_V_PER_K
+                         if seebeck_v_per_k is None else seebeck_v_per_k),
+        h_natural_w_per_m2k=(CALIBRATED_H_NATURAL if h_natural is None else h_natural),
+        h_forced_coeff=(CALIBRATED_H_FORCED_COEFF
+                        if h_forced_coeff is None else h_forced_coeff),
+        **TEG_FIXED,
+    )
+
+
+def calibrated_solar_harvester(converter: HarvesterConverter | None = None) -> SolarHarvester:
+    """The solar channel with calibrated parameters."""
+    return SolarHarvester(
+        panel=PVPanel(solar_panel_params()),
+        converter=BQ25570() if converter is None else converter,
+    )
+
+
+def calibrated_teg_harvester(converter: HarvesterConverter | None = None) -> TEGHarvester:
+    """The TEG channel with calibrated parameters."""
+    if converter is None:
+        converter = BQ25505(quiescent_w=CALIBRATED_TEG_CONVERTER_QUIESCENT_W)
+    return TEGHarvester(
+        device=TEGDevice(teg_params()),
+        converter=converter,
+    )
+
+
+def calibrated_dual_harvester() -> DualSourceHarvester:
+    """Both calibrated channels combined."""
+    return DualSourceHarvester(
+        solar=calibrated_solar_harvester(),
+        teg=calibrated_teg_harvester(),
+    )
+
+
+def recalibrate() -> dict[str, float]:
+    """Re-derive the calibrated constants from the published anchors.
+
+    Returns a dict with keys matching the ``CALIBRATED_*`` module
+    constants.  Raises :class:`HarvestModelError` if the solver fails
+    to converge, which would indicate the fixed structure has been
+    changed incompatibly.
+    """
+    # Solve in log-space: every calibrated parameter is physically
+    # positive, and the anchors span orders of magnitude.
+    solar_converter = BQ25570()
+
+    def solar_residual(log_x: np.ndarray) -> list[float]:
+        k_lux, r_series = np.exp(log_x)
+        harvester = SolarHarvester(
+            panel=PVPanel(solar_panel_params(k_lux, r_series)),
+            converter=solar_converter,
+        )
+        return [
+            harvester.battery_intake_w(OUTDOOR_SUN_30KLX)
+            / TABLE1_ANCHORS_W["outdoor_30klx"] - 1.0,
+            harvester.battery_intake_w(INDOOR_OFFICE_700LX)
+            / TABLE1_ANCHORS_W["indoor_700lx"] - 1.0,
+        ]
+
+    solar_log, _, solar_ok, solar_msg = fsolve(
+        solar_residual, np.log([7.0e-7, 80.0]), full_output=True
+    )
+    if solar_ok != 1:
+        raise HarvestModelError(f"solar calibration failed: {solar_msg}")
+    solar_x = np.exp(solar_log)
+
+    # The TEG fit has one more degree of freedom (the converter's
+    # quiescent draw) than anchors, so a bounded least-squares drives
+    # the residuals to machine zero while keeping every parameter in a
+    # physically sensible range.
+    def teg_residual(x: np.ndarray) -> list[float]:
+        seebeck, h0, k_wind, quiescent = x
+        harvester = TEGHarvester(
+            device=TEGDevice(teg_params(seebeck, h0, k_wind)),
+            converter=BQ25505(quiescent_w=quiescent),
+        )
+        return [
+            harvester.battery_intake_w(TEG_ROOM_22C_NO_WIND)
+            / TABLE2_ANCHORS_W["room22_skin32_still"] - 1.0,
+            harvester.battery_intake_w(TEG_ROOM_15C_NO_WIND)
+            / TABLE2_ANCHORS_W["room15_skin30_still"] - 1.0,
+            harvester.battery_intake_w(TEG_ROOM_15C_WIND_42KMH)
+            / TABLE2_ANCHORS_W["room15_skin30_wind42"] - 1.0,
+        ]
+
+    teg_fit = least_squares(
+        teg_residual,
+        x0=[0.06, 10.0, 1.8, 0.6e-6],
+        bounds=([0.01, 4.0, 0.3, 0.0], [0.2, 40.0, 20.0, 3.0e-6]),
+        xtol=1e-15, ftol=1e-15, gtol=1e-15,
+    )
+    if not teg_fit.success or float(np.max(np.abs(teg_fit.fun))) > 1e-9:
+        raise HarvestModelError(
+            f"TEG calibration failed: residuals {teg_fit.fun}"
+        )
+
+    return {
+        "CALIBRATED_PHOTOCURRENT_PER_LUX": float(solar_x[0]),
+        "CALIBRATED_SERIES_RESISTANCE": float(solar_x[1]),
+        "CALIBRATED_SEEBECK_V_PER_K": float(teg_fit.x[0]),
+        "CALIBRATED_H_NATURAL": float(teg_fit.x[1]),
+        "CALIBRATED_H_FORCED_COEFF": float(teg_fit.x[2]),
+        "CALIBRATED_TEG_CONVERTER_QUIESCENT_W": float(teg_fit.x[3]),
+    }

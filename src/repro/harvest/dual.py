@@ -1,0 +1,102 @@
+"""Harvesting channels and the dual-source power intake.
+
+A *harvester* pairs one transducer model with its converter IC and
+answers "how much power reaches the battery under these conditions" —
+the quantity Tables I and II report.  :class:`DualSourceHarvester`
+combines the solar and TEG channels the way InfiniWolf's smart power
+unit does (both charge the same battery independently) and integrates
+intake over an environment timeline for the self-sustainability
+analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.harvest.converters import HarvesterConverter
+from repro.harvest.environment import (
+    EnvironmentTimeline,
+    LightingCondition,
+    ThermalCondition,
+)
+from repro.harvest.photovoltaic import PVPanel
+from repro.harvest.teg import TEGDevice
+
+__all__ = ["SolarHarvester", "TEGHarvester", "DualSourceHarvester"]
+
+
+@dataclass(frozen=True)
+class SolarHarvester:
+    """PV panel + BQ25570 channel.
+
+    Attributes:
+        panel: the single-diode panel model.
+        converter: the converter-IC model configured for solar.
+    """
+
+    panel: PVPanel
+    converter: HarvesterConverter
+
+    def transducer_power_w(self, lighting: LightingCondition) -> float:
+        """Panel output power at the converter's MPPT operating point."""
+        point = self.panel.operating_point_at_fraction_voc(
+            lighting.lux, self.converter.mppt_fraction
+        )
+        return max(0.0, point.power_w)
+
+    def battery_intake_w(self, lighting: LightingCondition) -> float:
+        """Net power into the battery under a lighting condition."""
+        return self.converter.battery_intake_w(self.transducer_power_w(lighting))
+
+
+@dataclass(frozen=True)
+class TEGHarvester:
+    """TEG + BQ25505 channel.
+
+    Attributes:
+        device: the thermal-network TEG model.
+        converter: the converter-IC model configured for the TEG.
+    """
+
+    device: TEGDevice
+    converter: HarvesterConverter
+
+    def transducer_power_w(self, thermal: ThermalCondition) -> float:
+        """TEG output power at the converter's MPPT operating point."""
+        point = self.device.operating_point_at_fraction_voc(
+            thermal, self.converter.mppt_fraction
+        )
+        return max(0.0, point.power_w)
+
+    def battery_intake_w(self, thermal: ThermalCondition) -> float:
+        """Net power into the battery under a thermal condition."""
+        return self.converter.battery_intake_w(self.transducer_power_w(thermal))
+
+
+@dataclass(frozen=True)
+class DualSourceHarvester:
+    """Both harvesting channels charging one battery.
+
+    Attributes:
+        solar: the solar channel.
+        teg: the TEG channel.
+    """
+
+    solar: SolarHarvester
+    teg: TEGHarvester
+
+    def battery_intake_w(self, lighting: LightingCondition,
+                         thermal: ThermalCondition) -> float:
+        """Combined net intake under joint conditions.
+
+        The two ICs charge the battery through separate inductors, so
+        their contributions add.
+        """
+        return self.solar.battery_intake_w(lighting) + self.teg.battery_intake_w(thermal)
+
+    def harvested_energy_j(self, timeline: EnvironmentTimeline) -> float:
+        """Energy delivered to the battery over a whole timeline."""
+        return sum(
+            self.battery_intake_w(seg.lighting, seg.thermal) * seg.duration_s
+            for seg in timeline
+        )

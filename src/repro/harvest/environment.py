@@ -1,0 +1,149 @@
+"""Environmental conditions driving the harvesting models.
+
+The paper characterises the transducers at five operating points:
+two lighting conditions (Table I) and three thermal conditions
+(Table II).  This module defines the condition value types and those
+presets, plus simple time-varying profiles used by the day-in-the-life
+simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HarvestModelError
+from repro.units import kmh_to_ms
+
+__all__ = [
+    "LightingCondition",
+    "ThermalCondition",
+    "EnvironmentTimeline",
+    "EnvironmentSample",
+    "INDOOR_OFFICE_700LX",
+    "OUTDOOR_SUN_30KLX",
+    "DARKNESS",
+    "TEG_ROOM_22C_NO_WIND",
+    "TEG_ROOM_15C_NO_WIND",
+    "TEG_ROOM_15C_WIND_42KMH",
+]
+
+
+@dataclass(frozen=True)
+class LightingCondition:
+    """Illumination hitting the watch face.
+
+    Attributes:
+        lux: illuminance at the panel surface.
+        description: human-readable label used in reports.
+    """
+
+    lux: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.lux < 0:
+            raise HarvestModelError(f"illuminance cannot be negative: {self.lux}")
+
+
+@dataclass(frozen=True)
+class ThermalCondition:
+    """Thermal environment at the wrist.
+
+    Attributes:
+        ambient_c: room/air temperature in °C.
+        skin_c: wrist skin temperature in °C.
+        wind_ms: air speed over the watch in m/s (0 = still air).
+        description: human-readable label used in reports.
+    """
+
+    ambient_c: float
+    skin_c: float
+    wind_ms: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.wind_ms < 0:
+            raise HarvestModelError(f"wind speed cannot be negative: {self.wind_ms}")
+
+    @property
+    def body_delta_t(self) -> float:
+        """Temperature difference skin minus ambient, in kelvin."""
+        return self.skin_c - self.ambient_c
+
+
+@dataclass(frozen=True)
+class EnvironmentSample:
+    """Joint lighting + thermal conditions during one timeline segment.
+
+    Attributes:
+        duration_s: how long these conditions last.
+        lighting: illumination during the segment.
+        thermal: thermal environment during the segment.
+    """
+
+    duration_s: float
+    lighting: LightingCondition
+    thermal: ThermalCondition
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise HarvestModelError("segment duration must be positive")
+
+
+class EnvironmentTimeline:
+    """A piecewise-constant environment over a day (or any horizon).
+
+    Args:
+        segments: ordered environment segments; total duration is their
+            sum.
+    """
+
+    def __init__(self, segments: list[EnvironmentSample]) -> None:
+        if not segments:
+            raise HarvestModelError("a timeline needs at least one segment")
+        self.segments = list(segments)
+
+    @property
+    def total_duration_s(self) -> float:
+        """Length of the whole timeline in seconds."""
+        return sum(seg.duration_s for seg in self.segments)
+
+    def at(self, t_s: float) -> EnvironmentSample:
+        """Conditions active at time ``t_s`` from the timeline start.
+
+        Times at or beyond the end return the final segment, so a
+        simulation can run slightly past the horizon without errors.
+        """
+        if t_s < 0:
+            raise HarvestModelError(f"time cannot be negative: {t_s}")
+        elapsed = 0.0
+        for seg in self.segments:
+            elapsed += seg.duration_s
+            if t_s < elapsed:
+                return seg
+        return self.segments[-1]
+
+    def __iter__(self):
+        return iter(self.segments)
+
+
+# --- Table I lighting presets ------------------------------------------------
+
+INDOOR_OFFICE_700LX = LightingCondition(lux=700.0, description="indoor office, 700 lx")
+OUTDOOR_SUN_30KLX = LightingCondition(lux=30_000.0, description="outdoor with sun, 30 klx")
+DARKNESS = LightingCondition(lux=0.0, description="darkness")
+
+# --- Table II thermal presets ------------------------------------------------
+
+TEG_ROOM_22C_NO_WIND = ThermalCondition(
+    ambient_c=22.0, skin_c=32.0, wind_ms=0.0,
+    description="room 22 C, skin 32 C, no wind",
+)
+TEG_ROOM_15C_NO_WIND = ThermalCondition(
+    ambient_c=15.0, skin_c=30.0, wind_ms=0.0,
+    description="room 15 C, skin 30 C, no wind",
+)
+TEG_ROOM_15C_WIND_42KMH = ThermalCondition(
+    ambient_c=15.0, skin_c=30.0, wind_ms=kmh_to_ms(42.0),
+    description="room 15 C, skin 30 C, 42 km/h wind",
+)

@@ -1,0 +1,155 @@
+"""Thermoelectric generator model (Seebeck + thermal resistance network).
+
+The wrist TEG sits in a series thermal path:
+
+    skin ──R_contact──> hot plate ──R_teg──> cold plate ──R_sink(v)──> ambient
+
+Only the temperature drop across the TEG plates produces voltage, and
+that drop is the fraction of the skin-to-ambient difference falling on
+``R_teg``:
+
+    dT_plates = (T_skin - T_amb) * R_teg / (R_contact + R_teg + R_sink(v))
+
+The sink-to-ambient resistance depends on airflow: forced convection at
+42 km/h shrinks ``R_sink`` several-fold, which is exactly why Table II
+measures 155 uW with wind versus 55 uW without at the same temperature
+difference.  The convection coefficient follows a flat-plate
+correlation ``h(v) = h_natural + k_forced * v^0.7``.
+
+Electrically the module is a Thevenin source (``V_oc = S * dT_plates``
+behind ``R_internal``); maximum extraction is the matched load
+``P = V_oc^2 / (4 R_internal)``, which is what a 50 %-V_oc MPPT
+(the BQ25505's TEG configuration) settles at.
+
+The Peltier heat pumped by the load current slightly reduces the plate
+difference; at the sub-kelvin drops and sub-mA currents of a wrist TEG
+the correction is <1 % and is deliberately omitted (documented
+simplification).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import HarvestModelError
+from repro.harvest.environment import ThermalCondition
+from repro.harvest.photovoltaic import IVPoint
+
+__all__ = ["TEGParams", "TEGDevice"]
+
+WIND_EXPONENT = 0.7
+
+
+@dataclass(frozen=True)
+class TEGParams:
+    """Thermal and electrical parameters of the wrist TEG assembly.
+
+    Attributes:
+        seebeck_v_per_k: net module Seebeck coefficient S (all couples
+            in series), V/K.
+        internal_resistance_ohm: electrical series resistance of the
+            module, ohm.
+        contact_resistance_k_per_w: thermal resistance from skin into
+            the hot plate (strap pressure, skin, interface), K/W.
+        teg_thermal_resistance_k_per_w: plate-to-plate thermal
+            resistance of the module itself, K/W.
+        sink_area_m2: effective convective area of the cold side (case
+            back and body), m^2.
+        h_natural_w_per_m2k: natural-convection coefficient in still
+            air, W/(m^2 K).
+        h_forced_coeff: forced-convection gain k in
+            ``h = h_natural + k * v^0.7``, W/(m^2 K) per (m/s)^0.7.
+    """
+
+    seebeck_v_per_k: float
+    internal_resistance_ohm: float
+    contact_resistance_k_per_w: float
+    teg_thermal_resistance_k_per_w: float
+    sink_area_m2: float
+    h_natural_w_per_m2k: float
+    h_forced_coeff: float
+
+    def __post_init__(self) -> None:
+        positive = {
+            "seebeck_v_per_k": self.seebeck_v_per_k,
+            "internal_resistance_ohm": self.internal_resistance_ohm,
+            "contact_resistance_k_per_w": self.contact_resistance_k_per_w,
+            "teg_thermal_resistance_k_per_w": self.teg_thermal_resistance_k_per_w,
+            "sink_area_m2": self.sink_area_m2,
+            "h_natural_w_per_m2k": self.h_natural_w_per_m2k,
+        }
+        for name, value in positive.items():
+            if value <= 0:
+                raise HarvestModelError(f"{name} must be positive, got {value}")
+        if self.h_forced_coeff < 0:
+            raise HarvestModelError("h_forced_coeff cannot be negative")
+
+
+class TEGDevice:
+    """A wrist-worn TEG evaluated through the thermal network model.
+
+    Args:
+        params: thermal/electrical parameters of the assembly.
+    """
+
+    def __init__(self, params: TEGParams) -> None:
+        self.params = params
+
+    def convection_coefficient(self, wind_ms: float) -> float:
+        """Convective coefficient h(v) at an air speed, W/(m^2 K)."""
+        if wind_ms < 0:
+            raise HarvestModelError(f"wind speed cannot be negative: {wind_ms}")
+        p = self.params
+        return p.h_natural_w_per_m2k + p.h_forced_coeff * wind_ms ** WIND_EXPONENT
+
+    def sink_resistance(self, wind_ms: float) -> float:
+        """Cold-plate-to-ambient thermal resistance at an air speed, K/W."""
+        return 1.0 / (self.convection_coefficient(wind_ms) * self.params.sink_area_m2)
+
+    def plate_delta_t(self, condition: ThermalCondition) -> float:
+        """Temperature difference across the TEG plates, kelvin.
+
+        Negative skin-ambient differences (watch hotter than skin)
+        would reverse the polarity; the magnitude physics is identical,
+        so the sign is preserved.
+        """
+        p = self.params
+        total = (
+            p.contact_resistance_k_per_w
+            + p.teg_thermal_resistance_k_per_w
+            + self.sink_resistance(condition.wind_ms)
+        )
+        return condition.body_delta_t * p.teg_thermal_resistance_k_per_w / total
+
+    def open_circuit_voltage(self, condition: ThermalCondition) -> float:
+        """Thevenin open-circuit voltage S * dT_plates."""
+        return self.params.seebeck_v_per_k * self.plate_delta_t(condition)
+
+    def matched_load_power(self, condition: ThermalCondition) -> float:
+        """Maximum extractable electrical power V_oc^2 / (4 R_int), watts."""
+        voc = self.open_circuit_voltage(condition)
+        return voc * voc / (4.0 * self.params.internal_resistance_ohm)
+
+    def operating_point_at_fraction_voc(self, condition: ThermalCondition,
+                                        fraction: float) -> IVPoint:
+        """Operating point of a fractional-V_oc MPPT regulator.
+
+        At ``fraction = 0.5`` this is exactly the matched-load maximum;
+        other fractions trade power per the Thevenin divider.
+        """
+        if not 0.0 < fraction < 1.0:
+            raise HarvestModelError(f"MPPT fraction must lie in (0, 1): {fraction}")
+        voc = self.open_circuit_voltage(condition)
+        v = fraction * voc
+        i = (voc - v) / self.params.internal_resistance_ohm
+        return IVPoint(v, i)
+
+    def iv_curve(self, condition: ThermalCondition, num_points: int = 50) -> list[IVPoint]:
+        """Sample the linear I-V curve from short to open circuit."""
+        voc = self.open_circuit_voltage(condition)
+        r = self.params.internal_resistance_ohm
+        points = []
+        for idx in range(num_points):
+            v = voc * idx / (num_points - 1)
+            points.append(IVPoint(v, (voc - v) / r))
+        return points

@@ -1,0 +1,56 @@
+"""Instruction-set simulators for the InfiniWolf processors.
+
+The calibrated cycle model in :mod:`repro.timing` is fit to the paper's
+measurements.  This package provides the *independent, bottom-up*
+counterpart: small instruction-set simulators for the three ISAs on the
+board —
+
+* RV32IM (:class:`~repro.isa.riscv.RV32Core`), configured with IBEX-like
+  instruction timings for the fabric controller;
+* RV32IM + XpulpV2 (:class:`~repro.isa.xpulp.XpulpCore`): hardware
+  loops, post-increment memory access, multiply-accumulate and packed
+  SIMD — the RI5CY feature set the paper credits for its speed-ups;
+* an ARMv7E-M subset (:class:`~repro.isa.armv7m.ArmV7MCore`) with
+  Cortex-M4-like timings;
+
+plus a word-interleaved-TCDM cluster simulator
+(:class:`~repro.isa.cluster.ClusterSimulator`) with a hardware barrier,
+and a code generator (:mod:`repro.isa.kernels`) that emits complete
+fixed-point MLP inference programs for each ISA.  The ISS cross-check
+bench compares measured cycles/MAC against the calibrated constants.
+"""
+
+from repro.isa.memory import MemoryMap, MemoryRegion
+from repro.isa.program import Instruction, Program
+from repro.isa.assembler import assemble
+from repro.isa.cpu import Core, ExecutionResult
+from repro.isa.riscv import RV32Core, IBEX_TIMINGS, RI5CY_TIMINGS
+from repro.isa.xpulp import XpulpCore
+from repro.isa.armv7m import ArmV7MCore, CORTEX_M4_TIMINGS
+from repro.isa.cluster import ClusterSimulator, ClusterResult
+from repro.isa.dma import DmaEngine, DmaTransfer, double_buffered_layer_cycles
+from repro.isa.profile import ExecutionProfile, ProfilingCore, profile_run
+
+__all__ = [
+    "MemoryMap",
+    "MemoryRegion",
+    "Instruction",
+    "Program",
+    "assemble",
+    "Core",
+    "ExecutionResult",
+    "RV32Core",
+    "IBEX_TIMINGS",
+    "RI5CY_TIMINGS",
+    "XpulpCore",
+    "ArmV7MCore",
+    "CORTEX_M4_TIMINGS",
+    "ClusterSimulator",
+    "ClusterResult",
+    "DmaEngine",
+    "DmaTransfer",
+    "double_buffered_layer_cycles",
+    "ExecutionProfile",
+    "ProfilingCore",
+    "profile_run",
+]

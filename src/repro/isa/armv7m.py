@@ -1,0 +1,307 @@
+"""ARMv7E-M subset core with Cortex-M4-like timings.
+
+A pragmatic subset sufficient for the MLP kernels and their tests:
+data-processing (mov/add/sub/logicals/shifts), multiply and
+multiply-accumulate (``mul``, ``mla``, and the DSP ``smlabb``), loads
+and stores with immediate offset or post-index writeback, compare and
+conditional branches.  Flag handling covers N/Z/C/V as the compare and
+``s``-suffixed instructions need them.
+
+Timings follow the Cortex-M4 TRM's headline numbers: single-cycle ALU
+and ``mul``/``mla``, 2-cycle loads/stores (pipelined against zero-wait
+RAM; flash wait states come from the memory map), and 1+P (here 3)
+cycle taken branches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.isa.cpu import MASK32, Core, to_signed32
+
+__all__ = ["ArmTimings", "CORTEX_M4_TIMINGS", "ArmV7MCore"]
+
+
+@dataclass(frozen=True)
+class ArmTimings:
+    """Cycle costs per instruction class (memory waits excluded).
+
+    Attributes:
+        alu: data-processing operations.
+        load: loads before wait states.
+        store: stores before wait states.
+        mul: mul / mla / smlabb.
+        branch_taken: taken branch.
+        branch_not_taken: fall-through branch.
+    """
+
+    alu: int = 1
+    load: int = 2
+    store: int = 2
+    mul: int = 1
+    branch_taken: int = 3
+    branch_not_taken: int = 1
+
+
+CORTEX_M4_TIMINGS = ArmTimings()
+
+
+def _arm_register_names() -> dict[str, int]:
+    names = {f"r{i}": i for i in range(16)}
+    names.update({"sp": 13, "lr": 14, "pc": 15})
+    return names
+
+
+class ArmV7MCore(Core):
+    """An ARMv7E-M subset core.
+
+    Args:
+        program: assembled program.
+        memory: memory map (typically
+            :func:`repro.isa.memory.nrf52_memory_map`).
+        timings: per-class costs (defaults to Cortex-M4-like).
+        core_id: unused on this single-core part; kept for symmetry.
+        load_data: copy the data image on construction.
+    """
+
+    REGISTER_NAMES = _arm_register_names()
+    ZERO_REGISTER = None
+    NUM_REGISTERS = 16
+
+    def __init__(self, program, memory, timings: ArmTimings = CORTEX_M4_TIMINGS,
+                 core_id: int = 0, load_data: bool = True) -> None:
+        super().__init__(program, memory, core_id=core_id, load_data=load_data)
+        self.timings = timings
+        self.flag_n = False
+        self.flag_z = False
+        self.flag_c = False
+        self.flag_v = False
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _operand_value(self, operand) -> int:
+        """Register or immediate operand value."""
+        if isinstance(operand, int):
+            return operand
+        return self.read_reg(operand)
+
+    def _set_nz(self, value: int) -> None:
+        value = to_signed32(value)
+        self.flag_n = value < 0
+        self.flag_z = value == 0
+
+    def _add_with_flags(self, a: int, b: int, carry_in: int = 0) -> int:
+        ua, ub = a & MASK32, b & MASK32
+        total = ua + ub + carry_in
+        result = to_signed32(total)
+        self.flag_c = total > MASK32
+        self.flag_v = ((to_signed32(a) >= 0) == (to_signed32(b) >= 0)
+                       and (result >= 0) != (to_signed32(a) >= 0))
+        self._set_nz(result)
+        return result
+
+    # -- data processing ----------------------------------------------------------------
+
+    def op_mov(self, operands):
+        rd, src = operands
+        self.write_reg(rd, self._operand_value(src))
+        return self.timings.alu
+
+    def op_movs(self, operands):
+        rd, src = operands
+        value = self._operand_value(src)
+        self.write_reg(rd, value)
+        self._set_nz(value)
+        return self.timings.alu
+
+    def op_movw(self, operands):
+        # mov with a 16-bit immediate: identical here (no encodings).
+        return self.op_mov(operands)
+
+    def _binary(self, operands, fn, set_flags: bool) -> int:
+        if len(operands) == 3:
+            rd, rn, src = operands
+        else:
+            rd, src = operands
+            rn = rd
+        result = fn(self.read_reg(rn), self._operand_value(src))
+        self.write_reg(rd, result)
+        if set_flags:
+            self._set_nz(result)
+        return self.timings.alu
+
+    def op_add(self, operands):
+        return self._binary(operands, lambda a, b: a + b, set_flags=False)
+
+    def op_adds(self, operands):
+        if len(operands) == 3:
+            rd, rn, src = operands
+        else:
+            rd, src = operands
+            rn = rd
+        result = self._add_with_flags(self.read_reg(rn), self._operand_value(src))
+        self.write_reg(rd, result)
+        return self.timings.alu
+
+    def op_sub(self, operands):
+        return self._binary(operands, lambda a, b: a - b, set_flags=False)
+
+    def op_subs(self, operands):
+        if len(operands) == 3:
+            rd, rn, src = operands
+        else:
+            rd, src = operands
+            rn = rd
+        b = self._operand_value(src)
+        result = self._add_with_flags(self.read_reg(rn), ~b & MASK32, carry_in=1)
+        self.write_reg(rd, result)
+        return self.timings.alu
+
+    def op_and(self, operands):
+        return self._binary(operands, lambda a, b: a & b, set_flags=False)
+
+    def op_ands(self, operands):
+        return self._binary(operands, lambda a, b: a & b, set_flags=True)
+
+    def op_orr(self, operands):
+        return self._binary(operands, lambda a, b: a | b, set_flags=False)
+
+    def op_eor(self, operands):
+        return self._binary(operands, lambda a, b: a ^ b, set_flags=False)
+
+    def op_lsl(self, operands):
+        return self._binary(operands, lambda a, b: a << (b & 31), set_flags=False)
+
+    def op_lsls(self, operands):
+        return self._binary(operands, lambda a, b: a << (b & 31), set_flags=True)
+
+    def op_lsr(self, operands):
+        return self._binary(operands,
+                            lambda a, b: (a & MASK32) >> (b & 31), set_flags=False)
+
+    def op_asr(self, operands):
+        return self._binary(operands, lambda a, b: a >> (b & 31), set_flags=False)
+
+    def op_asrs(self, operands):
+        return self._binary(operands, lambda a, b: a >> (b & 31), set_flags=True)
+
+    # -- multiply ---------------------------------------------------------------------------
+
+    def op_mul(self, operands):
+        if len(operands) == 3:
+            rd, rn, rm = operands
+        else:
+            rd, rm = operands
+            rn = rd
+        self.write_reg(rd, self.read_reg(rn) * self.read_reg(rm))
+        return self.timings.mul
+
+    def op_muls(self, operands):
+        cost = self.op_mul(operands)
+        self._set_nz(self.read_reg(operands[0]))
+        return cost
+
+    def op_mla(self, operands):
+        rd, rn, rm, ra = operands
+        self.write_reg(rd, self.read_reg(rn) * self.read_reg(rm)
+                       + self.read_reg(ra))
+        return self.timings.mul
+
+    def op_smlabb(self, operands):
+        """DSP 16x16+32 MAC on the bottom halfwords."""
+        rd, rn, rm, ra = operands
+
+        def bottom(value: int) -> int:
+            half = value & 0xFFFF
+            return half - (1 << 16) if half & 0x8000 else half
+
+        self.write_reg(rd, bottom(self.read_reg(rn)) * bottom(self.read_reg(rm))
+                       + self.read_reg(ra))
+        return self.timings.mul
+
+    # -- memory -----------------------------------------------------------------------------
+
+    def _load(self, operands, size: int, signed: bool) -> int:
+        rd, mem = operands
+        address, operand = self.resolve_mem_operand(mem)
+        self.write_reg(rd, self.mem_load(address, size, signed))
+        self.apply_post_increment(operand)
+        return self.timings.load
+
+    def _store(self, operands, size: int) -> int:
+        rs, mem = operands
+        address, operand = self.resolve_mem_operand(mem)
+        self.mem_store(address, size, self.read_reg(rs))
+        self.apply_post_increment(operand)
+        return self.timings.store
+
+    def op_ldr(self, operands):
+        return self._load(operands, 4, signed=True)
+
+    def op_ldrh(self, operands):
+        return self._load(operands, 2, signed=False)
+
+    def op_ldrsh(self, operands):
+        return self._load(operands, 2, signed=True)
+
+    def op_ldrb(self, operands):
+        return self._load(operands, 1, signed=False)
+
+    def op_str(self, operands):
+        return self._store(operands, 4)
+
+    def op_strh(self, operands):
+        return self._store(operands, 2)
+
+    def op_strb(self, operands):
+        return self._store(operands, 1)
+
+    # -- compare and branch --------------------------------------------------------------------
+
+    def op_cmp(self, operands):
+        rn, src = operands
+        b = self._operand_value(src)
+        self._add_with_flags(self.read_reg(rn), ~b & MASK32, carry_in=1)
+        return self.timings.alu
+
+    def _conditional_branch(self, label, taken: bool) -> int:
+        if taken:
+            self.branch_to(label)
+            return self.timings.branch_taken
+        return self.timings.branch_not_taken
+
+    def op_b(self, operands):
+        self.branch_to(operands[0])
+        return self.timings.branch_taken
+
+    def op_beq(self, operands):
+        return self._conditional_branch(operands[0], self.flag_z)
+
+    def op_bne(self, operands):
+        return self._conditional_branch(operands[0], not self.flag_z)
+
+    def op_blt(self, operands):
+        return self._conditional_branch(operands[0], self.flag_n != self.flag_v)
+
+    def op_bge(self, operands):
+        return self._conditional_branch(operands[0], self.flag_n == self.flag_v)
+
+    def op_bgt(self, operands):
+        return self._conditional_branch(
+            operands[0], not self.flag_z and self.flag_n == self.flag_v)
+
+    def op_ble(self, operands):
+        return self._conditional_branch(
+            operands[0], self.flag_z or self.flag_n != self.flag_v)
+
+    def op_bl(self, operands):
+        self.write_reg("lr", self.pc + 1)
+        self.branch_to(operands[0])
+        return self.timings.branch_taken
+
+    def op_bx(self, operands):
+        if operands[0] != "lr":
+            raise SimulationError("only 'bx lr' is supported")
+        self.branch_to(self.read_reg("lr"))
+        return self.timings.branch_taken

@@ -1,0 +1,249 @@
+"""Two-pass text assembler shared by all three ISAs.
+
+Syntax (a pragmatic GNU-as subset):
+
+.. code-block:: text
+
+    .data 0x10000000          # data segment base address
+    input:  .space 64         # 64 zero bytes
+    table:  .word 1, -2, 3    # initialised 32-bit words
+
+    .text
+    main:
+        li   a0, 5
+    loop:
+        p.lw t0, 4(a1!)       # XpulpV2 post-increment
+        mac  t2, t0, t1
+        bne  t0, zero, loop
+        halt
+
+Operand grammar:
+
+* registers — any identifier the target core accepts (the assembler
+  does not validate register names; cores do);
+* integers — decimal or ``0x`` hex, optionally negative;
+* ``imm(reg)`` / ``imm(reg!)`` — memory operand with optional
+  post-increment marker;
+* ``[reg, #imm]`` / ``[reg], #imm`` — the ARM equivalents (pre-indexed
+  without writeback, and post-indexed);
+* ``=symbol`` — the absolute address of a data symbol (resolved at
+  assembly time, usable with ``li``/``ldr``);
+* anything else — a label, resolved to an instruction index if defined
+  in ``.text``, else left for the core to reject.
+
+Memory operands are normalised to ``("mem", offset, base, post_inc)``
+tuples so every core decodes one shape.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblyError
+from repro.isa.program import DataImage, Instruction, Program
+
+__all__ = ["assemble"]
+
+_LABEL_RE = re.compile(r"^[A-Za-z_.$][\w.$]*$")
+_MEM_RISCV_RE = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))\(([\w.$]+)(!?)\)$")
+_MEM_ARM_PRE_RE = re.compile(r"^\[([\w.$]+)(?:,\s*#(-?(?:0x[0-9a-fA-F]+|\d+)))?\]$")
+_INT_RE = re.compile(r"^-?(0x[0-9a-fA-F]+|\d+)$")
+
+
+def _parse_int(token: str) -> int:
+    """Parse a decimal or hex literal."""
+    return int(token, 0)
+
+
+def _strip_comment(line: str) -> str:
+    """Remove ``#`` and ``//`` comments.
+
+    A ``#`` immediately followed by a digit or minus sign is an ARM
+    immediate (``#4``, ``#-1``), not a comment.
+    """
+    idx = line.find("//")
+    if idx >= 0:
+        line = line[:idx]
+    idx = 0
+    while True:
+        idx = line.find("#", idx)
+        if idx < 0:
+            break
+        following = line[idx + 1:idx + 2]
+        if following.isdigit() or following == "-":
+            idx += 1
+            continue
+        line = line[:idx]
+        break
+    return line.strip()
+
+
+def _split_operands(text: str) -> list[str]:
+    """Split an operand string on top-level commas.
+
+    Commas inside ``[...]`` or ``(...)`` groups do not split, so ARM
+    ``[r1, #4]`` stays one operand.
+    """
+    operands = []
+    depth = 0
+    current = []
+    for ch in text:
+        if ch in "([":
+            depth += 1
+        elif ch in ")]":
+            depth -= 1
+        if ch == "," and depth == 0:
+            operands.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        operands.append(tail)
+    return operands
+
+
+def _parse_operand(token: str, symbols: dict[str, int], line_no: int):
+    """Parse one operand into the normalised representation."""
+    if _INT_RE.match(token):
+        return _parse_int(token)
+    if token.startswith("#"):
+        return _parse_int(token[1:])
+    if token.startswith("="):
+        symbol = token[1:]
+        if symbol not in symbols:
+            raise AssemblyError(f"line {line_no}: unknown data symbol {symbol!r}")
+        return symbols[symbol]
+
+    mem = _MEM_RISCV_RE.match(token)
+    if mem:
+        offset, base, bang = mem.groups()
+        return ("mem", _parse_int(offset), base, bang == "!")
+
+    pre = _MEM_ARM_PRE_RE.match(token)
+    if pre:
+        base, offset = pre.groups()
+        return ("mem", _parse_int(offset) if offset else 0, base, False)
+
+    if _LABEL_RE.match(token):
+        return token
+    raise AssemblyError(f"line {line_no}: cannot parse operand {token!r}")
+
+
+def _merge_arm_post_index(operands: list, line_no: int) -> list:
+    """Fold ARM post-index syntax ``[rN], #imm`` into one mem operand.
+
+    After generic parsing, ``ldr r0, [r1], #4`` yields operands
+    ``["r0", ("mem", 0, "r1", False), 4]``; this folds the trailing
+    immediate into a post-increment mem operand.
+    """
+    if (len(operands) >= 3
+            and isinstance(operands[-2], tuple) and operands[-2][0] == "mem"
+            and operands[-2][1] == 0
+            and isinstance(operands[-1], int)):
+        mem = operands[-2]
+        return operands[:-2] + [("mem", operands[-1], mem[2], True)]
+    return operands
+
+
+def assemble(source: str, data_base: int = 0x1000_0000) -> Program:
+    """Assemble a source string into a :class:`Program`.
+
+    Args:
+        source: assembly text in the dialect described above.
+        data_base: default data-segment base when the ``.data``
+            directive does not name one.
+
+    Raises:
+        AssemblyError: on any syntax error, duplicate or undefined
+            label, or malformed directive.
+    """
+    # ---- pass 1: collect sections, labels and the data layout.
+    data = DataImage(base_address=data_base)
+    code_lines: list[tuple[int, str]] = []            # (line number, text)
+    code_labels: dict[str, int] = {}
+    section = ".text"
+    pending_code_labels: list[str] = []
+
+    for line_no, raw in enumerate(source.splitlines(), start=1):
+        line = _strip_comment(raw)
+        if not line:
+            continue
+
+        if line.startswith(".data"):
+            section = ".data"
+            parts = line.split()
+            if len(parts) == 2:
+                data.base_address = _parse_int(parts[1])
+            elif len(parts) > 2:
+                raise AssemblyError(f"line {line_no}: malformed .data directive")
+            continue
+        if line.startswith(".text"):
+            section = ".text"
+            continue
+
+        # Peel off any leading labels (several may stack on one line).
+        while True:
+            match = re.match(r"^([\w.$]+):\s*(.*)$", line)
+            if not match:
+                break
+            label, line = match.group(1), match.group(2).strip()
+            if section == ".text":
+                if label in code_labels or label in pending_code_labels:
+                    raise AssemblyError(f"line {line_no}: duplicate label {label!r}")
+                pending_code_labels.append(label)
+            else:
+                if label in data.symbols:
+                    raise AssemblyError(f"line {line_no}: duplicate symbol {label!r}")
+                data.symbols[label] = data.base_address + data.size
+        if not line:
+            continue
+
+        if section == ".data":
+            if line.startswith(".space"):
+                count = _parse_int(line.split(maxsplit=1)[1])
+                if count < 0:
+                    raise AssemblyError(f"line {line_no}: negative .space")
+                data.payload.extend(b"\x00" * count)
+            elif line.startswith(".word"):
+                body = line.split(maxsplit=1)
+                if len(body) < 2:
+                    raise AssemblyError(f"line {line_no}: .word needs values")
+                for token in _split_operands(body[1]):
+                    value = _parse_int(token)
+                    data.payload.extend((value & 0xFFFFFFFF).to_bytes(4, "little"))
+            else:
+                raise AssemblyError(
+                    f"line {line_no}: unknown data directive {line.split()[0]!r}"
+                )
+            continue
+
+        # .text instruction: register pending labels at this index.
+        for label in pending_code_labels:
+            code_labels[label] = len(code_lines)
+        pending_code_labels.clear()
+        code_lines.append((line_no, line))
+
+    if pending_code_labels:
+        # Trailing labels point one past the last instruction (usable
+        # as hardware-loop end markers).
+        for label in pending_code_labels:
+            code_labels[label] = len(code_lines)
+
+    # ---- pass 2: parse instructions with the full symbol table known.
+    instructions: list[Instruction] = []
+    for line_no, text in code_lines:
+        parts = text.split(maxsplit=1)
+        mnemonic = parts[0].lower()
+        raw_operands = _split_operands(parts[1]) if len(parts) == 2 else []
+        operands = [_parse_operand(tok, data.symbols, line_no)
+                    for tok in raw_operands]
+        operands = _merge_arm_post_index(operands, line_no)
+        instructions.append(Instruction(
+            mnemonic=mnemonic,
+            operands=tuple(operands),
+            source_line=line_no,
+            text=text,
+        ))
+
+    return Program(instructions, code_labels, data)

@@ -1,0 +1,178 @@
+"""Eight-core RI5CY cluster simulator with TCDM arbitration.
+
+Mr. Wolf's cluster couples 8 RI5CY cores to a word-interleaved 16-bank
+L1 TCDM through a logarithmic interconnect: in any cycle each bank
+serves one core, and colliding requests serialise.  The cluster's event
+unit provides a hardware barrier the cores spin on between layers.
+
+The simulation advances all cores in cycle-synchronised rounds:
+
+* each round, every core whose ``busy_until`` has passed executes its
+  next instruction;
+* memory accesses to a banked region register their bank; when ``k``
+  cores hit the same bank in the same round, the ``i``-th (round-robin
+  from the last winner) is charged ``i`` extra stall cycles;
+* a core executing ``p.barrier`` parks until every running core has
+  reached it, then all resume (plus a small release latency).
+
+Functional state is exact; timing is a faithful first-order model of
+bank conflicts (the effect the calibrated Table III constants absorb
+into their per-weight costs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.isa.memory import MemoryMap
+from repro.isa.program import Program
+from repro.isa.xpulp import XpulpCore
+
+__all__ = ["ClusterResult", "ClusterSimulator"]
+
+BARRIER_RELEASE_CYCLES = 2
+
+
+@dataclass(frozen=True)
+class ClusterResult:
+    """Outcome of a cluster run.
+
+    Attributes:
+        cycles: wall-clock cycles until the last core halted.
+        per_core_instructions: dynamic instruction count per core.
+        bank_conflict_stalls: total stall cycles charged for TCDM
+            conflicts across all cores.
+        barrier_waits: total cycles cores spent parked at barriers.
+    """
+
+    cycles: int
+    per_core_instructions: tuple[int, ...]
+    bank_conflict_stalls: int
+    barrier_waits: int
+
+
+class _MemProbe:
+    """Wraps a MemoryMap to observe the banks an instruction touches."""
+
+    def __init__(self, memory: MemoryMap) -> None:
+        self.memory = memory
+        self.touched_banks: list[tuple[str, int]] = []
+
+    def _record(self, address: int) -> None:
+        region = self.memory.region_at(address)
+        if region.num_banks > 1:
+            self.touched_banks.append((region.name, region.bank_of(address)))
+
+    def load(self, address: int, size: int, signed: bool):
+        self._record(address)
+        return self.memory.load(address, size, signed)
+
+    def store(self, address: int, size: int, value: int):
+        self._record(address)
+        return self.memory.store(address, size, value)
+
+    def region_at(self, address: int):
+        return self.memory.region_at(address)
+
+    def region_named(self, name: str):
+        return self.memory.region_named(name)
+
+    def write_words(self, address: int, values) -> None:
+        self.memory.write_words(address, values)
+
+    def read_words(self, address: int, count: int):
+        return self.memory.read_words(address, count)
+
+
+class ClusterSimulator:
+    """Lockstep multi-core execution of one program image.
+
+    All cores run the same program (SPMD) against one shared memory
+    map; they differentiate through ``csrr rd, mhartid``.
+
+    Args:
+        program: the assembled SPMD kernel.
+        memory: shared memory map (the data image loads once).
+        num_cores: active core count (1..8 on Mr. Wolf).
+    """
+
+    MAX_CORES = 8
+
+    def __init__(self, program: Program, memory: MemoryMap,
+                 num_cores: int = 8) -> None:
+        if not 1 <= num_cores <= self.MAX_CORES:
+            raise SimulationError(
+                f"cluster supports 1..{self.MAX_CORES} cores, got {num_cores}"
+            )
+        self.memory = memory
+        self.probe = _MemProbe(memory)
+        program.load_data(memory)
+        self.cores = [
+            XpulpCore(program, self.probe, core_id=i, load_data=False)  # type: ignore[arg-type]
+            for i in range(num_cores)
+        ]
+        self._arbitration_offset = 0
+
+    def run(self, max_cycles: int = 50_000_000) -> ClusterResult:
+        """Run all cores to completion (cycle-stepped)."""
+        cycle = 0
+        conflict_stalls = 0
+        barrier_waits = 0
+        busy_until = [0] * len(self.cores)
+
+        while cycle < max_cycles:
+            running = [c for c in self.cores if not c.halted]
+            if not running:
+                break
+
+            # Barrier release: every running core parked -> release all.
+            if all(c.waiting_at_barrier for c in running):
+                for core in running:
+                    core.waiting_at_barrier = False
+                    busy_until[core.core_id] = cycle + BARRIER_RELEASE_CYCLES
+                cycle += BARRIER_RELEASE_CYCLES
+                continue
+
+            # Execute one instruction on every ready, non-parked core.
+            bank_requests: dict[tuple[str, int], list[int]] = {}
+            for core in running:
+                if core.waiting_at_barrier:
+                    barrier_waits += 1
+                    continue
+                if busy_until[core.core_id] > cycle:
+                    continue
+                self.probe.touched_banks = []
+                cycles_before = core.cycles
+                core.step()
+                cost = core.cycles - cycles_before
+                busy_until[core.core_id] = cycle + max(1, cost)
+                for bank in self.probe.touched_banks:
+                    bank_requests.setdefault(bank, []).append(core.core_id)
+
+            # Serialise same-bank collisions (round-robin priority).
+            for requesters in bank_requests.values():
+                if len(requesters) < 2:
+                    continue
+                order = sorted(
+                    requesters,
+                    key=lambda cid: (cid - self._arbitration_offset)
+                    % len(self.cores),
+                )
+                for position, core_id in enumerate(order):
+                    if position > 0:
+                        busy_until[core_id] += position
+                        conflict_stalls += position
+            self._arbitration_offset = (self._arbitration_offset + 1) \
+                % len(self.cores)
+            cycle += 1
+        else:
+            raise SimulationError("cluster run exceeded the cycle budget")
+
+        final_cycle = max([cycle] + busy_until)
+        return ClusterResult(
+            cycles=final_cycle,
+            per_core_instructions=tuple(c.instruction_count for c in self.cores),
+            bank_conflict_stalls=conflict_stalls,
+            barrier_waits=barrier_waits,
+        )

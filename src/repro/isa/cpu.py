@@ -1,0 +1,228 @@
+"""Common core machinery: registers, dispatch, cycle accounting.
+
+A :class:`Core` executes an assembled :class:`~repro.isa.program.Program`
+against a :class:`~repro.isa.memory.MemoryMap`.  Subclasses declare
+their register file and a handler per mnemonic; handlers mutate state
+and return the instruction's cycle cost (memory wait states are added
+by the load/store helpers).  Handlers that change control flow call
+:meth:`Core.branch_to`; everything else falls through to ``pc + 1``.
+
+The program counter is an instruction index.  Execution ends at a
+``halt`` instruction or when the instruction budget runs out (which is
+reported as an error — a real kernel must halt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.isa.memory import MemoryMap
+from repro.isa.program import Instruction, Program
+
+__all__ = ["Core", "ExecutionResult", "to_signed32", "MASK32"]
+
+MASK32 = 0xFFFFFFFF
+
+
+def to_signed32(value: int) -> int:
+    """Interpret the low 32 bits of ``value`` as a signed integer."""
+    value &= MASK32
+    return value - (1 << 32) if value & 0x8000_0000 else value
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of a :meth:`Core.run`.
+
+    Attributes:
+        cycles: total cycles including memory wait states.
+        instructions: dynamic instruction count.
+        halted: whether execution reached a ``halt``.
+    """
+
+    cycles: int
+    instructions: int
+    halted: bool
+
+    @property
+    def cycles_per_instruction(self) -> float:
+        """Average CPI of the run."""
+        if self.instructions == 0:
+            return 0.0
+        return self.cycles / self.instructions
+
+
+class Core:
+    """Base simulator core.
+
+    Args:
+        program: the assembled program to execute.
+        memory: the byte-addressed memory map (the program's data image
+            is loaded into it on construction unless ``load_data`` is
+            False, which the cluster uses to avoid reloading a shared
+            image per core).
+        core_id: identity exposed to software (``mhartid`` on RISC-V).
+
+    Subclasses must define:
+
+    * ``REGISTER_NAMES``: mapping from accepted register spellings to
+      canonical register indices;
+    * ``ZERO_REGISTER``: canonical index that always reads zero, or
+      None;
+    * handler methods named ``op_<mnemonic>`` (dots in mnemonics become
+      underscores, e.g. ``p.mac`` -> ``op_p_mac``), each returning the
+      cycle cost.
+    """
+
+    REGISTER_NAMES: dict[str, int] = {}
+    ZERO_REGISTER: int | None = None
+    NUM_REGISTERS = 32
+
+    def __init__(self, program: Program, memory: MemoryMap,
+                 core_id: int = 0, load_data: bool = True) -> None:
+        self.program = program
+        self.memory = memory
+        self.core_id = core_id
+        self.regs = [0] * self.NUM_REGISTERS
+        self.pc = 0
+        self.cycles = 0
+        self.instruction_count = 0
+        self.halted = False
+        self._branched = False
+        if load_data:
+            program.load_data(memory)
+
+    # -- register access -----------------------------------------------------------
+
+    def reg_index(self, name) -> int:
+        """Canonical register index for a spelling."""
+        if not isinstance(name, str) or name not in self.REGISTER_NAMES:
+            raise SimulationError(
+                f"{type(self).__name__}: unknown register {name!r} "
+                f"(line {self.current_instruction.source_line})"
+            )
+        return self.REGISTER_NAMES[name]
+
+    def read_reg(self, name) -> int:
+        """Read a register by spelling (signed 32-bit)."""
+        return self.regs[self.reg_index(name)]
+
+    def write_reg(self, name, value: int) -> None:
+        """Write a register by spelling (wraps to signed 32-bit)."""
+        idx = self.reg_index(name)
+        if idx == self.ZERO_REGISTER:
+            return
+        self.regs[idx] = to_signed32(value)
+
+    # -- memory helpers (charge wait states into self.cycles) -----------------------
+
+    def mem_load(self, address: int, size: int, signed: bool) -> int:
+        """Load from memory, charging region wait states."""
+        value, waits = self.memory.load(address, size, signed)
+        self.cycles += waits
+        return value
+
+    def mem_store(self, address: int, size: int, value: int) -> None:
+        """Store to memory, charging region wait states."""
+        self.cycles += self.memory.store(address, size, value)
+
+    def resolve_mem_operand(self, operand) -> tuple[int, tuple]:
+        """Decode a ("mem", offset, base, post) operand.
+
+        Returns ``(effective_address, operand)``; with post-increment
+        the effective address is the *pre*-update base (XpulpV2 and ARM
+        post-index semantics agree on this).  Call
+        :meth:`apply_post_increment` after the access.
+        """
+        if not (isinstance(operand, tuple) and operand[0] == "mem"):
+            raise SimulationError(
+                f"expected memory operand, got {operand!r} "
+                f"(line {self.current_instruction.source_line})"
+            )
+        _, offset, base, post = operand
+        base_value = self.read_reg(base)
+        address = base_value if post else base_value + offset
+        return address, operand
+
+    def apply_post_increment(self, operand) -> None:
+        """Advance the base register of a post-increment operand."""
+        _, offset, base, post = operand
+        if post:
+            self.write_reg(base, self.read_reg(base) + offset)
+
+    # -- control flow ----------------------------------------------------------------
+
+    def branch_to(self, target) -> None:
+        """Redirect execution to a label or instruction index."""
+        index = target if isinstance(target, int) \
+            else self.program.label_index(target)
+        self.pc = index
+        self._branched = True
+
+    # -- execution ---------------------------------------------------------------------
+
+    @property
+    def current_instruction(self) -> Instruction:
+        """The instruction at the current pc."""
+        return self.program.instructions[self.pc]
+
+    def dispatch(self, instruction: Instruction) -> int:
+        """Execute one instruction; returns its cycle cost."""
+        handler_name = "op_" + instruction.mnemonic.replace(".", "_")
+        handler = getattr(self, handler_name, None)
+        if handler is None:
+            raise SimulationError(
+                f"{type(self).__name__} does not implement "
+                f"{instruction.mnemonic!r} (line {instruction.source_line})"
+            )
+        return handler(instruction.operands)
+
+    def after_instruction(self) -> int:
+        """Hook for subclasses (hardware loops); extra cycles returned.
+
+        Called after each instruction with ``self.pc`` already holding
+        the next instruction index.
+        """
+        return 0
+
+    def step(self) -> None:
+        """Fetch/execute one instruction."""
+        if self.halted:
+            return
+        if not 0 <= self.pc < len(self.program):
+            raise SimulationError(f"pc {self.pc} outside program")
+        instruction = self.current_instruction
+        self._branched = False
+        cost = self.dispatch(instruction)
+        self.cycles += cost
+        self.instruction_count += 1
+        if not self._branched:
+            self.pc += 1
+        self.cycles += self.after_instruction()
+
+    def run(self, max_instructions: int = 20_000_000) -> ExecutionResult:
+        """Run until ``halt`` or the instruction budget is exhausted."""
+        while not self.halted:
+            if self.instruction_count >= max_instructions:
+                raise SimulationError(
+                    f"instruction budget of {max_instructions} exhausted "
+                    f"at pc {self.pc} ({self.current_instruction.text!r})"
+                )
+            self.step()
+        return ExecutionResult(
+            cycles=self.cycles,
+            instructions=self.instruction_count,
+            halted=self.halted,
+        )
+
+    # -- universal instructions ------------------------------------------------------
+
+    def op_halt(self, operands) -> int:
+        """Stop execution."""
+        self.halted = True
+        return 1
+
+    def op_nop(self, operands) -> int:
+        """Do nothing for a cycle."""
+        return 1

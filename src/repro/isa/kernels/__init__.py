@@ -1,0 +1,33 @@
+"""MLP kernel code generation for the instruction-set simulators.
+
+:func:`compile_mlp` turns a quantised
+:class:`~repro.fann.fixedpoint.FixedPointNetwork` into a complete
+assembly program for one of the three ISAs (plus an SPMD variant for
+the cluster), and :func:`run_mlp` executes it and returns the network
+outputs together with the cycle counts.  The generated programs use
+exactly the integer arithmetic of the Python fixed-point reference, so
+the integration tests assert bit-exact equality between the ISS and
+:meth:`FixedPointNetwork.forward_raw`.
+"""
+
+from repro.isa.kernels.codegen import (
+    CompiledMLP,
+    compile_mlp,
+    run_mlp,
+    with_power_of_two_tables,
+)
+from repro.isa.kernels.simd import (
+    compile_mlp_simd,
+    run_mlp_simd,
+    simd_reference_forward,
+)
+
+__all__ = [
+    "CompiledMLP",
+    "compile_mlp",
+    "run_mlp",
+    "with_power_of_two_tables",
+    "compile_mlp_simd",
+    "run_mlp_simd",
+    "simd_reference_forward",
+]

@@ -1,0 +1,466 @@
+"""Assembly code generation for fixed-point MLP inference.
+
+The generated program mirrors FANN's deployed inference loop: for each
+connection layer, every output neuron accumulates ``weight * input``
+products over the source layer plus the bias (the input buffer carries
+a fixed-point ``1.0`` in its final slot), shifts the accumulator back
+to storage precision, applies the tanh lookup table with linear
+interpolation, and stores the result into the ping-pong output buffer.
+
+To let the ISS reproduce the Python reference *bit-exactly*, the tanh
+table uses 257 entries over [-4, 4]: the span is then exactly 256
+segments of power-of-two length, so the interpolation index and
+remainder reduce to shifts and masks — the same trick the embedded C
+implementation uses.  :func:`with_power_of_two_tables` rebuilds a
+quantised network with those tables so reference and ISS agree.
+
+Targets:
+
+* ``"rv32im"`` — plain RV32IM (IBEX-style: no DSP help);
+* ``"xpulp"`` — RI5CY: hardware loop + post-increment loads + MAC in
+  the inner product;
+* ``"armv7m"`` — Cortex-M4 style: post-index loads + ``mla``;
+* the xpulp variant accepts ``num_cores > 1`` and emits an SPMD kernel
+  (rows strided across cores, barrier between layers) for
+  :class:`~repro.isa.cluster.ClusterSimulator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.fann.activation import Activation
+from repro.fann.fixedpoint import FixedPointNetwork
+from repro.isa.assembler import assemble
+from repro.isa.cluster import ClusterResult, ClusterSimulator
+from repro.isa.memory import (
+    MRWOLF_L1_BASE,
+    NRF52_RAM_BASE,
+    MemoryMap,
+    mrwolf_memory_map,
+    nrf52_memory_map,
+)
+from repro.isa.program import Program
+from repro.isa.riscv import IBEX_TIMINGS, RV32Core
+from repro.isa.armv7m import ArmV7MCore
+from repro.isa.xpulp import XpulpCore
+from repro.quant.lut import ActivationTable, tanh_table
+
+__all__ = ["CompiledMLP", "compile_mlp", "run_mlp", "with_power_of_two_tables"]
+
+TARGETS = ("rv32im", "xpulp", "armv7m")
+TANH_ENTRIES = 257  # 256 power-of-two segments over [-4, 4]
+
+
+def with_power_of_two_tables(network: FixedPointNetwork) -> FixedPointNetwork:
+    """Clone a fixed-point network with 257-entry tanh tables.
+
+    The clone's :meth:`forward_raw` matches the generated assembly
+    bit-for-bit (the default 256-entry table has non-power-of-two
+    segments which the shift-based kernel cannot express).
+    """
+    tables = []
+    for activation in network.activations:
+        if activation is Activation.TANH:
+            tables.append(tanh_table(network.fmt, num_entries=TANH_ENTRIES))
+        elif activation is Activation.LINEAR:
+            tables.append(None)
+        else:
+            raise ConfigurationError(
+                f"kernel codegen supports tanh/linear layers, not {activation}"
+            )
+    return FixedPointNetwork(
+        fmt=network.fmt,
+        weights=[w.copy() for w in network.weights],
+        activations=list(network.activations),
+        tables=tables,
+        num_inputs=network.num_inputs,
+    )
+
+
+@dataclass(frozen=True)
+class CompiledMLP:
+    """An assembled inference program plus its interface metadata.
+
+    Attributes:
+        program: the assembled program.
+        source: the generated assembly text (for inspection/tests).
+        target: ISA target name.
+        num_cores: SPMD width (1 for single-core targets).
+        layer_sizes: widths including the input layer.
+        frac_bits: the network's binary point.
+        input_symbol: data symbol of the input buffer.
+        output_symbol: data symbol holding the final layer's outputs.
+    """
+
+    program: Program
+    source: str
+    target: str
+    num_cores: int
+    layer_sizes: tuple[int, ...]
+    frac_bits: int
+    input_symbol: str
+    output_symbol: str
+
+
+def _tanh_lut_words(table: ActivationTable) -> list[int]:
+    """The raw table entries as 32-bit words."""
+    return [int(v) for v in table.entries]
+
+
+def _check_network(network: FixedPointNetwork) -> None:
+    if network.fmt.frac_bits < 6 or network.fmt.frac_bits > 16:
+        raise ConfigurationError(
+            "kernel codegen needs 6 <= frac_bits <= 16 so that the "
+            "interpolation mask fits an andi immediate and 32-bit "
+            "accumulators cannot overflow on small test networks"
+        )
+
+
+def _activation_asm_riscv(layer: int, table_symbol: str, fmt_frac_bits: int,
+                          low: int, high: int) -> list[str]:
+    """Tanh-LUT evaluation on t2 (RISC-V targets), result in t2."""
+    scale = 1 << fmt_frac_bits
+    lo_raw, hi_raw = -4 * scale, 4 * scale
+    shift = fmt_frac_bits - 5          # seg_len = 2**(frac_bits - 5)
+    mask = (1 << shift) - 1
+    return [
+        f"    li t0, {lo_raw}",
+        f"    li t1, {hi_raw}",
+        f"    blt t2, t0, act_low_{layer}",
+        f"    bge t2, t1, act_high_{layer}",
+        "    sub t3, t2, t0",          # offset in [0, span)
+        f"    srai t4, t3, {shift}",   # segment index
+        "    slli t5, t4, 2",
+        f"    li t6, ={table_symbol}",
+        "    add t6, t6, t5",
+        "    lw t5, 0(t6)",            # y0
+        "    lw t6, 4(t6)",            # y1
+        "    sub t6, t6, t5",
+        f"    andi t3, t3, {mask}",    # remainder inside the segment
+        "    mul t6, t6, t3",
+        f"    srai t6, t6, {shift}",
+        "    add t2, t5, t6",
+        f"    j act_done_{layer}",
+        f"act_low_{layer}:",
+        f"    li t2, {low}",
+        f"    j act_done_{layer}",
+        f"act_high_{layer}:",
+        f"    li t2, {high}",
+        f"act_done_{layer}:",
+    ]
+
+
+def _activation_asm_arm(layer: int, table_symbol: str, fmt_frac_bits: int,
+                        low: int, high: int) -> list[str]:
+    """Tanh-LUT evaluation on r6 (ARM target), result in r6."""
+    scale = 1 << fmt_frac_bits
+    lo_raw, hi_raw = -4 * scale, 4 * scale
+    shift = fmt_frac_bits - 5
+    mask = (1 << shift) - 1
+    return [
+        f"    mov r9, #{lo_raw}",
+        f"    mov r10, #{hi_raw}",
+        "    cmp r6, r9",
+        f"    blt act_low_{layer}",
+        "    cmp r6, r10",
+        f"    bge act_high_{layer}",
+        "    sub r11, r6, r9",         # offset
+        f"    asr r12, r11, #{shift}", # segment index
+        "    lsl r12, r12, #2",
+        f"    mov r9, ={table_symbol}",
+        "    add r9, r9, r12",
+        "    ldr r10, [r9]",           # y0
+        "    ldr r12, [r9, #4]",       # y1
+        "    sub r12, r12, r10",
+        f"    and r11, r11, #{mask}",
+        "    mul r12, r12, r11",
+        f"    asr r12, r12, #{shift}",
+        "    add r6, r10, r12",
+        f"    b act_done_{layer}",
+        f"act_low_{layer}:",
+        f"    mov r6, #{low}",
+        f"    b act_done_{layer}",
+        f"act_high_{layer}:",
+        f"    mov r6, #{high}",
+        f"act_done_{layer}:",
+    ]
+
+
+def _data_section(network: FixedPointNetwork, tables: list[ActivationTable | None],
+                  data_base: int, max_width: int) -> list[str]:
+    """Emit the .data segment: buffers, weights, tanh tables."""
+    lines = [f".data {hex(data_base)}"]
+    buffer_bytes = 4 * (max_width + 1)
+    lines.append(f"buf0: .space {buffer_bytes}")
+    lines.append(f"buf1: .space {buffer_bytes}")
+    for idx, weights in enumerate(network.weights):
+        flat = [int(v) for v in np.asarray(weights, dtype=np.int64).ravel()]
+        lines.append(f"weights_{idx}: .word " + ", ".join(str(v) for v in flat))
+    first_table = next((t for t in tables if t is not None), None)
+    if first_table is not None:
+        # One shared tanh table serves every layer (same format).
+        words = _tanh_lut_words(first_table)
+        lines.append("tanh_lut: .word " + ", ".join(str(v) for v in words))
+    return lines
+
+
+def _generate_riscv(network: FixedPointNetwork, tables, data_base: int,
+                    use_xpulp: bool, num_cores: int) -> tuple[str, str]:
+    """RISC-V program text (both plain RV32IM and XpulpV2 flavours).
+
+    Returns (source, output_symbol).
+    """
+    fmt = network.fmt
+    sizes = [network.num_inputs] + [w.shape[0] for w in network.weights]
+    max_width = max(sizes)
+    lines = _data_section(network, tables, data_base, max_width)
+    lines.append(".text")
+    lines.append("    csrr s10, mhartid")
+    lines.append(f"    li s11, {num_cores}")
+
+    for layer, weights in enumerate(network.weights):
+        n_out, n_in_plus_1 = weights.shape
+        in_buf = f"buf{layer % 2}"
+        out_buf = f"buf{(layer + 1) % 2}"
+        row_bytes = 4 * n_in_plus_1
+        lines.append(f"layer_{layer}:")
+        if num_cores > 1:
+            lines += [
+                f"    li s4, {n_out}",
+                "    mv s3, s10",
+                f"    li s0, =weights_{layer}",
+                f"    li t0, {row_bytes}",
+                "    mul t0, t0, s10",
+                "    add s0, s0, t0",
+                f"    li s2, ={out_buf}",
+                "    slli t0, s10, 2",
+                "    add s2, s2, t0",
+            ]
+        else:
+            lines += [
+                f"    li s4, {n_out}",
+                "    li s3, 0",
+                f"    li s0, =weights_{layer}",
+                f"    li s2, ={out_buf}",
+            ]
+        lines.append(f"row_{layer}:")
+        lines.append(f"    bge s3, s4, rows_done_{layer}")
+        lines.append("    li t2, 0")
+        lines.append(f"    li t4, ={in_buf}")
+        if use_xpulp:
+            lines += [
+                f"    lp.setupi 0, {n_in_plus_1}, col_end_{layer}",
+                "    p.lw t0, 4(s0!)",
+                "    p.lw t1, 4(t4!)",
+                "    p.mac t2, t0, t1",
+                f"col_end_{layer}:",
+            ]
+        else:
+            lines += [
+                f"    li t3, {n_in_plus_1}",
+                f"col_{layer}:",
+                "    lw t0, 0(s0)",
+                "    lw t1, 0(t4)",
+                "    addi s0, s0, 4",
+                "    addi t4, t4, 4",
+                "    mul t5, t0, t1",
+                "    add t2, t2, t5",
+                "    addi t3, t3, -1",
+                f"    bne t3, zero, col_{layer}",
+            ]
+        lines.append(f"    srai t2, t2, {fmt.frac_bits}")
+        table = tables[layer]
+        if table is not None:
+            lines += _activation_asm_riscv(layer, "tanh_lut", fmt.frac_bits,
+                                           table.low_value, table.high_value)
+        lines.append("    sw t2, 0(s2)")
+        if num_cores > 1:
+            lines += [
+                "    add s3, s3, s11",
+                "    slli t0, s11, 2",
+                "    add s2, s2, t0",
+                f"    li t0, {row_bytes * (num_cores - 1)}",
+                "    add s0, s0, t0",
+                f"    j row_{layer}",
+            ]
+        else:
+            lines += [
+                "    addi s3, s3, 1",
+                "    addi s2, s2, 4",
+                f"    j row_{layer}",
+            ]
+        lines.append(f"rows_done_{layer}:")
+        # Core 0 plants the bias (fixed-point 1.0) for the next layer.
+        lines += [
+            f"    bne s10, zero, skip_bias_{layer}",
+            f"    li t0, {fmt.scale}",
+            f"    li t1, ={out_buf}",
+            f"    sw t0, {4 * n_out}(t1)",
+            f"skip_bias_{layer}:",
+        ]
+        if num_cores > 1:
+            lines.append("    p.barrier")
+    lines.append("    halt")
+    output_symbol = f"buf{len(network.weights) % 2}"
+    return "\n".join(lines) + "\n", output_symbol
+
+
+def _generate_arm(network: FixedPointNetwork, tables,
+                  data_base: int) -> tuple[str, str]:
+    """ARMv7-M program text.  Returns (source, output_symbol)."""
+    fmt = network.fmt
+    sizes = [network.num_inputs] + [w.shape[0] for w in network.weights]
+    max_width = max(sizes)
+    lines = _data_section(network, tables, data_base, max_width)
+    lines.append(".text")
+
+    for layer, weights in enumerate(network.weights):
+        n_out, n_in_plus_1 = weights.shape
+        in_buf = f"buf{layer % 2}"
+        out_buf = f"buf{(layer + 1) % 2}"
+        lines += [
+            f"layer_{layer}:",
+            f"    mov r0, =weights_{layer}",
+            f"    mov r2, ={out_buf}",
+            f"    mov r3, #{n_out}",
+            f"row_{layer}:",
+            "    mov r6, #0",
+            f"    mov r8, ={in_buf}",
+            f"    mov r7, #{n_in_plus_1}",
+            f"col_{layer}:",
+            "    ldr r4, [r0], #4",
+            "    ldr r5, [r8], #4",
+            "    mla r6, r4, r5, r6",
+            "    subs r7, r7, #1",
+            f"    bne col_{layer}",
+            f"    asr r6, r6, #{fmt.frac_bits}",
+        ]
+        table = tables[layer]
+        if table is not None:
+            lines += _activation_asm_arm(layer, "tanh_lut", fmt.frac_bits,
+                                         table.low_value, table.high_value)
+        lines += [
+            "    str r6, [r2], #4",
+            "    subs r3, r3, #1",
+            f"    bne row_{layer}",
+            f"    mov r4, #{fmt.scale}",
+            f"    mov r5, ={out_buf}",
+            f"    str r4, [r5, #{4 * n_out}]",
+        ]
+    lines.append("    halt")
+    output_symbol = f"buf{len(network.weights) % 2}"
+    return "\n".join(lines) + "\n", output_symbol
+
+
+def compile_mlp(network: FixedPointNetwork, target: str = "xpulp",
+                num_cores: int = 1, data_base: int | None = None) -> CompiledMLP:
+    """Generate and assemble an inference program for a target ISA.
+
+    Args:
+        network: the quantised network (tables are replaced by the
+            power-of-two variants, see :func:`with_power_of_two_tables`).
+        target: one of ``rv32im``, ``xpulp``, ``armv7m``.
+        num_cores: SPMD width; only the ``xpulp`` target supports > 1.
+        data_base: where the data image lives; defaults to L1 for the
+            RISC-V targets and RAM for ARM.  Pass the L2 base to stage
+            an L2-residency experiment.
+    """
+    if target not in TARGETS:
+        raise ConfigurationError(f"unknown target {target!r}; expected {TARGETS}")
+    if num_cores > 1 and target != "xpulp":
+        raise ConfigurationError("multi-core kernels require the xpulp target")
+    _check_network(network)
+
+    prepared = with_power_of_two_tables(network)
+    if data_base is None:
+        data_base = NRF52_RAM_BASE if target == "armv7m" else MRWOLF_L1_BASE
+
+    if target == "armv7m":
+        source, output_symbol = _generate_arm(prepared, prepared.tables, data_base)
+    else:
+        source, output_symbol = _generate_riscv(
+            prepared, prepared.tables, data_base,
+            use_xpulp=(target == "xpulp"), num_cores=num_cores)
+
+    program = assemble(source, data_base=data_base)
+    sizes = [prepared.num_inputs] + [w.shape[0] for w in prepared.weights]
+    return CompiledMLP(
+        program=program,
+        source=source,
+        target=target,
+        num_cores=num_cores,
+        layer_sizes=tuple(sizes),
+        frac_bits=prepared.fmt.frac_bits,
+        input_symbol="buf0",
+        output_symbol=output_symbol,
+    )
+
+
+def _memory_for_target(target: str) -> MemoryMap:
+    if target == "armv7m":
+        return nrf52_memory_map()
+    return mrwolf_memory_map()
+
+
+def run_mlp(compiled: CompiledMLP, inputs,
+            memory: MemoryMap | None = None):
+    """Execute a compiled MLP on the matching simulator.
+
+    Args:
+        compiled: output of :func:`compile_mlp`.
+        inputs: real-valued input vector (quantised on the way in).
+        memory: override the default memory map (e.g. different wait
+            states for residency experiments).
+
+    Returns:
+        ``(outputs, result)`` where ``outputs`` are the raw fixed-point
+        output words and ``result`` is the
+        :class:`~repro.isa.cpu.ExecutionResult` or
+        :class:`~repro.isa.cluster.ClusterResult`.
+    """
+    x = np.asarray(inputs, dtype=np.float64)
+    n_in = compiled.layer_sizes[0]
+    if x.shape != (n_in,):
+        raise SimulationError(f"expected {n_in} inputs, got shape {x.shape}")
+    scale = 1 << compiled.frac_bits
+    raw = [int(v) for v in np.round(x * scale).astype(np.int64)]
+
+    if memory is None:
+        memory = _memory_for_target(compiled.target)
+
+    if compiled.num_cores > 1:
+        cluster = ClusterSimulator(compiled.program, memory,
+                                   num_cores=compiled.num_cores)
+        _poke_inputs(cluster.memory, compiled, raw, scale)
+        result: ClusterResult = cluster.run()
+        outputs = _peek_outputs(cluster.memory, compiled)
+        return outputs, result
+
+    if compiled.target == "armv7m":
+        core = ArmV7MCore(compiled.program, memory)
+    elif compiled.target == "xpulp":
+        core = XpulpCore(compiled.program, memory)
+    else:
+        core = RV32Core(compiled.program, memory, timings=IBEX_TIMINGS)
+    _poke_inputs(memory, compiled, raw, scale)
+    result = core.run()
+    outputs = _peek_outputs(memory, compiled)
+    return outputs, result
+
+
+def _poke_inputs(memory, compiled: CompiledMLP, raw: list[int],
+                 scale: int) -> None:
+    """Write quantised inputs plus the bias slot into the input buffer."""
+    address = compiled.program.symbol_address(compiled.input_symbol)
+    memory.write_words(address, raw + [scale])
+
+
+def _peek_outputs(memory, compiled: CompiledMLP) -> np.ndarray:
+    """Read the final layer's raw outputs."""
+    address = compiled.program.symbol_address(compiled.output_symbol)
+    n_out = compiled.layer_sizes[-1]
+    return np.asarray(memory.read_words(address, n_out), dtype=np.int64)

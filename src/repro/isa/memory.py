@@ -1,0 +1,174 @@
+"""Byte-addressed memory map with per-region wait states.
+
+The simulated systems have simple flat maps:
+
+* **nRF52832**: flash at ``0x0000_0000`` (cached, wait states) and RAM
+  at ``0x2000_0000`` (zero wait states).
+* **Mr. Wolf**: L2 at ``0x1C00_0000`` (SoC domain, slower from the
+  cluster) and L1 TCDM at ``0x1000_0000`` (single cycle, banked).
+
+Regions store little-endian bytes; loads/stores return the number of
+extra wait-state cycles so the cores can charge memory timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import MemoryMapError
+
+__all__ = ["MemoryRegion", "MemoryMap", "mrwolf_memory_map", "nrf52_memory_map"]
+
+# Canonical base addresses.
+MRWOLF_L1_BASE = 0x1000_0000
+MRWOLF_L2_BASE = 0x1C00_0000
+NRF52_FLASH_BASE = 0x0000_0000
+NRF52_RAM_BASE = 0x2000_0000
+
+
+@dataclass
+class MemoryRegion:
+    """One contiguous memory region.
+
+    Attributes:
+        name: label used in errors and reports.
+        base: first byte address.
+        size: region length in bytes.
+        read_wait_states: extra cycles charged per read.
+        write_wait_states: extra cycles charged per write.
+        num_banks: word-interleaved bank count (1 = unbanked); the
+            cluster simulator uses this for conflict arbitration.
+    """
+
+    name: str
+    base: int
+    size: int
+    read_wait_states: int = 0
+    write_wait_states: int = 0
+    num_banks: int = 1
+    _data: bytearray = field(default=None, repr=False)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise MemoryMapError(f"region {self.name!r} must have positive size")
+        if self.base < 0:
+            raise MemoryMapError(f"region {self.name!r} has a negative base")
+        if self.num_banks < 1:
+            raise MemoryMapError(f"region {self.name!r} needs >= 1 bank")
+        if self._data is None:
+            self._data = bytearray(self.size)
+
+    def contains(self, address: int) -> bool:
+        """Whether a byte address falls inside this region."""
+        return self.base <= address < self.base + self.size
+
+    @property
+    def end(self) -> int:
+        """One past the last byte address."""
+        return self.base + self.size
+
+    def bank_of(self, address: int) -> int:
+        """Word-interleaved bank index of an address."""
+        return ((address - self.base) >> 2) % self.num_banks
+
+
+class MemoryMap:
+    """A set of non-overlapping regions with typed accessors.
+
+    Args:
+        regions: the regions of the map (order irrelevant).
+    """
+
+    def __init__(self, regions: list[MemoryRegion]) -> None:
+        if not regions:
+            raise MemoryMapError("a memory map needs at least one region")
+        ordered = sorted(regions, key=lambda r: r.base)
+        for a, b in zip(ordered, ordered[1:]):
+            if a.end > b.base:
+                raise MemoryMapError(
+                    f"regions {a.name!r} and {b.name!r} overlap"
+                )
+        self.regions = ordered
+
+    def region_at(self, address: int) -> MemoryRegion:
+        """The region containing ``address``."""
+        for region in self.regions:
+            if region.contains(address):
+                return region
+        raise MemoryMapError(f"address {address:#010x} is unmapped")
+
+    def region_named(self, name: str) -> MemoryRegion:
+        """Look up a region by name."""
+        for region in self.regions:
+            if region.name == name:
+                return region
+        raise MemoryMapError(f"no region named {name!r}")
+
+    # -- typed accessors ---------------------------------------------------------
+    # All return (value_or_None, wait_states).
+
+    def load(self, address: int, size: int, signed: bool) -> tuple[int, int]:
+        """Load ``size`` bytes little-endian; returns (value, wait states)."""
+        region = self.region_at(address)
+        if address + size > region.end:
+            raise MemoryMapError(
+                f"load of {size} bytes at {address:#010x} crosses region end"
+            )
+        offset = address - region.base
+        raw = bytes(region._data[offset:offset + size])
+        value = int.from_bytes(raw, "little", signed=signed)
+        return value, region.read_wait_states
+
+    def store(self, address: int, size: int, value: int) -> int:
+        """Store ``size`` bytes little-endian; returns wait states."""
+        region = self.region_at(address)
+        if address + size > region.end:
+            raise MemoryMapError(
+                f"store of {size} bytes at {address:#010x} crosses region end"
+            )
+        offset = address - region.base
+        mask = (1 << (8 * size)) - 1
+        region._data[offset:offset + size] = (value & mask).to_bytes(size, "little")
+        return region.write_wait_states
+
+    def load_word(self, address: int) -> tuple[int, int]:
+        """Load a signed 32-bit word."""
+        return self.load(address, 4, signed=True)
+
+    def store_word(self, address: int, value: int) -> int:
+        """Store a 32-bit word."""
+        return self.store(address, 4, value)
+
+    # -- bulk helpers for the test/bench harnesses --------------------------------
+
+    def write_words(self, address: int, values) -> None:
+        """Write a sequence of 32-bit words starting at ``address``."""
+        for i, value in enumerate(values):
+            self.store(address + 4 * i, 4, int(value))
+
+    def read_words(self, address: int, count: int) -> list[int]:
+        """Read ``count`` signed 32-bit words starting at ``address``."""
+        return [self.load(address + 4 * i, 4, signed=True)[0] for i in range(count)]
+
+
+def mrwolf_memory_map(l1_wait_states: int = 0, l2_wait_states: int = 4,
+                      l1_banks: int = 16) -> MemoryMap:
+    """Mr. Wolf's cluster view: banked L1 TCDM plus slower L2."""
+    return MemoryMap([
+        MemoryRegion("l1", MRWOLF_L1_BASE, 64 * 1024,
+                     read_wait_states=l1_wait_states,
+                     write_wait_states=l1_wait_states, num_banks=l1_banks),
+        MemoryRegion("l2", MRWOLF_L2_BASE, 512 * 1024,
+                     read_wait_states=l2_wait_states,
+                     write_wait_states=l2_wait_states),
+    ])
+
+
+def nrf52_memory_map(flash_wait_states: int = 2) -> MemoryMap:
+    """The nRF52832's view: wait-stated flash plus zero-wait RAM."""
+    return MemoryMap([
+        MemoryRegion("flash", NRF52_FLASH_BASE, 512 * 1024,
+                     read_wait_states=flash_wait_states,
+                     write_wait_states=flash_wait_states),
+        MemoryRegion("ram", NRF52_RAM_BASE, 64 * 1024),
+    ])

@@ -1,0 +1,99 @@
+"""Execution profiling for the instruction-set simulators.
+
+Wraps a core to collect a dynamic instruction histogram and per-opcode
+cycle attribution — the data an engineer reads before optimising a
+kernel (e.g. "the plain RV32IM loop spends 40 % of its cycles in
+loads", which is exactly what the post-increment extension removes).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.isa.cpu import Core, ExecutionResult
+
+__all__ = ["ExecutionProfile", "ProfilingCore", "profile_run"]
+
+
+@dataclass
+class ExecutionProfile:
+    """Aggregated execution statistics.
+
+    Attributes:
+        instruction_counts: dynamic count per mnemonic.
+        cycle_counts: cycles attributed per mnemonic (memory wait
+            states included in the triggering instruction).
+        result: the underlying run result.
+    """
+
+    instruction_counts: Counter = field(default_factory=Counter)
+    cycle_counts: Counter = field(default_factory=Counter)
+    result: ExecutionResult | None = None
+
+    @property
+    def total_cycles(self) -> int:
+        """Cycles across all opcodes."""
+        return sum(self.cycle_counts.values())
+
+    def cycle_fraction(self, mnemonic: str) -> float:
+        """Fraction of all cycles spent in one mnemonic."""
+        total = self.total_cycles
+        if total == 0:
+            return 0.0
+        return self.cycle_counts.get(mnemonic, 0) / total
+
+    def hottest(self, n: int = 5) -> list[tuple[str, int]]:
+        """The ``n`` mnemonics with the highest cycle counts."""
+        return self.cycle_counts.most_common(n)
+
+    def memory_cycle_fraction(self) -> float:
+        """Fraction of cycles in loads/stores (any ISA's spellings)."""
+        memory_ops = {m for m in self.cycle_counts
+                      if m.lstrip("p.").startswith(("lw", "lh", "lb", "sw",
+                                                    "sh", "sb", "ldr", "str"))}
+        total = self.total_cycles
+        if total == 0:
+            return 0.0
+        return sum(self.cycle_counts[m] for m in memory_ops) / total
+
+    def report(self, top: int = 8) -> str:
+        """A printable profile summary."""
+        lines = [f"{'mnemonic':12s} {'count':>8s} {'cycles':>8s} {'share':>7s}"]
+        for mnemonic, cycles in self.hottest(top):
+            lines.append(f"{mnemonic:12s} {self.instruction_counts[mnemonic]:8d} "
+                         f"{cycles:8d} {100 * self.cycle_fraction(mnemonic):6.1f} %")
+        return "\n".join(lines)
+
+
+class ProfilingCore:
+    """Runs a core step-by-step, attributing cycles per mnemonic.
+
+    Args:
+        core: any :class:`~repro.isa.cpu.Core` (constructed, not run).
+    """
+
+    def __init__(self, core: Core) -> None:
+        self.core = core
+        self.profile = ExecutionProfile()
+
+    def run(self, max_instructions: int = 20_000_000) -> ExecutionProfile:
+        """Execute to completion, collecting the histogram."""
+        core = self.core
+        while not core.halted and core.instruction_count < max_instructions:
+            mnemonic = core.current_instruction.mnemonic
+            before = core.cycles
+            core.step()
+            self.profile.instruction_counts[mnemonic] += 1
+            self.profile.cycle_counts[mnemonic] += core.cycles - before
+        self.profile.result = ExecutionResult(
+            cycles=core.cycles,
+            instructions=core.instruction_count,
+            halted=core.halted,
+        )
+        return self.profile
+
+
+def profile_run(core: Core) -> ExecutionProfile:
+    """Convenience wrapper: profile a constructed core to completion."""
+    return ProfilingCore(core).run()

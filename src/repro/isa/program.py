@@ -1,0 +1,104 @@
+"""Program containers: instructions, labels and a data image.
+
+The simulators address code by *instruction index* rather than byte
+address — branches resolve to indices — which keeps the cores simple
+without giving up anything the reproduction needs (cycle counts come
+from per-instruction timing classes, not from fetch addresses).  Data
+lives in the byte-addressed :class:`~repro.isa.memory.MemoryMap`; the
+assembler lays out the data image and exports a symbol table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblyError
+
+__all__ = ["Instruction", "DataImage", "Program"]
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One assembled instruction.
+
+    Attributes:
+        mnemonic: lower-case operation name ("addi", "p.mac", ...).
+        operands: parsed operand tuple; entries are register names
+            (str), integers, labels (str) or structured tuples like
+            ``("mem", offset, base_reg, post_increment)``.
+        source_line: 1-based line number in the assembly source.
+        text: the original source text (for diagnostics).
+    """
+
+    mnemonic: str
+    operands: tuple
+    source_line: int
+    text: str
+
+
+@dataclass
+class DataImage:
+    """The assembled data segment.
+
+    Attributes:
+        base_address: where the image begins in memory.
+        payload: initialised bytes (zero-filled for ``.space``).
+        symbols: label -> absolute byte address.
+    """
+
+    base_address: int
+    payload: bytearray = field(default_factory=bytearray)
+    symbols: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Image length in bytes."""
+        return len(self.payload)
+
+
+class Program:
+    """Assembled code plus its data image and label table.
+
+    Args:
+        instructions: the code, in order.
+        labels: code label -> instruction index.
+        data: the assembled data segment.
+    """
+
+    def __init__(self, instructions: list[Instruction],
+                 labels: dict[str, int], data: DataImage) -> None:
+        self.instructions = list(instructions)
+        self.labels = dict(labels)
+        self.data = data
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def label_index(self, label: str) -> int:
+        """Instruction index of a code label."""
+        if label not in self.labels:
+            raise AssemblyError(f"undefined code label {label!r}")
+        return self.labels[label]
+
+    def symbol_address(self, name: str) -> int:
+        """Absolute address of a data symbol."""
+        if name not in self.data.symbols:
+            raise AssemblyError(f"undefined data symbol {name!r}")
+        return self.data.symbols[name]
+
+    def load_data(self, memory) -> None:
+        """Copy the data image into a memory map."""
+        for i, byte in enumerate(self.data.payload):
+            memory.store(self.data.base_address + i, 1, byte)
+
+    def disassemble(self) -> str:
+        """A printable listing (labels inlined)."""
+        index_to_labels: dict[int, list[str]] = {}
+        for label, idx in self.labels.items():
+            index_to_labels.setdefault(idx, []).append(label)
+        lines = []
+        for idx, instr in enumerate(self.instructions):
+            for label in index_to_labels.get(idx, []):
+                lines.append(f"{label}:")
+            lines.append(f"  {idx:5d}: {instr.text}")
+        return "\n".join(lines)

@@ -1,0 +1,325 @@
+"""RV32IM core with configurable (IBEX- or RI5CY-like) timings.
+
+Implements the RV32I base integer set plus the M extension, the usual
+assembler pseudo-instructions (``li``, ``mv``, ``j``, ``ret``, ...) and
+``csrr rd, mhartid`` so cluster kernels can learn their core id.
+
+Timing is a per-class cycle cost plus memory wait states:
+
+* **IBEX** (the Mr. Wolf fabric controller's class of core): 2-stage
+  pipeline; taken branches 3 cycles, loads 2 (plus waits), stores 2,
+  3-cycle multiplier, 37-cycle iterative divider.
+* **RI5CY**: 4-stage pipeline; taken branches 3 cycles, single-cycle
+  loads against TCDM (plus waits), single-cycle multiplier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.isa.cpu import MASK32, Core, to_signed32
+
+__all__ = ["RiscvTimings", "IBEX_TIMINGS", "RI5CY_TIMINGS", "RV32Core"]
+
+
+@dataclass(frozen=True)
+class RiscvTimings:
+    """Cycle costs per instruction class (memory waits excluded).
+
+    Attributes:
+        alu: register/immediate ALU operations.
+        load: loads (before wait states).
+        store: stores (before wait states).
+        mul: 32x32 multiplication.
+        div: division / remainder.
+        branch_taken: taken conditional branch or jump.
+        branch_not_taken: fall-through conditional branch.
+    """
+
+    alu: int = 1
+    load: int = 2
+    store: int = 2
+    mul: int = 1
+    div: int = 35
+    branch_taken: int = 3
+    branch_not_taken: int = 1
+
+
+IBEX_TIMINGS = RiscvTimings(alu=1, load=2, store=2, mul=3, div=37,
+                            branch_taken=3, branch_not_taken=1)
+RI5CY_TIMINGS = RiscvTimings(alu=1, load=1, store=1, mul=1, div=35,
+                             branch_taken=3, branch_not_taken=1)
+
+
+def _riscv_register_names() -> dict[str, int]:
+    """x0-x31 plus the standard ABI spellings."""
+    names: dict[str, int] = {f"x{i}": i for i in range(32)}
+    abi = ["zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2",
+           "s0", "s1", "a0", "a1", "a2", "a3", "a4", "a5",
+           "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7",
+           "s8", "s9", "s10", "s11", "t3", "t4", "t5", "t6"]
+    names.update({name: i for i, name in enumerate(abi)})
+    names["fp"] = 8
+    return names
+
+
+class RV32Core(Core):
+    """An RV32IM core.
+
+    Args:
+        program: assembled program.
+        memory: memory map.
+        timings: per-class cycle costs (defaults to IBEX-like).
+        core_id: value returned by ``csrr rd, mhartid``.
+        load_data: copy the program's data image on construction.
+    """
+
+    REGISTER_NAMES = _riscv_register_names()
+    ZERO_REGISTER = 0
+
+    def __init__(self, program, memory, timings: RiscvTimings = IBEX_TIMINGS,
+                 core_id: int = 0, load_data: bool = True) -> None:
+        super().__init__(program, memory, core_id=core_id, load_data=load_data)
+        self.timings = timings
+
+    # -- ALU register-register ------------------------------------------------------
+
+    def _alu_rrr(self, operands, fn) -> int:
+        rd, rs1, rs2 = operands
+        self.write_reg(rd, fn(self.read_reg(rs1), self.read_reg(rs2)))
+        return self.timings.alu
+
+    def _alu_rri(self, operands, fn) -> int:
+        rd, rs1, imm = operands
+        if not isinstance(imm, int):
+            raise SimulationError(
+                f"immediate operand expected, got {imm!r} "
+                f"(line {self.current_instruction.source_line})"
+            )
+        self.write_reg(rd, fn(self.read_reg(rs1), imm))
+        return self.timings.alu
+
+    def op_add(self, operands):
+        return self._alu_rrr(operands, lambda a, b: a + b)
+
+    def op_sub(self, operands):
+        return self._alu_rrr(operands, lambda a, b: a - b)
+
+    def op_and(self, operands):
+        return self._alu_rrr(operands, lambda a, b: a & b)
+
+    def op_or(self, operands):
+        return self._alu_rrr(operands, lambda a, b: a | b)
+
+    def op_xor(self, operands):
+        return self._alu_rrr(operands, lambda a, b: a ^ b)
+
+    def op_sll(self, operands):
+        return self._alu_rrr(operands, lambda a, b: a << (b & 31))
+
+    def op_srl(self, operands):
+        return self._alu_rrr(operands, lambda a, b: (a & MASK32) >> (b & 31))
+
+    def op_sra(self, operands):
+        return self._alu_rrr(operands, lambda a, b: a >> (b & 31))
+
+    def op_slt(self, operands):
+        return self._alu_rrr(operands, lambda a, b: int(a < b))
+
+    def op_sltu(self, operands):
+        return self._alu_rrr(operands,
+                             lambda a, b: int((a & MASK32) < (b & MASK32)))
+
+    def op_addi(self, operands):
+        return self._alu_rri(operands, lambda a, b: a + b)
+
+    def op_andi(self, operands):
+        return self._alu_rri(operands, lambda a, b: a & b)
+
+    def op_ori(self, operands):
+        return self._alu_rri(operands, lambda a, b: a | b)
+
+    def op_xori(self, operands):
+        return self._alu_rri(operands, lambda a, b: a ^ b)
+
+    def op_slti(self, operands):
+        return self._alu_rri(operands, lambda a, b: int(a < b))
+
+    def op_slli(self, operands):
+        return self._alu_rri(operands, lambda a, b: a << (b & 31))
+
+    def op_srli(self, operands):
+        return self._alu_rri(operands, lambda a, b: (a & MASK32) >> (b & 31))
+
+    def op_srai(self, operands):
+        return self._alu_rri(operands, lambda a, b: a >> (b & 31))
+
+    def op_lui(self, operands):
+        rd, imm = operands
+        self.write_reg(rd, imm << 12)
+        return self.timings.alu
+
+    # -- M extension -------------------------------------------------------------------
+
+    def op_mul(self, operands):
+        rd, rs1, rs2 = operands
+        self.write_reg(rd, self.read_reg(rs1) * self.read_reg(rs2))
+        return self.timings.mul
+
+    def op_mulh(self, operands):
+        rd, rs1, rs2 = operands
+        product = self.read_reg(rs1) * self.read_reg(rs2)
+        self.write_reg(rd, product >> 32)
+        return self.timings.mul
+
+    def op_mulhu(self, operands):
+        rd, rs1, rs2 = operands
+        product = (self.read_reg(rs1) & MASK32) * (self.read_reg(rs2) & MASK32)
+        self.write_reg(rd, product >> 32)
+        return self.timings.mul
+
+    def op_div(self, operands):
+        rd, rs1, rs2 = operands
+        a, b = self.read_reg(rs1), self.read_reg(rs2)
+        if b == 0:
+            self.write_reg(rd, -1)
+        else:
+            # RISC-V divides round toward zero.
+            self.write_reg(rd, int(a / b))
+        return self.timings.div
+
+    def op_rem(self, operands):
+        rd, rs1, rs2 = operands
+        a, b = self.read_reg(rs1), self.read_reg(rs2)
+        if b == 0:
+            self.write_reg(rd, a)
+        else:
+            self.write_reg(rd, a - int(a / b) * b)
+        return self.timings.div
+
+    # -- memory ---------------------------------------------------------------------------
+
+    def _load(self, operands, size: int, signed: bool) -> int:
+        rd, mem = operands
+        address, operand = self.resolve_mem_operand(mem)
+        self.write_reg(rd, self.mem_load(address, size, signed))
+        self.apply_post_increment(operand)
+        return self.timings.load
+
+    def _store(self, operands, size: int) -> int:
+        rs, mem = operands
+        address, operand = self.resolve_mem_operand(mem)
+        self.mem_store(address, size, self.read_reg(rs))
+        self.apply_post_increment(operand)
+        return self.timings.store
+
+    def op_lw(self, operands):
+        return self._load(operands, 4, signed=True)
+
+    def op_lh(self, operands):
+        return self._load(operands, 2, signed=True)
+
+    def op_lhu(self, operands):
+        return self._load(operands, 2, signed=False)
+
+    def op_lb(self, operands):
+        return self._load(operands, 1, signed=True)
+
+    def op_lbu(self, operands):
+        return self._load(operands, 1, signed=False)
+
+    def op_sw(self, operands):
+        return self._store(operands, 4)
+
+    def op_sh(self, operands):
+        return self._store(operands, 2)
+
+    def op_sb(self, operands):
+        return self._store(operands, 1)
+
+    # -- control flow -----------------------------------------------------------------------
+
+    def _branch(self, operands, condition) -> int:
+        rs1, rs2, label = operands
+        if condition(self.read_reg(rs1), self.read_reg(rs2)):
+            self.branch_to(label)
+            return self.timings.branch_taken
+        return self.timings.branch_not_taken
+
+    def op_beq(self, operands):
+        return self._branch(operands, lambda a, b: a == b)
+
+    def op_bne(self, operands):
+        return self._branch(operands, lambda a, b: a != b)
+
+    def op_blt(self, operands):
+        return self._branch(operands, lambda a, b: a < b)
+
+    def op_bge(self, operands):
+        return self._branch(operands, lambda a, b: a >= b)
+
+    def op_bltu(self, operands):
+        return self._branch(operands,
+                            lambda a, b: (a & MASK32) < (b & MASK32))
+
+    def op_bgeu(self, operands):
+        return self._branch(operands,
+                            lambda a, b: (a & MASK32) >= (b & MASK32))
+
+    def op_jal(self, operands):
+        rd, label = operands
+        self.write_reg(rd, self.pc + 1)
+        self.branch_to(label)
+        return self.timings.branch_taken
+
+    def op_jalr(self, operands):
+        rd, rs1, imm = operands
+        target = self.read_reg(rs1) + imm
+        self.write_reg(rd, self.pc + 1)
+        self.branch_to(target)
+        return self.timings.branch_taken
+
+    # -- pseudo-instructions ----------------------------------------------------------------
+
+    def op_li(self, operands):
+        rd, imm = operands
+        if not isinstance(imm, int):
+            raise SimulationError(f"li needs an immediate, got {imm!r}")
+        self.write_reg(rd, imm)
+        return self.timings.alu
+
+    def op_mv(self, operands):
+        rd, rs = operands
+        self.write_reg(rd, self.read_reg(rs))
+        return self.timings.alu
+
+    def op_j(self, operands):
+        self.branch_to(operands[0])
+        return self.timings.branch_taken
+
+    def op_ret(self, operands):
+        self.branch_to(self.read_reg("ra"))
+        return self.timings.branch_taken
+
+    def op_csrr(self, operands):
+        rd, csr = operands
+        if csr != "mhartid":
+            raise SimulationError(f"unsupported CSR {csr!r}")
+        self.write_reg(rd, self.core_id)
+        return self.timings.alu
+
+    def op_seqz(self, operands):
+        rd, rs = operands
+        self.write_reg(rd, int(self.read_reg(rs) == 0))
+        return self.timings.alu
+
+    def op_snez(self, operands):
+        rd, rs = operands
+        self.write_reg(rd, int(self.read_reg(rs) != 0))
+        return self.timings.alu
+
+    def op_neg(self, operands):
+        rd, rs = operands
+        self.write_reg(rd, -self.read_reg(rs))
+        return self.timings.alu

@@ -1,0 +1,214 @@
+"""RI5CY core: RV32IM plus the XpulpV2 extensions the paper leans on.
+
+The paper attributes Mr. Wolf's single-core advantage over the plain
+RV32IM IBEX to "custom instruction set extensions to efficiently
+perform digital signal processing".  The relevant XpulpV2 features are
+implemented here:
+
+* **hardware loops** (two nesting levels): ``lp.setupi id, count, end``
+  and ``lp.setup id, rcount, end`` execute the body from the next
+  instruction up to (excluding) the ``end`` label ``count`` times with
+  zero branch overhead;
+* **post-increment memory access**: ``p.lw rd, imm(rs1!)`` loads from
+  ``rs1`` and then advances it by ``imm`` in the same cycle;
+* **multiply-accumulate**: ``p.mac rd, rs1, rs2`` computes
+  ``rd += rs1 * rs2`` in one cycle;
+* **clipping**: ``p.clip rd, rs1, bit`` saturates to the symmetric
+  ``[-2^bit, 2^bit - 1]`` range in one cycle;
+* **packed 16-bit SIMD**: ``pv.add.h``, ``pv.sub.h``, ``pv.dotsp.h``
+  (dot product of the two halfword lanes) and the accumulating
+  ``pv.sdotsp.h``, which is what a Q15 MLP inner loop uses.
+
+Also implemented: ``p.barrier`` (the cluster event unit's barrier,
+meaningful only under :class:`~repro.isa.cluster.ClusterSimulator`;
+single-core execution treats it as a 1-cycle nop) and ``p.min``/
+``p.max``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.isa.cpu import to_signed32
+from repro.isa.riscv import RI5CY_TIMINGS, RV32Core, RiscvTimings
+
+__all__ = ["XpulpCore", "HardwareLoop"]
+
+
+@dataclass
+class HardwareLoop:
+    """State of one hardware-loop channel.
+
+    Attributes:
+        start: index of the first body instruction.
+        end: index one past the last body instruction.
+        remaining: iterations left (counts down at each body end).
+    """
+
+    start: int
+    end: int
+    remaining: int
+
+    @property
+    def active(self) -> bool:
+        """Whether this loop channel still has iterations to run."""
+        return self.remaining > 0
+
+
+def _halves(value: int) -> tuple[int, int]:
+    """Split a 32-bit value into signed (low, high) halfwords."""
+    low = value & 0xFFFF
+    high = (value >> 16) & 0xFFFF
+    if low & 0x8000:
+        low -= 1 << 16
+    if high & 0x8000:
+        high -= 1 << 16
+    return low, high
+
+
+def _pack_halves(low: int, high: int) -> int:
+    """Pack two halfwords (wrapping) into a 32-bit value."""
+    return ((high & 0xFFFF) << 16) | (low & 0xFFFF)
+
+
+class XpulpCore(RV32Core):
+    """RI5CY: an RV32IM core with the XpulpV2 DSP extensions.
+
+    Args:
+        program: assembled program.
+        memory: memory map (typically
+            :func:`repro.isa.memory.mrwolf_memory_map`).
+        timings: defaults to RI5CY-like single-cycle loads and
+            multiplies.
+        core_id: cluster core id (``csrr rd, mhartid``).
+        load_data: copy the data image on construction.
+    """
+
+    NUM_HW_LOOPS = 2
+
+    def __init__(self, program, memory, timings: RiscvTimings = RI5CY_TIMINGS,
+                 core_id: int = 0, load_data: bool = True) -> None:
+        super().__init__(program, memory, timings=timings, core_id=core_id,
+                         load_data=load_data)
+        self.hw_loops: list[HardwareLoop | None] = [None] * self.NUM_HW_LOOPS
+        self.waiting_at_barrier = False
+
+    # -- hardware loops ---------------------------------------------------------------
+
+    def _setup_loop(self, loop_id: int, count: int, end_label) -> int:
+        if not 0 <= loop_id < self.NUM_HW_LOOPS:
+            raise SimulationError(f"hardware loop id {loop_id} out of range")
+        end = end_label if isinstance(end_label, int) \
+            else self.program.label_index(end_label)
+        start = self.pc + 1
+        if end <= start:
+            raise SimulationError(
+                f"hardware loop body is empty (start {start}, end {end})"
+            )
+        if count <= 0:
+            # Zero-iteration loops skip the body entirely.
+            self.branch_to(end)
+            return 1
+        self.hw_loops[loop_id] = HardwareLoop(start=start, end=end,
+                                              remaining=count)
+        return 1
+
+    def op_lp_setupi(self, operands):
+        loop_id, count, end_label = operands
+        return self._setup_loop(loop_id, count, end_label)
+
+    def op_lp_setup(self, operands):
+        loop_id, count_reg, end_label = operands
+        return self._setup_loop(loop_id, self.read_reg(count_reg), end_label)
+
+    def after_instruction(self) -> int:
+        """Zero-overhead loop-back when the pc reaches a loop end.
+
+        Inner (higher-id) loops are checked first, matching RI5CY's
+        nesting rule that loop 1 must nest inside loop 0.
+        """
+        for loop_id in range(self.NUM_HW_LOOPS - 1, -1, -1):
+            loop = self.hw_loops[loop_id]
+            if loop is not None and loop.active and self.pc == loop.end:
+                loop.remaining -= 1
+                if loop.remaining > 0:
+                    self.pc = loop.start
+                else:
+                    self.hw_loops[loop_id] = None
+                return 0  # the whole point: no branch cost
+        return 0
+
+    # -- post-increment and MAC ----------------------------------------------------------
+
+    def op_p_lw(self, operands):
+        return self._load(operands, 4, signed=True)
+
+    def op_p_lh(self, operands):
+        return self._load(operands, 2, signed=True)
+
+    def op_p_lb(self, operands):
+        return self._load(operands, 1, signed=True)
+
+    def op_p_sw(self, operands):
+        return self._store(operands, 4)
+
+    def op_p_mac(self, operands):
+        rd, rs1, rs2 = operands
+        acc = self.read_reg(rd) + self.read_reg(rs1) * self.read_reg(rs2)
+        self.write_reg(rd, acc)
+        return self.timings.mul
+
+    def op_p_min(self, operands):
+        rd, rs1, rs2 = operands
+        self.write_reg(rd, min(self.read_reg(rs1), self.read_reg(rs2)))
+        return self.timings.alu
+
+    def op_p_max(self, operands):
+        rd, rs1, rs2 = operands
+        self.write_reg(rd, max(self.read_reg(rs1), self.read_reg(rs2)))
+        return self.timings.alu
+
+    def op_p_clip(self, operands):
+        rd, rs1, bit = operands
+        lo, hi = -(1 << bit), (1 << bit) - 1
+        self.write_reg(rd, max(lo, min(hi, self.read_reg(rs1))))
+        return self.timings.alu
+
+    # -- packed 16-bit SIMD -----------------------------------------------------------------
+
+    def op_pv_add_h(self, operands):
+        rd, rs1, rs2 = operands
+        a_lo, a_hi = _halves(self.read_reg(rs1))
+        b_lo, b_hi = _halves(self.read_reg(rs2))
+        self.write_reg(rd, to_signed32(_pack_halves(a_lo + b_lo, a_hi + b_hi)))
+        return self.timings.alu
+
+    def op_pv_sub_h(self, operands):
+        rd, rs1, rs2 = operands
+        a_lo, a_hi = _halves(self.read_reg(rs1))
+        b_lo, b_hi = _halves(self.read_reg(rs2))
+        self.write_reg(rd, to_signed32(_pack_halves(a_lo - b_lo, a_hi - b_hi)))
+        return self.timings.alu
+
+    def op_pv_dotsp_h(self, operands):
+        rd, rs1, rs2 = operands
+        a_lo, a_hi = _halves(self.read_reg(rs1))
+        b_lo, b_hi = _halves(self.read_reg(rs2))
+        self.write_reg(rd, a_lo * b_lo + a_hi * b_hi)
+        return self.timings.mul
+
+    def op_pv_sdotsp_h(self, operands):
+        rd, rs1, rs2 = operands
+        a_lo, a_hi = _halves(self.read_reg(rs1))
+        b_lo, b_hi = _halves(self.read_reg(rs2))
+        acc = self.read_reg(rd) + a_lo * b_lo + a_hi * b_hi
+        self.write_reg(rd, acc)
+        return self.timings.mul
+
+    # -- cluster support -----------------------------------------------------------------------
+
+    def op_p_barrier(self, operands):
+        """Event-unit barrier; a nop outside a cluster simulation."""
+        self.waiting_at_barrier = True
+        return 1

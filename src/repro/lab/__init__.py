@@ -1,0 +1,26 @@
+"""Emulated laboratory instruments.
+
+The paper characterised its transducers with a Keysight B2900A
+source/measure unit, a controlled light source and a wind source
+("active cooling").  These emulations reproduce that methodology on
+top of the physics models, so the Table I/II benches *measure* the
+models the way the authors measured the hardware instead of calling
+model internals directly.
+"""
+
+from repro.lab.smu import SourceMeasureUnit, IVSweepResult
+from repro.lab.chamber import (
+    ClimateChamber,
+    LightSource,
+    WindSource,
+    HarvestTestBench,
+)
+
+__all__ = [
+    "SourceMeasureUnit",
+    "IVSweepResult",
+    "ClimateChamber",
+    "LightSource",
+    "WindSource",
+    "HarvestTestBench",
+]

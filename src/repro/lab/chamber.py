@@ -1,0 +1,154 @@
+"""Environment-control instruments and the harvest test bench.
+
+:class:`LightSource`, :class:`ClimateChamber` and :class:`WindSource`
+set the conditions a transducer sees — the roles played in the paper's
+lab by the light source, the room/skin temperatures and the "active
+cooling" fan.  :class:`HarvestTestBench` wires a transducer model, the
+SMU and a converter model into the measurement flow behind Tables I
+and II: establish conditions, sweep the transducer, let the converter's
+MPPT pick its operating point on the *measured* curve, and report the
+battery intake.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MeasurementError
+from repro.harvest.converters import HarvesterConverter
+from repro.harvest.environment import LightingCondition, ThermalCondition
+from repro.harvest.photovoltaic import PVPanel
+from repro.harvest.teg import TEGDevice
+from repro.lab.smu import IVSweepResult, SourceMeasureUnit
+
+__all__ = ["LightSource", "ClimateChamber", "WindSource", "HarvestTestBench"]
+
+
+@dataclass
+class LightSource:
+    """A calibrated adjustable light source.
+
+    Attributes:
+        lux: current illuminance at the DUT plane.
+    """
+
+    lux: float = 0.0
+
+    def set_illuminance(self, lux: float) -> None:
+        """Set the illuminance at the DUT plane."""
+        if lux < 0:
+            raise MeasurementError("illuminance cannot be negative")
+        self.lux = lux
+
+    def condition(self) -> LightingCondition:
+        """The lighting condition currently established."""
+        return LightingCondition(lux=self.lux, description=f"lab source {self.lux} lx")
+
+
+@dataclass
+class ClimateChamber:
+    """Controlled ambient and skin-simulator temperatures.
+
+    Attributes:
+        ambient_c: chamber air temperature.
+        skin_c: skin-simulator plate temperature.
+    """
+
+    ambient_c: float = 22.0
+    skin_c: float = 32.0
+
+    def set_temperatures(self, ambient_c: float, skin_c: float) -> None:
+        """Set chamber and skin-plate temperatures."""
+        self.ambient_c = ambient_c
+        self.skin_c = skin_c
+
+
+@dataclass
+class WindSource:
+    """A fan providing controlled airflow over the DUT.
+
+    Attributes:
+        speed_ms: current air speed.
+    """
+
+    speed_ms: float = 0.0
+
+    def set_speed(self, speed_ms: float) -> None:
+        """Set the air speed."""
+        if speed_ms < 0:
+            raise MeasurementError("air speed cannot be negative")
+        self.speed_ms = speed_ms
+
+
+class HarvestTestBench:
+    """The Table I/II measurement flow around emulated instruments.
+
+    Args:
+        smu: the source/measure unit used for all sweeps.
+    """
+
+    def __init__(self, smu: SourceMeasureUnit | None = None) -> None:
+        self.smu = smu if smu is not None else SourceMeasureUnit()
+        self.light = LightSource()
+        self.chamber = ClimateChamber()
+        self.wind = WindSource()
+
+    # -- solar ------------------------------------------------------------------
+
+    def sweep_panel(self, panel: PVPanel, lux: float,
+                    points: int = 201) -> IVSweepResult:
+        """Establish illuminance and sweep the panel with the SMU."""
+        self.light.set_illuminance(lux)
+        voc_estimate = panel.open_circuit_voltage(lux)
+        if voc_estimate <= 0:
+            raise MeasurementError("panel produces nothing at this illuminance")
+        return self.smu.sweep(lambda v: panel.current(v, lux),
+                              0.0, voc_estimate * 1.02, points)
+
+    def measure_solar_intake_w(self, panel: PVPanel,
+                               converter: HarvesterConverter,
+                               lux: float) -> float:
+        """Battery intake through the converter from a *measured* sweep.
+
+        Mirrors the paper's methodology: the converter's fractional-Voc
+        MPPT operating point is evaluated on the SMU's measured curve,
+        then the converter model turns transducer power into battery
+        power.
+        """
+        sweep = self.sweep_panel(panel, lux)
+        voc = sweep.open_circuit_voltage()
+        transducer_w = sweep.power_at_voltage(converter.mppt_fraction * voc)
+        return converter.battery_intake_w(max(0.0, transducer_w))
+
+    # -- TEG --------------------------------------------------------------------
+
+    def establish_thermal(self, ambient_c: float, skin_c: float,
+                          wind_ms: float) -> ThermalCondition:
+        """Set chamber, skin plate and fan; return the condition."""
+        self.chamber.set_temperatures(ambient_c, skin_c)
+        self.wind.set_speed(wind_ms)
+        return ThermalCondition(
+            ambient_c=ambient_c, skin_c=skin_c, wind_ms=wind_ms,
+            description=f"chamber {ambient_c} C / skin {skin_c} C / "
+                        f"wind {wind_ms} m/s",
+        )
+
+    def sweep_teg(self, teg: TEGDevice, condition: ThermalCondition,
+                  points: int = 101) -> IVSweepResult:
+        """Sweep the TEG's electrical port under established conditions."""
+        voc = teg.open_circuit_voltage(condition)
+        if voc <= 0:
+            raise MeasurementError("TEG produces nothing under these conditions")
+        r = teg.params.internal_resistance_ohm
+        return self.smu.sweep(lambda v: (voc - v) / r, 0.0, voc * 1.02, points)
+
+    def measure_teg_intake_w(self, teg: TEGDevice,
+                             converter: HarvesterConverter,
+                             ambient_c: float, skin_c: float,
+                             wind_ms: float) -> float:
+        """Battery intake from a measured TEG sweep under set conditions."""
+        condition = self.establish_thermal(ambient_c, skin_c, wind_ms)
+        sweep = self.sweep_teg(teg, condition)
+        voc = sweep.open_circuit_voltage()
+        transducer_w = sweep.power_at_voltage(converter.mppt_fraction * voc)
+        return converter.battery_intake_w(max(0.0, transducer_w))

@@ -1,0 +1,121 @@
+"""Source/measure-unit emulation (the Keysight B2900A's role).
+
+An SMU characterises a two-terminal DUT by forcing a voltage and
+measuring the current.  The emulation accepts any DUT exposing a
+``current(voltage)`` callable, sweeps it, and post-processes the sweep
+into the quantities the paper's measurements rest on: open-circuit
+voltage, short-circuit current, and the maximum power point.
+
+Measurement noise and quantisation are modelled (the B2900A's strengths
+are its femtoamp floor — effectively ideal here — but the structure
+keeps the bench honest: everything downstream consumes *measured*
+samples, not model internals).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import MeasurementError
+
+__all__ = ["IVSweepResult", "SourceMeasureUnit"]
+
+
+@dataclass(frozen=True)
+class IVSweepResult:
+    """A completed I-V sweep.
+
+    Attributes:
+        voltages_v: forced voltage grid.
+        currents_a: measured current at each point.
+    """
+
+    voltages_v: np.ndarray
+    currents_a: np.ndarray
+
+    @property
+    def powers_w(self) -> np.ndarray:
+        """Delivered power at each sweep point."""
+        return self.voltages_v * self.currents_a
+
+    def open_circuit_voltage(self) -> float:
+        """Interpolated voltage of the zero-current crossing."""
+        sign_change = np.where(np.diff(np.sign(self.currents_a)) != 0)[0]
+        if sign_change.size == 0:
+            raise MeasurementError("sweep does not cross zero current")
+        i = int(sign_change[0])
+        v0, v1 = self.voltages_v[i], self.voltages_v[i + 1]
+        c0, c1 = self.currents_a[i], self.currents_a[i + 1]
+        return float(v0 - c0 * (v1 - v0) / (c1 - c0))
+
+    def short_circuit_current(self) -> float:
+        """Measured current at (or nearest to) zero volts."""
+        idx = int(np.argmin(np.abs(self.voltages_v)))
+        return float(self.currents_a[idx])
+
+    def maximum_power_point(self) -> tuple[float, float, float]:
+        """(voltage, current, power) of the best sweep point."""
+        idx = int(np.argmax(self.powers_w))
+        return (float(self.voltages_v[idx]), float(self.currents_a[idx]),
+                float(self.powers_w[idx]))
+
+    def power_at_voltage(self, voltage_v: float) -> float:
+        """Interpolated power at an arbitrary voltage inside the sweep."""
+        if not (self.voltages_v[0] <= voltage_v <= self.voltages_v[-1]):
+            raise MeasurementError(
+                f"{voltage_v} V outside the swept range "
+                f"[{self.voltages_v[0]}, {self.voltages_v[-1]}]"
+            )
+        current = float(np.interp(voltage_v, self.voltages_v, self.currents_a))
+        return voltage_v * current
+
+
+class SourceMeasureUnit:
+    """Voltage-forcing SMU with configurable measurement imperfections.
+
+    Args:
+        current_noise_a: RMS additive current noise per reading.
+        current_resolution_a: quantisation step of the ammeter
+            (0 disables quantisation).
+        seed: RNG seed for the noise.
+    """
+
+    def __init__(self, current_noise_a: float = 0.0,
+                 current_resolution_a: float = 0.0,
+                 seed: int = 0) -> None:
+        if current_noise_a < 0 or current_resolution_a < 0:
+            raise MeasurementError("noise and resolution cannot be negative")
+        self.current_noise_a = current_noise_a
+        self.current_resolution_a = current_resolution_a
+        self._rng = np.random.default_rng(seed)
+
+    def measure_current(self, dut_current: Callable[[float], float],
+                        voltage_v: float) -> float:
+        """One forced-voltage current reading."""
+        reading = float(dut_current(voltage_v))
+        if self.current_noise_a > 0:
+            reading += float(self._rng.normal(0.0, self.current_noise_a))
+        if self.current_resolution_a > 0:
+            reading = round(reading / self.current_resolution_a) * self.current_resolution_a
+        return reading
+
+    def sweep(self, dut_current: Callable[[float], float],
+              start_v: float, stop_v: float, points: int = 201) -> IVSweepResult:
+        """Linear voltage sweep of a DUT.
+
+        Args:
+            dut_current: callable mapping forced volts to DUT amps.
+            start_v: first forced voltage.
+            stop_v: last forced voltage (must exceed ``start_v``).
+            points: number of sweep points (>= 2).
+        """
+        if points < 2:
+            raise MeasurementError("a sweep needs >= 2 points")
+        if stop_v <= start_v:
+            raise MeasurementError("stop voltage must exceed start voltage")
+        volts = np.linspace(start_v, stop_v, points)
+        amps = np.array([self.measure_current(dut_current, float(v)) for v in volts])
+        return IVSweepResult(voltages_v=volts, currents_a=amps)

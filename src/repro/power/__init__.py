@@ -1,0 +1,38 @@
+"""System power substrate: battery, fuel gauge, regulators, loads.
+
+Models the storage and consumption side of InfiniWolf's smart power
+unit: the 120 mAh LiPo cell, the BQ27441 fuel gauge that tracks it, the
+1.8 V LDO rail, and per-component power-state machines for every block
+in the Fig. 1 diagram (sensors, the two processors, the BLE radio).
+"""
+
+from repro.power.battery import LiPoBattery, BatteryState
+from repro.power.fuelgauge import BQ27441FuelGauge, FuelGaugeReading
+from repro.power.regulators import LowDropoutRegulator
+from repro.power.psu import PsuStep, SmartPowerUnit
+from repro.power.loads import (
+    LoadComponent,
+    PowerState,
+    ComponentCatalog,
+    default_catalog,
+    BleRadioModel,
+    ECG_AFE_ACTIVE_W,
+    GSR_AFE_ACTIVE_W,
+)
+
+__all__ = [
+    "LiPoBattery",
+    "BatteryState",
+    "BQ27441FuelGauge",
+    "FuelGaugeReading",
+    "LowDropoutRegulator",
+    "LoadComponent",
+    "PowerState",
+    "ComponentCatalog",
+    "default_catalog",
+    "BleRadioModel",
+    "ECG_AFE_ACTIVE_W",
+    "GSR_AFE_ACTIVE_W",
+    "PsuStep",
+    "SmartPowerUnit",
+]

@@ -1,0 +1,155 @@
+"""LiPo battery model with coulomb counting and an OCV curve.
+
+InfiniWolf carries a single 120 mAh lithium-polymer cell that both
+harvester ICs charge and every rail discharges.  The model tracks
+charge with coulomb counting, maps state of charge to open-circuit
+voltage through a piecewise-linear LiPo curve, applies a series
+internal resistance under load, and enforces the over/under-voltage
+lockouts the harvester ICs implement (battery protection).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import PowerModelError
+from repro.units import mah_to_coulombs
+
+__all__ = ["BatteryState", "LiPoBattery"]
+
+# Typical single-cell LiPo open-circuit voltage vs state of charge.
+_OCV_SOC_GRID = np.array([0.0, 0.05, 0.10, 0.20, 0.30, 0.40, 0.50,
+                          0.60, 0.70, 0.80, 0.90, 0.95, 1.00])
+_OCV_VOLTS = np.array([3.00, 3.45, 3.60, 3.69, 3.74, 3.77, 3.80,
+                       3.85, 3.91, 3.98, 4.07, 4.12, 4.20])
+
+
+@dataclass(frozen=True)
+class BatteryState:
+    """Immutable snapshot of the battery.
+
+    Attributes:
+        charge_c: remaining charge in coulombs.
+        capacity_c: full-charge capacity in coulombs.
+        open_circuit_voltage_v: OCV at the current state of charge.
+    """
+
+    charge_c: float
+    capacity_c: float
+    open_circuit_voltage_v: float
+
+    @property
+    def state_of_charge(self) -> float:
+        """State of charge as a fraction in [0, 1]."""
+        return self.charge_c / self.capacity_c
+
+
+class LiPoBattery:
+    """A rechargeable LiPo cell tracked by coulomb counting.
+
+    Args:
+        capacity_mah: nameplate capacity (the paper's cell is 120 mAh).
+        initial_soc: starting state of charge in [0, 1].
+        internal_resistance_ohm: series resistance for loaded-voltage
+            estimates.
+        charge_efficiency: coulombic efficiency of charging (energy
+            pushed in times this reaches the stored charge).
+        undervoltage_lockout_v: terminal voltage below which discharge
+            is blocked (the BQ parts' VBAT_UV).
+        overvoltage_v: charge is rejected above this OCV (VBAT_OV).
+    """
+
+    def __init__(self, capacity_mah: float = 120.0, initial_soc: float = 0.5,
+                 internal_resistance_ohm: float = 0.35,
+                 charge_efficiency: float = 0.98,
+                 undervoltage_lockout_v: float = 3.0,
+                 overvoltage_v: float = 4.2) -> None:
+        if capacity_mah <= 0:
+            raise PowerModelError("capacity must be positive")
+        if not 0.0 <= initial_soc <= 1.0:
+            raise PowerModelError("initial_soc must lie in [0, 1]")
+        if not 0.0 < charge_efficiency <= 1.0:
+            raise PowerModelError("charge_efficiency must lie in (0, 1]")
+        if internal_resistance_ohm < 0:
+            raise PowerModelError("internal resistance cannot be negative")
+        self.capacity_c = mah_to_coulombs(capacity_mah)
+        self.charge_c = initial_soc * self.capacity_c
+        self.internal_resistance_ohm = internal_resistance_ohm
+        self.charge_efficiency = charge_efficiency
+        self.undervoltage_lockout_v = undervoltage_lockout_v
+        self.overvoltage_v = overvoltage_v
+
+    # -- read-only views -------------------------------------------------------
+
+    @property
+    def state_of_charge(self) -> float:
+        """Current state of charge in [0, 1]."""
+        return self.charge_c / self.capacity_c
+
+    def open_circuit_voltage(self) -> float:
+        """OCV from the piecewise-linear LiPo curve."""
+        return float(np.interp(self.state_of_charge, _OCV_SOC_GRID, _OCV_VOLTS))
+
+    def terminal_voltage(self, load_current_a: float = 0.0) -> float:
+        """Voltage under load (positive current discharges)."""
+        return self.open_circuit_voltage() - load_current_a * self.internal_resistance_ohm
+
+    def snapshot(self) -> BatteryState:
+        """An immutable view of the present state."""
+        return BatteryState(
+            charge_c=self.charge_c,
+            capacity_c=self.capacity_c,
+            open_circuit_voltage_v=self.open_circuit_voltage(),
+        )
+
+    @property
+    def is_undervoltage(self) -> bool:
+        """True when the UV lockout blocks further discharge."""
+        return self.open_circuit_voltage() <= self.undervoltage_lockout_v
+
+    @property
+    def is_full(self) -> bool:
+        """True when the OV threshold rejects further charge."""
+        return self.open_circuit_voltage() >= self.overvoltage_v
+
+    # -- state changes -----------------------------------------------------------
+
+    def charge(self, power_w: float, duration_s: float) -> float:
+        """Push charging power in for a duration.
+
+        Returns the energy actually stored (J).  Charge is accepted at
+        the charging voltage (approximated by the OCV), reduced by the
+        coulombic efficiency, and clipped at full capacity / the OV
+        lockout.
+        """
+        if power_w < 0 or duration_s < 0:
+            raise PowerModelError("charge power and duration cannot be negative")
+        if power_w == 0 or duration_s == 0 or self.is_full:
+            return 0.0
+        voltage = self.open_circuit_voltage()
+        delta_c = power_w * duration_s / voltage * self.charge_efficiency
+        accepted = min(delta_c, self.capacity_c - self.charge_c)
+        self.charge_c += accepted
+        return accepted * voltage / self.charge_efficiency
+
+    def discharge(self, power_w: float, duration_s: float) -> float:
+        """Draw load power for a duration.
+
+        Returns the energy actually delivered (J); this is less than
+        requested when the battery empties or hits UV lockout mid-way.
+        """
+        if power_w < 0 or duration_s < 0:
+            raise PowerModelError("discharge power and duration cannot be negative")
+        if power_w == 0 or duration_s == 0 or self.is_undervoltage:
+            return 0.0
+        voltage = self.open_circuit_voltage()
+        delta_c = power_w * duration_s / voltage
+        # Do not discharge below the UV-lockout state of charge.
+        uv_soc = float(np.interp(self.undervoltage_lockout_v, _OCV_VOLTS, _OCV_SOC_GRID))
+        floor_c = uv_soc * self.capacity_c
+        available = max(0.0, self.charge_c - floor_c)
+        delivered = min(delta_c, available)
+        self.charge_c -= delivered
+        return delivered * voltage

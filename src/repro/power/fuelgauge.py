@@ -1,0 +1,96 @@
+"""Behavioural model of the BQ27441 fuel gauge.
+
+The nRF52832 polls the BQ27441 over I2C to "keep track of the battery
+charging status" (paper, Section II).  The gauge reports state of
+charge in whole percent, terminal voltage in millivolts, and an average
+current over its internal update interval — quantisations this model
+reproduces so the power-manager policy operates on gauge readings, not
+on privileged float state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PowerModelError
+from repro.power.battery import LiPoBattery
+
+__all__ = ["FuelGaugeReading", "BQ27441FuelGauge"]
+
+
+@dataclass(frozen=True)
+class FuelGaugeReading:
+    """One I2C poll of the gauge.
+
+    Attributes:
+        state_of_charge_pct: whole-percent state of charge (0..100).
+        voltage_mv: terminal voltage in millivolts, 1 mV resolution.
+        average_current_ma: signed average current over the update
+            window (positive = charging), 1 mA-resolution as the real
+            part reports for small cells.
+        remaining_capacity_mah: remaining capacity in mAh.
+    """
+
+    state_of_charge_pct: int
+    voltage_mv: int
+    average_current_ma: float
+    remaining_capacity_mah: float
+
+
+class BQ27441FuelGauge:
+    """Fuel gauge wrapped around a battery model.
+
+    Args:
+        battery: the cell being gauged.
+        update_interval_s: the gauge's internal averaging window
+            (1 s on the real part in NORMAL mode).
+        quiescent_w: the gauge's own standing draw, drawn from the
+            battery on every :meth:`advance` call.
+    """
+
+    def __init__(self, battery: LiPoBattery, update_interval_s: float = 1.0,
+                 quiescent_w: float = 0.3e-6) -> None:
+        if update_interval_s <= 0:
+            raise PowerModelError("update interval must be positive")
+        if quiescent_w < 0:
+            raise PowerModelError("quiescent power cannot be negative")
+        self.battery = battery
+        self.update_interval_s = update_interval_s
+        self.quiescent_w = quiescent_w
+        self._window_charge_delta_c = 0.0
+        self._window_elapsed_s = 0.0
+        self._last_average_a = 0.0
+
+    def advance(self, duration_s: float, charge_delta_c: float = 0.0) -> None:
+        """Account a time slice and the battery-charge delta seen in it.
+
+        Args:
+            duration_s: length of the slice.
+            charge_delta_c: signed change in battery charge during the
+                slice (positive = charged), used for the average-current
+                register.
+        """
+        if duration_s < 0:
+            raise PowerModelError("duration cannot be negative")
+        self.battery.discharge(self.quiescent_w, duration_s)
+        self._window_charge_delta_c += charge_delta_c
+        self._window_elapsed_s += duration_s
+        while self._window_elapsed_s >= self.update_interval_s:
+            self._last_average_a = (self._window_charge_delta_c
+                                    / max(self._window_elapsed_s, 1e-12))
+            self._window_charge_delta_c = 0.0
+            self._window_elapsed_s -= self.update_interval_s
+
+    def read(self) -> FuelGaugeReading:
+        """Poll the gauge registers."""
+        from repro.units import coulombs_to_mah
+
+        soc_pct = int(round(self.battery.state_of_charge * 100.0))
+        voltage_mv = int(round(self.battery.open_circuit_voltage() * 1000.0))
+        avg_ma = round(self._last_average_a * 1000.0, 0)
+        return FuelGaugeReading(
+            state_of_charge_pct=max(0, min(100, soc_pct)),
+            voltage_mv=voltage_mv,
+            average_current_ma=avg_ma,
+            remaining_capacity_mah=coulombs_to_mah(self.battery.charge_c),
+        )

@@ -1,0 +1,124 @@
+"""The smart power-supply unit: harvest in, rails out, one battery.
+
+The paper's "smart PSU" lets the system "operate with low losses while
+harvesting energy, monitoring sensors and managing the power according
+to the policies implemented".  :class:`SmartPowerUnit` is that block as
+a steppable model: each time slice it
+
+1. charges the battery with the dual-source intake for the current
+   environment,
+2. draws the component catalog's load through the 1.8 V LDO,
+3. advances the fuel gauge so the policy layer reads quantised gauge
+   registers instead of privileged float state, and
+4. enforces the under-voltage lockout (loads shed to their lowest
+   states when the battery protection trips).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PowerModelError
+from repro.harvest.dual import DualSourceHarvester
+from repro.harvest.environment import LightingCondition, ThermalCondition
+from repro.power.battery import LiPoBattery
+from repro.power.fuelgauge import BQ27441FuelGauge, FuelGaugeReading
+from repro.power.loads import ComponentCatalog
+from repro.power.regulators import LowDropoutRegulator
+
+__all__ = ["PsuStep", "SmartPowerUnit"]
+
+
+@dataclass(frozen=True)
+class PsuStep:
+    """Energy accounting of one PSU time slice.
+
+    Attributes:
+        harvested_j: energy pushed into the battery.
+        delivered_j: load energy delivered at the rail.
+        drawn_from_battery_j: battery-side energy (rail + LDO losses).
+        load_shed: True when the UV lockout forced loads off.
+    """
+
+    harvested_j: float
+    delivered_j: float
+    drawn_from_battery_j: float
+    load_shed: bool
+
+
+class SmartPowerUnit:
+    """Battery + harvesters + LDO + loads, stepped together.
+
+    Args:
+        battery: the storage cell.
+        harvester: the dual-source harvesting chain.
+        catalog: per-component load models (their current states set
+            the rail demand).
+        ldo: the 1.8 V rail regulator.
+    """
+
+    def __init__(self, battery: LiPoBattery, harvester: DualSourceHarvester,
+                 catalog: ComponentCatalog,
+                 ldo: LowDropoutRegulator | None = None) -> None:
+        self.battery = battery
+        self.harvester = harvester
+        self.catalog = catalog
+        self.ldo = ldo if ldo is not None else LowDropoutRegulator()
+        self.fuel_gauge = BQ27441FuelGauge(battery)
+
+    def rail_demand_w(self) -> float:
+        """Current load on the 1.8 V rail from the component states."""
+        return self.catalog.total_power_w()
+
+    def battery_demand_w(self) -> float:
+        """Battery-side draw implied by the rail demand (LDO losses in)."""
+        rail_w = self.rail_demand_w()
+        voltage = self.battery.open_circuit_voltage()
+        if not self.ldo.in_regulation(voltage):
+            raise PowerModelError(
+                f"battery at {voltage:.2f} V cannot sustain the "
+                f"{self.ldo.output_voltage_v} V rail"
+            )
+        return self.ldo.input_power_w(rail_w, voltage)
+
+    def shed_loads(self) -> None:
+        """Drop every component to its lowest state (UV protection)."""
+        for component in self.catalog:
+            for preferred in ("off", "sleep", "standby"):
+                if preferred in component.states:
+                    component.set_state(preferred)
+                    break
+
+    def step(self, lighting: LightingCondition, thermal: ThermalCondition,
+             duration_s: float) -> PsuStep:
+        """Advance the PSU by one time slice under given conditions."""
+        if duration_s <= 0:
+            raise PowerModelError("step duration must be positive")
+
+        intake_w = self.harvester.battery_intake_w(lighting, thermal)
+        charge_before = self.battery.charge_c
+        harvested_j = self.battery.charge(intake_w, duration_s)
+
+        load_shed = False
+        if self.battery.is_undervoltage:
+            self.shed_loads()
+            load_shed = True
+
+        battery_w = self.battery_demand_w()
+        drawn_j = self.battery.discharge(battery_w, duration_s)
+        rail_fraction = (self.rail_demand_w() / battery_w
+                         if battery_w > 0 else 0.0)
+        delivered_j = drawn_j * rail_fraction
+
+        self.fuel_gauge.advance(duration_s,
+                                charge_delta_c=self.battery.charge_c - charge_before)
+        return PsuStep(
+            harvested_j=harvested_j,
+            delivered_j=delivered_j,
+            drawn_from_battery_j=drawn_j,
+            load_shed=load_shed,
+        )
+
+    def gauge_reading(self) -> FuelGaugeReading:
+        """What the nRF52832 reads over I2C."""
+        return self.fuel_gauge.read()

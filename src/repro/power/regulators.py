@@ -1,0 +1,63 @@
+"""Linear regulator model (the 1.8 V LDO rail in Fig. 1).
+
+An LDO's efficiency is structurally ``V_out / V_in`` plus its own
+ground current: every milliamp delivered at 1.8 V from a ~3.8 V LiPo
+burns the difference as heat.  The model answers the only two questions
+the system simulation asks: how much battery power does a given rail
+load imply, and is the rail in dropout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PowerModelError
+
+__all__ = ["LowDropoutRegulator"]
+
+
+@dataclass(frozen=True)
+class LowDropoutRegulator:
+    """A fixed-output LDO.
+
+    Attributes:
+        output_voltage_v: regulated output (1.8 V on InfiniWolf).
+        dropout_v: minimum input-output headroom for regulation.
+        ground_current_a: the regulator's own quiescent current.
+    """
+
+    output_voltage_v: float = 1.8
+    dropout_v: float = 0.2
+    ground_current_a: float = 1.0e-6
+
+    def __post_init__(self) -> None:
+        if self.output_voltage_v <= 0:
+            raise PowerModelError("output voltage must be positive")
+        if self.dropout_v < 0 or self.ground_current_a < 0:
+            raise PowerModelError("dropout and ground current cannot be negative")
+
+    def in_regulation(self, input_voltage_v: float) -> bool:
+        """Whether the rail regulates at a given input voltage."""
+        return input_voltage_v >= self.output_voltage_v + self.dropout_v
+
+    def input_power_w(self, load_power_w: float, input_voltage_v: float) -> float:
+        """Battery-side power implied by a rail-side load.
+
+        The load current is ``P_load / V_out``; the same current flows
+        from the input at ``V_in``, plus the ground current.
+        """
+        if load_power_w < 0:
+            raise PowerModelError("load power cannot be negative")
+        if not self.in_regulation(input_voltage_v):
+            raise PowerModelError(
+                f"LDO in dropout: V_in {input_voltage_v} V < "
+                f"{self.output_voltage_v + self.dropout_v} V"
+            )
+        load_current = load_power_w / self.output_voltage_v
+        return (load_current + self.ground_current_a) * input_voltage_v
+
+    def efficiency(self, load_power_w: float, input_voltage_v: float) -> float:
+        """Rail efficiency at a load point."""
+        if load_power_w == 0:
+            return 0.0
+        return load_power_w / self.input_power_w(load_power_w, input_voltage_v)

@@ -1,0 +1,30 @@
+"""Fixed-point arithmetic substrate.
+
+FANN's fixed-point mode stores weights and activations as 32-bit
+integers with a network-wide binary point ("decimal point" in FANN
+terminology).  This package provides that representation as a reusable
+:class:`QFormat` value type plus vectorised numpy helpers, and the
+activation lookup tables used by the fixed-point inference kernels.
+"""
+
+from repro.quant.qformat import (
+    QFormat,
+    Q15,
+    Q7,
+    saturate,
+    to_fixed,
+    from_fixed,
+)
+from repro.quant.lut import ActivationTable, tanh_table, sigmoid_table
+
+__all__ = [
+    "QFormat",
+    "Q15",
+    "Q7",
+    "saturate",
+    "to_fixed",
+    "from_fixed",
+    "ActivationTable",
+    "tanh_table",
+    "sigmoid_table",
+]

@@ -1,0 +1,147 @@
+"""Activation-function lookup tables for fixed-point inference.
+
+FANN's fixed-point runtime replaces transcendental activation functions
+with piecewise-linear lookup tables computed when the network is saved.
+:class:`ActivationTable` reproduces that scheme: the input range that
+matters (the non-saturated region of the sigmoid/tanh) is divided into
+uniform segments, each entry stores the function value at a breakpoint,
+and evaluation interpolates linearly between neighbouring entries.
+Inputs beyond the table saturate at the asymptotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.quant.qformat import QFormat
+
+__all__ = ["ActivationTable", "tanh_table", "sigmoid_table"]
+
+
+@dataclass(frozen=True)
+class ActivationTable:
+    """Piecewise-linear fixed-point approximation of an activation function.
+
+    Attributes:
+        fmt: fixed-point format of inputs, outputs and table entries.
+        input_low: real-valued lower edge of the tabulated input range.
+        input_high: real-valued upper edge of the tabulated input range.
+        entries: raw fixed-point function values at uniformly spaced
+            breakpoints across ``[input_low, input_high]``.
+        low_value: raw output for inputs below ``input_low``.
+        high_value: raw output for inputs above ``input_high``.
+    """
+
+    fmt: QFormat
+    input_low: float
+    input_high: float
+    entries: np.ndarray = field(repr=False)
+    low_value: int
+    high_value: int
+
+    @classmethod
+    def build(
+        cls,
+        func: Callable[[np.ndarray], np.ndarray],
+        fmt: QFormat,
+        input_low: float,
+        input_high: float,
+        num_entries: int = 256,
+    ) -> "ActivationTable":
+        """Tabulate ``func`` over ``[input_low, input_high]``.
+
+        Args:
+            func: vectorised real activation (e.g. ``np.tanh``).
+            fmt: fixed-point format for inputs and outputs.
+            input_low: lower edge of the non-saturated region.
+            input_high: upper edge of the non-saturated region.
+            num_entries: number of breakpoints (>= 2).
+        """
+        if num_entries < 2:
+            raise QuantizationError("an activation table needs >= 2 entries")
+        if not input_low < input_high:
+            raise QuantizationError("input_low must be strictly below input_high")
+        xs = np.linspace(input_low, input_high, num_entries)
+        ys = np.asarray(func(xs), dtype=np.float64)
+        entries = fmt.to_fixed(ys)
+        return cls(
+            fmt=fmt,
+            input_low=input_low,
+            input_high=input_high,
+            entries=np.asarray(entries, dtype=np.int64),
+            low_value=int(entries[0]),
+            high_value=int(entries[-1]),
+        )
+
+    @property
+    def num_entries(self) -> int:
+        """Number of breakpoints in the table."""
+        return int(self.entries.shape[0])
+
+    def lookup(self, raw):
+        """Evaluate the activation for raw fixed-point inputs.
+
+        Accepts scalars or arrays of raw integers in :attr:`fmt`;
+        returns raw integers in the same format.  Linear interpolation
+        between breakpoints is done in integer arithmetic, mirroring the
+        embedded C implementation.
+        """
+        scalar = np.isscalar(raw) or np.ndim(raw) == 0
+        x = np.asarray(raw, dtype=np.int64)
+
+        lo_raw = self.fmt.to_fixed(self.input_low)
+        hi_raw = self.fmt.to_fixed(self.input_high)
+        span = hi_raw - lo_raw
+        segments = self.num_entries - 1
+
+        # Position within the table, in units of 1/segments of the span.
+        offset = np.clip(x, lo_raw, hi_raw) - lo_raw
+        # Integer index of the segment and the remainder inside it.
+        idx = (offset * segments) // span
+        idx = np.clip(idx, 0, segments - 1)
+        seg_start = lo_raw + (idx * span) // segments
+        seg_len = np.maximum((span + segments - 1) // segments, 1)
+        frac = np.clip(offset - (seg_start - lo_raw), 0, seg_len)
+
+        y0 = self.entries[idx]
+        y1 = self.entries[idx + 1]
+        interp = y0 + ((y1 - y0) * frac) // seg_len
+
+        out = np.where(x <= lo_raw, self.low_value, interp)
+        out = np.where(x >= hi_raw, self.high_value, out)
+        if scalar:
+            return int(out)
+        return out
+
+    def max_abs_error(self, func: Callable[[np.ndarray], np.ndarray],
+                      num_probe: int = 4096) -> float:
+        """Worst-case real-valued error of the table against ``func``.
+
+        Probes uniformly across the tabulated range plus the saturated
+        tails; useful for tests that bound the quantisation error.
+        """
+        pad = 0.5 * (self.input_high - self.input_low)
+        xs = np.linspace(self.input_low - pad, self.input_high + pad, num_probe)
+        raw_in = self.fmt.to_fixed(xs)
+        raw_out = self.lookup(raw_in)
+        approx = self.fmt.from_fixed(raw_out)
+        exact = np.asarray(func(self.fmt.from_fixed(raw_in)), dtype=np.float64)
+        return float(np.max(np.abs(approx - exact)))
+
+
+def tanh_table(fmt: QFormat, num_entries: int = 256) -> ActivationTable:
+    """Standard tanh table over the non-saturated region [-4, 4]."""
+    return ActivationTable.build(np.tanh, fmt, -4.0, 4.0, num_entries)
+
+
+def sigmoid_table(fmt: QFormat, num_entries: int = 256) -> ActivationTable:
+    """Standard logistic-sigmoid table over [-8, 8]."""
+
+    def _sigmoid(x: np.ndarray) -> np.ndarray:
+        return 1.0 / (1.0 + np.exp(-x))
+
+    return ActivationTable.build(_sigmoid, fmt, -8.0, 8.0, num_entries)

@@ -1,0 +1,180 @@
+"""Q-format fixed-point representation with saturating arithmetic.
+
+A :class:`QFormat` describes signed fixed-point numbers stored in
+``total_bits`` two's-complement bits with ``frac_bits`` bits to the
+right of the binary point.  FANN's fixed-point networks use a single
+format for weights and activations (32-bit storage with a network-wide
+binary point); the XpulpV2 SIMD extensions operate on packed Q1.15 and
+Q1.7 lanes.  Both users share this module.
+
+All conversion helpers accept scalars or numpy arrays and preserve the
+input shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+__all__ = ["QFormat", "Q15", "Q7", "saturate", "to_fixed", "from_fixed"]
+
+
+def saturate(values, total_bits: int):
+    """Clamp integer ``values`` into the signed range of ``total_bits``.
+
+    Works on python ints and numpy arrays alike; returns the same kind
+    of object it was given.
+    """
+    lo = -(1 << (total_bits - 1))
+    hi = (1 << (total_bits - 1)) - 1
+    if isinstance(values, np.ndarray):
+        return np.clip(values, lo, hi)
+    return max(lo, min(hi, values))
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed fixed-point format: ``total_bits`` wide, ``frac_bits`` fractional.
+
+    Attributes:
+        total_bits: storage width in bits, including the sign bit.
+        frac_bits: number of fractional bits (position of the binary point).
+    """
+
+    total_bits: int
+    frac_bits: int
+
+    def __post_init__(self) -> None:
+        if self.total_bits < 2:
+            raise QuantizationError(
+                f"QFormat needs at least 2 bits, got {self.total_bits}"
+            )
+        if not 0 <= self.frac_bits < self.total_bits:
+            raise QuantizationError(
+                f"frac_bits must lie in [0, {self.total_bits}), got {self.frac_bits}"
+            )
+
+    # -- derived properties -------------------------------------------------
+
+    @property
+    def scale(self) -> int:
+        """Integer scale factor ``2**frac_bits``."""
+        return 1 << self.frac_bits
+
+    @property
+    def min_int(self) -> int:
+        """Most negative representable raw integer."""
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def max_int(self) -> int:
+        """Most positive representable raw integer."""
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_value(self) -> float:
+        """Most negative representable real value."""
+        return self.min_int / self.scale
+
+    @property
+    def max_value(self) -> float:
+        """Most positive representable real value."""
+        return self.max_int / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Distance between adjacent representable values."""
+        return 1.0 / self.scale
+
+    def __str__(self) -> str:
+        return f"Q{self.total_bits - self.frac_bits - 1}.{self.frac_bits}"
+
+    # -- conversions --------------------------------------------------------
+
+    def to_fixed(self, values, saturating: bool = True):
+        """Quantise real ``values`` to raw integers in this format.
+
+        Rounds to nearest (ties away from zero, matching C's ``lround``
+        that FANN uses).  With ``saturating=False`` an out-of-range
+        value raises :class:`QuantizationError` instead of clamping.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        raw = np.where(arr >= 0, np.floor(arr * self.scale + 0.5),
+                       np.ceil(arr * self.scale - 0.5)).astype(np.int64)
+        if saturating:
+            raw = np.clip(raw, self.min_int, self.max_int)
+        elif np.any(raw < self.min_int) or np.any(raw > self.max_int):
+            raise QuantizationError(
+                f"value out of range for {self}: "
+                f"[{arr.min()}, {arr.max()}] vs [{self.min_value}, {self.max_value}]"
+            )
+        if np.isscalar(values) or np.ndim(values) == 0:
+            return int(raw)
+        return raw
+
+    def from_fixed(self, raw):
+        """Convert raw integers in this format back to real values."""
+        arr = np.asarray(raw, dtype=np.float64)
+        out = arr / self.scale
+        if np.isscalar(raw) or np.ndim(raw) == 0:
+            return float(out)
+        return out
+
+    def quantize(self, values):
+        """Round-trip ``values`` through this format (quantisation error applied)."""
+        return self.from_fixed(self.to_fixed(values))
+
+    # -- arithmetic on raw integers ------------------------------------------
+
+    def mult(self, a, b):
+        """Fixed-point multiply of two raw values: ``(a*b) >> frac_bits``.
+
+        Uses arithmetic (floor) shift like the C kernels do, then
+        saturates to the storage width.
+        """
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            prod = np.asarray(a, dtype=np.int64) * np.asarray(b, dtype=np.int64)
+            return saturate(prod >> self.frac_bits, self.total_bits)
+        return saturate((int(a) * int(b)) >> self.frac_bits, self.total_bits)
+
+    def add(self, a, b):
+        """Saturating fixed-point addition of two raw values."""
+        if isinstance(a, np.ndarray) or isinstance(b, np.ndarray):
+            total = np.asarray(a, dtype=np.int64) + np.asarray(b, dtype=np.int64)
+            return saturate(total, self.total_bits)
+        return saturate(int(a) + int(b), self.total_bits)
+
+    def dot(self, weights, activations) -> int:
+        """Accumulating dot product as the C kernels compute it.
+
+        Products are accumulated at full ``2*total_bits`` precision and
+        the accumulator is shifted back down once at the end, exactly
+        like FANN's fixed-point neuron loop.  Returns the raw result,
+        saturated to the storage width.
+        """
+        w = np.asarray(weights, dtype=np.int64)
+        x = np.asarray(activations, dtype=np.int64)
+        if w.shape != x.shape:
+            raise QuantizationError(
+                f"dot shape mismatch: {w.shape} vs {x.shape}"
+            )
+        acc = int(np.sum(w * x))
+        return saturate(acc >> self.frac_bits, self.total_bits)
+
+
+# Common lane formats used by the SIMD extensions.
+Q15 = QFormat(16, 15)
+Q7 = QFormat(8, 7)
+
+
+def to_fixed(values, fmt: QFormat):
+    """Module-level convenience wrapper for :meth:`QFormat.to_fixed`."""
+    return fmt.to_fixed(values)
+
+
+def from_fixed(raw, fmt: QFormat):
+    """Module-level convenience wrapper for :meth:`QFormat.from_fixed`."""
+    return fmt.from_fixed(raw)

@@ -1,0 +1,63 @@
+"""Synthetic physiological signals and the drivedb-like stress dataset.
+
+The paper trains its stress classifier on the PhysioNet driver-stress
+dataset [15], which this offline reproduction cannot download.  This
+package substitutes physiologically-grounded synthetic generators:
+
+* :mod:`repro.sensors.ecg` — an RR-interval HRV model (stress lowers
+  vagally-mediated beat-to-beat variability) plus a Gaussian-bump
+  PQRST waveform synthesiser.
+* :mod:`repro.sensors.gsr` — tonic skin conductance with phasic
+  skin-conductance responses whose rate and amplitude rise with
+  stress.
+* :mod:`repro.sensors.stress_dataset` — labelled multi-segment
+  recordings mimicking drivedb's rest / city / highway protocol.
+
+The downstream pipeline only consumes the five features the paper
+extracts (RMSSD, SDSD, NN50, GSRH, GSRL), so what matters is that the
+generators produce raw signals whose feature distributions separate
+the stress classes the way the literature describes — which the
+dataset tests verify.
+"""
+
+from repro.sensors.ecg import (
+    HRVParameters,
+    RRIntervalGenerator,
+    synthesize_ecg_waveform,
+    hrv_parameters_for_stress,
+)
+from repro.sensors.gsr import (
+    GSRParameters,
+    GSRGenerator,
+    gsr_parameters_for_stress,
+)
+from repro.sensors.stress_dataset import (
+    StressLevel,
+    LabelledSegment,
+    StressRecording,
+    StressDatasetGenerator,
+)
+from repro.sensors.auxiliary import (
+    ImuModel,
+    ImuSample,
+    MicrophoneModel,
+    PressureSensorModel,
+)
+
+__all__ = [
+    "HRVParameters",
+    "RRIntervalGenerator",
+    "synthesize_ecg_waveform",
+    "hrv_parameters_for_stress",
+    "GSRParameters",
+    "GSRGenerator",
+    "gsr_parameters_for_stress",
+    "StressLevel",
+    "LabelledSegment",
+    "StressRecording",
+    "StressDatasetGenerator",
+    "ImuModel",
+    "ImuSample",
+    "MicrophoneModel",
+    "PressureSensorModel",
+]

@@ -1,0 +1,167 @@
+"""Auxiliary sensor models: 9-axis IMU, pressure, microphone.
+
+The stress-detection evaluation only consumes ECG and GSR, but the
+board carries three more sensors (Fig. 1) whose power states matter
+for system budgets and whose data the activity-aware extensions use:
+
+* :class:`ImuModel` — wrist accelerometer/gyroscope traces for a named
+  activity (rest / walk / cycle), plus a trivial activity detector the
+  power manager could gate acquisition with (no HRV feature is valid
+  during heavy motion artefacts);
+* :class:`PressureSensorModel` — barometric altitude with sensor noise;
+* :class:`MicrophoneModel` — ambient sound pressure level, usable as a
+  crude context feature.
+
+These are deliberately small models: enough to generate plausible
+numbers, carry datasheet power states (in
+:mod:`repro.power.loads`), and be tested — not research-grade signal
+synthesis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["ImuSample", "ImuModel", "PressureSensorModel", "MicrophoneModel"]
+
+GRAVITY_MS2 = 9.81
+
+# (accel RMS around gravity in m/s^2, gyro RMS in deg/s) per activity.
+_ACTIVITY_LEVELS = {
+    "rest": (0.05, 1.0),
+    "walk": (1.2, 25.0),
+    "cycle": (2.5, 60.0),
+}
+
+
+@dataclass(frozen=True)
+class ImuSample:
+    """One 9-axis sample (magnetometer omitted from the dynamics).
+
+    Attributes:
+        accel_ms2: (x, y, z) acceleration including gravity.
+        gyro_dps: (x, y, z) angular rate in degrees/second.
+    """
+
+    accel_ms2: tuple[float, float, float]
+    gyro_dps: tuple[float, float, float]
+
+    @property
+    def accel_magnitude(self) -> float:
+        """Norm of the acceleration vector."""
+        return float(np.sqrt(sum(a * a for a in self.accel_ms2)))
+
+
+class ImuModel:
+    """Wrist IMU traces for a named activity level.
+
+    Args:
+        activity: one of ``rest``, ``walk``, ``cycle``.
+        seed: RNG seed.
+    """
+
+    def __init__(self, activity: str = "rest", seed: int = 0) -> None:
+        if activity not in _ACTIVITY_LEVELS:
+            valid = ", ".join(sorted(_ACTIVITY_LEVELS))
+            raise ConfigurationError(
+                f"unknown activity {activity!r}; expected one of: {valid}"
+            )
+        self.activity = activity
+        self._rng = np.random.default_rng(seed)
+
+    def generate(self, duration_s: float,
+                 sampling_rate_hz: float = 100.0) -> list[ImuSample]:
+        """Sampled IMU trace for the configured activity."""
+        if duration_s <= 0 or sampling_rate_hz <= 0:
+            raise ConfigurationError("duration and rate must be positive")
+        accel_rms, gyro_rms = _ACTIVITY_LEVELS[self.activity]
+        count = int(duration_s * sampling_rate_hz)
+        t = np.arange(count) / sampling_rate_hz
+        # Arm-swing fundamental around 1 Hz for walking, 1.5 for cycling.
+        swing_hz = {"rest": 0.0, "walk": 1.0, "cycle": 1.5}[self.activity]
+        swing = accel_rms * np.sin(2 * np.pi * swing_hz * t) if swing_hz else 0.0
+        samples = []
+        for i in range(count):
+            noise = self._rng.normal(0.0, accel_rms * 0.4, size=3)
+            swing_i = swing[i] if swing_hz else 0.0
+            accel = (noise[0] + swing_i, noise[1], GRAVITY_MS2 + noise[2])
+            gyro = tuple(self._rng.normal(0.0, gyro_rms, size=3))
+            samples.append(ImuSample(accel_ms2=accel, gyro_dps=gyro))
+        return samples
+
+    @staticmethod
+    def motion_intensity(samples: list[ImuSample]) -> float:
+        """RMS deviation of |accel| from gravity — a motion score."""
+        if not samples:
+            raise ConfigurationError("need at least one sample")
+        deviations = [s.accel_magnitude - GRAVITY_MS2 for s in samples]
+        return float(np.sqrt(np.mean(np.square(deviations))))
+
+    @staticmethod
+    def is_still(samples: list[ImuSample], threshold_ms2: float = 0.5) -> bool:
+        """Whether the wrist is still enough for a clean ECG window."""
+        return ImuModel.motion_intensity(samples) < threshold_ms2
+
+
+class PressureSensorModel:
+    """Barometric pressure with altitude dependence and sensor noise.
+
+    Args:
+        sea_level_hpa: reference pressure.
+        noise_hpa: RMS measurement noise (BMP280-class: ~0.012 hPa).
+        seed: RNG seed.
+    """
+
+    def __init__(self, sea_level_hpa: float = 1013.25,
+                 noise_hpa: float = 0.012, seed: int = 0) -> None:
+        if sea_level_hpa <= 0:
+            raise ConfigurationError("sea-level pressure must be positive")
+        self.sea_level_hpa = sea_level_hpa
+        self.noise_hpa = noise_hpa
+        self._rng = np.random.default_rng(seed)
+
+    def pressure_at_altitude(self, altitude_m: float) -> float:
+        """Barometric formula (ISA troposphere) plus noise, in hPa."""
+        clean = self.sea_level_hpa * (1.0 - 2.25577e-5 * altitude_m) ** 5.25588
+        return clean + float(self._rng.normal(0.0, self.noise_hpa))
+
+    def altitude_from_pressure(self, pressure_hpa: float) -> float:
+        """Inverse barometric formula, in metres."""
+        if pressure_hpa <= 0:
+            raise ConfigurationError("pressure must be positive")
+        ratio = pressure_hpa / self.sea_level_hpa
+        return (1.0 - ratio ** (1.0 / 5.25588)) / 2.25577e-5
+
+
+class MicrophoneModel:
+    """Ambient sound level samples around a configured environment.
+
+    Args:
+        ambient_db_spl: mean sound pressure level.
+        variability_db: RMS fluctuation.
+        seed: RNG seed.
+    """
+
+    def __init__(self, ambient_db_spl: float = 45.0,
+                 variability_db: float = 4.0, seed: int = 0) -> None:
+        if not 0.0 <= ambient_db_spl <= 140.0:
+            raise ConfigurationError("ambient level outside the SPL range")
+        self.ambient_db_spl = ambient_db_spl
+        self.variability_db = variability_db
+        self._rng = np.random.default_rng(seed)
+
+    def sample_spl(self, count: int = 1) -> np.ndarray:
+        """Draw SPL readings in dB."""
+        if count < 1:
+            raise ConfigurationError("count must be >= 1")
+        return self._rng.normal(self.ambient_db_spl, self.variability_db,
+                                size=count)
+
+    def is_noisy_environment(self, threshold_db: float = 70.0,
+                             window: int = 16) -> bool:
+        """Whether the mean SPL over a window exceeds a threshold."""
+        return float(np.mean(self.sample_spl(window))) > threshold_db

@@ -1,0 +1,203 @@
+"""Synthetic ECG: an HRV-grounded RR-interval model and a PQRST waveform.
+
+Two layers:
+
+1. :class:`RRIntervalGenerator` draws beat-to-beat (RR) interval series
+   from an autoregressive model with physiological structure — a mean
+   heart rate, slow (sympathetic/LF-like) wander and fast
+   (parasympathetic/HF-like, respiration-coupled) variability.  Mental
+   stress raises heart rate and suppresses the fast vagal component,
+   which is precisely what depresses RMSSD / SDSD / NN50, the three
+   ECG features the paper's classifier uses.
+
+2. :func:`synthesize_ecg_waveform` renders an RR series into a sampled
+   single-lead ECG as a sum of Gaussian bumps per beat (P, Q, R, S, T),
+   the standard lightweight alternative to the McSharry dynamical
+   model.  The R-peak detector in :mod:`repro.features.rpeaks` runs on
+   this waveform, so the full acquisition path (waveform -> peaks ->
+   RR -> features) is exercised end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "HRVParameters",
+    "hrv_parameters_for_stress",
+    "RRIntervalGenerator",
+    "synthesize_ecg_waveform",
+]
+
+
+@dataclass(frozen=True)
+class HRVParameters:
+    """Statistical parameters of an RR-interval series.
+
+    Attributes:
+        mean_rr_s: mean beat interval (60 / heart rate).
+        fast_sd_s: standard deviation of the fast (beat-to-beat, vagal)
+            component; the main driver of RMSSD/SDSD/NN50.
+        slow_sd_s: standard deviation of the slow wander component.
+        slow_pole: AR(1) pole of the slow component in (0, 1); closer
+            to 1 means slower wander.
+        respiration_cycle_beats: period (in beats) of the respiratory
+            sinus arrhythmia modulation.
+        rsa_amplitude_s: amplitude of the RSA oscillation.
+    """
+
+    mean_rr_s: float
+    fast_sd_s: float
+    slow_sd_s: float
+    slow_pole: float = 0.95
+    respiration_cycle_beats: float = 4.5
+    rsa_amplitude_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mean_rr_s <= 0.2 or self.mean_rr_s > 3.0:
+            raise ConfigurationError(
+                f"mean RR {self.mean_rr_s}s is outside the physiological range"
+            )
+        if self.fast_sd_s < 0 or self.slow_sd_s < 0 or self.rsa_amplitude_s < 0:
+            raise ConfigurationError("variability amplitudes cannot be negative")
+        if not 0.0 < self.slow_pole < 1.0:
+            raise ConfigurationError("slow_pole must lie in (0, 1)")
+        if self.respiration_cycle_beats <= 1.0:
+            raise ConfigurationError("respiration cycle must exceed one beat")
+
+
+# Literature-shaped operating points: stress raises heart rate and
+# suppresses vagal (fast) variability.  Keys are stress levels 0..2 as
+# used by the drivedb-like dataset (rest / city / highway).
+_STRESS_HRV = {
+    0: HRVParameters(mean_rr_s=0.85, fast_sd_s=0.045, slow_sd_s=0.030,
+                     rsa_amplitude_s=0.025),
+    1: HRVParameters(mean_rr_s=0.75, fast_sd_s=0.028, slow_sd_s=0.025,
+                     rsa_amplitude_s=0.015),
+    2: HRVParameters(mean_rr_s=0.64, fast_sd_s=0.014, slow_sd_s=0.022,
+                     rsa_amplitude_s=0.007),
+}
+
+
+def hrv_parameters_for_stress(stress_level: int) -> HRVParameters:
+    """Canonical HRV parameters for a stress level in {0, 1, 2}."""
+    if stress_level not in _STRESS_HRV:
+        raise ConfigurationError(
+            f"stress level must be 0 (none), 1 (medium) or 2 (high); got {stress_level}"
+        )
+    return _STRESS_HRV[stress_level]
+
+
+class RRIntervalGenerator:
+    """Draws RR-interval series from the HRV model.
+
+    Args:
+        params: statistical parameters of the series.
+        seed: RNG seed (generators are deterministic given a seed).
+    """
+
+    _MIN_RR_S = 0.25  # absolute refractory floor
+
+    def __init__(self, params: HRVParameters, seed: int = 0) -> None:
+        self.params = params
+        self._rng = np.random.default_rng(seed)
+        self._slow_state = 0.0
+        self._beat_index = 0
+
+    def generate(self, num_beats: int) -> np.ndarray:
+        """Generate the next ``num_beats`` RR intervals in seconds."""
+        if num_beats < 1:
+            raise ConfigurationError("num_beats must be >= 1")
+        p = self.params
+        innovation_sd = p.slow_sd_s * np.sqrt(1.0 - p.slow_pole ** 2)
+        rr = np.empty(num_beats, dtype=np.float64)
+        for i in range(num_beats):
+            self._slow_state = (p.slow_pole * self._slow_state
+                                + self._rng.normal(0.0, innovation_sd))
+            rsa = p.rsa_amplitude_s * np.sin(
+                2.0 * np.pi * self._beat_index / p.respiration_cycle_beats
+            )
+            fast = self._rng.normal(0.0, p.fast_sd_s)
+            rr[i] = p.mean_rr_s + self._slow_state + rsa + fast
+            self._beat_index += 1
+        return np.maximum(rr, self._MIN_RR_S)
+
+    def generate_for_duration(self, duration_s: float) -> np.ndarray:
+        """Generate RR intervals covering at least ``duration_s`` seconds."""
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        estimated = int(np.ceil(duration_s / self.params.mean_rr_s)) + 8
+        rr = self.generate(estimated)
+        cum = np.cumsum(rr)
+        cutoff = int(np.searchsorted(cum, duration_s)) + 1
+        return rr[:cutoff]
+
+
+# Gaussian bump parameters per wave: (centre offset as a fraction of
+# the RR interval relative to the R peak, amplitude in mV, width in s).
+_PQRST_BUMPS = (
+    ("P", -0.20, 0.12, 0.025),
+    ("Q", -0.035, -0.14, 0.010),
+    ("R", 0.0, 1.10, 0.011),
+    ("S", 0.035, -0.22, 0.010),
+    ("T", 0.28, 0.28, 0.045),
+)
+
+
+def synthesize_ecg_waveform(rr_intervals_s: np.ndarray,
+                            sampling_rate_hz: float = 256.0,
+                            noise_mv: float = 0.01,
+                            baseline_wander_mv: float = 0.03,
+                            seed: int = 0) -> np.ndarray:
+    """Render an RR series into a sampled single-lead ECG (millivolts).
+
+    Each beat contributes five Gaussian bumps (P, Q, R, S, T) placed
+    relative to its R peak; measurement noise and low-frequency
+    baseline wander are added on top.  The MAX30001 samples at
+     128/256 sps, hence the default rate.
+
+    Args:
+        rr_intervals_s: beat intervals in seconds.
+        sampling_rate_hz: output sampling rate.
+        noise_mv: white measurement-noise standard deviation.
+        baseline_wander_mv: amplitude of the ~0.25 Hz baseline wander.
+        seed: RNG seed for the noise.
+
+    Returns:
+        The sampled waveform; its duration is the sum of the intervals.
+    """
+    rr = np.asarray(rr_intervals_s, dtype=np.float64)
+    if rr.ndim != 1 or rr.size == 0:
+        raise ConfigurationError("rr_intervals_s must be a non-empty 1-D array")
+    if np.any(rr <= 0):
+        raise ConfigurationError("RR intervals must be positive")
+    if sampling_rate_hz <= 0:
+        raise ConfigurationError("sampling rate must be positive")
+
+    duration = float(np.sum(rr))
+    num_samples = int(np.floor(duration * sampling_rate_hz))
+    t = np.arange(num_samples) / sampling_rate_hz
+    signal = np.zeros(num_samples, dtype=np.float64)
+
+    r_peak_times = np.concatenate([[0.0], np.cumsum(rr)[:-1]]) + 0.5 * rr[0]
+    for beat_idx, r_time in enumerate(r_peak_times):
+        beat_rr = rr[beat_idx]
+        for _, offset_frac, amplitude, width in _PQRST_BUMPS:
+            centre = r_time + offset_frac * beat_rr
+            # Only evaluate the bump where it is non-negligible.
+            lo = np.searchsorted(t, centre - 5 * width)
+            hi = np.searchsorted(t, centre + 5 * width)
+            if lo >= hi:
+                continue
+            window = t[lo:hi] - centre
+            signal[lo:hi] += amplitude * np.exp(-0.5 * (window / width) ** 2)
+
+    rng = np.random.default_rng(seed)
+    signal += rng.normal(0.0, noise_mv, size=num_samples)
+    signal += baseline_wander_mv * np.sin(2.0 * np.pi * 0.25 * t
+                                          + rng.uniform(0, 2 * np.pi))
+    return signal

@@ -1,0 +1,137 @@
+"""Synthetic galvanic skin response (electrodermal activity).
+
+Skin conductance decomposes into a slowly-drifting tonic level and
+phasic skin-conductance responses (SCRs): event-related bumps with a
+fast rise (~1-3 s) and a slow exponential recovery (~2-10 s).  Mental
+stress raises the SCR rate and amplitude — the mechanism behind the
+paper's two GSR features, the height (GSRH) and length (GSRL) of
+detected rising edges (following Bakker et al., which the paper cites
+as [18]).
+
+:class:`GSRGenerator` draws SCR events from a Poisson process whose
+rate depends on the stress level and renders the summed conductance
+trace at the front end's sampling rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["GSRParameters", "gsr_parameters_for_stress", "GSRGenerator"]
+
+
+@dataclass(frozen=True)
+class GSRParameters:
+    """Statistical parameters of a skin-conductance trace.
+
+    Attributes:
+        tonic_level_us: baseline skin conductance in microsiemens.
+        tonic_drift_us_per_min: slow linear drift of the baseline.
+        scr_rate_per_min: mean SCR (phasic event) rate.
+        scr_amplitude_us: mean SCR peak amplitude.
+        scr_amplitude_sd_us: standard deviation of SCR amplitudes.
+        rise_time_s: SCR rise time constant.
+        recovery_time_s: SCR exponential recovery time constant.
+    """
+
+    tonic_level_us: float
+    tonic_drift_us_per_min: float
+    scr_rate_per_min: float
+    scr_amplitude_us: float
+    scr_amplitude_sd_us: float
+    rise_time_s: float = 1.4
+    recovery_time_s: float = 4.5
+
+    def __post_init__(self) -> None:
+        if self.tonic_level_us <= 0:
+            raise ConfigurationError("tonic level must be positive")
+        if self.scr_rate_per_min < 0:
+            raise ConfigurationError("SCR rate cannot be negative")
+        if self.scr_amplitude_us < 0 or self.scr_amplitude_sd_us < 0:
+            raise ConfigurationError("SCR amplitudes cannot be negative")
+        if self.rise_time_s <= 0 or self.recovery_time_s <= 0:
+            raise ConfigurationError("SCR time constants must be positive")
+
+
+# Stress raises the tonic level, the SCR rate and the SCR amplitude.
+_STRESS_GSR = {
+    0: GSRParameters(tonic_level_us=2.0, tonic_drift_us_per_min=0.02,
+                     scr_rate_per_min=2.0, scr_amplitude_us=0.15,
+                     scr_amplitude_sd_us=0.05),
+    1: GSRParameters(tonic_level_us=4.0, tonic_drift_us_per_min=0.05,
+                     scr_rate_per_min=6.0, scr_amplitude_us=0.35,
+                     scr_amplitude_sd_us=0.12),
+    2: GSRParameters(tonic_level_us=7.0, tonic_drift_us_per_min=0.10,
+                     scr_rate_per_min=12.0, scr_amplitude_us=0.70,
+                     scr_amplitude_sd_us=0.25),
+}
+
+
+def gsr_parameters_for_stress(stress_level: int) -> GSRParameters:
+    """Canonical GSR parameters for a stress level in {0, 1, 2}."""
+    if stress_level not in _STRESS_GSR:
+        raise ConfigurationError(
+            f"stress level must be 0 (none), 1 (medium) or 2 (high); got {stress_level}"
+        )
+    return _STRESS_GSR[stress_level]
+
+
+class GSRGenerator:
+    """Draws sampled skin-conductance traces.
+
+    Args:
+        params: statistical parameters of the trace.
+        seed: RNG seed.
+    """
+
+    def __init__(self, params: GSRParameters, seed: int = 0) -> None:
+        self.params = params
+        self._rng = np.random.default_rng(seed)
+
+    def _scr_shape(self, t: np.ndarray) -> np.ndarray:
+        """Canonical SCR kernel: smooth rise then exponential recovery.
+
+        Implemented as a difference of exponentials (a bi-exponential
+        "gamma-like" bump), normalised to unit peak.
+        """
+        p = self.params
+        shape = np.exp(-t / p.recovery_time_s) - np.exp(-t / p.rise_time_s)
+        shape[t < 0] = 0.0
+        peak = np.max(shape) if np.max(shape) > 0 else 1.0
+        return shape / peak
+
+    def generate(self, duration_s: float, sampling_rate_hz: float = 32.0,
+                 noise_us: float = 0.005) -> np.ndarray:
+        """Render a skin-conductance trace in microsiemens.
+
+        Args:
+            duration_s: trace length in seconds.
+            sampling_rate_hz: sample rate of the GSR front end.
+            noise_us: white measurement-noise standard deviation.
+        """
+        if duration_s <= 0:
+            raise ConfigurationError("duration must be positive")
+        if sampling_rate_hz <= 0:
+            raise ConfigurationError("sampling rate must be positive")
+        p = self.params
+        num_samples = int(np.floor(duration_s * sampling_rate_hz))
+        t = np.arange(num_samples) / sampling_rate_hz
+
+        trace = np.full(num_samples, p.tonic_level_us, dtype=np.float64)
+        trace += p.tonic_drift_us_per_min * (t / 60.0)
+
+        # Poisson SCR event times over the trace.
+        expected_events = p.scr_rate_per_min * duration_s / 60.0
+        num_events = self._rng.poisson(expected_events)
+        event_times = np.sort(self._rng.uniform(0.0, duration_s, size=num_events))
+        for event_time in event_times:
+            amplitude = max(0.0, self._rng.normal(p.scr_amplitude_us,
+                                                  p.scr_amplitude_sd_us))
+            trace += amplitude * self._scr_shape(t - event_time)
+
+        trace += self._rng.normal(0.0, noise_us, size=num_samples)
+        return np.maximum(trace, 0.05)

@@ -1,0 +1,162 @@
+"""Labelled synthetic stress recordings (drivedb substitute).
+
+The PhysioNet driver-stress protocol records subjects through rest,
+city-driving and highway-driving segments, conventionally mapped to
+no / medium / high stress.  :class:`StressDatasetGenerator` mimics that
+structure: each synthetic subject produces a recording of labelled
+segments; each segment carries an RR-interval series and a sampled GSR
+trace drawn from the stress-level-specific generators, with per-subject
+random offsets so subjects differ the way real people do.
+
+The paper (following its reference [19]) splits recordings into
+equal-stress subsets — transitions between stress levels are omitted —
+and extracts features over overlapping windows; the segment structure
+here supports exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.sensors.ecg import HRVParameters, RRIntervalGenerator, hrv_parameters_for_stress
+from repro.sensors.gsr import GSRGenerator, GSRParameters, gsr_parameters_for_stress
+
+__all__ = [
+    "StressLevel",
+    "LabelledSegment",
+    "StressRecording",
+    "StressDatasetGenerator",
+]
+
+
+class StressLevel(IntEnum):
+    """The three classes of the paper's classifier (Fig. 3)."""
+
+    NONE = 0
+    MEDIUM = 1
+    HIGH = 2
+
+
+@dataclass(frozen=True)
+class LabelledSegment:
+    """One equal-stress segment of a recording.
+
+    Attributes:
+        level: ground-truth stress level.
+        rr_intervals_s: RR-interval series covering the segment.
+        gsr_trace_us: sampled skin conductance in microsiemens.
+        gsr_sampling_rate_hz: sample rate of ``gsr_trace_us``.
+        duration_s: nominal segment duration.
+    """
+
+    level: StressLevel
+    rr_intervals_s: np.ndarray = field(repr=False)
+    gsr_trace_us: np.ndarray = field(repr=False)
+    gsr_sampling_rate_hz: float
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class StressRecording:
+    """One synthetic subject's full protocol run.
+
+    Attributes:
+        subject_id: index of the subject within the dataset.
+        segments: ordered labelled segments (rest / city / highway ...).
+    """
+
+    subject_id: int
+    segments: tuple[LabelledSegment, ...]
+
+    def segments_with_level(self, level: StressLevel) -> list[LabelledSegment]:
+        """All segments carrying a given label."""
+        return [seg for seg in self.segments if seg.level == level]
+
+
+def _jitter_hrv(base: HRVParameters, rng: np.random.Generator) -> HRVParameters:
+    """Per-subject variation of the HRV operating point."""
+    return HRVParameters(
+        mean_rr_s=base.mean_rr_s * rng.uniform(0.92, 1.08),
+        fast_sd_s=base.fast_sd_s * rng.uniform(0.8, 1.2),
+        slow_sd_s=base.slow_sd_s * rng.uniform(0.8, 1.2),
+        slow_pole=base.slow_pole,
+        respiration_cycle_beats=base.respiration_cycle_beats * rng.uniform(0.9, 1.1),
+        rsa_amplitude_s=base.rsa_amplitude_s * rng.uniform(0.8, 1.2),
+    )
+
+
+def _jitter_gsr(base: GSRParameters, rng: np.random.Generator) -> GSRParameters:
+    """Per-subject variation of the GSR operating point."""
+    return GSRParameters(
+        tonic_level_us=base.tonic_level_us * rng.uniform(0.7, 1.3),
+        tonic_drift_us_per_min=base.tonic_drift_us_per_min,
+        scr_rate_per_min=base.scr_rate_per_min * rng.uniform(0.85, 1.15),
+        scr_amplitude_us=base.scr_amplitude_us * rng.uniform(0.85, 1.15),
+        scr_amplitude_sd_us=base.scr_amplitude_sd_us,
+        rise_time_s=base.rise_time_s,
+        recovery_time_s=base.recovery_time_s,
+    )
+
+
+class StressDatasetGenerator:
+    """Generates drivedb-like labelled recordings.
+
+    Args:
+        segment_duration_s: duration of each equal-stress segment.
+        gsr_sampling_rate_hz: GSR front-end sample rate.
+        protocol: ordered stress levels of the session's segments; the
+            default mirrors drivedb's rest-city-highway-city-rest drive.
+        seed: master seed; subject ``i`` derives its own stream from it.
+    """
+
+    DEFAULT_PROTOCOL = (
+        StressLevel.NONE,
+        StressLevel.MEDIUM,
+        StressLevel.HIGH,
+        StressLevel.MEDIUM,
+        StressLevel.NONE,
+    )
+
+    def __init__(self, segment_duration_s: float = 300.0,
+                 gsr_sampling_rate_hz: float = 32.0,
+                 protocol: tuple[StressLevel, ...] | None = None,
+                 seed: int = 0) -> None:
+        if segment_duration_s < 30.0:
+            raise ConfigurationError(
+                "segments shorter than 30 s cannot carry meaningful HRV windows"
+            )
+        self.segment_duration_s = segment_duration_s
+        self.gsr_sampling_rate_hz = gsr_sampling_rate_hz
+        self.protocol = tuple(protocol) if protocol is not None else self.DEFAULT_PROTOCOL
+        if not self.protocol:
+            raise ConfigurationError("protocol must contain at least one segment")
+        self.seed = seed
+
+    def generate_recording(self, subject_id: int) -> StressRecording:
+        """One subject's recording, deterministic in (seed, subject_id)."""
+        rng = np.random.default_rng(np.random.SeedSequence([self.seed, subject_id]))
+        segments = []
+        for seg_index, level in enumerate(self.protocol):
+            hrv = _jitter_hrv(hrv_parameters_for_stress(int(level)), rng)
+            gsr = _jitter_gsr(gsr_parameters_for_stress(int(level)), rng)
+            rr_gen = RRIntervalGenerator(hrv, seed=int(rng.integers(2 ** 31)))
+            gsr_gen = GSRGenerator(gsr, seed=int(rng.integers(2 ** 31)))
+            segments.append(LabelledSegment(
+                level=level,
+                rr_intervals_s=rr_gen.generate_for_duration(self.segment_duration_s),
+                gsr_trace_us=gsr_gen.generate(self.segment_duration_s,
+                                              self.gsr_sampling_rate_hz),
+                gsr_sampling_rate_hz=self.gsr_sampling_rate_hz,
+                duration_s=self.segment_duration_s,
+            ))
+        return StressRecording(subject_id=subject_id, segments=tuple(segments))
+
+    def generate_dataset(self, num_subjects: int) -> list[StressRecording]:
+        """Recordings for ``num_subjects`` synthetic subjects."""
+        if num_subjects < 1:
+            raise ConfigurationError("num_subjects must be >= 1")
+        return [self.generate_recording(i) for i in range(num_subjects)]

@@ -1,0 +1,56 @@
+"""Processor timing and energy models (Tables III and IV).
+
+The paper measures MLP inference on four processor configurations:
+
+* the nRF52832's ARM Cortex-M4F at 64 MHz,
+* Mr. Wolf's IBEX fabric controller (RV32IM) at 100 MHz,
+* a single RI5CY cluster core at 100 MHz,
+* the full 8-core RI5CY cluster at 100 MHz.
+
+:mod:`repro.timing.cyclemodel` provides a layer-wise analytical cycle
+model whose per-processor constants are calibrated against the
+published Table III anchors (see :mod:`repro.timing.calibration` for
+the fit and its provenance), and :mod:`repro.timing.powermodel` turns
+cycles into energy using per-configuration active powers calibrated
+against Table IV.
+"""
+
+from repro.timing.processors import (
+    ProcessorConfig,
+    NORDIC_ARM_M4F,
+    MRWOLF_IBEX,
+    MRWOLF_RI5CY_SINGLE,
+    MRWOLF_RI5CY_CLUSTER8,
+    ALL_PROCESSORS,
+    mrwolf_cluster,
+)
+from repro.timing.cyclemodel import (
+    CycleBreakdown,
+    NumericMode,
+    WeightResidency,
+    cycles_for_network,
+    weight_residency,
+)
+from repro.timing.powermodel import (
+    EnergyReport,
+    energy_per_inference,
+    latency_seconds,
+)
+
+__all__ = [
+    "ProcessorConfig",
+    "NORDIC_ARM_M4F",
+    "MRWOLF_IBEX",
+    "MRWOLF_RI5CY_SINGLE",
+    "MRWOLF_RI5CY_CLUSTER8",
+    "ALL_PROCESSORS",
+    "mrwolf_cluster",
+    "CycleBreakdown",
+    "NumericMode",
+    "WeightResidency",
+    "cycles_for_network",
+    "weight_residency",
+    "EnergyReport",
+    "energy_per_inference",
+    "latency_seconds",
+]

@@ -1,0 +1,229 @@
+"""Calibration of the layer-wise cycle model against Table III.
+
+The analytical model decomposes an MLP inference into
+
+    cycles = c_setup + sum over connection layers of
+             [ c_layer + rows * c_neuron + rows * (n_in + 1) * c_weight ]
+
+where ``rows = ceil(n_out / n_cores)`` is the number of neurons each
+core evaluates on the critical path, and ``rows * (n_in + 1)`` is the
+per-core multiply-accumulate count (bias weight included).
+
+The per-processor constants cannot be measured without the silicon, so
+they are **fit to the paper's Table III anchors** with
+microarchitecturally-motivated priors.  The published numbers force two
+memory-hierarchy effects which the fit resolves explicitly:
+
+* On the nRF52832, Network B (~346 kB) cannot live in the 64 kB RAM,
+  so its weights stream from flash.  Network B's measured cycles/weight
+  (11.1) exceed Network A's (10.1) even though B's larger layers
+  amortise per-neuron overhead better — the difference is ~1.96
+  cycles/weight of effective flash wait states, consistent with the
+  nRF52's cached flash.
+* On the 8-core cluster, Network B cannot live in the 64 kB L1 TCDM,
+  so eight cores stream weights through the shared L2 port and stall on
+  contention: the fitted per-weight cost rises from 5.55 (L1) to 8.19
+  (L2).  A single core's demand stays below the port bandwidth, which
+  is why the single-core fit shows no such penalty (5.50 in L1 vs 5.51
+  from L2).
+
+Priors (``c_neuron``, ``c_layer``, ``c_setup``) are fixed at plausible
+per-ISA values — activation-LUT evaluation plus neuron bookkeeping for
+``c_neuron``, loop/pointer setup for ``c_layer``, call/cluster-wakeup
+overhead for ``c_setup`` — and the remaining per-weight constants are
+solved exactly from the anchors.  The fit is performed at import time
+by :func:`calibrate`; tests verify that the model round-trips every
+Table III number exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fann.zoo import build_network_a, build_network_b
+
+__all__ = [
+    "TABLE3_ANCHORS",
+    "ARM_FLOAT_NETWORK_A_CYCLES",
+    "CycleConstants",
+    "calibrate",
+    "CALIBRATED",
+]
+
+# Published Table III runtimes in cycles: {processor key: (Net A, Net B)}.
+TABLE3_ANCHORS: dict[str, tuple[int, int]] = {
+    "arm_m4f": (30210, 902763),
+    "ibex": (40661, 955588),
+    "ri5cy_single": (22772, 519354),
+    "ri5cy_multi": (6126, 108316),
+}
+
+# In-text anchor: Network A on the Cortex-M4F using the FPU.
+ARM_FLOAT_NETWORK_A_CYCLES = 38478
+
+CLUSTER_CORES = 8
+
+
+@dataclass(frozen=True)
+class CycleConstants:
+    """Calibrated constants of the layer-wise cycle model.
+
+    Attributes:
+        c_weight_fast: cycles per multiply-accumulate with weights in
+            the fast region (RAM / L1 / the IBEX's L2).
+        c_weight_slow: cycles per MAC with weights in the slow region
+            (flash for the ARM, contended L2 for the cluster).  Equal to
+            ``c_weight_fast`` where the distinction does not exist.
+        c_neuron: per-neuron overhead (activation table, scaling, store).
+        c_layer: per-connection-layer overhead (pointer/loop setup; for
+            the cluster this includes the dispatch + barrier cost).
+        c_setup: per-inference overhead (call frame; cluster wake-up).
+        c_weight_float: per-MAC cost of the float path (None when the
+            configuration has no FPU).
+        c_neuron_float: per-neuron cost of the float path.
+    """
+
+    c_weight_fast: float
+    c_weight_slow: float
+    c_neuron: float
+    c_layer: float
+    c_setup: float
+    c_weight_float: float | None = None
+    c_neuron_float: float | None = None
+
+
+def _layer_geometry(layer_sizes: list[int], n_cores: int) -> tuple[int, int]:
+    """Total (rows, padded MACs) on the critical path across all layers.
+
+    ``rows`` counts neurons evaluated by the busiest core; ``padded
+    MACs`` counts its multiply-accumulates, i.e. load imbalance from
+    ``ceil`` rounding is charged as if the work were real.
+    """
+    total_rows = 0
+    total_macs = 0
+    for n_in, n_out in zip(layer_sizes[:-1], layer_sizes[1:]):
+        rows = -(-n_out // n_cores)  # ceil division
+        total_rows += rows
+        total_macs += rows * (n_in + 1)
+    return total_rows, total_macs
+
+
+def _network_geometry() -> dict[str, dict[str, tuple[int, int]]]:
+    """Rows/MACs for Networks A and B, single-core and 8-core."""
+    sizes_a = build_network_a().layer_sizes
+    sizes_b = build_network_b().layer_sizes
+    return {
+        "single": {"a": _layer_geometry(sizes_a, 1), "b": _layer_geometry(sizes_b, 1)},
+        "multi": {
+            "a": _layer_geometry(sizes_a, CLUSTER_CORES),
+            "b": _layer_geometry(sizes_b, CLUSTER_CORES),
+        },
+    }
+
+
+def _solve_weight_constant(anchor: int, rows: int, macs: int, layers: int,
+                           c_neuron: float, c_layer: float, c_setup: float) -> float:
+    """Per-weight constant that makes the model hit ``anchor`` exactly."""
+    remainder = anchor - (c_setup + layers * c_layer + rows * c_neuron)
+    return remainder / macs
+
+
+def calibrate() -> dict[str, CycleConstants]:
+    """Fit the cycle-model constants to the Table III anchors.
+
+    Returns a mapping from processor key to its calibrated constants.
+    The priors below are per-ISA estimates:
+
+    * ARM: ``c_neuron = 40`` (CMSIS-style LUT activation + Q-scaling),
+      ``c_layer = 60``, ``c_setup = 200``; float path ``c_neuron = 100``
+      (float tanh approximation).
+    * IBEX: fit ``c_weight`` and ``c_neuron`` jointly from both
+      networks (no residency split exists: the SoC domain always reads
+      L2), priors ``c_layer = 70``, ``c_setup = 300``.
+    * RI5CY: ``c_neuron = 52``, single-core ``c_layer = 80``,
+      ``c_setup = 400``; cluster ``c_layer = 650`` (DMA programming +
+      dispatch + barrier per layer), ``c_setup = 900`` (cluster power-on
+      and offload from the fabric controller).
+    """
+    geometry = _network_geometry()
+    layers_a = len(build_network_a().layers)
+    layers_b = len(build_network_b().layers)
+    anchors = TABLE3_ANCHORS
+    constants: dict[str, CycleConstants] = {}
+
+    # --- ARM Cortex-M4F: residency split between RAM (A) and flash (B).
+    c_neuron, c_layer, c_setup = 40.0, 60.0, 200.0
+    rows_a, macs_a = geometry["single"]["a"]
+    rows_b, macs_b = geometry["single"]["b"]
+    c_w_ram = _solve_weight_constant(anchors["arm_m4f"][0], rows_a, macs_a,
+                                     layers_a, c_neuron, c_layer, c_setup)
+    c_w_flash = _solve_weight_constant(anchors["arm_m4f"][1], rows_b, macs_b,
+                                       layers_b, c_neuron, c_layer, c_setup)
+    c_neuron_float = 100.0
+    c_w_float = _solve_weight_constant(ARM_FLOAT_NETWORK_A_CYCLES, rows_a, macs_a,
+                                       layers_a, c_neuron_float, c_layer, c_setup)
+    constants["arm_m4f"] = CycleConstants(
+        c_weight_fast=c_w_ram,
+        c_weight_slow=c_w_flash,
+        c_neuron=c_neuron,
+        c_layer=c_layer,
+        c_setup=c_setup,
+        c_weight_float=c_w_float,
+        c_neuron_float=c_neuron_float,
+    )
+
+    # --- IBEX: one residency (L2); fit c_weight and c_neuron jointly.
+    c_layer, c_setup = 70.0, 300.0
+    lhs = np.array([[macs_a, rows_a], [macs_b, rows_b]], dtype=np.float64)
+    rhs = np.array(
+        [
+            anchors["ibex"][0] - c_setup - layers_a * c_layer,
+            anchors["ibex"][1] - c_setup - layers_b * c_layer,
+        ],
+        dtype=np.float64,
+    )
+    c_w_ibex, c_n_ibex = np.linalg.solve(lhs, rhs)
+    constants["ibex"] = CycleConstants(
+        c_weight_fast=float(c_w_ibex),
+        c_weight_slow=float(c_w_ibex),
+        c_neuron=float(c_n_ibex),
+        c_layer=c_layer,
+        c_setup=c_setup,
+    )
+
+    # --- Single RI5CY core: L1 for A, streamed L2 for B (no contention).
+    c_neuron, c_layer, c_setup = 52.0, 80.0, 400.0
+    c_w_l1 = _solve_weight_constant(anchors["ri5cy_single"][0], rows_a, macs_a,
+                                    layers_a, c_neuron, c_layer, c_setup)
+    c_w_l2_single = _solve_weight_constant(anchors["ri5cy_single"][1], rows_b, macs_b,
+                                           layers_b, c_neuron, c_layer, c_setup)
+    constants["ri5cy_single"] = CycleConstants(
+        c_weight_fast=c_w_l1,
+        c_weight_slow=c_w_l2_single,
+        c_neuron=c_neuron,
+        c_layer=c_layer,
+        c_setup=c_setup,
+    )
+
+    # --- 8x RI5CY cluster: L1 for A, contended L2 for B.
+    c_neuron, c_layer, c_setup = 52.0, 650.0, 900.0
+    rows_a8, macs_a8 = geometry["multi"]["a"]
+    rows_b8, macs_b8 = geometry["multi"]["b"]
+    c_w_l1_multi = _solve_weight_constant(anchors["ri5cy_multi"][0], rows_a8, macs_a8,
+                                          layers_a, c_neuron, c_layer, c_setup)
+    c_w_l2_multi = _solve_weight_constant(anchors["ri5cy_multi"][1], rows_b8, macs_b8,
+                                          layers_b, c_neuron, c_layer, c_setup)
+    constants["ri5cy_multi"] = CycleConstants(
+        c_weight_fast=c_w_l1_multi,
+        c_weight_slow=c_w_l2_multi,
+        c_neuron=c_neuron,
+        c_layer=c_layer,
+        c_setup=c_setup,
+    )
+    return constants
+
+
+# Fit once at import; the result is deterministic.
+CALIBRATED: dict[str, CycleConstants] = calibrate()

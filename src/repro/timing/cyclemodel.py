@@ -1,0 +1,186 @@
+"""Layer-wise analytical cycle model for MLP inference (Table III).
+
+See :mod:`repro.timing.calibration` for the model equation, the fit
+against the published anchors, and the memory-residency story.  This
+module applies the calibrated constants to arbitrary networks and core
+counts, which is what the parallel-scaling and residency ablations use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.errors import ConfigurationError
+from repro.fann.network import MultiLayerPerceptron
+from repro.timing.calibration import CALIBRATED, CLUSTER_CORES, CycleConstants
+from repro.timing.processors import ProcessorConfig
+
+__all__ = [
+    "NumericMode",
+    "WeightResidency",
+    "LayerCycles",
+    "CycleBreakdown",
+    "weight_residency",
+    "cycles_for_network",
+]
+
+
+class NumericMode(Enum):
+    """Arithmetic used by the inference kernels."""
+
+    FIXED_POINT = "fixed"
+    FLOAT = "float"
+
+
+class WeightResidency(Enum):
+    """Which memory the network's weights execute from."""
+
+    FAST = "fast"   # RAM on the nRF52832, L1 TCDM on the cluster, L2 for IBEX
+    SLOW = "slow"   # flash on the nRF52832, (contended) L2 on the cluster
+
+
+@dataclass(frozen=True)
+class LayerCycles:
+    """Cycle cost of one connection layer.
+
+    Attributes:
+        n_in: source layer width (bias excluded).
+        n_out: destination layer width.
+        rows_per_core: neurons evaluated by the busiest core.
+        macs_per_core: multiply-accumulates on the critical path.
+        cycles: total cycles charged to this layer.
+    """
+
+    n_in: int
+    n_out: int
+    rows_per_core: int
+    macs_per_core: int
+    cycles: float
+
+
+@dataclass(frozen=True)
+class CycleBreakdown:
+    """Full decomposition of an inference's cycle count.
+
+    Attributes:
+        processor_key: calibrated-constant set used.
+        numeric_mode: fixed-point or float kernels.
+        residency: memory region the weights ran from.
+        layers: per-layer costs.
+        setup_cycles: per-inference overhead.
+        total_cycles: rounded total (what Table III reports).
+    """
+
+    processor_key: str
+    numeric_mode: NumericMode
+    residency: WeightResidency
+    layers: tuple[LayerCycles, ...]
+    setup_cycles: float
+
+    @property
+    def total_cycles(self) -> int:
+        """Total inference cycles, rounded to the nearest integer."""
+        return int(round(self.setup_cycles + sum(l.cycles for l in self.layers)))
+
+    def latency_seconds(self, frequency_hz: float) -> float:
+        """Wall-clock latency at a given clock frequency."""
+        return self.total_cycles / frequency_hz
+
+
+def weight_residency(network: MultiLayerPerceptron,
+                     processor: ProcessorConfig) -> WeightResidency:
+    """Decide where the network's weights live on a processor.
+
+    The paper's memory-footprint model (16 B/neuron + 4 B/weight +
+    8 B/layer) is compared against the processor's fast-memory
+    capacity: Network A (~13.8 kB) fits everywhere, Network B
+    (~346 kB) fits neither the nRF52832's 64 kB RAM nor the cluster's
+    64 kB L1, so it runs from flash / L2 respectively.
+    """
+    if network.memory_footprint_bytes() <= processor.fast_memory_bytes:
+        return WeightResidency.FAST
+    return WeightResidency.SLOW
+
+
+def _per_weight_cost(constants: CycleConstants, residency: WeightResidency,
+                     mode: NumericMode) -> float:
+    """Per-MAC cycle cost for a residency/mode combination."""
+    if mode is NumericMode.FLOAT:
+        if constants.c_weight_float is None:
+            raise ConfigurationError(
+                "float inference requested on a configuration without an FPU"
+            )
+        base = constants.c_weight_float
+        # Float weights are the same 4 bytes, so the slow-region fetch
+        # penalty applies unchanged on top of the float MAC cost.
+        if residency is WeightResidency.SLOW:
+            base += constants.c_weight_slow - constants.c_weight_fast
+        return base
+    if residency is WeightResidency.SLOW:
+        return constants.c_weight_slow
+    return constants.c_weight_fast
+
+
+def _per_neuron_cost(constants: CycleConstants, mode: NumericMode) -> float:
+    """Per-neuron cycle cost for a numeric mode."""
+    if mode is NumericMode.FLOAT:
+        if constants.c_neuron_float is None:
+            raise ConfigurationError(
+                "float inference requested on a configuration without an FPU"
+            )
+        return constants.c_neuron_float
+    return constants.c_neuron
+
+
+def cycles_for_network(network: MultiLayerPerceptron,
+                       processor: ProcessorConfig,
+                       mode: NumericMode = NumericMode.FIXED_POINT) -> CycleBreakdown:
+    """Predict the inference cycle count of ``network`` on ``processor``.
+
+    Reproduces Table III for Networks A/B on the four measured
+    configurations, and extrapolates to any FANN-style MLP and any
+    cluster core count (see :func:`repro.timing.processors.mrwolf_cluster`).
+    """
+    if processor.key not in CALIBRATED:
+        raise ConfigurationError(f"no calibrated constants for {processor.key!r}")
+    if processor.n_cores > 1 and processor.key != "ri5cy_multi":
+        raise ConfigurationError(
+            f"{processor.display_name} is a single-core configuration"
+        )
+    constants = CALIBRATED[processor.key]
+    residency = weight_residency(network, processor)
+    c_weight = _per_weight_cost(constants, residency, mode)
+    c_neuron = _per_neuron_cost(constants, mode)
+
+    layers: list[LayerCycles] = []
+    sizes = network.layer_sizes
+    for n_in, n_out in zip(sizes[:-1], sizes[1:]):
+        rows = -(-n_out // processor.n_cores)  # ceil division
+        macs = rows * (n_in + 1)
+        cycles = constants.c_layer + rows * c_neuron + macs * c_weight
+        layers.append(LayerCycles(n_in=n_in, n_out=n_out, rows_per_core=rows,
+                                  macs_per_core=macs, cycles=cycles))
+    return CycleBreakdown(
+        processor_key=processor.key,
+        numeric_mode=mode,
+        residency=residency,
+        layers=tuple(layers),
+        setup_cycles=constants.c_setup,
+    )
+
+
+def parallel_speedup(network: MultiLayerPerceptron,
+                     n_cores: int,
+                     mode: NumericMode = NumericMode.FIXED_POINT) -> float:
+    """Cluster speed-up of ``n_cores`` over a single RI5CY core.
+
+    Used by the parallel-scaling ablation (A1 in DESIGN.md).
+    """
+    from repro.timing.processors import MRWOLF_RI5CY_SINGLE, mrwolf_cluster
+
+    if n_cores < 1 or n_cores > CLUSTER_CORES:
+        raise ConfigurationError(f"n_cores must lie in 1..{CLUSTER_CORES}")
+    base = cycles_for_network(network, MRWOLF_RI5CY_SINGLE, mode).total_cycles
+    multi = cycles_for_network(network, mrwolf_cluster(n_cores), mode).total_cycles
+    return base / multi

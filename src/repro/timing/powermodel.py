@@ -1,0 +1,75 @@
+"""Energy model for MLP inference (Table IV).
+
+Energy is the product of the configuration's calibrated active power
+and the predicted latency:
+
+    E = P_active * cycles / f_clk
+
+with cycles from :mod:`repro.timing.cyclemodel` and ``P_active``
+calibrated so Table IV is reproduced to its published 0.1 uJ rounding
+(see :mod:`repro.timing.processors` for the power provenance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fann.network import MultiLayerPerceptron
+from repro.timing.cyclemodel import CycleBreakdown, NumericMode, cycles_for_network
+from repro.timing.processors import ProcessorConfig
+from repro.units import j_to_uj
+
+__all__ = ["EnergyReport", "energy_per_inference", "latency_seconds"]
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy and latency of one inference on one configuration.
+
+    Attributes:
+        processor: configuration the inference ran on.
+        breakdown: the cycle decomposition behind the estimate.
+        latency_s: wall-clock inference time in seconds.
+        energy_j: inference energy in joules.
+    """
+
+    processor: ProcessorConfig
+    breakdown: CycleBreakdown
+    latency_s: float
+    energy_j: float
+
+    @property
+    def energy_uj(self) -> float:
+        """Energy in microjoules (the unit Table IV uses)."""
+        return j_to_uj(self.energy_j)
+
+    @property
+    def energy_uj_rounded(self) -> float:
+        """Energy rounded to Table IV's 0.1 uJ resolution."""
+        return round(self.energy_uj, 1)
+
+
+def energy_per_inference(network: MultiLayerPerceptron,
+                         processor: ProcessorConfig,
+                         mode: NumericMode = NumericMode.FIXED_POINT) -> EnergyReport:
+    """Predict energy and latency of one inference.
+
+    Reproduces Table IV for Networks A/B across the four measured
+    configurations.
+    """
+    breakdown = cycles_for_network(network, processor, mode)
+    latency = breakdown.latency_seconds(processor.frequency_hz)
+    energy = processor.active_power_w * latency
+    return EnergyReport(
+        processor=processor,
+        breakdown=breakdown,
+        latency_s=latency,
+        energy_j=energy,
+    )
+
+
+def latency_seconds(network: MultiLayerPerceptron,
+                    processor: ProcessorConfig,
+                    mode: NumericMode = NumericMode.FIXED_POINT) -> float:
+    """Wall-clock latency of one inference in seconds."""
+    return energy_per_inference(network, processor, mode).latency_s

@@ -1,0 +1,164 @@
+"""Processor configuration descriptors for the InfiniWolf compute fabric.
+
+Two chips, four measured configurations:
+
+* **nRF52832** — ARM Cortex-M4F at 64 MHz, 64 kB RAM, 512 kB flash.
+  Networks that do not fit in RAM execute with their weights in flash
+  and pay wait-state stalls on weight fetches.
+* **Mr. Wolf** — PULP SoC at 100 MHz (its most energy-efficient
+  operating point per the paper).  The SoC domain contains the IBEX
+  fabric controller (RV32IM) and 512 kB of L2; the cluster domain
+  contains 8 RI5CY cores with DSP extensions sharing a 64 kB L1 TCDM.
+  Networks that do not fit in L1 stream weights from L2, which costs
+  port contention when many cores pull at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import mhz_to_hz
+
+__all__ = [
+    "ProcessorConfig",
+    "NORDIC_ARM_M4F",
+    "MRWOLF_IBEX",
+    "MRWOLF_RI5CY_SINGLE",
+    "MRWOLF_RI5CY_CLUSTER8",
+    "ALL_PROCESSORS",
+    "mrwolf_cluster",
+    "NRF52832_RAM_BYTES",
+    "NRF52832_FLASH_BYTES",
+    "MRWOLF_L1_BYTES",
+    "MRWOLF_L2_BYTES",
+]
+
+NRF52832_RAM_BYTES = 64 * 1024
+NRF52832_FLASH_BYTES = 512 * 1024
+MRWOLF_L1_BYTES = 64 * 1024
+MRWOLF_L2_BYTES = 512 * 1024
+MRWOLF_CLUSTER_CORES = 8
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """One measured processor configuration.
+
+    Attributes:
+        key: identifier used to look up calibrated cycle constants.
+        display_name: human-readable name used in reports.
+        frequency_hz: operating clock frequency.
+        active_power_w: whole-chip active power while running the MLP,
+            calibrated against Table IV (quiescent/idle power is modelled
+            separately in :mod:`repro.power.loads`).
+        n_cores: number of cores executing the kernel.
+        fast_memory_bytes: capacity of the memory the weights must fit
+            in to avoid the slow-region per-weight penalty (RAM for the
+            nRF52832, L1 TCDM for the RI5CY cluster; the IBEX always
+            reads L2, so its fast region *is* L2).
+        has_fpu: whether a float inference mode exists on this
+            configuration (only the Cortex-M4F in this system).
+    """
+
+    key: str
+    display_name: str
+    frequency_hz: float
+    active_power_w: float
+    n_cores: int
+    fast_memory_bytes: int
+    has_fpu: bool = False
+
+    def __post_init__(self) -> None:
+        if self.frequency_hz <= 0:
+            raise ConfigurationError("frequency must be positive")
+        if self.active_power_w <= 0:
+            raise ConfigurationError("active power must be positive")
+        if self.n_cores < 1:
+            raise ConfigurationError("need at least one core")
+
+    @property
+    def is_cluster(self) -> bool:
+        """True when the configuration runs in Mr. Wolf's cluster domain."""
+        return self.key.startswith("ri5cy")
+
+
+# Active powers are calibrated so that Table IV is reproduced exactly
+# (energy = power x cycles / frequency, cycles from Table III):
+#   ARM:    5.1 uJ / (30210 cy / 64 MHz)  ~ 10.90 mW
+#   IBEX:   1.3 uJ / (40661 cy / 100 MHz) ~  3.30 mW
+#   1xRI5CY: 2.9 uJ / (22772 cy / 100 MHz) ~ 12.63 mW
+#   8xRI5CY: 1.2 uJ / (6126 cy / 100 MHz)  ~ 19.95 mW  (paper: "20 mW
+#            in parallel execution")
+NORDIC_ARM_M4F = ProcessorConfig(
+    key="arm_m4f",
+    display_name="nRF52832 ARM Cortex-M4F",
+    frequency_hz=mhz_to_hz(64),
+    active_power_w=10.90e-3,
+    n_cores=1,
+    fast_memory_bytes=NRF52832_RAM_BYTES,
+    has_fpu=True,
+)
+
+MRWOLF_IBEX = ProcessorConfig(
+    key="ibex",
+    display_name="Mr. Wolf SoC (IBEX, RV32IM)",
+    frequency_hz=mhz_to_hz(100),
+    active_power_w=3.30e-3,
+    n_cores=1,
+    fast_memory_bytes=MRWOLF_L2_BYTES,
+)
+
+MRWOLF_RI5CY_SINGLE = ProcessorConfig(
+    key="ri5cy_single",
+    display_name="Mr. Wolf cluster (1x RI5CY)",
+    frequency_hz=mhz_to_hz(100),
+    active_power_w=12.63e-3,
+    n_cores=1,
+    fast_memory_bytes=MRWOLF_L1_BYTES,
+)
+
+MRWOLF_RI5CY_CLUSTER8 = ProcessorConfig(
+    key="ri5cy_multi",
+    display_name="Mr. Wolf cluster (8x RI5CY)",
+    frequency_hz=mhz_to_hz(100),
+    active_power_w=19.95e-3,
+    n_cores=MRWOLF_CLUSTER_CORES,
+    fast_memory_bytes=MRWOLF_L1_BYTES,
+)
+
+ALL_PROCESSORS = (
+    NORDIC_ARM_M4F,
+    MRWOLF_IBEX,
+    MRWOLF_RI5CY_SINGLE,
+    MRWOLF_RI5CY_CLUSTER8,
+)
+
+
+def mrwolf_cluster(n_cores: int) -> ProcessorConfig:
+    """Cluster configuration with an arbitrary active core count.
+
+    Used by the parallel-scaling ablation.  Power interpolates linearly
+    between the calibrated 1-core and 8-core cluster powers (the cluster
+    shares caches and the DMA, so the per-core increment is well below
+    the single-core total).
+    """
+    if not 1 <= n_cores <= MRWOLF_CLUSTER_CORES:
+        raise ConfigurationError(
+            f"Mr. Wolf's cluster has 1..{MRWOLF_CLUSTER_CORES} cores, got {n_cores}"
+        )
+    if n_cores == 1:
+        return MRWOLF_RI5CY_SINGLE
+    if n_cores == MRWOLF_CLUSTER_CORES:
+        return MRWOLF_RI5CY_CLUSTER8
+    p_lo = MRWOLF_RI5CY_SINGLE.active_power_w
+    p_hi = MRWOLF_RI5CY_CLUSTER8.active_power_w
+    frac = (n_cores - 1) / (MRWOLF_CLUSTER_CORES - 1)
+    return ProcessorConfig(
+        key="ri5cy_multi",
+        display_name=f"Mr. Wolf cluster ({n_cores}x RI5CY)",
+        frequency_hz=MRWOLF_RI5CY_CLUSTER8.frequency_hz,
+        active_power_w=p_lo + frac * (p_hi - p_lo),
+        n_cores=n_cores,
+        fast_memory_bytes=MRWOLF_L1_BYTES,
+    )

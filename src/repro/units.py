@@ -1,0 +1,125 @@
+"""Unit conversion helpers and physical constants.
+
+The library stores every physical quantity in base SI units (watts,
+joules, seconds, volts, amperes, kelvin-differences expressed in °C,
+metres).  Paper values are quoted in engineering units (mW, µJ, klx,
+km/h, mAh), so this module centralises the conversions instead of
+scattering magic factors through the code.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Scale prefixes (multiply to convert INTO base SI units)
+# ---------------------------------------------------------------------------
+
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+KILO = 1e3
+MEGA = 1e6
+
+SECONDS_PER_MINUTE = 60.0
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+
+
+def mw_to_w(milliwatts: float) -> float:
+    """Convert milliwatts to watts."""
+    return milliwatts * MILLI
+
+
+def w_to_mw(watts: float) -> float:
+    """Convert watts to milliwatts."""
+    return watts / MILLI
+
+
+def uw_to_w(microwatts: float) -> float:
+    """Convert microwatts to watts."""
+    return microwatts * MICRO
+
+
+def w_to_uw(watts: float) -> float:
+    """Convert watts to microwatts."""
+    return watts / MICRO
+
+
+def uj_to_j(microjoules: float) -> float:
+    """Convert microjoules to joules."""
+    return microjoules * MICRO
+
+
+def j_to_uj(joules: float) -> float:
+    """Convert joules to microjoules."""
+    return joules / MICRO
+
+
+def mah_to_coulombs(milliamp_hours: float) -> float:
+    """Convert battery capacity in mAh to coulombs (ampere-seconds)."""
+    return milliamp_hours * MILLI * SECONDS_PER_HOUR
+
+
+def coulombs_to_mah(coulombs: float) -> float:
+    """Convert coulombs to mAh."""
+    return coulombs / (MILLI * SECONDS_PER_HOUR)
+
+
+def kmh_to_ms(kilometres_per_hour: float) -> float:
+    """Convert a wind speed in km/h to m/s."""
+    return kilometres_per_hour * KILO / SECONDS_PER_HOUR
+
+
+def ms_to_kmh(metres_per_second: float) -> float:
+    """Convert a wind speed in m/s to km/h."""
+    return metres_per_second * SECONDS_PER_HOUR / KILO
+
+
+def celsius_to_kelvin(celsius: float) -> float:
+    """Convert a temperature in °C to kelvin."""
+    return celsius + 273.15
+
+
+def mhz_to_hz(megahertz: float) -> float:
+    """Convert a clock frequency in MHz to Hz."""
+    return megahertz * MEGA
+
+
+def cycles_to_seconds(cycles: float, frequency_hz: float) -> float:
+    """Time taken by ``cycles`` clock cycles at ``frequency_hz``."""
+    return cycles / frequency_hz
+
+
+def energy_joules(power_watts: float, duration_s: float) -> float:
+    """Energy in joules from a constant power draw over a duration."""
+    return power_watts * duration_s
+
+
+# ---------------------------------------------------------------------------
+# Photometry
+# ---------------------------------------------------------------------------
+
+# Luminous efficacy used to convert illuminance (lux) into irradiance
+# (W/m^2).  Sunlight carries roughly 120 lx per W/m^2 of broadband
+# irradiance; indoor white LED / fluorescent light is more concentrated
+# in the visible band, so a lux of artificial light corresponds to less
+# harvestable broadband power for the same photopic response.
+LUX_PER_WM2_SUNLIGHT = 120.0
+LUX_PER_WM2_INDOOR = 110.0
+
+
+def lux_to_irradiance(lux: float, efficacy_lx_per_wm2: float = LUX_PER_WM2_SUNLIGHT) -> float:
+    """Convert an illuminance in lux to broadband irradiance in W/m^2."""
+    return lux / efficacy_lx_per_wm2
+
+
+# ---------------------------------------------------------------------------
+# Physical constants
+# ---------------------------------------------------------------------------
+
+BOLTZMANN_J_PER_K = 1.380649e-23
+ELECTRON_CHARGE_C = 1.602176634e-19
+
+
+def thermal_voltage(temperature_c: float) -> float:
+    """Diode thermal voltage kT/q at a given temperature in °C."""
+    return BOLTZMANN_J_PER_K * celsius_to_kelvin(temperature_c) / ELECTRON_CHARGE_C

@@ -1,0 +1,83 @@
+"""Stress-detection application energy-budget tests."""
+
+import pytest
+
+from repro.core import DetectionPhase, StressDetectionApp
+from repro.core.application import (
+    PAPER_ACQUISITION_WINDOW_S,
+    PAPER_TOTAL_DETECTION_ENERGY_UJ,
+)
+from repro.errors import ConfigurationError
+from repro.fann import build_network_a
+from repro.timing.processors import (
+    MRWOLF_IBEX,
+    MRWOLF_RI5CY_CLUSTER8,
+    NORDIC_ARM_M4F,
+)
+
+
+class TestExactBudget:
+    def test_acquisition_energy_is_201uw_times_3s(self):
+        budget = StressDetectionApp().energy_budget()
+        # 171 uW ECG + 30 uW GSR over 3 s = 603 uJ exactly.
+        assert budget.acquisition_j == pytest.approx(603e-6)
+
+    def test_feature_extraction_energy_about_1uj(self):
+        budget = StressDetectionApp().energy_budget()
+        # 50 us at the calibrated ~20 mW cluster power.
+        assert budget.feature_extraction_j == pytest.approx(1e-6, rel=0.05)
+
+    def test_classification_energy_matches_table4(self):
+        budget = StressDetectionApp().energy_budget()
+        assert budget.classification_j == pytest.approx(1.2e-6, rel=0.05)
+
+    def test_total_budget_slightly_above_papers_rounding(self):
+        """Exact: 603 + ~1 + ~1.2 = ~605.2 uJ (paper rounds to 602.2)."""
+        budget = StressDetectionApp().energy_budget()
+        assert budget.total_uj == pytest.approx(605.2, abs=0.5)
+
+    def test_latency_dominated_by_acquisition(self):
+        budget = StressDetectionApp().energy_budget()
+        assert budget.latency_s == pytest.approx(PAPER_ACQUISITION_WINDOW_S,
+                                                 abs=1e-3)
+
+    def test_phase_energy_accessor(self):
+        budget = StressDetectionApp().energy_budget()
+        total = sum(budget.phase_energy_j(p) for p in DetectionPhase)
+        assert total == pytest.approx(budget.total_j)
+
+
+class TestPaperBookkeeping:
+    def test_paper_budget_reproduces_602_2(self):
+        budget = StressDetectionApp().paper_energy_budget()
+        assert budget.total_uj == pytest.approx(PAPER_TOTAL_DETECTION_ENERGY_UJ)
+
+    def test_acquisition_dominates_both_budgets(self):
+        app = StressDetectionApp()
+        for budget in (app.energy_budget(), app.paper_energy_budget()):
+            assert budget.acquisition_j > 100 * budget.classification_j
+
+
+class TestProcessorChoice:
+    def test_cluster_is_the_best_overall(self):
+        """The paper's 'best overall energy cost' uses the 8-core
+        cluster for classification."""
+        best = StressDetectionApp(processor=MRWOLF_RI5CY_CLUSTER8).energy_budget()
+        arm = StressDetectionApp(processor=NORDIC_ARM_M4F).energy_budget()
+        assert best.classification_j < arm.classification_j
+
+    def test_ibex_classification_cheaper_but_slower(self):
+        ibex = StressDetectionApp(processor=MRWOLF_IBEX).energy_budget()
+        cluster = StressDetectionApp(processor=MRWOLF_RI5CY_CLUSTER8).energy_budget()
+        assert ibex.classification_j == pytest.approx(1.3e-6, rel=0.05)
+        assert ibex.latency_s > cluster.latency_s
+
+    def test_custom_network_accepted(self):
+        app = StressDetectionApp(network=build_network_a(seed=3))
+        assert app.energy_budget().total_j > 0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StressDetectionApp(acquisition_window_s=0.0)
+        with pytest.raises(ConfigurationError):
+            StressDetectionApp(feature_extraction_s=-1.0)

@@ -1,0 +1,84 @@
+"""Device-graph (Fig. 1) tests."""
+
+import pytest
+
+from repro.core import BUS_CONNECTIONS, InfiniWolfDevice, build_device_graph
+
+
+@pytest.fixture(scope="module")
+def device():
+    return InfiniWolfDevice()
+
+
+class TestGraphStructure:
+    def test_two_processors(self, device):
+        assert device.components_of_kind("processor") == ["mrwolf", "nrf52832"]
+
+    def test_five_sensors(self, device):
+        sensors = device.components_of_kind("sensor")
+        assert len(sensors) == 5
+        assert "max30001_ecg" in sensors
+        assert "gsr_afe" in sensors
+
+    def test_two_transducers(self, device):
+        assert device.components_of_kind("transducer") == [
+            "solar_panels", "teg_module"]
+
+    def test_power_blocks_match_fig1(self, device):
+        power = device.components_of_kind("power")
+        for block in ("bq25570", "bq25505", "bq27441_gauge", "ldo_1v8", "battery"):
+            assert block in power
+
+    def test_processors_linked_by_spi(self, device):
+        assert device.buses_between("nrf52832", "mrwolf") == ["spi"]
+
+    def test_ecg_feeds_mrwolf_over_spi(self, device):
+        assert device.buses_between("max30001_ecg", "mrwolf") == ["spi"]
+
+    def test_mic_feeds_mrwolf_over_i2s(self, device):
+        assert device.buses_between("ics43434_mic", "mrwolf") == ["i2s"]
+
+    def test_imu_on_nordic_i2c(self, device):
+        assert device.buses_between("icm20948_imu", "nrf52832") == ["i2c"]
+
+    def test_both_transducers_reach_battery(self, device):
+        assert device.power_path_exists("solar_panels")
+        assert device.power_path_exists("teg_module")
+
+    def test_each_transducer_has_its_own_converter(self, device):
+        graph = device.graph
+        assert graph.has_edge("solar_panels", "bq25570")
+        assert graph.has_edge("teg_module", "bq25505")
+        assert not graph.has_edge("solar_panels", "bq25505")
+        assert not graph.has_edge("teg_module", "bq25570")
+
+    def test_gauge_reports_to_nordic(self, device):
+        """The Nordic keeps track of battery charging status (paper)."""
+        assert device.buses_between("bq27441_gauge", "nrf52832") == ["i2c"]
+
+    def test_graph_builder_standalone(self):
+        graph = build_device_graph()
+        assert graph.number_of_edges() == len(BUS_CONNECTIONS)
+
+
+class TestLiveState:
+    def test_sleep_all_reaches_microwatt_floor(self):
+        device = InfiniWolfDevice()
+        device.catalog["max30001_ecg"].set_state("active")
+        device.sleep_all()
+        assert device.active_load_w() < 20e-6
+
+    def test_describe_mentions_all_kinds(self, device):
+        text = device.describe()
+        for word in ("processor", "sensor", "transducer", "power"):
+            assert word in text
+
+    def test_default_battery_is_120mah(self, device):
+        assert device.battery.capacity_c == pytest.approx(432.0)
+
+    def test_harvester_is_calibrated(self, device):
+        from repro.harvest.environment import OUTDOOR_SUN_30KLX, TEG_ROOM_22C_NO_WIND
+
+        intake = device.harvester.battery_intake_w(OUTDOOR_SUN_30KLX,
+                                                   TEG_ROOM_22C_NO_WIND)
+        assert intake == pytest.approx(24.711e-3 + 24.0e-6, rel=1e-6)

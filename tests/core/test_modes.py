@@ -1,0 +1,89 @@
+"""Operating-mode table tests."""
+
+import pytest
+
+from repro.core.modes import (
+    OperatingMode,
+    apply_mode,
+    battery_lifetime_s,
+    mode_component_states,
+    mode_power_w,
+)
+from repro.power.loads import default_catalog
+from repro.units import SECONDS_PER_DAY
+
+
+class TestModeStates:
+    def test_all_four_paper_modes_exist(self):
+        assert {m.value for m in OperatingMode} == {
+            "sleep", "raw_streaming", "acquisition", "processing"}
+
+    def test_sleep_keeps_nordic_in_system_on_sleep(self):
+        states = mode_component_states(OperatingMode.SLEEP)
+        assert states["nrf52832"] == "sleep"
+
+    def test_acquisition_powers_both_afes(self):
+        states = mode_component_states(OperatingMode.ACQUISITION)
+        assert states["max30001_ecg"] == "active"
+        assert states["gsr_afe"] == "active"
+
+    def test_apply_mode_resets_previous_mode(self):
+        catalog = default_catalog()
+        apply_mode(catalog, OperatingMode.RAW_STREAMING)
+        assert catalog["nrf52832"].current_state == "active"
+        apply_mode(catalog, OperatingMode.SLEEP)
+        assert catalog["nrf52832"].current_state != "active"
+        assert catalog["max30001_ecg"].current_state != "active"
+
+
+class TestModePower:
+    def test_mode_ordering(self):
+        """Sleep < acquisition < streaming < processing in *power* —
+        but processing runs in ~61 us bursts per detection while
+        streaming is continuous, which is why local inference wins on
+        energy (see the streaming ablation)."""
+        powers = {mode: mode_power_w(mode) for mode in OperatingMode}
+        assert powers[OperatingMode.SLEEP] < powers[OperatingMode.ACQUISITION]
+        assert powers[OperatingMode.ACQUISITION] < powers[OperatingMode.RAW_STREAMING]
+        assert powers[OperatingMode.RAW_STREAMING] < powers[OperatingMode.PROCESSING]
+
+    def test_duty_cycled_processing_beats_continuous_streaming(self):
+        """Energy per 3 s detection window: 61 us of processing burst
+        vs 3 s of continuous radio streaming."""
+        processing_burst_j = mode_power_w(OperatingMode.PROCESSING) * 61.3e-6
+        streaming_j = mode_power_w(OperatingMode.RAW_STREAMING) * 3.0
+        assert streaming_j > 1000 * processing_burst_j
+
+    def test_sleep_mode_microwatts(self):
+        assert mode_power_w(OperatingMode.SLEEP) < 20e-6
+
+    def test_acquisition_mode_near_203uw(self):
+        """ECG 171 uW + GSR 30 uW + sleeping everything else."""
+        assert mode_power_w(OperatingMode.ACQUISITION) == pytest.approx(
+            203e-6, rel=0.10)
+
+    def test_streaming_is_milliwatts(self):
+        assert mode_power_w(OperatingMode.RAW_STREAMING) > 5e-3
+
+
+class TestLifetimes:
+    def test_sleep_lifetime_years(self):
+        lifetime_days = battery_lifetime_s(OperatingMode.SLEEP) / SECONDS_PER_DAY
+        assert lifetime_days > 365
+
+    def test_streaming_lifetime_days(self):
+        lifetime_days = battery_lifetime_s(
+            OperatingMode.RAW_STREAMING) / SECONDS_PER_DAY
+        assert lifetime_days < 10
+
+    def test_acquisition_lifetime_months(self):
+        lifetime_days = battery_lifetime_s(
+            OperatingMode.ACQUISITION) / SECONDS_PER_DAY
+        assert 30 < lifetime_days < 365
+
+    def test_ordering_matches_power_ordering(self):
+        lifetimes = {m: battery_lifetime_s(m) for m in OperatingMode}
+        assert (lifetimes[OperatingMode.SLEEP]
+                > lifetimes[OperatingMode.ACQUISITION]
+                > lifetimes[OperatingMode.RAW_STREAMING]
+                > lifetimes[OperatingMode.PROCESSING])

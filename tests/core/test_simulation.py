@@ -1,0 +1,107 @@
+"""Day-in-the-life simulation tests."""
+
+import pytest
+
+from repro.core import DaySimulation
+from repro.core.manager import ManagerPolicy
+from repro.errors import SimulationError
+from repro.harvest.environment import (
+    DARKNESS,
+    EnvironmentSample,
+    EnvironmentTimeline,
+    INDOOR_OFFICE_700LX,
+    OUTDOOR_SUN_30KLX,
+    TEG_ROOM_22C_NO_WIND,
+)
+from repro.power.battery import LiPoBattery
+
+
+def office_day_timeline():
+    """6 h lit office, 18 h darkness; body-worn TEG all day."""
+    return EnvironmentTimeline([
+        EnvironmentSample(6 * 3600.0, INDOOR_OFFICE_700LX, TEG_ROOM_22C_NO_WIND),
+        EnvironmentSample(18 * 3600.0, DARKNESS, TEG_ROOM_22C_NO_WIND),
+    ])
+
+
+class TestBasicRuns:
+    def test_full_day_runs_to_horizon(self):
+        sim = DaySimulation(office_day_timeline(), step_s=300.0)
+        result = sim.run()
+        assert result.steps[-1].time_s == pytest.approx(86400.0 - 300.0)
+        assert len(result.steps) == 288
+
+    def test_detections_happen(self):
+        result = DaySimulation(office_day_timeline(), step_s=300.0).run()
+        assert result.total_detections > 1000
+
+    def test_harvest_recorded(self):
+        result = DaySimulation(office_day_timeline(), step_s=300.0).run()
+        # ~21.5 J arrive per day in this scenario (minus charge losses).
+        assert result.total_harvest_j == pytest.approx(21.5, rel=0.05)
+
+    def test_horizon_override(self):
+        result = DaySimulation(office_day_timeline(), step_s=60.0).run(3600.0)
+        assert len(result.steps) == 60
+
+    def test_invalid_horizon_rejected(self):
+        sim = DaySimulation(office_day_timeline())
+        with pytest.raises(SimulationError):
+            sim.run(0.0)
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(SimulationError):
+            DaySimulation(office_day_timeline(), step_s=0.0)
+
+
+class TestEnergyBehaviour:
+    def test_sunny_day_charges_battery(self):
+        sunny = EnvironmentTimeline([
+            EnvironmentSample(86400.0, OUTDOOR_SUN_30KLX, TEG_ROOM_22C_NO_WIND),
+        ])
+        battery = LiPoBattery(initial_soc=0.5)
+        result = DaySimulation(sunny, battery=battery, step_s=600.0).run()
+        assert result.final_soc > result.initial_soc
+
+    def test_dark_day_at_floor_rate_drains_little(self):
+        dark = EnvironmentTimeline([
+            EnvironmentSample(86400.0, DARKNESS, TEG_ROOM_22C_NO_WIND),
+        ])
+        battery = LiPoBattery(initial_soc=0.5)
+        result = DaySimulation(dark, battery=battery, step_s=600.0).run()
+        # TEG-only: the manager throttles to the floor; the 120 mAh
+        # buffer loses only a small fraction in a day.
+        assert result.final_soc > 0.45
+
+    def test_office_scenario_energy_neutral_at_policy_rates(self):
+        battery = LiPoBattery(initial_soc=0.5)
+        result = DaySimulation(office_day_timeline(), battery=battery,
+                               step_s=300.0).run()
+        # The neutral-band policy keeps the day within ~2 % of SoC.
+        assert abs(result.final_soc - result.initial_soc) < 0.02
+
+    def test_low_battery_throttles_rate(self):
+        dark = EnvironmentTimeline([
+            EnvironmentSample(86400.0, DARKNESS, TEG_ROOM_22C_NO_WIND),
+        ])
+        battery = LiPoBattery(initial_soc=0.05)
+        policy = ManagerPolicy(min_rate_per_min=1.0, max_rate_per_min=24.0)
+        result = DaySimulation(dark, battery=battery, policy=policy,
+                               step_s=600.0).run(7200.0)
+        assert all(step.detection_rate_per_min == 1.0 for step in result.steps)
+
+    def test_full_battery_spends_at_ceiling(self):
+        sunny = EnvironmentTimeline([
+            EnvironmentSample(7200.0, OUTDOOR_SUN_30KLX, TEG_ROOM_22C_NO_WIND),
+        ])
+        battery = LiPoBattery(initial_soc=0.95)
+        result = DaySimulation(sunny, battery=battery, step_s=600.0).run()
+        assert all(step.detection_rate_per_min == 24.0 for step in result.steps)
+
+    def test_consumed_energy_accounts_detections(self):
+        result = DaySimulation(office_day_timeline(), step_s=300.0).run()
+        detection_j = 605.2e-6
+        expected = result.total_detections * detection_j
+        # Sleep overhead adds on top of the detection spend.
+        assert result.total_consumed_j >= expected * 0.99
+        assert result.total_consumed_j < expected + 1.0

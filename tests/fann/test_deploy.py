@@ -1,0 +1,87 @@
+"""Deployment-artefact generation tests."""
+
+import re
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fann import (
+    build_network_a,
+    build_network_b,
+    convert_to_fixed,
+    deployment_summary,
+    export_c_header,
+)
+
+
+@pytest.fixture(scope="module")
+def header():
+    return export_c_header(convert_to_fixed(build_network_a(seed=1)), "stress_net")
+
+
+class TestHeaderExport:
+    def test_header_guard(self, header):
+        assert header.startswith("/* Generated")
+        assert "#ifndef REPRO_FANN_NETWORK_H" in header
+        assert header.rstrip().endswith("#endif /* REPRO_FANN_NETWORK_H */")
+
+    def test_macros_describe_network_a(self, header):
+        assert "#define STRESS_NET_NUM_LAYERS 3" in header
+        assert "#define STRESS_NET_NUM_INPUTS 5" in header
+        assert "#define STRESS_NET_NUM_OUTPUTS 3" in header
+        assert "#define STRESS_NET_BUFFER_WORDS 51" in header
+
+    def test_decimal_point_exported(self, header):
+        match = re.search(r"#define STRESS_NET_DECIMAL_POINT (\d+)", header)
+        assert match is not None
+        assert 1 <= int(match.group(1)) <= 30
+
+    def test_one_weight_array_per_layer(self, header):
+        for idx, count in ((0, 300), (1, 2550), (2, 153)):
+            match = re.search(
+                rf"static const int32_t stress_net_weights_{idx}\[(\d+)\]", header)
+            assert match is not None
+            assert int(match.group(1)) == count
+
+    def test_lut_array_present(self, header):
+        assert "stress_net_tanh_lut[257]" in header
+
+    def test_weight_values_round_trip(self):
+        """The emitted integers are exactly the quantised weights."""
+        fixed = convert_to_fixed(build_network_a(seed=2))
+        header = export_c_header(fixed, "n")
+        match = re.search(r"static const int32_t n_weights_0\[300\] = \{(.*?)\};",
+                          header, re.S)
+        values = [int(v) for v in match.group(1).replace("\n", " ").split(",")]
+        np.testing.assert_array_equal(
+            values, np.asarray(fixed.weights[0], dtype=np.int64).ravel())
+
+    def test_identifier_validation(self):
+        fixed = convert_to_fixed(build_network_a())
+        with pytest.raises(ConfigurationError):
+            export_c_header(fixed, "bad name")
+
+
+class TestDeploymentSummary:
+    def test_network_a_fits_everywhere(self):
+        summary = deployment_summary(build_network_a())
+        assert summary.fits_nrf52_ram
+        assert summary.fits_mrwolf_l1
+        assert summary.weights_bytes == 3003 * 4
+
+    def test_network_b_spills(self):
+        summary = deployment_summary(build_network_b())
+        assert not summary.fits_nrf52_ram
+        assert not summary.fits_mrwolf_l1
+        assert summary.weights_bytes == 81032 * 4
+
+    def test_energy_table_matches_table4(self):
+        summary = deployment_summary(build_network_a())
+        assert summary.energy_uj_by_processor == {
+            "arm_m4f": 5.1, "ibex": 1.3, "ri5cy_single": 2.9, "ri5cy_multi": 1.2}
+
+    def test_buffer_sizing(self):
+        summary = deployment_summary(build_network_a())
+        # Two ping-pong buffers of (max width + bias) words.
+        assert summary.buffer_bytes == 2 * 4 * 51

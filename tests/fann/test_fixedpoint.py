@@ -1,0 +1,111 @@
+"""Fixed-point network conversion and inference tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fann import (
+    Activation,
+    LayerSpec,
+    MultiLayerPerceptron,
+    build_network_a,
+    convert_to_fixed,
+)
+from repro.fann.fixedpoint import required_decimal_point
+
+
+def trained_like_network(seed=0):
+    """A small tanh network with realistic weight magnitudes."""
+    net = MultiLayerPerceptron(
+        4, [LayerSpec(8, Activation.TANH), LayerSpec(3, Activation.TANH)], seed=seed)
+    rng = np.random.default_rng(seed)
+    net.set_weights([rng.uniform(-1.5, 1.5, size=w.shape) for w in net.weights])
+    return net
+
+
+class TestDecimalPointSelection:
+    def test_larger_weights_get_fewer_frac_bits(self):
+        small = trained_like_network()
+        big = trained_like_network()
+        big.set_weights([w * 100.0 for w in big.weights])
+        assert (required_decimal_point(big)
+                < required_decimal_point(small))
+
+    def test_explicit_decimal_point_respected(self):
+        fixed = convert_to_fixed(trained_like_network(), decimal_point=12)
+        assert fixed.decimal_point == 12
+
+    def test_default_leaves_guard_bits(self):
+        net = trained_like_network()
+        dp = required_decimal_point(net, accumulator_guard_bits=4)
+        max_w = max(float(np.max(np.abs(w))) for w in net.weights)
+        # The largest weight must be representable with 4 bits to spare.
+        assert max_w * (1 << dp) < (1 << 31) / 16
+
+
+class TestInferenceAccuracy:
+    def test_fixed_point_tracks_float(self):
+        net = trained_like_network()
+        fixed = convert_to_fixed(net)
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-1, 1, size=(32, 4))
+        float_out = net.forward(x)
+        fixed_out = fixed.forward(x)
+        assert np.max(np.abs(float_out - fixed_out)) < 0.03
+
+    def test_classification_agreement_on_network_a(self):
+        net = build_network_a(seed=5)
+        fixed = convert_to_fixed(net)
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-1, 1, size=(100, 5))
+        agreement = np.mean(net.classify(x) == fixed.classify(x))
+        assert agreement >= 0.95
+
+    def test_single_sample_shape(self):
+        fixed = convert_to_fixed(trained_like_network())
+        out = fixed.forward(np.zeros(4))
+        assert out.shape == (3,)
+
+    @settings(max_examples=20)
+    @given(st.lists(st.floats(min_value=-1, max_value=1, allow_nan=False),
+                    min_size=4, max_size=4))
+    def test_outputs_bounded_by_tanh(self, values):
+        fixed = convert_to_fixed(trained_like_network())
+        out = fixed.forward(np.array(values))
+        assert np.all(out >= -1.001)
+        assert np.all(out <= 1.001)
+
+    def test_to_float_network_round_trip(self):
+        net = trained_like_network()
+        fixed = convert_to_fixed(net)
+        recovered = fixed.to_float_network()
+        # Recovered weights differ from the originals only by
+        # quantisation (< 1 LSB each).
+        for orig, rec in zip(net.weights, recovered.weights):
+            assert np.max(np.abs(orig - rec)) <= fixed.fmt.resolution
+
+    def test_relu_and_linear_layers_execute(self):
+        net = MultiLayerPerceptron(
+            3, [LayerSpec(4, Activation.RELU), LayerSpec(2, Activation.LINEAR)])
+        fixed = convert_to_fixed(net)
+        out = fixed.forward(np.array([0.5, -0.5, 0.25]))
+        expected = net.forward(np.array([0.5, -0.5, 0.25]))
+        np.testing.assert_allclose(out, expected, atol=0.01)
+
+
+class TestStructure:
+    def test_weight_matrices_are_integers(self):
+        fixed = convert_to_fixed(trained_like_network())
+        for w in fixed.weights:
+            assert w.dtype == np.int64
+
+    def test_num_outputs(self):
+        fixed = convert_to_fixed(build_network_a())
+        assert fixed.num_outputs == 3
+
+    def test_tables_present_only_for_saturating_activations(self):
+        net = MultiLayerPerceptron(
+            2, [LayerSpec(2, Activation.TANH), LayerSpec(2, Activation.LINEAR)])
+        fixed = convert_to_fixed(net)
+        assert fixed.tables[0] is not None
+        assert fixed.tables[1] is None

@@ -1,0 +1,147 @@
+"""MLP structure and inference tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetworkStructureError
+from repro.fann import Activation, LayerSpec, MultiLayerPerceptron
+
+
+def tiny_network(seed=0):
+    return MultiLayerPerceptron(
+        2, [LayerSpec(3, Activation.TANH), LayerSpec(1, Activation.LINEAR)], seed=seed)
+
+
+class TestConstruction:
+    def test_rejects_zero_inputs(self):
+        with pytest.raises(NetworkStructureError):
+            MultiLayerPerceptron(0, [LayerSpec(1, Activation.TANH)])
+
+    def test_rejects_empty_layers(self):
+        with pytest.raises(NetworkStructureError):
+            MultiLayerPerceptron(2, [])
+
+    def test_rejects_zero_width_layer(self):
+        with pytest.raises(NetworkStructureError):
+            LayerSpec(0, Activation.TANH)
+
+    def test_weight_shapes_include_bias_column(self):
+        net = tiny_network()
+        assert net.connection_shapes() == [(3, 3), (1, 4)]
+
+    def test_deterministic_given_seed(self):
+        a, b = tiny_network(seed=7), tiny_network(seed=7)
+        for wa, wb in zip(a.weights, b.weights):
+            np.testing.assert_array_equal(wa, wb)
+
+    def test_different_seeds_differ(self):
+        a, b = tiny_network(seed=1), tiny_network(seed=2)
+        assert any(not np.array_equal(wa, wb)
+                   for wa, wb in zip(a.weights, b.weights))
+
+
+class TestCounting:
+    def test_fann_connection_counting(self):
+        # weights = (n_in + 1) * n_out summed over connection layers.
+        net = tiny_network()
+        assert net.total_weights == 3 * 3 + 4 * 1
+        assert net.total_neurons == 2 + 3 + 1
+
+    def test_memory_footprint_formula(self):
+        net = tiny_network()
+        expected = 6 * 16 + 13 * 4 + 3 * 8
+        assert net.memory_footprint_bytes() == expected
+
+    def test_layer_sizes(self):
+        assert tiny_network().layer_sizes == [2, 3, 1]
+
+
+class TestForward:
+    def test_single_and_batch_agree(self):
+        net = tiny_network()
+        x = np.array([0.3, -0.8])
+        single = net.forward(x)
+        batch = net.forward(x[np.newaxis, :])
+        np.testing.assert_allclose(single, batch[0])
+
+    def test_forward_matches_manual_computation(self):
+        net = MultiLayerPerceptron(2, [LayerSpec(1, Activation.LINEAR)])
+        net.set_weights([np.array([[2.0, -1.0, 0.5]])])
+        out = net.forward(np.array([1.0, 3.0]))
+        # 2*1 - 1*3 + 0.5*1(bias) = -0.5
+        assert out[0] == pytest.approx(-0.5)
+
+    def test_bias_neuron_is_constant_one(self):
+        net = MultiLayerPerceptron(1, [LayerSpec(1, Activation.LINEAR)])
+        net.set_weights([np.array([[0.0, 0.75]])])
+        assert net.forward(np.array([123.0]))[0] == pytest.approx(0.75)
+
+    def test_tanh_output_bounded(self):
+        net = tiny_network()
+        rng = np.random.default_rng(0)
+        out = net.forward(rng.uniform(-100, 100, size=(64, 2)))
+        hidden_spec = net.layers[0]
+        assert hidden_spec.activation is Activation.TANH
+        # Final layer is linear but fed by bounded tanh activations.
+        assert np.all(np.isfinite(out))
+
+    def test_wrong_input_width_raises(self):
+        with pytest.raises(NetworkStructureError):
+            tiny_network().forward(np.zeros(5))
+
+    def test_forward_all_layers_consistent_with_forward(self):
+        net = tiny_network()
+        x = np.random.default_rng(3).uniform(-1, 1, size=(8, 2))
+        activations = net.forward_all_layers(x)
+        np.testing.assert_allclose(activations[-1], net.forward(x))
+        assert len(activations) == net.num_connection_layers + 1
+
+    def test_classify_returns_argmax(self):
+        net = MultiLayerPerceptron(2, [LayerSpec(3, Activation.LINEAR)])
+        net.set_weights([np.array([[1.0, 0.0, 0.0],
+                                   [0.0, 1.0, 0.0],
+                                   [0.0, 0.0, 1.0]])])
+        # Third output is the constant bias 1, others driven by inputs.
+        assert net.classify(np.array([0.2, 0.3])) == 2
+        assert net.classify(np.array([5.0, 0.0])) == 0
+
+    @settings(max_examples=25)
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=6),
+           st.integers(min_value=1, max_value=3))
+    def test_output_shape(self, n_in, hidden, n_out):
+        net = MultiLayerPerceptron(
+            n_in, [LayerSpec(hidden, Activation.TANH),
+                   LayerSpec(n_out, Activation.TANH)])
+        batch = np.zeros((5, n_in))
+        assert net.forward(batch).shape == (5, n_out)
+
+
+class TestMutation:
+    def test_set_weights_validates_count(self):
+        net = tiny_network()
+        with pytest.raises(NetworkStructureError):
+            net.set_weights(net.weights[:1])
+
+    def test_set_weights_validates_shape(self):
+        net = tiny_network()
+        bad = [np.zeros((3, 3)), np.zeros((2, 4))]
+        with pytest.raises(NetworkStructureError):
+            net.set_weights(bad)
+
+    def test_set_weights_copies(self):
+        net = tiny_network()
+        source = [w * 0 + 1.0 for w in net.weights]
+        net.set_weights(source)
+        source[0][0, 0] = 99.0
+        assert net.weights[0][0, 0] == 1.0
+
+    def test_copy_is_independent(self):
+        net = tiny_network()
+        clone = net.copy()
+        clone.weights[0][0, 0] += 1.0
+        assert net.weights[0][0, 0] != clone.weights[0][0, 0]
+
+    def test_repr_mentions_sizes(self):
+        assert "2-3-1" in repr(tiny_network())

@@ -1,0 +1,89 @@
+"""Serialisation round-trip and error-handling tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SerializationError
+from repro.fann import (
+    Activation,
+    LayerSpec,
+    MultiLayerPerceptron,
+    build_network_a,
+    load_network,
+    save_network,
+)
+from repro.fann.serialize import dumps_network, loads_network
+
+
+def sample_network():
+    net = MultiLayerPerceptron(
+        3, [LayerSpec(4, Activation.TANH), LayerSpec(2, Activation.SIGMOID)], seed=9)
+    return net
+
+
+class TestRoundTrip:
+    def test_string_round_trip_exact(self):
+        net = sample_network()
+        recovered = loads_network(dumps_network(net))
+        assert recovered.layer_sizes == net.layer_sizes
+        for wa, wb in zip(net.weights, recovered.weights):
+            np.testing.assert_array_equal(wa, wb)
+
+    def test_activations_preserved(self):
+        recovered = loads_network(dumps_network(sample_network()))
+        assert recovered.layers[0].activation is Activation.TANH
+        assert recovered.layers[1].activation is Activation.SIGMOID
+
+    def test_file_round_trip(self, tmp_path):
+        net = build_network_a(seed=2)
+        path = tmp_path / "network_a.net"
+        save_network(net, path)
+        recovered = load_network(path)
+        x = np.random.default_rng(0).uniform(-1, 1, size=(4, 5))
+        np.testing.assert_array_equal(net.forward(x), recovered.forward(x))
+
+    def test_inference_identical_after_round_trip(self):
+        net = sample_network()
+        recovered = loads_network(dumps_network(net))
+        x = np.random.default_rng(1).uniform(-2, 2, size=(6, 3))
+        np.testing.assert_array_equal(net.forward(x), recovered.forward(x))
+
+
+class TestMalformedInput:
+    def test_wrong_header(self):
+        with pytest.raises(SerializationError):
+            loads_network("not_a_network 1\n")
+
+    def test_wrong_version(self):
+        text = dumps_network(sample_network()).replace(
+            "repro_fann_format_version 1", "repro_fann_format_version 99")
+        with pytest.raises(SerializationError):
+            loads_network(text)
+
+    def test_truncated_file(self):
+        text = dumps_network(sample_network())
+        with pytest.raises(SerializationError):
+            loads_network("\n".join(text.splitlines()[:6]))
+
+    def test_bad_activation_name(self):
+        text = dumps_network(sample_network()).replace("layer 4 tanh",
+                                                       "layer 4 warp")
+        with pytest.raises(SerializationError):
+            loads_network(text)
+
+    def test_malformed_number(self):
+        text = dumps_network(sample_network())
+        lines = text.splitlines()
+        # Corrupt the first weight row (it follows the first weights header).
+        first_row = next(i for i, l in enumerate(lines) if l.startswith("weights")) + 1
+        lines[first_row] = lines[first_row].replace(lines[first_row].split()[0],
+                                                    "abc", 1)
+        with pytest.raises(SerializationError):
+            loads_network("\n".join(lines))
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = dumps_network(sample_network())
+        decorated = "# a comment\n\n" + text.replace(
+            "num_inputs", "# inline\nnum_inputs", 1)
+        recovered = loads_network(decorated)
+        assert recovered.num_inputs == 3

@@ -1,0 +1,136 @@
+"""Trainer tests: gradients, convergence, error handling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.fann import (
+    Activation,
+    GradientDescentTrainer,
+    LayerSpec,
+    MultiLayerPerceptron,
+    RpropTrainer,
+)
+from repro.fann.training import compute_gradients
+
+
+def xor_data():
+    x = np.array([[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]])
+    t = np.array([[-1.0], [1.0], [1.0], [-1.0]])  # tanh targets
+    return x, t
+
+
+def xor_network(seed=3):
+    return MultiLayerPerceptron(
+        2, [LayerSpec(6, Activation.TANH), LayerSpec(1, Activation.TANH)], seed=seed)
+
+
+class TestGradients:
+    def test_numerical_gradient_check(self):
+        """Analytic gradients must match central finite differences."""
+        rng = np.random.default_rng(0)
+        net = MultiLayerPerceptron(
+            3, [LayerSpec(4, Activation.TANH),
+                LayerSpec(2, Activation.SIGMOID)], seed=1)
+        x = rng.uniform(-1, 1, size=(5, 3))
+        t = rng.uniform(0, 1, size=(5, 2))
+        grads, _ = compute_gradients(net, x, t)
+
+        eps = 1e-6
+        for layer_idx in range(net.num_connection_layers):
+            w = net.weights[layer_idx]
+            for r, c in [(0, 0), (1, 2), (w.shape[0] - 1, w.shape[1] - 1)]:
+                original = w[r, c]
+                w[r, c] = original + eps
+                _, mse_plus = compute_gradients(net, x, t)
+                w[r, c] = original - eps
+                _, mse_minus = compute_gradients(net, x, t)
+                w[r, c] = original
+                numeric = (mse_plus - mse_minus) / (2 * eps)
+                assert grads[layer_idx][r, c] == pytest.approx(numeric, rel=1e-4,
+                                                               abs=1e-8)
+
+    def test_shape_validation(self):
+        net = xor_network()
+        x, t = xor_data()
+        with pytest.raises(TrainingError):
+            compute_gradients(net, x[:2], t)
+        with pytest.raises(TrainingError):
+            compute_gradients(net, x[:, :1], t)
+        with pytest.raises(TrainingError):
+            compute_gradients(net, x, t[:, [0, 0]])
+        with pytest.raises(TrainingError):
+            compute_gradients(net, np.empty((0, 2)), np.empty((0, 1)))
+
+    def test_mse_decreases_along_negative_gradient(self):
+        net = xor_network()
+        x, t = xor_data()
+        grads, before = compute_gradients(net, x, t)
+        for w, g in zip(net.weights, grads):
+            w -= 0.1 * g
+        _, after = compute_gradients(net, x, t)
+        assert after < before
+
+
+class TestGradientDescent:
+    def test_rejects_bad_learning_rate(self):
+        with pytest.raises(TrainingError):
+            GradientDescentTrainer(learning_rate=0.0)
+
+    def test_loss_decreases(self):
+        net = xor_network()
+        x, t = xor_data()
+        report = GradientDescentTrainer(learning_rate=0.5).train(
+            net, x, t, max_epochs=200)
+        assert report.final_mse < report.mse_history[0]
+
+    def test_stops_at_desired_mse(self):
+        net = xor_network()
+        x, t = xor_data()
+        report = GradientDescentTrainer(learning_rate=0.5).train(
+            net, x, t, max_epochs=10_000, desired_mse=0.05)
+        assert report.converged
+        assert report.final_mse <= 0.05
+        assert report.epochs_run < 10_000
+
+
+class TestRprop:
+    def test_parameter_validation(self):
+        with pytest.raises(TrainingError):
+            RpropTrainer(eta_plus=0.9)
+        with pytest.raises(TrainingError):
+            RpropTrainer(eta_minus=1.1)
+        with pytest.raises(TrainingError):
+            RpropTrainer(delta_min=0.1, delta_max=0.01)
+
+    def test_solves_xor(self):
+        net = xor_network()
+        x, t = xor_data()
+        report = RpropTrainer().train(net, x, t, max_epochs=400,
+                                      desired_mse=0.01)
+        assert report.converged, f"final MSE {report.final_mse}"
+        predictions = np.sign(net.forward(x))
+        np.testing.assert_array_equal(predictions, t)
+
+    def test_faster_than_plain_gradient_descent_on_xor(self):
+        x, t = xor_data()
+        rprop_report = RpropTrainer().train(xor_network(), x, t,
+                                            max_epochs=2000, desired_mse=0.02)
+        gd_report = GradientDescentTrainer(learning_rate=0.1).train(
+            xor_network(), x, t, max_epochs=2000, desired_mse=0.02)
+        assert rprop_report.converged
+        # RPROP's adapted steps should need no more epochs than fixed-step GD.
+        assert rprop_report.epochs_run <= gd_report.epochs_run
+
+    def test_report_history_length(self):
+        net = xor_network()
+        x, t = xor_data()
+        report = RpropTrainer().train(net, x, t, max_epochs=17)
+        assert report.epochs_run == 17
+        assert len(report.mse_history) == 17
+
+    def test_final_mse_without_epochs_raises(self):
+        from repro.fann.training import TrainingReport
+
+        with pytest.raises(TrainingError):
+            _ = TrainingReport(epochs_run=0).final_mse

@@ -1,0 +1,91 @@
+"""Networks A and B must match the paper's stated structure exactly."""
+
+import pytest
+
+from repro.fann import Activation, build_network_a, build_network_b
+from repro.fann.zoo import (
+    NETWORK_A_INPUTS,
+    NETWORK_A_OUTPUTS,
+    NETWORK_B_INPUTS,
+    NETWORK_B_OUTPUTS,
+    network_b_hidden_sizes,
+)
+
+
+class TestNetworkA:
+    """Fig. 3: 5 inputs, two hidden layers of 50, 3 outputs, tanh."""
+
+    def test_layer_sizes(self):
+        assert build_network_a().layer_sizes == [5, 50, 50, 3]
+
+    def test_neuron_count_matches_paper(self):
+        # "The network has in total 108 neurons"
+        assert build_network_a().total_neurons == 108
+
+    def test_weight_count_matches_paper(self):
+        # "... and 3003 weights"
+        assert build_network_a().total_weights == 3003
+
+    def test_memory_footprint_about_14_kb(self):
+        # "yielding an estimated memory footprint of 14 kB"
+        footprint = build_network_a().memory_footprint_bytes()
+        assert footprint == 108 * 16 + 3003 * 4 + 4 * 8
+        assert 13_000 <= footprint <= 14_500
+
+    def test_all_layers_tanh(self):
+        net = build_network_a()
+        assert all(spec.activation is Activation.TANH for spec in net.layers)
+
+    def test_io_constants(self):
+        assert NETWORK_A_INPUTS == 5
+        assert NETWORK_A_OUTPUTS == 3
+
+
+class TestNetworkB:
+    """100 inputs, 24 growing hidden layers, 8 outputs."""
+
+    def test_hidden_sizes_grow_pairwise(self):
+        sizes = network_b_hidden_sizes()
+        assert len(sizes) == 24
+        assert sizes[:4] == [8, 8, 16, 16]
+        assert sizes[-2:] == [96, 96]
+        # Every pair shares a width and widths step by 8.
+        for i in range(0, 24, 2):
+            assert sizes[i] == sizes[i + 1] == 8 * (i // 2 + 1)
+
+    def test_neuron_count_matches_paper(self):
+        # "a total of 1356 neurons"
+        assert build_network_b().total_neurons == 1356
+
+    def test_weight_count_matches_paper(self):
+        # "... 81032 weights"
+        assert build_network_b().total_weights == 81032
+
+    def test_memory_footprint_hundreds_of_kb(self):
+        # Paper estimates 353 kB; the stated formula yields ~346 kB
+        # (deviation documented in EXPERIMENTS.md).
+        footprint = build_network_b().memory_footprint_bytes()
+        assert footprint == 1356 * 16 + 81032 * 4 + 26 * 8
+        assert 330_000 <= footprint <= 365_000
+
+    def test_does_not_fit_64kb_memories(self):
+        # The premise of the flash/L2 residency penalty in Table III.
+        assert build_network_b().memory_footprint_bytes() > 64 * 1024
+
+    def test_io_constants(self):
+        assert NETWORK_B_INPUTS == 100
+        assert NETWORK_B_OUTPUTS == 8
+
+    def test_forward_runs(self):
+        import numpy as np
+
+        net = build_network_b()
+        out = net.forward(np.zeros(100))
+        assert out.shape == (8,)
+        assert np.all(np.isfinite(out))
+
+
+class TestRelativeSizes:
+    def test_network_b_is_an_order_of_magnitude_bigger(self):
+        a, b = build_network_a(), build_network_b()
+        assert b.total_weights / a.total_weights == pytest.approx(26.98, rel=0.01)

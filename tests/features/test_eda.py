@@ -1,0 +1,75 @@
+"""GSR rising-edge feature tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.features import detect_rising_edges, gsr_slope_features
+from repro.sensors import GSRGenerator, gsr_parameters_for_stress
+
+FS = 32.0
+
+
+def synthetic_step_trace(height=0.5, rise_s=2.0, fs=FS):
+    """A flat trace with one clean linear rise of known height/length."""
+    flat = np.full(int(10 * fs), 2.0)
+    rise = 2.0 + np.linspace(0.0, height, int(rise_s * fs))
+    tail = np.full(int(10 * fs), 2.0 + height)
+    return np.concatenate([flat, rise, tail])
+
+
+class TestEdgeDetection:
+    def test_single_clean_edge(self):
+        trace = synthetic_step_trace(height=0.5, rise_s=2.0)
+        edges = detect_rising_edges(trace, FS)
+        assert len(edges) == 1
+        assert edges[0].height_us == pytest.approx(0.5, abs=0.05)
+        assert edges[0].length_s == pytest.approx(2.0, abs=0.5)
+
+    def test_small_bumps_below_threshold_ignored(self):
+        trace = synthetic_step_trace(height=0.005)
+        assert detect_rising_edges(trace, FS, min_height_us=0.02) == []
+
+    def test_flat_trace_has_no_edges(self):
+        assert detect_rising_edges(np.full(1000, 3.0), FS) == []
+
+    def test_falling_trace_has_no_edges(self):
+        falling = np.linspace(5.0, 2.0, 1000)
+        assert detect_rising_edges(falling, FS) == []
+
+    def test_multiple_edges_counted(self):
+        one = synthetic_step_trace(height=0.4)
+        # Two rises separated by a recovery back down.
+        recovery = np.linspace(one[-1], 2.0, int(15 * FS))
+        trace = np.concatenate([one, recovery, synthetic_step_trace(height=0.4)])
+        edges = detect_rising_edges(trace, FS)
+        assert len(edges) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            detect_rising_edges(np.zeros((4, 4)), FS)
+        with pytest.raises(ConfigurationError):
+            detect_rising_edges(np.zeros(100), 0.0)
+
+    def test_tiny_trace_returns_empty(self):
+        assert detect_rising_edges(np.array([1.0, 2.0]), FS) == []
+
+
+class TestSlopeFeatures:
+    def test_features_of_known_edge(self):
+        gsrh, gsrl = gsr_slope_features(synthetic_step_trace(0.6, 3.0), FS)
+        assert gsrh == pytest.approx(0.6, abs=0.06)
+        assert gsrl == pytest.approx(3.0, abs=0.6)
+
+    def test_no_edges_returns_zeros(self):
+        assert gsr_slope_features(np.full(500, 2.0), FS) == (0.0, 0.0)
+
+    def test_stress_increases_gsrh(self):
+        """Stressed traces carry taller SCR fronts on average."""
+        calm_h, stressed_h = [], []
+        for seed in range(5):
+            calm = GSRGenerator(gsr_parameters_for_stress(0), seed=seed).generate(300.0)
+            stressed = GSRGenerator(gsr_parameters_for_stress(2), seed=seed).generate(300.0)
+            calm_h.append(gsr_slope_features(calm, FS)[0])
+            stressed_h.append(gsr_slope_features(stressed, FS)[0])
+        assert np.mean(stressed_h) > np.mean(calm_h)

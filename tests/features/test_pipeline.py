@@ -1,0 +1,86 @@
+"""End-to-end feature-pipeline tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.features import (
+    FEATURE_NAMES,
+    FeatureExtractor,
+    FeatureVector,
+    build_feature_matrix,
+)
+from repro.sensors import StressDatasetGenerator, StressLevel
+
+
+@pytest.fixture(scope="module")
+def recording():
+    return StressDatasetGenerator(segment_duration_s=120.0, seed=7).generate_recording(0)
+
+
+class TestFeatureVector:
+    def test_as_array_order_matches_names(self):
+        vec = FeatureVector(rmssd_s=1.0, sdsd_s=2.0, nn50_count=3.0,
+                            gsrl_s=4.0, gsrh_us=5.0)
+        np.testing.assert_array_equal(vec.as_array(), [1, 2, 3, 4, 5])
+        assert FEATURE_NAMES == ("rmssd", "sdsd", "nn50", "gsrl", "gsrh")
+
+
+class TestExtractor:
+    def test_segment_yields_expected_window_count(self, recording):
+        extractor = FeatureExtractor(window_duration_s=60.0, step_duration_s=30.0)
+        vectors = extractor.extract_from_segment(recording.segments[0])
+        # 120 s segment, 60 s windows at 30 s hop -> 3 windows.
+        assert len(vectors) == 3
+
+    def test_labels_propagate_from_segment(self, recording):
+        extractor = FeatureExtractor(window_duration_s=60.0, step_duration_s=30.0)
+        for segment in recording.segments:
+            for vec in extractor.extract_from_segment(segment):
+                assert vec.label == int(segment.level)
+
+    def test_recording_extraction_covers_all_segments(self, recording):
+        extractor = FeatureExtractor(window_duration_s=60.0, step_duration_s=30.0)
+        vectors = extractor.extract_from_recording(recording)
+        assert len(vectors) == 3 * len(recording.segments)
+
+    def test_features_separate_stress_levels(self, recording):
+        """Rest windows show higher RMSSD and lower GSRH than stress."""
+        extractor = FeatureExtractor(window_duration_s=60.0, step_duration_s=30.0)
+        vectors = extractor.extract_from_recording(recording)
+        rest = [v for v in vectors if v.label == int(StressLevel.NONE)]
+        stress = [v for v in vectors if v.label == int(StressLevel.HIGH)]
+        assert np.mean([v.rmssd_s for v in rest]) > np.mean(
+            [v.rmssd_s for v in stress])
+
+    def test_short_window_skipped(self):
+        extractor = FeatureExtractor(window_duration_s=60.0,
+                                     step_duration_s=30.0, min_beats=4)
+        out = extractor.features_for_window(np.array([0.8, 0.9]), np.full(100, 2.0),
+                                            32.0)
+        assert out is None
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FeatureExtractor(window_duration_s=0.0)
+        with pytest.raises(ConfigurationError):
+            FeatureExtractor(min_beats=1)
+
+
+class TestMatrixBuilding:
+    def test_shapes(self, recording):
+        extractor = FeatureExtractor(window_duration_s=60.0, step_duration_s=30.0)
+        vectors = extractor.extract_from_recording(recording)
+        x, y = build_feature_matrix(vectors)
+        assert x.shape == (len(vectors), 5)
+        assert y.shape == (len(vectors),)
+        assert set(np.unique(y)) <= {0, 1, 2}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_feature_matrix([])
+
+    def test_unlabelled_rejected(self):
+        vec = FeatureVector(1.0, 1.0, 1.0, 1.0, 1.0, label=None)
+        with pytest.raises(ConfigurationError):
+            build_feature_matrix([vec])

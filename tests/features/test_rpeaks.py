@@ -1,0 +1,74 @@
+"""R-peak detector tests against the synthetic waveform."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.features import detect_r_peaks, rr_intervals_from_peaks
+from repro.sensors import (
+    RRIntervalGenerator,
+    hrv_parameters_for_stress,
+    synthesize_ecg_waveform,
+)
+
+FS = 256.0
+
+
+class TestDetection:
+    def test_detects_all_beats_clean_signal(self):
+        rr = np.full(20, 0.8)
+        wave = synthesize_ecg_waveform(rr, FS, noise_mv=0.0, baseline_wander_mv=0.0)
+        peaks = detect_r_peaks(wave, FS)
+        assert peaks.size == 20
+
+    def test_detects_beats_with_noise_and_wander(self):
+        rr = RRIntervalGenerator(hrv_parameters_for_stress(0), seed=0).generate(30)
+        wave = synthesize_ecg_waveform(rr, FS, noise_mv=0.02,
+                                       baseline_wander_mv=0.05, seed=1)
+        peaks = detect_r_peaks(wave, FS)
+        assert abs(peaks.size - 30) <= 1
+
+    def test_recovered_rr_matches_ground_truth(self):
+        rr_true = RRIntervalGenerator(hrv_parameters_for_stress(1), seed=3).generate(40)
+        wave = synthesize_ecg_waveform(rr_true, FS, noise_mv=0.01, seed=2)
+        peaks = detect_r_peaks(wave, FS)
+        rr_est = rr_intervals_from_peaks(peaks, FS)
+        assert rr_est.size == rr_true.size - 1
+        # Consecutive R peaks are spaced by rr_true[:-1] (the last
+        # interval has no closing beat); each interval recovered to
+        # within ~3 samples.
+        np.testing.assert_allclose(rr_est, rr_true[:-1], atol=3.0 / FS)
+
+    def test_refractory_prevents_double_detection(self):
+        rr = np.full(10, 0.5)  # 120 bpm
+        wave = synthesize_ecg_waveform(rr, FS, noise_mv=0.0, baseline_wander_mv=0.0)
+        peaks = detect_r_peaks(wave, FS)
+        assert np.all(np.diff(peaks) >= int(0.24 * FS))
+
+    def test_fast_heart_rate_still_tracked(self):
+        rr = np.full(20, 0.45)  # ~133 bpm, stressed
+        wave = synthesize_ecg_waveform(rr, FS, noise_mv=0.005, seed=4)
+        peaks = detect_r_peaks(wave, FS)
+        assert abs(peaks.size - 20) <= 1
+
+
+class TestValidation:
+    def test_short_signal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            detect_r_peaks(np.zeros(16), FS)
+
+    def test_2d_signal_rejected(self):
+        with pytest.raises(ConfigurationError):
+            detect_r_peaks(np.zeros((10, 10)), FS)
+
+    def test_bad_sampling_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            detect_r_peaks(np.zeros(1000), 0.0)
+
+    def test_rr_needs_two_peaks(self):
+        with pytest.raises(ConfigurationError):
+            rr_intervals_from_peaks(np.array([100]), FS)
+
+    def test_rr_conversion(self):
+        rr = rr_intervals_from_peaks(np.array([0, 256, 512]), 256.0)
+        np.testing.assert_allclose(rr, [1.0, 1.0])

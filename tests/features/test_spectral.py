@@ -1,0 +1,77 @@
+"""Spectral HRV feature tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.features import hf_power, lf_hf_ratio, lf_power, resample_rr
+from repro.features.spectral import band_power
+from repro.sensors import RRIntervalGenerator, hrv_parameters_for_stress
+
+
+def modulated_rr(freq_hz, amplitude_s=0.03, mean_rr=0.8, beats=600):
+    """An RR series with a pure sinusoidal modulation at freq_hz."""
+    rr = np.full(beats, mean_rr)
+    t = np.cumsum(rr)
+    return mean_rr + amplitude_s * np.sin(2 * np.pi * freq_hz * t)
+
+
+class TestResampling:
+    def test_output_rate(self):
+        rr = np.full(100, 0.8)
+        resampled = resample_rr(rr, sampling_rate_hz=4.0)
+        # 80 s of beats -> ~320 samples at 4 Hz.
+        assert abs(resampled.size - 4.0 * 80.0) <= 4
+
+    def test_constant_series_resamples_flat(self):
+        resampled = resample_rr(np.full(50, 0.75))
+        np.testing.assert_allclose(resampled, 0.75)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            resample_rr(np.array([0.8, 0.8]))
+        with pytest.raises(ConfigurationError):
+            resample_rr(np.full(10, 0.8), sampling_rate_hz=0.0)
+        with pytest.raises(ConfigurationError):
+            resample_rr(np.array([0.8, -0.1, 0.8, 0.8]))
+
+
+class TestBandSeparation:
+    def test_hf_modulation_lands_in_hf_band(self):
+        rr = modulated_rr(0.25)  # respiratory frequency
+        assert hf_power(rr) > 10 * lf_power(rr)
+
+    def test_lf_modulation_lands_in_lf_band(self):
+        rr = modulated_rr(0.09)  # Mayer-wave frequency
+        assert lf_power(rr) > 10 * hf_power(rr)
+
+    def test_constant_series_has_no_power(self):
+        rr = np.full(300, 0.8)
+        assert lf_power(rr) == pytest.approx(0.0, abs=1e-12)
+        assert hf_power(rr) == pytest.approx(0.0, abs=1e-12)
+
+    def test_band_validation(self):
+        with pytest.raises(ConfigurationError):
+            band_power(np.full(20, 0.8), (0.3, 0.1))
+
+
+class TestStressSensitivity:
+    def test_lf_hf_ratio_rises_with_stress(self):
+        """Stress withdraws vagal (HF) tone -> LF/HF climbs.  In the
+        synthetic HRV model the RSA amplitude shrinks from 25 ms at
+        rest to 7 ms under stress while slow wander persists."""
+        ratios = []
+        for level in (0, 2):
+            values = []
+            for seed in range(5):
+                rr = RRIntervalGenerator(hrv_parameters_for_stress(level),
+                                         seed=seed).generate(800)
+                values.append(lf_hf_ratio(rr))
+            ratios.append(np.mean(values))
+        assert ratios[1] > ratios[0]
+
+    def test_ratio_positive_and_finite(self):
+        rr = RRIntervalGenerator(hrv_parameters_for_stress(1), seed=0).generate(400)
+        ratio = lf_hf_ratio(rr)
+        assert np.isfinite(ratio)
+        assert ratio > 0.0

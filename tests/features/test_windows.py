@@ -1,0 +1,74 @@
+"""Windowing helper tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.features import overlapping_windows, window_rr_series
+
+
+class TestSampleWindows:
+    def test_exact_tiling_no_overlap(self):
+        spans = overlapping_windows(100, 25, 25)
+        assert spans == [(0, 25), (25, 50), (50, 75), (75, 100)]
+
+    def test_half_overlap(self):
+        spans = overlapping_windows(100, 40, 20)
+        assert spans[0] == (0, 40)
+        assert spans[1] == (20, 60)
+        assert spans[-1][1] <= 100
+
+    def test_trailing_partial_window_dropped(self):
+        spans = overlapping_windows(99, 25, 25)
+        assert spans[-1] == (50, 75)
+
+    def test_trace_shorter_than_window(self):
+        assert overlapping_windows(10, 25, 5) == []
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            overlapping_windows(100, 0, 5)
+        with pytest.raises(ConfigurationError):
+            overlapping_windows(100, 10, 0)
+
+    @given(st.integers(min_value=1, max_value=500),
+           st.integers(min_value=1, max_value=100),
+           st.integers(min_value=1, max_value=100))
+    def test_windows_stay_inside_trace(self, n, window, step):
+        for start, end in overlapping_windows(n, window, step):
+            assert 0 <= start < end <= n
+            assert end - start == window
+
+
+class TestRRWindows:
+    def test_constant_rr_window_counts(self):
+        rr = np.full(100, 1.0)  # 100 s of beats
+        windows = window_rr_series(rr, 10.0, 10.0)
+        assert len(windows) == 10
+        for w in windows:
+            assert w.size == 10
+
+    def test_overlapping_windows_share_beats(self):
+        rr = np.full(60, 1.0)
+        windows = window_rr_series(rr, 20.0, 10.0)
+        assert len(windows) == 5
+        assert all(w.size == 20 for w in windows)
+
+    def test_short_series_yields_nothing(self):
+        assert window_rr_series(np.full(3, 1.0), 10.0, 5.0) == []
+
+    def test_all_beats_covered_by_tiling(self):
+        rr = np.full(50, 0.8)
+        windows = window_rr_series(rr, 8.0, 8.0)
+        total_beats = sum(w.size for w in windows)
+        assert total_beats == 50
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            window_rr_series(np.full(10, 1.0), 0.0, 1.0)
+        with pytest.raises(ConfigurationError):
+            window_rr_series(np.zeros((2, 5)) + 1.0, 10.0, 5.0)
+
+    def test_empty_series(self):
+        assert window_rr_series(np.array([]), 10.0, 5.0) == []

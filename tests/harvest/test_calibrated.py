@@ -1,0 +1,114 @@
+"""Calibrated harvesting chain: Table I/II reproduction and provenance."""
+
+import pytest
+
+from repro.harvest import (
+    INDOOR_OFFICE_700LX,
+    OUTDOOR_SUN_30KLX,
+    TEG_ROOM_15C_NO_WIND,
+    TEG_ROOM_15C_WIND_42KMH,
+    TEG_ROOM_22C_NO_WIND,
+    calibrated_solar_harvester,
+    calibrated_teg_harvester,
+)
+from repro.harvest.calibrated import (
+    CALIBRATED_H_FORCED_COEFF,
+    CALIBRATED_H_NATURAL,
+    CALIBRATED_PHOTOCURRENT_PER_LUX,
+    CALIBRATED_SEEBECK_V_PER_K,
+    CALIBRATED_SERIES_RESISTANCE,
+    CALIBRATED_TEG_CONVERTER_QUIESCENT_W,
+    TABLE1_ANCHORS_W,
+    TABLE2_ANCHORS_W,
+    calibrated_dual_harvester,
+    recalibrate,
+)
+from repro.harvest.environment import DARKNESS, LightingCondition, ThermalCondition
+
+
+class TestTable1Reproduction:
+    def test_outdoor_30klx(self):
+        harvester = calibrated_solar_harvester()
+        intake = harvester.battery_intake_w(OUTDOOR_SUN_30KLX)
+        assert intake == pytest.approx(24.711e-3, rel=1e-6)
+
+    def test_indoor_700lx(self):
+        harvester = calibrated_solar_harvester()
+        intake = harvester.battery_intake_w(INDOOR_OFFICE_700LX)
+        assert intake == pytest.approx(0.9e-3, rel=1e-6)
+
+    def test_darkness_harvests_nothing(self):
+        assert calibrated_solar_harvester().battery_intake_w(DARKNESS) == 0.0
+
+    def test_intermediate_lux_between_anchors(self):
+        harvester = calibrated_solar_harvester()
+        mid = harvester.battery_intake_w(LightingCondition(5_000.0))
+        assert 0.9e-3 < mid < 24.711e-3
+
+
+class TestTable2Reproduction:
+    @pytest.mark.parametrize("condition,anchor", [
+        (TEG_ROOM_22C_NO_WIND, 24.0e-6),
+        (TEG_ROOM_15C_NO_WIND, 55.5e-6),
+        (TEG_ROOM_15C_WIND_42KMH, 155.4e-6),
+    ], ids=["22C_still", "15C_still", "15C_wind"])
+    def test_anchor(self, condition, anchor):
+        harvester = calibrated_teg_harvester()
+        assert harvester.battery_intake_w(condition) == pytest.approx(anchor, rel=1e-6)
+
+    def test_intermediate_wind_between_anchors(self):
+        harvester = calibrated_teg_harvester()
+        gentle_breeze = ThermalCondition(ambient_c=15.0, skin_c=30.0, wind_ms=3.0)
+        intake = harvester.battery_intake_w(gentle_breeze)
+        assert 55.5e-6 < intake < 155.4e-6
+
+
+class TestProvenance:
+    """The hard-coded constants must be exactly reproducible."""
+
+    def test_recalibration_matches_hardcoded_constants(self):
+        values = recalibrate()
+        assert values["CALIBRATED_PHOTOCURRENT_PER_LUX"] == pytest.approx(
+            CALIBRATED_PHOTOCURRENT_PER_LUX, rel=1e-6)
+        assert values["CALIBRATED_SERIES_RESISTANCE"] == pytest.approx(
+            CALIBRATED_SERIES_RESISTANCE, rel=1e-6)
+        assert values["CALIBRATED_SEEBECK_V_PER_K"] == pytest.approx(
+            CALIBRATED_SEEBECK_V_PER_K, rel=1e-6)
+        assert values["CALIBRATED_H_NATURAL"] == pytest.approx(
+            CALIBRATED_H_NATURAL, rel=1e-6)
+        assert values["CALIBRATED_H_FORCED_COEFF"] == pytest.approx(
+            CALIBRATED_H_FORCED_COEFF, rel=1e-6)
+        assert values["CALIBRATED_TEG_CONVERTER_QUIESCENT_W"] == pytest.approx(
+            CALIBRATED_TEG_CONVERTER_QUIESCENT_W, rel=1e-4, abs=1e-9)
+
+    def test_constants_physically_plausible(self):
+        # Natural convection sits near 10 W/m^2K; the Seebeck
+        # coefficient fits a watch-sized BiTe module; the converter
+        # quiescent stays under a microwatt.
+        assert 5.0 < CALIBRATED_H_NATURAL < 20.0
+        assert 0.02 < CALIBRATED_SEEBECK_V_PER_K < 0.15
+        assert 0.0 <= CALIBRATED_TEG_CONVERTER_QUIESCENT_W < 2e-6
+        assert 1e-7 < CALIBRATED_PHOTOCURRENT_PER_LUX < 2e-6
+        assert 10.0 < CALIBRATED_SERIES_RESISTANCE < 200.0
+
+    def test_anchor_dictionaries_match_paper(self):
+        assert TABLE1_ANCHORS_W == {"outdoor_30klx": 24.711e-3,
+                                    "indoor_700lx": 0.9e-3}
+        assert TABLE2_ANCHORS_W == {"room22_skin32_still": 24.0e-6,
+                                    "room15_skin30_still": 55.5e-6,
+                                    "room15_skin30_wind42": 155.4e-6}
+
+
+class TestDualHarvester:
+    def test_contributions_add(self):
+        dual = calibrated_dual_harvester()
+        combined = dual.battery_intake_w(INDOOR_OFFICE_700LX, TEG_ROOM_22C_NO_WIND)
+        solar_only = dual.solar.battery_intake_w(INDOOR_OFFICE_700LX)
+        teg_only = dual.teg.battery_intake_w(TEG_ROOM_22C_NO_WIND)
+        assert combined == pytest.approx(solar_only + teg_only)
+
+    def test_paper_scenario_intake(self):
+        """Indoor 700 lx + worst-case TEG ~ 0.924 mW combined."""
+        dual = calibrated_dual_harvester()
+        combined = dual.battery_intake_w(INDOOR_OFFICE_700LX, TEG_ROOM_22C_NO_WIND)
+        assert combined == pytest.approx(0.9e-3 + 24.0e-6, rel=1e-6)

@@ -1,0 +1,102 @@
+"""Harvester-IC behavioural model tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import HarvestModelError
+from repro.harvest.converters import (
+    BQ25505,
+    BQ25505_EFFICIENCY,
+    BQ25570,
+    BQ25570_EFFICIENCY,
+    ConverterEfficiencyCurve,
+    HarvesterConverter,
+)
+
+
+class TestEfficiencyCurve:
+    def test_grid_validation(self):
+        with pytest.raises(HarvestModelError):
+            ConverterEfficiencyCurve((1e-6,), (0.5,))
+        with pytest.raises(HarvestModelError):
+            ConverterEfficiencyCurve((1e-6, 1e-5), (0.5,))
+        with pytest.raises(HarvestModelError):
+            ConverterEfficiencyCurve((1e-5, 1e-6), (0.5, 0.6))
+        with pytest.raises(HarvestModelError):
+            ConverterEfficiencyCurve((1e-6, 1e-5), (0.5, 1.5))
+
+    def test_interpolation_at_grid_points(self):
+        curve = BQ25570_EFFICIENCY
+        for p, eta in zip(curve.power_points_w, curve.efficiencies):
+            assert curve.efficiency(p) == pytest.approx(eta)
+
+    def test_clamping_outside_grid(self):
+        curve = BQ25570_EFFICIENCY
+        assert curve.efficiency(1e-9) == curve.efficiencies[0]
+        assert curve.efficiency(10.0) == curve.efficiencies[-1]
+
+    def test_zero_power_zero_efficiency(self):
+        assert BQ25570_EFFICIENCY.efficiency(0.0) == 0.0
+
+    @given(st.floats(min_value=1e-7, max_value=1.0))
+    def test_efficiency_always_valid_fraction(self, power):
+        assert 0.0 < BQ25570_EFFICIENCY.efficiency(power) <= 1.0
+
+    def test_both_curves_monotonic_nondecreasing(self):
+        for curve in (BQ25570_EFFICIENCY, BQ25505_EFFICIENCY):
+            etas = curve.efficiencies
+            assert all(b >= a for a, b in zip(etas, etas[1:]))
+
+
+class TestConverterChannels:
+    def test_default_mppt_fractions(self):
+        # 80 % V_oc for solar, 50 % (matched load) for the TEG.
+        assert BQ25570().mppt_fraction == pytest.approx(0.80)
+        assert BQ25505().mppt_fraction == pytest.approx(0.50)
+
+    def test_intake_below_cold_start_is_zero(self):
+        converter = BQ25570(cold_start_minimum_w=15e-6)
+        assert converter.battery_intake_w(10e-6) == 0.0
+        assert converter.battery_intake_w(20e-6) > 0.0
+
+    def test_intake_never_negative(self):
+        converter = BQ25505(quiescent_w=50e-6, cold_start_minimum_w=0.0)
+        assert converter.battery_intake_w(10e-6) == 0.0
+
+    def test_intake_less_than_input(self):
+        converter = BQ25570()
+        for power in (1e-4, 1e-3, 1e-2):
+            assert 0.0 < converter.battery_intake_w(power) < power
+
+    @given(st.floats(min_value=1e-5, max_value=0.1))
+    def test_intake_monotonic_in_input(self, power):
+        converter = BQ25570()
+        assert (converter.battery_intake_w(power * 1.1)
+                >= converter.battery_intake_w(power))
+
+    def test_zero_input_zero_output(self):
+        assert BQ25570().battery_intake_w(0.0) == 0.0
+        assert BQ25505().battery_intake_w(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(HarvestModelError):
+            HarvesterConverter("x", 1.5, BQ25570_EFFICIENCY)
+        with pytest.raises(HarvestModelError):
+            HarvesterConverter("x", 0.8, BQ25570_EFFICIENCY, quiescent_w=-1.0)
+        with pytest.raises(HarvestModelError):
+            HarvesterConverter("x", 0.8, BQ25570_EFFICIENCY,
+                               mppt_sampling_loss=0.6)
+
+    def test_mppt_sampling_loss_reduces_intake(self):
+        lossless = HarvesterConverter("x", 0.8, BQ25570_EFFICIENCY,
+                                      mppt_sampling_loss=0.0)
+        lossy = HarvesterConverter("x", 0.8, BQ25570_EFFICIENCY,
+                                   mppt_sampling_loss=0.05)
+        assert lossy.battery_intake_w(1e-3) < lossless.battery_intake_w(1e-3)
+
+    def test_teg_channel_passes_table2_levels(self):
+        """The BQ25505 must accept the Table II power levels (no
+        cold-start lockout in the measured range)."""
+        converter = BQ25505()
+        for transducer_w in (30e-6, 90e-6, 250e-6):
+            assert converter.battery_intake_w(transducer_w) > 0.0

@@ -1,0 +1,72 @@
+"""Environment condition and timeline tests."""
+
+import pytest
+
+from repro.errors import HarvestModelError
+from repro.harvest.environment import (
+    DARKNESS,
+    EnvironmentSample,
+    EnvironmentTimeline,
+    INDOOR_OFFICE_700LX,
+    LightingCondition,
+    OUTDOOR_SUN_30KLX,
+    TEG_ROOM_15C_WIND_42KMH,
+    TEG_ROOM_22C_NO_WIND,
+    ThermalCondition,
+)
+
+
+class TestConditions:
+    def test_paper_lighting_presets(self):
+        assert INDOOR_OFFICE_700LX.lux == 700.0
+        assert OUTDOOR_SUN_30KLX.lux == 30_000.0
+        assert DARKNESS.lux == 0.0
+
+    def test_paper_thermal_presets(self):
+        assert TEG_ROOM_22C_NO_WIND.body_delta_t == pytest.approx(10.0)
+        assert TEG_ROOM_15C_WIND_42KMH.body_delta_t == pytest.approx(15.0)
+        assert TEG_ROOM_15C_WIND_42KMH.wind_ms == pytest.approx(11.667, rel=1e-3)
+
+    def test_negative_lux_rejected(self):
+        with pytest.raises(HarvestModelError):
+            LightingCondition(lux=-1.0)
+
+    def test_negative_wind_rejected(self):
+        with pytest.raises(HarvestModelError):
+            ThermalCondition(ambient_c=20.0, skin_c=30.0, wind_ms=-1.0)
+
+
+class TestTimeline:
+    def make_timeline(self):
+        seg1 = EnvironmentSample(100.0, INDOOR_OFFICE_700LX, TEG_ROOM_22C_NO_WIND)
+        seg2 = EnvironmentSample(50.0, DARKNESS, TEG_ROOM_22C_NO_WIND)
+        return EnvironmentTimeline([seg1, seg2])
+
+    def test_total_duration(self):
+        assert self.make_timeline().total_duration_s == 150.0
+
+    def test_lookup_inside_segments(self):
+        timeline = self.make_timeline()
+        assert timeline.at(0.0).lighting is INDOOR_OFFICE_700LX
+        assert timeline.at(99.9).lighting is INDOOR_OFFICE_700LX
+        assert timeline.at(100.0).lighting is DARKNESS
+
+    def test_lookup_past_end_returns_last(self):
+        assert self.make_timeline().at(1e6).lighting is DARKNESS
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(HarvestModelError):
+            self.make_timeline().at(-1.0)
+
+    def test_empty_timeline_rejected(self):
+        with pytest.raises(HarvestModelError):
+            EnvironmentTimeline([])
+
+    def test_zero_duration_segment_rejected(self):
+        with pytest.raises(HarvestModelError):
+            EnvironmentSample(0.0, DARKNESS, TEG_ROOM_22C_NO_WIND)
+
+    def test_iteration_order(self):
+        segments = list(self.make_timeline())
+        assert segments[0].duration_s == 100.0
+        assert segments[1].duration_s == 50.0

@@ -1,0 +1,128 @@
+"""Cross-cutting property tests over the harvesting chain."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.harvest import calibrated_solar_harvester, calibrated_teg_harvester
+from repro.harvest.calibrated import solar_panel_params, teg_params
+from repro.harvest.environment import LightingCondition, ThermalCondition
+from repro.harvest.photovoltaic import PVPanel
+from repro.harvest.teg import TEGDevice
+
+lux_values = st.floats(min_value=50.0, max_value=60_000.0)
+wind_values = st.floats(min_value=0.0, max_value=25.0)
+delta_t_values = st.floats(min_value=0.5, max_value=20.0)
+
+
+class TestSolarChainProperties:
+    @given(lux_values)
+    @settings(max_examples=25, deadline=None)
+    def test_intake_nonnegative_and_below_panel_power(self, lux):
+        harvester = calibrated_solar_harvester()
+        lighting = LightingCondition(lux=lux)
+        intake = harvester.battery_intake_w(lighting)
+        transducer = harvester.transducer_power_w(lighting)
+        assert 0.0 <= intake <= transducer
+
+    @given(lux_values, lux_values)
+    @settings(max_examples=25, deadline=None)
+    def test_intake_monotonic_in_lux(self, a, b):
+        harvester = calibrated_solar_harvester()
+        lo, hi = sorted((a, b))
+        assert (harvester.battery_intake_w(LightingCondition(lux=hi))
+                >= harvester.battery_intake_w(LightingCondition(lux=lo)) - 1e-12)
+
+    @given(lux_values)
+    @settings(max_examples=20, deadline=None)
+    def test_power_conservation_on_iv_curve(self, lux):
+        """No operating point on the I-V curve exceeds Voc * Isc."""
+        panel = PVPanel(solar_panel_params())
+        voc = panel.open_circuit_voltage(lux)
+        isc = panel.short_circuit_current(lux)
+        mpp = panel.maximum_power_point(lux)
+        assert mpp.power_w <= voc * isc
+
+    @given(lux_values)
+    @settings(max_examples=20, deadline=None)
+    def test_fill_factor_physical(self, lux):
+        """PV fill factor stays in the physically meaningful band."""
+        panel = PVPanel(solar_panel_params())
+        voc = panel.open_circuit_voltage(lux)
+        isc = panel.short_circuit_current(lux)
+        if voc <= 0 or isc <= 0:
+            return
+        fill_factor = panel.maximum_power_point(lux).power_w / (voc * isc)
+        assert 0.15 < fill_factor < 0.90
+
+
+class TestTegChainProperties:
+    @given(delta_t_values, wind_values)
+    @settings(max_examples=25, deadline=None)
+    def test_intake_nonnegative_and_below_matched(self, delta_t, wind):
+        harvester = calibrated_teg_harvester()
+        condition = ThermalCondition(ambient_c=30.0 - delta_t, skin_c=30.0,
+                                     wind_ms=wind)
+        intake = harvester.battery_intake_w(condition)
+        matched = harvester.device.matched_load_power(condition)
+        assert 0.0 <= intake <= matched
+
+    @given(delta_t_values, wind_values, wind_values)
+    @settings(max_examples=25, deadline=None)
+    def test_intake_monotonic_in_wind(self, delta_t, a, b):
+        harvester = calibrated_teg_harvester()
+        lo, hi = sorted((a, b))
+        cold = ThermalCondition(ambient_c=30.0 - delta_t, skin_c=30.0, wind_ms=lo)
+        windy = ThermalCondition(ambient_c=30.0 - delta_t, skin_c=30.0, wind_ms=hi)
+        assert (harvester.battery_intake_w(windy)
+                >= harvester.battery_intake_w(cold) - 1e-15)
+
+    @given(delta_t_values)
+    @settings(max_examples=25, deadline=None)
+    def test_plate_delta_bounded_by_body_delta(self, delta_t):
+        device = TEGDevice(teg_params())
+        condition = ThermalCondition(ambient_c=30.0 - delta_t, skin_c=30.0)
+        assert 0.0 < device.plate_delta_t(condition) < delta_t
+
+    @given(delta_t_values, wind_values)
+    @settings(max_examples=25, deadline=None)
+    def test_thermal_divider_sums_to_unity(self, delta_t, wind):
+        """The three series resistances split the full body-ambient
+        difference exactly."""
+        device = TEGDevice(teg_params())
+        condition = ThermalCondition(ambient_c=30.0 - delta_t, skin_c=30.0,
+                                     wind_ms=wind)
+        p = device.params
+        total_r = (p.contact_resistance_k_per_w
+                   + p.teg_thermal_resistance_k_per_w
+                   + device.sink_resistance(wind))
+        flow_w = delta_t / total_r
+        plate_dt = device.plate_delta_t(condition)
+        assert plate_dt == pytest.approx(flow_w * p.teg_thermal_resistance_k_per_w)
+
+
+class TestSmuConsistency:
+    """The lab measurement path and the direct model path agree."""
+
+    @given(st.sampled_from([700.0, 2_000.0, 10_000.0, 30_000.0]))
+    @settings(max_examples=8, deadline=None)
+    def test_solar_lab_vs_direct(self, lux):
+        from repro.lab import HarvestTestBench
+
+        harvester = calibrated_solar_harvester()
+        direct = harvester.battery_intake_w(LightingCondition(lux=lux))
+        measured = HarvestTestBench().measure_solar_intake_w(
+            harvester.panel, harvester.converter, lux)
+        assert measured == pytest.approx(direct, rel=1e-3)
+
+    @given(st.sampled_from([0.0, 3.0, 8.0, 11.67]))
+    @settings(max_examples=6, deadline=None)
+    def test_teg_lab_vs_direct(self, wind):
+        from repro.lab import HarvestTestBench
+
+        harvester = calibrated_teg_harvester()
+        condition = ThermalCondition(ambient_c=15.0, skin_c=30.0, wind_ms=wind)
+        direct = harvester.battery_intake_w(condition)
+        measured = HarvestTestBench().measure_teg_intake_w(
+            harvester.device, harvester.converter, 15.0, 30.0, wind)
+        assert measured == pytest.approx(direct, rel=1e-3)

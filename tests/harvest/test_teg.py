@@ -1,0 +1,130 @@
+"""TEG thermal/electrical model tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import HarvestModelError
+from repro.harvest.calibrated import teg_params
+from repro.harvest.environment import (
+    TEG_ROOM_15C_NO_WIND,
+    TEG_ROOM_15C_WIND_42KMH,
+    TEG_ROOM_22C_NO_WIND,
+    ThermalCondition,
+)
+from repro.harvest.teg import TEGDevice, TEGParams
+
+
+@pytest.fixture
+def teg():
+    return TEGDevice(teg_params())
+
+
+class TestValidation:
+    def test_rejects_nonpositive_seebeck(self):
+        with pytest.raises(HarvestModelError):
+            teg_params(seebeck_v_per_k=0.0)
+
+    def test_rejects_negative_wind_gain(self):
+        with pytest.raises(HarvestModelError):
+            teg_params(h_forced_coeff=-1.0)
+
+    def test_rejects_negative_wind_speed(self, teg):
+        with pytest.raises(HarvestModelError):
+            teg.convection_coefficient(-1.0)
+
+
+class TestThermalNetwork:
+    def test_plate_delta_t_fraction_of_body_delta(self, teg):
+        """Only part of the skin-ambient difference falls on the TEG."""
+        dt = teg.plate_delta_t(TEG_ROOM_22C_NO_WIND)
+        assert 0.0 < dt < TEG_ROOM_22C_NO_WIND.body_delta_t
+        # A wrist TEG sees well below half the total difference.
+        assert dt < 0.5 * TEG_ROOM_22C_NO_WIND.body_delta_t
+
+    def test_wind_increases_plate_delta_t(self, teg):
+        still = teg.plate_delta_t(TEG_ROOM_15C_NO_WIND)
+        windy = teg.plate_delta_t(TEG_ROOM_15C_WIND_42KMH)
+        assert windy > still
+
+    def test_sink_resistance_shrinks_with_wind(self, teg):
+        assert teg.sink_resistance(10.0) < teg.sink_resistance(0.0)
+
+    def test_convection_coefficient_monotonic(self, teg):
+        speeds = np.linspace(0.0, 15.0, 20)
+        coeffs = [teg.convection_coefficient(v) for v in speeds]
+        assert all(b > a for a, b in zip(coeffs, coeffs[1:]))
+
+    def test_delta_t_scales_linearly_with_body_difference(self, teg):
+        base = ThermalCondition(ambient_c=20.0, skin_c=30.0)
+        double = ThermalCondition(ambient_c=10.0, skin_c=30.0)
+        assert teg.plate_delta_t(double) == pytest.approx(
+            2.0 * teg.plate_delta_t(base))
+
+    def test_reversed_gradient_flips_sign(self, teg):
+        hot_ambient = ThermalCondition(ambient_c=40.0, skin_c=32.0)
+        assert teg.plate_delta_t(hot_ambient) < 0.0
+
+
+class TestElectrical:
+    def test_voc_proportional_to_plate_delta(self, teg):
+        cond = TEG_ROOM_15C_NO_WIND
+        assert teg.open_circuit_voltage(cond) == pytest.approx(
+            teg.params.seebeck_v_per_k * teg.plate_delta_t(cond))
+
+    def test_matched_load_is_quarter_voc_squared_over_r(self, teg):
+        cond = TEG_ROOM_22C_NO_WIND
+        voc = teg.open_circuit_voltage(cond)
+        expected = voc ** 2 / (4.0 * teg.params.internal_resistance_ohm)
+        assert teg.matched_load_power(cond) == pytest.approx(expected)
+
+    def test_half_voc_mppt_is_matched_load(self, teg):
+        """50 % V_oc on a Thevenin source is exactly the matched point."""
+        cond = TEG_ROOM_15C_NO_WIND
+        point = teg.operating_point_at_fraction_voc(cond, 0.5)
+        assert point.power_w == pytest.approx(teg.matched_load_power(cond))
+
+    def test_other_fractions_extract_less(self, teg):
+        cond = TEG_ROOM_15C_NO_WIND
+        matched = teg.operating_point_at_fraction_voc(cond, 0.5).power_w
+        for fraction in (0.2, 0.35, 0.65, 0.8):
+            assert teg.operating_point_at_fraction_voc(cond, fraction).power_w < matched
+
+    def test_fraction_validation(self, teg):
+        with pytest.raises(HarvestModelError):
+            teg.operating_point_at_fraction_voc(TEG_ROOM_22C_NO_WIND, 0.0)
+
+    def test_iv_curve_linear(self, teg):
+        curve = teg.iv_curve(TEG_ROOM_15C_NO_WIND, num_points=20)
+        volts = np.array([p.voltage_v for p in curve])
+        amps = np.array([p.current_a for p in curve])
+        slope = np.polyfit(volts, amps, 1)[0]
+        assert slope == pytest.approx(-1.0 / teg.params.internal_resistance_ohm)
+
+    @settings(max_examples=20)
+    @given(st.floats(min_value=0.5, max_value=25.0))
+    def test_power_quadratic_in_delta_t(self, body_dt):
+        teg = TEGDevice(teg_params())
+        base = ThermalCondition(ambient_c=30.0 - body_dt, skin_c=30.0)
+        double = ThermalCondition(ambient_c=30.0 - 2 * body_dt, skin_c=30.0)
+        ratio = teg.matched_load_power(double) / teg.matched_load_power(base)
+        assert ratio == pytest.approx(4.0, rel=1e-6)
+
+
+class TestTable2Shape:
+    """The qualitative relations the paper measured."""
+
+    def test_colder_room_harvests_more(self, teg):
+        assert (teg.matched_load_power(TEG_ROOM_15C_NO_WIND)
+                > teg.matched_load_power(TEG_ROOM_22C_NO_WIND))
+
+    def test_wind_multiplies_harvest_severalfold(self, teg):
+        still = teg.matched_load_power(TEG_ROOM_15C_NO_WIND)
+        windy = teg.matched_load_power(TEG_ROOM_15C_WIND_42KMH)
+        assert 2.0 < windy / still < 4.0
+
+    def test_always_generates_when_worn(self, teg):
+        """Paper: the TEG continuously generates in every condition."""
+        for cond in (TEG_ROOM_22C_NO_WIND, TEG_ROOM_15C_NO_WIND,
+                     TEG_ROOM_15C_WIND_42KMH):
+            assert teg.matched_load_power(cond) > 0.0

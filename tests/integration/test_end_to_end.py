@@ -1,0 +1,123 @@
+"""Whole-pipeline integration tests.
+
+These exercise the complete path the paper describes: synthetic
+drivedb-like recordings -> five-feature extraction -> FANN-style
+training of the Fig. 3 classifier -> fixed-point conversion ->
+deployment energy/sustainability accounting.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import StressDetectionApp, analyze_self_sustainability
+from repro.fann import (
+    RpropTrainer,
+    build_network_a,
+    convert_to_fixed,
+)
+from repro.features import FeatureExtractor, build_feature_matrix
+from repro.sensors import StressDatasetGenerator, StressLevel
+
+
+def normalise(features, mean=None, std=None):
+    """Z-score features; tanh networks want roughly unit-scale inputs."""
+    if mean is None:
+        mean = features.mean(axis=0)
+        std = features.std(axis=0) + 1e-9
+    return (features - mean) / std, mean, std
+
+
+def one_hot_pm(labels, num_classes=3):
+    """FANN-style symmetric targets: +1 for the class, -1 elsewhere."""
+    targets = -np.ones((labels.size, num_classes))
+    targets[np.arange(labels.size), labels] = 1.0
+    return targets
+
+
+@pytest.fixture(scope="module")
+def trained_pipeline():
+    """Train the Fig. 3 network on synthetic subjects; hold two out."""
+    generator = StressDatasetGenerator(segment_duration_s=150.0, seed=42)
+    extractor = FeatureExtractor(window_duration_s=30.0, step_duration_s=15.0)
+
+    train_vectors, test_vectors = [], []
+    for subject in range(8):
+        vectors = extractor.extract_from_recording(
+            generator.generate_recording(subject))
+        (train_vectors if subject < 6 else test_vectors).extend(vectors)
+
+    x_train, y_train = build_feature_matrix(train_vectors)
+    x_test, y_test = build_feature_matrix(test_vectors)
+    x_train, mean, std = normalise(x_train)
+    x_test, _, _ = normalise(x_test, mean, std)
+
+    network = build_network_a(seed=7)
+    report = RpropTrainer().train(network, x_train, one_hot_pm(y_train),
+                                  max_epochs=300, desired_mse=0.05)
+    return network, report, (x_train, y_train), (x_test, y_test)
+
+
+class TestTrainingPipeline:
+    def test_training_converges(self, trained_pipeline):
+        _, report, _, _ = trained_pipeline
+        assert report.final_mse < 0.30
+        assert report.final_mse < report.mse_history[0] / 3
+
+    def test_training_accuracy(self, trained_pipeline):
+        network, _, (x_train, y_train), _ = trained_pipeline
+        accuracy = float(np.mean(network.classify(x_train) == y_train))
+        assert accuracy > 0.85
+
+    def test_heldout_subject_accuracy(self, trained_pipeline):
+        """Generalisation across synthetic subjects."""
+        network, _, _, (x_test, y_test) = trained_pipeline
+        accuracy = float(np.mean(network.classify(x_test) == y_test))
+        assert accuracy > 0.70
+
+    def test_all_three_classes_predicted(self, trained_pipeline):
+        network, _, (x_train, _), _ = trained_pipeline
+        assert set(np.unique(network.classify(x_train))) == {0, 1, 2}
+
+
+class TestFixedPointDeployment:
+    def test_quantised_network_agrees_with_float(self, trained_pipeline):
+        network, _, (x_train, y_train), _ = trained_pipeline
+        fixed = convert_to_fixed(network)
+        float_pred = network.classify(x_train)
+        fixed_pred = fixed.classify(x_train)
+        agreement = float(np.mean(float_pred == fixed_pred))
+        assert agreement > 0.97
+
+    def test_quantised_accuracy_holds(self, trained_pipeline):
+        network, _, (x_train, y_train), _ = trained_pipeline
+        fixed = convert_to_fixed(network)
+        accuracy = float(np.mean(fixed.classify(x_train) == y_train))
+        assert accuracy > 0.80
+
+    def test_deployed_memory_fits_the_watch(self, trained_pipeline):
+        network, _, _, _ = trained_pipeline
+        # Network A must fit the nRF52832 RAM and Mr. Wolf L1 (paper).
+        assert network.memory_footprint_bytes() < 64 * 1024
+
+
+class TestSystemAccounting:
+    def test_detection_energy_with_trained_network(self, trained_pipeline):
+        network, _, _, _ = trained_pipeline
+        app = StressDetectionApp(network=network)
+        budget = app.energy_budget()
+        assert budget.total_uj == pytest.approx(605.2, abs=1.0)
+
+    def test_sustainability_with_trained_network(self, trained_pipeline):
+        network, _, _, _ = trained_pipeline
+        report = analyze_self_sustainability(app=StressDetectionApp(network=network))
+        assert report.detections_per_minute_floor == 24
+
+
+class TestDatasetLabelsFeedThrough:
+    def test_feature_labels_cover_protocol(self):
+        generator = StressDatasetGenerator(segment_duration_s=120.0, seed=0)
+        extractor = FeatureExtractor(window_duration_s=30.0, step_duration_s=30.0)
+        vectors = extractor.extract_from_recording(generator.generate_recording(0))
+        labels = {v.label for v in vectors}
+        assert labels == {int(StressLevel.NONE), int(StressLevel.MEDIUM),
+                          int(StressLevel.HIGH)}

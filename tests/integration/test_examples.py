@@ -1,0 +1,50 @@
+"""Every example script must run cleanly (smoke tests).
+
+The examples are the library's executable documentation; a change that
+breaks one should fail the suite, not a reader's first session.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, tmp_path):
+    args = [sys.executable, str(EXAMPLES_DIR / script)]
+    if script == "deployment_export.py":
+        args.append(str(tmp_path / "build"))
+    result = subprocess.run(args, capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"
+
+
+def test_examples_exist():
+    """The repo ships at least the documented six examples."""
+    assert len(EXAMPLES) >= 6
+    assert "quickstart.py" in EXAMPLES
+
+
+def test_quickstart_reports_paper_numbers():
+    result = subprocess.run([sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+                            capture_output=True, text=True, timeout=120)
+    assert "602.2" in result.stdout        # paper detection energy
+    assert "24/minute" in result.stdout or "24" in result.stdout
+
+
+def test_deployment_export_writes_artifacts(tmp_path):
+    out = tmp_path / "fw"
+    subprocess.run([sys.executable, str(EXAMPLES_DIR / "deployment_export.py"),
+                    str(out)], capture_output=True, text=True, timeout=300,
+                   check=True)
+    assert (out / "stress_net.h").exists()
+    assert (out / "stress_net.net").exists()
+    header = (out / "stress_net.h").read_text()
+    assert "stress_net_weights_0" in header

@@ -1,0 +1,232 @@
+"""ARMv7E-M subset core tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa import ArmV7MCore, assemble
+from repro.isa.memory import MemoryMap, MemoryRegion
+
+
+def run_arm(source, data_base=0x2000_0000):
+    program = assemble(source, data_base=data_base)
+    memory = MemoryMap([MemoryRegion("ram", 0x2000_0000, 4096)])
+    core = ArmV7MCore(program, memory)
+    result = core.run()
+    return core, result
+
+
+class TestDataProcessing:
+    def test_mov_and_add(self):
+        core, _ = run_arm("mov r0, #7\nmov r1, #5\nadd r2, r0, r1\nhalt\n")
+        assert core.read_reg("r2") == 12
+
+    def test_two_operand_forms(self):
+        core, _ = run_arm("mov r0, #10\nadd r0, #5\nsub r0, #3\nhalt\n")
+        assert core.read_reg("r0") == 12
+
+    def test_register_operand(self):
+        core, _ = run_arm("mov r0, #6\nmov r1, r0\nadd r2, r1, r0\nhalt\n")
+        assert core.read_reg("r2") == 12
+
+    def test_logicals_and_shifts(self):
+        core, _ = run_arm("""
+            mov r0, #0xf0
+            mov r1, #0x3c
+            and r2, r0, r1
+            orr r3, r0, r1
+            eor r4, r0, r1
+            lsl r5, r0, #2
+            asr r6, r0, #4
+            halt
+        """)
+        assert core.read_reg("r2") == 0x30
+        assert core.read_reg("r3") == 0xFC
+        assert core.read_reg("r4") == 0xCC
+        assert core.read_reg("r5") == 0x3C0
+        assert core.read_reg("r6") == 0xF
+
+    def test_asr_is_arithmetic(self):
+        core, _ = run_arm("mov r0, #-16\nasr r1, r0, #2\nhalt\n")
+        assert core.read_reg("r1") == -4
+
+
+class TestMultiply:
+    def test_mul_and_mla(self):
+        core, _ = run_arm("""
+            mov r0, #7
+            mov r1, #-6
+            mul r2, r0, r1
+            mov r3, #100
+            mla r4, r0, r1, r3
+            halt
+        """)
+        assert core.read_reg("r2") == -42
+        assert core.read_reg("r4") == 58
+
+    def test_smlabb(self):
+        """16x16+32 MAC on bottom halfwords, signed."""
+        core, _ = run_arm("""
+            mov r0, #0xffff
+            mov r1, #3
+            mov r2, #10
+            smlabb r3, r0, r1, r2
+            halt
+        """)
+        # bottom(0xffff) = -1; -1*3 + 10 = 7
+        assert core.read_reg("r3") == 7
+
+
+class TestMemory:
+    def test_load_store_forms(self):
+        core, _ = run_arm("""
+            .data 0x20000000
+            buf: .space 16
+            .text
+            mov r1, =buf
+            mov r0, #123
+            str r0, [r1, #4]
+            ldr r2, [r1, #4]
+            halt
+        """)
+        assert core.read_reg("r2") == 123
+
+    def test_post_index_walks_array(self):
+        core, _ = run_arm("""
+            .data 0x20000000
+            arr: .word 5, 6, 7
+            .text
+            mov r1, =arr
+            ldr r2, [r1], #4
+            ldr r3, [r1], #4
+            halt
+        """)
+        assert core.read_reg("r2") == 5
+        assert core.read_reg("r3") == 6
+        assert core.read_reg("r1") == 0x2000_0000 + 8
+
+    def test_halfword_sign_handling(self):
+        core, _ = run_arm("""
+            .data 0x20000000
+            buf: .space 4
+            .text
+            mov r1, =buf
+            mov r0, #0x8001
+            strh r0, [r1]
+            ldrh r2, [r1]
+            ldrsh r3, [r1]
+            halt
+        """)
+        assert core.read_reg("r2") == 0x8001
+        assert core.read_reg("r3") == -32767
+
+
+class TestFlagsAndBranches:
+    def test_countdown_loop(self):
+        core, _ = run_arm("""
+            mov r0, #0
+            mov r1, #10
+        loop:
+            add r0, r0, r1
+            subs r1, r1, #1
+            bne loop
+            halt
+        """)
+        assert core.read_reg("r0") == 55
+
+    def test_signed_comparisons(self):
+        core, _ = run_arm("""
+            mov r0, #-5
+            mov r1, #3
+            mov r2, #0
+            cmp r0, r1
+            blt ok1
+            mov r2, #1
+        ok1:
+            cmp r1, r0
+            bgt ok2
+            mov r2, #2
+        ok2:
+            cmp r0, r0
+            beq ok3
+            mov r2, #3
+        ok3:
+            halt
+        """)
+        assert core.read_reg("r2") == 0
+
+    def test_bge_and_ble(self):
+        core, _ = run_arm("""
+            mov r0, #4
+            mov r1, #4
+            mov r2, #0
+            cmp r0, r1
+            bge ok1
+            mov r2, #1
+        ok1:
+            cmp r0, r1
+            ble ok2
+            mov r2, #2
+        ok2:
+            halt
+        """)
+        assert core.read_reg("r2") == 0
+
+    def test_bl_and_bx_lr(self):
+        core, _ = run_arm("""
+            mov r0, #1
+            bl func
+            add r0, r0, #10
+            halt
+        func:
+            add r0, r0, #100
+            bx lr
+        """)
+        assert core.read_reg("r0") == 111
+
+    def test_overflow_flag_on_subs(self):
+        # INT_MIN - 1 overflows; blt uses N != V.
+        core, _ = run_arm("""
+            mov r0, #-2147483648
+            mov r1, #1
+            mov r2, #0
+            cmp r0, r1
+            blt was_less
+            mov r2, #9
+        was_less:
+            halt
+        """)
+        assert core.read_reg("r2") == 0
+
+
+class TestTiming:
+    def test_flash_wait_states_slow_loads(self):
+        from repro.isa.memory import nrf52_memory_map
+
+        source = """
+            .data 0x00000000
+            w: .word 42
+            .text
+            mov r1, =w
+            ldr r0, [r1]
+            halt
+        """
+        program = assemble(source, data_base=0x0)
+        slow = ArmV7MCore(program, nrf52_memory_map(flash_wait_states=3))
+        fast = ArmV7MCore(program, nrf52_memory_map(flash_wait_states=0))
+        assert slow.run().cycles == fast.run().cycles + 3
+
+    def test_taken_branch_cost(self):
+        _, taken = run_arm("mov r0, #1\ncmp r0, #1\nbeq out\nnop\nout: halt\n")
+        _, fall = run_arm("mov r0, #1\ncmp r0, #2\nbeq out\nnop\nout: halt\n")
+        # Taken path: skips nop (-1 cycle) but pays 3 vs 1 for the branch.
+        assert taken.cycles == fall.cycles + 1
+
+
+class TestErrors:
+    def test_bx_requires_lr(self):
+        with pytest.raises(SimulationError):
+            run_arm("bx r0\nhalt\n")
+
+    def test_unknown_register(self):
+        with pytest.raises(SimulationError):
+            run_arm("mov r77, #1\nhalt\n")

@@ -1,0 +1,150 @@
+"""Assembler tests."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import assemble
+
+
+class TestCodeParsing:
+    def test_basic_program(self):
+        program = assemble("""
+            .text
+            li a0, 5
+            addi a0, a0, -1
+            halt
+        """)
+        assert len(program) == 3
+        assert program.instructions[0].mnemonic == "li"
+        assert program.instructions[0].operands == ("a0", 5)
+        assert program.instructions[1].operands == ("a0", "a0", -1)
+
+    def test_labels_resolve_to_indices(self):
+        program = assemble("""
+            start:
+                li a0, 0
+            loop:
+                addi a0, a0, 1
+                bne a0, a1, loop
+            done:
+                halt
+        """)
+        assert program.label_index("start") == 0
+        assert program.label_index("loop") == 1
+        assert program.label_index("done") == 3
+
+    def test_trailing_label_points_past_end(self):
+        program = assemble("""
+            li a0, 1
+        end:
+        """)
+        assert program.label_index("end") == 1
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("x:\nli a0, 1\nx:\nhalt\n")
+
+    def test_undefined_label_lookup(self):
+        program = assemble("halt\n")
+        with pytest.raises(AssemblyError):
+            program.label_index("nowhere")
+
+    def test_comments_stripped(self):
+        program = assemble("""
+            li a0, 1     # a hash comment
+            li a1, 2     // a slash comment
+            halt
+        """)
+        assert len(program) == 3
+
+    def test_hex_immediates(self):
+        program = assemble("li a0, 0x10\nli a1, -0x8\nhalt\n")
+        assert program.instructions[0].operands == ("a0", 0x10)
+        assert program.instructions[1].operands == ("a1", -8)
+
+
+class TestMemoryOperands:
+    def test_riscv_displacement(self):
+        program = assemble("lw t0, 8(a1)\nhalt\n")
+        assert program.instructions[0].operands == ("t0", ("mem", 8, "a1", False))
+
+    def test_riscv_post_increment(self):
+        program = assemble("p.lw t0, 4(a1!)\nhalt\n")
+        assert program.instructions[0].operands == ("t0", ("mem", 4, "a1", True))
+
+    def test_arm_pre_indexed(self):
+        program = assemble("ldr r0, [r1, #12]\nhalt\n")
+        assert program.instructions[0].operands == ("r0", ("mem", 12, "r1", False))
+
+    def test_arm_plain_indirect(self):
+        program = assemble("ldr r0, [r1]\nhalt\n")
+        assert program.instructions[0].operands == ("r0", ("mem", 0, "r1", False))
+
+    def test_arm_post_indexed_merged(self):
+        program = assemble("ldr r0, [r1], #4\nhalt\n")
+        assert program.instructions[0].operands == ("r0", ("mem", 4, "r1", True))
+
+    def test_arm_hash_immediate_not_a_comment(self):
+        program = assemble("mov r0, #42\nsubs r0, r0, #1\nhalt\n")
+        assert program.instructions[0].operands == ("r0", 42)
+        assert program.instructions[1].operands == ("r0", "r0", 1)
+
+
+class TestDataSection:
+    def test_word_and_space(self):
+        program = assemble("""
+            .data 0x2000
+            buf: .space 8
+            tab: .word 1, -2, 0x30
+            .text
+            halt
+        """)
+        assert program.symbol_address("buf") == 0x2000
+        assert program.symbol_address("tab") == 0x2008
+        assert program.data.size == 8 + 12
+        # -2 little-endian two's complement
+        assert program.data.payload[8:12] == (1).to_bytes(4, "little")
+        assert program.data.payload[12:16] == (-2 & 0xFFFFFFFF).to_bytes(4, "little")
+
+    def test_equals_symbol_resolution(self):
+        program = assemble("""
+            .data 0x4000
+            x: .word 7
+            .text
+            li a0, =x
+            halt
+        """)
+        assert program.instructions[0].operands == ("a0", 0x4000)
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(".text\nli a0, =nope\nhalt\n")
+
+    def test_duplicate_data_symbol_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(".data\nx: .word 1\nx: .word 2\n.text\nhalt\n")
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(".data\n.quad 1\n.text\nhalt\n")
+
+    def test_default_data_base(self):
+        program = assemble(".data\nx: .word 0\n.text\nhalt\n",
+                           data_base=0x9000)
+        assert program.symbol_address("x") == 0x9000
+
+    def test_load_data_into_memory(self):
+        from repro.isa.memory import MemoryMap, MemoryRegion
+
+        program = assemble(".data 0x100\nx: .word 41, 42\n.text\nhalt\n")
+        memory = MemoryMap([MemoryRegion("ram", 0x100, 64)])
+        program.load_data(memory)
+        assert memory.read_words(0x100, 2) == [41, 42]
+
+
+class TestDisassembly:
+    def test_listing_contains_labels_and_text(self):
+        program = assemble("loop:\naddi a0, a0, 1\nbne a0, a1, loop\nhalt\n")
+        listing = program.disassemble()
+        assert "loop:" in listing
+        assert "addi a0, a0, 1" in listing

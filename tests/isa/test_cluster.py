@@ -1,0 +1,195 @@
+"""Multi-core cluster simulator tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa import ClusterSimulator, assemble
+from repro.isa.memory import mrwolf_memory_map
+from repro.isa.memory import MRWOLF_L1_BASE
+
+
+def spmd_program(source):
+    return assemble(source, data_base=MRWOLF_L1_BASE)
+
+
+class TestBasicExecution:
+    def test_each_core_writes_its_slot(self):
+        program = spmd_program("""
+            .data 0x10000000
+            out: .space 32
+            .text
+            csrr t0, mhartid
+            slli t1, t0, 2
+            li t2, =out
+            add t2, t2, t1
+            addi t3, t0, 100
+            sw t3, 0(t2)
+            halt
+        """)
+        cluster = ClusterSimulator(program, mrwolf_memory_map(), num_cores=8)
+        cluster.run()
+        assert cluster.memory.read_words(MRWOLF_L1_BASE, 8) == [
+            100, 101, 102, 103, 104, 105, 106, 107]
+
+    def test_core_count_validation(self):
+        program = spmd_program("halt\n")
+        with pytest.raises(SimulationError):
+            ClusterSimulator(program, mrwolf_memory_map(), num_cores=0)
+        with pytest.raises(SimulationError):
+            ClusterSimulator(program, mrwolf_memory_map(), num_cores=9)
+
+    def test_single_core_cluster_matches_core_alone(self):
+        source = """
+            li a0, 0
+            li a1, 100
+        loop:
+            add a0, a0, a1
+            addi a1, a1, -1
+            bne a1, zero, loop
+            halt
+        """
+        program = spmd_program(source)
+        cluster = ClusterSimulator(program, mrwolf_memory_map(), num_cores=1)
+        result = cluster.run()
+        assert result.per_core_instructions[0] > 0
+        assert result.cycles > 0
+
+    def test_instruction_counts_reported_per_core(self):
+        program = spmd_program("""
+            csrr t0, mhartid
+            beq t0, zero, short_path
+            nop
+            nop
+        short_path:
+            halt
+        """)
+        cluster = ClusterSimulator(program, mrwolf_memory_map(), num_cores=2)
+        result = cluster.run()
+        # Core 0 branches past the nops; core 1 executes them.
+        assert result.per_core_instructions[0] < result.per_core_instructions[1]
+
+
+class TestBarrier:
+    def test_barrier_synchronises_cores(self):
+        """Core 1 spins longer before the barrier; core 0 must wait, so
+        both cores' post-barrier stores happen after the slow core's
+        pre-barrier store."""
+        program = spmd_program("""
+            .data 0x10000000
+            flag: .space 4
+            out: .space 32
+            .text
+            csrr t0, mhartid
+            beq t0, zero, fast
+            li t1, 200
+        spin:
+            addi t1, t1, -1
+            bne t1, zero, spin
+            li t2, 1
+            li t3, =flag
+            sw t2, 0(t3)
+        fast:
+            p.barrier
+            # After the barrier every core must observe flag == 1.
+            li t3, =flag
+            lw t4, 0(t3)
+            slli t5, t0, 2
+            li t6, =out
+            add t6, t6, t5
+            sw t4, 0(t6)
+            halt
+        """)
+        cluster = ClusterSimulator(program, mrwolf_memory_map(), num_cores=4)
+        cluster.run()
+        out = cluster.memory.read_words(MRWOLF_L1_BASE + 4, 4)
+        assert out == [1, 1, 1, 1]
+
+    def test_barrier_waits_counted(self):
+        program = spmd_program("""
+            csrr t0, mhartid
+            beq t0, zero, at_barrier
+            li t1, 50
+        spin:
+            addi t1, t1, -1
+            bne t1, zero, spin
+        at_barrier:
+            p.barrier
+            halt
+        """)
+        cluster = ClusterSimulator(program, mrwolf_memory_map(), num_cores=2)
+        result = cluster.run()
+        assert result.barrier_waits > 0
+
+
+class TestBankConflicts:
+    def test_same_bank_hammering_conflicts(self):
+        """All cores loading the same word collide every access."""
+        program = spmd_program("""
+            .data 0x10000000
+            hot: .word 42
+            .text
+            li t1, =hot
+            li t2, 50
+        loop:
+            lw t3, 0(t1)
+            addi t2, t2, -1
+            bne t2, zero, loop
+            halt
+        """)
+        cluster = ClusterSimulator(program, mrwolf_memory_map(), num_cores=8)
+        result = cluster.run()
+        assert result.bank_conflict_stalls > 100
+
+    def test_strided_access_avoids_conflicts(self):
+        """Cores touching different banks (word i per core) collide
+        far less."""
+        program = spmd_program("""
+            .data 0x10000000
+            arr: .space 64
+            .text
+            csrr t0, mhartid
+            slli t1, t0, 2
+            li t2, =arr
+            add t2, t2, t1
+            li t3, 50
+        loop:
+            lw t4, 0(t2)
+            addi t3, t3, -1
+            bne t3, zero, loop
+            halt
+        """)
+        cluster = ClusterSimulator(program, mrwolf_memory_map(), num_cores=8)
+        result = cluster.run()
+        assert result.bank_conflict_stalls == 0
+
+    def test_conflicts_slow_execution(self):
+        hot = spmd_program("""
+            .data 0x10000000
+            hot: .word 1
+            .text
+            li t1, =hot
+            li t2, 40
+        loop:
+            lw t3, 0(t1)
+            addi t2, t2, -1
+            bne t2, zero, loop
+            halt
+        """)
+        cold = spmd_program("""
+            .data 0x10000000
+            arr: .space 64
+            .text
+            csrr t0, mhartid
+            slli t1, t0, 2
+            li t4, =arr
+            add t1, t1, t4
+            li t2, 40
+        loop:
+            lw t3, 0(t1)
+            addi t2, t2, -1
+            bne t2, zero, loop
+            halt
+        """)
+        hot_result = ClusterSimulator(hot, mrwolf_memory_map(), num_cores=8).run()
+        cold_result = ClusterSimulator(cold, mrwolf_memory_map(), num_cores=8).run()
+        assert hot_result.cycles > cold_result.cycles

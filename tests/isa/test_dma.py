@@ -1,0 +1,94 @@
+"""Cluster DMA model tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa import DmaEngine, double_buffered_layer_cycles
+
+
+class TestEngine:
+    def test_transfer_cost(self):
+        engine = DmaEngine(bytes_per_cycle=8.0, setup_cycles=24)
+        transfer = engine.transfer(8000)
+        assert transfer.cycles == 24 + 1000
+
+    def test_partial_beat_rounds_up(self):
+        engine = DmaEngine(bytes_per_cycle=8.0, setup_cycles=0)
+        assert engine.transfer_cycles(9) == 2
+
+    def test_zero_bytes_free(self):
+        assert DmaEngine().transfer_cycles(0) == 0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            DmaEngine(bytes_per_cycle=0.0)
+        with pytest.raises(SimulationError):
+            DmaEngine().transfer(-1)
+
+
+class TestDoubleBuffering:
+    def test_compute_bound_hides_transfer(self):
+        """A single core consuming 4 B per ~5.5 cycles demands
+        0.73 B/cycle against 8 B/cycle of bandwidth: the transfer
+        hides entirely and the layer costs compute + setup."""
+        engine = DmaEngine(bytes_per_cycle=8.0, setup_cycles=24)
+        compute = 10_000.0
+        weight_bytes = 8_000  # 1000 streaming cycles < compute
+        total = double_buffered_layer_cycles(compute, weight_bytes, engine)
+        assert total == pytest.approx(compute + 24)
+
+    def test_transfer_bound_exposes_dma(self):
+        """Eight cores consume ~5.8 B/cycle; a big enough block makes
+        the transfer the critical path."""
+        engine = DmaEngine(bytes_per_cycle=8.0, setup_cycles=24)
+        compute = 1_000.0
+        weight_bytes = 80_000  # 10000 streaming cycles > compute
+        total = double_buffered_layer_cycles(compute, weight_bytes, engine)
+        assert total == pytest.approx(10_000 + 24)
+
+    def test_crossover_at_bandwidth_balance(self):
+        """The break-even sits where compute equals streaming time."""
+        engine = DmaEngine(bytes_per_cycle=8.0, setup_cycles=0)
+        weight_bytes = 8_000
+        streaming = 1_000.0
+        below = double_buffered_layer_cycles(streaming - 1, weight_bytes, engine)
+        above = double_buffered_layer_cycles(streaming + 1, weight_bytes, engine)
+        assert below == pytest.approx(streaming)
+        assert above == pytest.approx(streaming + 1)
+
+    def test_single_core_network_b_is_compute_bound(self):
+        """The Table III asymmetry: one RI5CY core at 5.5 cycles/weight
+        never waits for the DMA, which is why the single-core fit shows
+        no L2 penalty."""
+        engine = DmaEngine()
+        cycles_per_weight = 5.5
+        for weights_in_layer in (808, 9312, 80256):
+            compute = weights_in_layer * cycles_per_weight
+            total = double_buffered_layer_cycles(compute, weights_in_layer * 4,
+                                                 engine)
+            assert total == pytest.approx(compute + engine.setup_cycles)
+
+    def test_eight_cores_network_b_approaches_bandwidth_limit(self):
+        """Eight cores at 5.5 cycles/weight demand 5.8 B/cycle — over
+        70 % of the nominal 8 B/cycle port.  With the port degraded by
+        concurrent core traffic (the realistic shared-interconnect
+        case, ~4 B/cycle left for the DMA), the same layers flip to
+        transfer-bound — the contention the calibrated 8-core
+        per-weight constant absorbs."""
+        nominal = DmaEngine()
+        cycles_per_weight_per_core = 5.5
+        demand_bytes_per_cycle = 8 * 4 / cycles_per_weight_per_core
+        assert demand_bytes_per_cycle > 0.7 * nominal.bytes_per_cycle
+
+        shared_port = DmaEngine(bytes_per_cycle=4.0, setup_cycles=24)
+        for weights_in_layer in (9312, 80256):
+            compute = weights_in_layer / 8 * cycles_per_weight_per_core
+            streaming = weights_in_layer * 4 / shared_port.bytes_per_cycle
+            assert streaming > compute
+            total = double_buffered_layer_cycles(compute, weights_in_layer * 4,
+                                                 shared_port)
+            assert total == pytest.approx(streaming + shared_port.setup_cycles)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            double_buffered_layer_cycles(-1.0, 100)

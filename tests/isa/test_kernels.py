@@ -1,0 +1,154 @@
+"""MLP kernel codegen tests: the ISS must match the reference bit-exactly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fann import Activation, LayerSpec, MultiLayerPerceptron, convert_to_fixed
+from repro.isa.kernels import compile_mlp, run_mlp, with_power_of_two_tables
+from repro.isa.memory import MRWOLF_L2_BASE, mrwolf_memory_map
+
+
+def make_fixed_network(sizes=(4, 6, 3), seed=1, decimal_point=10,
+                       activation=Activation.TANH):
+    net = MultiLayerPerceptron(
+        sizes[0], [LayerSpec(s, activation) for s in sizes[1:]], seed=seed)
+    rng = np.random.default_rng(seed)
+    net.set_weights([rng.uniform(-1.2, 1.2, size=w.shape) for w in net.weights])
+    return convert_to_fixed(net, decimal_point=decimal_point)
+
+
+def reference_outputs(fixed, x):
+    ref = with_power_of_two_tables(fixed)
+    raw_in = np.asarray(ref.fmt.to_fixed(x), dtype=np.int64)[np.newaxis, :]
+    return ref.forward_raw(raw_in)[0]
+
+
+@pytest.fixture(scope="module")
+def fixed_net():
+    return make_fixed_network()
+
+
+@pytest.fixture(scope="module")
+def probe_inputs():
+    return np.random.default_rng(9).uniform(-1, 1, size=(5, 4))
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("target", ["rv32im", "xpulp", "armv7m"])
+    def test_single_core_matches_reference(self, fixed_net, probe_inputs, target):
+        compiled = compile_mlp(fixed_net, target=target)
+        for x in probe_inputs:
+            out, _ = run_mlp(compiled, x)
+            np.testing.assert_array_equal(out, reference_outputs(fixed_net, x))
+
+    @pytest.mark.parametrize("cores", [2, 4, 8])
+    def test_cluster_matches_reference(self, fixed_net, probe_inputs, cores):
+        compiled = compile_mlp(fixed_net, target="xpulp", num_cores=cores)
+        for x in probe_inputs[:2]:
+            out, _ = run_mlp(compiled, x)
+            np.testing.assert_array_equal(out, reference_outputs(fixed_net, x))
+
+    def test_deeper_network(self, probe_inputs):
+        fixed = make_fixed_network(sizes=(4, 8, 8, 8, 3), seed=5)
+        compiled = compile_mlp(fixed, target="xpulp")
+        x = probe_inputs[0]
+        out, _ = run_mlp(compiled, x)
+        np.testing.assert_array_equal(out, reference_outputs(fixed, x))
+
+    def test_linear_output_layer(self):
+        net = MultiLayerPerceptron(3, [LayerSpec(4, Activation.TANH),
+                                       LayerSpec(2, Activation.LINEAR)], seed=2)
+        fixed = convert_to_fixed(net, decimal_point=10)
+        compiled = compile_mlp(fixed, target="rv32im")
+        x = np.array([0.25, -0.5, 0.75])
+        out, _ = run_mlp(compiled, x)
+        np.testing.assert_array_equal(out, reference_outputs(fixed, x))
+
+    def test_saturated_inputs_hit_lut_tails(self, fixed_net):
+        """Large inputs drive neurons into the clamp branches."""
+        compiled = compile_mlp(fixed_net, target="xpulp")
+        x = np.array([8.0, -8.0, 8.0, -8.0])
+        out, _ = run_mlp(compiled, x)
+        np.testing.assert_array_equal(out, reference_outputs(fixed_net, x))
+
+
+class TestPerformanceShape:
+    """Cycle relationships the paper's Table III story predicts."""
+
+    def test_xpulp_beats_rv32im(self, fixed_net):
+        x = np.zeros(4)
+        _, plain = run_mlp(compile_mlp(fixed_net, target="rv32im"), x)
+        _, pulp = run_mlp(compile_mlp(fixed_net, target="xpulp"), x)
+        assert pulp.cycles < plain.cycles
+
+    def test_xpulp_beats_arm(self, fixed_net):
+        """The DSP extensions out-run the M4 on the same kernel."""
+        x = np.zeros(4)
+        _, arm = run_mlp(compile_mlp(fixed_net, target="armv7m"), x)
+        _, pulp = run_mlp(compile_mlp(fixed_net, target="xpulp"), x)
+        assert pulp.cycles < arm.cycles
+
+    def test_more_cores_fewer_cycles(self):
+        fixed = make_fixed_network(sizes=(8, 32, 32, 4), seed=3)
+        x = np.zeros(8)
+        cycles = []
+        for cores in (1, 2, 4, 8):
+            compiled = compile_mlp(fixed, target="xpulp", num_cores=cores) \
+                if cores > 1 else compile_mlp(fixed, target="xpulp")
+            _, result = run_mlp(compiled, x)
+            cycles.append(result.cycles)
+        assert cycles[0] > cycles[1] > cycles[2] > cycles[3]
+
+    def test_8core_speedup_in_expected_band(self):
+        """~32-wide layers on 8 cores: speed-up well above 2x but below
+        the ideal 8x (barriers, conflicts, serial tails) — the same
+        qualitative gap Table III shows for Network A (3.7x)."""
+        fixed = make_fixed_network(sizes=(8, 32, 32, 4), seed=3)
+        x = np.zeros(8)
+        _, single = run_mlp(compile_mlp(fixed, target="xpulp"), x)
+        _, eight = run_mlp(compile_mlp(fixed, target="xpulp", num_cores=8), x)
+        speedup = single.cycles / eight.cycles
+        assert 2.5 < speedup < 8.0
+
+    def test_l2_residency_costs_cycles(self, fixed_net):
+        x = np.zeros(4)
+        l1 = compile_mlp(fixed_net, target="xpulp")
+        l2 = compile_mlp(fixed_net, target="xpulp", data_base=MRWOLF_L2_BASE)
+        _, l1_result = run_mlp(l1, x, memory=mrwolf_memory_map())
+        _, l2_result = run_mlp(l2, x, memory=mrwolf_memory_map())
+        assert l2_result.cycles > l1_result.cycles
+
+
+class TestValidation:
+    def test_unknown_target(self, fixed_net):
+        with pytest.raises(ConfigurationError):
+            compile_mlp(fixed_net, target="z80")
+
+    def test_multicore_requires_xpulp(self, fixed_net):
+        with pytest.raises(ConfigurationError):
+            compile_mlp(fixed_net, target="armv7m", num_cores=4)
+
+    def test_frac_bits_window_enforced(self):
+        fixed = make_fixed_network(decimal_point=20)
+        with pytest.raises(ConfigurationError):
+            compile_mlp(fixed)
+
+    def test_sigmoid_layers_rejected(self):
+        net = MultiLayerPerceptron(3, [LayerSpec(2, Activation.SIGMOID)])
+        fixed = convert_to_fixed(net, decimal_point=10)
+        with pytest.raises(ConfigurationError):
+            compile_mlp(fixed)
+
+    def test_wrong_input_shape_rejected(self, fixed_net):
+        from repro.errors import SimulationError
+
+        compiled = compile_mlp(fixed_net)
+        with pytest.raises(SimulationError):
+            run_mlp(compiled, np.zeros(7))
+
+    def test_source_is_inspectable(self, fixed_net):
+        compiled = compile_mlp(fixed_net, target="xpulp")
+        assert "lp.setupi" in compiled.source
+        assert "p.mac" in compiled.source
+        assert "tanh_lut" in compiled.source

@@ -1,0 +1,105 @@
+"""Memory-map tests."""
+
+import pytest
+
+from repro.errors import MemoryMapError
+from repro.isa.memory import (
+    MemoryMap,
+    MemoryRegion,
+    mrwolf_memory_map,
+    nrf52_memory_map,
+)
+
+
+class TestRegions:
+    def test_contains(self):
+        region = MemoryRegion("r", 0x1000, 0x100)
+        assert region.contains(0x1000)
+        assert region.contains(0x10FF)
+        assert not region.contains(0x1100)
+
+    def test_validation(self):
+        with pytest.raises(MemoryMapError):
+            MemoryRegion("r", 0x0, 0)
+        with pytest.raises(MemoryMapError):
+            MemoryRegion("r", -4, 16)
+        with pytest.raises(MemoryMapError):
+            MemoryRegion("r", 0, 16, num_banks=0)
+
+    def test_bank_interleaving(self):
+        region = MemoryRegion("tcdm", 0x1000_0000, 1024, num_banks=16)
+        assert region.bank_of(0x1000_0000) == 0
+        assert region.bank_of(0x1000_0004) == 1
+        assert region.bank_of(0x1000_0004 + 16 * 4) == 1  # wraps
+
+    def test_overlap_rejected(self):
+        with pytest.raises(MemoryMapError):
+            MemoryMap([MemoryRegion("a", 0, 32), MemoryRegion("b", 16, 32)])
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(MemoryMapError):
+            MemoryMap([])
+
+
+class TestAccess:
+    def make_map(self):
+        return MemoryMap([MemoryRegion("ram", 0x100, 256,
+                                       read_wait_states=2,
+                                       write_wait_states=1)])
+
+    def test_word_round_trip(self):
+        memory = self.make_map()
+        memory.store_word(0x100, -123456)
+        value, waits = memory.load_word(0x100)
+        assert value == -123456
+        assert waits == 2
+
+    def test_store_returns_write_waits(self):
+        assert self.make_map().store_word(0x104, 7) == 1
+
+    def test_little_endian_bytes(self):
+        memory = self.make_map()
+        memory.store_word(0x100, 0x0A0B0C0D)
+        assert memory.load(0x100, 1, signed=False)[0] == 0x0D
+        assert memory.load(0x103, 1, signed=False)[0] == 0x0A
+
+    def test_signed_and_unsigned_halfword(self):
+        memory = self.make_map()
+        memory.store(0x100, 2, 0x8001)
+        assert memory.load(0x100, 2, signed=False)[0] == 0x8001
+        assert memory.load(0x100, 2, signed=True)[0] == -32767
+
+    def test_unmapped_access_rejected(self):
+        with pytest.raises(MemoryMapError):
+            self.make_map().load_word(0x0)
+
+    def test_cross_region_access_rejected(self):
+        with pytest.raises(MemoryMapError):
+            self.make_map().load(0x1FE, 4, signed=True)
+
+    def test_bulk_words(self):
+        memory = self.make_map()
+        memory.write_words(0x110, [1, -2, 3])
+        assert memory.read_words(0x110, 3) == [1, -2, 3]
+
+    def test_region_named(self):
+        memory = self.make_map()
+        assert memory.region_named("ram").base == 0x100
+        with pytest.raises(MemoryMapError):
+            memory.region_named("flash")
+
+
+class TestCanonicalMaps:
+    def test_mrwolf_map(self):
+        memory = mrwolf_memory_map()
+        l1 = memory.region_named("l1")
+        l2 = memory.region_named("l2")
+        assert l1.size == 64 * 1024
+        assert l2.size == 512 * 1024
+        assert l1.num_banks == 16
+        assert l2.read_wait_states > l1.read_wait_states
+
+    def test_nrf52_map(self):
+        memory = nrf52_memory_map()
+        assert memory.region_named("flash").read_wait_states > 0
+        assert memory.region_named("ram").read_wait_states == 0

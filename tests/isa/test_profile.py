@@ -1,0 +1,100 @@
+"""Execution-profiler tests."""
+
+import numpy as np
+
+from repro.fann import Activation, LayerSpec, MultiLayerPerceptron, convert_to_fixed
+from repro.isa import RV32Core, XpulpCore, assemble
+from repro.isa.kernels import compile_mlp
+from repro.isa.memory import MemoryMap, MemoryRegion, mrwolf_memory_map
+from repro.isa.profile import profile_run
+
+
+def profiled(source, core_cls=RV32Core):
+    program = assemble(source, data_base=0x1000)
+    memory = MemoryMap([MemoryRegion("ram", 0x1000, 4096)])
+    return profile_run(core_cls(program, memory))
+
+
+class TestHistogram:
+    def test_counts_match_dynamic_execution(self):
+        profile = profiled("""
+            li a0, 0
+            li a1, 5
+        loop:
+            addi a0, a0, 1
+            addi a1, a1, -1
+            bne a1, zero, loop
+            halt
+        """)
+        assert profile.instruction_counts["li"] == 2
+        assert profile.instruction_counts["addi"] == 10
+        assert profile.instruction_counts["bne"] == 5
+        assert profile.instruction_counts["halt"] == 1
+
+    def test_cycles_sum_to_run_total(self):
+        profile = profiled("li a0, 3\nli a1, 4\nmul a2, a0, a1\nhalt\n")
+        assert profile.total_cycles == profile.result.cycles
+
+    def test_cycle_fraction(self):
+        profile = profiled("li a0, 1\nhalt\n")
+        assert profile.cycle_fraction("li") + profile.cycle_fraction("halt") == 1.0
+        assert profile.cycle_fraction("mul") == 0.0
+
+    def test_hottest_ordering(self):
+        profile = profiled("""
+            li a1, 20
+        loop:
+            addi a1, a1, -1
+            bne a1, zero, loop
+            halt
+        """)
+        hottest = profile.hottest(2)
+        assert hottest[0][1] >= hottest[1][1]
+
+    def test_report_formats(self):
+        profile = profiled("li a0, 1\nhalt\n")
+        text = profile.report()
+        assert "mnemonic" in text
+        assert "li" in text
+
+
+class TestKernelProfiles:
+    def make_fixed(self):
+        net = MultiLayerPerceptron(16, [LayerSpec(16, Activation.TANH),
+                                        LayerSpec(4, Activation.TANH)], seed=1)
+        rng = np.random.default_rng(1)
+        net.set_weights([rng.uniform(-1, 1, size=w.shape) for w in net.weights])
+        return convert_to_fixed(net, decimal_point=10)
+
+    def test_rv32im_kernel_is_memory_heavy(self):
+        """The plain inner loop spends a large share in loads — the
+        inefficiency the post-increment extension removes."""
+        compiled = compile_mlp(self.make_fixed(), target="rv32im")
+        core = RV32Core(compiled.program, mrwolf_memory_map())
+        core.memory.write_words(
+            compiled.program.symbol_address("buf0"), [0] * 17)
+        profile = profile_run(core)
+        assert profile.memory_cycle_fraction() > 0.25
+
+    def test_xpulp_kernel_dominated_by_mac_and_loads(self):
+        compiled = compile_mlp(self.make_fixed(), target="xpulp")
+        core = XpulpCore(compiled.program, mrwolf_memory_map())
+        core.memory.write_words(
+            compiled.program.symbol_address("buf0"), [0] * 17)
+        profile = profile_run(core)
+        top = dict(profile.hottest(3))
+        assert "p.mac" in top
+        assert "p.lw" in top
+
+    def test_xpulp_has_fewer_branch_cycles_than_rv32im(self):
+        """Hardware loops eliminate the inner-loop branches."""
+        fixed = self.make_fixed()
+        profiles = {}
+        for target, core_cls in (("rv32im", RV32Core), ("xpulp", XpulpCore)):
+            compiled = compile_mlp(fixed, target=target)
+            core = core_cls(compiled.program, mrwolf_memory_map())
+            core.memory.write_words(
+                compiled.program.symbol_address("buf0"), [0] * 17)
+            profiles[target] = profile_run(core)
+        assert (profiles["xpulp"].cycle_counts["bne"]
+                < profiles["rv32im"].cycle_counts["bne"])

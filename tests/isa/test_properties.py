@@ -1,0 +1,144 @@
+"""Property-based tests over the ISS stack (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import RV32Core, XpulpCore, assemble
+from repro.isa.cpu import to_signed32
+from repro.isa.memory import MemoryMap, MemoryRegion
+
+int32s = st.integers(min_value=-(2 ** 31), max_value=2 ** 31 - 1)
+small_ints = st.integers(min_value=-2000, max_value=2000)
+
+
+def run_core(source, core_cls=RV32Core):
+    program = assemble(source, data_base=0x1000)
+    memory = MemoryMap([MemoryRegion("ram", 0x1000, 8192)])
+    core = core_cls(program, memory)
+    core.run()
+    return core
+
+
+class TestArithmeticProperties:
+    @given(int32s, int32s)
+    @settings(max_examples=40, deadline=None)
+    def test_add_wraps_like_hardware(self, a, b):
+        core = run_core(f"li a0, {a}\nli a1, {b}\nadd a2, a0, a1\nhalt\n")
+        assert core.read_reg("a2") == to_signed32(a + b)
+
+    @given(int32s, int32s)
+    @settings(max_examples=40, deadline=None)
+    def test_mul_matches_low_32_bits(self, a, b):
+        core = run_core(f"li a0, {a}\nli a1, {b}\nmul a2, a0, a1\nhalt\n")
+        assert core.read_reg("a2") == to_signed32(a * b)
+
+    @given(int32s)
+    @settings(max_examples=40, deadline=None)
+    def test_sub_self_is_zero(self, a):
+        core = run_core(f"li a0, {a}\nsub a1, a0, a0\nhalt\n")
+        assert core.read_reg("a1") == 0
+
+    @given(int32s, st.integers(min_value=0, max_value=31))
+    @settings(max_examples=40, deadline=None)
+    def test_srai_is_floor_division_by_power_of_two(self, a, shift):
+        core = run_core(f"li a0, {a}\nsrai a1, a0, {shift}\nhalt\n")
+        assert core.read_reg("a1") == a >> shift
+
+    @given(small_ints, small_ints, small_ints)
+    @settings(max_examples=30, deadline=None)
+    def test_mac_equals_mul_plus_add(self, acc, a, b):
+        core = run_core(
+            f"li a0, {acc}\nli a1, {a}\nli a2, {b}\np.mac a0, a1, a2\nhalt\n",
+            core_cls=XpulpCore)
+        assert core.read_reg("a0") == to_signed32(acc + a * b)
+
+
+class TestMemoryProperties:
+    @given(st.lists(int32s, min_size=1, max_size=16))
+    @settings(max_examples=30, deadline=None)
+    def test_store_load_round_trip(self, values):
+        source = [".data 0x1000", f"buf: .space {4 * len(values)}", ".text",
+                  "li a1, =buf"]
+        for v in values:
+            source.append(f"li a0, {v}")
+            source.append("sw a0, 0(a1)")
+            source.append("addi a1, a1, 4")
+        source.append("halt")
+        core = run_core("\n".join(source))
+        assert core.memory.read_words(0x1000, len(values)) == \
+            [to_signed32(v) for v in values]
+
+    @given(st.lists(int32s, min_size=1, max_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_data_words_load_verbatim(self, values):
+        words = ", ".join(str(v) for v in values)
+        core = run_core(f".data 0x1000\ntab: .word {words}\n.text\nhalt\n")
+        assert core.memory.read_words(0x1000, len(values)) == \
+            [to_signed32(v) for v in values]
+
+
+class TestLoopProperties:
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_countdown_loop_iterates_exactly_n_times(self, n):
+        core = run_core(f"""
+            li a0, 0
+            li a1, {n}
+        loop:
+            addi a0, a0, 1
+            addi a1, a1, -1
+            bne a1, zero, loop
+            halt
+        """)
+        assert core.read_reg("a0") == n
+
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=25, deadline=None)
+    def test_hardware_loop_matches_software_loop(self, n):
+        sw = run_core(f"""
+            li a0, 0
+            li a1, {n}
+        loop:
+            addi a0, a0, 3
+            addi a1, a1, -1
+            bne a1, zero, loop
+            halt
+        """, core_cls=XpulpCore)
+        hw = run_core(f"""
+            li a0, 0
+            lp.setupi 0, {n}, end
+            addi a0, a0, 3
+        end:
+            halt
+        """, core_cls=XpulpCore)
+        assert sw.read_reg("a0") == hw.read_reg("a0")
+        # And the hardware loop is never slower.
+        assert hw.cycles <= sw.cycles
+
+
+class TestDeterminism:
+    @given(st.integers(min_value=0, max_value=2 ** 31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_same_program_same_result(self, seed):
+        rng = np.random.default_rng(seed)
+        a, b = int(rng.integers(-1000, 1000)), int(rng.integers(-1000, 1000))
+        source = f"li a0, {a}\nli a1, {b}\nmul a2, a0, a1\nadd a3, a2, a0\nhalt\n"
+        first = run_core(source)
+        second = run_core(source)
+        assert first.regs == second.regs
+        assert first.cycles == second.cycles
+
+
+class TestCycleAccounting:
+    @given(st.integers(min_value=1, max_value=50))
+    @settings(max_examples=20, deadline=None)
+    def test_cycles_grow_linearly_with_straightline_code(self, n):
+        body = "\n".join("addi a0, a0, 1" for _ in range(n))
+        core = run_core(f"li a0, 0\n{body}\nhalt\n")
+        # li(1) + n ALU ops + halt(1), all single-cycle on RV32.
+        assert core.cycles == n + 2
+
+    def test_cpi_at_least_one(self):
+        core = run_core("li a0, 5\nli a1, 6\nmul a2, a0, a1\nhalt\n")
+        assert core.cycles >= core.instruction_count

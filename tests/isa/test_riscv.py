@@ -1,0 +1,227 @@
+"""RV32IM core tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa import RV32Core, assemble
+from repro.isa.memory import MemoryMap, MemoryRegion
+from repro.isa.riscv import IBEX_TIMINGS, RI5CY_TIMINGS
+
+
+def run_riscv(source, timings=IBEX_TIMINGS, data_base=0x1000):
+    program = assemble(source, data_base=data_base)
+    memory = MemoryMap([MemoryRegion("ram", 0x1000, 4096)])
+    core = RV32Core(program, memory, timings=timings)
+    result = core.run()
+    return core, result
+
+
+class TestArithmetic:
+    def test_add_sub(self):
+        core, _ = run_riscv("li a0, 7\nli a1, 5\nadd a2, a0, a1\nsub a3, a0, a1\nhalt\n")
+        assert core.read_reg("a2") == 12
+        assert core.read_reg("a3") == 2
+
+    def test_wraparound_to_signed(self):
+        core, _ = run_riscv("li a0, 0x7fffffff\naddi a0, a0, 1\nhalt\n")
+        assert core.read_reg("a0") == -(1 << 31)
+
+    def test_logic_ops(self):
+        core, _ = run_riscv("""
+            li a0, 0xf0
+            li a1, 0x3c
+            and a2, a0, a1
+            or a3, a0, a1
+            xor a4, a0, a1
+            halt
+        """)
+        assert core.read_reg("a2") == 0x30
+        assert core.read_reg("a3") == 0xFC
+        assert core.read_reg("a4") == 0xCC
+
+    def test_shifts(self):
+        core, _ = run_riscv("""
+            li a0, -16
+            srai a1, a0, 2
+            srli a2, a0, 28
+            slli a3, a0, 1
+            halt
+        """)
+        assert core.read_reg("a1") == -4
+        assert core.read_reg("a2") == 0xF
+        assert core.read_reg("a3") == -32
+
+    def test_slt_family(self):
+        core, _ = run_riscv("""
+            li a0, -1
+            li a1, 1
+            slt a2, a0, a1
+            sltu a3, a0, a1
+            slti a4, a0, 0
+            halt
+        """)
+        assert core.read_reg("a2") == 1
+        assert core.read_reg("a3") == 0  # -1 unsigned is huge
+        assert core.read_reg("a4") == 1
+
+    def test_zero_register_immutable(self):
+        core, _ = run_riscv("li zero, 99\nmv a0, zero\nhalt\n")
+        assert core.read_reg("a0") == 0
+
+    def test_lui(self):
+        core, _ = run_riscv("lui a0, 0x12345\nhalt\n")
+        assert core.read_reg("a0") == 0x12345000
+
+
+class TestMultiplyDivide:
+    def test_mul(self):
+        core, _ = run_riscv("li a0, -7\nli a1, 6\nmul a2, a0, a1\nhalt\n")
+        assert core.read_reg("a2") == -42
+
+    def test_mulh(self):
+        core, _ = run_riscv("li a0, 0x40000000\nli a1, 4\nmulh a2, a0, a1\nhalt\n")
+        assert core.read_reg("a2") == 1
+
+    def test_div_rounds_toward_zero(self):
+        core, _ = run_riscv("li a0, -7\nli a1, 2\ndiv a2, a0, a1\nrem a3, a0, a1\nhalt\n")
+        assert core.read_reg("a2") == -3
+        assert core.read_reg("a3") == -1
+
+    def test_div_by_zero_riscv_semantics(self):
+        core, _ = run_riscv("li a0, 5\nli a1, 0\ndiv a2, a0, a1\nrem a3, a0, a1\nhalt\n")
+        assert core.read_reg("a2") == -1
+        assert core.read_reg("a3") == 5
+
+
+class TestMemoryOps:
+    def test_word_round_trip(self):
+        core, _ = run_riscv("""
+            .data 0x1000
+            buf: .space 16
+            .text
+            li a1, =buf
+            li a0, -1234
+            sw a0, 4(a1)
+            lw a2, 4(a1)
+            halt
+        """)
+        assert core.read_reg("a2") == -1234
+
+    def test_byte_and_half_sign_extension(self):
+        core, _ = run_riscv("""
+            .data 0x1000
+            buf: .space 8
+            .text
+            li a1, =buf
+            li a0, 0x80
+            sb a0, 0(a1)
+            lb a2, 0(a1)
+            lbu a3, 0(a1)
+            halt
+        """)
+        assert core.read_reg("a2") == -128
+        assert core.read_reg("a3") == 128
+
+
+class TestControlFlow:
+    def test_loop_sums_integers(self):
+        core, _ = run_riscv("""
+            li a0, 0
+            li a1, 10
+        loop:
+            add a0, a0, a1
+            addi a1, a1, -1
+            bne a1, zero, loop
+            halt
+        """)
+        assert core.read_reg("a0") == 55
+
+    def test_jal_and_ret(self):
+        core, _ = run_riscv("""
+            li a0, 1
+            jal ra, func
+            addi a0, a0, 10
+            halt
+        func:
+            addi a0, a0, 100
+            ret
+        """)
+        assert core.read_reg("a0") == 111
+
+    def test_branch_variants(self):
+        core, _ = run_riscv("""
+            li a0, -5
+            li a1, 3
+            li a2, 0
+            blt a0, a1, t1
+            li a2, 99
+        t1: bge a1, a0, t2
+            li a2, 98
+        t2: bltu a1, a0, t3
+            li a2, 97
+        t3: halt
+        """)
+        # blt taken, bge taken, bltu taken (unsigned -5 is huge).
+        assert core.read_reg("a2") == 0
+
+    def test_mhartid(self):
+        program = assemble("csrr a0, mhartid\nhalt\n")
+        memory = MemoryMap([MemoryRegion("ram", 0x1000, 64)])
+        core = RV32Core(program, memory, core_id=5)
+        core.run()
+        assert core.read_reg("a0") == 5
+
+
+class TestTiming:
+    def test_ibex_multiplier_slower_than_ri5cy(self):
+        source = "li a0, 3\nli a1, 4\nmul a2, a0, a1\nhalt\n"
+        _, ibex = run_riscv(source, IBEX_TIMINGS)
+        _, ri5cy = run_riscv(source, RI5CY_TIMINGS)
+        assert ibex.cycles == ri5cy.cycles + (IBEX_TIMINGS.mul - RI5CY_TIMINGS.mul)
+
+    def test_taken_branch_costs_more(self):
+        taken = "li a0, 1\nbne a0, zero, out\nnop\nout: halt\n"
+        fallthrough = "li a0, 0\nbne a0, zero, out\nnop\nout: halt\n"
+        _, r_taken = run_riscv(taken)
+        _, r_fall = run_riscv(fallthrough)
+        # Taken skips the nop (1 instr fewer) but pays the redirect.
+        assert r_taken.cycles == (r_fall.cycles - IBEX_TIMINGS.alu
+                                  - IBEX_TIMINGS.branch_not_taken
+                                  + IBEX_TIMINGS.branch_taken)
+
+    def test_memory_wait_states_charged(self):
+        program = assemble("""
+            .data 0x1000
+            x: .word 42
+            .text
+            li a0, =x
+            lw a1, 0(a0)
+            halt
+        """)
+        slow = MemoryMap([MemoryRegion("ram", 0x1000, 64, read_wait_states=5)])
+        fast = MemoryMap([MemoryRegion("ram", 0x1000, 64)])
+        slow_result = RV32Core(program, slow).run()
+        fast_result = RV32Core(program, fast).run()
+        assert slow_result.cycles == fast_result.cycles + 5
+
+
+class TestErrors:
+    def test_unknown_instruction(self):
+        with pytest.raises(SimulationError):
+            run_riscv("frobnicate a0, a1\nhalt\n")
+
+    def test_unknown_register(self):
+        with pytest.raises(SimulationError):
+            run_riscv("li q9, 1\nhalt\n")
+
+    def test_runaway_budget(self):
+        program = assemble("loop: j loop\n")
+        memory = MemoryMap([MemoryRegion("ram", 0x1000, 64)])
+        with pytest.raises(SimulationError):
+            RV32Core(program, memory).run(max_instructions=100)
+
+    def test_pc_past_end(self):
+        program = assemble("nop\n")  # no halt
+        memory = MemoryMap([MemoryRegion("ram", 0x1000, 64)])
+        with pytest.raises(SimulationError):
+            RV32Core(program, memory).run()

@@ -1,0 +1,107 @@
+"""Packed-SIMD kernel tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.fann import Activation, LayerSpec, MultiLayerPerceptron, convert_to_fixed
+from repro.isa.kernels import (
+    compile_mlp,
+    compile_mlp_simd,
+    run_mlp,
+    run_mlp_simd,
+    simd_reference_forward,
+)
+
+
+def make_fixed(sizes=(8, 16, 4), seed=1, decimal_point=10):
+    net = MultiLayerPerceptron(
+        sizes[0], [LayerSpec(s, Activation.TANH) for s in sizes[1:]], seed=seed)
+    rng = np.random.default_rng(seed)
+    net.set_weights([rng.uniform(-1.2, 1.2, size=w.shape) for w in net.weights])
+    return convert_to_fixed(net, decimal_point=decimal_point)
+
+
+@pytest.fixture(scope="module")
+def fixed_net():
+    return make_fixed()
+
+
+class TestBitExactness:
+    def test_single_core_matches_reference(self, fixed_net):
+        compiled = compile_mlp_simd(fixed_net)
+        for seed in range(4):
+            x = np.random.default_rng(seed).uniform(-1, 1, size=8)
+            out, _ = run_mlp_simd(compiled, x)
+            np.testing.assert_array_equal(out, simd_reference_forward(fixed_net, x))
+
+    @pytest.mark.parametrize("cores", [2, 4, 8])
+    def test_cluster_matches_reference(self, fixed_net, cores):
+        compiled = compile_mlp_simd(fixed_net, num_cores=cores)
+        x = np.random.default_rng(3).uniform(-1, 1, size=8)
+        out, _ = run_mlp_simd(compiled, x)
+        np.testing.assert_array_equal(out, simd_reference_forward(fixed_net, x))
+
+    def test_odd_row_length_padding(self):
+        """n_in + 1 odd exercises the zero-padded lane."""
+        fixed = make_fixed(sizes=(5, 7, 3), seed=2)
+        compiled = compile_mlp_simd(fixed)
+        x = np.random.default_rng(1).uniform(-1, 1, size=5)
+        out, _ = run_mlp_simd(compiled, x)
+        np.testing.assert_array_equal(out, simd_reference_forward(fixed, x))
+
+    def test_simd_agrees_with_scalar_kernel_outputs(self, fixed_net):
+        """For tanh networks the lane narrowing is lossless (weights
+        and activations already fit int16 at decimal_point 10), so the
+        SIMD kernel matches the 32-bit kernel bit for bit."""
+        x = np.random.default_rng(5).uniform(-1, 1, size=8)
+        scalar_out, _ = run_mlp(compile_mlp(fixed_net, target="xpulp"), x)
+        simd_out, _ = run_mlp_simd(compile_mlp_simd(fixed_net), x)
+        np.testing.assert_array_equal(scalar_out, simd_out)
+
+
+class TestPerformance:
+    def test_simd_faster_than_scalar(self, fixed_net):
+        x = np.zeros(8)
+        _, scalar = run_mlp(compile_mlp(fixed_net, target="xpulp"), x)
+        _, simd = run_mlp_simd(compile_mlp_simd(fixed_net), x)
+        assert simd.cycles < scalar.cycles
+
+    def test_wide_layer_approaches_2x(self):
+        """On a 64-wide layer the inner loop dominates and the packed
+        kernel approaches its 2 MACs/3 cycles bound."""
+        fixed = make_fixed(sizes=(64, 64, 8), seed=4)
+        x = np.zeros(64)
+        _, scalar = run_mlp(compile_mlp(fixed, target="xpulp"), x)
+        _, simd = run_mlp_simd(compile_mlp_simd(fixed), x)
+        assert scalar.cycles / simd.cycles > 1.6
+
+    def test_cluster_scales(self, fixed_net):
+        x = np.zeros(8)
+        _, single = run_mlp_simd(compile_mlp_simd(fixed_net), x)
+        _, eight = run_mlp_simd(compile_mlp_simd(fixed_net, num_cores=8), x)
+        assert eight.cycles < single.cycles
+
+
+class TestValidation:
+    def test_rejects_wide_decimal_point(self):
+        fixed = make_fixed(decimal_point=14)
+        with pytest.raises(ConfigurationError):
+            compile_mlp_simd(fixed)
+
+    def test_rejects_oversized_weights(self):
+        net = MultiLayerPerceptron(4, [LayerSpec(2, Activation.TANH)])
+        net.set_weights([np.full((2, 5), 40.0)])
+        fixed = convert_to_fixed(net, decimal_point=10)
+        with pytest.raises(ConfigurationError):
+            compile_mlp_simd(fixed)
+
+    def test_runner_rejects_scalar_program(self, fixed_net):
+        compiled = compile_mlp(fixed_net, target="xpulp")
+        with pytest.raises(SimulationError):
+            run_mlp_simd(compiled, np.zeros(8))
+
+    def test_source_uses_sdotsp(self, fixed_net):
+        compiled = compile_mlp_simd(fixed_net)
+        assert "pv.sdotsp.h" in compiled.source
+        assert compiled.target == "xpulp-simd"

@@ -1,0 +1,237 @@
+"""XpulpV2 extension tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa import XpulpCore, assemble
+from repro.isa.memory import MemoryMap, MemoryRegion
+
+
+def run_xpulp(source, data_base=0x1000):
+    program = assemble(source, data_base=data_base)
+    memory = MemoryMap([MemoryRegion("ram", 0x1000, 4096)])
+    core = XpulpCore(program, memory)
+    result = core.run()
+    return core, result
+
+
+class TestHardwareLoops:
+    def test_loop_executes_count_times(self):
+        core, _ = run_xpulp("""
+            li a0, 0
+            lp.setupi 0, 10, end
+            addi a0, a0, 1
+        end:
+            halt
+        """)
+        assert core.read_reg("a0") == 10
+
+    def test_loop_has_zero_branch_overhead(self):
+        """N iterations of a 1-instruction body cost exactly N ALU
+        cycles plus the setup — no branch cycles."""
+        core, result = run_xpulp("""
+            li a0, 0
+            lp.setupi 0, 50, end
+            addi a0, a0, 1
+        end:
+            halt
+        """)
+        # li(1) + setup(1) + 50*addi(1) + halt(1)
+        assert result.cycles == 1 + 1 + 50 + 1
+
+    def test_register_count_variant(self):
+        core, _ = run_xpulp("""
+            li a1, 7
+            li a0, 0
+            lp.setup 0, a1, end
+            addi a0, a0, 3
+        end:
+            halt
+        """)
+        assert core.read_reg("a0") == 21
+
+    def test_zero_count_skips_body(self):
+        core, _ = run_xpulp("""
+            li a0, 0
+            li a1, 0
+            lp.setup 0, a1, end
+            addi a0, a0, 1
+        end:
+            halt
+        """)
+        assert core.read_reg("a0") == 0
+
+    def test_nested_loops(self):
+        core, _ = run_xpulp("""
+            li a0, 0
+            lp.setupi 0, 4, outer_end
+            lp.setupi 1, 5, inner_end
+            addi a0, a0, 1
+        inner_end:
+            addi a0, a0, 100
+        outer_end:
+            halt
+        """)
+        # 4 * (5 inner + 1 outer-tail) -> 4*5 + 4*100
+        assert core.read_reg("a0") == 4 * 5 + 4 * 100
+
+    def test_bad_loop_id_rejected(self):
+        with pytest.raises(SimulationError):
+            run_xpulp("lp.setupi 2, 3, end\nnop\nend: halt\n")
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(SimulationError):
+            run_xpulp("lp.setupi 0, 3, end\nend: halt\n")
+
+
+class TestPostIncrementAndMac:
+    def test_post_increment_load(self):
+        core, _ = run_xpulp("""
+            .data 0x1000
+            arr: .word 10, 20, 30
+            .text
+            li a1, =arr
+            p.lw a2, 4(a1!)
+            p.lw a3, 4(a1!)
+            halt
+        """)
+        assert core.read_reg("a2") == 10
+        assert core.read_reg("a3") == 20
+        assert core.read_reg("a1") == 0x1000 + 8
+
+    def test_post_increment_store(self):
+        core, _ = run_xpulp("""
+            .data 0x1000
+            arr: .space 8
+            .text
+            li a1, =arr
+            li a0, 5
+            p.sw a0, 4(a1!)
+            li a0, 6
+            p.sw a0, 4(a1!)
+            halt
+        """)
+        assert core.memory.read_words(0x1000, 2) == [5, 6]
+
+    def test_mac(self):
+        core, _ = run_xpulp("""
+            li a0, 100
+            li a1, 7
+            li a2, 6
+            p.mac a0, a1, a2
+            halt
+        """)
+        assert core.read_reg("a0") == 142
+
+    def test_mac_is_single_cycle(self):
+        _, with_mac = run_xpulp("li a0, 0\nli a1, 2\nli a2, 3\np.mac a0, a1, a2\nhalt\n")
+        _, without = run_xpulp("li a0, 0\nli a1, 2\nli a2, 3\nnop\nhalt\n")
+        assert with_mac.cycles == without.cycles
+
+    def test_dot_product_kernel(self):
+        """The canonical RI5CY inner loop: 3 cycles per element."""
+        core, result = run_xpulp("""
+            .data 0x1000
+            a: .word 1, 2, 3, 4
+            b: .word 10, 20, 30, 40
+            .text
+            li a1, =a
+            li a2, =b
+            li a0, 0
+            lp.setupi 0, 4, end
+            p.lw t0, 4(a1!)
+            p.lw t1, 4(a2!)
+            p.mac a0, t0, t1
+        end:
+            halt
+        """)
+        assert core.read_reg("a0") == 10 + 40 + 90 + 160
+        # 3 li + setup + 4*3 body + halt
+        assert result.cycles == 3 + 1 + 12 + 1
+
+
+class TestMinMaxClip:
+    def test_min_max(self):
+        core, _ = run_xpulp("""
+            li a0, -5
+            li a1, 3
+            p.min a2, a0, a1
+            p.max a3, a0, a1
+            halt
+        """)
+        assert core.read_reg("a2") == -5
+        assert core.read_reg("a3") == 3
+
+    def test_clip(self):
+        core, _ = run_xpulp("""
+            li a0, 1000
+            p.clip a1, a0, 7
+            li a0, -1000
+            p.clip a2, a0, 7
+            li a0, 55
+            p.clip a3, a0, 7
+            halt
+        """)
+        assert core.read_reg("a1") == 127
+        assert core.read_reg("a2") == -128
+        assert core.read_reg("a3") == 55
+
+
+class TestSimd:
+    def test_packed_add(self):
+        # low half 3+5=8, high half 7+9=16
+        core, _ = run_xpulp("""
+            li a0, 0x00070003
+            li a1, 0x00090005
+            pv.add.h a2, a0, a1
+            halt
+        """)
+        assert core.read_reg("a2") == (16 << 16) | 8
+
+    def test_packed_sub_negative_lanes(self):
+        core, _ = run_xpulp("""
+            li a0, 0x00010001
+            li a1, 0x00020003
+            pv.sub.h a2, a0, a1
+            halt
+        """)
+        value = core.read_reg("a2") & 0xFFFFFFFF
+        assert value & 0xFFFF == 0xFFFE          # 1-3 = -2
+        assert (value >> 16) & 0xFFFF == 0xFFFF  # 1-2 = -1
+
+    def test_dotsp(self):
+        # lanes: (3, 7) . (5, 9) = 15 + 63
+        core, _ = run_xpulp("""
+            li a0, 0x00070003
+            li a1, 0x00090005
+            pv.dotsp.h a2, a0, a1
+            halt
+        """)
+        assert core.read_reg("a2") == 78
+
+    def test_sdotsp_accumulates(self):
+        core, _ = run_xpulp("""
+            li a0, 0x00070003
+            li a1, 0x00090005
+            li a2, 1000
+            pv.sdotsp.h a2, a0, a1
+            halt
+        """)
+        assert core.read_reg("a2") == 1078
+
+    def test_dotsp_signed_lanes(self):
+        # low lane -1, high lane 2 against low 3, high 4: -3 + 8 = 5
+        core, _ = run_xpulp("""
+            li a0, 0x0002ffff
+            li a1, 0x00040003
+            pv.dotsp.h a2, a0, a1
+            halt
+        """)
+        assert core.read_reg("a2") == 5
+
+
+class TestBarrierOutsideCluster:
+    def test_barrier_is_nop_single_core(self):
+        core, result = run_xpulp("p.barrier\nhalt\n")
+        assert result.halted
+        assert core.waiting_at_barrier  # flag set, nobody to wait for

@@ -1,0 +1,84 @@
+"""Chamber/bench emulation tests: the Table I/II measurement path."""
+
+import pytest
+
+from repro.errors import MeasurementError
+from repro.harvest import calibrated_solar_harvester, calibrated_teg_harvester
+from repro.lab import HarvestTestBench, SourceMeasureUnit
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return HarvestTestBench()
+
+
+@pytest.fixture(scope="module")
+def solar():
+    return calibrated_solar_harvester()
+
+
+@pytest.fixture(scope="module")
+def teg():
+    return calibrated_teg_harvester()
+
+
+class TestInstruments:
+    def test_light_source_validation(self, bench):
+        with pytest.raises(MeasurementError):
+            bench.light.set_illuminance(-1.0)
+
+    def test_wind_source_validation(self, bench):
+        with pytest.raises(MeasurementError):
+            bench.wind.set_speed(-1.0)
+
+    def test_chamber_sets_condition(self, bench):
+        condition = bench.establish_thermal(15.0, 30.0, 2.0)
+        assert condition.ambient_c == 15.0
+        assert condition.skin_c == 30.0
+        assert condition.wind_ms == 2.0
+        assert bench.chamber.ambient_c == 15.0
+        assert bench.wind.speed_ms == 2.0
+
+
+class TestMeasuredTable1:
+    """The bench must reproduce Table I through SMU sweeps."""
+
+    def test_outdoor(self, bench, solar):
+        intake = bench.measure_solar_intake_w(solar.panel, solar.converter, 30_000.0)
+        assert intake == pytest.approx(24.711e-3, rel=1e-3)
+
+    def test_indoor(self, bench, solar):
+        intake = bench.measure_solar_intake_w(solar.panel, solar.converter, 700.0)
+        assert intake == pytest.approx(0.9e-3, rel=1e-3)
+
+    def test_darkness_raises(self, bench, solar):
+        with pytest.raises(MeasurementError):
+            bench.sweep_panel(solar.panel, 0.0)
+
+
+class TestMeasuredTable2:
+    """The bench must reproduce Table II through SMU sweeps."""
+
+    @pytest.mark.parametrize("ambient,skin,wind_ms,anchor_uw", [
+        (22.0, 32.0, 0.0, 24.0),
+        (15.0, 30.0, 0.0, 55.5),
+        (15.0, 30.0, 42.0 / 3.6, 155.4),
+    ], ids=["22C_still", "15C_still", "15C_wind"])
+    def test_anchor(self, bench, teg, ambient, skin, wind_ms, anchor_uw):
+        intake = bench.measure_teg_intake_w(teg.device, teg.converter,
+                                            ambient, skin, wind_ms)
+        assert intake == pytest.approx(anchor_uw * 1e-6, rel=1e-3)
+
+    def test_reversed_gradient_raises(self, bench, teg):
+        with pytest.raises(MeasurementError):
+            condition = bench.establish_thermal(40.0, 30.0, 0.0)
+            bench.sweep_teg(teg.device, condition)
+
+
+class TestNoiseRobustness:
+    def test_noisy_smu_still_close(self, solar):
+        noisy_bench = HarvestTestBench(SourceMeasureUnit(current_noise_a=5e-6,
+                                                         seed=3))
+        intake = noisy_bench.measure_solar_intake_w(solar.panel, solar.converter,
+                                                    30_000.0)
+        assert intake == pytest.approx(24.711e-3, rel=0.02)

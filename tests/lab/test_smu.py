@@ -1,0 +1,87 @@
+"""SMU emulation tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MeasurementError
+from repro.lab import SourceMeasureUnit
+
+
+def thevenin_dut(voc=1.0, r=10.0):
+    """A resistor-backed source: I = (Voc - V) / R."""
+    return lambda v: (voc - v) / r
+
+
+class TestSweeps:
+    def test_sweep_grid(self):
+        smu = SourceMeasureUnit()
+        result = smu.sweep(thevenin_dut(), 0.0, 1.0, points=11)
+        assert result.voltages_v.size == 11
+        assert result.voltages_v[0] == 0.0
+        assert result.voltages_v[-1] == 1.0
+
+    def test_open_circuit_voltage_interpolated(self):
+        smu = SourceMeasureUnit()
+        result = smu.sweep(thevenin_dut(voc=0.73), 0.0, 1.0, points=101)
+        assert result.open_circuit_voltage() == pytest.approx(0.73, abs=1e-6)
+
+    def test_short_circuit_current(self):
+        smu = SourceMeasureUnit()
+        result = smu.sweep(thevenin_dut(voc=1.0, r=10.0), 0.0, 1.2, points=101)
+        assert result.short_circuit_current() == pytest.approx(0.1)
+
+    def test_mpp_of_thevenin_source_is_half_voc(self):
+        smu = SourceMeasureUnit()
+        result = smu.sweep(thevenin_dut(voc=2.0, r=8.0), 0.0, 2.0, points=401)
+        v, _, p = result.maximum_power_point()
+        assert v == pytest.approx(1.0, abs=0.01)
+        assert p == pytest.approx(2.0 ** 2 / (4 * 8.0), rel=1e-3)
+
+    def test_power_at_voltage_interpolates(self):
+        smu = SourceMeasureUnit()
+        result = smu.sweep(thevenin_dut(voc=1.0, r=10.0), 0.0, 1.0, points=11)
+        # P(V) = V(1-V)/10 -> at 0.55 V: 0.02475 W.
+        assert result.power_at_voltage(0.55) == pytest.approx(0.02475, rel=1e-6)
+
+    def test_power_outside_range_rejected(self):
+        smu = SourceMeasureUnit()
+        result = smu.sweep(thevenin_dut(), 0.0, 1.0, points=11)
+        with pytest.raises(MeasurementError):
+            result.power_at_voltage(2.0)
+
+    def test_sweep_validation(self):
+        smu = SourceMeasureUnit()
+        with pytest.raises(MeasurementError):
+            smu.sweep(thevenin_dut(), 0.0, 1.0, points=1)
+        with pytest.raises(MeasurementError):
+            smu.sweep(thevenin_dut(), 1.0, 0.0)
+
+    def test_no_zero_crossing_raises(self):
+        smu = SourceMeasureUnit()
+        result = smu.sweep(lambda v: 1.0, 0.0, 1.0, points=11)
+        with pytest.raises(MeasurementError):
+            result.open_circuit_voltage()
+
+
+class TestImperfections:
+    def test_noise_is_reproducible(self):
+        a = SourceMeasureUnit(current_noise_a=1e-3, seed=5).sweep(
+            thevenin_dut(), 0.0, 1.0, points=21)
+        b = SourceMeasureUnit(current_noise_a=1e-3, seed=5).sweep(
+            thevenin_dut(), 0.0, 1.0, points=21)
+        np.testing.assert_array_equal(a.currents_a, b.currents_a)
+
+    def test_noise_perturbs_readings(self):
+        clean = SourceMeasureUnit().sweep(thevenin_dut(), 0.0, 1.0, points=21)
+        noisy = SourceMeasureUnit(current_noise_a=1e-3, seed=1).sweep(
+            thevenin_dut(), 0.0, 1.0, points=21)
+        assert not np.array_equal(clean.currents_a, noisy.currents_a)
+
+    def test_quantisation(self):
+        smu = SourceMeasureUnit(current_resolution_a=0.01)
+        reading = smu.measure_current(lambda v: 0.1234, 0.0)
+        assert reading == pytest.approx(0.12)
+
+    def test_validation(self):
+        with pytest.raises(MeasurementError):
+            SourceMeasureUnit(current_noise_a=-1.0)

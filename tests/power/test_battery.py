@@ -1,0 +1,132 @@
+"""LiPo battery model tests."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import PowerModelError
+from repro.power import LiPoBattery
+from repro.units import mah_to_coulombs
+
+
+class TestConstruction:
+    def test_paper_cell_capacity(self):
+        battery = LiPoBattery(capacity_mah=120.0)
+        assert battery.capacity_c == pytest.approx(432.0)
+
+    def test_validation(self):
+        with pytest.raises(PowerModelError):
+            LiPoBattery(capacity_mah=0.0)
+        with pytest.raises(PowerModelError):
+            LiPoBattery(initial_soc=1.5)
+        with pytest.raises(PowerModelError):
+            LiPoBattery(charge_efficiency=0.0)
+
+
+class TestVoltageCurve:
+    def test_full_cell_is_4v2(self):
+        assert LiPoBattery(initial_soc=1.0).open_circuit_voltage() == pytest.approx(4.20)
+
+    def test_empty_cell_is_3v0(self):
+        assert LiPoBattery(initial_soc=0.0).open_circuit_voltage() == pytest.approx(3.00)
+
+    def test_curve_monotonic_in_soc(self):
+        voltages = [LiPoBattery(initial_soc=s / 10).open_circuit_voltage()
+                    for s in range(11)]
+        assert all(b >= a for a, b in zip(voltages, voltages[1:]))
+
+    def test_terminal_voltage_sags_under_load(self):
+        battery = LiPoBattery(initial_soc=0.5, internal_resistance_ohm=0.35)
+        assert battery.terminal_voltage(0.1) == pytest.approx(
+            battery.open_circuit_voltage() - 0.035)
+
+    def test_snapshot_matches_live_state(self):
+        battery = LiPoBattery(initial_soc=0.7)
+        snap = battery.snapshot()
+        assert snap.state_of_charge == pytest.approx(0.7)
+        assert snap.open_circuit_voltage_v == battery.open_circuit_voltage()
+
+
+class TestChargeDischarge:
+    def test_charge_increases_soc(self):
+        battery = LiPoBattery(initial_soc=0.5)
+        before = battery.state_of_charge
+        battery.charge(1e-3, 3600.0)
+        assert battery.state_of_charge > before
+
+    def test_discharge_decreases_soc(self):
+        battery = LiPoBattery(initial_soc=0.5)
+        before = battery.state_of_charge
+        battery.discharge(1e-3, 3600.0)
+        assert battery.state_of_charge < before
+
+    def test_full_battery_rejects_charge(self):
+        battery = LiPoBattery(initial_soc=1.0)
+        assert battery.charge(1.0, 100.0) == 0.0
+        assert battery.state_of_charge == pytest.approx(1.0)
+
+    def test_discharge_stops_at_uv_lockout(self):
+        battery = LiPoBattery(initial_soc=0.02)
+        delivered = battery.discharge(10.0, 1e6)
+        assert battery.state_of_charge >= 0.0
+        assert not battery.state_of_charge > 0.02
+        # Whatever was delivered is bounded by the charge above lockout.
+        assert delivered < 0.02 * battery.capacity_c * 4.2
+
+    def test_zero_power_noop(self):
+        battery = LiPoBattery(initial_soc=0.5)
+        assert battery.charge(0.0, 100.0) == 0.0
+        assert battery.discharge(0.0, 100.0) == 0.0
+        assert battery.state_of_charge == pytest.approx(0.5)
+
+    def test_negative_arguments_rejected(self):
+        battery = LiPoBattery()
+        with pytest.raises(PowerModelError):
+            battery.charge(-1.0, 10.0)
+        with pytest.raises(PowerModelError):
+            battery.discharge(1.0, -10.0)
+
+    def test_charge_efficiency_loses_energy(self):
+        lossy = LiPoBattery(initial_soc=0.5, charge_efficiency=0.9)
+        perfect = LiPoBattery(initial_soc=0.5, charge_efficiency=1.0)
+        lossy.charge(1e-3, 1000.0)
+        perfect.charge(1e-3, 1000.0)
+        assert lossy.charge_c < perfect.charge_c
+
+    @settings(max_examples=30)
+    @given(st.floats(min_value=1e-6, max_value=1e-2),
+           st.floats(min_value=1.0, max_value=3600.0))
+    def test_charge_conserves_coulombs(self, power, duration):
+        """Energy in at OCV with efficiency equals coulombs stored."""
+        battery = LiPoBattery(initial_soc=0.5, charge_efficiency=0.98)
+        voltage = battery.open_circuit_voltage()
+        before = battery.charge_c
+        battery.charge(power, duration)
+        stored = battery.charge_c - before
+        expected = power * duration / voltage * 0.98
+        headroom = battery.capacity_c - before
+        assert stored == pytest.approx(min(expected, headroom), rel=1e-6)
+
+    def test_round_trip_is_lossy(self):
+        """Charging then discharging the same energy must shrink SoC."""
+        battery = LiPoBattery(initial_soc=0.5, charge_efficiency=0.95)
+        battery.charge(1e-3, 1000.0)
+        battery.discharge(1e-3, 1000.0)
+        assert battery.state_of_charge < 0.5 + 1e-9
+
+
+class TestLockouts:
+    def test_is_full_flag(self):
+        assert LiPoBattery(initial_soc=1.0).is_full
+        assert not LiPoBattery(initial_soc=0.5).is_full
+
+    def test_is_undervoltage_flag(self):
+        assert LiPoBattery(initial_soc=0.0).is_undervoltage
+        assert not LiPoBattery(initial_soc=0.5).is_undervoltage
+
+    def test_120mah_cell_stores_half_day_of_detections(self):
+        """Sanity: a full 120 mAh cell at ~3.8 V holds ~1.6 kJ, i.e.
+        millions of 605 uJ detections — the battery is a buffer, not
+        the constraint (the harvest rate is)."""
+        battery = LiPoBattery(initial_soc=1.0)
+        stored_j = battery.charge_c * 3.8
+        assert stored_j / 605e-6 > 2e6

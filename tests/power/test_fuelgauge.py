@@ -1,0 +1,60 @@
+"""BQ27441 fuel-gauge model tests."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.power import BQ27441FuelGauge, LiPoBattery
+
+
+class TestReadings:
+    def test_soc_reported_in_whole_percent(self):
+        gauge = BQ27441FuelGauge(LiPoBattery(initial_soc=0.4999))
+        reading = gauge.read()
+        assert isinstance(reading.state_of_charge_pct, int)
+        assert reading.state_of_charge_pct == 50
+
+    def test_voltage_in_millivolts(self):
+        battery = LiPoBattery(initial_soc=0.5)
+        reading = BQ27441FuelGauge(battery).read()
+        assert reading.voltage_mv == round(battery.open_circuit_voltage() * 1000)
+
+    def test_remaining_capacity_tracks_battery(self):
+        battery = LiPoBattery(capacity_mah=120.0, initial_soc=0.5)
+        reading = BQ27441FuelGauge(battery).read()
+        assert reading.remaining_capacity_mah == pytest.approx(60.0)
+
+    def test_soc_clamped_to_0_100(self):
+        reading = BQ27441FuelGauge(LiPoBattery(initial_soc=1.0)).read()
+        assert reading.state_of_charge_pct == 100
+
+
+class TestAveraging:
+    def test_average_current_after_full_window(self):
+        battery = LiPoBattery(initial_soc=0.5)
+        gauge = BQ27441FuelGauge(battery, update_interval_s=1.0, quiescent_w=0.0)
+        gauge.advance(1.0, charge_delta_c=0.002)  # 2 mA for 1 s
+        assert gauge.read().average_current_ma == pytest.approx(2.0)
+
+    def test_average_current_before_window_is_stale(self):
+        gauge = BQ27441FuelGauge(LiPoBattery(), update_interval_s=10.0,
+                                 quiescent_w=0.0)
+        gauge.advance(1.0, charge_delta_c=1.0)
+        assert gauge.read().average_current_ma == 0.0
+
+    def test_quiescent_draw_discharges_battery(self):
+        battery = LiPoBattery(initial_soc=0.5)
+        before = battery.charge_c
+        gauge = BQ27441FuelGauge(battery, quiescent_w=1e-3)
+        gauge.advance(3600.0)
+        assert battery.charge_c < before
+
+    def test_negative_duration_rejected(self):
+        gauge = BQ27441FuelGauge(LiPoBattery())
+        with pytest.raises(PowerModelError):
+            gauge.advance(-1.0)
+
+    def test_construction_validation(self):
+        with pytest.raises(PowerModelError):
+            BQ27441FuelGauge(LiPoBattery(), update_interval_s=0.0)
+        with pytest.raises(PowerModelError):
+            BQ27441FuelGauge(LiPoBattery(), quiescent_w=-1.0)

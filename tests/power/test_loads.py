@@ -1,0 +1,119 @@
+"""Component load-model tests."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.power import (
+    BleRadioModel,
+    ComponentCatalog,
+    ECG_AFE_ACTIVE_W,
+    GSR_AFE_ACTIVE_W,
+    LoadComponent,
+    default_catalog,
+)
+
+
+class TestPaperFigures:
+    def test_ecg_afe_draw_matches_paper(self):
+        """Paper: ECG data acquisition consumes only 171 uW."""
+        assert ECG_AFE_ACTIVE_W == pytest.approx(171e-6)
+
+    def test_gsr_afe_draw_matches_paper(self):
+        """Paper: the GSR front end consumes 30 uW when active."""
+        assert GSR_AFE_ACTIVE_W == pytest.approx(30e-6)
+
+    def test_catalog_uses_paper_figures(self):
+        catalog = default_catalog()
+        assert catalog["max30001_ecg"].power_in("active") == ECG_AFE_ACTIVE_W
+        assert catalog["gsr_afe"].power_in("active") == GSR_AFE_ACTIVE_W
+
+
+class TestLoadComponent:
+    def test_state_switching(self):
+        component = LoadComponent.from_pairs("x", {"off": 0.0, "on": 1e-3})
+        assert component.power_w == 0.0
+        component.set_state("on")
+        assert component.power_w == 1e-3
+
+    def test_unknown_state_rejected(self):
+        component = LoadComponent.from_pairs("x", {"off": 0.0})
+        with pytest.raises(PowerModelError):
+            component.set_state("warp")
+        with pytest.raises(PowerModelError):
+            component.power_in("warp")
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(PowerModelError):
+            LoadComponent.from_pairs("x", {"bad": -1.0})
+
+    def test_empty_states_rejected(self):
+        with pytest.raises(PowerModelError):
+            LoadComponent(name="x", states={})
+
+
+class TestCatalog:
+    def test_default_catalog_has_all_fig1_components(self):
+        catalog = default_catalog()
+        for name in ("nrf52832", "mrwolf_soc", "mrwolf_cluster",
+                     "max30001_ecg", "gsr_afe", "icm20948_imu",
+                     "bmp280_pressure", "ics43434_mic", "bq27441_gauge"):
+            assert name in catalog
+
+    def test_duplicate_names_rejected(self):
+        catalog = ComponentCatalog()
+        catalog.add(LoadComponent.from_pairs("x", {"off": 0.0}))
+        with pytest.raises(PowerModelError):
+            catalog.add(LoadComponent.from_pairs("x", {"off": 0.0}))
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(PowerModelError):
+            _ = default_catalog()["flux_capacitor"]
+
+    def test_total_power_sums_states(self):
+        catalog = ComponentCatalog()
+        catalog.add(LoadComponent.from_pairs("a", {"on": 1e-3}, initial="on"))
+        catalog.add(LoadComponent.from_pairs("b", {"on": 2e-3}, initial="on"))
+        assert catalog.total_power_w() == pytest.approx(3e-3)
+
+    def test_default_catalog_sleeps_in_microwatts(self):
+        """Everything at defaults (lowest states) must total < 20 uW."""
+        assert default_catalog().total_power_w() < 20e-6
+
+    def test_processor_active_states_match_table4_calibration(self):
+        from repro.timing.processors import NORDIC_ARM_M4F, MRWOLF_RI5CY_CLUSTER8
+
+        catalog = default_catalog()
+        assert catalog["nrf52832"].power_in("active") == NORDIC_ARM_M4F.active_power_w
+        assert (catalog["mrwolf_cluster"].power_in("active_parallel")
+                == MRWOLF_RI5CY_CLUSTER8.active_power_w)
+
+
+class TestBleRadio:
+    def test_zero_payload_zero_energy(self):
+        assert BleRadioModel().transfer_energy_j(0.0) == 0.0
+
+    def test_energy_grows_with_payload(self):
+        radio = BleRadioModel()
+        assert radio.transfer_energy_j(10_000) > radio.transfer_energy_j(100)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(PowerModelError):
+            BleRadioModel().transfer_energy_j(-1)
+
+    def test_streaming_raw_ecg_costs_more_than_classifying(self):
+        """The architectural claim of Section II: streaming 3 s of raw
+        ECG+GSR over BLE costs far more than local classification."""
+        radio = BleRadioModel()
+        # 3 s of 256 sps x 3 B ECG plus 32 sps x 2 B GSR.
+        payload = 3 * (256 * 3 + 32 * 2)
+        streaming_j = radio.transfer_energy_j(payload)
+        local_classification_j = 1.2e-6  # Table IV best case
+        assert streaming_j > 50 * local_classification_j
+
+    def test_sending_a_label_is_cheap(self):
+        """Sending the 1-byte classification result costs ~one
+        connection event, far below streaming."""
+        radio = BleRadioModel()
+        label_j = radio.transfer_energy_j(1)
+        raw_j = radio.transfer_energy_j(3 * (256 * 3 + 32 * 2))
+        assert label_j < raw_j / 20

@@ -1,0 +1,45 @@
+"""LDO regulator model tests."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.power import LowDropoutRegulator
+
+
+class TestRegulation:
+    def test_in_regulation_above_dropout(self):
+        ldo = LowDropoutRegulator(output_voltage_v=1.8, dropout_v=0.2)
+        assert ldo.in_regulation(3.7)
+        assert ldo.in_regulation(2.0)
+        assert not ldo.in_regulation(1.9)
+
+    def test_input_power_exceeds_load_power(self):
+        ldo = LowDropoutRegulator()
+        assert ldo.input_power_w(1e-3, 3.8) > 1e-3
+
+    def test_efficiency_is_voltage_ratio_at_high_load(self):
+        ldo = LowDropoutRegulator(ground_current_a=0.0)
+        assert ldo.efficiency(10e-3, 3.6) == pytest.approx(1.8 / 3.6)
+
+    def test_ground_current_hurts_light_loads_most(self):
+        ldo = LowDropoutRegulator(ground_current_a=1e-6)
+        light = ldo.efficiency(1e-6, 3.8)
+        heavy = ldo.efficiency(10e-3, 3.8)
+        assert light < heavy
+
+    def test_zero_load_zero_efficiency(self):
+        assert LowDropoutRegulator().efficiency(0.0, 3.8) == 0.0
+
+    def test_dropout_raises(self):
+        with pytest.raises(PowerModelError):
+            LowDropoutRegulator().input_power_w(1e-3, 1.5)
+
+    def test_negative_load_rejected(self):
+        with pytest.raises(PowerModelError):
+            LowDropoutRegulator().input_power_w(-1e-3, 3.8)
+
+    def test_construction_validation(self):
+        with pytest.raises(PowerModelError):
+            LowDropoutRegulator(output_voltage_v=0.0)
+        with pytest.raises(PowerModelError):
+            LowDropoutRegulator(dropout_v=-0.1)

@@ -1,0 +1,97 @@
+"""Activation lookup-table tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import QuantizationError
+from repro.quant import ActivationTable, sigmoid_table, tanh_table
+from repro.quant.qformat import QFormat
+
+FMT = QFormat(32, 16)
+
+
+class TestConstruction:
+    def test_build_rejects_too_few_entries(self):
+        with pytest.raises(QuantizationError):
+            ActivationTable.build(np.tanh, FMT, -4, 4, num_entries=1)
+
+    def test_build_rejects_inverted_range(self):
+        with pytest.raises(QuantizationError):
+            ActivationTable.build(np.tanh, FMT, 4, -4)
+
+    def test_entry_count(self):
+        table = tanh_table(FMT, num_entries=128)
+        assert table.num_entries == 128
+
+
+class TestTanhTable:
+    def test_zero_maps_near_zero(self):
+        table = tanh_table(FMT)
+        out = FMT.from_fixed(table.lookup(FMT.to_fixed(0.0)))
+        assert out == pytest.approx(0.0, abs=0.02)
+
+    def test_saturation_tails(self):
+        table = tanh_table(FMT)
+        high = FMT.from_fixed(table.lookup(FMT.to_fixed(10.0)))
+        low = FMT.from_fixed(table.lookup(FMT.to_fixed(-10.0)))
+        assert high == pytest.approx(np.tanh(4.0), abs=1e-3)
+        assert low == pytest.approx(np.tanh(-4.0), abs=1e-3)
+
+    def test_max_abs_error_small(self):
+        table = tanh_table(FMT)
+        assert table.max_abs_error(np.tanh) < 0.01
+
+    def test_monotonic_nondecreasing(self):
+        table = tanh_table(FMT)
+        xs = FMT.to_fixed(np.linspace(-5, 5, 400))
+        ys = table.lookup(xs)
+        assert np.all(np.diff(ys) >= 0)
+
+    def test_odd_symmetry_approximate(self):
+        table = tanh_table(FMT)
+        xs = np.linspace(0.1, 3.9, 50)
+        pos = FMT.from_fixed(table.lookup(FMT.to_fixed(xs)))
+        neg = FMT.from_fixed(table.lookup(FMT.to_fixed(-xs)))
+        np.testing.assert_allclose(pos, -neg, atol=0.01)
+
+    @given(st.floats(min_value=-8.0, max_value=8.0, allow_nan=False))
+    def test_output_stays_in_tanh_range(self, x):
+        table = tanh_table(FMT)
+        out = FMT.from_fixed(table.lookup(FMT.to_fixed(x)))
+        assert -1.0 <= out <= 1.0
+
+    def test_scalar_and_array_agree(self):
+        table = tanh_table(FMT)
+        xs = FMT.to_fixed(np.array([-1.0, 0.3, 2.2]))
+        array_out = table.lookup(xs)
+        scalar_out = [table.lookup(int(x)) for x in xs]
+        np.testing.assert_array_equal(array_out, scalar_out)
+
+
+class TestSigmoidTable:
+    def test_midpoint(self):
+        table = sigmoid_table(FMT)
+        out = FMT.from_fixed(table.lookup(FMT.to_fixed(0.0)))
+        assert out == pytest.approx(0.5, abs=0.01)
+
+    def test_range(self):
+        table = sigmoid_table(FMT)
+        xs = FMT.to_fixed(np.linspace(-12, 12, 300))
+        ys = FMT.from_fixed(table.lookup(xs))
+        assert np.all(ys >= 0.0)
+        assert np.all(ys <= 1.0)
+
+    def test_max_abs_error_small(self):
+        def sigmoid(x):
+            return 1.0 / (1.0 + np.exp(-x))
+
+        table = sigmoid_table(FMT)
+        assert table.max_abs_error(sigmoid) < 0.01
+
+
+class TestFinerTablesAreBetter:
+    def test_error_shrinks_with_entries(self):
+        coarse = tanh_table(FMT, num_entries=32)
+        fine = tanh_table(FMT, num_entries=512)
+        assert fine.max_abs_error(np.tanh) < coarse.max_abs_error(np.tanh)

@@ -1,0 +1,145 @@
+"""Fixed-point format tests, including hypothesis properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import QuantizationError
+from repro.quant import Q7, Q15, QFormat, from_fixed, saturate, to_fixed
+
+
+class TestConstruction:
+    def test_q15_properties(self):
+        assert Q15.total_bits == 16
+        assert Q15.frac_bits == 15
+        assert Q15.scale == 32768
+        assert Q15.max_value == pytest.approx(0.99997, rel=1e-4)
+        assert Q15.min_value == -1.0
+
+    def test_str(self):
+        assert str(Q15) == "Q0.15"
+        assert str(QFormat(32, 20)) == "Q11.20"
+
+    def test_rejects_tiny_width(self):
+        with pytest.raises(QuantizationError):
+            QFormat(1, 0)
+
+    def test_rejects_bad_frac_bits(self):
+        with pytest.raises(QuantizationError):
+            QFormat(16, 16)
+        with pytest.raises(QuantizationError):
+            QFormat(16, -1)
+
+
+class TestConversions:
+    def test_scalar_round_trip_exact_values(self):
+        fmt = QFormat(32, 16)
+        for value in (0.0, 1.0, -1.0, 0.5, -128.25, 1000.0):
+            assert fmt.from_fixed(fmt.to_fixed(value)) == value
+
+    def test_rounding_to_nearest(self):
+        fmt = QFormat(16, 0)  # integers
+        assert fmt.to_fixed(2.4) == 2
+        assert fmt.to_fixed(2.6) == 3
+        assert fmt.to_fixed(-2.6) == -3
+
+    def test_ties_round_away_from_zero(self):
+        fmt = QFormat(16, 0)
+        assert fmt.to_fixed(2.5) == 3
+        assert fmt.to_fixed(-2.5) == -3
+
+    def test_saturating_clamps(self):
+        assert Q15.to_fixed(2.0) == Q15.max_int
+        assert Q15.to_fixed(-2.0) == Q15.min_int
+
+    def test_non_saturating_raises(self):
+        with pytest.raises(QuantizationError):
+            Q15.to_fixed(2.0, saturating=False)
+
+    def test_array_conversion_preserves_shape(self):
+        fmt = QFormat(32, 12)
+        values = np.array([[0.5, -0.25], [1.75, 0.0]])
+        raw = fmt.to_fixed(values)
+        assert raw.shape == values.shape
+        np.testing.assert_allclose(fmt.from_fixed(raw), values)
+
+    def test_module_level_helpers(self):
+        assert from_fixed(to_fixed(0.5, Q15), Q15) == 0.5
+
+    @given(st.floats(min_value=-0.999, max_value=0.999, allow_nan=False))
+    def test_q15_error_bounded_by_half_lsb(self, value):
+        raw = Q15.to_fixed(value)
+        assert abs(Q15.from_fixed(raw) - value) <= 0.5 / Q15.scale + 1e-12
+
+    @given(st.floats(min_value=-100.0, max_value=100.0, allow_nan=False))
+    def test_quantize_idempotent(self, value):
+        fmt = QFormat(32, 16)
+        once = fmt.quantize(value)
+        assert fmt.quantize(once) == once
+
+
+class TestSaturate:
+    def test_scalar(self):
+        assert saturate(300, 8) == 127
+        assert saturate(-300, 8) == -128
+        assert saturate(5, 8) == 5
+
+    def test_array(self):
+        out = saturate(np.array([300, -300, 5]), 8)
+        np.testing.assert_array_equal(out, [127, -128, 5])
+
+    @given(st.integers(min_value=-(2 ** 40), max_value=2 ** 40),
+           st.integers(min_value=2, max_value=32))
+    def test_always_in_range(self, value, bits):
+        out = saturate(value, bits)
+        assert -(1 << (bits - 1)) <= out <= (1 << (bits - 1)) - 1
+
+    @given(st.integers(min_value=-(2 ** 14), max_value=2 ** 14 - 1))
+    def test_identity_inside_range(self, value):
+        assert saturate(value, 16) == value
+
+
+class TestArithmetic:
+    def test_mult_matches_real_product(self):
+        fmt = QFormat(32, 16)
+        a, b = 1.5, -2.25
+        raw = fmt.mult(fmt.to_fixed(a), fmt.to_fixed(b))
+        assert fmt.from_fixed(raw) == pytest.approx(a * b, abs=fmt.resolution)
+
+    def test_add_saturates(self):
+        fmt = QFormat(8, 0)
+        assert fmt.add(100, 100) == 127
+
+    def test_dot_matches_float_dot(self):
+        fmt = QFormat(32, 16)
+        rng = np.random.default_rng(1)
+        w = rng.uniform(-2, 2, size=50)
+        x = rng.uniform(-1, 1, size=50)
+        raw = fmt.dot(fmt.to_fixed(w), fmt.to_fixed(x))
+        expected = float(np.dot(w, x))
+        assert fmt.from_fixed(raw) == pytest.approx(expected, abs=50 * fmt.resolution)
+
+    def test_dot_shape_mismatch_raises(self):
+        fmt = QFormat(32, 16)
+        with pytest.raises(QuantizationError):
+            fmt.dot(np.zeros(3, dtype=np.int64), np.zeros(4, dtype=np.int64))
+
+    @given(st.lists(st.floats(min_value=-1.0, max_value=1.0, allow_nan=False),
+                    min_size=1, max_size=32))
+    def test_dot_error_bound(self, values):
+        fmt = QFormat(32, 20)
+        w = np.array(values)
+        x = np.ones_like(w)
+        raw = fmt.dot(fmt.to_fixed(w), fmt.to_fixed(x))
+        expected = float(np.sum(w))
+        # Each term contributes at most one LSB of quantisation error,
+        # plus one LSB for the final shift.
+        bound = (len(values) + 1) * fmt.resolution
+        assert abs(fmt.from_fixed(raw) - expected) <= bound
+
+    def test_mult_array_form(self):
+        fmt = QFormat(32, 10)
+        a = fmt.to_fixed(np.array([0.5, -0.5]))
+        b = fmt.to_fixed(np.array([2.0, 2.0]))
+        out = fmt.from_fixed(fmt.mult(a, b))
+        np.testing.assert_allclose(out, [1.0, -1.0], atol=2 * fmt.resolution)

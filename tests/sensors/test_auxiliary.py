@@ -1,0 +1,93 @@
+"""Auxiliary sensor model tests (IMU, pressure, microphone)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sensors import ImuModel, MicrophoneModel, PressureSensorModel
+
+
+class TestImu:
+    def test_unknown_activity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ImuModel(activity="swim")
+
+    def test_sample_count(self):
+        samples = ImuModel("rest", seed=0).generate(2.0, sampling_rate_hz=50.0)
+        assert len(samples) == 100
+
+    def test_rest_measures_gravity(self):
+        samples = ImuModel("rest", seed=1).generate(5.0)
+        magnitudes = [s.accel_magnitude for s in samples]
+        assert np.mean(magnitudes) == pytest.approx(9.81, abs=0.2)
+
+    def test_motion_intensity_orders_activities(self):
+        intensities = {}
+        for activity in ("rest", "walk", "cycle"):
+            samples = ImuModel(activity, seed=2).generate(5.0)
+            intensities[activity] = ImuModel.motion_intensity(samples)
+        assert intensities["rest"] < intensities["walk"] < intensities["cycle"]
+
+    def test_stillness_gate(self):
+        rest = ImuModel("rest", seed=3).generate(3.0)
+        cycling = ImuModel("cycle", seed=3).generate(3.0)
+        assert ImuModel.is_still(rest)
+        assert not ImuModel.is_still(cycling)
+
+    def test_deterministic_with_seed(self):
+        a = ImuModel("walk", seed=7).generate(1.0)
+        b = ImuModel("walk", seed=7).generate(1.0)
+        assert a[0].accel_ms2 == b[0].accel_ms2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ImuModel("rest").generate(0.0)
+        with pytest.raises(ConfigurationError):
+            ImuModel.motion_intensity([])
+
+
+class TestPressure:
+    def test_sea_level_pressure(self):
+        sensor = PressureSensorModel(noise_hpa=0.0)
+        assert sensor.pressure_at_altitude(0.0) == pytest.approx(1013.25)
+
+    def test_pressure_drops_with_altitude(self):
+        sensor = PressureSensorModel(noise_hpa=0.0)
+        assert sensor.pressure_at_altitude(500.0) < sensor.pressure_at_altitude(0.0)
+
+    def test_altitude_round_trip(self):
+        sensor = PressureSensorModel(noise_hpa=0.0)
+        for altitude in (0.0, 150.0, 1200.0):
+            pressure = sensor.pressure_at_altitude(altitude)
+            assert sensor.altitude_from_pressure(pressure) == pytest.approx(
+                altitude, abs=0.5)
+
+    def test_known_value_5500m_half_pressure(self):
+        sensor = PressureSensorModel(noise_hpa=0.0)
+        ratio = sensor.pressure_at_altitude(5500.0) / 1013.25
+        assert ratio == pytest.approx(0.5, abs=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            PressureSensorModel(sea_level_hpa=0.0)
+        with pytest.raises(ConfigurationError):
+            PressureSensorModel().altitude_from_pressure(0.0)
+
+
+class TestMicrophone:
+    def test_samples_near_ambient(self):
+        mic = MicrophoneModel(ambient_db_spl=50.0, variability_db=2.0, seed=0)
+        samples = mic.sample_spl(500)
+        assert np.mean(samples) == pytest.approx(50.0, abs=0.5)
+
+    def test_noisy_environment_detection(self):
+        quiet = MicrophoneModel(ambient_db_spl=40.0, seed=1)
+        loud = MicrophoneModel(ambient_db_spl=85.0, seed=1)
+        assert not quiet.is_noisy_environment()
+        assert loud.is_noisy_environment()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MicrophoneModel(ambient_db_spl=200.0)
+        with pytest.raises(ConfigurationError):
+            MicrophoneModel().sample_spl(0)

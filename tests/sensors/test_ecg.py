@@ -1,0 +1,116 @@
+"""Synthetic ECG generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sensors import (
+    HRVParameters,
+    RRIntervalGenerator,
+    hrv_parameters_for_stress,
+    synthesize_ecg_waveform,
+)
+from repro.features.hrv import nn50, rmssd
+
+
+class TestHRVParameters:
+    def test_stress_levels_defined(self):
+        for level in (0, 1, 2):
+            assert hrv_parameters_for_stress(level).mean_rr_s > 0
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            hrv_parameters_for_stress(3)
+
+    def test_stress_raises_heart_rate(self):
+        rr = [hrv_parameters_for_stress(level).mean_rr_s for level in (0, 1, 2)]
+        assert rr[0] > rr[1] > rr[2]
+
+    def test_stress_suppresses_fast_variability(self):
+        sd = [hrv_parameters_for_stress(level).fast_sd_s for level in (0, 1, 2)]
+        assert sd[0] > sd[1] > sd[2]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            HRVParameters(mean_rr_s=0.05, fast_sd_s=0.01, slow_sd_s=0.01)
+        with pytest.raises(ConfigurationError):
+            HRVParameters(mean_rr_s=0.8, fast_sd_s=-0.01, slow_sd_s=0.01)
+        with pytest.raises(ConfigurationError):
+            HRVParameters(mean_rr_s=0.8, fast_sd_s=0.01, slow_sd_s=0.01,
+                          slow_pole=1.0)
+
+
+class TestRRIntervalGenerator:
+    def test_deterministic_given_seed(self):
+        params = hrv_parameters_for_stress(0)
+        a = RRIntervalGenerator(params, seed=42).generate(100)
+        b = RRIntervalGenerator(params, seed=42).generate(100)
+        np.testing.assert_array_equal(a, b)
+
+    def test_mean_rr_close_to_parameter(self):
+        params = hrv_parameters_for_stress(1)
+        rr = RRIntervalGenerator(params, seed=0).generate(2000)
+        assert np.mean(rr) == pytest.approx(params.mean_rr_s, rel=0.05)
+
+    def test_all_intervals_positive(self):
+        rr = RRIntervalGenerator(hrv_parameters_for_stress(2), seed=1).generate(500)
+        assert np.all(rr > 0.2)
+
+    def test_duration_generation_covers_request(self):
+        gen = RRIntervalGenerator(hrv_parameters_for_stress(0), seed=2)
+        rr = gen.generate_for_duration(60.0)
+        assert np.sum(rr) >= 60.0
+
+    def test_rest_has_higher_rmssd_than_stress(self):
+        """The central premise of the paper's ECG features."""
+        rest = RRIntervalGenerator(hrv_parameters_for_stress(0), seed=3).generate(600)
+        stress = RRIntervalGenerator(hrv_parameters_for_stress(2), seed=3).generate(600)
+        assert rmssd(rest) > 2.0 * rmssd(stress)
+
+    def test_rest_has_more_nn50_than_stress(self):
+        rest = RRIntervalGenerator(hrv_parameters_for_stress(0), seed=4).generate(600)
+        stress = RRIntervalGenerator(hrv_parameters_for_stress(2), seed=4).generate(600)
+        assert nn50(rest) > nn50(stress)
+
+    def test_invalid_counts_rejected(self):
+        gen = RRIntervalGenerator(hrv_parameters_for_stress(0))
+        with pytest.raises(ConfigurationError):
+            gen.generate(0)
+        with pytest.raises(ConfigurationError):
+            gen.generate_for_duration(0.0)
+
+
+class TestWaveformSynthesis:
+    def test_sample_count_matches_duration(self):
+        rr = np.full(10, 0.8)
+        wave = synthesize_ecg_waveform(rr, sampling_rate_hz=256.0)
+        assert wave.size == int(np.floor(8.0 * 256.0))
+
+    def test_r_peaks_dominate_amplitude(self):
+        rr = np.full(12, 0.8)
+        wave = synthesize_ecg_waveform(rr, noise_mv=0.0, baseline_wander_mv=0.0)
+        # The R bump is ~1.1 mV; nothing else comes close.
+        assert np.max(wave) == pytest.approx(1.1, abs=0.1)
+
+    def test_beat_count_recoverable(self):
+        """The number of prominent maxima equals the number of beats."""
+        rr = np.full(16, 0.75)
+        wave = synthesize_ecg_waveform(rr, noise_mv=0.0, baseline_wander_mv=0.0)
+        above = wave > 0.6
+        # Count rising crossings of the 0.6 mV threshold.
+        crossings = int(np.sum(~above[:-1] & above[1:]))
+        assert crossings == 16
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            synthesize_ecg_waveform(np.array([]))
+        with pytest.raises(ConfigurationError):
+            synthesize_ecg_waveform(np.array([0.8, -0.1]))
+        with pytest.raises(ConfigurationError):
+            synthesize_ecg_waveform(np.array([0.8]), sampling_rate_hz=0.0)
+
+    def test_noise_reproducible_with_seed(self):
+        rr = np.full(4, 0.8)
+        a = synthesize_ecg_waveform(rr, seed=7)
+        b = synthesize_ecg_waveform(rr, seed=7)
+        np.testing.assert_array_equal(a, b)

@@ -1,0 +1,81 @@
+"""Synthetic GSR generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sensors import GSRGenerator, GSRParameters, gsr_parameters_for_stress
+
+
+class TestParameters:
+    def test_stress_levels_defined(self):
+        for level in (0, 1, 2):
+            assert gsr_parameters_for_stress(level).tonic_level_us > 0
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ConfigurationError):
+            gsr_parameters_for_stress(-1)
+
+    def test_stress_raises_scr_rate_and_amplitude(self):
+        rates = [gsr_parameters_for_stress(l).scr_rate_per_min for l in (0, 1, 2)]
+        amps = [gsr_parameters_for_stress(l).scr_amplitude_us for l in (0, 1, 2)]
+        assert rates[0] < rates[1] < rates[2]
+        assert amps[0] < amps[1] < amps[2]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            GSRParameters(tonic_level_us=0.0, tonic_drift_us_per_min=0.0,
+                          scr_rate_per_min=1.0, scr_amplitude_us=0.1,
+                          scr_amplitude_sd_us=0.0)
+        with pytest.raises(ConfigurationError):
+            GSRParameters(tonic_level_us=2.0, tonic_drift_us_per_min=0.0,
+                          scr_rate_per_min=-1.0, scr_amplitude_us=0.1,
+                          scr_amplitude_sd_us=0.0)
+        with pytest.raises(ConfigurationError):
+            GSRParameters(tonic_level_us=2.0, tonic_drift_us_per_min=0.0,
+                          scr_rate_per_min=1.0, scr_amplitude_us=0.1,
+                          scr_amplitude_sd_us=0.0, rise_time_s=0.0)
+
+
+class TestGeneration:
+    def test_deterministic_given_seed(self):
+        params = gsr_parameters_for_stress(1)
+        a = GSRGenerator(params, seed=5).generate(60.0)
+        b = GSRGenerator(params, seed=5).generate(60.0)
+        np.testing.assert_array_equal(a, b)
+
+    def test_sample_count(self):
+        trace = GSRGenerator(gsr_parameters_for_stress(0), seed=0).generate(
+            30.0, sampling_rate_hz=32.0)
+        assert trace.size == 30 * 32
+
+    def test_trace_near_tonic_level(self):
+        params = gsr_parameters_for_stress(0)
+        trace = GSRGenerator(params, seed=1).generate(120.0)
+        assert np.median(trace) == pytest.approx(params.tonic_level_us, rel=0.25)
+
+    def test_conductance_always_positive(self):
+        trace = GSRGenerator(gsr_parameters_for_stress(2), seed=2).generate(120.0)
+        assert np.all(trace > 0.0)
+
+    def test_stress_trace_has_more_variance(self):
+        calm = GSRGenerator(gsr_parameters_for_stress(0), seed=3).generate(300.0)
+        stressed = GSRGenerator(gsr_parameters_for_stress(2), seed=3).generate(300.0)
+        assert np.std(stressed) > np.std(calm)
+
+    def test_validation(self):
+        gen = GSRGenerator(gsr_parameters_for_stress(0))
+        with pytest.raises(ConfigurationError):
+            gen.generate(0.0)
+        with pytest.raises(ConfigurationError):
+            gen.generate(10.0, sampling_rate_hz=0.0)
+
+    def test_scr_shape_rises_then_decays(self):
+        gen = GSRGenerator(gsr_parameters_for_stress(1), seed=0)
+        t = np.linspace(0.0, 20.0, 400)
+        shape = gen._scr_shape(t)
+        peak_idx = int(np.argmax(shape))
+        assert 0 < peak_idx < shape.size - 1
+        assert shape[0] == pytest.approx(0.0, abs=1e-9)
+        assert shape[-1] < 0.1  # mostly recovered after 20 s
+        assert np.max(shape) == pytest.approx(1.0)

@@ -1,0 +1,91 @@
+"""Drivedb-substitute dataset generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.features.hrv import rmssd
+from repro.sensors import StressDatasetGenerator, StressLevel
+
+
+class TestProtocolStructure:
+    def test_default_protocol_is_rest_city_highway_city_rest(self):
+        gen = StressDatasetGenerator(segment_duration_s=60.0)
+        recording = gen.generate_recording(0)
+        levels = [seg.level for seg in recording.segments]
+        assert levels == [StressLevel.NONE, StressLevel.MEDIUM, StressLevel.HIGH,
+                          StressLevel.MEDIUM, StressLevel.NONE]
+
+    def test_custom_protocol(self):
+        gen = StressDatasetGenerator(segment_duration_s=60.0,
+                                     protocol=(StressLevel.HIGH,))
+        recording = gen.generate_recording(0)
+        assert len(recording.segments) == 1
+        assert recording.segments[0].level is StressLevel.HIGH
+
+    def test_segments_with_level_filter(self):
+        gen = StressDatasetGenerator(segment_duration_s=60.0)
+        recording = gen.generate_recording(0)
+        assert len(recording.segments_with_level(StressLevel.NONE)) == 2
+        assert len(recording.segments_with_level(StressLevel.HIGH)) == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            StressDatasetGenerator(segment_duration_s=10.0)
+        with pytest.raises(ConfigurationError):
+            StressDatasetGenerator(segment_duration_s=60.0, protocol=())
+        with pytest.raises(ConfigurationError):
+            StressDatasetGenerator(segment_duration_s=60.0).generate_dataset(0)
+
+
+class TestDeterminism:
+    def test_same_subject_same_data(self):
+        gen = StressDatasetGenerator(segment_duration_s=60.0, seed=11)
+        a = gen.generate_recording(3)
+        b = gen.generate_recording(3)
+        np.testing.assert_array_equal(a.segments[0].rr_intervals_s,
+                                      b.segments[0].rr_intervals_s)
+        np.testing.assert_array_equal(a.segments[0].gsr_trace_us,
+                                      b.segments[0].gsr_trace_us)
+
+    def test_different_subjects_differ(self):
+        gen = StressDatasetGenerator(segment_duration_s=60.0, seed=11)
+        a = gen.generate_recording(0)
+        b = gen.generate_recording(1)
+        assert a.segments[0].rr_intervals_s.shape != b.segments[0].rr_intervals_s.shape \
+            or not np.allclose(
+                a.segments[0].rr_intervals_s[:10], b.segments[0].rr_intervals_s[:10])
+
+    def test_different_seeds_differ(self):
+        a = StressDatasetGenerator(segment_duration_s=60.0, seed=1).generate_recording(0)
+        b = StressDatasetGenerator(segment_duration_s=60.0, seed=2).generate_recording(0)
+        assert not np.array_equal(a.segments[0].gsr_trace_us[:50],
+                                  b.segments[0].gsr_trace_us[:50])
+
+
+class TestSignalContent:
+    def test_segment_durations_covered(self):
+        gen = StressDatasetGenerator(segment_duration_s=90.0)
+        recording = gen.generate_recording(0)
+        for seg in recording.segments:
+            assert np.sum(seg.rr_intervals_s) >= 90.0
+            assert seg.gsr_trace_us.size == int(90.0 * seg.gsr_sampling_rate_hz)
+
+    def test_class_separation_in_features(self):
+        """Across subjects, rest RMSSD must exceed high-stress RMSSD —
+        the separation the classifier learns."""
+        gen = StressDatasetGenerator(segment_duration_s=120.0, seed=5)
+        rest_values, stress_values = [], []
+        for subject in range(6):
+            recording = gen.generate_recording(subject)
+            for seg in recording.segments_with_level(StressLevel.NONE):
+                rest_values.append(rmssd(seg.rr_intervals_s))
+            for seg in recording.segments_with_level(StressLevel.HIGH):
+                stress_values.append(rmssd(seg.rr_intervals_s))
+        assert np.mean(rest_values) > 1.5 * np.mean(stress_values)
+
+    def test_dataset_size(self):
+        gen = StressDatasetGenerator(segment_duration_s=60.0)
+        dataset = gen.generate_dataset(4)
+        assert len(dataset) == 4
+        assert [r.subject_id for r in dataset] == [0, 1, 2, 3]

@@ -1,0 +1,66 @@
+"""CLI tests (``python -m repro``)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCommands:
+    def test_table3_prints_anchor(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "30,210" in out
+        assert "902,763" in out
+
+    def test_table4_prints_energies(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "5.1" in out
+        assert "21.6" in out
+
+    def test_table1_prints_intakes(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "24.711" in out
+
+    def test_table2_prints_intakes(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "155.4" in out
+
+    def test_detection_budget(self, capsys):
+        assert main(["detection"]) == 0
+        out = capsys.readouterr().out
+        assert "602.2" in out
+
+    def test_sustainability(self, capsys):
+        assert main(["sustainability"]) == 0
+        out = capsys.readouterr().out
+        assert "24/minute" in out
+
+    def test_modes(self, capsys):
+        assert main(["modes"]) == 0
+        out = capsys.readouterr().out
+        assert "raw_streaming" in out
+
+    def test_all_runs_everything(self, capsys):
+        assert main(["all"]) == 0
+        out = capsys.readouterr().out
+        for marker in ("Table I", "Table II", "Table III", "Table IV",
+                       "Self-sustainability", "Operating modes"):
+            assert marker in out
+
+    def test_unknown_artifact_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+
+def test_module_invocation():
+    """``python -m repro table3`` works from a subprocess."""
+    result = subprocess.run([sys.executable, "-m", "repro", "table3"],
+                            capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0
+    assert "30,210" in result.stdout

@@ -1,0 +1,85 @@
+"""Unit-conversion helper tests."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import units
+
+
+class TestScaleConversions:
+    def test_mw_round_trip(self):
+        assert units.w_to_mw(units.mw_to_w(24.711)) == pytest.approx(24.711)
+
+    def test_uw_round_trip(self):
+        assert units.w_to_uw(units.uw_to_w(155.4)) == pytest.approx(155.4)
+
+    def test_uj_round_trip(self):
+        assert units.j_to_uj(units.uj_to_j(602.2)) == pytest.approx(602.2)
+
+    def test_known_values(self):
+        assert units.mw_to_w(1000.0) == pytest.approx(1.0)
+        assert units.uw_to_w(1e6) == pytest.approx(1.0)
+        assert units.uj_to_j(1e6) == pytest.approx(1.0)
+
+    @given(st.floats(min_value=1e-9, max_value=1e9, allow_nan=False))
+    def test_mah_coulomb_round_trip(self, mah):
+        assert units.coulombs_to_mah(units.mah_to_coulombs(mah)) == pytest.approx(mah)
+
+    def test_battery_capacity_coulombs(self):
+        # The paper's 120 mAh cell holds 432 coulombs.
+        assert units.mah_to_coulombs(120.0) == pytest.approx(432.0)
+
+
+class TestWindAndTemperature:
+    def test_42_kmh_in_ms(self):
+        # Table II's wind condition.
+        assert units.kmh_to_ms(42.0) == pytest.approx(11.6667, rel=1e-4)
+
+    @given(st.floats(min_value=0.0, max_value=500.0, allow_nan=False))
+    def test_wind_round_trip(self, kmh):
+        assert units.ms_to_kmh(units.kmh_to_ms(kmh)) == pytest.approx(kmh, abs=1e-9)
+
+    def test_celsius_to_kelvin(self):
+        assert units.celsius_to_kelvin(0.0) == pytest.approx(273.15)
+        assert units.celsius_to_kelvin(25.0) == pytest.approx(298.15)
+
+    def test_thermal_voltage_room_temperature(self):
+        # kT/q at 25 C is the classic 25.7 mV.
+        assert units.thermal_voltage(25.0) == pytest.approx(0.02569, rel=1e-3)
+
+
+class TestTimingHelpers:
+    def test_cycles_to_seconds(self):
+        # Network A on the ARM: 30210 cycles at 64 MHz is ~472 us.
+        assert units.cycles_to_seconds(30210, units.mhz_to_hz(64)) == pytest.approx(
+            472.03e-6, rel=1e-4)
+
+    def test_energy_joules(self):
+        assert units.energy_joules(10.9e-3, 472.03e-6) == pytest.approx(
+            5.145e-6, rel=1e-3)
+
+    def test_day_constants(self):
+        assert units.SECONDS_PER_DAY == 86400
+        assert units.SECONDS_PER_HOUR == 3600
+        assert units.SECONDS_PER_MINUTE == 60
+
+
+class TestPhotometry:
+    def test_sunlight_conversion(self):
+        # 30 klx of sun is 250 W/m^2 at the default efficacy.
+        assert units.lux_to_irradiance(30_000.0) == pytest.approx(250.0)
+
+    def test_indoor_conversion_uses_supplied_efficacy(self):
+        indoor = units.lux_to_irradiance(700.0, units.LUX_PER_WM2_INDOOR)
+        assert indoor == pytest.approx(700.0 / 110.0)
+
+    def test_zero_lux_is_zero_irradiance(self):
+        assert units.lux_to_irradiance(0.0) == 0.0
+
+
+class TestConstants:
+    def test_boltzmann_and_charge_are_si_2019_exact(self):
+        assert math.isclose(units.BOLTZMANN_J_PER_K, 1.380649e-23)
+        assert math.isclose(units.ELECTRON_CHARGE_C, 1.602176634e-19)

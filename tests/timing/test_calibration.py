@@ -1,0 +1,78 @@
+"""The calibrated cycle model must round-trip every published anchor."""
+
+import pytest
+
+from repro.timing.calibration import (
+    ARM_FLOAT_NETWORK_A_CYCLES,
+    CALIBRATED,
+    TABLE3_ANCHORS,
+    calibrate,
+)
+
+
+class TestAnchors:
+    def test_table3_anchor_values(self):
+        """The anchors are the paper's Table III, verbatim."""
+        assert TABLE3_ANCHORS["arm_m4f"] == (30210, 902763)
+        assert TABLE3_ANCHORS["ibex"] == (40661, 955588)
+        assert TABLE3_ANCHORS["ri5cy_single"] == (22772, 519354)
+        assert TABLE3_ANCHORS["ri5cy_multi"] == (6126, 108316)
+
+    def test_arm_float_anchor(self):
+        assert ARM_FLOAT_NETWORK_A_CYCLES == 38478
+
+
+class TestCalibratedConstants:
+    def test_all_processors_calibrated(self):
+        assert set(CALIBRATED) == set(TABLE3_ANCHORS)
+
+    def test_calibration_is_deterministic(self):
+        again = calibrate()
+        for key, constants in CALIBRATED.items():
+            assert constants == again[key]
+
+    def test_all_constants_positive(self):
+        for key, c in CALIBRATED.items():
+            assert c.c_weight_fast > 0, key
+            assert c.c_weight_slow > 0, key
+            assert c.c_neuron > 0, key
+            assert c.c_layer > 0, key
+            assert c.c_setup > 0, key
+
+    def test_arm_flash_penalty_positive(self):
+        """Network B in flash must cost more per weight than RAM."""
+        arm = CALIBRATED["arm_m4f"]
+        penalty = arm.c_weight_slow - arm.c_weight_fast
+        assert 1.0 < penalty < 3.0  # ~2 cycles of effective wait states
+
+    def test_cluster_l2_contention_positive(self):
+        """Eight cores pulling L2 must cost more per weight than L1."""
+        multi = CALIBRATED["ri5cy_multi"]
+        assert multi.c_weight_slow > multi.c_weight_fast
+        assert multi.c_weight_slow - multi.c_weight_fast == pytest.approx(2.65, abs=0.3)
+
+    def test_single_core_sees_no_l2_penalty(self):
+        """One core's L2 demand hides behind compute (fit confirms)."""
+        single = CALIBRATED["ri5cy_single"]
+        assert single.c_weight_slow == pytest.approx(single.c_weight_fast, rel=0.01)
+
+    def test_float_constants_only_on_arm(self):
+        assert CALIBRATED["arm_m4f"].c_weight_float is not None
+        assert CALIBRATED["ibex"].c_weight_float is None
+        assert CALIBRATED["ri5cy_single"].c_weight_float is None
+        assert CALIBRATED["ri5cy_multi"].c_weight_float is None
+
+    def test_float_mac_costlier_than_fixed_on_arm(self):
+        arm = CALIBRATED["arm_m4f"]
+        assert arm.c_weight_float > arm.c_weight_fast
+
+    def test_risc_v_dsp_core_beats_plain_rv32im(self):
+        """RI5CY's DSP extensions must show as a lower per-MAC cost."""
+        assert (CALIBRATED["ri5cy_single"].c_weight_fast
+                < CALIBRATED["ibex"].c_weight_fast)
+
+    def test_per_mac_costs_in_plausible_ranges(self):
+        assert 7.0 < CALIBRATED["arm_m4f"].c_weight_fast < 10.0
+        assert 9.0 < CALIBRATED["ibex"].c_weight_fast < 12.0
+        assert 4.5 < CALIBRATED["ri5cy_single"].c_weight_fast < 6.5
+        assert 4.5 < CALIBRATED["ri5cy_multi"].c_weight_fast < 6.5

@@ -1,0 +1,144 @@
+"""Cycle-model tests: Table III reproduction and model behaviour."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fann import Activation, LayerSpec, MultiLayerPerceptron
+from repro.fann import build_network_a, build_network_b
+from repro.timing import (
+    ALL_PROCESSORS,
+    MRWOLF_IBEX,
+    MRWOLF_RI5CY_CLUSTER8,
+    MRWOLF_RI5CY_SINGLE,
+    NORDIC_ARM_M4F,
+    NumericMode,
+    WeightResidency,
+    cycles_for_network,
+    mrwolf_cluster,
+    weight_residency,
+)
+from repro.timing.calibration import TABLE3_ANCHORS
+from repro.timing.cyclemodel import parallel_speedup
+
+
+class TestTable3Reproduction:
+    """Every Table III number must be reproduced exactly."""
+
+    @pytest.mark.parametrize("processor", ALL_PROCESSORS,
+                             ids=lambda p: p.key)
+    def test_network_a(self, processor):
+        cycles = cycles_for_network(build_network_a(), processor).total_cycles
+        assert cycles == TABLE3_ANCHORS[processor.key][0]
+
+    @pytest.mark.parametrize("processor", ALL_PROCESSORS,
+                             ids=lambda p: p.key)
+    def test_network_b(self, processor):
+        cycles = cycles_for_network(build_network_b(), processor).total_cycles
+        assert cycles == TABLE3_ANCHORS[processor.key][1]
+
+    def test_arm_float_in_text_anchor(self):
+        cycles = cycles_for_network(build_network_a(), NORDIC_ARM_M4F,
+                                    NumericMode.FLOAT).total_cycles
+        assert cycles == 38478
+
+
+class TestInTextSpeedups:
+    """Section IV quotes these ratios against the ARM Cortex-M4."""
+
+    def test_single_ri5cy_speedup_network_a(self):
+        arm = cycles_for_network(build_network_a(), NORDIC_ARM_M4F).total_cycles
+        single = cycles_for_network(build_network_a(), MRWOLF_RI5CY_SINGLE).total_cycles
+        assert arm / single == pytest.approx(1.3, abs=0.05)
+
+    def test_single_ri5cy_speedup_network_b(self):
+        arm = cycles_for_network(build_network_b(), NORDIC_ARM_M4F).total_cycles
+        single = cycles_for_network(build_network_b(), MRWOLF_RI5CY_SINGLE).total_cycles
+        assert arm / single == pytest.approx(1.7, abs=0.05)
+
+    def test_multi_ri5cy_speedup_network_a(self):
+        arm = cycles_for_network(build_network_a(), NORDIC_ARM_M4F).total_cycles
+        multi = cycles_for_network(build_network_a(), MRWOLF_RI5CY_CLUSTER8).total_cycles
+        assert arm / multi == pytest.approx(4.9, abs=0.05)
+
+    def test_multi_ri5cy_speedup_network_b(self):
+        arm = cycles_for_network(build_network_b(), NORDIC_ARM_M4F).total_cycles
+        multi = cycles_for_network(build_network_b(), MRWOLF_RI5CY_CLUSTER8).total_cycles
+        assert arm / multi == pytest.approx(8.3, abs=0.05)
+
+    def test_fixed_point_beats_float_by_1_3x(self):
+        fixed = cycles_for_network(build_network_a(), NORDIC_ARM_M4F).total_cycles
+        floating = cycles_for_network(build_network_a(), NORDIC_ARM_M4F,
+                                      NumericMode.FLOAT).total_cycles
+        assert floating / fixed == pytest.approx(1.3, abs=0.05)
+
+
+class TestResidency:
+    def test_network_a_fits_everywhere(self):
+        for processor in ALL_PROCESSORS:
+            assert weight_residency(build_network_a(), processor) \
+                is WeightResidency.FAST
+
+    def test_network_b_spills_on_64kb_memories(self):
+        assert weight_residency(build_network_b(), NORDIC_ARM_M4F) \
+            is WeightResidency.SLOW
+        assert weight_residency(build_network_b(), MRWOLF_RI5CY_CLUSTER8) \
+            is WeightResidency.SLOW
+
+    def test_network_b_fits_ibex_l2(self):
+        assert weight_residency(build_network_b(), MRWOLF_IBEX) \
+            is WeightResidency.FAST
+
+    def test_breakdown_reports_residency(self):
+        breakdown = cycles_for_network(build_network_b(), NORDIC_ARM_M4F)
+        assert breakdown.residency is WeightResidency.SLOW
+
+
+class TestModelBehaviour:
+    def test_per_layer_breakdown_sums_to_total(self):
+        breakdown = cycles_for_network(build_network_a(), MRWOLF_RI5CY_CLUSTER8)
+        recomputed = breakdown.setup_cycles + sum(l.cycles for l in breakdown.layers)
+        assert breakdown.total_cycles == int(round(recomputed))
+
+    def test_layer_count_matches_network(self):
+        breakdown = cycles_for_network(build_network_b(), MRWOLF_IBEX)
+        assert len(breakdown.layers) == 25
+
+    def test_rows_per_core_ceil_division(self):
+        breakdown = cycles_for_network(build_network_a(), MRWOLF_RI5CY_CLUSTER8)
+        # 50 neurons over 8 cores -> 7 rows on the busiest core.
+        assert breakdown.layers[0].rows_per_core == 7
+        assert breakdown.layers[-1].rows_per_core == 1
+
+    def test_more_cores_never_slower(self):
+        net = build_network_a()
+        previous = cycles_for_network(net, MRWOLF_RI5CY_SINGLE).total_cycles
+        for cores in range(2, 9):
+            current = cycles_for_network(net, mrwolf_cluster(cores)).total_cycles
+            assert current <= previous
+            previous = current
+
+    def test_parallel_speedup_helper(self):
+        assert parallel_speedup(build_network_a(), 8) == pytest.approx(
+            22772 / 6126, rel=1e-6)
+        assert parallel_speedup(build_network_a(), 1) == pytest.approx(1.0)
+
+    def test_parallel_speedup_validates_core_count(self):
+        with pytest.raises(ConfigurationError):
+            parallel_speedup(build_network_a(), 9)
+
+    def test_float_on_fpu_less_processor_raises(self):
+        with pytest.raises(ConfigurationError):
+            cycles_for_network(build_network_a(), MRWOLF_IBEX, NumericMode.FLOAT)
+
+    def test_bigger_network_costs_more(self):
+        small = MultiLayerPerceptron(5, [LayerSpec(10, Activation.TANH),
+                                         LayerSpec(3, Activation.TANH)])
+        large = MultiLayerPerceptron(5, [LayerSpec(40, Activation.TANH),
+                                         LayerSpec(3, Activation.TANH)])
+        for processor in ALL_PROCESSORS:
+            assert (cycles_for_network(small, processor).total_cycles
+                    < cycles_for_network(large, processor).total_cycles)
+
+    def test_latency_seconds(self):
+        breakdown = cycles_for_network(build_network_a(), NORDIC_ARM_M4F)
+        assert breakdown.latency_seconds(64e6) == pytest.approx(30210 / 64e6)

@@ -1,0 +1,82 @@
+"""Energy-model tests: Table IV reproduction and consistency."""
+
+import pytest
+
+from repro.fann import build_network_a, build_network_b
+from repro.timing import (
+    ALL_PROCESSORS,
+    MRWOLF_IBEX,
+    MRWOLF_RI5CY_CLUSTER8,
+    MRWOLF_RI5CY_SINGLE,
+    NORDIC_ARM_M4F,
+    energy_per_inference,
+    latency_seconds,
+)
+
+# Table IV, verbatim: energy per classification in uJ.
+TABLE4_UJ = {
+    "arm_m4f": (5.1, 153.8),
+    "ibex": (1.3, 31.5),
+    "ri5cy_single": (2.9, 65.6),
+    "ri5cy_multi": (1.2, 21.6),
+}
+
+
+class TestTable4Reproduction:
+    @pytest.mark.parametrize("processor", ALL_PROCESSORS, ids=lambda p: p.key)
+    def test_network_a(self, processor):
+        report = energy_per_inference(build_network_a(), processor)
+        assert report.energy_uj_rounded == TABLE4_UJ[processor.key][0]
+
+    @pytest.mark.parametrize("processor", ALL_PROCESSORS, ids=lambda p: p.key)
+    def test_network_b(self, processor):
+        report = energy_per_inference(build_network_b(), processor)
+        assert report.energy_uj_rounded == TABLE4_UJ[processor.key][1]
+
+
+class TestEnergyOrdering:
+    """The qualitative story of Table IV."""
+
+    def test_ibex_is_most_efficient_single_core(self):
+        """The tiny IBEX wins on energy despite losing on speed."""
+        a = build_network_a()
+        ibex = energy_per_inference(a, MRWOLF_IBEX).energy_j
+        arm = energy_per_inference(a, NORDIC_ARM_M4F).energy_j
+        single = energy_per_inference(a, MRWOLF_RI5CY_SINGLE).energy_j
+        assert ibex < single < arm
+
+    def test_cluster_wins_both_speed_and_energy_on_big_network(self):
+        b = build_network_b()
+        multi = energy_per_inference(b, MRWOLF_RI5CY_CLUSTER8)
+        for other in (NORDIC_ARM_M4F, MRWOLF_RI5CY_SINGLE):
+            report = energy_per_inference(b, other)
+            assert multi.energy_j < report.energy_j
+            assert multi.latency_s < report.latency_s
+
+    def test_multi_core_energy_close_to_ibex_but_far_faster(self):
+        a = build_network_a()
+        multi = energy_per_inference(a, MRWOLF_RI5CY_CLUSTER8)
+        ibex = energy_per_inference(a, MRWOLF_IBEX)
+        assert multi.energy_j == pytest.approx(ibex.energy_j, rel=0.15)
+        assert ibex.latency_s / multi.latency_s > 6.0
+
+
+class TestConsistency:
+    def test_energy_equals_power_times_latency(self):
+        for processor in ALL_PROCESSORS:
+            report = energy_per_inference(build_network_a(), processor)
+            assert report.energy_j == pytest.approx(
+                processor.active_power_w * report.latency_s)
+
+    def test_latency_helper_agrees_with_report(self):
+        for processor in ALL_PROCESSORS:
+            report = energy_per_inference(build_network_b(), processor)
+            assert latency_seconds(build_network_b(), processor) == report.latency_s
+
+    def test_paper_claims_20mw_parallel_power(self):
+        assert MRWOLF_RI5CY_CLUSTER8.active_power_w == pytest.approx(20e-3, rel=0.02)
+
+    def test_network_a_latencies_sub_millisecond(self):
+        """All four configurations classify Network A in < 1 ms."""
+        for processor in ALL_PROCESSORS:
+            assert latency_seconds(build_network_a(), processor) < 1e-3

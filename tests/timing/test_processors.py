@@ -1,0 +1,80 @@
+"""Processor-descriptor tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.timing.processors import (
+    ALL_PROCESSORS,
+    MRWOLF_IBEX,
+    MRWOLF_RI5CY_CLUSTER8,
+    MRWOLF_RI5CY_SINGLE,
+    NORDIC_ARM_M4F,
+    ProcessorConfig,
+    mrwolf_cluster,
+)
+
+
+class TestDescriptors:
+    def test_clock_frequencies_match_paper(self):
+        assert NORDIC_ARM_M4F.frequency_hz == 64e6
+        assert MRWOLF_IBEX.frequency_hz == 100e6
+        assert MRWOLF_RI5CY_SINGLE.frequency_hz == 100e6
+        assert MRWOLF_RI5CY_CLUSTER8.frequency_hz == 100e6
+
+    def test_core_counts(self):
+        assert NORDIC_ARM_M4F.n_cores == 1
+        assert MRWOLF_RI5CY_CLUSTER8.n_cores == 8
+
+    def test_only_arm_has_fpu(self):
+        assert NORDIC_ARM_M4F.has_fpu
+        assert not MRWOLF_IBEX.has_fpu
+        assert not MRWOLF_RI5CY_SINGLE.has_fpu
+        assert not MRWOLF_RI5CY_CLUSTER8.has_fpu
+
+    def test_fast_memory_capacities(self):
+        assert NORDIC_ARM_M4F.fast_memory_bytes == 64 * 1024
+        assert MRWOLF_IBEX.fast_memory_bytes == 512 * 1024
+        assert MRWOLF_RI5CY_SINGLE.fast_memory_bytes == 64 * 1024
+
+    def test_is_cluster_flag(self):
+        assert MRWOLF_RI5CY_SINGLE.is_cluster
+        assert MRWOLF_RI5CY_CLUSTER8.is_cluster
+        assert not MRWOLF_IBEX.is_cluster
+        assert not NORDIC_ARM_M4F.is_cluster
+
+    def test_all_processors_has_four_configurations(self):
+        assert len(ALL_PROCESSORS) == 4
+        assert len({p.key for p in ALL_PROCESSORS}) == 4
+
+
+class TestValidation:
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorConfig("x", "X", 0.0, 1e-3, 1, 1024)
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorConfig("x", "X", 1e6, 0.0, 1, 1024)
+
+    def test_rejects_zero_cores(self):
+        with pytest.raises(ConfigurationError):
+            ProcessorConfig("x", "X", 1e6, 1e-3, 0, 1024)
+
+
+class TestClusterScaling:
+    def test_endpoints_return_canonical_configs(self):
+        assert mrwolf_cluster(1) is MRWOLF_RI5CY_SINGLE
+        assert mrwolf_cluster(8) is MRWOLF_RI5CY_CLUSTER8
+
+    def test_intermediate_power_monotonic(self):
+        powers = [mrwolf_cluster(n).active_power_w for n in range(1, 9)]
+        assert all(b >= a for a, b in zip(powers, powers[1:]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mrwolf_cluster(0)
+        with pytest.raises(ConfigurationError):
+            mrwolf_cluster(9)
+
+    def test_intermediate_core_count_propagates(self):
+        assert mrwolf_cluster(4).n_cores == 4
