@@ -2,50 +2,32 @@
 
 Runs the whole watch (calibrated harvesting, 120 mAh battery, the
 energy-aware manager, per-detection energy) over realistic day
-profiles and checks the headline system property: the paper's indoor
-scenario is energy-neutral at roughly the sustained rate the static
-analysis predicts.
+profiles — built through the declarative scenario API — and checks the
+headline system property: the paper's indoor scenario is energy-neutral
+at roughly the sustained rate the static analysis predicts.
 """
+
+from dataclasses import replace
 
 import pytest
 
-from repro.core import DaySimulation
 from repro.core.sustainability import analyze_self_sustainability
-from repro.harvest.environment import (
-    DARKNESS,
-    EnvironmentSample,
-    EnvironmentTimeline,
-    INDOOR_OFFICE_700LX,
-    OUTDOOR_SUN_30KLX,
-    TEG_ROOM_15C_WIND_42KMH,
-    TEG_ROOM_22C_NO_WIND,
+from repro.scenarios import (
+    BatterySpec,
+    PolicySpec,
+    ScenarioSpec,
+    SegmentSpec,
+    TimelineSpec,
+    build_simulation,
+    get_scenario,
 )
-from repro.power.battery import LiPoBattery
-
-
-def paper_day():
-    """6 h lit office + 18 h darkness, worst-case TEG all day."""
-    return EnvironmentTimeline([
-        EnvironmentSample(6 * 3600.0, INDOOR_OFFICE_700LX, TEG_ROOM_22C_NO_WIND),
-        EnvironmentSample(18 * 3600.0, DARKNESS, TEG_ROOM_22C_NO_WIND),
-    ])
-
-
-def active_day():
-    """Office day with a sunny, windy cycling commute."""
-    return EnvironmentTimeline([
-        EnvironmentSample(0.5 * 3600.0, OUTDOOR_SUN_30KLX, TEG_ROOM_15C_WIND_42KMH),
-        EnvironmentSample(8 * 3600.0, INDOOR_OFFICE_700LX, TEG_ROOM_22C_NO_WIND),
-        EnvironmentSample(0.5 * 3600.0, OUTDOOR_SUN_30KLX, TEG_ROOM_15C_WIND_42KMH),
-        EnvironmentSample(15 * 3600.0, DARKNESS, TEG_ROOM_22C_NO_WIND),
-    ])
 
 
 def test_day_simulation_paper_scenario(benchmark, print_rows):
+    spec = get_scenario("paper_indoor_worst_case")
+
     def simulate():
-        battery = LiPoBattery(initial_soc=0.5)
-        sim = DaySimulation(paper_day(), battery=battery, step_s=300.0)
-        return sim.run()
+        return build_simulation(spec).run()
 
     result = benchmark(simulate)
     static = analyze_self_sustainability()
@@ -80,13 +62,12 @@ def test_uncapped_policy_approaches_static_maximum(benchmark):
     """Raising the rate cap lets the manager spend the lit-hour
     surplus; the day's detections then approach the static analysis
     (which assumes the daily energy is spendable at any rate)."""
-    from repro.core.manager import ManagerPolicy
+    base = get_scenario("paper_indoor_worst_case")
+    spec = replace(base, system=replace(
+        base.system, policy=PolicySpec(max_rate_per_min=120.0)))
 
     def simulate():
-        battery = LiPoBattery(initial_soc=0.5)
-        sim = DaySimulation(paper_day(), battery=battery, step_s=300.0,
-                            policy=ManagerPolicy(max_rate_per_min=120.0))
-        return sim.run()
+        return build_simulation(spec).run()
 
     result = benchmark(simulate)
     static = analyze_self_sustainability()
@@ -95,25 +76,30 @@ def test_uncapped_policy_approaches_static_maximum(benchmark):
 
 
 def test_day_simulation_active_day_charges_battery(benchmark):
+    spec = get_scenario("sunny_office_worker")
+
     def simulate():
-        battery = LiPoBattery(initial_soc=0.5)
-        sim = DaySimulation(active_day(), battery=battery, step_s=300.0)
-        return sim.run()
+        return build_simulation(spec).run()
 
     result = benchmark(simulate)
-    # One hour of sun + wind outweighs the whole indoor day.
+    # An hour of sun + wind outweighs the whole indoor day.
     assert result.final_soc > result.initial_soc
     assert result.total_detections > 0
 
 
 def test_week_of_darkness_survives_on_floor_rate():
     """Seven lightless days: the manager throttles to the floor rate
-    and the 120 mAh buffer carries the watch through."""
-    dark_week = EnvironmentTimeline([
-        EnvironmentSample(7 * 86400.0, DARKNESS, TEG_ROOM_22C_NO_WIND),
-    ])
-    battery = LiPoBattery(initial_soc=0.5)
-    result = DaySimulation(dark_week, battery=battery, step_s=1800.0).run()
+    and the 120 mAh buffer carries the watch through.  Built from an
+    inline segment spec — no registry entry needed."""
+    spec = ScenarioSpec(
+        name="dark_week",
+        timeline=TimelineSpec(segments=(
+            SegmentSpec(duration_s=7 * 86400.0, lux=0.0,
+                        ambient_c=22.0, skin_c=32.0, label="lightless week"),
+        )),
+        step_s=1800.0,
+    )
+    result = build_simulation(spec).run()
     assert result.final_soc > 0.2
     assert result.total_detections > 0
 
@@ -121,8 +107,10 @@ def test_week_of_darkness_survives_on_floor_rate():
 def test_simulation_consistent_with_static_analysis():
     """Harvested joules in the dynamic run match the static product
     within charge-efficiency losses."""
-    battery = LiPoBattery(initial_soc=0.5, charge_efficiency=1.0)
-    result = DaySimulation(paper_day(), battery=battery, step_s=600.0).run()
+    base = get_scenario("paper_indoor_worst_case")
+    spec = replace(base, step_s=600.0, system=replace(
+        base.system, battery=BatterySpec(charge_efficiency=1.0)))
+    result = build_simulation(spec).run()
     static = analyze_self_sustainability()
     assert result.total_harvest_j == pytest.approx(static.daily_intake_j,
                                                    rel=0.02)

@@ -1,47 +1,39 @@
 #!/usr/bin/env python3
-"""Day-in-the-life simulation: harvest, battery and detections over 24 h.
+"""Day-in-the-life simulation driven by the declarative scenario API.
 
-Steps the full system (calibrated harvesting chains, 120 mAh battery,
-energy-aware power manager, per-detection energy) through an office day
-and prints an hourly trace plus the day's energy balance.
+Picks a named scenario from the built-in library, builds the full
+system from its spec (calibrated harvesting chains, 120 mAh battery,
+energy-aware power manager, per-detection energy) and prints an hourly
+trace plus the day's energy balance.  The same spec round-trips
+through JSON, which is how sweeps serialize scenarios.
 
 Run with::
 
     python examples/day_in_the_life.py
 """
 
-from repro.core import DaySimulation
+import json
+
 from repro.core.sustainability import analyze_self_sustainability
-from repro.harvest.environment import (
-    DARKNESS,
-    EnvironmentSample,
-    EnvironmentTimeline,
-    INDOOR_OFFICE_700LX,
-    OUTDOOR_SUN_30KLX,
-    TEG_ROOM_15C_WIND_42KMH,
-    TEG_ROOM_22C_NO_WIND,
+from repro.scenarios import (
+    ScenarioSpec,
+    build_simulation,
+    get_scenario,
+    run_scenario,
 )
-from repro.power.battery import LiPoBattery
-
-
-def office_day_with_commute() -> EnvironmentTimeline:
-    """Sleep, a windy sunny cycle commute, office light, commute, evening."""
-    return EnvironmentTimeline([
-        EnvironmentSample(7 * 3600.0, DARKNESS, TEG_ROOM_22C_NO_WIND),
-        EnvironmentSample(0.5 * 3600.0, OUTDOOR_SUN_30KLX, TEG_ROOM_15C_WIND_42KMH),
-        EnvironmentSample(8.5 * 3600.0, INDOOR_OFFICE_700LX, TEG_ROOM_22C_NO_WIND),
-        EnvironmentSample(0.5 * 3600.0, OUTDOOR_SUN_30KLX, TEG_ROOM_15C_WIND_42KMH),
-        EnvironmentSample(7.5 * 3600.0, DARKNESS, TEG_ROOM_22C_NO_WIND),
-    ])
 
 
 def main() -> None:
-    battery = LiPoBattery(initial_soc=0.5)
-    simulation = DaySimulation(office_day_with_commute(), battery=battery,
-                               step_s=300.0)
+    spec = get_scenario("sunny_office_worker")
+    print(f"scenario: {spec.name} — {spec.description}")
+
+    # The spec is plain data: serialize it, rebuild it, run the rebuilt
+    # copy — the declarative path every example and bench now shares.
+    rebuilt = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    simulation = build_simulation(rebuilt)
     result = simulation.run()
 
-    print("hour  harvest     rate      SoC")
+    print("\nhour  harvest     rate      SoC")
     for step in result.steps[::12]:  # one row per hour (12 x 300 s)
         hour = step.time_s / 3600.0
         print(f"{hour:4.0f}  {step.harvest_w * 1e3:7.3f} mW "
@@ -54,6 +46,12 @@ def main() -> None:
     print(f"SoC       : {100 * result.initial_soc:.1f} % -> "
           f"{100 * result.final_soc:.1f} % "
           f"({'energy-neutral or better' if result.energy_neutral else 'draining'})")
+
+    # The one-call path used by sweeps returns the same numbers.
+    outcome = run_scenario(spec)
+    assert outcome.total_detections == result.total_detections
+    print(f"\nrun_scenario: {outcome.detections_per_day:.0f} detections/day, "
+          f"energy_neutral={outcome.energy_neutral}")
 
     static = analyze_self_sustainability()
     print(f"\nstatic paper scenario for reference: "

@@ -11,6 +11,7 @@ from repro.core import (
     StressDetectionApp,
     analyze_self_sustainability,
 )
+from repro.scenarios import get_scenario, run_scenario
 from repro.timing import ALL_PROCESSORS, energy_per_inference
 from repro.fann import build_network_a
 
@@ -48,6 +49,15 @@ def main() -> None:
           f"= up to {report.detections_per_minute_floor}/minute "
           f"(paper: 24/minute)")
     print(f"  self-sustaining: {report.is_self_sustaining}")
+
+    # 5. The same question, dynamically: run the paper's day as a named
+    #    scenario from the declarative library (see `python -m repro
+    #    scenarios list` for the rest).
+    outcome = run_scenario(get_scenario("paper_indoor_worst_case"))
+    print("\nScenario run (paper_indoor_worst_case)")
+    print(f"  harvested  : {outcome.total_harvest_j:6.2f} J")
+    print(f"  detections : {outcome.detections_per_day:6.0f}/day")
+    print(f"  energy-neutral: {outcome.energy_neutral}")
 
 
 if __name__ == "__main__":

@@ -21,6 +21,9 @@ Subpackages
 - :mod:`repro.features` — HRV and GSR feature extraction.
 - :mod:`repro.core` — the InfiniWolf device/application/sustainability
   models and the day-in-the-life simulator.
+- :mod:`repro.scenarios` — the declarative scenario API: serializable
+  specs, component registries, the spec->system builder, the built-in
+  scenario library and the parallel batch runner.
 - :mod:`repro.lab` — emulated measurement instruments (SMU, chamber).
 """
 

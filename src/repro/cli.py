@@ -1,6 +1,6 @@
-"""Command-line interface: regenerate any paper artefact from a shell.
+"""Command-line interface: paper artefacts plus the scenario API.
 
-Usage::
+Artefact commands regenerate the paper's evaluation tables::
 
     python -m repro table1          # solar harvesting (Table I)
     python -m repro table2          # TEG harvesting (Table II)
@@ -10,11 +10,26 @@ Usage::
     python -m repro sustainability  # Section IV-A analysis
     python -m repro modes           # operating-mode power table
     python -m repro all             # everything above
+
+Scenario commands drive the declarative scenario API
+(:mod:`repro.scenarios`)::
+
+    python -m repro scenarios list                       # the built-in library
+    python -m repro simulate paper_indoor_worst_case     # run one scenario
+    python -m repro simulate paper_indoor_worst_case --json
+    python -m repro sweep --all --workers 4              # parallel batch sweep
+    python -m repro sweep outdoor_hiker night_shift --json
+
+``simulate --json`` and ``sweep --json`` emit machine-readable results
+for downstream tooling; the scenario names are the library keys listed
+by ``scenarios list`` (lowercase snake_case phrases describing the
+wearer's day).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.units import kmh_to_ms
@@ -115,7 +130,7 @@ def _print_modes() -> None:
               f"full battery lasts {days:9.1f} days (no harvest)")
 
 
-_COMMANDS = {
+_ARTIFACTS = {
     "table1": _print_table1,
     "table2": _print_table2,
     "table3": _print_table3,
@@ -126,25 +141,133 @@ _COMMANDS = {
 }
 
 
+# --- scenario subcommands ----------------------------------------------------
+
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import all_scenarios
+
+    print("Built-in scenario library")
+    for spec in all_scenarios():
+        print(f"  {spec.name:28s} {spec.description}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.scenarios import get_scenario, run_scenario
+
+    from repro.units import SECONDS_PER_DAY
+
+    spec = get_scenario(args.scenario)
+    outcome = run_scenario(spec)
+    if args.json:
+        print(json.dumps({"spec": spec.to_dict(),
+                          "outcome": outcome.to_dict()}, indent=2))
+        return 0
+    days = outcome.duration_s / SECONDS_PER_DAY
+    print(f"Scenario: {spec.name}")
+    if spec.description:
+        print(f"  {spec.description}")
+    print(f"  horizon    : {days:.2f} day(s), step {spec.step_s:.0f} s")
+    print(f"  harvested  : {outcome.total_harvest_j:8.2f} J")
+    print(f"  consumed   : {outcome.total_consumed_j:8.2f} J")
+    print(f"  detections : {outcome.total_detections:8.0f} "
+          f"({outcome.detections_per_day:.0f}/day)")
+    print(f"  SoC        : {100 * outcome.initial_soc:.1f} % -> "
+          f"{100 * outcome.final_soc:.1f} % "
+          f"({'energy-neutral or better' if outcome.energy_neutral else 'draining'})")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        ScenarioRunner,
+        all_scenarios,
+        get_scenario,
+    )
+
+    if args.all_scenarios and args.scenario:
+        print("sweep: pass --all or scenario names, not both",
+              file=sys.stderr)
+        return 2
+    if args.all_scenarios:
+        specs = all_scenarios()
+    elif args.scenario:
+        specs = [get_scenario(name) for name in args.scenario]
+    else:
+        print("sweep: name scenarios or pass --all", file=sys.stderr)
+        return 2
+    sweep = ScenarioRunner(workers=args.workers).run_batch(specs)
+    if args.json:
+        print(json.dumps(sweep.to_dict(), indent=2))
+    else:
+        print(f"Sweep: {len(specs)} scenario(s), {args.workers} worker(s)")
+        print(sweep.format_table())
+        print(f"all energy-neutral: {'yes' if sweep.all_neutral else 'no'}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro``."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="InfiniWolf reproduction: regenerate the paper's "
-                    "evaluation artefacts.",
+                    "evaluation artefacts and run day-in-the-life scenarios.",
     )
-    parser.add_argument("artifact", choices=sorted(_COMMANDS) + ["all"],
-                        help="which artefact to regenerate")
+    sub = parser.add_subparsers(dest="command", required=True,
+                                metavar="command")
+
+    for name in sorted(_ARTIFACTS) + ["all"]:
+        sub.add_parser(name, help=f"regenerate the {name} artefact"
+                       if name != "all" else "regenerate every artefact")
+
+    p_scenarios = sub.add_parser(
+        "scenarios", help="inspect the built-in scenario library")
+    p_scenarios.add_argument("action", choices=["list"],
+                             help="what to do with the library")
+
+    p_simulate = sub.add_parser(
+        "simulate", help="run one named scenario end to end")
+    p_simulate.add_argument("scenario", help="library scenario name "
+                            "(see `scenarios list`)")
+    p_simulate.add_argument("--json", action="store_true",
+                            help="emit the spec and outcome as JSON")
+
+    p_sweep = sub.add_parser(
+        "sweep", help="run a batch of scenarios in parallel")
+    p_sweep.add_argument("scenario", nargs="*",
+                         help="library scenario names to sweep")
+    p_sweep.add_argument("--all", dest="all_scenarios", action="store_true",
+                         help="sweep every library scenario")
+    p_sweep.add_argument("--workers", type=int, default=4,
+                         help="parallel worker threads (default 4)")
+    p_sweep.add_argument("--json", action="store_true",
+                         help="emit the sweep result as JSON")
+
     args = parser.parse_args(argv)
 
-    if args.artifact == "all":
+    if args.command == "all":
         for name in ("table1", "table2", "table3", "table4",
                      "detection", "sustainability", "modes"):
-            _COMMANDS[name]()
+            _ARTIFACTS[name]()
             print()
-    else:
-        _COMMANDS[args.artifact]()
-    return 0
+        return 0
+    if args.command in _ARTIFACTS:
+        _ARTIFACTS[args.command]()
+        return 0
+
+    from repro.errors import ReproError
+
+    try:
+        if args.command == "scenarios":
+            return _cmd_scenarios(args)
+        if args.command == "simulate":
+            return _cmd_simulate(args)
+        return _cmd_sweep(args)
+    except ReproError as exc:
+        # Bad scenario names, worker counts etc. are user input errors:
+        # report them like one instead of dumping a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

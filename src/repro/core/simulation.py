@@ -1,26 +1,41 @@
 """Time-stepped day-in-the-life simulation of the whole watch.
 
 Steps the system over an environment timeline: each step harvests into
-the battery through the calibrated dual-source chain, runs the
-energy-aware manager to choose the detection rate, charges the battery
-for every detection executed, and records a trace (state of charge,
-intake, rate, detections) for the ablation benches and examples.
+the battery through the harvesting chain, runs the energy-aware manager
+to choose the detection rate, charges the battery for every detection
+executed, and records a trace (state of charge, intake, rate,
+detections) for the ablation benches and examples.
+
+:class:`DaySimulation` is a thin engine over injected components — it
+steps whatever harvester/battery/app/policy it is handed and contains
+no construction logic of its own.  Defaults for omitted components are
+resolved through the component registries by
+:mod:`repro.scenarios.builder`, which is also the home of the
+spec-driven construction path (``build_simulation(spec)``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol
 
-from repro.core.application import StressDetectionApp
 from repro.core.manager import EnergyAwareManager, ManagerPolicy
 from repro.errors import SimulationError
-from repro.harvest.calibrated import calibrated_dual_harvester
-from repro.harvest.dual import DualSourceHarvester
-from repro.harvest.environment import EnvironmentTimeline
-from repro.power.battery import LiPoBattery
+from repro.harvest.environment import (
+    EnvironmentTimeline,
+    LightingCondition,
+    ThermalCondition,
+)
 from repro.power.loads import SYSTEM_SLEEP_W
 
-__all__ = ["SimulationStep", "SimulationResult", "DaySimulation"]
+__all__ = ["HarvestChain", "SimulationStep", "SimulationResult", "DaySimulation"]
+
+
+class HarvestChain(Protocol):
+    """Anything that answers "how much power reaches the battery"."""
+
+    def battery_intake_w(self, lighting: LightingCondition,
+                         thermal: ThermalCondition) -> float: ...
 
 
 @dataclass(frozen=True)
@@ -53,6 +68,7 @@ class SimulationResult:
         final_soc: battery state of charge at the end.
         total_harvest_j: energy harvested over the horizon.
         total_consumed_j: energy drawn by detections and sleep.
+        duration_s: simulated horizon.
     """
 
     steps: list[SimulationStep] = field(default_factory=list)
@@ -61,6 +77,7 @@ class SimulationResult:
     final_soc: float = 0.0
     total_harvest_j: float = 0.0
     total_consumed_j: float = 0.0
+    duration_s: float = 0.0
 
     @property
     def energy_neutral(self) -> bool:
@@ -74,8 +91,9 @@ class DaySimulation:
     Args:
         timeline: the environment over the horizon.
         app: detection application (defaults to Network A on the
-            8-core cluster).
-        harvester: harvesting chain (defaults to calibrated).
+            8-core cluster, built from the component registries).
+        harvester: harvesting chain (defaults to the calibrated dual
+            chain from the registries).
         battery: storage (defaults to the 120 mAh cell at 50 %).
         policy: manager policy (defaults to the paper-shaped one).
         step_s: simulation step size.
@@ -84,40 +102,71 @@ class DaySimulation:
             watch's quiescent current, so the default only charges the
             *additional* always-on overhead beyond deep sleep; pass a
             larger value to model heavier standby activity.
+        manager: the rate-choosing manager; built from ``app`` and
+            ``policy`` when omitted.  Mutually exclusive with
+            ``policy`` (an injected manager brings its own), and when
+            given with no ``app``, no default app is built —
+            ``self.app`` stays ``None``.
+        duration_s: default horizon for :meth:`run` (``None`` runs the
+            whole timeline); a ``run``-time argument still wins.
     """
 
     def __init__(self, timeline: EnvironmentTimeline,
-                 app: StressDetectionApp | None = None,
-                 harvester: DualSourceHarvester | None = None,
-                 battery: LiPoBattery | None = None,
+                 app=None,
+                 harvester: HarvestChain | None = None,
+                 battery=None,
                  policy: ManagerPolicy | None = None,
                  step_s: float = 60.0,
-                 sleep_power_w: float = SYSTEM_SLEEP_W) -> None:
+                 sleep_power_w: float = SYSTEM_SLEEP_W,
+                 manager: EnergyAwareManager | None = None,
+                 duration_s: float | None = None) -> None:
         if step_s <= 0:
             raise SimulationError("step size must be positive")
         if sleep_power_w < 0:
             raise SimulationError("sleep power cannot be negative")
+        if duration_s is not None and duration_s <= 0:
+            raise SimulationError("default duration must be positive")
+        if manager is not None and policy is not None:
+            raise SimulationError(
+                "pass either manager or policy, not both: an injected "
+                "manager brings its own policy")
+        if (harvester is None or battery is None
+                or (app is None and manager is None)):
+            # Deferred so the engine has no import-time dependency on
+            # the construction layer (which imports this module).  An
+            # injected manager needs no app, so none is built for it.
+            from repro.scenarios import builder
+            if app is None and manager is None:
+                app = builder.build_app()
+            if harvester is None:
+                harvester = builder.build_harvester()
+            if battery is None:
+                battery = builder.build_battery()
         self.timeline = timeline
-        self.app = app if app is not None else StressDetectionApp()
-        self.harvester = (harvester if harvester is not None
-                          else calibrated_dual_harvester())
-        self.battery = battery if battery is not None else LiPoBattery()
-        self.manager = EnergyAwareManager(
-            self.app.energy_budget().total_j,
+        self.app = app
+        self.harvester = harvester
+        self.battery = battery
+        self.manager = manager if manager is not None else EnergyAwareManager(
+            app.energy_budget().total_j,
             policy,
         )
         self.step_s = step_s
         self.sleep_power_w = sleep_power_w
+        self.duration_s = duration_s
 
     def run(self, duration_s: float | None = None) -> SimulationResult:
-        """Run the simulation over ``duration_s`` (default: whole timeline)."""
+        """Run over ``duration_s`` (default: the constructor's
+        ``duration_s``, else the whole timeline)."""
+        if duration_s is None:
+            duration_s = self.duration_s
         horizon = (self.timeline.total_duration_s
                    if duration_s is None else duration_s)
         if horizon <= 0:
             raise SimulationError("simulation horizon must be positive")
 
-        result = SimulationResult(initial_soc=self.battery.state_of_charge)
-        detection_j = self.app.energy_budget().total_j
+        result = SimulationResult(initial_soc=self.battery.state_of_charge,
+                                  duration_s=horizon)
+        detection_j = self.manager.detection_energy_j
         t = 0.0
         carry_detections = 0.0
         while t < horizon - 1e-9:
@@ -130,18 +179,30 @@ class DaySimulation:
 
             rate = self.manager.detection_rate_per_min(
                 harvest_w, self.battery.state_of_charge)
+            # No step may execute (or bank) more than one step's worth
+            # of detections at the policy ceiling, so a brown-out
+            # backlog can never replay as a burst above the rate cap
+            # (the floor of 1 keeps sub-detection-per-step rates
+            # accumulating across steps).
+            step_cap = max(
+                1.0, self.manager.policy.max_rate_per_min * dt / 60.0)
             carry_detections += rate * dt / 60.0
-            detections_now = float(int(carry_detections))
+            detections_now = float(int(min(carry_detections, step_cap)))
             carry_detections -= detections_now
 
             demand_j = detections_now * detection_j + self.sleep_power_w * dt
             delivered_j = self.battery.discharge(demand_j / dt, dt)
             if delivered_j + 1e-12 < demand_j:
-                # Battery could not cover the step: scale back the
-                # detections that actually completed.
+                # Battery could not cover the step: only whole
+                # detections execute; the unexecuted remainder goes
+                # back on the carry (bounded — the watch does not owe
+                # detections from a long outage).
                 covered = max(0.0, delivered_j - self.sleep_power_w * dt)
-                detections_now = (covered / detection_j
-                                  if detection_j > 0 else 0.0)
+                executed = (float(int(covered / detection_j))
+                            if detection_j > 0 else 0.0)
+                carry_detections = min(
+                    carry_detections + detections_now - executed, step_cap)
+                detections_now = executed
             result.total_consumed_j += delivered_j
             result.total_detections += detections_now
 

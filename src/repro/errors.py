@@ -16,6 +16,14 @@ class ConfigurationError(ReproError):
     """A model or component was configured with inconsistent parameters."""
 
 
+class SpecError(ConfigurationError):
+    """A scenario/system spec is invalid or cannot be (de)serialized."""
+
+
+class RegistryError(ReproError):
+    """A component registry lookup or registration failed."""
+
+
 class QuantizationError(ReproError):
     """A value cannot be represented in the requested fixed-point format."""
 

@@ -1,0 +1,104 @@
+"""Declarative scenario API: specs, registries, builder, library, runner.
+
+The subsystem that turns "hand-wire a :class:`DaySimulation` in every
+script" into "name a scenario and run it":
+
+* :mod:`repro.scenarios.spec` — frozen, JSON-round-trippable
+  :class:`ScenarioSpec`/:class:`SystemSpec` dataclasses;
+* :mod:`repro.scenarios.registry` — string-keyed component registries
+  (``@register_harvester("calibrated_dual")``, batteries, policies,
+  apps, networks, processors, timelines) so specs reference components
+  by name and third-party code can plug in its own;
+* :mod:`repro.scenarios.builder` — ``build_simulation(spec)``, the one
+  construction path from spec to live system;
+* :mod:`repro.scenarios.library` — named built-in scenarios
+  (``paper_indoor_worst_case``, ``sunny_office_worker``, ...);
+* :mod:`repro.scenarios.runner` — ``ScenarioRunner.run_batch`` parallel
+  sweeps and the :class:`SweepResult` aggregate.
+"""
+
+from repro.scenarios.spec import (
+    AppSpec,
+    BatterySpec,
+    PolicySpec,
+    ScenarioSpec,
+    SegmentSpec,
+    SystemSpec,
+    TimelineSpec,
+)
+from repro.scenarios.registry import (
+    APPS,
+    BATTERIES,
+    ComponentRegistry,
+    HARVESTERS,
+    NETWORKS,
+    POLICIES,
+    PROCESSORS,
+    TIMELINES,
+    register_app,
+    register_battery,
+    register_harvester,
+    register_network,
+    register_policy,
+    register_processor,
+    register_timeline,
+)
+from repro.scenarios.builder import (
+    build_app,
+    build_battery,
+    build_harvester,
+    build_policy,
+    build_simulation,
+    build_timeline,
+)
+from repro.scenarios.library import (
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.scenarios.runner import (
+    ScenarioOutcome,
+    ScenarioRunner,
+    SweepResult,
+    run_scenario,
+)
+
+__all__ = [
+    "AppSpec",
+    "BatterySpec",
+    "PolicySpec",
+    "ScenarioSpec",
+    "SegmentSpec",
+    "SystemSpec",
+    "TimelineSpec",
+    "ComponentRegistry",
+    "APPS",
+    "BATTERIES",
+    "HARVESTERS",
+    "NETWORKS",
+    "POLICIES",
+    "PROCESSORS",
+    "TIMELINES",
+    "register_app",
+    "register_battery",
+    "register_harvester",
+    "register_network",
+    "register_policy",
+    "register_processor",
+    "register_timeline",
+    "register_scenario",
+    "build_app",
+    "build_battery",
+    "build_harvester",
+    "build_policy",
+    "build_simulation",
+    "build_timeline",
+    "all_scenarios",
+    "get_scenario",
+    "scenario_names",
+    "ScenarioOutcome",
+    "ScenarioRunner",
+    "SweepResult",
+    "run_scenario",
+]

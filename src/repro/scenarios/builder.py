@@ -1,0 +1,101 @@
+"""Turn declarative specs into live simulation objects.
+
+:func:`build_simulation` is the single construction path from a
+:class:`~repro.scenarios.spec.ScenarioSpec` to a runnable
+:class:`~repro.core.simulation.DaySimulation`.  All component defaults
+live here (resolved through the registries), which keeps the engine in
+:mod:`repro.core.simulation` a thin stepper over injected parts — the
+engine asks this module for defaults instead of hard-wiring them.
+"""
+
+from __future__ import annotations
+
+from repro.core.simulation import DaySimulation
+from repro.harvest.environment import (
+    EnvironmentSample,
+    EnvironmentTimeline,
+    LightingCondition,
+    ThermalCondition,
+)
+from repro.scenarios.registry import (
+    APPS,
+    BATTERIES,
+    HARVESTERS,
+    POLICIES,
+    TIMELINES,
+)
+from repro.scenarios.spec import (
+    AppSpec,
+    BatterySpec,
+    PolicySpec,
+    ScenarioSpec,
+    SystemSpec,
+    TimelineSpec,
+)
+
+__all__ = [
+    "build_timeline",
+    "build_harvester",
+    "build_battery",
+    "build_policy",
+    "build_app",
+    "build_simulation",
+]
+
+
+def build_timeline(spec: TimelineSpec) -> EnvironmentTimeline:
+    """An :class:`EnvironmentTimeline` from a registry name or segments."""
+    if spec.name:
+        return TIMELINES.get(spec.name)()
+    samples = [
+        EnvironmentSample(
+            duration_s=seg.duration_s,
+            lighting=LightingCondition(lux=seg.lux, description=seg.label),
+            thermal=ThermalCondition(
+                ambient_c=seg.ambient_c,
+                skin_c=seg.skin_c,
+                wind_ms=seg.wind_ms,
+                description=seg.label,
+            ),
+        )
+        for seg in spec.segments
+    ]
+    return EnvironmentTimeline(samples)
+
+
+def build_harvester(name: str = "calibrated_dual"):
+    """The named harvester chain."""
+    return HARVESTERS.get(name)()
+
+
+def build_battery(spec: BatterySpec | None = None):
+    """The battery described by ``spec`` (stock 120 mAh cell by default)."""
+    spec = spec if spec is not None else BatterySpec()
+    return BATTERIES.get(spec.kind)(spec)
+
+
+def build_policy(spec: PolicySpec | None = None):
+    """The manager policy described by ``spec``."""
+    spec = spec if spec is not None else PolicySpec()
+    return POLICIES.get(spec.kind)(spec)
+
+
+def build_app(spec: AppSpec | None = None):
+    """The application described by ``spec`` (Network A on the cluster)."""
+    spec = spec if spec is not None else AppSpec()
+    return APPS.get(spec.kind)(spec)
+
+
+def build_simulation(scenario: ScenarioSpec) -> DaySimulation:
+    """A runnable :class:`DaySimulation` assembled from a scenario spec."""
+    system: SystemSpec = scenario.system
+    return DaySimulation(
+        timeline=build_timeline(scenario.timeline),
+        app=build_app(system.app),
+        harvester=build_harvester(system.harvester),
+        battery=build_battery(system.battery),
+        policy=build_policy(system.policy),
+        step_s=scenario.step_s,
+        sleep_power_w=system.sleep_power_w,
+        duration_s=scenario.duration_s,
+    )

@@ -1,0 +1,228 @@
+"""Built-in named scenarios and environment timelines.
+
+Naming convention: scenario names are lowercase ``snake_case`` phrases
+describing the *wearer's day* (``sunny_office_worker``), not the model
+configuration; configuration variants belong in the spec, not the
+name.  Timeline names describe the *environment* (``paper_indoor_day``).
+
+Every scenario here is asserted energy-plausible by
+``tests/scenarios/test_library.py`` — a new entry must keep its battery
+inside [0, 1] SoC, harvest a sane number of joules and execute at least
+one detection over its horizon.
+"""
+
+from __future__ import annotations
+
+from repro.harvest.environment import (
+    DARKNESS,
+    EnvironmentSample,
+    EnvironmentTimeline,
+    INDOOR_OFFICE_700LX,
+    LightingCondition,
+    OUTDOOR_SUN_30KLX,
+    TEG_ROOM_15C_WIND_42KMH,
+    TEG_ROOM_22C_NO_WIND,
+    ThermalCondition,
+)
+from repro.errors import RegistryError
+from repro.scenarios.registry import register_timeline
+from repro.scenarios.spec import (
+    BatterySpec,
+    ScenarioSpec,
+    SystemSpec,
+    TimelineSpec,
+)
+from repro.units import kmh_to_ms
+
+__all__ = [
+    "OVERCAST_DAYLIGHT_2KLX",
+    "TEG_ARCTIC_WIND",
+    "TEG_WARM_ROOM_LOW_DELTA",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
+]
+
+HOUR = 3600.0
+DAY = 24 * HOUR
+
+# Environment presets beyond the paper's five characterisation points.
+OVERCAST_DAYLIGHT_2KLX = LightingCondition(
+    lux=2_000.0, description="overcast daylight, 2 klx")
+TEG_ARCTIC_WIND = ThermalCondition(
+    ambient_c=-10.0, skin_c=28.0, wind_ms=kmh_to_ms(20.0),
+    description="arctic street, -10 C, 20 km/h wind")
+TEG_WARM_ROOM_LOW_DELTA = ThermalCondition(
+    ambient_c=28.0, skin_c=33.0, wind_ms=0.0,
+    description="warm room, 5 K skin-air delta")
+
+
+# --- built-in timelines ------------------------------------------------------
+
+@register_timeline("paper_indoor_day")
+def paper_indoor_day() -> EnvironmentTimeline:
+    """The paper's Section IV-A day: 6 h at 700 lx, 18 h darkness,
+    worst-case TEG around the clock."""
+    return EnvironmentTimeline([
+        EnvironmentSample(6 * HOUR, INDOOR_OFFICE_700LX, TEG_ROOM_22C_NO_WIND),
+        EnvironmentSample(18 * HOUR, DARKNESS, TEG_ROOM_22C_NO_WIND),
+    ])
+
+
+@register_timeline("office_day_with_commute")
+def office_day_with_commute() -> EnvironmentTimeline:
+    """Sleep, a windy sunny cycle commute, office light, commute, evening."""
+    return EnvironmentTimeline([
+        EnvironmentSample(7 * HOUR, DARKNESS, TEG_ROOM_22C_NO_WIND),
+        EnvironmentSample(0.5 * HOUR, OUTDOOR_SUN_30KLX, TEG_ROOM_15C_WIND_42KMH),
+        EnvironmentSample(8.5 * HOUR, INDOOR_OFFICE_700LX, TEG_ROOM_22C_NO_WIND),
+        EnvironmentSample(0.5 * HOUR, OUTDOOR_SUN_30KLX, TEG_ROOM_15C_WIND_42KMH),
+        EnvironmentSample(7.5 * HOUR, DARKNESS, TEG_ROOM_22C_NO_WIND),
+    ])
+
+
+@register_timeline("hiking_day")
+def hiking_day() -> EnvironmentTimeline:
+    """A night indoors, then seven hours of full sun and mountain wind."""
+    return EnvironmentTimeline([
+        EnvironmentSample(8 * HOUR, DARKNESS, TEG_ROOM_22C_NO_WIND),
+        EnvironmentSample(1 * HOUR, INDOOR_OFFICE_700LX, TEG_ROOM_22C_NO_WIND),
+        EnvironmentSample(7 * HOUR, OUTDOOR_SUN_30KLX, TEG_ROOM_15C_WIND_42KMH),
+        EnvironmentSample(1 * HOUR, INDOOR_OFFICE_700LX, TEG_ROOM_22C_NO_WIND),
+        EnvironmentSample(7 * HOUR, DARKNESS, TEG_ROOM_22C_NO_WIND),
+    ])
+
+
+@register_timeline("night_shift_day")
+def night_shift_day() -> EnvironmentTimeline:
+    """Lit ward work overnight, dark commutes, daytime sleep."""
+    return EnvironmentTimeline([
+        EnvironmentSample(7 * HOUR, INDOOR_OFFICE_700LX, TEG_ROOM_22C_NO_WIND),
+        EnvironmentSample(0.5 * HOUR, DARKNESS, TEG_ROOM_15C_WIND_42KMH),
+        EnvironmentSample(9 * HOUR, DARKNESS, TEG_ROOM_22C_NO_WIND),
+        EnvironmentSample(0.5 * HOUR, DARKNESS, TEG_ROOM_15C_WIND_42KMH),
+        EnvironmentSample(7 * HOUR, INDOOR_OFFICE_700LX, TEG_ROOM_22C_NO_WIND),
+    ])
+
+
+@register_timeline("arctic_commute_day")
+def arctic_commute_day() -> EnvironmentTimeline:
+    """Office day with two freezing, windy walks — a TEG bonanza."""
+    return EnvironmentTimeline([
+        EnvironmentSample(7 * HOUR, DARKNESS, TEG_ROOM_22C_NO_WIND),
+        EnvironmentSample(1 * HOUR, DARKNESS, TEG_ARCTIC_WIND),
+        EnvironmentSample(8 * HOUR, INDOOR_OFFICE_700LX, TEG_ROOM_22C_NO_WIND),
+        EnvironmentSample(1 * HOUR, DARKNESS, TEG_ARCTIC_WIND),
+        EnvironmentSample(7 * HOUR, DARKNESS, TEG_ROOM_22C_NO_WIND),
+    ])
+
+
+@register_timeline("cloudy_week")
+def cloudy_week() -> EnvironmentTimeline:
+    """Seven overcast days: 10 h of weak daylight, 14 h of darkness."""
+    day = [
+        EnvironmentSample(10 * HOUR, OVERCAST_DAYLIGHT_2KLX, TEG_ROOM_22C_NO_WIND),
+        EnvironmentSample(14 * HOUR, DARKNESS, TEG_ROOM_22C_NO_WIND),
+    ]
+    return EnvironmentTimeline(day * 7)
+
+
+@register_timeline("sedentary_warm_day")
+def sedentary_warm_day() -> EnvironmentTimeline:
+    """Warm, still room all day: the TEG's hardest case (5 K delta)."""
+    return EnvironmentTimeline([
+        EnvironmentSample(8 * HOUR, INDOOR_OFFICE_700LX, TEG_WARM_ROOM_LOW_DELTA),
+        EnvironmentSample(16 * HOUR, DARKNESS, TEG_WARM_ROOM_LOW_DELTA),
+    ])
+
+
+# --- the scenario library ----------------------------------------------------
+
+_SCENARIOS: dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(spec: ScenarioSpec) -> ScenarioSpec:
+    """Add a named scenario to the library; rejects duplicate names."""
+    if spec.name in _SCENARIOS:
+        raise RegistryError(f"scenario {spec.name!r} is already registered")
+    _SCENARIOS[spec.name] = spec
+    return spec
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """The library scenario registered under ``name``."""
+    try:
+        return _SCENARIOS[name]
+    except KeyError:
+        raise RegistryError(
+            f"unknown scenario {name!r}; known: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> list[str]:
+    """All library scenario names, sorted."""
+    return sorted(_SCENARIOS)
+
+
+def all_scenarios() -> list[ScenarioSpec]:
+    """All library scenarios, sorted by name."""
+    return [_SCENARIOS[name] for name in scenario_names()]
+
+
+register_scenario(ScenarioSpec(
+    name="paper_indoor_worst_case",
+    timeline=TimelineSpec(name="paper_indoor_day"),
+    step_s=300.0,
+    description="Section IV-A: 6 h challenging indoor light, worst TEG",
+))
+
+register_scenario(ScenarioSpec(
+    name="sunny_office_worker",
+    timeline=TimelineSpec(name="office_day_with_commute"),
+    step_s=300.0,
+    description="office day bracketed by sunny, windy cycle commutes",
+))
+
+register_scenario(ScenarioSpec(
+    name="outdoor_hiker",
+    timeline=TimelineSpec(name="hiking_day"),
+    step_s=300.0,
+    description="seven hours of full sun and wind on the trail",
+))
+
+register_scenario(ScenarioSpec(
+    name="night_shift",
+    timeline=TimelineSpec(name="night_shift_day"),
+    step_s=300.0,
+    description="lit ward overnight, dark commutes, daytime sleep",
+))
+
+register_scenario(ScenarioSpec(
+    name="arctic_commute",
+    timeline=TimelineSpec(name="arctic_commute_day"),
+    step_s=300.0,
+    description="office day with two freezing windy walks (TEG-rich)",
+))
+
+register_scenario(ScenarioSpec(
+    name="dead_battery_cold_start",
+    timeline=TimelineSpec(name="paper_indoor_day"),
+    system=SystemSpec(battery=BatterySpec(initial_soc=0.02)),
+    step_s=300.0,
+    description="wake up at 2 % charge on the paper's worst-case day",
+))
+
+register_scenario(ScenarioSpec(
+    name="cloudy_week_multi_day",
+    timeline=TimelineSpec(name="cloudy_week"),
+    step_s=1800.0,
+    description="seven overcast days of weak daylight, multi-day horizon",
+))
+
+register_scenario(ScenarioSpec(
+    name="sedentary_low_teg",
+    timeline=TimelineSpec(name="sedentary_warm_day"),
+    step_s=300.0,
+    description="warm still room all day: 5 K skin-air delta starves the TEG",
+))

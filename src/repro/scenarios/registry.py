@@ -1,0 +1,226 @@
+"""String-keyed registries mapping spec names to component factories.
+
+Specs (:mod:`repro.scenarios.spec`) reference every buildable component
+— harvester chain, battery, manager policy, application, classifier
+network, processor configuration, environment timeline — by name, so a
+scenario serializes to plain JSON and third-party code can plug in new
+components without touching the builder:
+
+.. code-block:: python
+
+    from repro.scenarios import register_harvester
+
+    @register_harvester("solar_farm")
+    def build_solar_farm():
+        return MyGiantPanelChain()
+
+Built-in components are registered at the bottom of this module (and
+built-in timelines in :mod:`repro.scenarios.library`), so importing
+:mod:`repro.scenarios` wires up everything a stock spec can name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, TypeVar
+
+from repro.errors import RegistryError
+
+__all__ = [
+    "ComponentRegistry",
+    "HARVESTERS",
+    "BATTERIES",
+    "POLICIES",
+    "APPS",
+    "NETWORKS",
+    "PROCESSORS",
+    "TIMELINES",
+    "register_harvester",
+    "register_battery",
+    "register_policy",
+    "register_app",
+    "register_network",
+    "register_processor",
+    "register_timeline",
+]
+
+F = TypeVar("F", bound=Callable)
+
+
+class ComponentRegistry:
+    """A named factory table for one kind of component.
+
+    Args:
+        kind: what the registry holds ("harvester", "battery", ...);
+            used in error messages.
+    """
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._factories: dict[str, Callable] = {}
+
+    def register(self, name: str) -> Callable[[F], F]:
+        """Decorator registering ``name -> factory``; rejects duplicates."""
+        if not name:
+            raise RegistryError(f"{self.kind} name cannot be empty")
+
+        def decorator(factory: F) -> F:
+            if name in self._factories:
+                raise RegistryError(
+                    f"{self.kind} {name!r} is already registered"
+                )
+            self._factories[name] = factory
+            return factory
+
+        return decorator
+
+    def get(self, name: str) -> Callable:
+        """The factory registered under ``name``."""
+        try:
+            return self._factories[name]
+        except KeyError:
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; known: {self.names()}"
+            ) from None
+
+    def names(self) -> list[str]:
+        """All registered names, sorted."""
+        return sorted(self._factories)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._factories
+
+    def __len__(self) -> int:
+        return len(self._factories)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ComponentRegistry({self.kind!r}, {self.names()})"
+
+
+HARVESTERS = ComponentRegistry("harvester")
+BATTERIES = ComponentRegistry("battery")
+POLICIES = ComponentRegistry("policy")
+APPS = ComponentRegistry("app")
+NETWORKS = ComponentRegistry("network")
+PROCESSORS = ComponentRegistry("processor")
+TIMELINES = ComponentRegistry("timeline")
+
+register_harvester = HARVESTERS.register
+register_battery = BATTERIES.register
+register_policy = POLICIES.register
+register_app = APPS.register
+register_network = NETWORKS.register
+register_processor = PROCESSORS.register
+register_timeline = TIMELINES.register
+
+
+# --- built-in components -----------------------------------------------------
+#
+# Factory signatures by registry:
+#   HARVESTERS:  ()            -> object with battery_intake_w(lighting, thermal)
+#   BATTERIES:   (BatterySpec) -> battery
+#   POLICIES:    (PolicySpec)  -> ManagerPolicy
+#   APPS:        (AppSpec)     -> application
+#   NETWORKS:    ()            -> MultiLayerPerceptron
+#   PROCESSORS:  ()            -> ProcessorConfig
+#   TIMELINES:   ()            -> EnvironmentTimeline
+
+
+@dataclass(frozen=True)
+class _SingleChannelDual:
+    """Adapter exposing one harvesting channel as a dual-source chain.
+
+    Used by the ablation harvesters below so a spec can ask "what if
+    only the panel / only the TEG were populated" without changing the
+    simulation engine.
+    """
+
+    solar: object | None = None
+    teg: object | None = None
+
+    def battery_intake_w(self, lighting, thermal) -> float:
+        power = 0.0
+        if self.solar is not None:
+            power += self.solar.battery_intake_w(lighting)
+        if self.teg is not None:
+            power += self.teg.battery_intake_w(thermal)
+        return power
+
+
+@register_harvester("calibrated_dual")
+def _build_calibrated_dual():
+    from repro.harvest.calibrated import calibrated_dual_harvester
+
+    return calibrated_dual_harvester()
+
+
+@register_harvester("calibrated_solar_only")
+def _build_calibrated_solar_only():
+    from repro.harvest.calibrated import calibrated_solar_harvester
+
+    return _SingleChannelDual(solar=calibrated_solar_harvester())
+
+
+@register_harvester("calibrated_teg_only")
+def _build_calibrated_teg_only():
+    from repro.harvest.calibrated import calibrated_teg_harvester
+
+    return _SingleChannelDual(teg=calibrated_teg_harvester())
+
+
+@register_battery("lipo")
+def _build_lipo(spec):
+    from repro.power.battery import LiPoBattery
+
+    return LiPoBattery(
+        capacity_mah=spec.capacity_mah,
+        initial_soc=spec.initial_soc,
+        internal_resistance_ohm=spec.internal_resistance_ohm,
+        charge_efficiency=spec.charge_efficiency,
+    )
+
+
+@register_policy("energy_aware")
+def _build_energy_aware_policy(spec):
+    from repro.core.manager import ManagerPolicy
+
+    return ManagerPolicy(
+        min_rate_per_min=spec.min_rate_per_min,
+        max_rate_per_min=spec.max_rate_per_min,
+        low_soc=spec.low_soc,
+        high_soc=spec.high_soc,
+        neutrality_margin=spec.neutrality_margin,
+    )
+
+
+@register_app("stress_detection")
+def _build_stress_detection_app(spec):
+    from repro.core.application import StressDetectionApp
+
+    network = NETWORKS.get(spec.network)()
+    processor = PROCESSORS.get(spec.processor)()
+    return StressDetectionApp(network=network, processor=processor)
+
+
+@register_network("network_a")
+def _build_network_a():
+    from repro.fann.zoo import build_network_a
+
+    return build_network_a()
+
+
+@register_network("network_b")
+def _build_network_b():
+    from repro.fann.zoo import build_network_b
+
+    return build_network_b()
+
+
+def _register_builtin_processors() -> None:
+    from repro.timing.processors import ALL_PROCESSORS
+
+    for config in ALL_PROCESSORS:
+        PROCESSORS.register(config.key)(lambda config=config: config)
+
+
+_register_builtin_processors()

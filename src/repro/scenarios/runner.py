@@ -1,0 +1,162 @@
+"""Run scenarios — single or in parallel batches — and aggregate results.
+
+:class:`ScenarioRunner` executes a batch of
+:class:`~repro.scenarios.spec.ScenarioSpec` with a
+:class:`concurrent.futures.ThreadPoolExecutor` (each scenario builds
+its own components, so runs share nothing mutable; threads also see
+runtime registry registrations, which process pools would not) and
+returns a :class:`SweepResult` with the per-scenario outcomes in input
+order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.core.simulation import SimulationResult
+from repro.errors import SpecError
+from repro.scenarios.builder import build_simulation
+from repro.scenarios.spec import ScenarioSpec
+from repro.units import SECONDS_PER_DAY
+
+__all__ = ["ScenarioOutcome", "SweepResult", "run_scenario", "ScenarioRunner"]
+
+
+@dataclass(frozen=True)
+class ScenarioOutcome:
+    """Summary of one scenario run.
+
+    Attributes:
+        name: the scenario's library/spec name.
+        duration_s: simulated horizon.
+        energy_neutral: battery ended no lower than it started.
+        total_detections: detections executed over the horizon.
+        detections_per_day: detections normalised to a 24 h day.
+        initial_soc: battery state of charge at the start.
+        final_soc: battery state of charge at the end.
+        total_harvest_j: energy harvested into the battery.
+        total_consumed_j: energy drawn by detections and sleep.
+    """
+
+    name: str
+    duration_s: float
+    energy_neutral: bool
+    total_detections: float
+    detections_per_day: float
+    initial_soc: float
+    final_soc: float
+    total_harvest_j: float
+    total_consumed_j: float
+
+    @classmethod
+    def from_result(cls, name: str,
+                    result: SimulationResult) -> "ScenarioOutcome":
+        """Summarise a :class:`SimulationResult` under a scenario name."""
+        if not result.steps:
+            raise SpecError(f"scenario {name!r} produced no steps")
+        duration_s = float(result.duration_s)
+        days = duration_s / SECONDS_PER_DAY if duration_s > 0 else 1.0
+        # Plain Python scalars: the battery model leaks numpy scalars
+        # (np.interp) and those are not JSON-serializable.
+        return cls(
+            name=name,
+            duration_s=duration_s,
+            energy_neutral=bool(result.energy_neutral),
+            total_detections=float(result.total_detections),
+            detections_per_day=float(result.total_detections) / days,
+            initial_soc=float(result.initial_soc),
+            final_soc=float(result.final_soc),
+            total_harvest_j=float(result.total_harvest_j),
+            total_consumed_j=float(result.total_consumed_j),
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "duration_s": self.duration_s,
+            "energy_neutral": self.energy_neutral,
+            "total_detections": self.total_detections,
+            "detections_per_day": self.detections_per_day,
+            "initial_soc": self.initial_soc,
+            "final_soc": self.final_soc,
+            "total_harvest_j": self.total_harvest_j,
+            "total_consumed_j": self.total_consumed_j,
+        }
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Aggregate outcome of a scenario batch, in input order."""
+
+    outcomes: tuple[ScenarioOutcome, ...]
+
+    @property
+    def all_neutral(self) -> bool:
+        """True when every scenario in the sweep was energy-neutral."""
+        return all(outcome.energy_neutral for outcome in self.outcomes)
+
+    def by_name(self, name: str) -> ScenarioOutcome:
+        """The outcome of the named scenario."""
+        for outcome in self.outcomes:
+            if outcome.name == name:
+                return outcome
+        raise SpecError(f"no outcome for scenario {name!r} in this sweep")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"outcomes": [outcome.to_dict() for outcome in self.outcomes]}
+
+    def format_table(self) -> str:
+        """A fixed-width neutrality / detections-per-day report."""
+        header = (f"{'scenario':28s} {'neutral':>7s} {'det/day':>9s} "
+                  f"{'SoC start':>9s} {'SoC end':>8s} {'harvest J':>10s}")
+        lines = [header, "-" * len(header)]
+        for o in self.outcomes:
+            lines.append(
+                f"{o.name:28s} {'yes' if o.energy_neutral else 'NO':>7s} "
+                f"{o.detections_per_day:9.0f} {100 * o.initial_soc:8.1f}% "
+                f"{100 * o.final_soc:7.1f}% {o.total_harvest_j:10.2f}"
+            )
+        return "\n".join(lines)
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
+    """Build and run one scenario, returning its summary outcome."""
+    result = build_simulation(spec).run()
+    return ScenarioOutcome.from_result(spec.name, result)
+
+
+class ScenarioRunner:
+    """Executes scenario batches, optionally in parallel.
+
+    Args:
+        workers: default worker-thread count for :meth:`run_batch`;
+            ``1`` runs serially in the calling thread.
+    """
+
+    def __init__(self, workers: int = 1) -> None:
+        if workers < 1:
+            raise SpecError("worker count must be at least 1")
+        self.workers = workers
+
+    def run(self, spec: ScenarioSpec) -> ScenarioOutcome:
+        """Run a single scenario."""
+        return run_scenario(spec)
+
+    def run_batch(self, specs: Iterable[ScenarioSpec],
+                  workers: int | None = None) -> SweepResult:
+        """Run every scenario, ``workers`` at a time, preserving order."""
+        specs = list(specs)
+        names = [spec.name for spec in specs]
+        if len(set(names)) != len(names):
+            raise SpecError("batch scenario names must be unique")
+        n = self.workers if workers is None else workers
+        if n < 1:
+            raise SpecError("worker count must be at least 1")
+        if n == 1 or len(specs) <= 1:
+            outcomes: Sequence[ScenarioOutcome] = [run_scenario(s) for s in specs]
+        else:
+            with ThreadPoolExecutor(max_workers=min(n, len(specs))) as pool:
+                outcomes = list(pool.map(run_scenario, specs))
+        return SweepResult(outcomes=tuple(outcomes))

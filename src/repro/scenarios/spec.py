@@ -1,0 +1,300 @@
+"""Declarative specs for a whole simulated system and scenario.
+
+A :class:`ScenarioSpec` is the serializable description of one
+day-in-the-life experiment: which harvester chain, battery, manager
+policy and application to build (referenced by registry name, see
+:mod:`repro.scenarios.registry`), the environment timeline to drive
+them with, and the horizon/step to run.  Specs are frozen dataclasses
+with lossless ``to_dict``/``from_dict`` JSON round-tripping, so a
+scenario can be named, stored, swept and shipped between processes.
+
+The spec layer deliberately knows nothing about the component classes
+themselves — :mod:`repro.scenarios.builder` turns a spec into a live
+:class:`repro.core.simulation.DaySimulation`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, fields
+from typing import Any, Mapping
+
+from repro.errors import SpecError
+from repro.power.loads import SYSTEM_SLEEP_W
+
+__all__ = [
+    "SegmentSpec",
+    "TimelineSpec",
+    "BatterySpec",
+    "PolicySpec",
+    "AppSpec",
+    "SystemSpec",
+    "ScenarioSpec",
+]
+
+
+def _check_dict(data: Any, what: str) -> Mapping[str, Any]:
+    if not isinstance(data, Mapping):
+        raise SpecError(f"{what} must be a mapping, got {type(data).__name__}")
+    return data
+
+
+def _from_mapping(cls, data: Any):
+    """Build a flat spec dataclass from a mapping, rejecting unknown keys."""
+    data = _check_dict(data, cls.__name__)
+    known = {f.name for f in fields(cls)}
+    unknown = set(data) - known
+    if unknown:
+        raise SpecError(
+            f"unknown {cls.__name__} keys: {sorted(unknown)} "
+            f"(known: {sorted(known)})"
+        )
+    return cls(**data)
+
+
+@dataclass(frozen=True)
+class SegmentSpec:
+    """One piecewise-constant environment segment, fully inline.
+
+    Attributes:
+        duration_s: how long the conditions last.
+        lux: illuminance at the panel.
+        ambient_c: air temperature at the wrist.
+        skin_c: skin temperature under the TEG.
+        wind_ms: air speed over the watch.
+        label: optional human-readable tag for reports.
+    """
+
+    duration_s: float
+    lux: float
+    ambient_c: float
+    skin_c: float
+    wind_ms: float = 0.0
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise SpecError("segment duration must be positive")
+        if self.lux < 0:
+            raise SpecError("segment illuminance cannot be negative")
+        if self.wind_ms < 0:
+            raise SpecError("segment wind speed cannot be negative")
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SegmentSpec":
+        return _from_mapping(cls, data)
+
+
+@dataclass(frozen=True)
+class TimelineSpec:
+    """The environment over the horizon: a registry name or inline segments.
+
+    Exactly one of the two forms must be used:
+
+    * ``name`` — a timeline registered in
+      :data:`repro.scenarios.registry.TIMELINES`;
+    * ``segments`` — an explicit ordered tuple of :class:`SegmentSpec`,
+      self-contained and registry-independent.
+    """
+
+    name: str = ""
+    segments: tuple[SegmentSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        if bool(self.name) == bool(self.segments):
+            raise SpecError(
+                "a TimelineSpec needs exactly one of a registry name "
+                "or inline segments"
+            )
+        if self.segments:
+            object.__setattr__(self, "segments", tuple(self.segments))
+
+    def to_dict(self) -> dict[str, Any]:
+        if self.name:
+            return {"name": self.name}
+        return {"segments": [seg.to_dict() for seg in self.segments]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TimelineSpec":
+        data = _check_dict(data, "TimelineSpec")
+        unknown = set(data) - {"name", "segments"}
+        if unknown:
+            raise SpecError(f"unknown TimelineSpec keys: {sorted(unknown)}")
+        segments = tuple(SegmentSpec.from_dict(seg)
+                         for seg in data.get("segments", ()))
+        return cls(name=data.get("name", ""), segments=segments)
+
+
+@dataclass(frozen=True)
+class BatterySpec:
+    """Storage cell choice (by registry kind) and its parameters."""
+
+    kind: str = "lipo"
+    capacity_mah: float = 120.0
+    initial_soc: float = 0.5
+    internal_resistance_ohm: float = 0.35
+    charge_efficiency: float = 0.98
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise SpecError("battery kind cannot be empty")
+        if not 0.0 <= self.initial_soc <= 1.0:
+            raise SpecError("battery initial_soc must lie in [0, 1]")
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BatterySpec":
+        return _from_mapping(cls, data)
+
+
+@dataclass(frozen=True)
+class PolicySpec:
+    """Manager-policy choice (by registry kind) and its thresholds."""
+
+    kind: str = "energy_aware"
+    min_rate_per_min: float = 1.0
+    max_rate_per_min: float = 24.0
+    low_soc: float = 0.15
+    high_soc: float = 0.85
+    neutrality_margin: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise SpecError("policy kind cannot be empty")
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PolicySpec":
+        return _from_mapping(cls, data)
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Application choice (by registry kind) plus network/processor names."""
+
+    kind: str = "stress_detection"
+    network: str = "network_a"
+    processor: str = "ri5cy_multi"
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise SpecError("app kind cannot be empty")
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "AppSpec":
+        return _from_mapping(cls, data)
+
+
+@dataclass(frozen=True)
+class SystemSpec:
+    """The buildable watch: harvester chain, storage, policy, workload."""
+
+    harvester: str = "calibrated_dual"
+    battery: BatterySpec = BatterySpec()
+    policy: PolicySpec = PolicySpec()
+    app: AppSpec = AppSpec()
+    sleep_power_w: float = SYSTEM_SLEEP_W
+
+    def __post_init__(self) -> None:
+        if not self.harvester:
+            raise SpecError("harvester name cannot be empty")
+        if self.sleep_power_w < 0:
+            raise SpecError("sleep power cannot be negative")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "harvester": self.harvester,
+            "battery": self.battery.to_dict(),
+            "policy": self.policy.to_dict(),
+            "app": self.app.to_dict(),
+            "sleep_power_w": self.sleep_power_w,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SystemSpec":
+        data = _check_dict(data, "SystemSpec")
+        unknown = set(data) - {"harvester", "battery", "policy", "app",
+                               "sleep_power_w"}
+        if unknown:
+            raise SpecError(f"unknown SystemSpec keys: {sorted(unknown)}")
+        kwargs: dict[str, Any] = {}
+        if "harvester" in data:
+            kwargs["harvester"] = data["harvester"]
+        if "battery" in data:
+            kwargs["battery"] = BatterySpec.from_dict(data["battery"])
+        if "policy" in data:
+            kwargs["policy"] = PolicySpec.from_dict(data["policy"])
+        if "app" in data:
+            kwargs["app"] = AppSpec.from_dict(data["app"])
+        if "sleep_power_w" in data:
+            kwargs["sleep_power_w"] = data["sleep_power_w"]
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named, fully-described day-in-the-life experiment.
+
+    Attributes:
+        name: scenario identifier (library key, report label).
+        timeline: the environment over the horizon.
+        system: the watch to build.
+        step_s: simulation step size.
+        duration_s: horizon override; ``None`` runs the whole timeline.
+        description: one-line human-readable summary.
+    """
+
+    name: str
+    timeline: TimelineSpec
+    system: SystemSpec = SystemSpec()
+    step_s: float = 60.0
+    duration_s: float | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("scenario name cannot be empty")
+        if self.step_s <= 0:
+            raise SpecError("scenario step size must be positive")
+        if self.duration_s is not None and self.duration_s <= 0:
+            raise SpecError("scenario duration must be positive when given")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "timeline": self.timeline.to_dict(),
+            "system": self.system.to_dict(),
+            "step_s": self.step_s,
+            "duration_s": self.duration_s,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        data = _check_dict(data, "ScenarioSpec")
+        unknown = set(data) - {"name", "timeline", "system", "step_s",
+                               "duration_s", "description"}
+        if unknown:
+            raise SpecError(f"unknown ScenarioSpec keys: {sorted(unknown)}")
+        if "name" not in data or "timeline" not in data:
+            raise SpecError("a ScenarioSpec needs at least name and timeline")
+        kwargs: dict[str, Any] = {
+            "name": data["name"],
+            "timeline": TimelineSpec.from_dict(data["timeline"]),
+        }
+        if "system" in data:
+            kwargs["system"] = SystemSpec.from_dict(data["system"])
+        for key in ("step_s", "duration_s", "description"):
+            if key in data:
+                kwargs[key] = data[key]
+        return cls(**kwargs)

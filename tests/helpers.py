@@ -1,0 +1,18 @@
+"""Shared helpers for the test suite."""
+
+import os
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+# Subprocesses (examples, ``python -m repro``) import repro from the
+# source tree; make that work even when the suite runs without
+# PYTHONPATH=src (pytest's own path comes from pyproject's pythonpath
+# setting, which subprocesses don't inherit).
+SUBPROCESS_ENV = {
+    **os.environ,
+    "PYTHONPATH": os.pathsep.join(
+        [str(REPO_ROOT / "src")]
+        + ([os.environ["PYTHONPATH"]] if os.environ.get("PYTHONPATH") else [])
+    ),
+}

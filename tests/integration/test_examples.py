@@ -10,6 +10,8 @@ from pathlib import Path
 
 import pytest
 
+from tests.helpers import SUBPROCESS_ENV as ENV
+
 EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
 EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
 
@@ -19,7 +21,8 @@ def test_example_runs(script, tmp_path):
     args = [sys.executable, str(EXAMPLES_DIR / script)]
     if script == "deployment_export.py":
         args.append(str(tmp_path / "build"))
-    result = subprocess.run(args, capture_output=True, text=True, timeout=300)
+    result = subprocess.run(args, capture_output=True, text=True, timeout=300,
+                            env=ENV)
     assert result.returncode == 0, (
         f"{script} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
     )
@@ -34,7 +37,7 @@ def test_examples_exist():
 
 def test_quickstart_reports_paper_numbers():
     result = subprocess.run([sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
-                            capture_output=True, text=True, timeout=120)
+                            capture_output=True, text=True, timeout=120, env=ENV)
     assert "602.2" in result.stdout        # paper detection energy
     assert "24/minute" in result.stdout or "24" in result.stdout
 
@@ -43,7 +46,7 @@ def test_deployment_export_writes_artifacts(tmp_path):
     out = tmp_path / "fw"
     subprocess.run([sys.executable, str(EXAMPLES_DIR / "deployment_export.py"),
                     str(out)], capture_output=True, text=True, timeout=300,
-                   check=True)
+                   check=True, env=ENV)
     assert (out / "stress_net.h").exists()
     assert (out / "stress_net.net").exists()
     header = (out / "stress_net.h").read_text()

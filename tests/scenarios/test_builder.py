@@ -1,0 +1,164 @@
+"""Builder: spec -> live system, with defaults matching DaySimulation()."""
+
+import json
+
+import pytest
+
+from repro.core import DaySimulation, ManagerPolicy, StressDetectionApp
+from repro.core.manager import EnergyAwareManager
+from repro.errors import RegistryError
+from repro.harvest.dual import DualSourceHarvester
+from repro.power.battery import LiPoBattery
+from repro.scenarios import (
+    AppSpec,
+    BatterySpec,
+    PolicySpec,
+    ScenarioSpec,
+    SegmentSpec,
+    SystemSpec,
+    TimelineSpec,
+    build_app,
+    build_battery,
+    build_harvester,
+    build_policy,
+    build_simulation,
+    build_timeline,
+    get_scenario,
+)
+
+
+class TestComponentBuilders:
+    def test_default_battery_matches_stock_cell(self):
+        built = build_battery()
+        stock = LiPoBattery()
+        # Every constructor parameter: BatterySpec re-declares the
+        # core defaults, so a retune of LiPoBattery must fail here.
+        assert built.capacity_c == stock.capacity_c
+        assert built.state_of_charge == stock.state_of_charge
+        assert built.internal_resistance_ohm == stock.internal_resistance_ohm
+        assert built.charge_efficiency == stock.charge_efficiency
+        assert built.undervoltage_lockout_v == stock.undervoltage_lockout_v
+        assert built.overvoltage_v == stock.overvoltage_v
+
+    def test_default_policy_matches_paper_policy(self):
+        assert build_policy() == ManagerPolicy()
+
+    def test_default_app_matches_stock_app(self):
+        built = build_app()
+        stock = StressDetectionApp()
+        assert built.processor == stock.processor
+        assert (built.energy_budget().total_j
+                == pytest.approx(stock.energy_budget().total_j))
+
+    def test_default_harvester_is_calibrated_dual(self):
+        assert isinstance(build_harvester(), DualSourceHarvester)
+
+    def test_unknown_component_raises(self):
+        with pytest.raises(RegistryError):
+            build_harvester("warp_core")
+        with pytest.raises(RegistryError):
+            build_battery(BatterySpec(kind="flux_capacitor"))
+        with pytest.raises(RegistryError):
+            build_app(AppSpec(network="network_z"))
+
+    def test_named_timeline_matches_factory(self):
+        from repro.scenarios.library import paper_indoor_day
+
+        built = build_timeline(TimelineSpec(name="paper_indoor_day"))
+        assert built.total_duration_s == paper_indoor_day().total_duration_s
+
+    def test_inline_timeline_segments(self):
+        spec = TimelineSpec(segments=(
+            SegmentSpec(duration_s=600.0, lux=700.0, ambient_c=22.0,
+                        skin_c=32.0),
+            SegmentSpec(duration_s=1200.0, lux=0.0, ambient_c=15.0,
+                        skin_c=30.0, wind_ms=3.0),
+        ))
+        timeline = build_timeline(spec)
+        assert timeline.total_duration_s == 1800.0
+        assert timeline.at(0.0).lighting.lux == 700.0
+        assert timeline.at(900.0).thermal.wind_ms == 3.0
+
+
+class TestBuildSimulation:
+    def test_build_simulation_defaults_match_direct_construction(self):
+        """The acceptance criterion: a default spec-built system produces
+        a bit-identical SimulationResult to DaySimulation()'s defaults."""
+        from repro.scenarios.library import paper_indoor_day
+
+        spec = get_scenario("paper_indoor_worst_case")
+        from_spec = build_simulation(spec).run(spec.duration_s)
+        direct = DaySimulation(paper_indoor_day(), step_s=300.0).run()
+        assert from_spec == direct
+
+    def test_json_round_trip_produces_bit_identical_result(self):
+        spec = get_scenario("sunny_office_worker")
+        rebuilt = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert build_simulation(spec).run() == build_simulation(rebuilt).run()
+
+    def test_spec_duration_reaches_run_default(self):
+        """build_simulation(spec).run() honours the spec's horizon
+        override, matching run_scenario(spec)."""
+        import dataclasses
+
+        from repro.scenarios import run_scenario
+
+        spec = dataclasses.replace(get_scenario("paper_indoor_worst_case"),
+                                   duration_s=3600.0)
+        result = build_simulation(spec).run()
+        assert result.duration_s == pytest.approx(3600.0)
+        assert run_scenario(spec).duration_s == pytest.approx(3600.0)
+
+    def test_spec_parameters_reach_components(self):
+        spec = ScenarioSpec(
+            name="custom",
+            timeline=TimelineSpec(name="paper_indoor_day"),
+            system=SystemSpec(
+                battery=BatterySpec(initial_soc=0.25, capacity_mah=60.0),
+                policy=PolicySpec(max_rate_per_min=10.0),
+                sleep_power_w=1e-5,
+            ),
+            step_s=450.0,
+        )
+        sim = build_simulation(spec)
+        assert sim.battery.state_of_charge == pytest.approx(0.25)
+        assert sim.manager.policy.max_rate_per_min == 10.0
+        assert sim.step_s == 450.0
+        assert sim.sleep_power_w == 1e-5
+
+    def test_injected_manager_used_without_building_an_app(self):
+        from repro.scenarios.library import paper_indoor_day
+
+        manager = EnergyAwareManager(1e-3, ManagerPolicy(max_rate_per_min=2.0))
+        sim = DaySimulation(paper_indoor_day(), manager=manager)
+        assert sim.manager is manager
+        assert sim.app is None  # no default app built for it
+
+    def test_manager_and_policy_together_rejected(self):
+        from repro.errors import SimulationError
+        from repro.scenarios.library import paper_indoor_day
+
+        manager = EnergyAwareManager(1e-3)
+        with pytest.raises(SimulationError, match="not both"):
+            DaySimulation(paper_indoor_day(), manager=manager,
+                          policy=ManagerPolicy())
+
+    def test_solar_only_harvester_ignores_teg(self):
+        from repro.harvest.environment import DARKNESS, TEG_ROOM_15C_WIND_42KMH
+
+        solar_only = build_harvester("calibrated_solar_only")
+        assert solar_only.battery_intake_w(DARKNESS,
+                                           TEG_ROOM_15C_WIND_42KMH) == 0.0
+
+    def test_teg_only_harvester_ignores_light(self):
+        from repro.harvest.environment import (
+            OUTDOOR_SUN_30KLX,
+            TEG_ROOM_22C_NO_WIND,
+        )
+
+        teg_only = build_harvester("calibrated_teg_only")
+        dual = build_harvester("calibrated_dual")
+        teg_w = teg_only.battery_intake_w(OUTDOOR_SUN_30KLX, TEG_ROOM_22C_NO_WIND)
+        assert teg_w < dual.battery_intake_w(OUTDOOR_SUN_30KLX,
+                                             TEG_ROOM_22C_NO_WIND)
+        assert teg_w == pytest.approx(24.0e-6, rel=1e-6)

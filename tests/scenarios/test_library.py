@@ -1,0 +1,105 @@
+"""Built-in scenario library: registration and energy plausibility."""
+
+import pytest
+
+from repro.errors import RegistryError
+from repro.scenarios import (
+    ScenarioSpec,
+    TimelineSpec,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
+
+EXPECTED_NAMES = {
+    "paper_indoor_worst_case",
+    "sunny_office_worker",
+    "outdoor_hiker",
+    "night_shift",
+    "arctic_commute",
+    "dead_battery_cold_start",
+    "cloudy_week_multi_day",
+    "sedentary_low_teg",
+}
+
+
+class TestLibraryContents:
+    def test_library_has_at_least_eight_scenarios(self):
+        assert len(scenario_names()) >= 8
+        assert EXPECTED_NAMES <= set(scenario_names())
+
+    def test_every_scenario_has_description(self):
+        for spec in all_scenarios():
+            assert spec.description, f"{spec.name} lacks a description"
+
+    def test_get_unknown_scenario_raises(self):
+        with pytest.raises(RegistryError, match="paper_indoor_worst_case"):
+            get_scenario("marathon_on_the_moon")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(RegistryError, match="already registered"):
+            register_scenario(get_scenario("paper_indoor_worst_case"))
+
+    def test_runtime_registration_round_trip(self):
+        name = "test_registered_scenario"
+        if name not in scenario_names():
+            register_scenario(ScenarioSpec(
+                name=name,
+                timeline=TimelineSpec(name="paper_indoor_day"),
+                description="runtime-added",
+            ))
+        assert get_scenario(name).description == "runtime-added"
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    """Run every built-in scenario once; module-scoped for speed."""
+    return {spec.name: run_scenario(spec) for spec in all_scenarios()
+            if spec.name in EXPECTED_NAMES}
+
+
+class TestEnergyPlausibility:
+    def test_every_scenario_is_physically_sane(self, outcomes):
+        for name, o in outcomes.items():
+            assert 0.0 <= o.final_soc <= 1.0, name
+            assert o.total_detections >= 1, name
+            assert 0.0 < o.total_harvest_j < 10_000.0, name
+            assert o.total_consumed_j > 0.0, name
+            assert o.detections_per_day < 24.0 * 60 * 24, name  # rate cap
+
+    def test_paper_scenario_is_energy_neutral(self, outcomes):
+        o = outcomes["paper_indoor_worst_case"]
+        assert o.energy_neutral
+        assert o.total_harvest_j == pytest.approx(21.5, rel=0.05)
+
+    def test_outdoor_hiker_charges_battery(self, outcomes):
+        o = outcomes["outdoor_hiker"]
+        assert o.final_soc > o.initial_soc + 0.1
+
+    def test_arctic_commute_outharvests_warm_office(self, outcomes):
+        assert (outcomes["arctic_commute"].total_harvest_j
+                > outcomes["paper_indoor_worst_case"].total_harvest_j)
+
+    def test_sedentary_low_teg_still_neutral(self, outcomes):
+        assert outcomes["sedentary_low_teg"].energy_neutral
+
+    def test_dead_battery_cold_start_recovers(self, outcomes):
+        o = outcomes["dead_battery_cold_start"]
+        assert o.initial_soc == pytest.approx(0.02)
+        assert o.final_soc > o.initial_soc
+        # The low-SoC band throttles to the floor rate (1/min).
+        assert o.detections_per_day == pytest.approx(1440.0, rel=0.05)
+
+    def test_cloudy_week_runs_seven_days(self, outcomes):
+        o = outcomes["cloudy_week_multi_day"]
+        assert o.duration_s == pytest.approx(7 * 86400.0)
+        assert o.energy_neutral
+
+    def test_night_shift_matches_inverted_office(self, outcomes):
+        o = outcomes["night_shift"]
+        assert o.energy_neutral
+        # 14 lit hours beat the paper day's 6.
+        assert (o.total_harvest_j
+                > outcomes["paper_indoor_worst_case"].total_harvest_j)

@@ -1,0 +1,85 @@
+"""Component registries: lookups, error paths, third-party plug-in."""
+
+import pytest
+
+from repro.errors import RegistryError
+from repro.scenarios import (
+    APPS,
+    BATTERIES,
+    ComponentRegistry,
+    HARVESTERS,
+    NETWORKS,
+    POLICIES,
+    PROCESSORS,
+    TIMELINES,
+)
+
+
+class TestBuiltins:
+    def test_builtin_harvesters_registered(self):
+        assert "calibrated_dual" in HARVESTERS
+        assert "calibrated_solar_only" in HARVESTERS
+        assert "calibrated_teg_only" in HARVESTERS
+
+    def test_builtin_components_registered(self):
+        assert "lipo" in BATTERIES
+        assert "energy_aware" in POLICIES
+        assert "stress_detection" in APPS
+        assert "network_a" in NETWORKS and "network_b" in NETWORKS
+        for key in ("arm_m4f", "ibex", "ri5cy_single", "ri5cy_multi"):
+            assert key in PROCESSORS
+
+    def test_builtin_timelines_registered(self):
+        for name in ("paper_indoor_day", "office_day_with_commute",
+                     "cloudy_week"):
+            assert name in TIMELINES
+
+    def test_processor_factories_return_configs(self):
+        config = PROCESSORS.get("ri5cy_multi")()
+        assert config.key == "ri5cy_multi"
+        assert config.n_cores == 8
+
+
+class TestErrorPaths:
+    def test_unknown_name_raises_with_known_names(self):
+        with pytest.raises(RegistryError, match="calibrated_dual"):
+            HARVESTERS.get("fusion_reactor")
+
+    def test_unknown_names_across_registries(self):
+        for registry in (BATTERIES, POLICIES, APPS, NETWORKS, PROCESSORS,
+                         TIMELINES):
+            with pytest.raises(RegistryError, match=registry.kind):
+                registry.get("definitely_not_registered")
+
+    def test_duplicate_registration_rejected(self):
+        registry = ComponentRegistry("widget")
+        registry.register("a")(lambda: 1)
+        with pytest.raises(RegistryError, match="already registered"):
+            registry.register("a")(lambda: 2)
+
+    def test_empty_name_rejected(self):
+        registry = ComponentRegistry("widget")
+        with pytest.raises(RegistryError):
+            registry.register("")
+
+
+class TestPlugIn:
+    def test_third_party_component_usable_from_spec(self):
+        """A runtime-registered harvester is buildable by name."""
+        from repro.scenarios import build_harvester
+
+        registry_name = "test_constant_harvester"
+        if registry_name not in HARVESTERS:
+            @HARVESTERS.register(registry_name)
+            def _build():
+                class Constant:
+                    def battery_intake_w(self, lighting, thermal):
+                        return 1e-3
+                return Constant()
+
+        harvester = build_harvester(registry_name)
+        assert harvester.battery_intake_w(None, None) == 1e-3
+
+    def test_names_are_sorted(self):
+        assert HARVESTERS.names() == sorted(HARVESTERS.names())
+        assert len(HARVESTERS) == len(HARVESTERS.names())

@@ -1,0 +1,87 @@
+"""ScenarioRunner: parallel batches match serial runs exactly."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.scenarios import (
+    ScenarioRunner,
+    SweepResult,
+    get_scenario,
+    run_scenario,
+)
+
+BATCH_NAMES = [
+    "paper_indoor_worst_case",
+    "sunny_office_worker",
+    "dead_battery_cold_start",
+    "sedentary_low_teg",
+]
+
+
+@pytest.fixture(scope="module")
+def batch_specs():
+    return [get_scenario(name) for name in BATCH_NAMES]
+
+
+class TestRunBatch:
+    def test_parallel_batch_matches_serial_runs(self, batch_specs):
+        """The 4-scenario smoke test: worker results are identical to
+        one-at-a-time runs (simulations share no mutable state)."""
+        serial = [run_scenario(spec) for spec in batch_specs]
+        sweep = ScenarioRunner(workers=4).run_batch(batch_specs)
+        assert list(sweep.outcomes) == serial
+
+    def test_batch_preserves_input_order(self, batch_specs):
+        sweep = ScenarioRunner(workers=3).run_batch(batch_specs)
+        assert [o.name for o in sweep.outcomes] == BATCH_NAMES
+
+    def test_serial_worker_count_runs_inline(self, batch_specs):
+        sweep = ScenarioRunner(workers=1).run_batch(batch_specs[:2])
+        assert [o.name for o in sweep.outcomes] == BATCH_NAMES[:2]
+
+    def test_workers_override_per_call(self, batch_specs):
+        runner = ScenarioRunner(workers=1)
+        sweep = runner.run_batch(batch_specs[:2], workers=2)
+        assert len(sweep.outcomes) == 2
+
+    def test_duplicate_names_rejected(self, batch_specs):
+        with pytest.raises(SpecError, match="unique"):
+            ScenarioRunner().run_batch([batch_specs[0], batch_specs[0]])
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(SpecError):
+            ScenarioRunner(workers=0)
+        with pytest.raises(SpecError):
+            ScenarioRunner().run_batch([], workers=0)
+
+    def test_empty_batch_is_empty_sweep(self):
+        sweep = ScenarioRunner().run_batch([])
+        assert sweep.outcomes == ()
+        assert sweep.all_neutral  # vacuously
+
+
+class TestSweepResult:
+    @pytest.fixture(scope="class")
+    def sweep(self, batch_specs) -> SweepResult:
+        return ScenarioRunner(workers=4).run_batch(batch_specs)
+
+    def test_by_name_lookup(self, sweep):
+        outcome = sweep.by_name("sunny_office_worker")
+        assert outcome.name == "sunny_office_worker"
+        with pytest.raises(SpecError):
+            sweep.by_name("absent")
+
+    def test_to_dict_is_json_ready(self, sweep):
+        import json
+
+        payload = json.loads(json.dumps(sweep.to_dict()))
+        assert len(payload["outcomes"]) == len(BATCH_NAMES)
+        for entry in payload["outcomes"]:
+            assert isinstance(entry["energy_neutral"], bool)
+            assert isinstance(entry["detections_per_day"], float)
+
+    def test_format_table_lists_every_scenario(self, sweep):
+        table = sweep.format_table()
+        for name in BATCH_NAMES:
+            assert name in table
+        assert "det/day" in table

@@ -1,0 +1,115 @@
+"""Spec dataclasses: validation and lossless JSON round-tripping."""
+
+import json
+
+import pytest
+
+from repro.errors import SpecError
+from repro.scenarios import (
+    AppSpec,
+    BatterySpec,
+    PolicySpec,
+    ScenarioSpec,
+    SegmentSpec,
+    SystemSpec,
+    TimelineSpec,
+)
+
+
+def inline_scenario() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="custom_inline",
+        timeline=TimelineSpec(segments=(
+            SegmentSpec(duration_s=3600.0, lux=700.0, ambient_c=22.0,
+                        skin_c=32.0, label="office"),
+            SegmentSpec(duration_s=7200.0, lux=0.0, ambient_c=15.0,
+                        skin_c=30.0, wind_ms=5.0, label="windy night"),
+        )),
+        system=SystemSpec(
+            harvester="calibrated_dual",
+            battery=BatterySpec(initial_soc=0.3, capacity_mah=90.0),
+            policy=PolicySpec(max_rate_per_min=12.0),
+            app=AppSpec(processor="arm_m4f"),
+        ),
+        step_s=120.0,
+        duration_s=5400.0,
+        description="hand-built inline scenario",
+    )
+
+
+class TestRoundTrip:
+    def test_named_timeline_round_trip(self):
+        spec = ScenarioSpec(name="x", timeline=TimelineSpec(name="paper_indoor_day"))
+        rebuilt = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+
+    def test_inline_scenario_round_trip(self):
+        spec = inline_scenario()
+        rebuilt = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+
+    def test_round_trip_preserves_none_duration(self):
+        spec = ScenarioSpec(name="x", timeline=TimelineSpec(name="paper_indoor_day"),
+                            duration_s=None)
+        rebuilt = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt.duration_s is None
+
+    def test_library_scenarios_round_trip(self):
+        from repro.scenarios import all_scenarios
+
+        for spec in all_scenarios():
+            rebuilt = ScenarioSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+            assert rebuilt == spec
+
+
+class TestValidation:
+    def test_scenario_needs_name(self):
+        with pytest.raises(SpecError):
+            ScenarioSpec(name="", timeline=TimelineSpec(name="paper_indoor_day"))
+
+    def test_scenario_step_must_be_positive(self):
+        with pytest.raises(SpecError):
+            ScenarioSpec(name="x", timeline=TimelineSpec(name="paper_indoor_day"),
+                         step_s=0.0)
+
+    def test_timeline_needs_exactly_one_form(self):
+        with pytest.raises(SpecError):
+            TimelineSpec()
+        with pytest.raises(SpecError):
+            TimelineSpec(name="paper_indoor_day",
+                         segments=(SegmentSpec(1.0, 0.0, 22.0, 32.0),))
+
+    def test_segment_validation(self):
+        with pytest.raises(SpecError):
+            SegmentSpec(duration_s=0.0, lux=0.0, ambient_c=22.0, skin_c=32.0)
+        with pytest.raises(SpecError):
+            SegmentSpec(duration_s=1.0, lux=-1.0, ambient_c=22.0, skin_c=32.0)
+        with pytest.raises(SpecError):
+            SegmentSpec(duration_s=1.0, lux=0.0, ambient_c=22.0, skin_c=32.0,
+                        wind_ms=-1.0)
+
+    def test_battery_soc_bounds(self):
+        with pytest.raises(SpecError):
+            BatterySpec(initial_soc=1.5)
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SpecError):
+            ScenarioSpec.from_dict({"name": "x",
+                                    "timeline": {"name": "paper_indoor_day"},
+                                    "bogus": 1})
+        with pytest.raises(SpecError):
+            BatterySpec.from_dict({"kind": "lipo", "volts": 3.7})
+        with pytest.raises(SpecError):
+            TimelineSpec.from_dict({"name": "d", "extra": True})
+
+    def test_from_dict_requires_mapping(self):
+        with pytest.raises(SpecError):
+            ScenarioSpec.from_dict(["not", "a", "dict"])
+
+    def test_from_dict_requires_name_and_timeline(self):
+        with pytest.raises(SpecError):
+            ScenarioSpec.from_dict({"name": "x"})
+
+    def test_sleep_power_cannot_be_negative(self):
+        with pytest.raises(SpecError):
+            SystemSpec(sleep_power_w=-1.0)

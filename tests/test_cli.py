@@ -1,11 +1,13 @@
 """CLI tests (``python -m repro``)."""
 
+import json
 import subprocess
 import sys
 
 import pytest
 
 from repro.cli import main
+from tests.helpers import SUBPROCESS_ENV as ENV
 
 
 class TestCommands:
@@ -58,9 +60,75 @@ class TestCommands:
             main(["table99"])
 
 
+class TestScenarioCommands:
+    def test_scenarios_list_names_library(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "paper_indoor_worst_case" in out
+        assert "sunny_office_worker" in out
+
+    def test_simulate_prints_summary(self, capsys):
+        assert main(["simulate", "paper_indoor_worst_case"]) == 0
+        out = capsys.readouterr().out
+        assert "paper_indoor_worst_case" in out
+        assert "detections" in out
+        assert "energy-neutral" in out
+
+    def test_simulate_json_is_machine_readable(self, capsys):
+        assert main(["simulate", "paper_indoor_worst_case", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["name"] == "paper_indoor_worst_case"
+        assert payload["outcome"]["energy_neutral"] is True
+        assert payload["outcome"]["total_detections"] > 0
+
+    def test_simulate_unknown_scenario_errors(self, capsys):
+        assert main(["simulate", "no_such_scenario"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown scenario" in err
+        assert "paper_indoor_worst_case" in err  # suggests known names
+
+    def test_sweep_bad_worker_count_errors(self, capsys):
+        assert main(["sweep", "--all", "--workers", "0"]) == 2
+        assert "worker count" in capsys.readouterr().err
+
+    def test_sweep_named_scenarios(self, capsys):
+        assert main(["sweep", "paper_indoor_worst_case",
+                     "dead_battery_cold_start", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "paper_indoor_worst_case" in out
+        assert "dead_battery_cold_start" in out
+        assert "det/day" in out
+
+    def test_sweep_requires_selection(self, capsys):
+        assert main(["sweep"]) == 2
+
+    def test_sweep_rejects_all_plus_names(self, capsys):
+        assert main(["sweep", "--all", "outdoor_hiker"]) == 2
+        assert "not both" in capsys.readouterr().err
+
+    def test_sweep_json(self, capsys):
+        assert main(["sweep", "paper_indoor_worst_case", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["outcomes"]) == 1
+        assert payload["outcomes"][0]["name"] == "paper_indoor_worst_case"
+
+
 def test_module_invocation():
     """``python -m repro table3`` works from a subprocess."""
     result = subprocess.run([sys.executable, "-m", "repro", "table3"],
-                            capture_output=True, text=True, timeout=120)
+                            capture_output=True, text=True, timeout=120,
+                            env=ENV)
     assert result.returncode == 0
     assert "30,210" in result.stdout
+
+
+def test_module_invocation_sweep_all():
+    """The acceptance path: every library scenario, 4 parallel workers."""
+    result = subprocess.run(
+        [sys.executable, "-m", "repro", "sweep", "--all", "--workers", "4"],
+        capture_output=True, text=True, timeout=600, env=ENV)
+    assert result.returncode == 0
+    assert "all energy-neutral" in result.stdout
+    for name in ("paper_indoor_worst_case", "outdoor_hiker",
+                 "cloudy_week_multi_day"):
+        assert name in result.stdout
