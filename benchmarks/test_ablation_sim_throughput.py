@@ -1,0 +1,206 @@
+"""Ablation A6 — simulation-core throughput (PR 2 fast-path baseline).
+
+Measures the day-in-the-life engine before and after the fast-path
+work (segment-walk stepping + per-segment harvest evaluation + harvest
+memoization + lean traces) and the sweep backends, then writes
+``BENCH_sim_throughput.json`` at the repo root so the numbers become
+part of the perf trajectory.  The "legacy" side is a verbatim replica
+of the pre-optimization loop (per-step linear segment scan, per-step
+harvest solve, full trace), so the speedup is measured against real
+history, not a strawman — and the results must be *bitwise identical*,
+which this bench asserts before it asserts speed.
+
+Run it::
+
+    python -m pytest benchmarks/test_ablation_sim_throughput.py -s
+
+``BENCH_QUICK=1`` shrinks the multi-day horizon (30 -> 3 days) for CI
+smoke runs; the JSON records which mode produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+from repro.scenarios import (
+    ScenarioRunner,
+    ScenarioSpec,
+    SegmentSpec,
+    TimelineSpec,
+    all_scenarios,
+    build_simulation,
+    get_scenario,
+)
+from repro.scenarios.builder import build_timeline
+from tests.helpers import legacy_reference_run as _legacy_run
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_sim_throughput.json"
+QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+MULTI_DAYS = 3 if QUICK else 30
+STEP_S = 300.0
+SPEEDUP_FLOOR = 10.0
+
+
+def _office_worker_spec(days: int) -> ScenarioSpec:
+    """``sunny_office_worker`` stretched to a multi-day horizon by
+    repeating its timeline's segments inline."""
+    base = get_scenario("sunny_office_worker")
+    timeline = build_timeline(base.timeline)
+    segments = tuple(
+        SegmentSpec(duration_s=seg.duration_s, lux=seg.lighting.lux,
+                    ambient_c=seg.thermal.ambient_c,
+                    skin_c=seg.thermal.skin_c, wind_ms=seg.thermal.wind_ms)
+        for _ in range(days) for seg in timeline.segments
+    )
+    return ScenarioSpec(
+        name=f"sunny_office_worker_{days}d",
+        timeline=TimelineSpec(segments=segments),
+        system=base.system,
+        step_s=STEP_S,
+        description=f"{days} repeated office-commute days",
+    )
+
+
+def _best_of(prepare, execute, repeats: int):
+    """Best-of-N wall clock of ``execute(prepare())``, timing only the
+    execute — construction stays outside the timed region on every
+    side, so legacy and optimized are compared like for like."""
+    best_s = float("inf")
+    result = None
+    for _ in range(repeats):
+        sim = prepare()
+        t0 = time.perf_counter()
+        result = execute(sim)
+        best_s = min(best_s, time.perf_counter() - t0)
+    return best_s, result
+
+
+def _measure_single_run(spec: ScenarioSpec) -> dict:
+    import dataclasses
+
+    repeats = 3
+    lean_spec = dataclasses.replace(spec, trace="none")
+    legacy_s, legacy = _best_of(
+        lambda: build_simulation(spec, cache_harvest=False),
+        _legacy_run, repeats)
+    optimized_s, optimized = _best_of(
+        lambda: build_simulation(spec), lambda sim: sim.run(), repeats)
+    lean_s, lean = _best_of(
+        lambda: build_simulation(lean_spec), lambda sim: sim.run(), repeats)
+
+    steps = len(legacy.steps)
+    identical = (
+        optimized == legacy  # totals AND the full per-step trace
+        and lean.total_detections == legacy.total_detections
+        and lean.total_harvest_j == legacy.total_harvest_j
+        and lean.total_consumed_j == legacy.total_consumed_j
+        and lean.final_soc == legacy.final_soc
+    )
+    return {
+        "steps": steps,
+        "legacy_s": round(legacy_s, 6),
+        "optimized_s": round(optimized_s, 6),
+        "optimized_trace_none_s": round(lean_s, 6),
+        "legacy_steps_per_s": round(steps / legacy_s, 1),
+        "optimized_steps_per_s": round(steps / optimized_s, 1),
+        "speedup": round(legacy_s / optimized_s, 2),
+        "results_identical": identical,
+    }
+
+
+def _measure_sweep() -> dict:
+    # run_scenario forces trace="none" itself, so the stock library
+    # specs already take the lean path in every backend.
+    specs = all_scenarios()
+    timings = {}
+    outcomes = {}
+    for backend, workers in (("serial", 1), ("thread", 4), ("process", 4)):
+        runner = ScenarioRunner(workers=workers, backend=backend)
+        t0 = time.perf_counter()
+        sweep = runner.run_batch(specs)
+        elapsed = time.perf_counter() - t0
+        timings[backend] = elapsed
+        outcomes[backend] = sweep.outcomes
+    return {
+        "scenarios": len(specs),
+        **{f"{b}_s": round(t, 6) for b, t in timings.items()},
+        **{f"{b}_scenarios_per_s": round(len(specs) / t, 2)
+           for b, t in timings.items()},
+        "backends_identical": (outcomes["serial"] == outcomes["thread"]
+                               == outcomes["process"]),
+    }
+
+
+def test_sim_throughput_bench(print_rows):
+    one_day = _measure_single_run(_office_worker_spec(1))
+    multi_day = _measure_single_run(_office_worker_spec(MULTI_DAYS))
+
+    spec = _office_worker_spec(MULTI_DAYS)
+    sim = build_simulation(spec)
+    sim.run()
+    cache = sim.harvester.stats
+
+    sweep = _measure_sweep()
+
+    # Evaluated before the JSON is written so a failing run stamps
+    # itself as failing — a bad baseline can then never be mistaken
+    # for (or committed as) a clean one.  The speedup floor only
+    # gates full mode: quick mode's tiny horizon makes the ratio
+    # noise-dominated on loaded CI runners, and the smoke value there
+    # is the identity checks.
+    passed = (one_day["results_identical"]
+              and multi_day["results_identical"]
+              and sweep["backends_identical"]
+              and (QUICK or multi_day["speedup"] >= SPEEDUP_FLOOR))
+    payload = {
+        "bench": "sim_throughput",
+        "quick_mode": QUICK,
+        "assertions_passed": passed,
+        "python": platform.python_version(),
+        "step_s": STEP_S,
+        "single_run": {
+            "one_day": one_day,
+            f"{MULTI_DAYS}_day": multi_day,
+        },
+        "sweep": sweep,
+        "harvest_cache": {
+            "hits": cache.hits,
+            "misses": cache.misses,
+            "hit_rate": round(cache.hit_rate, 4),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    rows = [
+        ("1-day steps/s", f"{one_day['legacy_steps_per_s']:,.0f} (legacy)",
+         f"{one_day['optimized_steps_per_s']:,.0f} "
+         f"({one_day['speedup']:.1f}x)"),
+        (f"{MULTI_DAYS}-day steps/s",
+         f"{multi_day['legacy_steps_per_s']:,.0f} (legacy)",
+         f"{multi_day['optimized_steps_per_s']:,.0f} "
+         f"({multi_day['speedup']:.1f}x)"),
+        ("sweep scenarios/s", f"{sweep['serial_scenarios_per_s']} (serial)",
+         f"thread {sweep['thread_scenarios_per_s']} / "
+         f"process {sweep['process_scenarios_per_s']}"),
+        ("harvest memo", f"{cache.misses} misses",
+         f"{cache.hits} hits ({100 * cache.hit_rate:.0f}%)"),
+    ]
+    print_rows(f"Ablation: simulation throughput "
+               f"({'quick' if QUICK else 'full'} mode, "
+               f"JSON -> {BENCH_PATH.name})",
+               ("quantity", "baseline", "optimized"), rows)
+
+    # Correctness before speed: the fast path must be numerically
+    # invisible, bit for bit.
+    assert one_day["results_identical"]
+    assert multi_day["results_identical"]
+    assert sweep["backends_identical"]
+    # The acceptance bar: >=10x on the multi-day single run.  Not
+    # asserted in quick mode, where the shrunken horizon makes the
+    # ratio noise-dominated on shared CI runners.
+    if not QUICK:
+        assert multi_day["speedup"] >= SPEEDUP_FLOOR, multi_day

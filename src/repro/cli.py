@@ -18,7 +18,13 @@ Scenario commands drive the declarative scenario API
     python -m repro simulate paper_indoor_worst_case     # run one scenario
     python -m repro simulate paper_indoor_worst_case --json
     python -m repro sweep --all --workers 4              # parallel batch sweep
+    python -m repro sweep --all --backend process        # process-pool sweep
     python -m repro sweep outdoor_hiker night_shift --json
+
+``sweep --backend`` picks the execution backend: ``serial``,
+``thread`` (default) or ``process``.  The process backend spawns
+fresh workers, so scenarios must reference components registered at
+import time (the whole built-in library qualifies).
 
 ``simulate --json`` and ``sweep --json`` emit machine-readable results
 for downstream tooling; the scenario names are the library keys listed
@@ -196,11 +202,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     else:
         print("sweep: name scenarios or pass --all", file=sys.stderr)
         return 2
-    sweep = ScenarioRunner(workers=args.workers).run_batch(specs)
+    sweep = ScenarioRunner(workers=args.workers,
+                           backend=args.backend).run_batch(specs)
     if args.json:
         print(json.dumps(sweep.to_dict(), indent=2))
     else:
-        print(f"Sweep: {len(specs)} scenario(s), {args.workers} worker(s)")
+        print(f"Sweep: {len(specs)} scenario(s), {args.workers} worker(s), "
+              f"{args.backend} backend")
         print(sweep.format_table())
         print(f"all energy-neutral: {'yes' if sweep.all_neutral else 'no'}")
     return 0
@@ -239,7 +247,12 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument("--all", dest="all_scenarios", action="store_true",
                          help="sweep every library scenario")
     p_sweep.add_argument("--workers", type=int, default=4,
-                         help="parallel worker threads (default 4)")
+                         help="parallel workers (default 4)")
+    p_sweep.add_argument("--backend", choices=["serial", "thread", "process"],
+                         default="thread",
+                         help="execution backend (default thread; process "
+                              "spawns workers and needs import-time "
+                              "registered components)")
     p_sweep.add_argument("--json", action="store_true",
                          help="emit the sweep result as JSON")
 

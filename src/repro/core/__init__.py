@@ -38,7 +38,12 @@ from repro.core.modes import (
     battery_lifetime_s,
     mode_power_w,
 )
-from repro.core.simulation import DaySimulation, SimulationResult, SimulationStep
+from repro.core.simulation import (
+    DaySimulation,
+    SimulationResult,
+    SimulationStep,
+    TraceMode,
+)
 
 __all__ = [
     "InfiniWolfDevice",
@@ -62,4 +67,5 @@ __all__ = [
     "DaySimulation",
     "SimulationResult",
     "SimulationStep",
+    "TraceMode",
 ]

@@ -12,6 +12,14 @@ no construction logic of its own.  Defaults for omitted components are
 resolved through the component registries by
 :mod:`repro.scenarios.builder`, which is also the home of the
 spec-driven construction path (``build_simulation(spec)``).
+
+The stepping loop is segment-walking: it keeps a cursor into the
+timeline's precomputed segment boundaries and re-evaluates the
+harvesting chain only when the cursor crosses into a new segment, so
+the per-step cost is independent of both the segment count and the
+cost of the transducer models.  :class:`TraceMode` controls how much
+per-step trace is kept (``full`` / ``decimated:n`` / ``none``); the
+summary totals on :class:`SimulationResult` are exact in every mode.
 """
 
 from __future__ import annotations
@@ -28,7 +36,8 @@ from repro.harvest.environment import (
 )
 from repro.power.loads import SYSTEM_SLEEP_W
 
-__all__ = ["HarvestChain", "SimulationStep", "SimulationResult", "DaySimulation"]
+__all__ = ["HarvestChain", "TraceMode", "SimulationStep", "SimulationResult",
+           "DaySimulation"]
 
 
 class HarvestChain(Protocol):
@@ -36,6 +45,61 @@ class HarvestChain(Protocol):
 
     def battery_intake_w(self, lighting: LightingCondition,
                          thermal: ThermalCondition) -> float: ...
+
+
+@dataclass(frozen=True)
+class TraceMode:
+    """How much per-step trace a run keeps.
+
+    Attributes:
+        kind: ``"full"`` records every step, ``"decimated"`` every
+            ``every``-th step plus the final one, ``"none"`` records no
+            steps at all.  Summary totals are exact in every mode.
+        every: decimation factor (only meaningful for ``decimated``).
+
+    The spec layer stores the string form (``"full"``, ``"none"``,
+    ``"decimated:12"``); :meth:`parse` accepts either representation.
+    """
+
+    kind: str = "full"
+    every: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("full", "decimated", "none"):
+            raise SimulationError(
+                f"unknown trace mode {self.kind!r}; "
+                "use 'full', 'none' or 'decimated:<n>'")
+        if self.every < 1 or self.every != int(self.every):
+            raise SimulationError(
+                f"trace decimation factor must be a positive integer, "
+                f"got {self.every!r}")
+
+    @classmethod
+    def parse(cls, value: "TraceMode | str") -> "TraceMode":
+        """A :class:`TraceMode` from itself or its string form."""
+        if isinstance(value, TraceMode):
+            return value
+        if not isinstance(value, str):
+            raise SimulationError(
+                f"trace mode must be a string or TraceMode, "
+                f"got {type(value).__name__}")
+        if value in ("full", "none"):
+            return cls(kind=value)
+        if value.startswith("decimated:"):
+            try:
+                every = int(value.split(":", 1)[1])
+            except ValueError:
+                raise SimulationError(
+                    f"bad trace decimation factor in {value!r}") from None
+            return cls(kind="decimated", every=every)
+        raise SimulationError(
+            f"unknown trace mode {value!r}; "
+            "use 'full', 'none' or 'decimated:<n>'")
+
+    def __str__(self) -> str:
+        if self.kind == "decimated":
+            return f"decimated:{self.every}"
+        return self.kind
 
 
 @dataclass(frozen=True)
@@ -109,6 +173,10 @@ class DaySimulation:
             ``self.app`` stays ``None``.
         duration_s: default horizon for :meth:`run` (``None`` runs the
             whole timeline); a ``run``-time argument still wins.
+        trace: per-step trace retention — a :class:`TraceMode` or its
+            string form (``"full"``, ``"none"``, ``"decimated:<n>"``).
+            Summary totals stay exact in every mode; only the
+            ``steps`` list is affected.
     """
 
     def __init__(self, timeline: EnvironmentTimeline,
@@ -119,7 +187,8 @@ class DaySimulation:
                  step_s: float = 60.0,
                  sleep_power_w: float = SYSTEM_SLEEP_W,
                  manager: EnergyAwareManager | None = None,
-                 duration_s: float | None = None) -> None:
+                 duration_s: float | None = None,
+                 trace: TraceMode | str = "full") -> None:
         if step_s <= 0:
             raise SimulationError("step size must be positive")
         if sleep_power_w < 0:
@@ -139,7 +208,7 @@ class DaySimulation:
             if app is None and manager is None:
                 app = builder.build_app()
             if harvester is None:
-                harvester = builder.build_harvester()
+                harvester = builder.build_harvester(cached=True)
             if battery is None:
                 battery = builder.build_battery()
         self.timeline = timeline
@@ -153,10 +222,20 @@ class DaySimulation:
         self.step_s = step_s
         self.sleep_power_w = sleep_power_w
         self.duration_s = duration_s
+        self.trace = TraceMode.parse(trace)
 
     def run(self, duration_s: float | None = None) -> SimulationResult:
         """Run over ``duration_s`` (default: the constructor's
-        ``duration_s``, else the whole timeline)."""
+        ``duration_s``, else the whole timeline).
+
+        The loop walks the timeline's segments with a cursor instead of
+        scanning from ``t=0`` on every step, and re-evaluates the
+        harvesting chain only on segment entry (the environment is
+        piecewise-constant, so the intake cannot change mid-segment).
+        Both are pure-speed changes: the sequence of battery, manager
+        and carry operations — and therefore every number on the result
+        — is identical to stepping ``timeline.at(t)`` naively.
+        """
         if duration_s is None:
             duration_s = self.duration_s
         horizon = (self.timeline.total_duration_s
@@ -164,56 +243,101 @@ class DaySimulation:
         if horizon <= 0:
             raise SimulationError("simulation horizon must be positive")
 
-        result = SimulationResult(initial_soc=self.battery.state_of_charge,
+        battery = self.battery
+        manager = self.manager
+        choose_rate = manager.detection_rate_per_min
+        max_rate = manager.policy.max_rate_per_min
+        detection_j = manager.detection_energy_j
+        sleep_power_w = self.sleep_power_w
+        step_s = self.step_s
+        segments = self.timeline.segments
+        boundaries = self.timeline.boundaries_s
+        last_idx = len(segments) - 1
+        mode = self.trace
+        trace_full = mode.kind == "full"
+        trace_every = mode.every if mode.kind == "decimated" else 0
+
+        result = SimulationResult(initial_soc=battery.state_of_charge,
                                   duration_s=horizon)
-        detection_j = self.manager.detection_energy_j
+        steps = result.steps
+        total_harvest_j = 0.0
+        total_consumed_j = 0.0
+        total_detections = 0.0
+
+        seg_idx = 0
+        segment = segments[0]
+        harvest_w = self.harvester.battery_intake_w(segment.lighting,
+                                                    segment.thermal)
         t = 0.0
+        step_index = 0
+        last_recorded = -1
         carry_detections = 0.0
         while t < horizon - 1e-9:
-            dt = min(self.step_s, horizon - t)
-            segment = self.timeline.at(t)
-            harvest_w = self.harvester.battery_intake_w(segment.lighting,
-                                                        segment.thermal)
-            stored_j = self.battery.charge(harvest_w, dt)
-            result.total_harvest_j += stored_j
+            dt = min(step_s, horizon - t)
+            if seg_idx < last_idx and t >= boundaries[seg_idx]:
+                while seg_idx < last_idx and t >= boundaries[seg_idx]:
+                    seg_idx += 1
+                segment = segments[seg_idx]
+                harvest_w = self.harvester.battery_intake_w(segment.lighting,
+                                                            segment.thermal)
+            stored_j = battery.charge(harvest_w, dt)
+            total_harvest_j += stored_j
 
-            rate = self.manager.detection_rate_per_min(
-                harvest_w, self.battery.state_of_charge)
+            rate = choose_rate(harvest_w, battery.state_of_charge)
             # No step may execute (or bank) more than one step's worth
             # of detections at the policy ceiling, so a brown-out
             # backlog can never replay as a burst above the rate cap
             # (the floor of 1 keeps sub-detection-per-step rates
             # accumulating across steps).
-            step_cap = max(
-                1.0, self.manager.policy.max_rate_per_min * dt / 60.0)
+            step_cap = max(1.0, max_rate * dt / 60.0)
             carry_detections += rate * dt / 60.0
             detections_now = float(int(min(carry_detections, step_cap)))
             carry_detections -= detections_now
 
-            demand_j = detections_now * detection_j + self.sleep_power_w * dt
-            delivered_j = self.battery.discharge(demand_j / dt, dt)
+            demand_j = detections_now * detection_j + sleep_power_w * dt
+            delivered_j = battery.discharge(demand_j / dt, dt)
             if delivered_j + 1e-12 < demand_j:
                 # Battery could not cover the step: only whole
                 # detections execute; the unexecuted remainder goes
                 # back on the carry (bounded — the watch does not owe
                 # detections from a long outage).
-                covered = max(0.0, delivered_j - self.sleep_power_w * dt)
+                covered = max(0.0, delivered_j - sleep_power_w * dt)
                 executed = (float(int(covered / detection_j))
                             if detection_j > 0 else 0.0)
                 carry_detections = min(
                     carry_detections + detections_now - executed, step_cap)
                 detections_now = executed
-            result.total_consumed_j += delivered_j
-            result.total_detections += detections_now
+            total_consumed_j += delivered_j
+            total_detections += detections_now
 
-            result.steps.append(SimulationStep(
-                time_s=t,
-                harvest_w=harvest_w,
-                detection_rate_per_min=rate,
-                detections=detections_now,
-                state_of_charge=self.battery.state_of_charge,
-            ))
+            if trace_full or (trace_every and step_index % trace_every == 0):
+                steps.append(SimulationStep(
+                    time_s=t,
+                    harvest_w=harvest_w,
+                    detection_rate_per_min=rate,
+                    detections=detections_now,
+                    state_of_charge=battery.state_of_charge,
+                ))
+                last_recorded = step_index
+            step_start = t
+            last_rate = rate
+            last_detections = detections_now
             t += dt
+            step_index += 1
 
-        result.final_soc = self.battery.state_of_charge
+        # A decimated trace always ends on the final step, so readers
+        # see the closing state of charge without consulting the totals.
+        if trace_every and step_index and last_recorded != step_index - 1:
+            steps.append(SimulationStep(
+                time_s=step_start,
+                harvest_w=harvest_w,
+                detection_rate_per_min=last_rate,
+                detections=last_detections,
+                state_of_charge=battery.state_of_charge,
+            ))
+
+        result.total_harvest_j = total_harvest_j
+        result.total_consumed_j = total_consumed_j
+        result.total_detections = total_detections
+        result.final_soc = battery.state_of_charge
         return result

@@ -39,7 +39,13 @@ from repro.harvest.calibrated import (
     calibrated_solar_harvester,
     calibrated_teg_harvester,
 )
-from repro.harvest.dual import DualSourceHarvester, SolarHarvester, TEGHarvester
+from repro.harvest.dual import (
+    CachedHarvester,
+    DualSourceHarvester,
+    HarvestCacheStats,
+    SolarHarvester,
+    TEGHarvester,
+)
 
 __all__ = [
     "LightingCondition",
@@ -59,7 +65,9 @@ __all__ = [
     "BQ25505",
     "calibrated_solar_harvester",
     "calibrated_teg_harvester",
+    "CachedHarvester",
     "DualSourceHarvester",
+    "HarvestCacheStats",
     "SolarHarvester",
     "TEGHarvester",
 ]

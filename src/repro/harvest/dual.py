@@ -7,6 +7,13 @@ combines the solar and TEG channels the way InfiniWolf's smart power
 unit does (both charge the same battery independently) and integrates
 intake over an environment timeline for the self-sustainability
 analysis.
+
+:class:`CachedHarvester` wraps any harvesting chain and memoizes the
+intake per distinct ``(lighting, thermal)`` pair.  Both condition
+types are frozen (hashable) dataclasses and a day-in-the-life timeline
+only ever visits a handful of distinct pairs, so a multi-day
+simulation pays for the Lambert-W diode solve and the TEG thermal
+network once per pair instead of once per step.
 """
 
 from __future__ import annotations
@@ -22,7 +29,13 @@ from repro.harvest.environment import (
 from repro.harvest.photovoltaic import PVPanel
 from repro.harvest.teg import TEGDevice
 
-__all__ = ["SolarHarvester", "TEGHarvester", "DualSourceHarvester"]
+__all__ = [
+    "SolarHarvester",
+    "TEGHarvester",
+    "DualSourceHarvester",
+    "HarvestCacheStats",
+    "CachedHarvester",
+]
 
 
 @dataclass(frozen=True)
@@ -100,3 +113,73 @@ class DualSourceHarvester:
             self.battery_intake_w(seg.lighting, seg.thermal) * seg.duration_s
             for seg in timeline
         )
+
+
+@dataclass
+class HarvestCacheStats:
+    """Hit/miss counters of a :class:`CachedHarvester`.
+
+    Attributes:
+        hits: lookups answered from the memo.
+        misses: lookups that ran the wrapped chain's models.
+    """
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total intake queries seen."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the memo (0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class CachedHarvester:
+    """Memoizes a harvesting chain's intake per condition pair.
+
+    Args:
+        inner: any object with ``battery_intake_w(lighting, thermal)``.
+
+    The wrapper is transparent: unknown attributes delegate to the
+    wrapped chain, so chain-specific helpers (``harvested_energy_j``,
+    ``solar``/``teg`` channels) stay reachable.  ``stats`` counts hits
+    and misses for the throughput benches.
+    """
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+        self.stats = HarvestCacheStats()
+        self._memo: dict[tuple[LightingCondition, ThermalCondition], float] = {}
+
+    def battery_intake_w(self, lighting: LightingCondition,
+                         thermal: ThermalCondition) -> float:
+        """Combined net intake, computed once per distinct pair."""
+        key = (lighting, thermal)
+        try:
+            intake = self._memo[key]
+        except KeyError:
+            intake = self._memo[key] = self.inner.battery_intake_w(
+                lighting, thermal)
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return intake
+
+    def cache_clear(self) -> None:
+        """Forget every memoized intake and reset the counters."""
+        self._memo.clear()
+        self.stats = HarvestCacheStats()
+
+    def __getattr__(self, name: str):
+        # Read through __dict__: during unpickling/copying this runs
+        # before __init__ populated the instance, and touching
+        # self.inner would recurse into __getattr__ forever.
+        try:
+            inner = self.__dict__["inner"]
+        except KeyError:
+            raise AttributeError(name) from None
+        return getattr(inner, name)

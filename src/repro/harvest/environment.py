@@ -9,7 +9,9 @@ simulation.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
+from itertools import accumulate
 
 from repro.errors import HarvestModelError
 from repro.units import kmh_to_ms
@@ -101,27 +103,34 @@ class EnvironmentTimeline:
     def __init__(self, segments: list[EnvironmentSample]) -> None:
         if not segments:
             raise HarvestModelError("a timeline needs at least one segment")
-        self.segments = list(segments)
+        # A tuple so the precomputed boundaries below can never go
+        # stale: a timeline is frozen at construction.
+        self.segments: tuple[EnvironmentSample, ...] = tuple(segments)
+        # Cumulative end times of every segment, accumulated left to
+        # right exactly as a linear scan would, so bisecting them gives
+        # the same segment a scan over running sums does.
+        self.boundaries_s: tuple[float, ...] = tuple(
+            accumulate(seg.duration_s for seg in self.segments))
 
     @property
     def total_duration_s(self) -> float:
         """Length of the whole timeline in seconds."""
-        return sum(seg.duration_s for seg in self.segments)
+        return self.boundaries_s[-1]
 
-    def at(self, t_s: float) -> EnvironmentSample:
-        """Conditions active at time ``t_s`` from the timeline start.
+    def index_at(self, t_s: float) -> int:
+        """Index of the segment active at time ``t_s`` (O(log n)).
 
-        Times at or beyond the end return the final segment, so a
+        Times at or beyond the end map to the final segment, so a
         simulation can run slightly past the horizon without errors.
         """
         if t_s < 0:
             raise HarvestModelError(f"time cannot be negative: {t_s}")
-        elapsed = 0.0
-        for seg in self.segments:
-            elapsed += seg.duration_s
-            if t_s < elapsed:
-                return seg
-        return self.segments[-1]
+        return min(bisect_right(self.boundaries_s, t_s),
+                   len(self.segments) - 1)
+
+    def at(self, t_s: float) -> EnvironmentSample:
+        """Conditions active at time ``t_s`` from the timeline start."""
+        return self.segments[self.index_at(t_s)]
 
     def __iter__(self):
         return iter(self.segments)

@@ -74,19 +74,25 @@ class LiPoBattery:
             raise PowerModelError("charge_efficiency must lie in (0, 1]")
         if internal_resistance_ohm < 0:
             raise PowerModelError("internal resistance cannot be negative")
-        self.capacity_c = mah_to_coulombs(capacity_mah)
-        self.charge_c = initial_soc * self.capacity_c
+        self.capacity_c = float(mah_to_coulombs(capacity_mah))
+        self.charge_c = float(initial_soc) * self.capacity_c
         self.internal_resistance_ohm = internal_resistance_ohm
         self.charge_efficiency = charge_efficiency
         self.undervoltage_lockout_v = undervoltage_lockout_v
         self.overvoltage_v = overvoltage_v
+        # Charge at the UV-lockout state of charge; constant for the
+        # life of the cell, so the OCV-curve inversion runs once here
+        # instead of on every discharge.
+        uv_soc = float(np.interp(undervoltage_lockout_v,
+                                 _OCV_VOLTS, _OCV_SOC_GRID))
+        self._uv_floor_c = uv_soc * self.capacity_c
 
     # -- read-only views -------------------------------------------------------
 
     @property
     def state_of_charge(self) -> float:
-        """Current state of charge in [0, 1]."""
-        return self.charge_c / self.capacity_c
+        """Current state of charge in [0, 1], as a plain ``float``."""
+        return float(self.charge_c / self.capacity_c)
 
     def open_circuit_voltage(self) -> float:
         """OCV from the piecewise-linear LiPo curve."""
@@ -119,10 +125,10 @@ class LiPoBattery:
     def charge(self, power_w: float, duration_s: float) -> float:
         """Push charging power in for a duration.
 
-        Returns the energy actually stored (J).  Charge is accepted at
-        the charging voltage (approximated by the OCV), reduced by the
-        coulombic efficiency, and clipped at full capacity / the OV
-        lockout.
+        Returns the energy actually stored as a plain ``float`` (J).
+        Charge is accepted at the charging voltage (approximated by the
+        OCV), reduced by the coulombic efficiency, and clipped at full
+        capacity / the OV lockout.
         """
         if power_w < 0 or duration_s < 0:
             raise PowerModelError("charge power and duration cannot be negative")
@@ -132,13 +138,15 @@ class LiPoBattery:
         delta_c = power_w * duration_s / voltage * self.charge_efficiency
         accepted = min(delta_c, self.capacity_c - self.charge_c)
         self.charge_c += accepted
-        return accepted * voltage / self.charge_efficiency
+        return float(accepted * voltage / self.charge_efficiency)
 
     def discharge(self, power_w: float, duration_s: float) -> float:
         """Draw load power for a duration.
 
-        Returns the energy actually delivered (J); this is less than
-        requested when the battery empties or hits UV lockout mid-way.
+        Returns the energy actually delivered as a plain ``float`` (J);
+        this is less than requested when the battery empties or hits UV
+        lockout mid-way.  Discharge never takes the cell below the
+        UV-lockout state of charge (precomputed in the constructor).
         """
         if power_w < 0 or duration_s < 0:
             raise PowerModelError("discharge power and duration cannot be negative")
@@ -146,10 +154,7 @@ class LiPoBattery:
             return 0.0
         voltage = self.open_circuit_voltage()
         delta_c = power_w * duration_s / voltage
-        # Do not discharge below the UV-lockout state of charge.
-        uv_soc = float(np.interp(self.undervoltage_lockout_v, _OCV_VOLTS, _OCV_SOC_GRID))
-        floor_c = uv_soc * self.capacity_c
-        available = max(0.0, self.charge_c - floor_c)
+        available = max(0.0, self.charge_c - self._uv_floor_c)
         delivered = min(delta_c, available)
         self.charge_c -= delivered
-        return delivered * voltage
+        return float(delivered * voltage)

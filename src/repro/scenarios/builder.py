@@ -6,11 +6,18 @@
 live here (resolved through the registries), which keeps the engine in
 :mod:`repro.core.simulation` a thin stepper over injected parts — the
 engine asks this module for defaults instead of hard-wiring them.
+
+Every spec-built harvester chain is wrapped in a
+:class:`~repro.harvest.dual.CachedHarvester` (pass
+``cache_harvest=False`` to opt out), so repeated conditions across a
+long horizon or a sweep hit the memo instead of re-running the
+transducer models; the wrapper's ``stats`` feed the throughput bench.
 """
 
 from __future__ import annotations
 
 from repro.core.simulation import DaySimulation
+from repro.harvest.dual import CachedHarvester
 from repro.harvest.environment import (
     EnvironmentSample,
     EnvironmentTimeline,
@@ -63,9 +70,10 @@ def build_timeline(spec: TimelineSpec) -> EnvironmentTimeline:
     return EnvironmentTimeline(samples)
 
 
-def build_harvester(name: str = "calibrated_dual"):
-    """The named harvester chain."""
-    return HARVESTERS.get(name)()
+def build_harvester(name: str = "calibrated_dual", cached: bool = False):
+    """The named harvester chain, optionally memoized per condition pair."""
+    harvester = HARVESTERS.get(name)()
+    return CachedHarvester(harvester) if cached else harvester
 
 
 def build_battery(spec: BatterySpec | None = None):
@@ -86,16 +94,26 @@ def build_app(spec: AppSpec | None = None):
     return APPS.get(spec.kind)(spec)
 
 
-def build_simulation(scenario: ScenarioSpec) -> DaySimulation:
-    """A runnable :class:`DaySimulation` assembled from a scenario spec."""
+def build_simulation(scenario: ScenarioSpec, *,
+                     cache_harvest: bool = True) -> DaySimulation:
+    """A runnable :class:`DaySimulation` assembled from a scenario spec.
+
+    Args:
+        scenario: the spec to build.
+        cache_harvest: wrap the harvester chain in a
+            :class:`~repro.harvest.dual.CachedHarvester` (the default;
+            numerically transparent).  ``False`` builds the raw chain —
+            useful for benchmarking the memo itself.
+    """
     system: SystemSpec = scenario.system
     return DaySimulation(
         timeline=build_timeline(scenario.timeline),
         app=build_app(system.app),
-        harvester=build_harvester(system.harvester),
+        harvester=build_harvester(system.harvester, cached=cache_harvest),
         battery=build_battery(system.battery),
         policy=build_policy(system.policy),
         step_s=scenario.step_s,
         sleep_power_w=system.sleep_power_w,
         duration_s=scenario.duration_s,
+        trace=scenario.trace,
     )

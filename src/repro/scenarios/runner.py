@@ -1,27 +1,45 @@
 """Run scenarios — single or in parallel batches — and aggregate results.
 
 :class:`ScenarioRunner` executes a batch of
-:class:`~repro.scenarios.spec.ScenarioSpec` with a
-:class:`concurrent.futures.ThreadPoolExecutor` (each scenario builds
-its own components, so runs share nothing mutable; threads also see
-runtime registry registrations, which process pools would not) and
-returns a :class:`SweepResult` with the per-scenario outcomes in input
-order.
+:class:`~repro.scenarios.spec.ScenarioSpec` on one of three backends:
+
+* ``"serial"`` — in the calling thread, one scenario at a time;
+* ``"thread"`` — a :class:`concurrent.futures.ThreadPoolExecutor`
+  (each scenario builds its own components, so runs share nothing
+  mutable; threads also see runtime registry registrations);
+* ``"process"`` — a :class:`concurrent.futures.ProcessPoolExecutor`
+  over *spawned* workers.  Specs cross the process boundary through
+  their JSON ``to_dict``/``from_dict`` round-trip, so every component
+  must be resolvable by name in a fresh ``import repro.scenarios`` —
+  components registered at runtime with ``@register_*`` are not
+  visible to the workers, and referencing one raises a clear
+  :class:`~repro.errors.SpecError`.  Use the thread backend for
+  runtime-registered components.
+
+All backends return a :class:`SweepResult` with the per-scenario
+outcomes in input order, and a batch's outcomes are identical across
+backends (simulations are deterministic and share no state).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+import dataclasses
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, fields
+from functools import cached_property
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.core.simulation import SimulationResult
-from repro.errors import SpecError
+from repro.errors import RegistryError, SpecError
 from repro.scenarios.builder import build_simulation
 from repro.scenarios.spec import ScenarioSpec
 from repro.units import SECONDS_PER_DAY
 
 __all__ = ["ScenarioOutcome", "SweepResult", "run_scenario", "ScenarioRunner"]
+
+BACKENDS = ("serial", "thread", "process")
 
 
 @dataclass(frozen=True)
@@ -53,13 +71,16 @@ class ScenarioOutcome:
     @classmethod
     def from_result(cls, name: str,
                     result: SimulationResult) -> "ScenarioOutcome":
-        """Summarise a :class:`SimulationResult` under a scenario name."""
-        if not result.steps:
-            raise SpecError(f"scenario {name!r} produced no steps")
+        """Summarise a :class:`SimulationResult` under a scenario name.
+
+        Works in every trace mode — the summary reads only the exact
+        totals, never the per-step trace.  Fields are coerced to plain
+        ``float``/``bool``: the stock battery returns plain floats at
+        the source, but registry-registered third-party components may
+        not, and outcomes must stay JSON-serializable regardless.
+        """
         duration_s = float(result.duration_s)
         days = duration_s / SECONDS_PER_DAY if duration_s > 0 else 1.0
-        # Plain Python scalars: the battery model leaks numpy scalars
-        # (np.interp) and those are not JSON-serializable.
         return cls(
             name=name,
             duration_s=duration_s,
@@ -85,6 +106,20 @@ class ScenarioOutcome:
             "total_consumed_j": self.total_consumed_j,
         }
 
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioOutcome":
+        """Rebuild an outcome from :meth:`to_dict` output (exact)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise SpecError(
+                f"unknown ScenarioOutcome keys: {sorted(unknown)}")
+        missing = known - set(data)
+        if missing:
+            raise SpecError(
+                f"missing ScenarioOutcome keys: {sorted(missing)}")
+        return cls(**data)
+
 
 @dataclass(frozen=True)
 class SweepResult:
@@ -97,12 +132,20 @@ class SweepResult:
         """True when every scenario in the sweep was energy-neutral."""
         return all(outcome.energy_neutral for outcome in self.outcomes)
 
+    @cached_property
+    def _by_name(self) -> dict[str, ScenarioOutcome]:
+        # Lazily-built index; safe on a frozen dataclass because
+        # cached_property writes to __dict__ directly, and outcomes
+        # never change after construction.
+        return {outcome.name: outcome for outcome in self.outcomes}
+
     def by_name(self, name: str) -> ScenarioOutcome:
-        """The outcome of the named scenario."""
-        for outcome in self.outcomes:
-            if outcome.name == name:
-                return outcome
-        raise SpecError(f"no outcome for scenario {name!r} in this sweep")
+        """The outcome of the named scenario (O(1) after first lookup)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SpecError(
+                f"no outcome for scenario {name!r} in this sweep") from None
 
     def to_dict(self) -> dict[str, Any]:
         return {"outcomes": [outcome.to_dict() for outcome in self.outcomes]}
@@ -122,30 +165,68 @@ class SweepResult:
 
 
 def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
-    """Build and run one scenario, returning its summary outcome."""
-    result = build_simulation(spec).run()
+    """Build and run one scenario, returning its summary outcome.
+
+    The outcome reads only the run's exact totals, so the simulation
+    is forced to ``trace="none"`` regardless of the spec — a sweep
+    over long horizons allocates no per-step trace at all.  Callers
+    who want the trace should ``build_simulation(spec).run()``
+    directly.
+    """
+    lean = (spec if spec.trace == "none"
+            else dataclasses.replace(spec, trace="none"))
+    result = build_simulation(lean).run()
     return ScenarioOutcome.from_result(spec.name, result)
+
+
+def _run_scenario_payload(payload: dict) -> dict:
+    """Process-pool worker: spec dict in, outcome dict out.
+
+    Plain dicts cross the pool so the payload pickles trivially on any
+    start method.  A registry miss in the worker means the spec names a
+    component that only exists in the parent (registered at runtime) —
+    re-raised as a SpecError that explains the backend's contract.
+    """
+    spec = ScenarioSpec.from_dict(payload)
+    try:
+        return run_scenario(spec).to_dict()
+    except RegistryError as exc:
+        raise SpecError(
+            f"scenario {spec.name!r} cannot run on the process backend: "
+            f"{exc}. Worker processes import repro.scenarios fresh, so "
+            "only components registered at import time are visible; "
+            "runtime @register_* registrations require the thread or "
+            "serial backend."
+        ) from None
 
 
 class ScenarioRunner:
     """Executes scenario batches, optionally in parallel.
 
     Args:
-        workers: default worker-thread count for :meth:`run_batch`;
-            ``1`` runs serially in the calling thread.
+        workers: default worker count for :meth:`run_batch`; on the
+            thread backend ``1`` runs serially in the calling thread.
+        backend: ``"serial"``, ``"thread"`` (default) or ``"process"``
+            — see the module docstring for the process backend's
+            registry-visibility contract.
     """
 
-    def __init__(self, workers: int = 1) -> None:
+    def __init__(self, workers: int = 1, backend: str = "thread") -> None:
         if workers < 1:
             raise SpecError("worker count must be at least 1")
+        if backend not in BACKENDS:
+            raise SpecError(
+                f"unknown backend {backend!r}; known: {list(BACKENDS)}")
         self.workers = workers
+        self.backend = backend
 
     def run(self, spec: ScenarioSpec) -> ScenarioOutcome:
         """Run a single scenario."""
         return run_scenario(spec)
 
     def run_batch(self, specs: Iterable[ScenarioSpec],
-                  workers: int | None = None) -> SweepResult:
+                  workers: int | None = None,
+                  backend: str | None = None) -> SweepResult:
         """Run every scenario, ``workers`` at a time, preserving order."""
         specs = list(specs)
         names = [spec.name for spec in specs]
@@ -154,8 +235,36 @@ class ScenarioRunner:
         n = self.workers if workers is None else workers
         if n < 1:
             raise SpecError("worker count must be at least 1")
-        if n == 1 or len(specs) <= 1:
-            outcomes: Sequence[ScenarioOutcome] = [run_scenario(s) for s in specs]
+        chosen = self.backend if backend is None else backend
+        if chosen not in BACKENDS:
+            raise SpecError(
+                f"unknown backend {chosen!r}; known: {list(BACKENDS)}")
+
+        outcomes: Sequence[ScenarioOutcome]
+        if chosen == "process" and specs:
+            # Spawned workers give the same registry-visibility
+            # semantics on every platform (fork would leak the
+            # parent's runtime registrations on POSIX).
+            payloads = [spec.to_dict() for spec in specs]
+            try:
+                with ProcessPoolExecutor(
+                        max_workers=min(n, len(specs)),
+                        mp_context=multiprocessing.get_context("spawn")) as pool:
+                    outcomes = [ScenarioOutcome.from_dict(out)
+                                for out in pool.map(_run_scenario_payload,
+                                                    payloads)]
+            except BrokenProcessPool as exc:
+                raise SpecError(
+                    "process-backend worker processes died. Most often "
+                    "this means the launching script lacks the standard "
+                    "`if __name__ == '__main__':` guard (spawned workers "
+                    "re-import it, and stdin/REPL sessions cannot be "
+                    "re-imported at all) — but a worker killed mid-sweep "
+                    "(OOM, signal) breaks the pool the same way; see the "
+                    "chained exception. The thread backend avoids both."
+                ) from exc
+        elif chosen == "serial" or n == 1 or len(specs) <= 1:
+            outcomes = [run_scenario(s) for s in specs]
         else:
             with ThreadPoolExecutor(max_workers=min(n, len(specs))) as pool:
                 outcomes = list(pool.map(run_scenario, specs))

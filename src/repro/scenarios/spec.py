@@ -252,6 +252,11 @@ class ScenarioSpec:
         step_s: simulation step size.
         duration_s: horizon override; ``None`` runs the whole timeline.
         description: one-line human-readable summary.
+        trace: per-step trace retention, as the string form of
+            :class:`repro.core.simulation.TraceMode` (``"full"``,
+            ``"none"``, ``"decimated:<n>"``).  Summary totals are
+            exact in every mode; sweeps over long horizons should use
+            ``"none"`` so no per-step trace is allocated.
     """
 
     name: str
@@ -260,6 +265,7 @@ class ScenarioSpec:
     step_s: float = 60.0
     duration_s: float | None = None
     description: str = ""
+    trace: str = "full"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -268,6 +274,17 @@ class ScenarioSpec:
             raise SpecError("scenario step size must be positive")
         if self.duration_s is not None and self.duration_s <= 0:
             raise SpecError("scenario duration must be positive when given")
+        # Validate eagerly so a bad trace string fails at spec time,
+        # not at run time.  Deferred import: the engine module is a
+        # consumer of specs, not a dependency of the spec layer.
+        from repro.core.simulation import TraceMode
+        from repro.errors import SimulationError
+        try:
+            TraceMode.parse(self.trace)
+        except SimulationError as exc:
+            raise SpecError(str(exc)) from None
+        if not isinstance(self.trace, str):
+            object.__setattr__(self, "trace", str(self.trace))
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -277,13 +294,14 @@ class ScenarioSpec:
             "step_s": self.step_s,
             "duration_s": self.duration_s,
             "description": self.description,
+            "trace": self.trace,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
         data = _check_dict(data, "ScenarioSpec")
         unknown = set(data) - {"name", "timeline", "system", "step_s",
-                               "duration_s", "description"}
+                               "duration_s", "description", "trace"}
         if unknown:
             raise SpecError(f"unknown ScenarioSpec keys: {sorted(unknown)}")
         if "name" not in data or "timeline" not in data:
@@ -294,7 +312,7 @@ class ScenarioSpec:
         }
         if "system" in data:
             kwargs["system"] = SystemSpec.from_dict(data["system"])
-        for key in ("step_s", "duration_s", "description"):
+        for key in ("step_s", "duration_s", "description", "trace"):
             if key in data:
                 kwargs[key] = data[key]
         return cls(**kwargs)

@@ -70,3 +70,61 @@ class TestTimeline:
         segments = list(self.make_timeline())
         assert segments[0].duration_s == 100.0
         assert segments[1].duration_s == 50.0
+
+
+class TestTimelineFastLookup:
+    """Precomputed boundaries and the bisect-based random access."""
+
+    def make_irregular(self):
+        durations = [37.0, 1.5, 901.25, 12.0, 333.33, 5.0]
+        return EnvironmentTimeline([
+            EnvironmentSample(d, INDOOR_OFFICE_700LX, TEG_ROOM_22C_NO_WIND)
+            for d in durations
+        ])
+
+    def test_boundaries_are_running_sums(self):
+        timeline = self.make_irregular()
+        running, expected = 0.0, []
+        for seg in timeline.segments:
+            running += seg.duration_s
+            expected.append(running)
+        assert list(timeline.boundaries_s) == expected
+
+    def test_total_duration_is_last_boundary(self):
+        timeline = self.make_irregular()
+        assert timeline.total_duration_s == timeline.boundaries_s[-1]
+
+    def test_bisect_at_matches_linear_scan(self):
+        """at() must select exactly the segment a scan over running
+        sums selects, including on and just around every boundary."""
+        timeline = self.make_irregular()
+
+        def linear_at(t):
+            elapsed = 0.0
+            for seg in timeline.segments:
+                elapsed += seg.duration_s
+                if t < elapsed:
+                    return seg
+            return timeline.segments[-1]
+
+        probes = [0.0, 1e-9, 36.999, 37.0, 38.5, 939.75, 1290.08, 1e7]
+        for boundary in timeline.boundaries_s:
+            probes += [boundary - 1e-9, boundary, boundary + 1e-9]
+        for t in probes:
+            assert timeline.at(t) is linear_at(t), f"diverged at t={t}"
+
+    def test_index_at_clamps_past_end(self):
+        timeline = self.make_irregular()
+        assert timeline.index_at(timeline.total_duration_s) == 5
+        assert timeline.index_at(1e12) == 5
+
+    def test_index_at_rejects_negative(self):
+        with pytest.raises(HarvestModelError):
+            self.make_irregular().index_at(-0.1)
+
+    def test_single_segment_timeline(self):
+        timeline = EnvironmentTimeline([
+            EnvironmentSample(60.0, DARKNESS, TEG_ROOM_22C_NO_WIND)])
+        assert timeline.index_at(0.0) == 0
+        assert timeline.index_at(60.0) == 0
+        assert timeline.total_duration_s == 60.0

@@ -3,6 +3,8 @@
 import os
 from pathlib import Path
 
+from repro.core.simulation import SimulationResult, SimulationStep
+
 REPO_ROOT = Path(__file__).resolve().parents[1]
 
 # Subprocesses (examples, ``python -m repro``) import repro from the
@@ -16,3 +18,69 @@ SUBPROCESS_ENV = {
         + ([os.environ["PYTHONPATH"]] if os.environ.get("PYTHONPATH") else [])
     ),
 }
+
+
+def legacy_reference_run(sim, duration_s: float | None = None) -> SimulationResult:
+    """The pre-PR-2 stepping loop, kept verbatim as ground truth.
+
+    Rescans the timeline from ``t=0`` and re-evaluates the harvester
+    on every step, and always records a full trace.  The equivalence
+    tests (``tests/core/test_fast_sim.py``) and the throughput bench
+    (``benchmarks/test_ablation_sim_throughput.py``) both pin the fast
+    path against this single copy — any semantic change to the engine
+    must be mirrored here, in one place, or the bitwise-identity
+    assertions fail.
+    """
+    if duration_s is None:
+        duration_s = sim.duration_s
+    horizon = (sim.timeline.total_duration_s
+               if duration_s is None else duration_s)
+    result = SimulationResult(initial_soc=sim.battery.state_of_charge,
+                              duration_s=horizon)
+    detection_j = sim.manager.detection_energy_j
+    t = 0.0
+    carry_detections = 0.0
+    while t < horizon - 1e-9:
+        dt = min(sim.step_s, horizon - t)
+        elapsed = 0.0
+        segment = sim.timeline.segments[-1]
+        for seg in sim.timeline.segments:          # O(segments) rescan
+            elapsed += seg.duration_s
+            if t < elapsed:
+                segment = seg
+                break
+        harvest_w = sim.harvester.battery_intake_w(segment.lighting,
+                                                   segment.thermal)
+        stored_j = sim.battery.charge(harvest_w, dt)
+        result.total_harvest_j += stored_j
+
+        rate = sim.manager.detection_rate_per_min(
+            harvest_w, sim.battery.state_of_charge)
+        step_cap = max(1.0, sim.manager.policy.max_rate_per_min * dt / 60.0)
+        carry_detections += rate * dt / 60.0
+        detections_now = float(int(min(carry_detections, step_cap)))
+        carry_detections -= detections_now
+
+        demand_j = detections_now * detection_j + sim.sleep_power_w * dt
+        delivered_j = sim.battery.discharge(demand_j / dt, dt)
+        if delivered_j + 1e-12 < demand_j:
+            covered = max(0.0, delivered_j - sim.sleep_power_w * dt)
+            executed = (float(int(covered / detection_j))
+                        if detection_j > 0 else 0.0)
+            carry_detections = min(
+                carry_detections + detections_now - executed, step_cap)
+            detections_now = executed
+        result.total_consumed_j += delivered_j
+        result.total_detections += detections_now
+
+        result.steps.append(SimulationStep(
+            time_s=t,
+            harvest_w=harvest_w,
+            detection_rate_per_min=rate,
+            detections=detections_now,
+            state_of_charge=sim.battery.state_of_charge,
+        ))
+        t += dt
+
+    result.final_soc = sim.battery.state_of_charge
+    return result

@@ -114,6 +114,32 @@ class TestChargeDischarge:
         assert battery.state_of_charge < 0.5 + 1e-9
 
 
+class TestPlainFloatReturns:
+    """The hot-path accessors return plain floats at the source, so
+    downstream summaries (JSON serialization included) never see numpy
+    scalars."""
+
+    def test_charge_discharge_return_plain_float(self):
+        battery = LiPoBattery(initial_soc=0.5)
+        assert type(battery.charge(1e-3, 600.0)) is float
+        assert type(battery.discharge(1e-3, 600.0)) is float
+
+    def test_state_of_charge_is_plain_float(self):
+        battery = LiPoBattery(initial_soc=0.5)
+        battery.charge(1e-3, 600.0)
+        assert type(battery.state_of_charge) is float
+
+    def test_simulation_totals_are_json_serializable(self):
+        import json
+
+        from repro.scenarios import get_scenario, run_scenario
+
+        outcome = run_scenario(get_scenario("paper_indoor_worst_case"))
+        payload = json.loads(json.dumps(outcome.to_dict()))
+        assert type(payload["final_soc"]) is float
+        assert type(payload["total_harvest_j"]) is float
+
+
 class TestLockouts:
     def test_is_full_flag(self):
         assert LiPoBattery(initial_soc=1.0).is_full
