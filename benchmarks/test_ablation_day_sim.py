@@ -64,7 +64,7 @@ def test_uncapped_policy_approaches_static_maximum(benchmark):
     (which assumes the daily energy is spendable at any rate)."""
     base = get_scenario("paper_indoor_worst_case")
     spec = replace(base, system=replace(
-        base.system, policy=PolicySpec(max_rate_per_min=120.0)))
+        base.system, policy=PolicySpec(params={"max_rate_per_min": 120.0})))
 
     def simulate():
         return build_simulation(spec).run()

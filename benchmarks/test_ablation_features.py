@@ -10,10 +10,9 @@ neuron).
 """
 
 import numpy as np
-import pytest
 
 from repro.fann import Activation, LayerSpec, MultiLayerPerceptron, RpropTrainer
-from repro.features import FeatureExtractor, build_feature_matrix, lf_hf_ratio, lf_power
+from repro.features import FeatureExtractor, lf_hf_ratio, lf_power
 from repro.features.windows import window_rr_series
 from repro.sensors import StressDatasetGenerator
 from repro.timing import MRWOLF_RI5CY_CLUSTER8, cycles_for_network

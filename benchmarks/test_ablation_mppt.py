@@ -13,8 +13,6 @@ BQ25505 to 50 % (TEG).  The ablation sweeps the fraction and finds:
   optimisation opportunity for this class of thin-film panel.
 """
 
-import pytest
-
 from repro.harvest import (
     BQ25505,
     BQ25570,

@@ -8,7 +8,12 @@ part of the perf trajectory.  The "legacy" side is a verbatim replica
 of the pre-optimization loop (per-step linear segment scan, per-step
 harvest solve, full trace), so the speedup is measured against real
 history, not a strawman — and the results must be *bitwise identical*,
-which this bench asserts before it asserts speed.
+which this bench asserts before it asserts speed.  Since the policy
+redesign (PR 3) the optimized side steps through the pluggable-policy
+protocol while the legacy replica calls the pre-protocol manager
+directly, so the same identity assertions also pin the default
+``energy_aware`` policy to its pre-redesign numbers; a policy-grid
+section benchmarks the ``repro search`` path.
 
 Run it::
 
@@ -112,6 +117,47 @@ def _measure_single_run(spec: ScenarioSpec) -> dict:
     }
 
 
+def _measure_policy_grid() -> dict:
+    """Grid-search throughput on the PR 3 policy layer.
+
+    Runs a mixed grid (all four built-in policy families) over the
+    multi-day library scenario on the serial and thread backends; the
+    outcomes must be identical, and the ranking must cover at least
+    three distinct policies — the regression tripwire for the
+    ``repro search`` path.
+    """
+    from repro.policies import PolicyGrid
+    from repro.scenarios import ScenarioRunner
+
+    scenario = get_scenario("cloudy_week_multi_day")
+    grids = [
+        PolicyGrid("energy_aware"),
+        PolicyGrid("static_duty_cycle", axes={"rate_per_min": (2.0, 8.0, 24.0)}),
+        PolicyGrid("ewma_forecast", axes={"alpha": (0.1, 0.5)}),
+        PolicyGrid("oracle_lookahead"),
+    ]
+    timings = {}
+    results = {}
+    for backend, workers in (("serial", 1), ("thread", 4)):
+        runner = ScenarioRunner(workers=workers, backend=backend)
+        t0 = time.perf_counter()
+        results[backend] = runner.run_grid(scenario, grids)
+        timings[backend] = time.perf_counter() - t0
+    serial, threaded = results["serial"], results["thread"]
+    points = len(serial.entries)
+    return {
+        "scenario": scenario.name,
+        "points": points,
+        "distinct_policies": len(serial.policy_names),
+        **{f"{b}_s": round(t, 6) for b, t in timings.items()},
+        **{f"{b}_points_per_s": round(points / t, 2)
+           for b, t in timings.items()},
+        "backends_identical": ([e.outcome for e in serial.entries]
+                               == [e.outcome for e in threaded.entries]),
+        "best": serial.best.label,
+    }
+
+
 def _measure_sweep() -> dict:
     # run_scenario forces trace="none" itself, so the stock library
     # specs already take the lean path in every backend.
@@ -145,16 +191,22 @@ def test_sim_throughput_bench(print_rows):
     cache = sim.harvester.stats
 
     sweep = _measure_sweep()
+    grid = _measure_policy_grid()
 
     # Evaluated before the JSON is written so a failing run stamps
     # itself as failing — a bad baseline can then never be mistaken
     # for (or committed as) a clean one.  The speedup floor only
     # gates full mode: quick mode's tiny horizon makes the ratio
     # noise-dominated on loaded CI runners, and the smoke value there
-    # is the identity checks.
+    # is the identity checks.  The single-run identity checks double
+    # as the PR 3 acceptance gate: the legacy side calls the
+    # pre-protocol manager directly, the optimized side goes through
+    # the policy layer, and the results must stay bitwise equal.
     passed = (one_day["results_identical"]
               and multi_day["results_identical"]
               and sweep["backends_identical"]
+              and grid["backends_identical"]
+              and grid["distinct_policies"] >= 3
               and (QUICK or multi_day["speedup"] >= SPEEDUP_FLOOR))
     payload = {
         "bench": "sim_throughput",
@@ -167,6 +219,7 @@ def test_sim_throughput_bench(print_rows):
             f"{MULTI_DAYS}_day": multi_day,
         },
         "sweep": sweep,
+        "policy_grid": grid,
         "harvest_cache": {
             "hits": cache.hits,
             "misses": cache.misses,
@@ -186,6 +239,10 @@ def test_sim_throughput_bench(print_rows):
         ("sweep scenarios/s", f"{sweep['serial_scenarios_per_s']} (serial)",
          f"thread {sweep['thread_scenarios_per_s']} / "
          f"process {sweep['process_scenarios_per_s']}"),
+        ("policy grid points/s",
+         f"{grid['serial_points_per_s']} (serial, {grid['points']} pts)",
+         f"thread {grid['thread_points_per_s']} "
+         f"(best {grid['best']})"),
         ("harvest memo", f"{cache.misses} misses",
          f"{cache.hits} hits ({100 * cache.hit_rate:.0f}%)"),
     ]
@@ -195,10 +252,14 @@ def test_sim_throughput_bench(print_rows):
                ("quantity", "baseline", "optimized"), rows)
 
     # Correctness before speed: the fast path must be numerically
-    # invisible, bit for bit.
+    # invisible, bit for bit — and since the redesign, "optimized"
+    # means the pluggable-policy engine, so these identity checks pin
+    # the default energy_aware policy to the pre-protocol manager.
     assert one_day["results_identical"]
     assert multi_day["results_identical"]
     assert sweep["backends_identical"]
+    assert grid["backends_identical"]
+    assert grid["distinct_policies"] >= 3
     # The acceptance bar: >=10x on the multi-day single run.  Not
     # asserted in quick mode, where the shrunken horizon makes the
     # ratio noise-dominated on shared CI runners.

@@ -6,8 +6,6 @@ harvesting paths reach the battery.  The bench rebuilds the graph and
 verifies every structural claim the figure makes.
 """
 
-import pytest
-
 from repro.core import InfiniWolfDevice, build_device_graph
 
 

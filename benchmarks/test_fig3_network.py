@@ -6,7 +6,6 @@ activation, 108 neurons, 3003 weights and the ~14 kB footprint.
 """
 
 import numpy as np
-import pytest
 
 from repro.fann import Activation, build_network_a, convert_to_fixed
 from repro.features.pipeline import FEATURE_NAMES

@@ -20,16 +20,30 @@ Scenario commands drive the declarative scenario API
     python -m repro sweep --all --workers 4              # parallel batch sweep
     python -m repro sweep --all --backend process        # process-pool sweep
     python -m repro sweep outdoor_hiker night_shift --json
+    python -m repro search cloudy_week_multi_day         # rank every policy
+    python -m repro search outdoor_hiker --policy static_duty_cycle \
+        --policy ewma_forecast
+    python -m repro search night_shift \
+        --grid '{"static_duty_cycle": {"rate_per_min": [2, 8, 24]}}' --json
 
-``sweep --backend`` picks the execution backend: ``serial``,
-``thread`` (default) or ``process``.  The process backend spawns
-fresh workers, so scenarios must reference components registered at
-import time (the whole built-in library qualifies).
+``sweep --backend`` / ``search --backend`` pick the execution
+backend: ``serial``, ``thread`` (default) or ``process``.  The
+process backend spawns fresh workers, so scenarios must reference
+components registered at import time (the whole built-in library and
+every built-in policy qualify).
 
-``simulate --json`` and ``sweep --json`` emit machine-readable results
-for downstream tooling; the scenario names are the library keys listed
-by ``scenarios list`` (lowercase snake_case phrases describing the
-wearer's day).
+``search`` holds one scenario fixed and sweeps the power policy over
+a grid: ``--policy NAME`` (repeatable) compares registered policies at
+their default params, ``--grid`` takes a JSON mapping of policy name
+to ``{param: [values, ...]}`` axes, and with neither the whole policy
+registry competes at defaults.  Results are ranked best-first
+(energy-neutral, then detections/day, then final state of charge).
+
+``simulate --json``, ``sweep --json`` and ``search --json`` emit
+machine-readable results for downstream tooling (simulate includes the
+harvest-cache hit/miss stats; sweep records backend and wall time);
+the scenario names are the library keys listed by ``scenarios list``
+(lowercase snake_case phrases describing the wearer's day).
 """
 
 from __future__ import annotations
@@ -159,15 +173,30 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from repro.scenarios import get_scenario, run_scenario
+    import dataclasses
+
+    from repro.scenarios import build_simulation, get_scenario
+    from repro.scenarios.runner import ScenarioOutcome
 
     from repro.units import SECONDS_PER_DAY
 
     spec = get_scenario(args.scenario)
-    outcome = run_scenario(spec)
+    # Built by hand (rather than run_scenario) so the simulation object
+    # stays inspectable: the harvest-cache stats live on its harvester.
+    lean = (spec if spec.trace == "none"
+            else dataclasses.replace(spec, trace="none"))
+    sim = build_simulation(lean)
+    outcome = ScenarioOutcome.from_result(spec.name, sim.run())
+    stats = getattr(sim.harvester, "stats", None)
+    cache = (None if stats is None else {
+        "hits": stats.hits,
+        "misses": stats.misses,
+        "hit_rate": round(stats.hit_rate, 4),
+    })
     if args.json:
         print(json.dumps({"spec": spec.to_dict(),
-                          "outcome": outcome.to_dict()}, indent=2))
+                          "outcome": outcome.to_dict(),
+                          "harvest_cache": cache}, indent=2))
         return 0
     days = outcome.duration_s / SECONDS_PER_DAY
     print(f"Scenario: {spec.name}")
@@ -181,6 +210,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     print(f"  SoC        : {100 * outcome.initial_soc:.1f} % -> "
           f"{100 * outcome.final_soc:.1f} % "
           f"({'energy-neutral or better' if outcome.energy_neutral else 'draining'})")
+    if cache is not None:
+        print(f"  harvest memo: {cache['misses']} model solve(s), "
+              f"{cache['hits']} cache hit(s) "
+              f"({100 * cache['hit_rate']:.0f}% hit rate)")
     return 0
 
 
@@ -208,9 +241,57 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(json.dumps(sweep.to_dict(), indent=2))
     else:
         print(f"Sweep: {len(specs)} scenario(s), {args.workers} worker(s), "
-              f"{args.backend} backend")
+              f"{sweep.backend} backend, {sweep.wall_time_s:.2f} s")
         print(sweep.format_table())
         print(f"all energy-neutral: {'yes' if sweep.all_neutral else 'no'}")
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.errors import SpecError
+    from repro.policies import PolicyGrid
+    from repro.scenarios import POLICIES, ScenarioRunner, get_scenario
+
+    spec = get_scenario(args.scenario)
+    grids: list[PolicyGrid] = []
+    if args.grid:
+        try:
+            parsed = json.loads(args.grid)
+        except json.JSONDecodeError as exc:
+            print(f"error: --grid is not valid JSON: {exc}", file=sys.stderr)
+            return 2
+        if not isinstance(parsed, dict):
+            print("error: --grid must be a JSON object mapping policy name "
+                  "to {param: [values, ...]}", file=sys.stderr)
+            return 2
+        for name, axes in parsed.items():
+            if not isinstance(axes, dict):
+                raise SpecError(
+                    f"--grid entry for {name!r} must map params to value "
+                    f"lists, got {axes!r}")
+            grids.append(PolicyGrid(name, axes={
+                key: tuple(values) if isinstance(values, list) else (values,)
+                for key, values in axes.items()
+            }))
+    for name in args.policy or ():
+        grids.append(PolicyGrid(name))
+    if not grids:
+        # No selection: every registered policy competes at defaults.
+        grids = [PolicyGrid(name) for name in POLICIES.names()]
+
+    runner = ScenarioRunner(workers=args.workers, backend=args.backend)
+    result = runner.run_grid(spec, grids)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(f"Policy search: {spec.name} — {len(result.entries)} grid "
+          f"point(s), {len(result.policy_names)} policy(ies), "
+          f"{result.backend} backend, {result.wall_time_s:.2f} s")
+    print(result.format_table())
+    best = result.best
+    print(f"best: {best.label} "
+          f"({best.outcome.detections_per_day:.0f} detections/day, "
+          f"{'energy-neutral' if best.outcome.energy_neutral else 'draining'})")
     return 0
 
 
@@ -256,6 +337,24 @@ def main(argv: list[str] | None = None) -> int:
     p_sweep.add_argument("--json", action="store_true",
                          help="emit the sweep result as JSON")
 
+    p_search = sub.add_parser(
+        "search", help="grid-search power policies over one scenario")
+    p_search.add_argument("scenario", help="library scenario name to hold "
+                          "fixed while policies vary")
+    p_search.add_argument("--policy", action="append", metavar="NAME",
+                          help="registered policy to include at default "
+                               "params (repeatable)")
+    p_search.add_argument("--grid", metavar="JSON",
+                          help="JSON object: policy name -> "
+                               "{param: [values, ...]} axes to sweep")
+    p_search.add_argument("--workers", type=int, default=4,
+                          help="parallel workers (default 4)")
+    p_search.add_argument("--backend", choices=["serial", "thread", "process"],
+                          default="thread",
+                          help="execution backend (default thread)")
+    p_search.add_argument("--json", action="store_true",
+                          help="emit the ranked grid result as JSON")
+
     args = parser.parse_args(argv)
 
     if args.command == "all":
@@ -275,6 +374,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_scenarios(args)
         if args.command == "simulate":
             return _cmd_simulate(args)
+        if args.command == "search":
+            return _cmd_search(args)
         return _cmd_sweep(args)
     except ReproError as exc:
         # Bad scenario names, worker counts etc. are user input errors:

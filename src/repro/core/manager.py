@@ -10,6 +10,15 @@ hysteresis bands so the rate does not chatter.
 The policy is deliberately simple enough to run on the nRF52832 (a few
 integer comparisons on gauge readings) — that is the class of policy
 the real smart power unit implements.
+
+Since the policy redesign this manager is one strategy among several:
+the simulation engine steps anything satisfying the
+:class:`repro.policies.base.Policy` protocol, and this class rides
+behind the ``energy_aware`` adapter
+(:class:`repro.policies.library.EnergyAwarePolicy`) — the default, and
+pinned bitwise to its pre-protocol behaviour by the throughput bench.
+Alternative built-ins (``static_duty_cycle``, ``ewma_forecast``,
+``oracle_lookahead``) live in :mod:`repro.policies.library`.
 """
 
 from __future__ import annotations

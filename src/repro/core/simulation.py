@@ -1,10 +1,11 @@
 """Time-stepped day-in-the-life simulation of the whole watch.
 
 Steps the system over an environment timeline: each step harvests into
-the battery through the harvesting chain, runs the energy-aware manager
-to choose the detection rate, charges the battery for every detection
-executed, and records a trace (state of charge, intake, rate,
-detections) for the ablation benches and examples.
+the battery through the harvesting chain, asks the power policy for a
+detection rate (a :class:`repro.policies.base.PowerObservation` in, a
+:class:`~repro.policies.base.PolicyDecision` out), charges the battery
+for every detection executed, and records a trace (state of charge,
+intake, rate, detections) for the ablation benches and examples.
 
 :class:`DaySimulation` is a thin engine over injected components — it
 steps whatever harvester/battery/app/policy it is handed and contains
@@ -27,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Protocol
 
-from repro.core.manager import EnergyAwareManager, ManagerPolicy
+from repro.core.manager import EnergyAwareManager
 from repro.errors import SimulationError
 from repro.harvest.environment import (
     EnvironmentTimeline,
@@ -159,7 +160,13 @@ class DaySimulation:
         harvester: harvesting chain (defaults to the calibrated dual
             chain from the registries).
         battery: storage (defaults to the 120 mAh cell at 50 %).
-        policy: manager policy (defaults to the paper-shaped one).
+        policy: the decision-maker.  Either a
+            :class:`repro.policies.base.Policy` protocol object
+            (anything with ``max_rate_per_min`` and ``decide(obs)``),
+            or — for backward compatibility — a bare
+            :class:`~repro.core.manager.ManagerPolicy` threshold set,
+            which is wrapped in the energy-aware adapter.  Defaults to
+            the paper-shaped energy-aware policy.
         step_s: simulation step size.
         sleep_power_w: baseline watch draw on top of detections.  The
             Table I/II intake numbers already include the sleeping
@@ -171,6 +178,9 @@ class DaySimulation:
             ``policy`` (an injected manager brings its own), and when
             given with no ``app``, no default app is built —
             ``self.app`` stays ``None``.
+        detection_energy_j: energy of one detection; derived from
+            ``app``/``manager`` when omitted.  Passing it avoids
+            re-pricing the app when the caller already has the number.
         duration_s: default horizon for :meth:`run` (``None`` runs the
             whole timeline); a ``run``-time argument still wins.
         trace: per-step trace retention — a :class:`TraceMode` or its
@@ -183,10 +193,11 @@ class DaySimulation:
                  app=None,
                  harvester: HarvestChain | None = None,
                  battery=None,
-                 policy: ManagerPolicy | None = None,
+                 policy=None,
                  step_s: float = 60.0,
                  sleep_power_w: float = SYSTEM_SLEEP_W,
                  manager: EnergyAwareManager | None = None,
+                 detection_energy_j: float | None = None,
                  duration_s: float | None = None,
                  trace: TraceMode | str = "full") -> None:
         if step_s <= 0:
@@ -195,17 +206,35 @@ class DaySimulation:
             raise SimulationError("sleep power cannot be negative")
         if duration_s is not None and duration_s <= 0:
             raise SimulationError("default duration must be positive")
+        if detection_energy_j is not None and detection_energy_j <= 0:
+            raise SimulationError("detection energy must be positive")
         if manager is not None and policy is not None:
             raise SimulationError(
                 "pass either manager or policy, not both: an injected "
                 "manager brings its own policy")
-        if (harvester is None or battery is None
-                or (app is None and manager is None)):
+        # An injected Policy-protocol object may wrap a pre-built
+        # manager (EnergyAwarePolicy does); that manager both stays
+        # reachable as self.manager for pre-protocol callers and
+        # supplies the detection energy, exactly as manager= injection
+        # does — the two spellings must price detections identically.
+        # The isinstance check keeps the probe off third-party
+        # policies whose unrelated ``manager`` attribute would be
+        # mispriced (or lack detection_energy_j entirely).
+        wrapped_manager = (getattr(policy, "manager", None)
+                          if policy is not None and hasattr(policy, "decide")
+                          else None)
+        if not isinstance(wrapped_manager, EnergyAwareManager):
+            wrapped_manager = None
+        if detection_energy_j is None and wrapped_manager is not None:
+            detection_energy_j = wrapped_manager.detection_energy_j
+        needs_default_app = (app is None and manager is None
+                             and detection_energy_j is None)
+        if harvester is None or battery is None or needs_default_app:
             # Deferred so the engine has no import-time dependency on
             # the construction layer (which imports this module).  An
             # injected manager needs no app, so none is built for it.
             from repro.scenarios import builder
-            if app is None and manager is None:
+            if needs_default_app:
                 app = builder.build_app()
             if harvester is None:
                 harvester = builder.build_harvester(cached=True)
@@ -215,10 +244,25 @@ class DaySimulation:
         self.app = app
         self.harvester = harvester
         self.battery = battery
-        self.manager = manager if manager is not None else EnergyAwareManager(
-            app.energy_budget().total_j,
-            policy,
-        )
+        if manager is not None:
+            # Injected pre-built manager: wrap it behind the protocol.
+            from repro.policies.library import EnergyAwarePolicy
+            self.manager = manager
+            self.policy = EnergyAwarePolicy(manager)
+            self.detection_energy_j = manager.detection_energy_j
+        else:
+            if detection_energy_j is None:
+                detection_energy_j = app.energy_budget().total_j
+            self.detection_energy_j = detection_energy_j
+            if policy is not None and hasattr(policy, "decide"):
+                self.policy = policy
+                self.manager = wrapped_manager
+            else:
+                # None or a bare ManagerPolicy threshold set: build the
+                # classic energy-aware manager and adapt it.
+                from repro.policies.library import EnergyAwarePolicy
+                self.manager = EnergyAwareManager(detection_energy_j, policy)
+                self.policy = EnergyAwarePolicy(self.manager)
         self.step_s = step_s
         self.sleep_power_w = sleep_power_w
         self.duration_s = duration_s
@@ -232,7 +276,7 @@ class DaySimulation:
         scanning from ``t=0`` on every step, and re-evaluates the
         harvesting chain only on segment entry (the environment is
         piecewise-constant, so the intake cannot change mid-segment).
-        Both are pure-speed changes: the sequence of battery, manager
+        Both are pure-speed changes: the sequence of battery, policy
         and carry operations — and therefore every number on the result
         — is identical to stepping ``timeline.at(t)`` naively.
         """
@@ -242,12 +286,20 @@ class DaySimulation:
                    if duration_s is None else duration_s)
         if horizon <= 0:
             raise SimulationError("simulation horizon must be positive")
+        # Deferred import (see __init__): the policies package builds
+        # on the construction layer, which imports this module.
+        from repro.policies.base import PowerObservation
 
         battery = self.battery
-        manager = self.manager
-        choose_rate = manager.detection_rate_per_min
-        max_rate = manager.policy.max_rate_per_min
-        detection_j = manager.detection_energy_j
+        policy = self.policy
+        reset = getattr(policy, "reset", None)
+        if reset is not None:
+            # Stateful policies (forecasts, counters) restart cleanly,
+            # so rerunning the same simulation object is deterministic.
+            reset()
+        decide = policy.decide
+        max_rate = policy.max_rate_per_min
+        detection_j = self.detection_energy_j
         sleep_power_w = self.sleep_power_w
         step_s = self.step_s
         segments = self.timeline.segments
@@ -283,7 +335,21 @@ class DaySimulation:
             stored_j = battery.charge(harvest_w, dt)
             total_harvest_j += stored_j
 
-            rate = choose_rate(harvest_w, battery.state_of_charge)
+            rate = decide(PowerObservation(
+                time_s=t,
+                step_s=dt,
+                harvest_power_w=harvest_w,
+                state_of_charge=battery.state_of_charge,
+            )).detection_rate_per_min
+            if not rate >= 0.0:  # rejects negatives and NaN alike
+                raise SimulationError(
+                    f"policy {type(policy).__name__} returned an invalid "
+                    f"detection rate {rate!r} at t={t:.0f}s")
+            if rate > max_rate:
+                # max_rate_per_min is a hard contract: the step cap
+                # below assumes no decision ever exceeds it, else the
+                # detection backlog could grow without bound.
+                rate = max_rate
             # No step may execute (or bank) more than one step's worth
             # of detections at the policy ceiling, so a brown-out
             # backlog can never replay as a burst above the rate cap

@@ -24,6 +24,17 @@ class RegistryError(ReproError):
     """A component registry lookup or registration failed."""
 
 
+class UnknownPolicyError(SpecError, RegistryError):
+    """A spec names a policy absent from the ``POLICIES`` registry.
+
+    Both a :class:`SpecError` (the spec is unbuildable as written) and
+    a :class:`RegistryError` (the name missed the registry), so the
+    process-backend worker — which distinguishes registry misses to
+    explain its import-time-registration contract — handles it like
+    any other missing component.
+    """
+
+
 class QuantizationError(ReproError):
     """A value cannot be represented in the requested fixed-point format."""
 

@@ -21,7 +21,7 @@ converter model also subtracts its own quiescent current.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

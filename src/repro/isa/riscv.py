@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
-from repro.isa.cpu import MASK32, Core, to_signed32
+from repro.isa.cpu import MASK32, Core
 
 __all__ = ["RiscvTimings", "IBEX_TIMINGS", "RI5CY_TIMINGS", "RV32Core"]
 

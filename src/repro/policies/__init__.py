@@ -1,0 +1,62 @@
+"""Pluggable power-manager policies and policy grid search.
+
+The decision-making layer of the day-in-the-life simulation, split out
+of the engine behind a typed observation -> decision protocol:
+
+* :mod:`repro.policies.base` — :class:`PowerObservation`,
+  :class:`PolicyDecision`, the :class:`Policy` protocol and the
+  build-time :class:`PolicyContext`;
+* :mod:`repro.policies.library` — the built-in policies
+  (``energy_aware``, ``static_duty_cycle``, ``ewma_forecast``,
+  ``oracle_lookahead``), registered in the shared ``POLICIES``
+  registry so any :class:`~repro.scenarios.spec.PolicySpec` can name
+  them and round-trip through JSON and the process backend;
+* :mod:`repro.policies.grid` — :class:`PolicyGrid` cartesian parameter
+  grids and the ranked :class:`GridResult`, driven by
+  :meth:`repro.scenarios.runner.ScenarioRunner.run_grid` and the
+  ``repro search`` CLI subcommand.
+
+Third-party policies plug in exactly like other components::
+
+    from repro.scenarios import register_policy
+
+    @register_policy("solar_greedy")
+    def build_solar_greedy(params, context):
+        return MyPolicy(context.detection_energy_j, **params)
+"""
+
+from repro.policies.base import (
+    Policy,
+    PolicyContext,
+    PolicyDecision,
+    PowerObservation,
+)
+from repro.policies.library import (
+    EnergyAwarePolicy,
+    EwmaForecastPolicy,
+    OracleLookaheadPolicy,
+    StaticDutyCyclePolicy,
+    policy_names,
+)
+from repro.policies.grid import (
+    GridEntry,
+    GridResult,
+    PolicyGrid,
+    policy_label,
+)
+
+__all__ = [
+    "Policy",
+    "PolicyContext",
+    "PolicyDecision",
+    "PowerObservation",
+    "EnergyAwarePolicy",
+    "EwmaForecastPolicy",
+    "OracleLookaheadPolicy",
+    "StaticDutyCyclePolicy",
+    "policy_names",
+    "GridEntry",
+    "GridResult",
+    "PolicyGrid",
+    "policy_label",
+]

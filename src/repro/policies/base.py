@@ -1,0 +1,129 @@
+"""The observation -> decision protocol every power policy implements.
+
+The paper's power manager "opportunistically take[s] advantage of
+periods of overabundant energy and survive[s] intervals when the
+system is starving".  This module defines the *shape* of any such
+manager, so the day-in-the-life engine can step arbitrary policies
+without knowing their internals:
+
+* :class:`PowerObservation` — what the policy is allowed to see each
+  step (battery state of charge, recent harvest power, time of day,
+  step duration).  Frozen, so a decision can never mutate its inputs.
+* :class:`PolicyDecision` — what the policy answers: the detection
+  rate for the coming step, plus an optional operating-mode hint.
+* :class:`Policy` — the structural protocol: ``decide(obs)`` plus a
+  ``max_rate_per_min`` ceiling the engine uses to cap per-step
+  execution (a brown-out backlog can never replay above it).
+* :class:`PolicyContext` — build-time facts a policy factory may need
+  (per-detection energy, the environment timeline for lookahead
+  policies, the harvesting chain).
+
+Policies that keep per-run state (forecasts, counters) should expose a
+``reset()`` method; the engine calls it at the start of every run so a
+reused simulation object stays deterministic.
+
+This module deliberately imports nothing from :mod:`repro.core` or
+:mod:`repro.scenarios` — it is the shared vocabulary both layers speak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Protocol, runtime_checkable
+
+from repro.errors import ConfigurationError
+from repro.units import SECONDS_PER_DAY
+
+__all__ = [
+    "PowerObservation",
+    "PolicyDecision",
+    "Policy",
+    "PolicyContext",
+]
+
+
+@dataclass(frozen=True)
+class PowerObservation:
+    """Everything a policy may observe at one decision point.
+
+    Attributes:
+        time_s: simulation time at the start of the step.
+        step_s: duration of the coming step.
+        harvest_power_w: net battery intake during the step (the
+            environment is piecewise-constant, so "recent" and
+            "current" harvest coincide within a segment).
+        state_of_charge: battery state of charge in [0, 1], read after
+            the step's harvest was banked.
+    """
+
+    time_s: float
+    step_s: float
+    harvest_power_w: float
+    state_of_charge: float
+
+    @property
+    def time_of_day_s(self) -> float:
+        """Seconds since the most recent midnight of the simulation."""
+        return self.time_s % SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """A policy's answer for one step.
+
+    Attributes:
+        detection_rate_per_min: stress detections per minute to run
+            during the step.  The engine clamps it to the policy's own
+            ``max_rate_per_min`` and rejects negative/NaN rates.
+        mode: optional free-form operating-mode hint ("starving",
+            "abundant", ...) for reports and debugging; the engine
+            never interprets it.
+    """
+
+    detection_rate_per_min: float
+    mode: str = ""
+
+
+@runtime_checkable
+class Policy(Protocol):
+    """Structural protocol for pluggable power-manager policies.
+
+    Anything with a ``max_rate_per_min`` ceiling and a
+    ``decide(obs) -> PolicyDecision`` method is a policy; no
+    inheritance required.  Stateful policies may additionally expose
+    ``reset()``, called by the engine at the start of each run.
+    """
+
+    max_rate_per_min: float
+
+    def decide(self, obs: PowerObservation) -> PolicyDecision: ...
+
+
+@dataclass(frozen=True)
+class PolicyContext:
+    """Build-time facts handed to registered policy factories.
+
+    Attributes:
+        detection_energy_j: energy of one stress detection — what the
+            energy-neutral rate is priced against.
+        sleep_power_w: baseline draw on top of detections.
+        step_s: the simulation step the policy will be driven at.
+        timeline: the environment over the horizon, when the scenario
+            has been built (lookahead/oracle policies need it).
+        harvester: the harvesting chain, for policies that price the
+            timeline themselves.
+    """
+
+    detection_energy_j: float
+    sleep_power_w: float = 0.0
+    step_s: float = 60.0
+    timeline: object | None = None
+    harvester: object | None = None
+
+    def __post_init__(self) -> None:
+        if self.detection_energy_j <= 0:
+            raise ConfigurationError("detection energy must be positive")
+        if self.sleep_power_w < 0:
+            raise ConfigurationError("sleep power cannot be negative")
+        if self.step_s <= 0:
+            raise ConfigurationError("step size must be positive")

@@ -1,0 +1,188 @@
+"""Policy grid search: cartesian parameter grids and ranked results.
+
+A :class:`PolicyGrid` names one registered policy and the parameter
+axes to sweep; its cartesian product yields one
+:class:`~repro.scenarios.spec.PolicySpec` per grid point.
+:meth:`repro.scenarios.runner.ScenarioRunner.run_grid` runs one
+scenario under every point (reusing the serial/thread/process sweep
+backends) and returns a :class:`GridResult` that ranks the policies by
+how well they kept the watch alive and working: energy-neutral
+outcomes first, then detections delivered per day, then the battery
+margin they finished with.
+
+Scenario-layer imports are deferred inside methods so this module can
+be imported from anywhere in the package without ordering constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
+
+from repro.errors import SpecError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.scenarios.runner import ScenarioOutcome
+    from repro.scenarios.spec import PolicySpec
+
+__all__ = ["PolicyGrid", "GridEntry", "GridResult", "policy_label"]
+
+
+def policy_label(spec: "PolicySpec") -> str:
+    """A compact, stable label for one grid point.
+
+    ``energy_aware`` for a default point,
+    ``static_duty_cycle(rate_per_min=12)`` for a parameterized one.
+    """
+    if not spec.params:
+        return spec.name
+    inner = ",".join(f"{key}={spec.params[key]:g}"
+                     if isinstance(spec.params[key], (int, float))
+                     and not isinstance(spec.params[key], bool)
+                     else f"{key}={spec.params[key]}"
+                     for key in sorted(spec.params))
+    return f"{spec.name}({inner})"
+
+
+@dataclass(frozen=True)
+class PolicyGrid:
+    """The cartesian product of parameter values for one policy.
+
+    Attributes:
+        name: registered policy name (see ``POLICIES.names()``).
+        base: params fixed across every point.
+        axes: param name -> sequence of values to sweep.  Empty axes
+            mean a single point with just the ``base`` params.
+    """
+
+    name: str
+    base: Mapping[str, Any] = field(default_factory=dict)
+    axes: Mapping[str, tuple] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("a PolicyGrid needs a policy name")
+        if not isinstance(self.base, Mapping):
+            raise SpecError("PolicyGrid base must be a mapping of params")
+        if not isinstance(self.axes, Mapping):
+            raise SpecError("PolicyGrid axes must map param name -> values")
+        axes: dict[str, tuple] = {}
+        for key, values in self.axes.items():
+            if isinstance(values, (str, bytes)) or not hasattr(values,
+                                                               "__iter__"):
+                raise SpecError(
+                    f"PolicyGrid axis {key!r} needs a sequence of values, "
+                    f"got {values!r}")
+            values = tuple(values)
+            if not values:
+                raise SpecError(f"PolicyGrid axis {key!r} has no values")
+            axes[key] = values
+        overlap = set(axes) & set(self.base)
+        if overlap:
+            raise SpecError(
+                f"PolicyGrid params cannot be both fixed and swept: "
+                f"{sorted(overlap)}")
+        object.__setattr__(self, "base", dict(self.base))
+        object.__setattr__(self, "axes", axes)
+
+    def specs(self) -> list["PolicySpec"]:
+        """One :class:`PolicySpec` per grid point, axes in given order."""
+        from repro.scenarios.spec import PolicySpec
+
+        if not self.axes:
+            return [PolicySpec(name=self.name, params=dict(self.base))]
+        keys = list(self.axes)
+        points = []
+        for combo in product(*(self.axes[key] for key in keys)):
+            params = dict(self.base)
+            params.update(zip(keys, combo))
+            points.append(PolicySpec(name=self.name, params=params))
+        return points
+
+    def __len__(self) -> int:
+        count = 1
+        for values in self.axes.values():
+            count *= len(values)
+        return count
+
+    def __iter__(self) -> Iterator["PolicySpec"]:
+        return iter(self.specs())
+
+
+@dataclass(frozen=True)
+class GridEntry:
+    """One evaluated grid point: the policy and its scenario outcome."""
+
+    label: str
+    policy: "PolicySpec"
+    outcome: "ScenarioOutcome"
+
+    @property
+    def rank_key(self) -> tuple:
+        """Sort key: neutral first, most detections, best final SoC."""
+        return (not self.outcome.energy_neutral,
+                -self.outcome.detections_per_day,
+                -self.outcome.final_soc)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "label": self.label,
+            "policy": self.policy.to_dict(),
+            "outcome": self.outcome.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """Outcome of a policy grid search over one scenario.
+
+    Attributes:
+        scenario: the swept scenario's name.
+        entries: one entry per grid point, in grid order.
+        backend: the runner backend that executed the sweep.
+        wall_time_s: wall-clock spent executing the sweep.
+    """
+
+    scenario: str
+    entries: tuple[GridEntry, ...]
+    backend: str = ""
+    wall_time_s: float = 0.0
+
+    def ranked(self) -> list[GridEntry]:
+        """Entries best-first: energy-neutral, then detections/day,
+        then final state of charge (stable for exact ties)."""
+        return sorted(self.entries, key=lambda entry: entry.rank_key)
+
+    @property
+    def best(self) -> GridEntry:
+        """The top-ranked grid point."""
+        if not self.entries:
+            raise SpecError("empty grid result has no best entry")
+        return self.ranked()[0]
+
+    @property
+    def policy_names(self) -> list[str]:
+        """Distinct policy names evaluated, sorted."""
+        return sorted({entry.policy.name for entry in self.entries})
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "backend": self.backend,
+            "wall_time_s": self.wall_time_s,
+            "ranking": [entry.to_dict() for entry in self.ranked()],
+        }
+
+    def format_table(self) -> str:
+        """A fixed-width best-first ranking report."""
+        header = (f"{'rank':>4s} {'policy':42s} {'neutral':>7s} "
+                  f"{'det/day':>9s} {'SoC end':>8s}")
+        lines = [header, "-" * len(header)]
+        for position, entry in enumerate(self.ranked(), start=1):
+            o = entry.outcome
+            lines.append(
+                f"{position:4d} {entry.label:42s} "
+                f"{'yes' if o.energy_neutral else 'NO':>7s} "
+                f"{o.detections_per_day:9.0f} {100 * o.final_soc:7.1f}%")
+        return "\n".join(lines)

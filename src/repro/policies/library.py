@@ -1,0 +1,373 @@
+"""Built-in power policies, registered under their spec names.
+
+Four decision-making strategies ship with the library, spanning the
+space a policy study needs:
+
+* ``energy_aware`` — :class:`EnergyAwarePolicy`, the paper-shaped
+  manager (SoC hysteresis bands around the instantaneous
+  energy-neutral rate).  The default, and bitwise-identical to the
+  pre-protocol :class:`~repro.core.manager.EnergyAwareManager` path.
+* ``static_duty_cycle`` — :class:`StaticDutyCyclePolicy`, a constant
+  rate regardless of conditions; the baseline every adaptive policy
+  must beat.
+* ``ewma_forecast`` — :class:`EwmaForecastPolicy`, the neutral band
+  priced against an exponentially-weighted harvest forecast instead of
+  the instantaneous power, so short clouds/bursts stop whipsawing the
+  rate.
+* ``oracle_lookahead`` — :class:`OracleLookaheadPolicy`, which peeks
+  at the environment timeline and spends against the *mean* harvest
+  over a future window.  Not realizable on hardware; an upper bound
+  for policy studies.
+
+Factories registered here take ``(params, context)`` — the
+:class:`~repro.scenarios.spec.PolicySpec` params mapping plus a
+:class:`~repro.policies.base.PolicyContext` — and raise
+:class:`~repro.errors.SpecError` on unknown params, inverted SoC
+bands, negative rates and other invalid configurations, so a bad grid
+point fails at build time with the registered knob names in the
+message.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Mapping
+
+from repro.core.manager import EnergyAwareManager, ManagerPolicy
+from repro.errors import ConfigurationError, SpecError
+from repro.policies.base import PolicyContext, PolicyDecision, PowerObservation
+from repro.scenarios.registry import POLICIES, register_policy
+
+__all__ = [
+    "EnergyAwarePolicy",
+    "StaticDutyCyclePolicy",
+    "EwmaForecastPolicy",
+    "OracleLookaheadPolicy",
+    "policy_names",
+]
+
+
+def policy_names() -> list[str]:
+    """All registered policy names, sorted."""
+    return POLICIES.names()
+
+
+def _merge_params(name: str, params: Mapping[str, Any],
+                  defaults: Mapping[str, Any]) -> dict[str, Any]:
+    """Defaults overlaid with ``params``; unknown keys are a SpecError.
+
+    Every built-in policy knob is numeric, so non-number values (the
+    spec layer admits any JSON scalar) are rejected here with the knob
+    name instead of surfacing as a ``TypeError`` inside a comparison.
+    """
+    unknown = set(params) - set(defaults)
+    if unknown:
+        raise SpecError(
+            f"unknown {name!r} policy params: {sorted(unknown)} "
+            f"(known: {sorted(defaults)})")
+    for key, value in params.items():
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SpecError(
+                f"{name} policy param {key!r} must be a number, "
+                f"got {value!r}")
+    merged = dict(defaults)
+    merged.update(params)
+    return merged
+
+
+def _check_band(name: str, min_rate: float, max_rate: float,
+                low_soc: float, high_soc: float, margin: float) -> None:
+    """Shared rate/band/margin validation, reported as SpecError."""
+    if min_rate < 0 or max_rate <= 0:
+        raise SpecError(
+            f"{name} policy rates must be non-negative "
+            f"(min {min_rate!r}) and positive (max {max_rate!r})")
+    if min_rate > max_rate:
+        raise SpecError(
+            f"{name} policy min rate {min_rate!r} cannot exceed "
+            f"max rate {max_rate!r}")
+    if not 0.0 <= low_soc < high_soc <= 1.0:
+        raise SpecError(
+            f"{name} policy needs 0 <= low_soc < high_soc <= 1, "
+            f"got [{low_soc!r}, {high_soc!r}]")
+    if not 0.0 <= margin < 1.0:
+        raise SpecError(
+            f"{name} policy neutrality_margin must lie in [0, 1), "
+            f"got {margin!r}")
+
+
+class EnergyAwarePolicy:
+    """The paper's energy-aware manager behind the Policy protocol.
+
+    A thin adapter: :meth:`decide` calls the wrapped
+    :class:`~repro.core.manager.EnergyAwareManager` verbatim, so the
+    chosen rate is bit-for-bit the pre-protocol one (asserted by the
+    throughput bench's legacy-equivalence check).
+
+    Args:
+        manager: the configured rate-choosing manager to wrap.
+    """
+
+    def __init__(self, manager: EnergyAwareManager) -> None:
+        self.manager = manager
+
+    @property
+    def max_rate_per_min(self) -> float:
+        return self.manager.policy.max_rate_per_min
+
+    def decide(self, obs: PowerObservation) -> PolicyDecision:
+        manager = self.manager
+        rate = manager.detection_rate_per_min(obs.harvest_power_w,
+                                              obs.state_of_charge)
+        thresholds = manager.policy
+        if obs.state_of_charge < thresholds.low_soc:
+            mode = "starving"
+        elif obs.state_of_charge > thresholds.high_soc:
+            mode = "abundant"
+        else:
+            mode = "neutral"
+        return PolicyDecision(rate, mode)
+
+
+class StaticDutyCyclePolicy:
+    """A fixed detection rate, blind to harvest and battery state.
+
+    The duty-cycling baseline: what a watch without a smart power unit
+    would do.  Useful as the control arm of any policy grid search.
+
+    Args:
+        rate_per_min: the constant detection rate.
+    """
+
+    def __init__(self, rate_per_min: float = 6.0) -> None:
+        if rate_per_min < 0:
+            raise SpecError(
+                f"static_duty_cycle rate cannot be negative: {rate_per_min!r}")
+        self.rate_per_min = rate_per_min
+        self.max_rate_per_min = max(rate_per_min, 1.0)
+
+    def decide(self, obs: PowerObservation) -> PolicyDecision:
+        return PolicyDecision(self.rate_per_min, "static")
+
+
+class _SocBandedPolicy:
+    """Shared SoC-hysteresis plumbing for forecast-style policies.
+
+    Same regime structure as ``energy_aware``: floor rate when
+    starving, ceiling when abundant, and in between the energy-neutral
+    rate of whatever power estimate the subclass supplies to
+    :meth:`_banded_decision`.
+    """
+
+    def __init__(self, name: str, detection_energy_j: float,
+                 min_rate_per_min: float, max_rate_per_min: float,
+                 low_soc: float, high_soc: float,
+                 neutrality_margin: float) -> None:
+        if detection_energy_j <= 0:
+            raise SpecError(f"{name} detection energy must be positive")
+        _check_band(name, min_rate_per_min, max_rate_per_min,
+                    low_soc, high_soc, neutrality_margin)
+        self.detection_energy_j = detection_energy_j
+        self.min_rate_per_min = min_rate_per_min
+        self.max_rate_per_min = max_rate_per_min
+        self.low_soc = low_soc
+        self.high_soc = high_soc
+        self.neutrality_margin = neutrality_margin
+
+    def _banded_decision(self, state_of_charge: float,
+                         power_estimate_w: float, mode: str) -> PolicyDecision:
+        """Floor / ceiling / clamped-neutral dispatch on one estimate."""
+        if state_of_charge < self.low_soc:
+            return PolicyDecision(self.min_rate_per_min, "starving")
+        if state_of_charge > self.high_soc:
+            return PolicyDecision(self.max_rate_per_min, "abundant")
+        usable = power_estimate_w * (1.0 - self.neutrality_margin)
+        neutral = (usable * 60.0 / self.detection_energy_j
+                   if usable > 0 else 0.0)
+        rate = min(self.max_rate_per_min, max(self.min_rate_per_min, neutral))
+        return PolicyDecision(rate, mode)
+
+
+class EwmaForecastPolicy(_SocBandedPolicy):
+    """Energy-neutral rate priced against an EWMA harvest forecast.
+
+    Same SoC hysteresis bands as ``energy_aware``, but the neutral
+    band spends against an exponentially-weighted moving average of
+    the observed harvest power rather than the instantaneous value —
+    a 30 s sun burst no longer slams the rate to the ceiling, and a
+    passing cloud no longer drops it to the floor.
+
+    Args:
+        detection_energy_j: energy of one detection.
+        alpha: EWMA smoothing factor in (0, 1]; 1 reduces to the
+            instantaneous policy.
+        min_rate_per_min / max_rate_per_min / low_soc / high_soc /
+        neutrality_margin: as in
+            :class:`~repro.core.manager.ManagerPolicy`.
+    """
+
+    def __init__(self, detection_energy_j: float, alpha: float = 0.25,
+                 min_rate_per_min: float = 1.0,
+                 max_rate_per_min: float = 24.0,
+                 low_soc: float = 0.15, high_soc: float = 0.85,
+                 neutrality_margin: float = 0.05) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise SpecError(
+                f"ewma_forecast alpha must lie in (0, 1], got {alpha!r}")
+        super().__init__("ewma_forecast", detection_energy_j,
+                         min_rate_per_min, max_rate_per_min,
+                         low_soc, high_soc, neutrality_margin)
+        self.alpha = alpha
+        self._forecast_w: float | None = None
+
+    @property
+    def forecast_w(self) -> float | None:
+        """The current harvest forecast (None before any observation)."""
+        return self._forecast_w
+
+    def reset(self) -> None:
+        """Forget the forecast (called by the engine at run start)."""
+        self._forecast_w = None
+
+    def decide(self, obs: PowerObservation) -> PolicyDecision:
+        previous = self._forecast_w
+        if previous is None:
+            forecast = obs.harvest_power_w
+        else:
+            forecast = (self.alpha * obs.harvest_power_w
+                        + (1.0 - self.alpha) * previous)
+        self._forecast_w = forecast
+        return self._banded_decision(obs.state_of_charge, forecast,
+                                     "forecast")
+
+
+class OracleLookaheadPolicy(_SocBandedPolicy):
+    """Spends against the mean harvest of a future timeline window.
+
+    A clairvoyant planner: at build time it prices every timeline
+    segment through the harvesting chain and keeps prefix sums, so
+    each decision reads the *average* intake over the coming
+    ``lookahead_s`` in O(log segments).  Beyond the timeline's end the
+    final segment's conditions persist, exactly as the engine's
+    clamped stepping does.  Physically unrealizable (the wearer's
+    future is unknown) — the upper bound adaptive policies are
+    measured against.
+
+    Args:
+        detection_energy_j: energy of one detection.
+        timeline: the environment the run will be driven with.
+        harvester: the chain pricing each segment's battery intake.
+        lookahead_s: how far ahead the oracle averages.
+        min_rate_per_min / max_rate_per_min / low_soc / high_soc /
+        neutrality_margin: as in
+            :class:`~repro.core.manager.ManagerPolicy`.
+    """
+
+    def __init__(self, detection_energy_j: float, timeline, harvester,
+                 lookahead_s: float = 6 * 3600.0,
+                 min_rate_per_min: float = 1.0,
+                 max_rate_per_min: float = 24.0,
+                 low_soc: float = 0.15, high_soc: float = 0.85,
+                 neutrality_margin: float = 0.05) -> None:
+        if lookahead_s <= 0:
+            raise SpecError(
+                f"oracle_lookahead lookahead_s must be positive, "
+                f"got {lookahead_s!r}")
+        super().__init__("oracle_lookahead", detection_energy_j,
+                         min_rate_per_min, max_rate_per_min,
+                         low_soc, high_soc, neutrality_margin)
+        self.lookahead_s = lookahead_s
+        # Price every segment once; prefix sums make any window mean
+        # two lookups.
+        powers = [harvester.battery_intake_w(seg.lighting, seg.thermal)
+                  for seg in timeline.segments]
+        self._powers = tuple(powers)
+        self._boundaries = tuple(timeline.boundaries_s)
+        cumulative = []
+        total = 0.0
+        start = 0.0
+        for power, end in zip(powers, self._boundaries):
+            total += power * (end - start)
+            cumulative.append(total)
+            start = end
+        self._cum_energy = tuple(cumulative)
+
+    def _energy_up_to(self, t_s: float) -> float:
+        """Harvested joules over [0, t_s] (last segment extends forever)."""
+        boundaries = self._boundaries
+        if t_s <= 0:
+            return 0.0
+        if t_s >= boundaries[-1]:
+            return (self._cum_energy[-1]
+                    + self._powers[-1] * (t_s - boundaries[-1]))
+        idx = bisect_right(boundaries, t_s)
+        seg_start = boundaries[idx - 1] if idx else 0.0
+        base = self._cum_energy[idx - 1] if idx else 0.0
+        return base + self._powers[idx] * (t_s - seg_start)
+
+    def mean_harvest_w(self, start_s: float) -> float:
+        """Mean battery intake over [start_s, start_s + lookahead_s]."""
+        window_j = (self._energy_up_to(start_s + self.lookahead_s)
+                    - self._energy_up_to(start_s))
+        return window_j / self.lookahead_s
+
+    def decide(self, obs: PowerObservation) -> PolicyDecision:
+        return self._banded_decision(obs.state_of_charge,
+                                     self.mean_harvest_w(obs.time_s),
+                                     "oracle")
+
+
+# --- registered factories ----------------------------------------------------
+#
+# Signature contract (see repro.scenarios.registry):
+#   POLICIES: (params: Mapping, context: PolicyContext) -> Policy
+
+_BAND_DEFAULTS: dict[str, Any] = {
+    "min_rate_per_min": 1.0,
+    "max_rate_per_min": 24.0,
+    "low_soc": 0.15,
+    "high_soc": 0.85,
+    "neutrality_margin": 0.05,
+}
+
+
+@register_policy("energy_aware")
+def _build_energy_aware(params: Mapping[str, Any],
+                        context: PolicyContext) -> EnergyAwarePolicy:
+    merged = _merge_params("energy_aware", params, _BAND_DEFAULTS)
+    try:
+        thresholds = ManagerPolicy(**merged)
+    except ConfigurationError as exc:
+        raise SpecError(f"bad energy_aware policy params: {exc}") from None
+    return EnergyAwarePolicy(
+        EnergyAwareManager(context.detection_energy_j, thresholds))
+
+
+@register_policy("static_duty_cycle")
+def _build_static_duty_cycle(params: Mapping[str, Any],
+                             context: PolicyContext) -> StaticDutyCyclePolicy:
+    merged = _merge_params("static_duty_cycle", params,
+                           {"rate_per_min": 6.0})
+    return StaticDutyCyclePolicy(**merged)
+
+
+@register_policy("ewma_forecast")
+def _build_ewma_forecast(params: Mapping[str, Any],
+                         context: PolicyContext) -> EwmaForecastPolicy:
+    merged = _merge_params("ewma_forecast", params,
+                           {"alpha": 0.25, **_BAND_DEFAULTS})
+    return EwmaForecastPolicy(context.detection_energy_j, **merged)
+
+
+@register_policy("oracle_lookahead")
+def _build_oracle_lookahead(params: Mapping[str, Any],
+                            context: PolicyContext) -> OracleLookaheadPolicy:
+    merged = _merge_params("oracle_lookahead", params,
+                           {"lookahead_s": 6 * 3600.0, **_BAND_DEFAULTS})
+    if context.timeline is None or context.harvester is None:
+        raise SpecError(
+            "oracle_lookahead needs the built timeline and harvester in its "
+            "PolicyContext — build it through build_simulation(spec), or "
+            "pass PolicyContext(timeline=..., harvester=...) to build_policy")
+    return OracleLookaheadPolicy(context.detection_energy_j,
+                                 context.timeline, context.harvester, **merged)

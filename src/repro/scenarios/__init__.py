@@ -14,7 +14,13 @@ script" into "name a scenario and run it":
 * :mod:`repro.scenarios.library` — named built-in scenarios
   (``paper_indoor_worst_case``, ``sunny_office_worker``, ...);
 * :mod:`repro.scenarios.runner` — ``ScenarioRunner.run_batch`` parallel
-  sweeps and the :class:`SweepResult` aggregate.
+  sweeps, the :class:`SweepResult` aggregate, and
+  ``ScenarioRunner.run_grid`` policy grid search.
+
+Power policies live in their own subsystem, :mod:`repro.policies`
+(observation -> decision protocol, built-in policies, parameter
+grids); they share the ``POLICIES`` registry exported here, and
+importing this package registers the built-ins.
 """
 
 from repro.scenarios.spec import (

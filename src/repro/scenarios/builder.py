@@ -17,6 +17,7 @@ transducer models; the wrapper's ``stats`` feed the throughput bench.
 from __future__ import annotations
 
 from repro.core.simulation import DaySimulation
+from repro.errors import RegistryError, UnknownPolicyError
 from repro.harvest.dual import CachedHarvester
 from repro.harvest.environment import (
     EnvironmentSample,
@@ -24,6 +25,7 @@ from repro.harvest.environment import (
     LightingCondition,
     ThermalCondition,
 )
+from repro.policies.base import PolicyContext
 from repro.scenarios.registry import (
     APPS,
     BATTERIES,
@@ -82,10 +84,34 @@ def build_battery(spec: BatterySpec | None = None):
     return BATTERIES.get(spec.kind)(spec)
 
 
-def build_policy(spec: PolicySpec | None = None):
-    """The manager policy described by ``spec``."""
+def build_policy(spec: PolicySpec | None = None,
+                 context: PolicyContext | None = None):
+    """The decision policy described by ``spec``.
+
+    Args:
+        spec: the ``{name, params}`` policy choice (paper-default
+            ``energy_aware`` when omitted).
+        context: build-time facts the factory may need.  When omitted,
+            a context is derived from the default app's energy budget —
+            enough for context-light policies; timeline-peeking ones
+            (``oracle_lookahead``) need the caller to supply the built
+            timeline and harvester, as :func:`build_simulation` does.
+
+    An unknown policy name raises :class:`~repro.errors.SpecError`
+    listing the registered names, so a typo in a grid search fails
+    with the menu in hand.
+    """
     spec = spec if spec is not None else PolicySpec()
-    return POLICIES.get(spec.kind)(spec)
+    try:
+        factory = POLICIES.get(spec.name)
+    except RegistryError:
+        raise UnknownPolicyError(
+            f"unknown policy {spec.name!r}; registered policies: "
+            f"{POLICIES.names()}") from None
+    if context is None:
+        context = PolicyContext(
+            detection_energy_j=build_app().energy_budget().total_j)
+    return factory(spec.params, context)
 
 
 def build_app(spec: AppSpec | None = None):
@@ -106,14 +132,26 @@ def build_simulation(scenario: ScenarioSpec, *,
             useful for benchmarking the memo itself.
     """
     system: SystemSpec = scenario.system
+    timeline = build_timeline(scenario.timeline)
+    app = build_app(system.app)
+    harvester = build_harvester(system.harvester, cached=cache_harvest)
+    detection_energy_j = app.energy_budget().total_j
+    policy = build_policy(system.policy, PolicyContext(
+        detection_energy_j=detection_energy_j,
+        sleep_power_w=system.sleep_power_w,
+        step_s=scenario.step_s,
+        timeline=timeline,
+        harvester=harvester,
+    ))
     return DaySimulation(
-        timeline=build_timeline(scenario.timeline),
-        app=build_app(system.app),
-        harvester=build_harvester(system.harvester, cached=cache_harvest),
+        timeline=timeline,
+        app=app,
+        harvester=harvester,
         battery=build_battery(system.battery),
-        policy=build_policy(system.policy),
+        policy=policy,
         step_s=scenario.step_s,
         sleep_power_w=system.sleep_power_w,
+        detection_energy_j=detection_energy_j,
         duration_s=scenario.duration_s,
         trace=scenario.trace,
     )

@@ -83,6 +83,21 @@ class ComponentRegistry:
                 f"unknown {self.kind} {name!r}; known: {self.names()}"
             ) from None
 
+    def remove(self, name: str) -> Callable:
+        """Drop and return the factory registered under ``name``.
+
+        Registries are append-only in normal operation; this exists so
+        tests and plug-in teardown can restore global state without
+        reaching into internals.  Whole-registry consumers (``repro
+        search`` with no selection) see removals immediately.
+        """
+        try:
+            return self._factories.pop(name)
+        except KeyError:
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; known: {self.names()}"
+            ) from None
+
     def names(self) -> list[str]:
         """All registered names, sorted."""
         return sorted(self._factories)
@@ -119,7 +134,8 @@ register_timeline = TIMELINES.register
 # Factory signatures by registry:
 #   HARVESTERS:  ()            -> object with battery_intake_w(lighting, thermal)
 #   BATTERIES:   (BatterySpec) -> battery
-#   POLICIES:    (PolicySpec)  -> ManagerPolicy
+#   POLICIES:    (params, PolicyContext) -> Policy (see repro.policies;
+#                built-ins are registered by repro.policies.library)
 #   APPS:        (AppSpec)     -> application
 #   NETWORKS:    ()            -> MultiLayerPerceptron
 #   PROCESSORS:  ()            -> ProcessorConfig
@@ -177,19 +193,6 @@ def _build_lipo(spec):
         initial_soc=spec.initial_soc,
         internal_resistance_ohm=spec.internal_resistance_ohm,
         charge_efficiency=spec.charge_efficiency,
-    )
-
-
-@register_policy("energy_aware")
-def _build_energy_aware_policy(spec):
-    from repro.core.manager import ManagerPolicy
-
-    return ManagerPolicy(
-        min_rate_per_min=spec.min_rate_per_min,
-        max_rate_per_min=spec.max_rate_per_min,
-        low_soc=spec.low_soc,
-        high_soc=spec.high_soc,
-        neutrality_margin=spec.neutrality_margin,
     )
 
 

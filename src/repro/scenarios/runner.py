@@ -17,14 +17,21 @@
   runtime-registered components.
 
 All backends return a :class:`SweepResult` with the per-scenario
-outcomes in input order, and a batch's outcomes are identical across
-backends (simulations are deterministic and share no state).
+outcomes in input order plus provenance metadata (which backend
+actually ran and how long it took), and a batch's outcomes are
+identical across backends (simulations are deterministic and share no
+state).  :meth:`ScenarioRunner.run_grid` reuses the same backends to
+sweep one scenario under a policy grid
+(:class:`~repro.policies.grid.PolicyGrid`), returning a ranked
+:class:`~repro.policies.grid.GridResult`.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import multiprocessing
+import time
+from collections import Counter
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, fields
@@ -123,9 +130,19 @@ class ScenarioOutcome:
 
 @dataclass(frozen=True)
 class SweepResult:
-    """Aggregate outcome of a scenario batch, in input order."""
+    """Aggregate outcome of a scenario batch, in input order.
+
+    Attributes:
+        outcomes: per-scenario summaries, in input order.
+        backend: the backend that actually executed the batch
+            (``"serial"`` when a thread request degenerated to an
+            inline run), so a saved result file records its provenance.
+        wall_time_s: wall-clock seconds the batch took end to end.
+    """
 
     outcomes: tuple[ScenarioOutcome, ...]
+    backend: str = ""
+    wall_time_s: float = 0.0
 
     @property
     def all_neutral(self) -> bool:
@@ -148,7 +165,11 @@ class SweepResult:
                 f"no outcome for scenario {name!r} in this sweep") from None
 
     def to_dict(self) -> dict[str, Any]:
-        return {"outcomes": [outcome.to_dict() for outcome in self.outcomes]}
+        return {
+            "outcomes": [outcome.to_dict() for outcome in self.outcomes],
+            "backend": self.backend,
+            "wall_time_s": self.wall_time_s,
+        }
 
     def format_table(self) -> str:
         """A fixed-width neutrality / detections-per-day report."""
@@ -240,7 +261,9 @@ class ScenarioRunner:
             raise SpecError(
                 f"unknown backend {chosen!r}; known: {list(BACKENDS)}")
 
+        started = time.perf_counter()
         outcomes: Sequence[ScenarioOutcome]
+        used = chosen
         if chosen == "process" and specs:
             # Spawned workers give the same registry-visibility
             # semantics on every platform (fork would leak the
@@ -265,7 +288,75 @@ class ScenarioRunner:
                 ) from exc
         elif chosen == "serial" or n == 1 or len(specs) <= 1:
             outcomes = [run_scenario(s) for s in specs]
+            used = "serial"
         else:
             with ThreadPoolExecutor(max_workers=min(n, len(specs))) as pool:
                 outcomes = list(pool.map(run_scenario, specs))
-        return SweepResult(outcomes=tuple(outcomes))
+        return SweepResult(outcomes=tuple(outcomes), backend=used,
+                           wall_time_s=time.perf_counter() - started)
+
+    def run_grid(self, scenario: ScenarioSpec, grid,
+                 workers: int | None = None,
+                 backend: str | None = None) -> "GridResult":
+        """Run ``scenario`` under every point of a policy grid.
+
+        Args:
+            scenario: the scenario to hold fixed while policies vary.
+            grid: a :class:`~repro.policies.grid.PolicyGrid` or an
+                iterable of them (one per policy family to compare).
+            workers / backend: as in :meth:`run_batch` — grid points
+                are independent scenarios, so they sweep on any
+                backend, including the process pool.
+
+        Returns:
+            A ranked :class:`~repro.policies.grid.GridResult`.
+        """
+        # Deferred: repro.policies builds on this package.
+        from repro.policies.grid import (
+            GridEntry,
+            GridResult,
+            PolicyGrid,
+            policy_label,
+        )
+
+        grids = [grid] if isinstance(grid, PolicyGrid) else list(grid)
+        if not grids:
+            raise SpecError("a policy grid search needs at least one grid")
+        points = [point for g in grids for point in g.specs()]
+        # True duplicates are identical (name, params) points — judged
+        # on the specs themselves, since the compact %g labels can
+        # collide for values that differ past six significant digits.
+        keys = [(point.name, tuple(sorted(point.params.items())))
+                for point in points]
+        key_counts = Counter(keys)
+        duplicates = sorted({policy_label(point)
+                             for point, key in zip(points, keys)
+                             if key_counts[key] > 1})
+        if duplicates:
+            raise SpecError(f"duplicate policy grid points: {duplicates}")
+        labels = [policy_label(point) for point in points]
+        label_counts = Counter(labels)
+        if len(label_counts) != len(labels):
+            # Distinct points whose display labels rounded together:
+            # suffix a position so sweep names stay unique.
+            seen: Counter = Counter()
+            for index, label in enumerate(labels):
+                if label_counts[label] > 1:
+                    seen[label] += 1
+                    labels[index] = f"{label}#{seen[label]}"
+        variants = [
+            dataclasses.replace(
+                scenario,
+                name=f"{scenario.name}::{label}",
+                system=dataclasses.replace(scenario.system, policy=point),
+            )
+            for label, point in zip(labels, points)
+        ]
+        sweep = self.run_batch(variants, workers=workers, backend=backend)
+        entries = tuple(
+            GridEntry(label=label, policy=point, outcome=outcome)
+            for label, point, outcome in zip(labels, points, sweep.outcomes)
+        )
+        return GridResult(scenario=scenario.name, entries=entries,
+                          backend=sweep.backend,
+                          wall_time_s=sweep.wall_time_s)

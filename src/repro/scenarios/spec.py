@@ -152,27 +152,67 @@ class BatterySpec:
         return _from_mapping(cls, data)
 
 
+#: Legacy (pre-policy-protocol) PolicySpec keys, recognized only to
+#: point old payloads at the redesigned form.
+_LEGACY_POLICY_KEYS = frozenset({
+    "kind", "min_rate_per_min", "max_rate_per_min", "low_soc", "high_soc",
+    "neutrality_margin",
+})
+
+_PARAM_SCALARS = (bool, int, float, str)
+
+
 @dataclass(frozen=True)
 class PolicySpec:
-    """Manager-policy choice (by registry kind) and its thresholds."""
+    """Power-policy choice: a registered name plus its keyword params.
 
-    kind: str = "energy_aware"
-    min_rate_per_min: float = 1.0
-    max_rate_per_min: float = 24.0
-    low_soc: float = 0.15
-    high_soc: float = 0.85
-    neutrality_margin: float = 0.05
+    Any policy in the ``POLICIES`` registry can be named
+    (``energy_aware``, ``static_duty_cycle``, ``ewma_forecast``,
+    ``oracle_lookahead``, or a third-party registration); ``params``
+    are passed to its factory as keyword arguments, so the spec stays
+    JSON-round-trippable for every policy rather than hard-coding one
+    policy's threshold fields.  Param values must be JSON scalars
+    (numbers, strings, booleans) so specs survive the process backend
+    unchanged.
+    """
+
+    name: str = "energy_aware"
+    params: Mapping[str, Any] = dataclasses.field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if not self.kind:
-            raise SpecError("policy kind cannot be empty")
+        if not self.name:
+            raise SpecError("policy name cannot be empty")
+        params = _check_dict(self.params, "PolicySpec params")
+        for key, value in params.items():
+            if not isinstance(key, str) or not key:
+                raise SpecError(
+                    f"policy param names must be non-empty strings, "
+                    f"got {key!r}")
+            if not isinstance(value, _PARAM_SCALARS):
+                raise SpecError(
+                    f"policy param {key!r} must be a JSON scalar "
+                    f"(number, string or bool), got {type(value).__name__}")
+        object.__setattr__(self, "params", dict(params))
 
     def to_dict(self) -> dict[str, Any]:
-        return dataclasses.asdict(self)
+        return {"name": self.name, "params": dict(self.params)}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "PolicySpec":
-        return _from_mapping(cls, data)
+        data = _check_dict(data, "PolicySpec")
+        unknown = set(data) - {"name", "params"}
+        if unknown & _LEGACY_POLICY_KEYS:
+            raise SpecError(
+                f"legacy PolicySpec keys {sorted(unknown & _LEGACY_POLICY_KEYS)}: "
+                "the policy layer was redesigned around named policies — use "
+                "{'name': <registered policy>, 'params': {...}}, e.g. "
+                "{'name': 'energy_aware', 'params': {'max_rate_per_min': 24.0}}")
+        if unknown:
+            raise SpecError(
+                f"unknown PolicySpec keys: {sorted(unknown)} "
+                f"(known: ['name', 'params'])")
+        return cls(name=data.get("name", "energy_aware"),
+                   params=data.get("params", {}))
 
 
 @dataclass(frozen=True)

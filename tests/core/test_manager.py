@@ -26,6 +26,25 @@ class TestPolicyValidation:
         with pytest.raises(ConfigurationError):
             ManagerPolicy(neutrality_margin=1.0)
 
+    def test_rejects_negative_min_rate(self):
+        with pytest.raises(ConfigurationError):
+            ManagerPolicy(min_rate_per_min=-1.0)
+
+    def test_rejects_nonpositive_max_rate(self):
+        with pytest.raises(ConfigurationError):
+            ManagerPolicy(min_rate_per_min=0.0, max_rate_per_min=0.0)
+
+    def test_rejects_soc_band_outside_unit_interval(self):
+        with pytest.raises(ConfigurationError):
+            ManagerPolicy(low_soc=-0.1)
+        with pytest.raises(ConfigurationError):
+            ManagerPolicy(high_soc=1.1)
+
+    def test_degenerate_band_rejected(self):
+        """low_soc == high_soc leaves no neutral band at all."""
+        with pytest.raises(ConfigurationError):
+            ManagerPolicy(low_soc=0.5, high_soc=0.5)
+
     def test_rejects_nonpositive_detection_energy(self):
         with pytest.raises(ConfigurationError):
             EnergyAwareManager(0.0)

@@ -1,7 +1,6 @@
 """Fixed-point network conversion and inference tests."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.fann import (

@@ -1,6 +1,5 @@
 """Cross-cutting property tests over the harvesting chain."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

@@ -12,7 +12,7 @@ from repro.harvest.environment import (
     TEG_ROOM_22C_NO_WIND,
     ThermalCondition,
 )
-from repro.harvest.teg import TEGDevice, TEGParams
+from repro.harvest.teg import TEGDevice
 
 
 @pytest.fixture

@@ -1,7 +1,6 @@
 """Property-based tests over the ISS stack (hypothesis)."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.isa import RV32Core, XpulpCore, assemble

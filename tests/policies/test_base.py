@@ -1,0 +1,67 @@
+"""Protocol vocabulary: observations, decisions, build context."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.policies import Policy, PolicyContext, PolicyDecision, PowerObservation
+
+
+class TestPowerObservation:
+    def test_is_frozen(self):
+        obs = PowerObservation(time_s=0.0, step_s=60.0,
+                               harvest_power_w=1e-4, state_of_charge=0.5)
+        with pytest.raises(AttributeError):
+            obs.state_of_charge = 0.9
+
+    def test_time_of_day_wraps_at_midnight(self):
+        obs = PowerObservation(time_s=2 * 86400.0 + 3600.0, step_s=60.0,
+                               harvest_power_w=0.0, state_of_charge=0.5)
+        assert obs.time_of_day_s == pytest.approx(3600.0)
+
+    def test_first_day_time_is_identity(self):
+        obs = PowerObservation(time_s=12345.0, step_s=60.0,
+                               harvest_power_w=0.0, state_of_charge=0.5)
+        assert obs.time_of_day_s == 12345.0
+
+
+class TestPolicyDecision:
+    def test_mode_hint_defaults_empty(self):
+        decision = PolicyDecision(detection_rate_per_min=4.0)
+        assert decision.mode == ""
+        assert decision.detection_rate_per_min == 4.0
+
+
+class TestPolicyProtocol:
+    def test_duck_typed_object_satisfies_protocol(self):
+        class Greedy:
+            max_rate_per_min = 24.0
+
+            def decide(self, obs):
+                return PolicyDecision(self.max_rate_per_min, "greedy")
+
+        assert isinstance(Greedy(), Policy)
+
+    def test_object_without_decide_does_not_satisfy(self):
+        class NotAPolicy:
+            max_rate_per_min = 24.0
+
+        assert not isinstance(NotAPolicy(), Policy)
+
+
+class TestPolicyContext:
+    def test_defaults(self):
+        context = PolicyContext(detection_energy_j=605e-6)
+        assert context.timeline is None
+        assert context.harvester is None
+
+    def test_rejects_nonpositive_detection_energy(self):
+        with pytest.raises(ConfigurationError):
+            PolicyContext(detection_energy_j=0.0)
+
+    def test_rejects_negative_sleep_power(self):
+        with pytest.raises(ConfigurationError):
+            PolicyContext(detection_energy_j=1e-3, sleep_power_w=-1.0)
+
+    def test_rejects_nonpositive_step(self):
+        with pytest.raises(ConfigurationError):
+            PolicyContext(detection_energy_j=1e-3, step_s=0.0)

@@ -1,0 +1,328 @@
+"""Built-in policies: semantics, validation edges, engine integration."""
+
+import pytest
+
+from repro.core import DaySimulation
+from repro.core.manager import EnergyAwareManager, ManagerPolicy
+from repro.errors import SpecError
+from repro.harvest.environment import (
+    DARKNESS,
+    EnvironmentSample,
+    EnvironmentTimeline,
+    INDOOR_OFFICE_700LX,
+    OUTDOOR_SUN_30KLX,
+    TEG_ROOM_22C_NO_WIND,
+)
+from repro.policies import (
+    EnergyAwarePolicy,
+    EwmaForecastPolicy,
+    OracleLookaheadPolicy,
+    PolicyContext,
+    PowerObservation,
+    StaticDutyCyclePolicy,
+)
+from repro.scenarios import PolicySpec, build_harvester, build_policy
+
+DETECTION_J = 605.2e-6
+
+
+def obs(harvest_w=1e-4, soc=0.5, t=0.0, dt=300.0):
+    return PowerObservation(time_s=t, step_s=dt, harvest_power_w=harvest_w,
+                            state_of_charge=soc)
+
+
+def sun_after_darkness() -> EnvironmentTimeline:
+    """Two dark hours, then four hours of full sun."""
+    return EnvironmentTimeline([
+        EnvironmentSample(2 * 3600.0, DARKNESS, TEG_ROOM_22C_NO_WIND),
+        EnvironmentSample(4 * 3600.0, OUTDOOR_SUN_30KLX, TEG_ROOM_22C_NO_WIND),
+    ])
+
+
+class TestEnergyAwareAdapter:
+    @pytest.fixture
+    def policy(self):
+        return EnergyAwarePolicy(EnergyAwareManager(DETECTION_J))
+
+    @pytest.mark.parametrize("harvest_w,soc", [
+        (0.0, 0.05), (1e-4, 0.5), (2e-4, 0.5), (1.0, 0.5), (0.0, 0.95),
+    ])
+    def test_decide_matches_manager_exactly(self, policy, harvest_w, soc):
+        expected = policy.manager.detection_rate_per_min(harvest_w, soc)
+        assert policy.decide(obs(harvest_w, soc)).detection_rate_per_min == expected
+
+    def test_mode_hints_track_regimes(self, policy):
+        assert policy.decide(obs(soc=0.05)).mode == "starving"
+        assert policy.decide(obs(soc=0.95)).mode == "abundant"
+        assert policy.decide(obs(soc=0.5)).mode == "neutral"
+
+    def test_max_rate_mirrors_thresholds(self):
+        manager = EnergyAwareManager(DETECTION_J,
+                                     ManagerPolicy(max_rate_per_min=7.0))
+        assert EnergyAwarePolicy(manager).max_rate_per_min == 7.0
+
+
+class TestStaticDutyCycle:
+    def test_rate_is_condition_blind(self):
+        policy = StaticDutyCyclePolicy(rate_per_min=3.0)
+        for observation in (obs(0.0, 0.05), obs(1.0, 0.95)):
+            decision = policy.decide(observation)
+            assert decision.detection_rate_per_min == 3.0
+            assert decision.mode == "static"
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(SpecError, match="negative"):
+            StaticDutyCyclePolicy(rate_per_min=-1.0)
+
+    def test_simulation_holds_the_rate(self):
+        timeline = EnvironmentTimeline([
+            EnvironmentSample(86400.0, INDOOR_OFFICE_700LX,
+                              TEG_ROOM_22C_NO_WIND),
+        ])
+        sim = DaySimulation(timeline, policy=StaticDutyCyclePolicy(4.0),
+                            step_s=600.0)
+        result = sim.run()
+        assert all(step.detection_rate_per_min == 4.0 for step in result.steps)
+        assert sim.manager is None  # no classic manager behind it
+
+
+class TestEwmaForecast:
+    def test_forecast_converges_to_constant_harvest(self):
+        policy = EwmaForecastPolicy(DETECTION_J, alpha=0.5)
+        for _ in range(64):
+            policy.decide(obs(2e-4, soc=0.5))
+        assert policy.forecast_w == pytest.approx(2e-4, rel=1e-6)
+        # Converged forecast -> the instantaneous neutral rate.
+        manager = EnergyAwareManager(DETECTION_J)
+        expected = manager.detection_rate_per_min(2e-4, 0.5)
+        rate = policy.decide(obs(2e-4, soc=0.5)).detection_rate_per_min
+        assert rate == pytest.approx(expected, rel=1e-6)
+
+    def test_smoothing_damps_a_burst(self):
+        """One sunny step must move the rate far less than the
+        instantaneous policy would."""
+        policy = EwmaForecastPolicy(DETECTION_J, alpha=0.1,
+                                    max_rate_per_min=1000.0)
+        for _ in range(32):
+            policy.decide(obs(1e-5, soc=0.5))
+        burst = policy.decide(obs(5e-3, soc=0.5)).detection_rate_per_min
+        instantaneous = EnergyAwareManager(
+            DETECTION_J, ManagerPolicy(max_rate_per_min=1000.0)
+        ).detection_rate_per_min(5e-3, 0.5)
+        assert burst < 0.2 * instantaneous
+
+    def test_soc_bands_override_forecast(self):
+        policy = EwmaForecastPolicy(DETECTION_J)
+        assert policy.decide(obs(1.0, soc=0.05)).detection_rate_per_min == 1.0
+        assert policy.decide(obs(0.0, soc=0.95)).detection_rate_per_min == 24.0
+
+    def test_reset_forgets_history(self):
+        policy = EwmaForecastPolicy(DETECTION_J, alpha=0.1)
+        policy.decide(obs(1e-3, soc=0.5))
+        policy.reset()
+        assert policy.forecast_w is None
+        # First post-reset observation seeds the forecast directly.
+        policy.decide(obs(2e-4, soc=0.5))
+        assert policy.forecast_w == pytest.approx(2e-4)
+
+    def test_engine_resets_between_runs(self):
+        """Re-running one simulation object must be deterministic."""
+        timeline = sun_after_darkness()
+        sim = DaySimulation(timeline,
+                            policy=EwmaForecastPolicy(DETECTION_J, alpha=0.2),
+                            step_s=600.0)
+        first = sim.run()
+        sim.battery = DaySimulation(timeline, step_s=600.0).battery
+        second = sim.run()
+        assert [s.detection_rate_per_min for s in first.steps] == \
+            [s.detection_rate_per_min for s in second.steps]
+
+    @pytest.mark.parametrize("bad", [
+        {"alpha": 0.0}, {"alpha": 1.5},
+        {"min_rate_per_min": -1.0},
+        {"max_rate_per_min": 0.0},
+        {"min_rate_per_min": 30.0, "max_rate_per_min": 24.0},
+        {"low_soc": 0.9, "high_soc": 0.2},
+        {"neutrality_margin": 1.0},
+    ])
+    def test_bad_params_rejected(self, bad):
+        with pytest.raises(SpecError):
+            EwmaForecastPolicy(DETECTION_J, **bad)
+
+
+class TestOracleLookahead:
+    @pytest.fixture
+    def harvester(self):
+        return build_harvester()
+
+    def test_sees_sun_through_darkness(self, harvester):
+        """Standing in the dark with sun two hours out, the oracle
+        spends above the instantaneous-neutral floor."""
+        policy = OracleLookaheadPolicy(DETECTION_J, sun_after_darkness(),
+                                       harvester, lookahead_s=4 * 3600.0)
+        rate = policy.decide(obs(0.0, soc=0.5, t=0.0)).detection_rate_per_min
+        blind = EnergyAwareManager(DETECTION_J).detection_rate_per_min(0.0, 0.5)
+        assert rate > blind
+
+    def test_window_mean_matches_hand_integral(self, harvester):
+        timeline = sun_after_darkness()
+        dark_w = harvester.battery_intake_w(DARKNESS, TEG_ROOM_22C_NO_WIND)
+        sun_w = harvester.battery_intake_w(OUTDOOR_SUN_30KLX,
+                                           TEG_ROOM_22C_NO_WIND)
+        policy = OracleLookaheadPolicy(DETECTION_J, timeline, harvester,
+                                       lookahead_s=4 * 3600.0)
+        # Window [1 h, 5 h]: one dark hour, then three sunny hours.
+        expected = (dark_w * 3600.0 + sun_w * 3 * 3600.0) / (4 * 3600.0)
+        assert policy.mean_harvest_w(3600.0) == pytest.approx(expected)
+
+    def test_last_segment_extends_past_timeline_end(self, harvester):
+        """Beyond the horizon the engine clamps to the final segment;
+        the oracle's window must price it the same way."""
+        timeline = sun_after_darkness()
+        sun_w = harvester.battery_intake_w(OUTDOOR_SUN_30KLX,
+                                           TEG_ROOM_22C_NO_WIND)
+        policy = OracleLookaheadPolicy(DETECTION_J, timeline, harvester,
+                                       lookahead_s=2 * 3600.0)
+        beyond = timeline.total_duration_s + 3600.0
+        assert policy.mean_harvest_w(beyond) == pytest.approx(sun_w)
+
+    def test_bad_lookahead_rejected(self, harvester):
+        with pytest.raises(SpecError, match="lookahead"):
+            OracleLookaheadPolicy(DETECTION_J, sun_after_darkness(),
+                                  harvester, lookahead_s=0.0)
+
+
+class TestRegisteredFactories:
+    def test_unknown_policy_name_lists_registry(self):
+        with pytest.raises(SpecError, match="registered policies") as excinfo:
+            build_policy(PolicySpec(name="warp_drive"))
+        assert "energy_aware" in str(excinfo.value)
+        assert "static_duty_cycle" in str(excinfo.value)
+
+    def test_unknown_param_lists_known_knobs(self):
+        context = PolicyContext(detection_energy_j=DETECTION_J)
+        with pytest.raises(SpecError, match="turbo") as excinfo:
+            build_policy(PolicySpec(name="energy_aware",
+                                    params={"turbo": True}), context)
+        assert "max_rate_per_min" in str(excinfo.value)
+
+    def test_bad_bands_surface_as_spec_error(self):
+        context = PolicyContext(detection_energy_j=DETECTION_J)
+        with pytest.raises(SpecError, match="energy_aware"):
+            build_policy(PolicySpec(name="energy_aware",
+                                    params={"low_soc": 0.9, "high_soc": 0.1}),
+                         context)
+        with pytest.raises(SpecError):
+            build_policy(PolicySpec(name="static_duty_cycle",
+                                    params={"rate_per_min": -5.0}), context)
+
+    def test_string_param_rejected_with_knob_name(self):
+        """PolicySpec admits any JSON scalar, so factories must turn a
+        string where a number belongs into a SpecError, not let it hit
+        a comparison as a TypeError."""
+        context = PolicyContext(detection_energy_j=DETECTION_J)
+        with pytest.raises(SpecError, match="rate_per_min"):
+            build_policy(PolicySpec(name="static_duty_cycle",
+                                    params={"rate_per_min": "fast"}),
+                         context)
+        with pytest.raises(SpecError, match="must be a number"):
+            build_policy(PolicySpec(name="energy_aware",
+                                    params={"max_rate_per_min": "24"}),
+                         context)
+        with pytest.raises(SpecError, match="must be a number"):
+            build_policy(PolicySpec(name="ewma_forecast",
+                                    params={"alpha": True}), context)
+
+    def test_oracle_without_timeline_context_is_explained(self):
+        context = PolicyContext(detection_energy_j=DETECTION_J)
+        with pytest.raises(SpecError, match="timeline"):
+            build_policy(PolicySpec(name="oracle_lookahead"), context)
+
+    def test_params_reach_the_policy(self):
+        context = PolicyContext(detection_energy_j=DETECTION_J)
+        policy = build_policy(PolicySpec(name="ewma_forecast",
+                                         params={"alpha": 0.75}), context)
+        assert policy.alpha == 0.75
+        assert policy.detection_energy_j == DETECTION_J
+
+
+class TestEngineIntegration:
+    def test_protocol_policy_equals_default_build_bitwise(self):
+        """A hand-wrapped EnergyAwarePolicy must be indistinguishable
+        from the engine's own default construction."""
+        timeline = sun_after_darkness()
+        default = DaySimulation(timeline, step_s=300.0).run()
+        wrapped = DaySimulation(
+            timeline,
+            policy=EnergyAwarePolicy(
+                EnergyAwareManager(
+                    DaySimulation(timeline, step_s=300.0)
+                    .detection_energy_j)),
+            step_s=300.0).run()
+        assert wrapped == default
+
+    def test_adapter_injection_prices_like_manager_injection(self):
+        """policy=EnergyAwarePolicy(m) and manager=m are two spellings
+        of the same system: the wrapped manager's detection energy must
+        reach the battery accounting, not the default app's."""
+        timeline = sun_after_darkness()
+        manager = EnergyAwareManager(2 * DETECTION_J)  # non-default energy
+        via_manager = DaySimulation(timeline, manager=manager,
+                                    step_s=300.0)
+        via_policy = DaySimulation(timeline,
+                                   policy=EnergyAwarePolicy(manager),
+                                   step_s=300.0)
+        assert via_policy.detection_energy_j == 2 * DETECTION_J
+        assert via_policy.manager is manager
+        assert via_policy.app is None  # no default app built either way
+        assert via_policy.run() == via_manager.run()
+
+    def test_unrelated_manager_attribute_is_not_duck_typed(self):
+        """A third-party policy whose `manager` attribute is not an
+        EnergyAwareManager must not be probed for detection energy."""
+        class Scheduler:
+            pass
+
+        class WithScheduler:
+            max_rate_per_min = 6.0
+            manager = Scheduler()
+
+            def decide(self, observation):
+                from repro.policies import PolicyDecision
+                return PolicyDecision(6.0)
+
+        sim = DaySimulation(sun_after_darkness(), policy=WithScheduler(),
+                            step_s=600.0)
+        assert sim.manager is None
+        assert sim.detection_energy_j == pytest.approx(
+            sim.app.energy_budget().total_j)
+        sim.run()  # prices detections with the default app's energy
+
+    def test_invalid_policy_rate_rejected_mid_run(self):
+        class Broken:
+            max_rate_per_min = 24.0
+
+            def decide(self, observation):
+                from repro.policies import PolicyDecision
+                return PolicyDecision(float("nan"))
+
+        from repro.errors import SimulationError
+
+        sim = DaySimulation(sun_after_darkness(), policy=Broken(),
+                            step_s=600.0)
+        with pytest.raises(SimulationError, match="invalid"):
+            sim.run()
+
+    def test_rate_above_ceiling_is_clamped(self):
+        class Overdriven:
+            max_rate_per_min = 6.0
+
+            def decide(self, observation):
+                from repro.policies import PolicyDecision
+                return PolicyDecision(1000.0)
+
+        sim = DaySimulation(sun_after_darkness(), policy=Overdriven(),
+                            step_s=600.0)
+        result = sim.run()
+        assert all(step.detection_rate_per_min == 6.0
+                   for step in result.steps)

@@ -5,7 +5,6 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import PowerModelError
 from repro.power import LiPoBattery
-from repro.units import mah_to_coulombs
 
 
 class TestConstruction:

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.errors import QuantizationError
-from repro.quant import Q7, Q15, QFormat, from_fixed, saturate, to_fixed
+from repro.quant import Q15, QFormat, from_fixed, saturate, to_fixed
 
 
 class TestConstruction:

@@ -41,7 +41,18 @@ class TestComponentBuilders:
         assert built.overvoltage_v == stock.overvoltage_v
 
     def test_default_policy_matches_paper_policy(self):
-        assert build_policy() == ManagerPolicy()
+        from repro.policies import EnergyAwarePolicy
+
+        built = build_policy()
+        assert isinstance(built, EnergyAwarePolicy)
+        assert built.manager.policy == ManagerPolicy()
+
+    def test_unknown_policy_name_lists_registered(self):
+        from repro.errors import SpecError
+        from repro.scenarios import PolicySpec
+
+        with pytest.raises(SpecError, match="energy_aware"):
+            build_policy(PolicySpec(name="perpetual_motion"))
 
     def test_default_app_matches_stock_app(self):
         built = build_app()
@@ -115,7 +126,7 @@ class TestBuildSimulation:
             timeline=TimelineSpec(name="paper_indoor_day"),
             system=SystemSpec(
                 battery=BatterySpec(initial_soc=0.25, capacity_mah=60.0),
-                policy=PolicySpec(max_rate_per_min=10.0),
+                policy=PolicySpec(params={"max_rate_per_min": 10.0}),
                 sleep_power_w=1e-5,
             ),
             step_s=450.0,

@@ -14,7 +14,6 @@ from repro.harvest.dual import CachedHarvester
 from repro.scenarios import (
     ScenarioRunner,
     ScenarioSpec,
-    TimelineSpec,
     all_scenarios,
     build_simulation,
     get_scenario,
@@ -141,6 +140,31 @@ class TestProcessBackend:
         with pytest.raises(SpecError, match="process backend"):
             ScenarioRunner(workers=2, backend="process").run_batch(
                 [spec, get_scenario("night_shift")])
+
+    def test_runtime_registered_policy_raises_spec_error(self):
+        """A policy registered at runtime is just as invisible to
+        spawned workers as any other component — the error must
+        explain the process backend's contract, not look like a typo."""
+        from repro.scenarios import POLICIES, PolicySpec, register_policy
+
+        @register_policy("test_fastpath_runtime_policy")
+        def _runtime_policy(params, context):  # pragma: no cover
+            raise AssertionError("workers must not see this factory")
+
+        base = get_scenario("paper_indoor_worst_case")
+        spec = dataclasses.replace(
+            base, name="runtime_policy",
+            system=dataclasses.replace(
+                base.system,
+                policy=PolicySpec(name="test_fastpath_runtime_policy")),
+        )
+        try:
+            with pytest.raises(SpecError, match="process backend"):
+                ScenarioRunner(workers=2, backend="process").run_batch([spec])
+        finally:
+            # Drop the throwaway factory so whole-registry consumers
+            # (`repro search` with no selection) stay order-independent.
+            POLICIES.remove("test_fastpath_runtime_policy")
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(SpecError, match="backend"):

@@ -23,11 +23,16 @@ class TestBuiltins:
 
     def test_builtin_components_registered(self):
         assert "lipo" in BATTERIES
-        assert "energy_aware" in POLICIES
         assert "stress_detection" in APPS
         assert "network_a" in NETWORKS and "network_b" in NETWORKS
         for key in ("arm_m4f", "ibex", "ri5cy_single", "ri5cy_multi"):
             assert key in PROCESSORS
+
+    def test_builtin_policies_registered(self):
+        """importing repro.scenarios wires up the policy library too."""
+        for name in ("energy_aware", "static_duty_cycle", "ewma_forecast",
+                     "oracle_lookahead"):
+            assert name in POLICIES
 
     def test_builtin_timelines_registered(self):
         for name in ("paper_indoor_day", "office_day_with_commute",

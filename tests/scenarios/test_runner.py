@@ -60,6 +60,29 @@ class TestRunBatch:
         assert sweep.all_neutral  # vacuously
 
 
+class TestSweepMetadata:
+    def test_backend_and_wall_time_recorded(self, batch_specs):
+        sweep = ScenarioRunner(workers=4, backend="thread").run_batch(
+            batch_specs)
+        assert sweep.backend == "thread"
+        assert sweep.wall_time_s > 0.0
+
+    def test_inline_degenerate_run_reports_serial(self, batch_specs):
+        """A thread request with one worker runs inline; the metadata
+        must say what actually happened."""
+        sweep = ScenarioRunner(workers=1, backend="thread").run_batch(
+            batch_specs[:2])
+        assert sweep.backend == "serial"
+
+    def test_metadata_survives_to_dict(self, batch_specs):
+        import json
+
+        sweep = ScenarioRunner(workers=2).run_batch(batch_specs[:2])
+        payload = json.loads(json.dumps(sweep.to_dict()))
+        assert payload["backend"] == sweep.backend
+        assert payload["wall_time_s"] == pytest.approx(sweep.wall_time_s)
+
+
 class TestSweepResult:
     @pytest.fixture(scope="class")
     def sweep(self, batch_specs) -> SweepResult:

@@ -28,7 +28,7 @@ def inline_scenario() -> ScenarioSpec:
         system=SystemSpec(
             harvester="calibrated_dual",
             battery=BatterySpec(initial_soc=0.3, capacity_mah=90.0),
-            policy=PolicySpec(max_rate_per_min=12.0),
+            policy=PolicySpec(params={"max_rate_per_min": 12.0}),
             app=AppSpec(processor="arm_m4f"),
         ),
         step_s=120.0,
@@ -113,3 +113,39 @@ class TestValidation:
     def test_sleep_power_cannot_be_negative(self):
         with pytest.raises(SpecError):
             SystemSpec(sleep_power_w=-1.0)
+
+
+class TestPolicySpec:
+    def test_round_trip_with_params(self):
+        spec = PolicySpec(name="ewma_forecast",
+                          params={"alpha": 0.5, "max_rate_per_min": 12.0})
+        rebuilt = PolicySpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        assert rebuilt.params == {"alpha": 0.5, "max_rate_per_min": 12.0}
+
+    def test_default_is_energy_aware_with_no_params(self):
+        spec = PolicySpec()
+        assert spec.name == "energy_aware"
+        assert spec.params == {}
+        assert PolicySpec.from_dict({}) == spec
+
+    def test_name_cannot_be_empty(self):
+        with pytest.raises(SpecError):
+            PolicySpec(name="")
+
+    def test_params_must_be_json_scalars(self):
+        with pytest.raises(SpecError, match="JSON scalar"):
+            PolicySpec(params={"rates": [1.0, 2.0]})
+        with pytest.raises(SpecError, match="non-empty strings"):
+            PolicySpec(params={"": 1.0})
+
+    def test_legacy_flat_form_gets_redesign_pointer(self):
+        """Pre-protocol payloads fail with a message naming the new
+        {'name', 'params'} shape, not a bare unknown-key error."""
+        with pytest.raises(SpecError, match="redesigned"):
+            PolicySpec.from_dict({"kind": "energy_aware",
+                                  "max_rate_per_min": 24.0})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SpecError, match="unknown PolicySpec keys"):
+            PolicySpec.from_dict({"name": "energy_aware", "knobs": {}})

@@ -112,6 +112,73 @@ class TestScenarioCommands:
         assert len(payload["outcomes"]) == 1
         assert payload["outcomes"][0]["name"] == "paper_indoor_worst_case"
 
+    def test_sweep_json_records_backend_and_wall_time(self, capsys):
+        assert main(["sweep", "paper_indoor_worst_case", "night_shift",
+                     "--backend", "thread", "--workers", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "thread"
+        assert payload["wall_time_s"] > 0.0
+
+    def test_simulate_json_reports_harvest_cache(self, capsys):
+        assert main(["simulate", "paper_indoor_worst_case", "--json"]) == 0
+        cache = json.loads(capsys.readouterr().out)["harvest_cache"]
+        # Two distinct segments -> two model solves on the lean path.
+        assert cache["misses"] == 2
+        assert cache["hits"] >= 0
+        assert 0.0 <= cache["hit_rate"] <= 1.0
+
+
+class TestSearchCommand:
+    def test_search_defaults_to_whole_policy_registry(self, capsys):
+        assert main(["search", "paper_indoor_worst_case",
+                     "--backend", "serial"]) == 0
+        out = capsys.readouterr().out
+        for name in ("energy_aware", "static_duty_cycle", "ewma_forecast",
+                     "oracle_lookahead"):
+            assert name in out
+        assert "best:" in out
+
+    def test_search_json_ranks_policies(self, capsys):
+        assert main(["search", "paper_indoor_worst_case", "--json",
+                     "--backend", "serial"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "paper_indoor_worst_case"
+        assert payload["backend"] == "serial"
+        names = {entry["policy"]["name"] for entry in payload["ranking"]}
+        assert len(names) >= 3
+
+    def test_search_with_explicit_grid(self, capsys):
+        grid = '{"static_duty_cycle": {"rate_per_min": [2, 24]}}'
+        assert main(["search", "paper_indoor_worst_case", "--grid", grid,
+                     "--backend", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "static_duty_cycle(rate_per_min=2)" in out
+        assert "static_duty_cycle(rate_per_min=24)" in out
+
+    def test_search_policy_flag_selects_subset(self, capsys):
+        assert main(["search", "paper_indoor_worst_case",
+                     "--policy", "static_duty_cycle",
+                     "--backend", "serial", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [e["policy"]["name"] for e in payload["ranking"]] == \
+            ["static_duty_cycle"]
+
+    def test_search_bad_grid_json_errors(self, capsys):
+        assert main(["search", "paper_indoor_worst_case",
+                     "--grid", "{not json"]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_search_unknown_policy_errors_with_menu(self, capsys):
+        assert main(["search", "paper_indoor_worst_case",
+                     "--policy", "warp_drive"]) == 2
+        err = capsys.readouterr().err
+        assert "warp_drive" in err
+        assert "energy_aware" in err  # suggests registered names
+
+    def test_search_unknown_scenario_errors(self, capsys):
+        assert main(["search", "no_such_scenario"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
 
 def test_module_invocation():
     """``python -m repro table3`` works from a subprocess."""
