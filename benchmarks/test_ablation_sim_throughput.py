@@ -13,7 +13,9 @@ redesign (PR 3) the optimized side steps through the pluggable-policy
 protocol while the legacy replica calls the pre-protocol manager
 directly, so the same identity assertions also pin the default
 ``energy_aware`` policy to its pre-redesign numbers; a policy-grid
-section benchmarks the ``repro search`` path.
+section benchmarks the ``repro search`` path, and a fleet section
+benchmarks (and pins the cross-backend determinism of) the
+``repro fleet run`` population path.
 
 Run it::
 
@@ -158,6 +160,50 @@ def _measure_policy_grid() -> dict:
     }
 
 
+def _measure_fleet() -> dict:
+    """Fleet-scale stochastic throughput (PR 4 acceptance path).
+
+    Runs a seeded 100-wearer, 7-day jittered fleet (16 x 2 in quick
+    mode) on the serial and process backends.  The canonical
+    ``FleetResult`` payloads must be byte-identical — sampling happens
+    in the parent and the per-wearer specs ship as JSON, so any
+    divergence is a determinism regression, not noise.
+    """
+    from repro.fleet import FleetRunner, FleetSpec, SamplerSpec
+
+    wearers = 16 if QUICK else 100
+    days = 2 if QUICK else 7
+    fleet = FleetSpec(
+        name="bench_office_fleet",
+        base_scenario="sunny_office_worker",
+        n_wearers=wearers,
+        horizon_days=days,
+        seed=2020,
+        sampler=SamplerSpec("daily_jitter"),
+        description="throughput-bench fleet",
+    )
+    timings = {}
+    payloads = {}
+    neutral = 0.0
+    for backend, workers in (("serial", 1), ("process", 4)):
+        runner = FleetRunner(workers=workers, backend=backend)
+        t0 = time.perf_counter()
+        result = runner.run(fleet)
+        timings[backend] = time.perf_counter() - t0
+        payloads[backend] = json.dumps(result.to_dict())
+        neutral = result.fraction_energy_neutral
+    return {
+        "wearers": wearers,
+        "horizon_days": days,
+        "sampler": fleet.sampler.label,
+        **{f"{b}_s": round(t, 6) for b, t in timings.items()},
+        **{f"{b}_wearers_per_s": round(wearers / t, 2)
+           for b, t in timings.items()},
+        "backends_identical": payloads["serial"] == payloads["process"],
+        "fraction_energy_neutral": neutral,
+    }
+
+
 def _measure_sweep() -> dict:
     # run_scenario forces trace="none" itself, so the stock library
     # specs already take the lean path in every backend.
@@ -192,6 +238,7 @@ def test_sim_throughput_bench(print_rows):
 
     sweep = _measure_sweep()
     grid = _measure_policy_grid()
+    fleet = _measure_fleet()
 
     # Evaluated before the JSON is written so a failing run stamps
     # itself as failing — a bad baseline can then never be mistaken
@@ -207,6 +254,7 @@ def test_sim_throughput_bench(print_rows):
               and sweep["backends_identical"]
               and grid["backends_identical"]
               and grid["distinct_policies"] >= 3
+              and fleet["backends_identical"]
               and (QUICK or multi_day["speedup"] >= SPEEDUP_FLOOR))
     payload = {
         "bench": "sim_throughput",
@@ -220,6 +268,7 @@ def test_sim_throughput_bench(print_rows):
         },
         "sweep": sweep,
         "policy_grid": grid,
+        "fleet": fleet,
         "harvest_cache": {
             "hits": cache.hits,
             "misses": cache.misses,
@@ -243,6 +292,10 @@ def test_sim_throughput_bench(print_rows):
          f"{grid['serial_points_per_s']} (serial, {grid['points']} pts)",
          f"thread {grid['thread_points_per_s']} "
          f"(best {grid['best']})"),
+        ("fleet wearers/s",
+         f"{fleet['serial_wearers_per_s']} (serial, "
+         f"{fleet['wearers']}x{fleet['horizon_days']}d)",
+         f"process {fleet['process_wearers_per_s']}"),
         ("harvest memo", f"{cache.misses} misses",
          f"{cache.hits} hits ({100 * cache.hit_rate:.0f}%)"),
     ]
@@ -260,6 +313,9 @@ def test_sim_throughput_bench(print_rows):
     assert sweep["backends_identical"]
     assert grid["backends_identical"]
     assert grid["distinct_policies"] >= 3
+    # Fleet acceptance: the stochastic population reduces to the same
+    # canonical payload whether it ran serially or on spawned workers.
+    assert fleet["backends_identical"]
     # The acceptance bar: >=10x on the multi-day single run.  Not
     # asserted in quick mode, where the shrunken horizon makes the
     # ratio noise-dominated on shared CI runners.

@@ -26,6 +26,9 @@ Subpackages
 - :mod:`repro.scenarios` — the declarative scenario API: serializable
   specs, component registries, the spec->system builder, the built-in
   scenario library and the parallel batch runner.
+- :mod:`repro.fleet` — fleet-scale stochastic wearer studies: seeded
+  timeline samplers, per-wearer scenario generation, and population
+  statistics over any sweep backend.
 - :mod:`repro.lab` — emulated measurement instruments (SMU, chamber).
 """
 

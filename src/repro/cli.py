@@ -19,12 +19,23 @@ Scenario commands drive the declarative scenario API
     python -m repro simulate paper_indoor_worst_case --json
     python -m repro sweep --all --workers 4              # parallel batch sweep
     python -m repro sweep --all --backend process        # process-pool sweep
+    python -m repro sweep --from-json my_scenarios/      # scenario files on disk
     python -m repro sweep outdoor_hiker night_shift --json
     python -m repro search cloudy_week_multi_day         # rank every policy
     python -m repro search outdoor_hiker --policy static_duty_cycle \
         --policy ewma_forecast
     python -m repro search night_shift \
         --grid '{"static_duty_cycle": {"rate_per_min": [2, 8, 24]}}' --json
+
+Fleet commands run population studies (:mod:`repro.fleet`) — *n*
+seeded-stochastic wearers over week-to-month horizons, reduced to
+population statistics::
+
+    python -m repro fleet list                           # built-in fleets
+    python -m repro fleet run office_cohort_week         # run a library fleet
+    python -m repro fleet run my_fleet.json --backend process --json
+    python -m repro fleet compare office_cohort_week \
+        --policy energy_aware --policy ewma_forecast     # paired policy study
 
 ``sweep --backend`` / ``search --backend`` pick the execution
 backend: ``serial``, ``thread`` (default) or ``process``.  The
@@ -54,7 +65,7 @@ import sys
 
 from repro.units import kmh_to_ms
 
-__all__ = ["main"]
+__all__ = ["build_parser", "main"]
 
 
 def _print_table1() -> None:
@@ -166,9 +177,14 @@ _ARTIFACTS = {
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     from repro.scenarios import all_scenarios
 
+    specs = all_scenarios()
+    # One line per scenario: name column sized to the longest name, so
+    # third-party registrations with long names keep the descriptions
+    # aligned.
+    width = max(len(spec.name) for spec in specs)
     print("Built-in scenario library")
-    for spec in all_scenarios():
-        print(f"  {spec.name:28s} {spec.description}")
+    for spec in specs:
+        print(f"  {spec.name:{width}s}  {spec.description}")
     return 0
 
 
@@ -222,18 +238,24 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         ScenarioRunner,
         all_scenarios,
         get_scenario,
+        load_scenario_dir,
     )
 
-    if args.all_scenarios and args.scenario:
-        print("sweep: pass --all or scenario names, not both",
-              file=sys.stderr)
+    selections = [bool(args.all_scenarios), bool(args.scenario),
+                  bool(args.from_json)]
+    if sum(selections) > 1:
+        print("sweep: pass exactly one of --all, scenario names or "
+              "--from-json", file=sys.stderr)
         return 2
     if args.all_scenarios:
         specs = all_scenarios()
+    elif args.from_json:
+        specs = load_scenario_dir(args.from_json)
     elif args.scenario:
         specs = [get_scenario(name) for name in args.scenario]
     else:
-        print("sweep: name scenarios or pass --all", file=sys.stderr)
+        print("sweep: name scenarios, pass --all, or --from-json DIR",
+              file=sys.stderr)
         return 2
     sweep = ScenarioRunner(workers=args.workers,
                            backend=args.backend).run_batch(specs)
@@ -295,8 +317,84 @@ def _cmd_search(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Entry point for ``python -m repro``."""
+def _resolve_fleet(reference: str):
+    """A :class:`FleetSpec` from a library name or a ``.json`` path.
+
+    Anything that looks like a file (ends in ``.json``, contains a
+    path separator, or exists on disk) is loaded as a fleet file;
+    everything else is looked up in the built-in fleet library.
+    """
+    import os
+
+    from repro.fleet import get_fleet, load_fleet_file
+
+    if (reference.endswith(".json") or os.sep in reference
+            or os.path.isfile(reference)):
+        return load_fleet_file(reference)
+    return get_fleet(reference)
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    if args.fleet_command == "list":
+        from repro.fleet import all_fleets
+
+        fleets = all_fleets()
+        width = max(len(spec.name) for spec in fleets)
+        print("Built-in fleet library")
+        for spec in fleets:
+            shape = (f"{spec.n_wearers} x {spec.horizon_days}d "
+                     f"on {spec.base_scenario}")
+            print(f"  {spec.name:{width}s}  {shape:40s}  {spec.description}")
+        return 0
+
+    from repro.fleet import FleetRunner
+
+    fleet = _resolve_fleet(args.fleet)
+    runner = FleetRunner(workers=args.workers, backend=args.backend)
+
+    if args.fleet_command == "run":
+        result = runner.run(fleet)
+        if args.json:
+            print(json.dumps({"spec": fleet.to_dict(),
+                              "result": result.to_dict()}, indent=2))
+            return 0
+        print(result.format_summary())
+        print(f"  backend    : {result.backend}, "
+              f"{result.wall_time_s:.2f} s wall time")
+        return 0
+
+    # fleet compare: the same sampled population under each policy.
+    from repro.scenarios import POLICIES
+    from repro.scenarios.spec import PolicySpec
+
+    names = list(args.policy or ())
+    if not names:
+        # No selection: every registered policy competes at defaults.
+        names = POLICIES.names()
+    comparison = runner.compare(fleet, [PolicySpec(name) for name in names])
+    if args.json:
+        print(json.dumps({"spec": fleet.to_dict(),
+                          "comparison": comparison.to_dict()}, indent=2))
+        return 0
+    print(f"Fleet policy comparison: {fleet.name} — {fleet.n_wearers} "
+          f"wearer(s) x {fleet.horizon_days} day(s), "
+          f"{len(comparison.entries)} policy(ies), {comparison.backend} "
+          f"backend, {comparison.wall_time_s:.2f} s")
+    print(comparison.format_table())
+    best = comparison.best
+    print(f"best: {best.label} "
+          f"(p5 final SoC {100 * best.result.final_soc.p5:.1f}%, "
+          f"median {best.result.detections_per_day.p50:.0f} detections/day)")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The complete ``repro`` argument parser.
+
+    Exposed separately from :func:`main` so tooling (the docs-check
+    script, shell-completion generators) can enumerate every
+    subcommand without executing one.
+    """
     parser = argparse.ArgumentParser(
         prog="repro",
         description="InfiniWolf reproduction: regenerate the paper's "
@@ -327,6 +425,9 @@ def main(argv: list[str] | None = None) -> int:
                          help="library scenario names to sweep")
     p_sweep.add_argument("--all", dest="all_scenarios", action="store_true",
                          help="sweep every library scenario")
+    p_sweep.add_argument("--from-json", metavar="DIR",
+                         help="sweep every *.json scenario file in DIR "
+                              "(one ScenarioSpec payload per file)")
     p_sweep.add_argument("--workers", type=int, default=4,
                          help="parallel workers (default 4)")
     p_sweep.add_argument("--backend", choices=["serial", "thread", "process"],
@@ -355,7 +456,45 @@ def main(argv: list[str] | None = None) -> int:
     p_search.add_argument("--json", action="store_true",
                           help="emit the ranked grid result as JSON")
 
-    args = parser.parse_args(argv)
+    p_fleet = sub.add_parser(
+        "fleet", help="population studies: stochastic wearer fleets")
+    fleet_sub = p_fleet.add_subparsers(dest="fleet_command", required=True,
+                                       metavar="action")
+    fleet_sub.add_parser("list", help="inspect the built-in fleet library")
+
+    def _fleet_common(p: argparse.ArgumentParser) -> None:
+        p.add_argument("fleet", help="library fleet name (see `fleet list`) "
+                       "or a FleetSpec *.json file")
+        p.add_argument("--workers", type=int, default=4,
+                       help="parallel workers (default 4)")
+        p.add_argument("--backend", choices=["serial", "thread", "process"],
+                       default="thread",
+                       help="execution backend (default thread; wearer "
+                            "scenarios are self-contained, so process "
+                            "works for every fleet)")
+        p.add_argument("--json", action="store_true",
+                       help="emit the fleet spec and result as JSON")
+
+    p_fleet_run = fleet_sub.add_parser(
+        "run", help="sample, sweep and summarise one fleet")
+    _fleet_common(p_fleet_run)
+
+    p_fleet_compare = fleet_sub.add_parser(
+        "compare", help="rerun one sampled population under several "
+                        "policies (ranked by p5 final SoC, then median "
+                        "detections/day)")
+    _fleet_common(p_fleet_compare)
+    p_fleet_compare.add_argument(
+        "--policy", action="append", metavar="NAME",
+        help="registered policy to include at default params "
+             "(repeatable; default: every registered policy)")
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro``."""
+    args = build_parser().parse_args(argv)
 
     if args.command == "all":
         for name in ("table1", "table2", "table3", "table4",
@@ -376,6 +515,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_simulate(args)
         if args.command == "search":
             return _cmd_search(args)
+        if args.command == "fleet":
+            return _cmd_fleet(args)
         return _cmd_sweep(args)
     except ReproError as exc:
         # Bad scenario names, worker counts etc. are user input errors:

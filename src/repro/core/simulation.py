@@ -134,6 +134,10 @@ class SimulationResult:
         total_harvest_j: energy harvested over the horizon.
         total_consumed_j: energy drawn by detections and sleep.
         duration_s: simulated horizon.
+        downtime_s: total time spent in steps where the battery could
+            not deliver the full demand (detections were dropped or
+            the watch browned out) — the "watch was degraded" clock
+            that fleet studies aggregate into downtime hours.
     """
 
     steps: list[SimulationStep] = field(default_factory=list)
@@ -143,6 +147,7 @@ class SimulationResult:
     total_harvest_j: float = 0.0
     total_consumed_j: float = 0.0
     duration_s: float = 0.0
+    downtime_s: float = 0.0
 
     @property
     def energy_neutral(self) -> bool:
@@ -315,6 +320,7 @@ class DaySimulation:
         total_harvest_j = 0.0
         total_consumed_j = 0.0
         total_detections = 0.0
+        downtime_s = 0.0
 
         seg_idx = 0
         segment = segments[0]
@@ -373,6 +379,7 @@ class DaySimulation:
                 carry_detections = min(
                     carry_detections + detections_now - executed, step_cap)
                 detections_now = executed
+                downtime_s += dt
             total_consumed_j += delivered_j
             total_detections += detections_now
 
@@ -405,5 +412,6 @@ class DaySimulation:
         result.total_harvest_j = total_harvest_j
         result.total_consumed_j = total_consumed_j
         result.total_detections = total_detections
+        result.downtime_s = downtime_s
         result.final_soc = battery.state_of_charge
         return result

@@ -1,0 +1,78 @@
+"""Fleet-scale stochastic wearer studies.
+
+The population layer on top of the scenario API: instead of one
+deterministic day-in-the-life, simulate *n* wearers with varied,
+seeded-stochastic environments over week-to-month horizons and reduce
+them to population statistics.
+
+* :mod:`repro.fleet.spec` — frozen, JSON-round-trippable
+  :class:`FleetSpec`/:class:`SamplerSpec`;
+* :mod:`repro.fleet.samplers` — the :class:`TimelineSampler` registry
+  (``@register_sampler``) and built-ins (``identity``,
+  ``daily_jitter``, ``cloudy_streaks``);
+* :mod:`repro.fleet.population` — deterministic per-wearer scenario
+  generation (``random.Random(seed + index)``, sampled before any
+  fan-out);
+* :mod:`repro.fleet.runner` — :class:`FleetRunner` over the
+  serial/thread/process sweep backends, plus the paired policy
+  comparison :meth:`FleetRunner.compare`;
+* :mod:`repro.fleet.result` — :class:`FleetResult` population
+  statistics (SoC percentiles, fraction energy-neutral, downtime
+  hours, detections/day distribution);
+* :mod:`repro.fleet.library` — named built-in fleets
+  (``office_cohort_week``, ...).
+
+CLI: ``repro fleet list | run | compare`` — see ``docs/cli.md``.
+"""
+
+from repro.fleet.spec import FleetSpec, SamplerSpec, load_fleet_file
+from repro.fleet.samplers import (
+    SAMPLERS,
+    TimelineSampler,
+    build_sampler,
+    register_sampler,
+)
+from repro.fleet.population import (
+    template_segments,
+    wearer_name,
+    wearer_scenario,
+    wearer_scenarios,
+)
+from repro.fleet.result import DistributionSummary, FleetResult, percentile
+from repro.fleet.runner import (
+    ComparisonEntry,
+    FleetComparison,
+    FleetRunner,
+    run_fleet,
+)
+from repro.fleet.library import (
+    all_fleets,
+    fleet_names,
+    get_fleet,
+    register_fleet,
+)
+
+__all__ = [
+    "FleetSpec",
+    "SamplerSpec",
+    "load_fleet_file",
+    "SAMPLERS",
+    "TimelineSampler",
+    "build_sampler",
+    "register_sampler",
+    "template_segments",
+    "wearer_name",
+    "wearer_scenario",
+    "wearer_scenarios",
+    "DistributionSummary",
+    "FleetResult",
+    "percentile",
+    "ComparisonEntry",
+    "FleetComparison",
+    "FleetRunner",
+    "run_fleet",
+    "all_fleets",
+    "fleet_names",
+    "get_fleet",
+    "register_fleet",
+]

@@ -1,0 +1,130 @@
+"""Turn a :class:`FleetSpec` into per-wearer scenario specs.
+
+This is the deterministic heart of the fleet subsystem: every wearer's
+environment is sampled *here, in the calling process*, from
+``random.Random(seed + index)``, and the result is an ordinary
+self-contained :class:`~repro.scenarios.spec.ScenarioSpec` with inline
+segments.  The sweep backends then only ever see fully-materialized
+JSON-shippable specs — which is why a fleet's outcome is
+bitwise-identical across ``serial``/``thread``/``process`` and across
+runs.
+
+The base scenario's timeline (built once) is the *template*: the
+sampler perturbs one copy per repetition until the wearer's segments
+cover ``horizon_days``, and the wearer scenario's ``duration_s`` pins
+the horizon exactly (a final over-long segment is simply cut off by
+the engine).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+from repro.errors import SpecError
+from repro.fleet.samplers import build_sampler
+from repro.fleet.spec import FleetSpec
+from repro.scenarios.builder import build_timeline
+from repro.scenarios.library import get_scenario
+from repro.scenarios.spec import ScenarioSpec, SegmentSpec, TimelineSpec
+from repro.units import SECONDS_PER_DAY
+
+__all__ = [
+    "template_segments",
+    "wearer_name",
+    "wearer_scenario",
+    "wearer_scenarios",
+]
+
+
+def template_segments(base: ScenarioSpec) -> tuple[SegmentSpec, ...]:
+    """The base scenario's timeline as self-contained segment specs.
+
+    Registry-named timelines are built and flattened, so the template
+    works for inline and named timelines alike and the generated
+    wearer specs never depend on timeline registrations.
+    """
+    timeline = build_timeline(base.timeline)
+    return tuple(
+        SegmentSpec(
+            duration_s=seg.duration_s,
+            lux=seg.lighting.lux,
+            ambient_c=seg.thermal.ambient_c,
+            skin_c=seg.thermal.skin_c,
+            wind_ms=seg.thermal.wind_ms,
+            label=seg.lighting.description,
+        )
+        for seg in timeline.segments
+    )
+
+
+def wearer_name(fleet: FleetSpec, index: int) -> str:
+    """The generated scenario name of wearer ``index``.
+
+    >>> wearer_name(FleetSpec(name="demo", base_scenario="night_shift"), 7)
+    'demo::wearer_0007'
+    """
+    return f"{fleet.name}::wearer_{index:04d}"
+
+
+def wearer_scenario(fleet: FleetSpec, index: int,
+                    base: ScenarioSpec | None = None,
+                    template: tuple[SegmentSpec, ...] | None = None,
+                    ) -> ScenarioSpec:
+    """The fully-sampled scenario of one wearer.
+
+    Args:
+        fleet: the population description.
+        index: 0-based wearer index; seeds ``random.Random(seed + index)``.
+        base / template: precomputed base scenario and template
+            segments (resolved from the fleet spec when omitted —
+            callers generating many wearers pass them to avoid
+            rebuilding the timeline per wearer).
+    """
+    if index < 0 or index >= fleet.n_wearers:
+        raise SpecError(
+            f"wearer index {index} outside fleet of {fleet.n_wearers}")
+    if base is None:
+        base = get_scenario(fleet.base_scenario)
+    if template is None:
+        template = template_segments(base)
+    rng = random.Random(fleet.seed + index)
+    sampler = build_sampler(fleet.sampler)  # fresh: may hold wearer state
+    horizon_s = fleet.horizon_days * SECONDS_PER_DAY
+    segments: list[SegmentSpec] = []
+    covered_s = 0.0
+    day = 0
+    while covered_s < horizon_s:
+        sampled = tuple(sampler.sample_day(day, template, rng))
+        day_duration = sum(seg.duration_s for seg in sampled)
+        if not sampled or day_duration <= 0:
+            raise SpecError(
+                f"sampler {fleet.sampler.name!r} returned an empty day for "
+                f"wearer {index} (day {day}); samplers must emit at least "
+                "one segment with positive total duration")
+        segments.extend(sampled)
+        covered_s += day_duration
+        day += 1
+    return dataclasses.replace(
+        base,
+        name=wearer_name(fleet, index),
+        timeline=TimelineSpec(segments=tuple(segments)),
+        duration_s=horizon_s,
+        description=(f"wearer {index} of fleet {fleet.name!r} "
+                     f"({fleet.sampler.label}, seed {fleet.seed + index})"),
+        trace="none",
+    )
+
+
+def wearer_scenarios(fleet: FleetSpec) -> list[ScenarioSpec]:
+    """Every wearer's scenario, in index order.
+
+    The base scenario and template are resolved once; each wearer then
+    gets a fresh sampler and its own ``seed + index`` generator, so
+    any wearer's scenario can also be regenerated alone
+    (:func:`wearer_scenario`) and matches this list entry exactly.
+    """
+    base = get_scenario(fleet.base_scenario)
+    template = template_segments(base)
+    return [wearer_scenario(fleet, index, base=base, template=template)
+            for index in range(fleet.n_wearers)]

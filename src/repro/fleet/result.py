@@ -1,0 +1,206 @@
+"""Population statistics reduced from per-wearer outcomes.
+
+A fleet run never retains per-step traces — each wearer reduces to a
+:class:`~repro.scenarios.runner.ScenarioOutcome`, and the fleet
+reduces those to a :class:`FleetResult`: distribution summaries
+(p5/p50/p95/mean) of final state of charge, detections per day and
+downtime hours, plus the fraction of wearers that finished
+energy-neutral.
+
+:meth:`FleetResult.to_dict` is the *canonical payload*: it contains
+only values that are a pure function of the :class:`FleetSpec`, so its
+JSON is bitwise-identical across backends and runs for a fixed seed
+(the acceptance property the determinism tests assert).  Provenance
+that legitimately varies — which backend ran, how long it took — lives
+on the result object (``backend``, ``wall_time_s``) but stays out of
+the canonical dict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Mapping, Sequence
+
+from repro.errors import SpecError
+from repro.scenarios.runner import ScenarioOutcome
+from repro.scenarios.spec import check_mapping_keys
+
+__all__ = ["percentile", "DistributionSummary", "FleetResult"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile with linear interpolation.
+
+    Matches the classic "linear" definition (numpy's default): the
+    percentile of a sorted sample ``x_0 .. x_{n-1}`` at rank
+    ``q/100 * (n-1)``, interpolating between neighbours.
+
+    >>> percentile([4.0, 1.0, 3.0, 2.0], 50)
+    2.5
+    >>> percentile([4.0, 1.0, 3.0, 2.0], 0)
+    1.0
+    >>> percentile([10.0], 95)
+    10.0
+    """
+    if not values:
+        raise SpecError("cannot take a percentile of no values")
+    if not 0.0 <= q <= 100.0:
+        raise SpecError(f"percentile must lie in [0, 100], got {q!r}")
+    ordered = sorted(values)
+    rank = q / 100.0 * (len(ordered) - 1)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-ish summary of one per-wearer quantity.
+
+    Attributes:
+        p5 / p50 / p95: percentiles of the population (p5 is the
+            "planning" tail fleet rankings use — how the unlucky
+            wearers fare).
+        mean: population mean.
+    """
+
+    p5: float
+    p50: float
+    p95: float
+    mean: float
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "DistributionSummary":
+        """Summarise a non-empty sample.
+
+        >>> DistributionSummary.from_values([1.0, 2.0, 3.0]).p50
+        2.0
+        """
+        return cls(
+            p5=percentile(values, 5),
+            p50=percentile(values, 50),
+            p95=percentile(values, 95),
+            mean=sum(values) / len(values),
+        )
+
+    def to_dict(self) -> dict[str, float]:
+        return {"p5": self.p5, "p50": self.p50, "p95": self.p95,
+                "mean": self.mean}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DistributionSummary":
+        known = {f.name for f in fields(cls)}
+        check_mapping_keys("DistributionSummary", data, known, required=known)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Population outcome of one fleet run.
+
+    Attributes:
+        fleet: the fleet spec's name.
+        base_scenario / n_wearers / horizon_days / seed / sampler:
+            provenance copied from the spec (``sampler`` is its
+            compact label) so a saved result is self-describing.
+        fraction_energy_neutral: share of wearers whose battery ended
+            no lower than it started.
+        final_soc: distribution of final state of charge, in [0, 1].
+        detections_per_day: distribution of per-wearer detection rate.
+        downtime_hours: distribution of per-wearer hours in which the
+            battery could not cover the demanded load.
+        backend: the sweep backend that actually ran (provenance; not
+            part of the canonical dict).
+        wall_time_s: wall-clock seconds of the sweep (ditto).
+    """
+
+    fleet: str
+    base_scenario: str
+    n_wearers: int
+    horizon_days: int
+    seed: int
+    sampler: str
+    fraction_energy_neutral: float
+    final_soc: DistributionSummary
+    detections_per_day: DistributionSummary
+    downtime_hours: DistributionSummary
+    backend: str = ""
+    wall_time_s: float = 0.0
+
+    @classmethod
+    def from_outcomes(cls, fleet_spec,
+                      outcomes: Sequence[ScenarioOutcome],
+                      backend: str = "",
+                      wall_time_s: float = 0.0) -> "FleetResult":
+        """Reduce per-wearer outcomes under a
+        :class:`~repro.fleet.spec.FleetSpec`."""
+        if len(outcomes) != fleet_spec.n_wearers:
+            raise SpecError(
+                f"fleet {fleet_spec.name!r} expected "
+                f"{fleet_spec.n_wearers} outcomes, got {len(outcomes)}")
+        neutral = sum(1 for o in outcomes if o.energy_neutral)
+        return cls(
+            fleet=fleet_spec.name,
+            base_scenario=fleet_spec.base_scenario,
+            n_wearers=fleet_spec.n_wearers,
+            horizon_days=fleet_spec.horizon_days,
+            seed=fleet_spec.seed,
+            sampler=fleet_spec.sampler.label,
+            fraction_energy_neutral=neutral / len(outcomes),
+            final_soc=DistributionSummary.from_values(
+                [o.final_soc for o in outcomes]),
+            detections_per_day=DistributionSummary.from_values(
+                [o.detections_per_day for o in outcomes]),
+            downtime_hours=DistributionSummary.from_values(
+                [o.downtime_s / 3600.0 for o in outcomes]),
+            backend=backend,
+            wall_time_s=wall_time_s,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """The canonical, backend-independent payload (see module doc)."""
+        return {
+            "fleet": self.fleet,
+            "base_scenario": self.base_scenario,
+            "n_wearers": self.n_wearers,
+            "horizon_days": self.horizon_days,
+            "seed": self.seed,
+            "sampler": self.sampler,
+            "fraction_energy_neutral": self.fraction_energy_neutral,
+            "final_soc": self.final_soc.to_dict(),
+            "detections_per_day": self.detections_per_day.to_dict(),
+            "downtime_hours": self.downtime_hours.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FleetResult":
+        """Rebuild a result from :meth:`to_dict` output (exact)."""
+        known = {"fleet", "base_scenario", "n_wearers", "horizon_days",
+                 "seed", "sampler", "fraction_energy_neutral", "final_soc",
+                 "detections_per_day", "downtime_hours"}
+        check_mapping_keys("FleetResult", data, known, required=known)
+        payload = dict(data)
+        for key in ("final_soc", "detections_per_day", "downtime_hours"):
+            payload[key] = DistributionSummary.from_dict(payload[key])
+        return cls(**payload)
+
+    def format_summary(self) -> str:
+        """A fixed-width population report."""
+        lines = [
+            f"Fleet: {self.fleet} — {self.n_wearers} wearer(s) x "
+            f"{self.horizon_days} day(s), base {self.base_scenario}, "
+            f"sampler {self.sampler}, seed {self.seed}",
+            f"  energy-neutral : {100 * self.fraction_energy_neutral:5.1f} % "
+            f"of wearers",
+        ]
+        rows = (("final SoC [%]", self.final_soc, 100.0, 1),
+                ("detections/day", self.detections_per_day, 1.0, 0),
+                ("downtime [h]", self.downtime_hours, 1.0, 1))
+        for label, dist, scale, digits in rows:
+            lines.append(
+                f"  {label:15s}: p5 {scale * dist.p5:8.{digits}f}   "
+                f"p50 {scale * dist.p50:8.{digits}f}   "
+                f"p95 {scale * dist.p95:8.{digits}f}   "
+                f"mean {scale * dist.mean:8.{digits}f}")
+        return "\n".join(lines)

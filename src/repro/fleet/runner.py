@@ -1,0 +1,200 @@
+"""Fan a fleet out over the sweep backends and reduce the population.
+
+:class:`FleetRunner` is a thin orchestration layer over
+:class:`~repro.scenarios.runner.ScenarioRunner`: it materializes every
+wearer's scenario (:mod:`repro.fleet.population`), runs the batch on
+the chosen backend, and reduces the per-wearer outcomes into a
+:class:`~repro.fleet.result.FleetResult`.  Because sampling happens
+before the fan-out, the result's canonical payload is identical on
+every backend — the backends only change how fast you get it.
+
+:meth:`FleetRunner.compare` reruns the *same sampled population* under
+candidate power policies (every wearer's environment is held fixed
+while the policy varies — a paired experiment), returning a
+:class:`FleetComparison` ranked by worst-case battery health first:
+p5 final state of charge, then median detections per day.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.errors import SpecError
+from repro.fleet.population import wearer_scenarios
+from repro.fleet.result import FleetResult
+from repro.fleet.spec import FleetSpec
+from repro.policies.grid import policy_label
+from repro.scenarios.runner import BACKENDS, ScenarioRunner
+from repro.scenarios.spec import PolicySpec
+
+__all__ = ["FleetRunner", "ComparisonEntry", "FleetComparison", "run_fleet"]
+
+
+@dataclass(frozen=True)
+class ComparisonEntry:
+    """One candidate policy and the fleet it produced."""
+
+    label: str
+    policy: PolicySpec
+    result: FleetResult
+
+    @property
+    def rank_key(self) -> tuple:
+        """Sort key: best p5 final SoC, then median detections/day."""
+        return (-self.result.final_soc.p5,
+                -self.result.detections_per_day.p50)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "label": self.label,
+            "policy": self.policy.to_dict(),
+            "result": self.result.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class FleetComparison:
+    """Outcome of a policy comparison over one sampled population.
+
+    Attributes:
+        fleet: the compared fleet's name.
+        entries: one entry per candidate policy, in input order.
+        backend: the sweep backend that executed the runs.
+        wall_time_s: wall-clock spent across all candidates.
+    """
+
+    fleet: str
+    entries: tuple[ComparisonEntry, ...]
+    backend: str = ""
+    wall_time_s: float = 0.0
+
+    def ranked(self) -> list[ComparisonEntry]:
+        """Entries best-first: p5 final SoC, then median detections/day
+        (stable for exact ties)."""
+        return sorted(self.entries, key=lambda entry: entry.rank_key)
+
+    @property
+    def best(self) -> ComparisonEntry:
+        """The top-ranked candidate."""
+        if not self.entries:
+            raise SpecError("empty fleet comparison has no best entry")
+        return self.ranked()[0]
+
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical payload: ranking only, no timing provenance."""
+        return {
+            "fleet": self.fleet,
+            "ranking": [entry.to_dict() for entry in self.ranked()],
+        }
+
+    def format_table(self) -> str:
+        """A fixed-width best-first ranking report."""
+        header = (f"{'rank':>4s} {'policy':42s} {'SoC p5':>7s} "
+                  f"{'det/day p50':>11s} {'neutral':>8s} {'downtime p95':>12s}")
+        lines = [header, "-" * len(header)]
+        for position, entry in enumerate(self.ranked(), start=1):
+            r = entry.result
+            lines.append(
+                f"{position:4d} {entry.label:42s} "
+                f"{100 * r.final_soc.p5:6.1f}% "
+                f"{r.detections_per_day.p50:11.0f} "
+                f"{100 * r.fraction_energy_neutral:7.1f}% "
+                f"{r.downtime_hours.p95:10.1f} h")
+        return "\n".join(lines)
+
+
+class FleetRunner:
+    """Executes fleet studies, optionally in parallel.
+
+    Args:
+        workers: worker count handed to the underlying
+            :class:`~repro.scenarios.runner.ScenarioRunner`.
+        backend: ``"serial"``, ``"thread"`` (default) or ``"process"``.
+            Fleet wearer scenarios are always self-contained (inline
+            segments, import-time components), so every backend works
+            for every fleet — the process pool is the right choice
+            from roughly a hundred wearer-weeks up.
+    """
+
+    def __init__(self, workers: int = 4, backend: str = "thread") -> None:
+        if backend not in BACKENDS:
+            raise SpecError(
+                f"unknown backend {backend!r}; known: {list(BACKENDS)}")
+        self._runner = ScenarioRunner(workers=workers, backend=backend)
+        self.workers = workers
+        self.backend = backend
+
+    def run(self, fleet: FleetSpec,
+            workers: int | None = None,
+            backend: str | None = None) -> FleetResult:
+        """Sample, sweep and reduce one fleet.
+
+        The canonical part of the returned result
+        (:meth:`~repro.fleet.result.FleetResult.to_dict`) depends only
+        on the spec; ``backend``/``wall_time_s`` record provenance.
+        """
+        specs = wearer_scenarios(fleet)
+        sweep = self._runner.run_batch(specs, workers=workers,
+                                       backend=backend)
+        return FleetResult.from_outcomes(fleet, sweep.outcomes,
+                                         backend=sweep.backend,
+                                         wall_time_s=sweep.wall_time_s)
+
+    def compare(self, fleet: FleetSpec,
+                policies: Sequence[PolicySpec],
+                workers: int | None = None,
+                backend: str | None = None) -> FleetComparison:
+        """Rerun one sampled population under each candidate policy.
+
+        The population is sampled once; every candidate sees exactly
+        the same wearer environments (a paired comparison), with only
+        ``system.policy`` replaced per wearer scenario.
+
+        Args:
+            fleet: the population description.
+            policies: candidate :class:`PolicySpec` values; duplicate
+                (name, params) candidates are rejected.
+            workers / backend: per-call overrides, as in :meth:`run`.
+        """
+        policies = list(policies)
+        if not policies:
+            raise SpecError("a fleet comparison needs at least one policy")
+        keys = [(p.name, tuple(sorted(p.params.items()))) for p in policies]
+        if len(set(keys)) != len(keys):
+            raise SpecError("duplicate policies in fleet comparison")
+        base_specs = wearer_scenarios(fleet)
+        started = time.perf_counter()
+        entries = []
+        used = self.backend if backend is None else backend
+        for policy in policies:
+            specs = [
+                dataclasses.replace(
+                    spec,
+                    system=dataclasses.replace(spec.system, policy=policy))
+                for spec in base_specs
+            ]
+            sweep = self._runner.run_batch(specs, workers=workers,
+                                           backend=backend)
+            used = sweep.backend
+            entries.append(ComparisonEntry(
+                label=policy_label(policy),
+                policy=policy,
+                result=FleetResult.from_outcomes(
+                    fleet, sweep.outcomes, backend=sweep.backend,
+                    wall_time_s=sweep.wall_time_s),
+            ))
+        return FleetComparison(
+            fleet=fleet.name,
+            entries=tuple(entries),
+            backend=used,
+            wall_time_s=time.perf_counter() - started,
+        )
+
+
+def run_fleet(fleet: FleetSpec, workers: int = 4,
+              backend: str = "thread") -> FleetResult:
+    """One-shot convenience: ``FleetRunner(...).run(fleet)``."""
+    return FleetRunner(workers=workers, backend=backend).run(fleet)

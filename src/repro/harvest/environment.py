@@ -132,6 +132,18 @@ class EnvironmentTimeline:
         """Conditions active at time ``t_s`` from the timeline start."""
         return self.segments[self.index_at(t_s)]
 
+    def repeated(self, times: int) -> "EnvironmentTimeline":
+        """A new timeline with these segments tiled ``times`` times.
+
+        The multi-day building block: a one-day timeline repeated 30
+        times is a deterministic month (stochastic per-day variation
+        is the fleet layer's job, see :mod:`repro.fleet.samplers`).
+        """
+        if times < 1 or times != int(times):
+            raise HarvestModelError(
+                f"repeat count must be a positive integer, got {times!r}")
+        return EnvironmentTimeline(list(self.segments) * int(times))
+
     def __iter__(self):
         return iter(self.segments)
 

@@ -34,6 +34,13 @@ def policy_label(spec: "PolicySpec") -> str:
 
     ``energy_aware`` for a default point,
     ``static_duty_cycle(rate_per_min=12)`` for a parameterized one.
+
+    >>> from repro.scenarios.spec import PolicySpec
+    >>> policy_label(PolicySpec("energy_aware"))
+    'energy_aware'
+    >>> policy_label(PolicySpec("static_duty_cycle",
+    ...                         {"rate_per_min": 12.0}))
+    'static_duty_cycle(rate_per_min=12)'
     """
     if not spec.params:
         return spec.name

@@ -13,6 +13,9 @@ script" into "name a scenario and run it":
   construction path from spec to live system;
 * :mod:`repro.scenarios.library` — named built-in scenarios
   (``paper_indoor_worst_case``, ``sunny_office_worker``, ...);
+* :mod:`repro.scenarios.files` — scenario specs on disk
+  (``load_scenario_file``/``load_scenario_dir``, the ``repro sweep
+  --from-json dir/`` loader);
 * :mod:`repro.scenarios.runner` — ``ScenarioRunner.run_batch`` parallel
   sweeps, the :class:`SweepResult` aggregate, and
   ``ScenarioRunner.run_grid`` policy grid search.
@@ -56,6 +59,10 @@ from repro.scenarios.builder import (
     build_policy,
     build_simulation,
     build_timeline,
+)
+from repro.scenarios.files import (
+    load_scenario_dir,
+    load_scenario_file,
 )
 from repro.scenarios.library import (
     all_scenarios,
@@ -103,6 +110,8 @@ __all__ = [
     "all_scenarios",
     "get_scenario",
     "scenario_names",
+    "load_scenario_dir",
+    "load_scenario_file",
     "ScenarioOutcome",
     "ScenarioRunner",
     "SweepResult",

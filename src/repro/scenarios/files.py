@@ -1,0 +1,76 @@
+"""Scenario specs on disk: load ``*.json`` files and directories.
+
+A scenario file is exactly one :meth:`ScenarioSpec.to_dict` payload —
+what ``repro simulate <name> --json`` prints under ``"spec"`` — so the
+round trip *run → save → edit → sweep* needs no other format.  A
+directory of such files is a shareable scenario suite:
+``repro sweep --from-json dir/`` sweeps every ``*.json`` in it.
+
+All failure modes (unreadable file, invalid JSON, non-object payload,
+unknown keys) surface as :class:`~repro.errors.SpecError` naming the
+offending path, so the CLI reports them as user errors rather than
+tracebacks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SpecError
+from repro.scenarios.spec import ScenarioSpec
+
+__all__ = ["load_json_payload", "load_scenario_file", "load_scenario_dir"]
+
+
+def load_json_payload(path: str | Path, what: str = "spec") -> dict[str, Any]:
+    """The JSON object in ``path``, with errors reported per-file."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SpecError(f"cannot read {what} file {path}: {exc}") from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SpecError(f"{what} file {path} is not valid JSON: {exc}") from None
+    if not isinstance(payload, dict):
+        raise SpecError(
+            f"{what} file {path} must hold a JSON object, "
+            f"got {type(payload).__name__}")
+    return payload
+
+
+def load_scenario_file(path: str | Path) -> ScenarioSpec:
+    """The :class:`ScenarioSpec` stored in one JSON file."""
+    payload = load_json_payload(path, what="scenario")
+    try:
+        return ScenarioSpec.from_dict(payload)
+    except SpecError as exc:
+        raise SpecError(f"scenario file {Path(path)}: {exc}") from None
+
+
+def load_scenario_dir(path: str | Path) -> list[ScenarioSpec]:
+    """Every ``*.json`` scenario in a directory, sorted by filename.
+
+    Duplicate scenario names across files are rejected here (they
+    would collide in a sweep anyway) with both filenames in the error.
+    """
+    directory = Path(path)
+    if not directory.is_dir():
+        raise SpecError(f"scenario directory {directory} does not exist")
+    files = sorted(directory.glob("*.json"))
+    if not files:
+        raise SpecError(f"no *.json scenario files in {directory}")
+    specs: list[ScenarioSpec] = []
+    seen: dict[str, Path] = {}
+    for file in files:
+        spec = load_scenario_file(file)
+        if spec.name in seen:
+            raise SpecError(
+                f"duplicate scenario name {spec.name!r} in {file} "
+                f"(already defined by {seen[spec.name]})")
+        seen[spec.name] = file
+        specs.append(spec)
+    return specs

@@ -41,7 +41,7 @@ from typing import Any, Iterable, Mapping, Sequence
 from repro.core.simulation import SimulationResult
 from repro.errors import RegistryError, SpecError
 from repro.scenarios.builder import build_simulation
-from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.spec import ScenarioSpec, check_mapping_keys
 from repro.units import SECONDS_PER_DAY
 
 __all__ = ["ScenarioOutcome", "SweepResult", "run_scenario", "ScenarioRunner"]
@@ -63,6 +63,8 @@ class ScenarioOutcome:
         final_soc: battery state of charge at the end.
         total_harvest_j: energy harvested into the battery.
         total_consumed_j: energy drawn by detections and sleep.
+        downtime_s: time spent in steps where the battery could not
+            cover the full demand (dropped detections / brown-out).
     """
 
     name: str
@@ -74,6 +76,7 @@ class ScenarioOutcome:
     final_soc: float
     total_harvest_j: float
     total_consumed_j: float
+    downtime_s: float = 0.0
 
     @classmethod
     def from_result(cls, name: str,
@@ -98,6 +101,7 @@ class ScenarioOutcome:
             final_soc=float(result.final_soc),
             total_harvest_j=float(result.total_harvest_j),
             total_consumed_j=float(result.total_consumed_j),
+            downtime_s=float(result.downtime_s),
         )
 
     def to_dict(self) -> dict[str, Any]:
@@ -111,20 +115,14 @@ class ScenarioOutcome:
             "final_soc": self.final_soc,
             "total_harvest_j": self.total_harvest_j,
             "total_consumed_j": self.total_consumed_j,
+            "downtime_s": self.downtime_s,
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioOutcome":
         """Rebuild an outcome from :meth:`to_dict` output (exact)."""
         known = {f.name for f in fields(cls)}
-        unknown = set(data) - known
-        if unknown:
-            raise SpecError(
-                f"unknown ScenarioOutcome keys: {sorted(unknown)}")
-        missing = known - set(data)
-        if missing:
-            raise SpecError(
-                f"missing ScenarioOutcome keys: {sorted(missing)}")
+        check_mapping_keys("ScenarioOutcome", data, known, required=known)
         return cls(**data)
 
 

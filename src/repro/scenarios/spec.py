@@ -11,6 +11,11 @@ scenario can be named, stored, swept and shipped between processes.
 The spec layer deliberately knows nothing about the component classes
 themselves — :mod:`repro.scenarios.builder` turns a spec into a live
 :class:`repro.core.simulation.DaySimulation`.
+
+>>> spec = ScenarioSpec(name="demo",
+...                     timeline=TimelineSpec(name="paper_indoor_day"))
+>>> ScenarioSpec.from_dict(spec.to_dict()) == spec
+True
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ from repro.errors import SpecError
 from repro.power.loads import SYSTEM_SLEEP_W
 
 __all__ = [
+    "check_mapping_keys",
     "SegmentSpec",
     "TimelineSpec",
     "BatterySpec",
@@ -39,16 +45,32 @@ def _check_dict(data: Any, what: str) -> Mapping[str, Any]:
     return data
 
 
-def _from_mapping(cls, data: Any):
-    """Build a flat spec dataclass from a mapping, rejecting unknown keys."""
-    data = _check_dict(data, cls.__name__)
-    known = {f.name for f in fields(cls)}
-    unknown = set(data) - known
+def check_mapping_keys(what: str, data: Any, known,
+                       required=()) -> Mapping[str, Any]:
+    """Validate a ``from_dict`` payload's key set, uniformly.
+
+    The shared guard every spec/result ``from_dict`` in the codebase
+    uses: ``data`` must be a mapping, carry no keys outside ``known``
+    and none missing from ``required`` — violations raise
+    :class:`~repro.errors.SpecError` naming ``what`` and the key sets,
+    so a typo in a JSON file fails with the menu in hand.
+    """
+    data = _check_dict(data, what)
+    unknown = set(data) - set(known)
     if unknown:
         raise SpecError(
-            f"unknown {cls.__name__} keys: {sorted(unknown)} "
-            f"(known: {sorted(known)})"
-        )
+            f"unknown {what} keys: {sorted(unknown)} "
+            f"(known: {sorted(known)})")
+    missing = set(required) - set(data)
+    if missing:
+        raise SpecError(f"missing {what} keys: {sorted(missing)}")
+    return data
+
+
+def _from_mapping(cls, data: Any):
+    """Build a flat spec dataclass from a mapping, rejecting unknown keys."""
+    data = check_mapping_keys(cls.__name__, data,
+                              {f.name for f in fields(cls)})
     return cls(**data)
 
 

@@ -1,0 +1,119 @@
+"""Per-wearer scenario generation: coverage, determinism, independence."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.fleet import (
+    FleetSpec,
+    SamplerSpec,
+    register_sampler,
+    template_segments,
+    wearer_name,
+    wearer_scenario,
+    wearer_scenarios,
+)
+from repro.fleet.samplers import SAMPLERS
+from repro.scenarios import get_scenario
+from repro.units import SECONDS_PER_DAY
+
+FLEET = FleetSpec(name="pop", base_scenario="sunny_office_worker",
+                  n_wearers=5, horizon_days=3, seed=11,
+                  sampler=SamplerSpec("daily_jitter"))
+
+
+class TestTemplate:
+    def test_flattens_named_timeline(self):
+        base = get_scenario("sunny_office_worker")
+        template = template_segments(base)
+        assert len(template) == 5  # office_day_with_commute's segments
+        assert sum(seg.duration_s for seg in template) == SECONDS_PER_DAY
+
+    def test_template_is_self_contained(self):
+        for seg in template_segments(get_scenario("outdoor_hiker")):
+            assert seg.duration_s > 0
+
+
+class TestWearerScenario:
+    def test_name_and_description(self):
+        spec = wearer_scenario(FLEET, 2)
+        assert spec.name == wearer_name(FLEET, 2) == "pop::wearer_0002"
+        assert "seed 13" in spec.description  # 11 + 2
+
+    def test_covers_horizon(self):
+        spec = wearer_scenario(FLEET, 0)
+        assert spec.duration_s == FLEET.horizon_days * SECONDS_PER_DAY
+        total = sum(seg.duration_s for seg in spec.timeline.segments)
+        assert total >= spec.duration_s
+
+    def test_trace_forced_off(self):
+        assert wearer_scenario(FLEET, 0).trace == "none"
+
+    def test_system_inherited_from_base(self):
+        base = get_scenario("sunny_office_worker")
+        spec = wearer_scenario(FLEET, 0)
+        assert spec.system == base.system
+        assert spec.step_s == base.step_s
+
+    def test_deterministic_per_index(self):
+        assert wearer_scenario(FLEET, 3) == wearer_scenario(FLEET, 3)
+
+    def test_wearers_differ(self):
+        assert wearer_scenario(FLEET, 0) != wearer_scenario(FLEET, 1)
+
+    def test_index_bounds(self):
+        with pytest.raises(SpecError, match="outside fleet"):
+            wearer_scenario(FLEET, 5)
+        with pytest.raises(SpecError, match="outside fleet"):
+            wearer_scenario(FLEET, -1)
+
+    def test_seed_shifts_population(self):
+        shifted = FLEET.replace(seed=12)
+        # Wearer i of the shifted fleet draws wearer i+1's numbers.
+        original = wearer_scenario(FLEET, 1)
+        moved = wearer_scenario(shifted, 0)
+        assert moved.timeline == original.timeline
+
+    def test_unknown_base_scenario_errors(self):
+        bad = FLEET.replace(base_scenario="no_such_day")
+        with pytest.raises(Exception, match="unknown scenario"):
+            wearer_scenario(bad, 0)
+
+
+class TestWearerScenarios:
+    def test_batch_matches_single_generation(self):
+        batch = wearer_scenarios(FLEET)
+        assert len(batch) == FLEET.n_wearers
+        for index, spec in enumerate(batch):
+            assert spec == wearer_scenario(FLEET, index)
+
+    def test_identity_sampler_tiles_base(self):
+        fleet = FLEET.replace(sampler=SamplerSpec("identity"))
+        template = template_segments(get_scenario(fleet.base_scenario))
+        for spec in wearer_scenarios(fleet):
+            assert spec.timeline.segments == template * fleet.horizon_days
+
+    def test_empty_sampler_day_rejected(self):
+        @register_sampler("test_only_empty")
+        def _build(params):
+            class Empty:
+                def sample_day(self, day, base, rng):
+                    return ()
+            return Empty()
+
+        try:
+            fleet = FLEET.replace(sampler=SamplerSpec("test_only_empty"))
+            with pytest.raises(SpecError, match="empty day"):
+                wearer_scenarios(fleet)
+        finally:
+            SAMPLERS.remove("test_only_empty")
+
+    def test_multi_day_base_template(self):
+        # cloudy_week's timeline is itself 7 days long; the template
+        # repeats until the horizon is covered, so 3 days need 1 copy.
+        fleet = FleetSpec(name="wk", base_scenario="cloudy_week_multi_day",
+                          n_wearers=1, horizon_days=3,
+                          sampler=SamplerSpec("identity"))
+        (spec,) = wearer_scenarios(fleet)
+        assert spec.duration_s == 3 * SECONDS_PER_DAY
+        total = sum(seg.duration_s for seg in spec.timeline.segments)
+        assert total == 7 * SECONDS_PER_DAY  # one template copy

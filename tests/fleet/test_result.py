@@ -1,0 +1,108 @@
+"""Population statistics: percentiles, summaries, FleetResult."""
+
+import json
+
+import pytest
+
+from repro.errors import SpecError
+from repro.fleet import DistributionSummary, FleetResult, FleetSpec, percentile
+from repro.scenarios.runner import ScenarioOutcome
+
+
+def _outcome(name: str, final_soc: float, detections: float = 1000.0,
+             downtime_s: float = 0.0, neutral: bool = True) -> ScenarioOutcome:
+    return ScenarioOutcome(
+        name=name, duration_s=86400.0, energy_neutral=neutral,
+        total_detections=detections, detections_per_day=detections,
+        initial_soc=0.5, final_soc=final_soc, total_harvest_j=10.0,
+        total_consumed_j=9.0, downtime_s=downtime_s)
+
+
+class TestPercentile:
+    def test_interpolates_linearly(self):
+        assert percentile([0.0, 10.0], 50) == 5.0
+        assert percentile([0.0, 10.0], 25) == 2.5
+
+    def test_endpoints(self):
+        values = [3.0, 1.0, 2.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 3.0
+
+    def test_single_value(self):
+        assert percentile([7.0], 5) == 7.0
+        assert percentile([7.0], 95) == 7.0
+
+    def test_input_order_irrelevant(self):
+        assert percentile([5.0, 1.0, 3.0], 50) == percentile(
+            [1.0, 3.0, 5.0], 50)
+
+    def test_rejects_empty_and_bad_q(self):
+        with pytest.raises(SpecError, match="no values"):
+            percentile([], 50)
+        with pytest.raises(SpecError, match="lie in"):
+            percentile([1.0], 150)
+
+
+class TestDistributionSummary:
+    def test_from_values(self):
+        summary = DistributionSummary.from_values([1.0, 2.0, 3.0, 4.0])
+        assert summary.p50 == 2.5
+        assert summary.mean == 2.5
+        assert summary.p5 < summary.p50 < summary.p95
+
+    def test_round_trip(self):
+        summary = DistributionSummary.from_values([1.0, 5.0, 9.0])
+        assert DistributionSummary.from_dict(summary.to_dict()) == summary
+
+    def test_from_dict_strict(self):
+        with pytest.raises(SpecError, match="missing"):
+            DistributionSummary.from_dict({"p5": 1.0})
+
+
+class TestFleetResult:
+    FLEET = FleetSpec(name="res", base_scenario="night_shift", n_wearers=4,
+                      horizon_days=2, seed=1)
+
+    def outcomes(self):
+        return [
+            _outcome("res::wearer_0000", 0.4, detections=800.0,
+                     downtime_s=3600.0, neutral=False),
+            _outcome("res::wearer_0001", 0.6, detections=1000.0),
+            _outcome("res::wearer_0002", 0.7, detections=1200.0),
+            _outcome("res::wearer_0003", 0.8, detections=1400.0),
+        ]
+
+    def test_reduces_population(self):
+        result = FleetResult.from_outcomes(self.FLEET, self.outcomes(),
+                                           backend="serial", wall_time_s=0.5)
+        assert result.fraction_energy_neutral == 0.75
+        assert result.final_soc.p50 == pytest.approx(0.65)
+        assert result.detections_per_day.mean == pytest.approx(1100.0)
+        assert result.downtime_hours.p95 > 0.0
+        assert result.backend == "serial"
+
+    def test_canonical_dict_excludes_provenance(self):
+        fast = FleetResult.from_outcomes(self.FLEET, self.outcomes(),
+                                         backend="process", wall_time_s=9.0)
+        slow = FleetResult.from_outcomes(self.FLEET, self.outcomes(),
+                                         backend="serial", wall_time_s=0.1)
+        assert json.dumps(fast.to_dict()) == json.dumps(slow.to_dict())
+        assert "backend" not in fast.to_dict()
+        assert "wall_time_s" not in fast.to_dict()
+
+    def test_round_trip(self):
+        result = FleetResult.from_outcomes(self.FLEET, self.outcomes())
+        rebuilt = FleetResult.from_dict(
+            json.loads(json.dumps(result.to_dict())))
+        assert rebuilt.to_dict() == result.to_dict()
+
+    def test_count_mismatch_rejected(self):
+        with pytest.raises(SpecError, match="expected 4 outcomes"):
+            FleetResult.from_outcomes(self.FLEET, self.outcomes()[:2])
+
+    def test_format_summary_mentions_key_stats(self):
+        text = FleetResult.from_outcomes(self.FLEET,
+                                         self.outcomes()).format_summary()
+        assert "res" in text
+        assert "energy-neutral" in text
+        assert "downtime" in text

@@ -1,0 +1,108 @@
+"""FleetRunner: backend equality, paired comparisons, the library."""
+
+import json
+
+import pytest
+
+from repro.errors import SpecError
+from repro.fleet import (
+    FleetRunner,
+    FleetSpec,
+    SamplerSpec,
+    all_fleets,
+    fleet_names,
+    get_fleet,
+    run_fleet,
+    wearer_scenarios,
+)
+from repro.scenarios import get_scenario
+from repro.scenarios.spec import PolicySpec
+
+SMALL = FleetSpec(name="small", base_scenario="sunny_office_worker",
+                  n_wearers=4, horizon_days=2, seed=5,
+                  sampler=SamplerSpec("daily_jitter"))
+
+
+class TestRun:
+    def test_two_runs_bitwise_identical(self):
+        first = run_fleet(SMALL, workers=2, backend="thread")
+        second = run_fleet(SMALL, workers=1, backend="serial")
+        assert json.dumps(first.to_dict()) == json.dumps(second.to_dict())
+
+    def test_result_shape(self):
+        result = run_fleet(SMALL, workers=2)
+        assert result.fleet == "small"
+        assert result.n_wearers == 4
+        assert 0.0 <= result.fraction_energy_neutral <= 1.0
+        assert 0.0 <= result.final_soc.p5 <= result.final_soc.p95 <= 1.0
+        assert result.wall_time_s > 0.0
+
+    def test_identity_fleet_collapses_to_base(self):
+        fleet = SMALL.replace(sampler=SamplerSpec("identity"))
+        result = run_fleet(fleet, backend="serial")
+        # Every wearer relives the same tiled base day, so the
+        # population distribution is a point mass.
+        assert result.final_soc.p5 == result.final_soc.p95
+        assert result.detections_per_day.p5 == result.detections_per_day.p95
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(SpecError, match="unknown backend"):
+            FleetRunner(backend="gpu")
+
+
+class TestCompare:
+    def test_paired_and_ranked(self):
+        comparison = FleetRunner(workers=2).compare(
+            SMALL, [PolicySpec("energy_aware"),
+                    PolicySpec("static_duty_cycle", {"rate_per_min": 24.0})])
+        assert comparison.fleet == "small"
+        assert len(comparison.entries) == 2
+        ranked = comparison.ranked()
+        assert ranked[0].rank_key <= ranked[1].rank_key
+        assert comparison.best.label == ranked[0].label
+        # Paired design: every candidate saw the same population.
+        for entry in comparison.entries:
+            assert entry.result.n_wearers == SMALL.n_wearers
+            assert entry.result.seed == SMALL.seed
+
+    def test_policy_only_changes_policy(self):
+        specs = wearer_scenarios(SMALL)
+        comparison = FleetRunner(workers=1, backend="serial").compare(
+            SMALL, [PolicySpec("energy_aware")])
+        entry = comparison.entries[0]
+        assert entry.policy.name == "energy_aware"
+        # The energy_aware candidate is the base system's own policy,
+        # so the paired rerun reproduces the plain fleet run exactly.
+        plain = run_fleet(SMALL, backend="serial")
+        assert entry.result.to_dict() == plain.to_dict()
+        assert [s.name for s in specs] == [
+            f"small::wearer_{i:04d}" for i in range(4)]
+
+    def test_empty_and_duplicate_policies_rejected(self):
+        runner = FleetRunner(workers=1, backend="serial")
+        with pytest.raises(SpecError, match="at least one policy"):
+            runner.compare(SMALL, [])
+        with pytest.raises(SpecError, match="duplicate"):
+            runner.compare(SMALL, [PolicySpec("energy_aware"),
+                                   PolicySpec("energy_aware")])
+
+    def test_to_dict_ranking_is_canonical(self):
+        runner = FleetRunner(workers=1, backend="serial")
+        payload = runner.compare(SMALL, [PolicySpec("energy_aware")]).to_dict()
+        assert set(payload) == {"fleet", "ranking"}
+        assert payload["ranking"][0]["label"] == "energy_aware"
+
+
+class TestLibrary:
+    def test_builtin_fleets_resolve(self):
+        assert len(fleet_names()) >= 3
+        for fleet in all_fleets():
+            get_scenario(fleet.base_scenario)  # base must exist
+            assert fleet.description
+            # Wearer generation works (1-wearer, 1-day miniature).
+            mini = fleet.replace(n_wearers=1, horizon_days=1)
+            assert len(wearer_scenarios(mini)) == 1
+
+    def test_get_fleet_unknown_lists_menu(self):
+        with pytest.raises(Exception, match="office_cohort_week"):
+            get_fleet("no_such_fleet")

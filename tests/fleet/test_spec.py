@@ -1,0 +1,99 @@
+"""FleetSpec / SamplerSpec validation and JSON round-tripping."""
+
+import json
+
+import pytest
+
+from repro.errors import SpecError
+from repro.fleet import FleetSpec, SamplerSpec, load_fleet_file
+
+
+class TestSamplerSpec:
+    def test_defaults_to_identity(self):
+        assert SamplerSpec().name == "identity"
+        assert SamplerSpec().params == {}
+
+    def test_round_trip(self):
+        spec = SamplerSpec("daily_jitter", {"lux_sigma": 0.5})
+        assert SamplerSpec.from_dict(spec.to_dict()) == spec
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SpecError, match="name cannot be empty"):
+            SamplerSpec(name="")
+
+    def test_rejects_non_scalar_params(self):
+        with pytest.raises(SpecError, match="JSON scalar"):
+            SamplerSpec("daily_jitter", {"lux_sigma": [0.1, 0.2]})
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(SpecError, match="unknown SamplerSpec keys"):
+            SamplerSpec.from_dict({"name": "identity", "sigma": 1.0})
+
+    def test_label_compact(self):
+        assert SamplerSpec("identity").label == "identity"
+        assert (SamplerSpec("daily_jitter", {"lux_sigma": 0.5}).label
+                == "daily_jitter(lux_sigma=0.5)")
+
+
+class TestFleetSpec:
+    def test_round_trip_exact(self):
+        spec = FleetSpec(name="demo", base_scenario="night_shift",
+                         n_wearers=12, horizon_days=14, seed=7,
+                         sampler=SamplerSpec("cloudy_streaks",
+                                             {"p_enter": 0.5}),
+                         description="a demo")
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert FleetSpec.from_dict(payload) == spec
+
+    def test_requires_name_and_base(self):
+        with pytest.raises(SpecError, match="name and base_scenario"):
+            FleetSpec.from_dict({"name": "x"})
+        with pytest.raises(SpecError, match="cannot be empty"):
+            FleetSpec(name="", base_scenario="night_shift")
+
+    @pytest.mark.parametrize("field,value,match", [
+        ("n_wearers", 0, "at least one wearer"),
+        ("horizon_days", 0, "at least one day"),
+        ("n_wearers", 2.5, "must be an integer"),
+        ("seed", True, "must be an integer"),
+    ])
+    def test_rejects_bad_numbers(self, field, value, match):
+        kwargs = {"name": "demo", "base_scenario": "night_shift",
+                  field: value}
+        with pytest.raises(SpecError, match=match):
+            FleetSpec(**kwargs)
+
+    def test_rejects_unknown_keys(self):
+        with pytest.raises(SpecError, match="unknown FleetSpec keys"):
+            FleetSpec.from_dict({"name": "x", "base_scenario": "y",
+                                 "wearers": 3})
+
+    def test_replace_makes_variant(self):
+        spec = FleetSpec(name="demo", base_scenario="night_shift")
+        assert spec.replace(n_wearers=3).n_wearers == 3
+        assert spec.n_wearers == 25  # original untouched
+
+
+class TestLoadFleetFile:
+    def test_loads_saved_spec(self, tmp_path):
+        spec = FleetSpec(name="saved", base_scenario="outdoor_hiker",
+                         n_wearers=3, horizon_days=2)
+        path = tmp_path / "fleet.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert load_fleet_file(path) == spec
+
+    def test_missing_file_is_spec_error(self, tmp_path):
+        with pytest.raises(SpecError, match="cannot read"):
+            load_fleet_file(tmp_path / "nope.json")
+
+    def test_invalid_json_names_path(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(SpecError, match="not valid JSON"):
+            load_fleet_file(path)
+
+    def test_bad_payload_names_path(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"name": "x"}))
+        with pytest.raises(SpecError, match="bad.json"):
+            load_fleet_file(path)

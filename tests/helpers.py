@@ -70,6 +70,7 @@ def legacy_reference_run(sim, duration_s: float | None = None) -> SimulationResu
             carry_detections = min(
                 carry_detections + detections_now - executed, step_cap)
             detections_now = executed
+            result.downtime_s += dt
         result.total_consumed_j += delivered_j
         result.total_detections += detections_now
 

@@ -67,6 +67,15 @@ class TestScenarioCommands:
         assert "paper_indoor_worst_case" in out
         assert "sunny_office_worker" in out
 
+    def test_scenarios_list_prints_descriptions(self, capsys):
+        """Each entry carries its one-line description, aligned."""
+        from repro.scenarios import all_scenarios
+
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for spec in all_scenarios():
+            assert spec.description in out
+
     def test_simulate_prints_summary(self, capsys):
         assert main(["simulate", "paper_indoor_worst_case"]) == 0
         out = capsys.readouterr().out
@@ -104,7 +113,7 @@ class TestScenarioCommands:
 
     def test_sweep_rejects_all_plus_names(self, capsys):
         assert main(["sweep", "--all", "outdoor_hiker"]) == 2
-        assert "not both" in capsys.readouterr().err
+        assert "exactly one" in capsys.readouterr().err
 
     def test_sweep_json(self, capsys):
         assert main(["sweep", "paper_indoor_worst_case", "--json"]) == 0
@@ -178,6 +187,122 @@ class TestSearchCommand:
     def test_search_unknown_scenario_errors(self, capsys):
         assert main(["search", "no_such_scenario"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestSweepFromJson:
+    def _write_dir(self, tmp_path):
+        from repro.scenarios import get_scenario
+
+        for name in ("outdoor_hiker", "night_shift"):
+            path = tmp_path / f"{name}.json"
+            path.write_text(json.dumps(get_scenario(name).to_dict()))
+        return tmp_path
+
+    def test_sweeps_directory(self, tmp_path, capsys):
+        assert main(["sweep", "--from-json",
+                     str(self._write_dir(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "outdoor_hiker" in out
+        assert "night_shift" in out
+
+    def test_missing_dir_errors(self, tmp_path, capsys):
+        assert main(["sweep", "--from-json", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_empty_dir_errors(self, tmp_path, capsys):
+        assert main(["sweep", "--from-json", str(tmp_path)]) == 2
+        assert "no *.json" in capsys.readouterr().err
+
+    def test_invalid_file_errors_with_path(self, tmp_path, capsys):
+        (tmp_path / "bad.json").write_text("{broken")
+        assert main(["sweep", "--from-json", str(tmp_path)]) == 2
+        assert "bad.json" in capsys.readouterr().err
+
+    def test_rejects_mixed_selection(self, tmp_path, capsys):
+        assert main(["sweep", "--all", "--from-json", str(tmp_path)]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+
+class TestFleetCommands:
+    def test_fleet_list_names_and_descriptions(self, capsys):
+        from repro.fleet import all_fleets
+
+        assert main(["fleet", "list"]) == 0
+        out = capsys.readouterr().out
+        for spec in all_fleets():
+            assert spec.name in out
+            assert spec.description in out
+
+    def test_fleet_run_library_fleet(self, capsys):
+        assert main(["fleet", "run", "office_cohort_week",
+                     "--workers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "office_cohort_week" in out
+        assert "energy-neutral" in out
+        assert "final SoC" in out
+
+    def test_fleet_run_json_payload(self, capsys):
+        assert main(["fleet", "run", "office_cohort_week", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["spec"]["name"] == "office_cohort_week"
+        result = payload["result"]
+        assert result["n_wearers"] == payload["spec"]["n_wearers"]
+        assert set(result["final_soc"]) == {"p5", "p50", "p95", "mean"}
+        # Canonical payload: provenance stays out of the JSON.
+        assert "backend" not in result
+        assert "wall_time_s" not in result
+
+    def test_fleet_run_from_file(self, tmp_path, capsys):
+        from repro.fleet import get_fleet
+
+        spec = get_fleet("office_cohort_week").replace(
+            name="mini", n_wearers=2, horizon_days=1)
+        path = tmp_path / "mini.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert main(["fleet", "run", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["result"]["fleet"] == "mini"
+
+    def test_fleet_run_unknown_errors_with_menu(self, capsys):
+        assert main(["fleet", "run", "no_such_fleet"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown fleet" in err
+        assert "office_cohort_week" in err
+
+    def test_fleet_compare_ranks_policies(self, tmp_path, capsys):
+        from repro.fleet import get_fleet
+
+        spec = get_fleet("office_cohort_week").replace(
+            name="mini", n_wearers=3, horizon_days=1)
+        path = tmp_path / "mini.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert main(["fleet", "compare", str(path),
+                     "--policy", "energy_aware",
+                     "--policy", "static_duty_cycle"]) == 0
+        out = capsys.readouterr().out
+        assert "energy_aware" in out
+        assert "static_duty_cycle" in out
+        assert "best:" in out
+        assert "SoC p5" in out
+
+    def test_fleet_compare_json(self, tmp_path, capsys):
+        from repro.fleet import get_fleet
+
+        spec = get_fleet("office_cohort_week").replace(
+            name="mini", n_wearers=2, horizon_days=1)
+        path = tmp_path / "mini.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        assert main(["fleet", "compare", str(path),
+                     "--policy", "energy_aware", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["comparison"]["fleet"] == "mini"
+        assert payload["comparison"]["ranking"][0]["label"] == "energy_aware"
+
+    def test_fleet_compare_unknown_policy_errors(self, tmp_path, capsys):
+        assert main(["fleet", "compare", "office_cohort_week",
+                     "--policy", "warp_drive"]) == 2
+        err = capsys.readouterr().err
+        assert "warp_drive" in err
 
 
 def test_module_invocation():

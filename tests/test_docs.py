@@ -1,0 +1,84 @@
+"""The docs tree: existence, linkage, and CLI coverage (no subprocesses).
+
+The heavy check — executing every fenced command in ``docs/cli.md`` —
+runs in CI via ``tools/check_docs.py``.  These tests keep the cheap
+invariants in tier-1: the four guides exist, the README links them,
+and every ``repro`` subcommand is documented, so drift fails fast
+even without the smoke run.
+"""
+
+import sys
+
+from tests.helpers import REPO_ROOT
+
+DOCS = REPO_ROOT / "docs"
+GUIDES = ("architecture.md", "scenario-authoring.md",
+          "policy-cookbook.md", "cli.md")
+
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+import check_docs  # noqa: E402
+
+
+def test_guides_exist_and_are_nonempty():
+    for guide in GUIDES:
+        path = DOCS / guide
+        assert path.is_file(), f"missing docs/{guide}"
+        assert len(path.read_text()) > 500, f"docs/{guide} is a stub"
+
+
+def test_readme_links_every_guide():
+    readme = (REPO_ROOT / "README.md").read_text()
+    for guide in GUIDES:
+        assert f"docs/{guide}" in readme, f"README does not link docs/{guide}"
+
+
+def test_every_subcommand_documented():
+    """The same coverage gate CI runs: parser vs docs/cli.md."""
+    text = (DOCS / "cli.md").read_text()
+    assert check_docs.documented_subcommands(text) == 0
+
+
+def test_cli_doc_has_executable_fences():
+    text = (DOCS / "cli.md").read_text()
+    fences = check_docs.extract_fences(text)
+    commands = [cmd for _, marker, body in fences
+                if marker != check_docs.SKIP_MARK
+                for cmd in check_docs.fence_commands(body)]
+    assert len(commands) >= 15
+    assert any(cmd.startswith("repro fleet run") for cmd in commands)
+    assert any("--from-json" in cmd for cmd in commands)
+
+
+def test_fence_parser_handles_continuations():
+    body = [
+        "$ repro search night_shift \\",
+        "      --grid '{\"x\": [1]}' --json",
+        "output line",
+        "$ python -c \"",
+        "print('hi')\"",
+    ]
+    commands = check_docs.fence_commands(body)
+    assert len(commands) == 2
+    assert "--grid" in commands[0]
+    assert commands[1].endswith("print('hi')\"")
+
+
+def test_fence_parser_ignores_apostrophes_in_output():
+    """An apostrophe in display output must not merge into the command."""
+    body = [
+        '$ echo "it\'s ready"',
+        "it's ready",
+        "$ true",
+    ]
+    commands = check_docs.fence_commands(body)
+    assert commands == ['echo "it\'s ready"', "true"]
+
+
+def test_docstrings_cover_public_fleet_api():
+    """help() must say something for every exported fleet name."""
+    import repro.fleet as fleet
+
+    for name in fleet.__all__:
+        obj = getattr(fleet, name)
+        if callable(obj) or isinstance(obj, type):
+            assert getattr(obj, "__doc__", None), f"{name} lacks a docstring"
