@@ -13,9 +13,12 @@ redesign (PR 3) the optimized side steps through the pluggable-policy
 protocol while the legacy replica calls the pre-protocol manager
 directly, so the same identity assertions also pin the default
 ``energy_aware`` policy to its pre-redesign numbers; a policy-grid
-section benchmarks the ``repro search`` path, and a fleet section
+section benchmarks the ``repro search`` path, a fleet section
 benchmarks (and pins the cross-backend determinism of) the
-``repro fleet run`` population path.
+``repro fleet run`` population path, and a fleet-grid section
+benchmarks the ``repro fleet search`` population grid search while
+pinning both its cross-backend determinism and the sharded
+``run --shard`` / ``FleetResult.merge`` merge-exactness contract.
 
 Run it::
 
@@ -204,6 +207,75 @@ def _measure_fleet() -> dict:
     }
 
 
+def _measure_fleet_grid() -> dict:
+    """Fleet-level policy grid search + sharded merge (PR 5 paths).
+
+    Runs an eight-candidate grid (three policy families) over a
+    seeded jittered fleet on the serial and thread backends — the
+    ``repro fleet search`` path.  The canonical ``FleetGridResult``
+    payloads must be byte-identical across backends, and a 3-way
+    sharded run of the same fleet must merge to the exact unsharded
+    ``FleetResult`` payload (the ``run --shard`` / ``merge``
+    contract), both asserted before any throughput is reported.
+    """
+    from repro.fleet import FleetResult, FleetRunner, FleetSpec, SamplerSpec
+    from repro.policies import PolicyGrid
+
+    wearers = 4 if QUICK else 12
+    days = 1 if QUICK else 3
+    fleet = FleetSpec(
+        name="bench_grid_fleet",
+        base_scenario="sunny_office_worker",
+        n_wearers=wearers,
+        horizon_days=days,
+        seed=5,
+        sampler=SamplerSpec("daily_jitter"),
+        description="fleet-grid-bench population",
+    )
+    grids = [
+        PolicyGrid("energy_aware"),
+        PolicyGrid("static_duty_cycle",
+                   axes={"rate_per_min": (2.0, 8.0, 16.0, 24.0)}),
+        PolicyGrid("ewma_forecast", axes={"alpha": (0.1, 0.3, 0.5)}),
+    ]
+    timings = {}
+    payloads = {}
+    candidates = 0
+    best = ""
+    for backend, workers in (("serial", 1), ("thread", 4)):
+        runner = FleetRunner(workers=workers, backend=backend)
+        t0 = time.perf_counter()
+        result = runner.run_grid(fleet, grids)
+        timings[backend] = time.perf_counter() - t0
+        payloads[backend] = json.dumps(result.to_dict())
+        candidates = len(result.entries)
+        best = result.best.label
+    # Merge-exactness: a 3-way strided partition reduces to the exact
+    # unsharded canonical payload (JSON-round-tripped, as shard files
+    # would travel between machines).
+    from repro.fleet import PartialFleetResult
+
+    runner = FleetRunner(workers=1, backend="serial")
+    full = runner.run(fleet)
+    parts = [PartialFleetResult.from_dict(json.loads(json.dumps(
+        runner.run(fleet, shard=(index, 3)).to_dict())))
+        for index in range(3)]
+    merged = FleetResult.merge(parts)
+    merge_exact = (json.dumps(merged.to_dict())
+                   == json.dumps(full.to_dict()))
+    return {
+        "wearers": wearers,
+        "horizon_days": days,
+        "candidates": candidates,
+        **{f"{b}_s": round(t, 6) for b, t in timings.items()},
+        **{f"{b}_candidates_per_s": round(candidates / t, 2)
+           for b, t in timings.items()},
+        "backends_identical": payloads["serial"] == payloads["thread"],
+        "merge_exact": merge_exact,
+        "best": best,
+    }
+
+
 def _measure_sweep() -> dict:
     # run_scenario forces trace="none" itself, so the stock library
     # specs already take the lean path in every backend.
@@ -239,6 +311,7 @@ def test_sim_throughput_bench(print_rows):
     sweep = _measure_sweep()
     grid = _measure_policy_grid()
     fleet = _measure_fleet()
+    fleet_grid = _measure_fleet_grid()
 
     # Evaluated before the JSON is written so a failing run stamps
     # itself as failing — a bad baseline can then never be mistaken
@@ -255,6 +328,9 @@ def test_sim_throughput_bench(print_rows):
               and grid["backends_identical"]
               and grid["distinct_policies"] >= 3
               and fleet["backends_identical"]
+              and fleet_grid["backends_identical"]
+              and fleet_grid["merge_exact"]
+              and fleet_grid["candidates"] >= 8
               and (QUICK or multi_day["speedup"] >= SPEEDUP_FLOOR))
     payload = {
         "bench": "sim_throughput",
@@ -269,6 +345,7 @@ def test_sim_throughput_bench(print_rows):
         "sweep": sweep,
         "policy_grid": grid,
         "fleet": fleet,
+        "fleet_grid": fleet_grid,
         "harvest_cache": {
             "hits": cache.hits,
             "misses": cache.misses,
@@ -296,6 +373,11 @@ def test_sim_throughput_bench(print_rows):
          f"{fleet['serial_wearers_per_s']} (serial, "
          f"{fleet['wearers']}x{fleet['horizon_days']}d)",
          f"process {fleet['process_wearers_per_s']}"),
+        ("fleet grid cand/s",
+         f"{fleet_grid['serial_candidates_per_s']} (serial, "
+         f"{fleet_grid['candidates']} cands x {fleet_grid['wearers']}w)",
+         f"thread {fleet_grid['thread_candidates_per_s']} "
+         f"(merge_exact {fleet_grid['merge_exact']})"),
         ("harvest memo", f"{cache.misses} misses",
          f"{cache.hits} hits ({100 * cache.hit_rate:.0f}%)"),
     ]
@@ -316,6 +398,12 @@ def test_sim_throughput_bench(print_rows):
     # Fleet acceptance: the stochastic population reduces to the same
     # canonical payload whether it ran serially or on spawned workers.
     assert fleet["backends_identical"]
+    # Fleet-grid acceptance (PR 5): the population grid search is
+    # backend-invariant, covers the >=8-candidate acceptance shape,
+    # and a sharded partition merges to the exact unsharded payload.
+    assert fleet_grid["backends_identical"]
+    assert fleet_grid["candidates"] >= 8
+    assert fleet_grid["merge_exact"]
     # The acceptance bar: >=10x on the multi-day single run.  Not
     # asserted in quick mode, where the shrunken horizon makes the
     # ratio noise-dominated on shared CI runners.

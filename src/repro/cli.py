@@ -36,6 +36,11 @@ population statistics::
     python -m repro fleet run my_fleet.json --backend process --json
     python -m repro fleet compare office_cohort_week \
         --policy energy_aware --policy ewma_forecast     # paired policy study
+    python -m repro fleet search office_cohort_week \
+        --grid '{"static_duty_cycle": {"rate_per_min": [2, 8, 24]}}'
+    python -m repro fleet run office_cohort_week \
+        --shard 0/4 --out part0.json                     # one shard of four
+    python -m repro fleet merge part*.json               # exact reduction
 
 ``sweep --backend`` / ``search --backend`` pick the execution
 backend: ``serial``, ``thread`` (default) or ``process``.  The
@@ -269,34 +274,57 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_search(args: argparse.Namespace) -> int:
+def _parse_policy_grids(grid_json: str | None,
+                        policy_names: list[str] | None) -> list:
+    """The :class:`PolicyGrid` list selected by ``--grid``/``--policy``.
+
+    Shared by ``repro search`` (one scenario) and ``repro fleet
+    search`` (one population).  Unknown policy names and malformed
+    ``--grid`` JSON raise :class:`~repro.errors.SpecError` — the
+    policy-registry error contract: the message lists the registered
+    names so a typo fails with the menu in hand.  Returns an empty
+    list when nothing was selected (callers then default to the whole
+    registry at default params).
+    """
     from repro.errors import SpecError
     from repro.policies import PolicyGrid
-    from repro.scenarios import POLICIES, ScenarioRunner, get_scenario
+    from repro.scenarios import POLICIES
 
-    spec = get_scenario(args.scenario)
+    def _check_policy(name: str) -> str:
+        if name not in POLICIES:
+            raise SpecError(f"unknown policy {name!r}; registered "
+                            f"policies: {POLICIES.names()}")
+        return name
+
     grids: list[PolicyGrid] = []
-    if args.grid:
+    if grid_json:
         try:
-            parsed = json.loads(args.grid)
+            parsed = json.loads(grid_json)
         except json.JSONDecodeError as exc:
-            print(f"error: --grid is not valid JSON: {exc}", file=sys.stderr)
-            return 2
+            raise SpecError(f"--grid is not valid JSON: {exc}") from None
         if not isinstance(parsed, dict):
-            print("error: --grid must be a JSON object mapping policy name "
-                  "to {param: [values, ...]}", file=sys.stderr)
-            return 2
+            raise SpecError("--grid must be a JSON object mapping policy "
+                            "name to {param: [values, ...]} axes")
         for name, axes in parsed.items():
             if not isinstance(axes, dict):
                 raise SpecError(
                     f"--grid entry for {name!r} must map params to value "
                     f"lists, got {axes!r}")
-            grids.append(PolicyGrid(name, axes={
+            grids.append(PolicyGrid(_check_policy(name), axes={
                 key: tuple(values) if isinstance(values, list) else (values,)
                 for key, values in axes.items()
             }))
-    for name in args.policy or ():
-        grids.append(PolicyGrid(name))
+    for name in policy_names or ():
+        grids.append(PolicyGrid(_check_policy(name)))
+    return grids
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.policies import PolicyGrid
+    from repro.scenarios import POLICIES, ScenarioRunner, get_scenario
+
+    spec = get_scenario(args.scenario)
+    grids = _parse_policy_grids(args.grid, args.policy)
     if not grids:
         # No selection: every registered policy competes at defaults.
         grids = [PolicyGrid(name) for name in POLICIES.names()]
@@ -334,6 +362,40 @@ def _resolve_fleet(reference: str):
     return get_fleet(reference)
 
 
+def _parse_shard(text: str) -> tuple[int, int]:
+    """``(index, count)`` from the CLI's ``I/N`` spelling."""
+    import re
+
+    from repro.errors import SpecError
+
+    match = re.fullmatch(r"(\d+)/(\d+)", text)
+    if not match:
+        raise SpecError(
+            f"--shard must look like I/N (e.g. 0/4), got {text!r}")
+    return int(match.group(1)), int(match.group(2))
+
+
+def _emit_payload(payload: dict, out: str | None) -> None:
+    """Print a JSON payload, or write it to ``--out FILE``.
+
+    Write failures are user errors (bad path, permissions), reported
+    as a clean ``error:`` exit — losing a finished shard computation
+    to a traceback would be the worst possible ending.
+    """
+    from repro.errors import SpecError
+
+    text = json.dumps(payload, indent=2)
+    if out:
+        try:
+            with open(out, "w") as handle:
+                handle.write(text + "\n")
+        except OSError as exc:
+            raise SpecError(f"cannot write --out file {out}: {exc}") from None
+        print(f"wrote {out}")
+    else:
+        print(text)
+
+
 def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.fleet_command == "list":
         from repro.fleet import all_fleets
@@ -347,20 +409,69 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             print(f"  {spec.name:{width}s}  {shape:40s}  {spec.description}")
         return 0
 
+    if args.fleet_command == "merge":
+        from repro.fleet import FleetResult, load_partial_file
+
+        parts = [load_partial_file(path) for path in args.files]
+        result = FleetResult.merge(parts)
+        if args.json or args.out:
+            _emit_payload({"spec": parts[0].spec.to_dict(),
+                           "result": result.to_dict()}, args.out)
+            return 0
+        print(result.format_summary())
+        print(f"  merged     : {len(parts)} shard(s), "
+              f"{result.wall_time_s:.2f} s total shard wall time")
+        return 0
+
     from repro.fleet import FleetRunner
 
     fleet = _resolve_fleet(args.fleet)
     runner = FleetRunner(workers=args.workers, backend=args.backend)
 
     if args.fleet_command == "run":
+        if args.shard:
+            # A shard is machine food for `fleet merge`, not a report:
+            # it always emits the partial JSON payload.
+            partial = runner.run(fleet, shard=_parse_shard(args.shard))
+            _emit_payload(partial.to_dict(), args.out)
+            return 0
         result = runner.run(fleet)
-        if args.json:
-            print(json.dumps({"spec": fleet.to_dict(),
-                              "result": result.to_dict()}, indent=2))
+        if args.json or args.out:
+            _emit_payload({"spec": fleet.to_dict(),
+                           "result": result.to_dict()}, args.out)
             return 0
         print(result.format_summary())
         print(f"  backend    : {result.backend}, "
               f"{result.wall_time_s:.2f} s wall time")
+        return 0
+
+    if args.fleet_command == "search":
+        # fleet search: every grid candidate against one sampled
+        # population, ranked by the comparison ordering.
+        from repro.policies import PolicyGrid
+        from repro.scenarios import POLICIES
+
+        grids = _parse_policy_grids(args.grid, args.policy)
+        if not grids:
+            # No selection: every registered policy competes at defaults.
+            grids = [PolicyGrid(name) for name in POLICIES.names()]
+        result = runner.run_grid(fleet, grids)
+        if args.json:
+            print(json.dumps({"spec": fleet.to_dict(),
+                              "search": result.to_dict()}, indent=2))
+            return 0
+        print(f"Fleet policy search: {fleet.name} — {fleet.n_wearers} "
+              f"wearer(s) x {fleet.horizon_days} day(s), "
+              f"{len(result.entries)} candidate(s), "
+              f"{len(result.policy_names)} policy(ies), {result.backend} "
+              f"backend, {result.wall_time_s:.2f} s")
+        print(result.format_table())
+        best = result.best
+        print(f"best: {best.label} "
+              f"({100 * best.result.fraction_energy_neutral:.0f}% "
+              f"energy-neutral, p5 final SoC "
+              f"{100 * best.result.final_soc.p5:.1f}%, median "
+              f"{best.result.detections_per_day.p50:.0f} detections/day)")
         return 0
 
     # fleet compare: the same sampled population under each policy.
@@ -476,18 +587,56 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the fleet spec and result as JSON")
 
     p_fleet_run = fleet_sub.add_parser(
-        "run", help="sample, sweep and summarise one fleet")
+        "run", help="sample, sweep and summarise one fleet (or one "
+                    "shard of it)")
     _fleet_common(p_fleet_run)
+    p_fleet_run.add_argument(
+        "--shard", metavar="I/N",
+        help="run only shard I of an N-way partition (wearers with "
+             "index %% N == I) and emit a partial result for "
+             "`fleet merge`")
+    p_fleet_run.add_argument(
+        "--out", metavar="FILE",
+        help="write the JSON payload to FILE instead of stdout")
 
     p_fleet_compare = fleet_sub.add_parser(
         "compare", help="rerun one sampled population under several "
-                        "policies (ranked by p5 final SoC, then median "
-                        "detections/day)")
+                        "policies (ranked by fraction energy-neutral, "
+                        "then p5 final SoC, then median detections/day)")
     _fleet_common(p_fleet_compare)
     p_fleet_compare.add_argument(
         "--policy", action="append", metavar="NAME",
         help="registered policy to include at default params "
              "(repeatable; default: every registered policy)")
+
+    p_fleet_search = fleet_sub.add_parser(
+        "search", help="grid-search power policies over one sampled "
+                       "population (paired across candidates, same "
+                       "ranking as compare)")
+    _fleet_common(p_fleet_search)
+    p_fleet_search.add_argument(
+        "--policy", action="append", metavar="NAME",
+        help="registered policy to include at default params "
+             "(repeatable)")
+    p_fleet_search.add_argument(
+        "--grid", metavar="JSON",
+        help="JSON object: policy name -> {param: [values, ...]} axes "
+             "to sweep")
+
+    p_fleet_merge = fleet_sub.add_parser(
+        "merge", help="reduce partial shard results to the exact "
+                      "unsharded fleet result")
+    p_fleet_merge.add_argument(
+        "files", nargs="+", metavar="PART.json",
+        help="partial result files written by `fleet run --shard I/N "
+             "--out PART.json`; together they must cover every wearer "
+             "exactly once")
+    p_fleet_merge.add_argument("--json", action="store_true",
+                               help="emit the fleet spec and merged "
+                                    "result as JSON")
+    p_fleet_merge.add_argument(
+        "--out", metavar="FILE",
+        help="write the JSON payload to FILE instead of stdout")
 
     return parser
 

@@ -14,15 +14,20 @@ them to population statistics.
   generation (``random.Random(seed + index)``, sampled before any
   fan-out);
 * :mod:`repro.fleet.runner` — :class:`FleetRunner` over the
-  serial/thread/process sweep backends, plus the paired policy
-  comparison :meth:`FleetRunner.compare`;
+  serial/thread/process sweep backends, the paired policy comparison
+  :meth:`FleetRunner.compare`, the fleet-level policy grid search
+  :meth:`FleetRunner.run_grid`, and sharded execution
+  (``run(fleet, shard=(i, N))``);
 * :mod:`repro.fleet.result` — :class:`FleetResult` population
   statistics (SoC percentiles, fraction energy-neutral, downtime
-  hours, detections/day distribution);
+  hours, detections/day distribution), plus the sharding types
+  :class:`WearerRecord`/:class:`PartialFleetResult` and the
+  merge-exact reducer :meth:`FleetResult.merge`;
 * :mod:`repro.fleet.library` — named built-in fleets
   (``office_cohort_week``, ...).
 
-CLI: ``repro fleet list | run | compare`` — see ``docs/cli.md``.
+CLI: ``repro fleet list | run [--shard I/N] | compare | search |
+merge`` — see ``docs/cli.md``.
 """
 
 from repro.fleet.spec import FleetSpec, SamplerSpec, load_fleet_file
@@ -33,15 +38,24 @@ from repro.fleet.samplers import (
     register_sampler,
 )
 from repro.fleet.population import (
+    shard_indices,
     template_segments,
     wearer_name,
     wearer_scenario,
     wearer_scenarios,
 )
-from repro.fleet.result import DistributionSummary, FleetResult, percentile
+from repro.fleet.result import (
+    DistributionSummary,
+    FleetResult,
+    PartialFleetResult,
+    WearerRecord,
+    load_partial_file,
+    percentile,
+)
 from repro.fleet.runner import (
     ComparisonEntry,
     FleetComparison,
+    FleetGridResult,
     FleetRunner,
     run_fleet,
 )
@@ -60,15 +74,20 @@ __all__ = [
     "TimelineSampler",
     "build_sampler",
     "register_sampler",
+    "shard_indices",
     "template_segments",
     "wearer_name",
     "wearer_scenario",
     "wearer_scenarios",
     "DistributionSummary",
     "FleetResult",
+    "PartialFleetResult",
+    "WearerRecord",
+    "load_partial_file",
     "percentile",
     "ComparisonEntry",
     "FleetComparison",
+    "FleetGridResult",
     "FleetRunner",
     "run_fleet",
     "all_fleets",

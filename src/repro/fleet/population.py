@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
+from typing import Iterable
 
 from repro.errors import SpecError
 from repro.fleet.samplers import build_sampler
@@ -30,11 +31,39 @@ from repro.scenarios.spec import ScenarioSpec, SegmentSpec, TimelineSpec
 from repro.units import SECONDS_PER_DAY
 
 __all__ = [
+    "shard_indices",
     "template_segments",
     "wearer_name",
     "wearer_scenario",
     "wearer_scenarios",
 ]
+
+
+def shard_indices(fleet: FleetSpec, shard_index: int,
+                  shard_count: int) -> range:
+    """The wearer indices belonging to one shard of a partition.
+
+    Shards are *strided*: shard ``i`` of ``N`` owns every wearer with
+    ``index % N == i``.  Striding keeps the shards balanced for any
+    fleet size, and because each wearer's randomness comes from its
+    own ``random.Random(seed + index)``, any subset of wearers can be
+    materialized without generating the rest — which is what makes the
+    partition safe in the first place.
+
+    >>> list(shard_indices(FleetSpec(name="d", base_scenario="s",
+    ...                              n_wearers=7), 1, 3))
+    [1, 4]
+    """
+    for label, value in (("shard index", shard_index),
+                         ("shard count", shard_count)):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise SpecError(f"{label} must be an integer, got {value!r}")
+    if shard_count < 1:
+        raise SpecError(f"shard count must be at least 1, got {shard_count}")
+    if not 0 <= shard_index < shard_count:
+        raise SpecError(
+            f"shard index {shard_index} outside partition of {shard_count}")
+    return range(shard_index, fleet.n_wearers, shard_count)
 
 
 def template_segments(base: ScenarioSpec) -> tuple[SegmentSpec, ...]:
@@ -116,15 +145,22 @@ def wearer_scenario(fleet: FleetSpec, index: int,
     )
 
 
-def wearer_scenarios(fleet: FleetSpec) -> list[ScenarioSpec]:
-    """Every wearer's scenario, in index order.
+def wearer_scenarios(fleet: FleetSpec,
+                     indices: Iterable[int] | None = None,
+                     ) -> list[ScenarioSpec]:
+    """The scenarios of ``indices`` (default: every wearer, in order).
 
     The base scenario and template are resolved once; each wearer then
     gets a fresh sampler and its own ``seed + index`` generator, so
     any wearer's scenario can also be regenerated alone
     (:func:`wearer_scenario`) and matches this list entry exactly.
+    Sharded fleet runs pass :func:`shard_indices` to materialize only
+    their own wearers — the other wearers' randomness is never drawn,
+    and the generated specs are identical to the full run's entries.
     """
     base = get_scenario(fleet.base_scenario)
     template = template_segments(base)
+    if indices is None:
+        indices = range(fleet.n_wearers)
     return [wearer_scenario(fleet, index, base=base, template=template)
-            for index in range(fleet.n_wearers)]
+            for index in indices]

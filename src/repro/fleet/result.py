@@ -14,18 +14,31 @@ JSON is bitwise-identical across backends and runs for a fixed seed
 that legitimately varies — which backend ran, how long it took — lives
 on the result object (``backend``, ``wall_time_s``) but stays out of
 the canonical dict.
+
+Sharded execution splits a fleet across machines: each shard runs a
+strided subset of the wearers and yields a :class:`PartialFleetResult`
+holding the raw per-wearer :class:`WearerRecord` values instead of a
+premature reduction (percentiles do not compose, so partials must
+carry the sample).  :meth:`FleetResult.merge` re-assembles any
+complete partition — records are re-ordered by wearer index and fed
+through the *same* reduction as the unsharded path, and JSON floats
+round-trip exactly, so the merged canonical payload is
+bitwise-identical to :meth:`FleetRunner.run` without sharding.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, fields
 from typing import Any, Mapping, Sequence
 
 from repro.errors import SpecError
+from repro.fleet.spec import FleetSpec
 from repro.scenarios.runner import ScenarioOutcome
 from repro.scenarios.spec import check_mapping_keys
 
-__all__ = ["percentile", "DistributionSummary", "FleetResult"]
+__all__ = ["percentile", "DistributionSummary", "WearerRecord",
+           "PartialFleetResult", "FleetResult", "load_partial_file"]
 
 
 def percentile(values: Sequence[float], q: float) -> float:
@@ -96,6 +109,199 @@ class DistributionSummary:
 
 
 @dataclass(frozen=True)
+class WearerRecord:
+    """The raw per-wearer numbers a fleet reduction consumes.
+
+    The smallest value that makes sharding merge-exact: percentiles
+    and means do not compose across shards, so partial results carry
+    one record per wearer and the reduction happens once, over the
+    re-assembled population.
+
+    Attributes:
+        index: the wearer's 0-based index in the fleet.
+        energy_neutral: battery ended no lower than it started.
+        final_soc: final state of charge, in [0, 1].
+        detections_per_day: detection rate normalised to a 24 h day.
+        downtime_s: seconds the battery could not cover the demand.
+    """
+
+    index: int
+    energy_neutral: bool
+    final_soc: float
+    detections_per_day: float
+    downtime_s: float
+
+    def __post_init__(self) -> None:
+        if isinstance(self.index, bool) or not isinstance(self.index, int):
+            raise SpecError(
+                f"wearer index must be an integer, got {self.index!r}")
+        if self.index < 0:
+            raise SpecError(f"wearer index cannot be negative: {self.index}")
+        # Shard files are hand-editable JSON: reject corrupt values here
+        # so a bad file fails as a SpecError naming the path (via
+        # load_partial_file), not as a TypeError deep in a percentile.
+        if not isinstance(self.energy_neutral, bool):
+            raise SpecError(
+                f"wearer {self.index} energy_neutral must be a boolean, "
+                f"got {self.energy_neutral!r}")
+        for attr in ("final_soc", "detections_per_day", "downtime_s"):
+            value = getattr(self, attr)
+            if (isinstance(value, bool)
+                    or not isinstance(value, (int, float))
+                    or not math.isfinite(value)):
+                # isfinite matters: json.loads accepts NaN/Infinity
+                # literals, and a NaN would silently scramble the
+                # merged percentiles instead of failing loudly.
+                raise SpecError(
+                    f"wearer {self.index} {attr} must be a finite number, "
+                    f"got {value!r}")
+
+    @classmethod
+    def from_outcome(cls, index: int,
+                     outcome: ScenarioOutcome) -> "WearerRecord":
+        """The record of wearer ``index`` from its scenario outcome."""
+        return cls(
+            index=index,
+            energy_neutral=outcome.energy_neutral,
+            final_soc=outcome.final_soc,
+            detections_per_day=outcome.detections_per_day,
+            downtime_s=outcome.downtime_s,
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "index": self.index,
+            "energy_neutral": self.energy_neutral,
+            "final_soc": self.final_soc,
+            "detections_per_day": self.detections_per_day,
+            "downtime_s": self.downtime_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WearerRecord":
+        known = {f.name for f in fields(cls)}
+        check_mapping_keys("WearerRecord", data, known, required=known)
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class PartialFleetResult:
+    """One shard's contribution to a fleet run.
+
+    Produced by ``FleetRunner.run(fleet, shard=(index, count))``: the
+    shard materialized and simulated only the wearers with
+    ``wearer_index % count == index`` (a strided partition, so every
+    shard carries a balanced slice of the seed sequence).  Partials
+    hold raw :class:`WearerRecord` values — no premature statistics —
+    and :meth:`FleetResult.merge` reduces a complete partition to the
+    exact unsharded :class:`FleetResult`.
+
+    Attributes:
+        spec: the full fleet spec (every shard carries it, so merge
+            can verify the parts describe the same experiment).
+        shard_index / shard_count: this shard's position in the
+            partition, ``0 <= shard_index < shard_count``.
+        records: one record per wearer of this shard, in index order.
+        backend: sweep backend that ran the shard (provenance).
+        wall_time_s: wall-clock seconds of the shard run (provenance).
+    """
+
+    spec: FleetSpec
+    shard_index: int
+    shard_count: int
+    records: tuple[WearerRecord, ...]
+    backend: str = ""
+    wall_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        for attr in ("shard_index", "shard_count"):
+            value = getattr(self, attr)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SpecError(f"{attr} must be an integer, got {value!r}")
+        if self.shard_count < 1:
+            raise SpecError(
+                f"shard count must be at least 1, got {self.shard_count}")
+        if not 0 <= self.shard_index < self.shard_count:
+            raise SpecError(
+                f"shard index {self.shard_index} outside partition of "
+                f"{self.shard_count}")
+        object.__setattr__(self, "records", tuple(self.records))
+        for record in self.records:
+            if record.index >= self.spec.n_wearers:
+                raise SpecError(
+                    f"wearer index {record.index} outside fleet "
+                    f"{self.spec.name!r} of {self.spec.n_wearers}")
+            if record.index % self.shard_count != self.shard_index:
+                raise SpecError(
+                    f"wearer {record.index} does not belong to shard "
+                    f"{self.shard_index}/{self.shard_count}")
+        indices = [record.index for record in self.records]
+        if len(set(indices)) != len(indices):
+            raise SpecError(
+                f"duplicate wearer records in shard "
+                f"{self.shard_index}/{self.shard_count}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """The shard payload (``repro fleet run --shard`` writes it).
+
+        ``backend``/``wall_time_s`` travel with the file as provenance
+        — merge sums the shard wall times into the merged result's
+        provenance — but stay out of the *canonical* payload, which is
+        only ever the merged :meth:`FleetResult.to_dict`.
+        """
+        return {
+            "spec": self.spec.to_dict(),
+            "shard": [self.shard_index, self.shard_count],
+            "wearers": [record.to_dict() for record in self.records],
+            "backend": self.backend,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PartialFleetResult":
+        """Rebuild a partial from :meth:`to_dict` output (exact)."""
+        required = {"spec", "shard", "wearers"}
+        check_mapping_keys("PartialFleetResult", data,
+                           required | {"backend", "wall_time_s"},
+                           required=required)
+        shard = data["shard"]
+        if (not isinstance(shard, (list, tuple)) or len(shard) != 2):
+            raise SpecError(
+                f"shard must be a [index, count] pair, got {shard!r}")
+        wearers = data["wearers"]
+        if not isinstance(wearers, (list, tuple)):
+            raise SpecError(
+                f"wearers must be a list of records, got "
+                f"{type(wearers).__name__}")
+        return cls(
+            spec=FleetSpec.from_dict(data["spec"]),
+            shard_index=shard[0],
+            shard_count=shard[1],
+            records=tuple(WearerRecord.from_dict(r) for r in wearers),
+            backend=data.get("backend", ""),
+            wall_time_s=data.get("wall_time_s", 0.0),
+        )
+
+
+def load_partial_file(path: Any) -> PartialFleetResult:
+    """The :class:`PartialFleetResult` stored in one JSON file.
+
+    A shard file is exactly one :meth:`PartialFleetResult.to_dict`
+    payload (what ``repro fleet run --shard I/N --out FILE`` writes).
+    Failures surface as :class:`~repro.errors.SpecError` naming the
+    path.
+    """
+    # Deferred: repro.scenarios.files owns the on-disk error reporting.
+    from repro.scenarios.files import load_json_payload
+
+    payload = load_json_payload(path, what="fleet shard")
+    try:
+        return PartialFleetResult.from_dict(payload)
+    except SpecError as exc:
+        raise SpecError(f"fleet shard file {path}: {exc}") from None
+
+
+@dataclass(frozen=True)
 class FleetResult:
     """Population outcome of one fleet run.
 
@@ -135,11 +341,36 @@ class FleetResult:
                       wall_time_s: float = 0.0) -> "FleetResult":
         """Reduce per-wearer outcomes under a
         :class:`~repro.fleet.spec.FleetSpec`."""
-        if len(outcomes) != fleet_spec.n_wearers:
+        records = [WearerRecord.from_outcome(index, outcome)
+                   for index, outcome in enumerate(outcomes)]
+        return cls.from_records(fleet_spec, records,
+                                backend=backend, wall_time_s=wall_time_s)
+
+    @classmethod
+    def from_records(cls, fleet_spec,
+                     records: Sequence[WearerRecord],
+                     backend: str = "",
+                     wall_time_s: float = 0.0) -> "FleetResult":
+        """Reduce a complete population of :class:`WearerRecord`.
+
+        The single reduction both the unsharded and the merged path go
+        through: records are re-ordered by wearer index first, so the
+        arithmetic (and therefore every float in the canonical
+        payload) is independent of how the population was partitioned.
+        """
+        records = sorted(records, key=lambda record: record.index)
+        if len(records) != fleet_spec.n_wearers:
             raise SpecError(
                 f"fleet {fleet_spec.name!r} expected "
-                f"{fleet_spec.n_wearers} outcomes, got {len(outcomes)}")
-        neutral = sum(1 for o in outcomes if o.energy_neutral)
+                f"{fleet_spec.n_wearers} outcomes, got {len(records)}")
+        expected = range(fleet_spec.n_wearers)
+        if [record.index for record in records] != list(expected):
+            missing = sorted(set(expected)
+                             - {record.index for record in records})
+            raise SpecError(
+                f"fleet {fleet_spec.name!r} population is incomplete: "
+                f"missing or duplicated wearer indices (missing {missing})")
+        neutral = sum(1 for record in records if record.energy_neutral)
         return cls(
             fleet=fleet_spec.name,
             base_scenario=fleet_spec.base_scenario,
@@ -147,16 +378,54 @@ class FleetResult:
             horizon_days=fleet_spec.horizon_days,
             seed=fleet_spec.seed,
             sampler=fleet_spec.sampler.label,
-            fraction_energy_neutral=neutral / len(outcomes),
+            fraction_energy_neutral=neutral / len(records),
             final_soc=DistributionSummary.from_values(
-                [o.final_soc for o in outcomes]),
+                [record.final_soc for record in records]),
             detections_per_day=DistributionSummary.from_values(
-                [o.detections_per_day for o in outcomes]),
+                [record.detections_per_day for record in records]),
             downtime_hours=DistributionSummary.from_values(
-                [o.downtime_s / 3600.0 for o in outcomes]),
+                [record.downtime_s / 3600.0 for record in records]),
             backend=backend,
             wall_time_s=wall_time_s,
         )
+
+    @classmethod
+    def merge(cls, parts: Sequence[PartialFleetResult]) -> "FleetResult":
+        """Reduce a complete shard partition to the unsharded result.
+
+        Any partition works — ``(i, N)`` shards for one ``N``, each
+        present exactly once, together covering every wearer.  Because
+        partials carry raw per-wearer records and the reduction
+        re-orders them by index, the merged canonical payload is
+        bitwise-identical to ``FleetRunner.run`` without sharding (the
+        contract ``tests/fleet/test_sharding.py`` pins for
+        N ∈ {1, 2, 3, 7} against JSON round-tripped parts).
+        """
+        parts = list(parts)
+        if not parts:
+            raise SpecError("cannot merge zero fleet shards")
+        spec = parts[0].spec
+        counts = {part.shard_count for part in parts}
+        if len(counts) != 1:
+            raise SpecError(
+                f"fleet shards disagree on the partition size: "
+                f"{sorted(counts)}")
+        for part in parts:
+            if part.spec != spec:
+                raise SpecError(
+                    f"fleet shards describe different fleets: "
+                    f"{spec.name!r} vs {part.spec.name!r} (every shard "
+                    "must carry the identical FleetSpec)")
+        seen_shards = [part.shard_index for part in parts]
+        if len(set(seen_shards)) != len(seen_shards):
+            duplicated = sorted({index for index in seen_shards
+                                 if seen_shards.count(index) > 1})
+            raise SpecError(f"duplicate fleet shards: {duplicated} "
+                            f"of {parts[0].shard_count}")
+        records = [record for part in parts for record in part.records]
+        wall_time_s = sum(part.wall_time_s for part in parts)
+        return cls.from_records(spec, records, backend="merged",
+                                wall_time_s=wall_time_s)
 
     def to_dict(self) -> dict[str, Any]:
         """The canonical, backend-independent payload (see module doc)."""

@@ -11,8 +11,20 @@ every backend — the backends only change how fast you get it.
 :meth:`FleetRunner.compare` reruns the *same sampled population* under
 candidate power policies (every wearer's environment is held fixed
 while the policy varies — a paired experiment), returning a
-:class:`FleetComparison` ranked by worst-case battery health first:
-p5 final state of charge, then median detections per day.
+:class:`FleetComparison` ranked by survival first: fraction of wearers
+that finished energy-neutral, then p5 final state of charge, then
+median detections per day.  :meth:`FleetRunner.run_grid` lifts the
+scenario-level policy grid search to the population: every
+:class:`~repro.policies.grid.PolicyGrid` candidate is evaluated
+against the same sampled wearers and ranked by the same ordering.
+
+Sharded execution splits one fleet across machines:
+``run(fleet, shard=(i, N))`` materializes only the wearers with
+``index % N == i`` (per-wearer ``random.Random(seed + index)`` makes
+any subset independently generatable) and returns a
+:class:`~repro.fleet.result.PartialFleetResult`;
+:meth:`~repro.fleet.result.FleetResult.merge` reduces a complete
+partition to a result bitwise-identical to the unsharded run.
 """
 
 from __future__ import annotations
@@ -20,17 +32,18 @@ from __future__ import annotations
 import dataclasses
 import time
 from dataclasses import dataclass
-from typing import Any, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.errors import SpecError
-from repro.fleet.population import wearer_scenarios
-from repro.fleet.result import FleetResult
+from repro.fleet.population import shard_indices, wearer_scenarios
+from repro.fleet.result import FleetResult, PartialFleetResult, WearerRecord
 from repro.fleet.spec import FleetSpec
-from repro.policies.grid import policy_label
+from repro.policies.grid import PolicyGrid, expand_grids, policy_label
 from repro.scenarios.runner import BACKENDS, ScenarioRunner
 from repro.scenarios.spec import PolicySpec
 
-__all__ = ["FleetRunner", "ComparisonEntry", "FleetComparison", "run_fleet"]
+__all__ = ["FleetRunner", "ComparisonEntry", "FleetComparison",
+           "FleetGridResult", "run_fleet"]
 
 
 @dataclass(frozen=True)
@@ -43,8 +56,10 @@ class ComparisonEntry:
 
     @property
     def rank_key(self) -> tuple:
-        """Sort key: best p5 final SoC, then median detections/day."""
-        return (-self.result.final_soc.p5,
+        """Sort key: most wearers energy-neutral, then best p5 final
+        SoC, then median detections/day."""
+        return (-self.result.fraction_energy_neutral,
+                -self.result.final_soc.p5,
                 -self.result.detections_per_day.p50)
 
     def to_dict(self) -> dict[str, Any]:
@@ -71,17 +86,25 @@ class FleetComparison:
     backend: str = ""
     wall_time_s: float = 0.0
 
+    #: What an empty result calls itself in error messages.
+    _what = "fleet comparison"
+
     def ranked(self) -> list[ComparisonEntry]:
-        """Entries best-first: p5 final SoC, then median detections/day
-        (stable for exact ties)."""
+        """Entries best-first: fraction energy-neutral, then p5 final
+        SoC, then median detections/day (stable for exact ties)."""
         return sorted(self.entries, key=lambda entry: entry.rank_key)
 
     @property
     def best(self) -> ComparisonEntry:
         """The top-ranked candidate."""
         if not self.entries:
-            raise SpecError("empty fleet comparison has no best entry")
+            raise SpecError(f"empty {self._what} has no best entry")
         return self.ranked()[0]
+
+    @property
+    def policy_names(self) -> list[str]:
+        """Distinct policy names evaluated, sorted."""
+        return sorted({entry.policy.name for entry in self.entries})
 
     def to_dict(self) -> dict[str, Any]:
         """Canonical payload: ranking only, no timing provenance."""
@@ -92,18 +115,36 @@ class FleetComparison:
 
     def format_table(self) -> str:
         """A fixed-width best-first ranking report."""
-        header = (f"{'rank':>4s} {'policy':42s} {'SoC p5':>7s} "
-                  f"{'det/day p50':>11s} {'neutral':>8s} {'downtime p95':>12s}")
+        header = (f"{'rank':>4s} {'policy':42s} {'neutral':>8s} "
+                  f"{'SoC p5':>7s} {'det/day p50':>11s} "
+                  f"{'downtime p95':>12s}")
         lines = [header, "-" * len(header)]
         for position, entry in enumerate(self.ranked(), start=1):
             r = entry.result
             lines.append(
                 f"{position:4d} {entry.label:42s} "
+                f"{100 * r.fraction_energy_neutral:7.1f}% "
                 f"{100 * r.final_soc.p5:6.1f}% "
                 f"{r.detections_per_day.p50:11.0f} "
-                f"{100 * r.fraction_energy_neutral:7.1f}% "
                 f"{r.downtime_hours.p95:10.1f} h")
         return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class FleetGridResult(FleetComparison):
+    """Outcome of a policy grid search over one sampled population.
+
+    The fleet-level sibling of
+    :class:`~repro.policies.grid.GridResult`, and structurally a
+    :class:`FleetComparison` (same entries, ranking, canonical
+    payload): every grid candidate was evaluated against the *same*
+    sampled wearer population (a paired experiment), and entries rank
+    by the comparison ordering — fraction energy-neutral, then p5
+    final SoC, then median detections/day.  ``entries`` arrive in grid
+    order (one per expanded grid point).
+    """
+
+    _what = "fleet grid result"
 
 
 class FleetRunner:
@@ -129,29 +170,92 @@ class FleetRunner:
 
     def run(self, fleet: FleetSpec,
             workers: int | None = None,
-            backend: str | None = None) -> FleetResult:
-        """Sample, sweep and reduce one fleet.
+            backend: str | None = None,
+            shard: tuple[int, int] | None = None,
+            ) -> FleetResult | PartialFleetResult:
+        """Sample, sweep and reduce one fleet — whole or one shard.
 
         The canonical part of the returned result
         (:meth:`~repro.fleet.result.FleetResult.to_dict`) depends only
         on the spec; ``backend``/``wall_time_s`` record provenance.
+
+        With ``shard=(index, count)`` only that shard's wearers
+        (``wearer_index % count == index``) are materialized and
+        simulated, and the return value is a
+        :class:`~repro.fleet.result.PartialFleetResult` of raw
+        per-wearer records.  Reducing a complete partition with
+        :meth:`FleetResult.merge` reproduces the unsharded result
+        bitwise — run shards on as many machines as you like.
         """
-        specs = wearer_scenarios(fleet)
+        if shard is None:
+            specs = wearer_scenarios(fleet)
+            sweep = self._runner.run_batch(specs, workers=workers,
+                                           backend=backend)
+            return FleetResult.from_outcomes(fleet, sweep.outcomes,
+                                             backend=sweep.backend,
+                                             wall_time_s=sweep.wall_time_s)
+        try:
+            shard_index, shard_count = shard
+        except (TypeError, ValueError):
+            raise SpecError(
+                f"shard must be an (index, count) pair, got {shard!r}"
+            ) from None
+        indices = shard_indices(fleet, shard_index, shard_count)
+        specs = wearer_scenarios(fleet, indices)
         sweep = self._runner.run_batch(specs, workers=workers,
                                        backend=backend)
-        return FleetResult.from_outcomes(fleet, sweep.outcomes,
-                                         backend=sweep.backend,
-                                         wall_time_s=sweep.wall_time_s)
+        records = tuple(
+            WearerRecord.from_outcome(index, outcome)
+            for index, outcome in zip(indices, sweep.outcomes))
+        return PartialFleetResult(
+            spec=fleet,
+            shard_index=shard_index,
+            shard_count=shard_count,
+            records=records,
+            backend=sweep.backend,
+            wall_time_s=sweep.wall_time_s,
+        )
+
+    def _run_candidates(self, fleet: FleetSpec,
+                        candidates: Sequence[tuple[str, PolicySpec]],
+                        workers: int | None,
+                        backend: str | None,
+                        ) -> tuple[tuple[ComparisonEntry, ...], str, float]:
+        """Rerun one sampled population under each labelled candidate.
+
+        The paired-experiment core shared by :meth:`compare` and
+        :meth:`run_grid`: the population is sampled once, and every
+        candidate sees exactly the same wearer environments with only
+        ``system.policy`` replaced per wearer scenario.
+        """
+        base_specs = wearer_scenarios(fleet)
+        started = time.perf_counter()
+        entries = []
+        used = self.backend if backend is None else backend
+        for label, policy in candidates:
+            specs = [
+                dataclasses.replace(
+                    spec,
+                    system=dataclasses.replace(spec.system, policy=policy))
+                for spec in base_specs
+            ]
+            sweep = self._runner.run_batch(specs, workers=workers,
+                                           backend=backend)
+            used = sweep.backend
+            entries.append(ComparisonEntry(
+                label=label,
+                policy=policy,
+                result=FleetResult.from_outcomes(
+                    fleet, sweep.outcomes, backend=sweep.backend,
+                    wall_time_s=sweep.wall_time_s),
+            ))
+        return tuple(entries), used, time.perf_counter() - started
 
     def compare(self, fleet: FleetSpec,
                 policies: Sequence[PolicySpec],
                 workers: int | None = None,
                 backend: str | None = None) -> FleetComparison:
         """Rerun one sampled population under each candidate policy.
-
-        The population is sampled once; every candidate sees exactly
-        the same wearer environments (a paired comparison), with only
-        ``system.policy`` replaced per wearer scenario.
 
         Args:
             fleet: the population description.
@@ -165,32 +269,49 @@ class FleetRunner:
         keys = [(p.name, tuple(sorted(p.params.items()))) for p in policies]
         if len(set(keys)) != len(keys):
             raise SpecError("duplicate policies in fleet comparison")
-        base_specs = wearer_scenarios(fleet)
-        started = time.perf_counter()
-        entries = []
-        used = self.backend if backend is None else backend
-        for policy in policies:
-            specs = [
-                dataclasses.replace(
-                    spec,
-                    system=dataclasses.replace(spec.system, policy=policy))
-                for spec in base_specs
-            ]
-            sweep = self._runner.run_batch(specs, workers=workers,
-                                           backend=backend)
-            used = sweep.backend
-            entries.append(ComparisonEntry(
-                label=policy_label(policy),
-                policy=policy,
-                result=FleetResult.from_outcomes(
-                    fleet, sweep.outcomes, backend=sweep.backend,
-                    wall_time_s=sweep.wall_time_s),
-            ))
+        candidates = [(policy_label(policy), policy) for policy in policies]
+        entries, used, wall_time_s = self._run_candidates(
+            fleet, candidates, workers, backend)
         return FleetComparison(
             fleet=fleet.name,
-            entries=tuple(entries),
+            entries=entries,
             backend=used,
-            wall_time_s=time.perf_counter() - started,
+            wall_time_s=wall_time_s,
+        )
+
+    def run_grid(self, fleet: FleetSpec,
+                 grids: PolicyGrid | Iterable[PolicyGrid],
+                 workers: int | None = None,
+                 backend: str | None = None) -> FleetGridResult:
+        """Search a policy grid against one sampled population.
+
+        Every candidate of every
+        :class:`~repro.policies.grid.PolicyGrid` is evaluated against
+        the same seeded wearer population (paired across candidates,
+        like :meth:`compare`) and ranked by the comparison ordering:
+        fraction energy-neutral, then p5 final SoC, then median
+        detections/day.
+
+        Args:
+            fleet: the population description.
+            grids: a :class:`PolicyGrid` or an iterable of them (one
+                per policy family); duplicate (name, params) candidates
+                across all grids are rejected.
+            workers / backend: per-call overrides, as in :meth:`run`.
+
+        Returns:
+            A :class:`FleetGridResult` whose canonical payload
+            (:meth:`~FleetGridResult.to_dict`) is a pure function of
+            the fleet spec and the grids — identical on every backend.
+        """
+        candidates = expand_grids(grids)
+        entries, used, wall_time_s = self._run_candidates(
+            fleet, candidates, workers, backend)
+        return FleetGridResult(
+            fleet=fleet.name,
+            entries=entries,
+            backend=used,
+            wall_time_s=wall_time_s,
         )
 
 

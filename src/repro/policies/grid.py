@@ -16,9 +16,10 @@ be imported from anywhere in the package without ordering constraints.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from itertools import product
-from typing import TYPE_CHECKING, Any, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Iterable, Iterator, Mapping
 
 from repro.errors import SpecError
 
@@ -26,7 +27,8 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.scenarios.runner import ScenarioOutcome
     from repro.scenarios.spec import PolicySpec
 
-__all__ = ["PolicyGrid", "GridEntry", "GridResult", "policy_label"]
+__all__ = ["PolicyGrid", "GridEntry", "GridResult", "expand_grids",
+           "policy_label"]
 
 
 def policy_label(spec: "PolicySpec") -> str:
@@ -115,6 +117,52 @@ class PolicyGrid:
 
     def __iter__(self) -> Iterator["PolicySpec"]:
         return iter(self.specs())
+
+
+def expand_grids(
+        grids: PolicyGrid | Iterable[PolicyGrid],
+) -> list[tuple[str, "PolicySpec"]]:
+    """Flatten one or more grids into unique ``(label, spec)`` pairs.
+
+    The shared candidate-enumeration step of every grid search
+    (:meth:`repro.scenarios.runner.ScenarioRunner.run_grid` over one
+    scenario, :meth:`repro.fleet.runner.FleetRunner.run_grid` over a
+    population): grid points are concatenated in grid order, true
+    duplicates — identical ``(name, params)`` across all grids — are
+    rejected, and distinct points whose compact ``%g`` labels round
+    together get a ``#n`` suffix so downstream batch names stay unique.
+
+    >>> [label for label, _ in expand_grids(
+    ...     PolicyGrid("static_duty_cycle",
+    ...                axes={"rate_per_min": (2.0, 24.0)}))]
+    ['static_duty_cycle(rate_per_min=2)', 'static_duty_cycle(rate_per_min=24)']
+    """
+    grids = [grids] if isinstance(grids, PolicyGrid) else list(grids)
+    if not grids:
+        raise SpecError("a policy grid search needs at least one grid")
+    points = [point for grid in grids for point in grid.specs()]
+    # True duplicates are identical (name, params) points — judged on
+    # the specs themselves, since the compact %g labels can collide
+    # for values that differ past six significant digits.
+    keys = [(point.name, tuple(sorted(point.params.items())))
+            for point in points]
+    key_counts = Counter(keys)
+    duplicates = sorted({policy_label(point)
+                         for point, key in zip(points, keys)
+                         if key_counts[key] > 1})
+    if duplicates:
+        raise SpecError(f"duplicate policy grid points: {duplicates}")
+    labels = [policy_label(point) for point in points]
+    label_counts = Counter(labels)
+    if len(label_counts) != len(labels):
+        # Distinct points whose display labels rounded together:
+        # suffix a position so downstream names stay unique.
+        seen: Counter = Counter()
+        for index, label in enumerate(labels):
+            if label_counts[label] > 1:
+                seen[label] += 1
+                labels[index] = f"{label}#{seen[label]}"
+    return list(zip(labels, points))
 
 
 @dataclass(frozen=True)

@@ -31,7 +31,6 @@ from __future__ import annotations
 import dataclasses
 import multiprocessing
 import time
-from collections import Counter
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, fields
@@ -310,50 +309,21 @@ class ScenarioRunner:
             A ranked :class:`~repro.policies.grid.GridResult`.
         """
         # Deferred: repro.policies builds on this package.
-        from repro.policies.grid import (
-            GridEntry,
-            GridResult,
-            PolicyGrid,
-            policy_label,
-        )
+        from repro.policies.grid import GridEntry, GridResult, expand_grids
 
-        grids = [grid] if isinstance(grid, PolicyGrid) else list(grid)
-        if not grids:
-            raise SpecError("a policy grid search needs at least one grid")
-        points = [point for g in grids for point in g.specs()]
-        # True duplicates are identical (name, params) points — judged
-        # on the specs themselves, since the compact %g labels can
-        # collide for values that differ past six significant digits.
-        keys = [(point.name, tuple(sorted(point.params.items())))
-                for point in points]
-        key_counts = Counter(keys)
-        duplicates = sorted({policy_label(point)
-                             for point, key in zip(points, keys)
-                             if key_counts[key] > 1})
-        if duplicates:
-            raise SpecError(f"duplicate policy grid points: {duplicates}")
-        labels = [policy_label(point) for point in points]
-        label_counts = Counter(labels)
-        if len(label_counts) != len(labels):
-            # Distinct points whose display labels rounded together:
-            # suffix a position so sweep names stay unique.
-            seen: Counter = Counter()
-            for index, label in enumerate(labels):
-                if label_counts[label] > 1:
-                    seen[label] += 1
-                    labels[index] = f"{label}#{seen[label]}"
+        candidates = expand_grids(grid)
         variants = [
             dataclasses.replace(
                 scenario,
                 name=f"{scenario.name}::{label}",
                 system=dataclasses.replace(scenario.system, policy=point),
             )
-            for label, point in zip(labels, points)
+            for label, point in candidates
         ]
         sweep = self.run_batch(variants, workers=workers, backend=backend)
         entries = tuple(
             GridEntry(label=label, policy=point, outcome=outcome)
-            for label, point, outcome in zip(labels, points, sweep.outcomes)
+            for (label, point), outcome in zip(candidates, sweep.outcomes)
         )
         return GridResult(scenario=scenario.name, entries=entries,
                           backend=sweep.backend,

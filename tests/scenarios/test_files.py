@@ -1,0 +1,106 @@
+"""Scenario files on disk: every failure mode is a precise SpecError.
+
+``repro sweep --from-json dir/`` promises user-error reporting (no
+tracebacks), which only holds if :mod:`repro.scenarios.files` raises
+:class:`~repro.errors.SpecError` with the offending path in the
+message for every way a scenario directory can be wrong.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import SpecError
+from repro.scenarios import get_scenario
+from repro.scenarios.files import (
+    load_json_payload,
+    load_scenario_dir,
+    load_scenario_file,
+)
+
+
+def _write_scenario(directory, filename, name):
+    spec = get_scenario("outdoor_hiker").to_dict()
+    spec["name"] = name
+    path = directory / filename
+    path.write_text(json.dumps(spec))
+    return path
+
+
+class TestLoadScenarioFile:
+    def test_malformed_json_names_path(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{broken json!")
+        with pytest.raises(SpecError,
+                           match=r"broken\.json is not valid JSON"):
+            load_scenario_file(path)
+
+    def test_unreadable_file_names_path(self, tmp_path):
+        with pytest.raises(SpecError,
+                           match=r"cannot read scenario file .*ghost\.json"):
+            load_scenario_file(tmp_path / "ghost.json")
+
+    def test_non_object_payload_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(SpecError,
+                           match=r"must hold a JSON object, got list"):
+            load_scenario_file(path)
+
+    def test_bad_spec_keys_name_the_file(self, tmp_path):
+        path = tmp_path / "odd.json"
+        path.write_text(json.dumps({"name": "x", "unheard_of": 1}))
+        with pytest.raises(SpecError, match=r"odd\.json.*unheard_of"):
+            load_scenario_file(path)
+
+    def test_payload_loader_reports_custom_what(self, tmp_path):
+        path = tmp_path / "shardish.json"
+        path.write_text("not json")
+        with pytest.raises(SpecError,
+                           match=r"fleet shard file .*shardish\.json"):
+            load_json_payload(path, what="fleet shard")
+
+
+class TestLoadScenarioDir:
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(SpecError,
+                           match=r"directory .*nowhere does not exist"):
+            load_scenario_dir(tmp_path / "nowhere")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(SpecError,
+                           match=r"no \*\.json scenario files in"):
+            load_scenario_dir(tmp_path)
+
+    def test_duplicate_scenario_names_report_both_files(self, tmp_path):
+        _write_scenario(tmp_path, "a.json", "twin")
+        _write_scenario(tmp_path, "b.json", "twin")
+        with pytest.raises(
+                SpecError,
+                match=(r"duplicate scenario name 'twin' in .*b\.json "
+                       r"\(already defined by .*a\.json\)")):
+            load_scenario_dir(tmp_path)
+
+    def test_non_json_files_ignored(self, tmp_path):
+        _write_scenario(tmp_path, "real.json", "real_one")
+        (tmp_path / "notes.txt").write_text("not a scenario")
+        (tmp_path / "README.md").write_text("# docs")
+        specs = load_scenario_dir(tmp_path)
+        assert [spec.name for spec in specs] == ["real_one"]
+
+    def test_directory_with_only_non_json_counts_as_empty(self, tmp_path):
+        (tmp_path / "notes.txt").write_text("nope")
+        with pytest.raises(SpecError, match=r"no \*\.json"):
+            load_scenario_dir(tmp_path)
+
+    def test_files_load_sorted_by_filename(self, tmp_path):
+        _write_scenario(tmp_path, "b_second.json", "second")
+        _write_scenario(tmp_path, "a_first.json", "first")
+        assert [spec.name for spec in load_scenario_dir(tmp_path)] == \
+            ["first", "second"]
+
+    def test_one_bad_file_fails_the_whole_directory(self, tmp_path):
+        _write_scenario(tmp_path, "good.json", "good_one")
+        (tmp_path / "bad.json").write_text("{nope")
+        with pytest.raises(SpecError, match=r"bad\.json is not valid JSON"):
+            load_scenario_dir(tmp_path)

@@ -305,6 +305,194 @@ class TestFleetCommands:
         assert "warp_drive" in err
 
 
+def _write_mini_fleet(tmp_path, name="mini", n_wearers=4, horizon_days=1):
+    from repro.fleet import get_fleet
+
+    spec = get_fleet("office_cohort_week").replace(
+        name=name, n_wearers=n_wearers, horizon_days=horizon_days)
+    path = tmp_path / f"{name}.json"
+    path.write_text(json.dumps(spec.to_dict()))
+    return path
+
+
+class TestFleetSearchCommand:
+    GRID = ('{"static_duty_cycle": {"rate_per_min": [2, 8, 16, 24]}, '
+            '"ewma_forecast": {"alpha": [0.1, 0.3, 0.5]}}')
+
+    def test_search_ranks_grid_candidates(self, tmp_path, capsys):
+        path = _write_mini_fleet(tmp_path)
+        assert main(["fleet", "search", str(path), "--grid", self.GRID,
+                     "--policy", "energy_aware",
+                     "--backend", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "8 candidate(s)" in out
+        assert "static_duty_cycle(rate_per_min=2)" in out
+        assert "ewma_forecast(alpha=0.5)" in out
+        assert "best:" in out
+
+    def test_search_json_matches_brute_force_compare(self, tmp_path, capsys):
+        """Acceptance: the CLI's top candidate over >= 8 grid points is
+        exactly what a brute-force FleetRunner.compare over the same
+        candidate list picks."""
+        from repro.fleet import FleetRunner, load_fleet_file
+        from repro.policies import PolicyGrid
+        from repro.policies.grid import expand_grids
+
+        path = _write_mini_fleet(tmp_path)
+        assert main(["fleet", "search", str(path), "--grid", self.GRID,
+                     "--policy", "energy_aware",
+                     "--backend", "serial", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        ranking = payload["search"]["ranking"]
+        assert len(ranking) == 8
+        grids = [PolicyGrid("static_duty_cycle",
+                            axes={"rate_per_min": (2, 8, 16, 24)}),
+                 PolicyGrid("ewma_forecast", axes={"alpha": (0.1, 0.3, 0.5)}),
+                 PolicyGrid("energy_aware")]
+        points = [point for _, point in expand_grids(grids)]
+        brute = FleetRunner(workers=1, backend="serial").compare(
+            load_fleet_file(path), points)
+        assert ranking[0]["label"] == brute.best.label
+
+    def test_search_defaults_to_whole_registry(self, tmp_path, capsys):
+        path = _write_mini_fleet(tmp_path, n_wearers=2)
+        assert main(["fleet", "search", str(path),
+                     "--backend", "serial"]) == 0
+        out = capsys.readouterr().out
+        for name in ("energy_aware", "static_duty_cycle", "ewma_forecast",
+                     "oracle_lookahead"):
+            assert name in out
+
+    def test_search_bad_grid_json_errors(self, tmp_path, capsys):
+        path = _write_mini_fleet(tmp_path)
+        assert main(["fleet", "search", str(path),
+                     "--grid", "{not json"]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_search_unknown_policy_lists_registered(self, tmp_path, capsys):
+        path = _write_mini_fleet(tmp_path)
+        assert main(["fleet", "search", str(path),
+                     "--policy", "warp_drive"]) == 2
+        err = capsys.readouterr().err
+        assert "warp_drive" in err
+        assert "energy_aware" in err  # the registry menu
+
+    def test_search_unknown_fleet_lists_registered(self, capsys):
+        assert main(["fleet", "search", "no_such_fleet"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown fleet" in err
+        assert "office_cohort_week" in err  # the fleet menu
+
+
+class TestFleetShardCommands:
+    def test_shard_merge_equals_direct_run(self, tmp_path, capsys):
+        """The documented cluster flow: N shard files -> merge -> the
+        exact canonical payload of the unsharded run."""
+        path = _write_mini_fleet(tmp_path, n_wearers=5)
+        parts = []
+        for index in range(3):
+            out = tmp_path / f"part{index}.json"
+            assert main(["fleet", "run", str(path),
+                         "--shard", f"{index}/3", "--out", str(out),
+                         "--backend", "serial"]) == 0
+            parts.append(str(out))
+        capsys.readouterr()
+        assert main(["fleet", "merge", *parts, "--json"]) == 0
+        merged = json.loads(capsys.readouterr().out)
+        assert main(["fleet", "run", str(path), "--json",
+                     "--backend", "serial"]) == 0
+        direct = json.loads(capsys.readouterr().out)
+        assert json.dumps(merged["result"]) == json.dumps(direct["result"])
+        assert merged["spec"] == direct["spec"]
+
+    def test_shard_without_out_prints_partial_json(self, tmp_path, capsys):
+        path = _write_mini_fleet(tmp_path, n_wearers=3)
+        assert main(["fleet", "run", str(path), "--shard", "0/2",
+                     "--backend", "serial"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["shard"] == [0, 2]
+        assert [w["index"] for w in payload["wearers"]] == [0, 2]
+
+    def test_merge_human_summary(self, tmp_path, capsys):
+        path = _write_mini_fleet(tmp_path, n_wearers=2)
+        part = tmp_path / "only.json"
+        assert main(["fleet", "run", str(path), "--shard", "0/1",
+                     "--out", str(part), "--backend", "serial"]) == 0
+        capsys.readouterr()
+        assert main(["fleet", "merge", str(part)]) == 0
+        out = capsys.readouterr().out
+        assert "energy-neutral" in out
+        assert "1 shard(s)" in out
+
+    def test_bad_shard_spelling_errors(self, tmp_path, capsys):
+        path = _write_mini_fleet(tmp_path)
+        assert main(["fleet", "run", str(path), "--shard", "0:2"]) == 2
+        assert "must look like I/N" in capsys.readouterr().err
+
+    def test_out_of_range_shard_errors(self, tmp_path, capsys):
+        path = _write_mini_fleet(tmp_path)
+        assert main(["fleet", "run", str(path), "--shard", "4/2"]) == 2
+        assert "outside partition" in capsys.readouterr().err
+
+    def test_merge_incomplete_partition_errors(self, tmp_path, capsys):
+        path = _write_mini_fleet(tmp_path, n_wearers=4)
+        part = tmp_path / "part0.json"
+        assert main(["fleet", "run", str(path), "--shard", "0/2",
+                     "--out", str(part), "--backend", "serial"]) == 0
+        capsys.readouterr()
+        assert main(["fleet", "merge", str(part)]) == 2
+        assert "expected 4 outcomes" in capsys.readouterr().err
+
+    def test_merge_unreadable_file_errors(self, tmp_path, capsys):
+        assert main(["fleet", "merge", str(tmp_path / "ghost.json")]) == 2
+        assert "cannot read fleet shard file" in capsys.readouterr().err
+
+    def test_merge_corrupt_shard_value_errors(self, tmp_path, capsys):
+        path = _write_mini_fleet(tmp_path, n_wearers=2)
+        part = tmp_path / "part.json"
+        assert main(["fleet", "run", str(path), "--shard", "0/1",
+                     "--out", str(part), "--backend", "serial"]) == 0
+        payload = json.loads(part.read_text())
+        payload["wearers"][0]["final_soc"] = "half"
+        part.write_text(json.dumps(payload))
+        capsys.readouterr()
+        assert main(["fleet", "merge", str(part)]) == 2
+        err = capsys.readouterr().err
+        assert "part.json" in err
+        assert "final_soc must be a finite number" in err
+
+    def test_unwritable_out_path_errors(self, tmp_path, capsys):
+        path = _write_mini_fleet(tmp_path, n_wearers=2)
+        assert main(["fleet", "run", str(path), "--shard", "0/1",
+                     "--out", str(tmp_path / "no_dir" / "p.json"),
+                     "--backend", "serial"]) == 2
+        assert "cannot write --out file" in capsys.readouterr().err
+
+    def test_merge_out_without_json_writes_file(self, tmp_path, capsys):
+        """--out alone implies the JSON payload, exactly like
+        `fleet run --out` — a script must never lose the merge."""
+        path = _write_mini_fleet(tmp_path, n_wearers=2)
+        part = tmp_path / "part.json"
+        merged = tmp_path / "merged.json"
+        assert main(["fleet", "run", str(path), "--shard", "0/1",
+                     "--out", str(part), "--backend", "serial"]) == 0
+        assert main(["fleet", "merge", str(part),
+                     "--out", str(merged)]) == 0
+        payload = json.loads(merged.read_text())
+        assert payload["result"]["n_wearers"] == 2
+
+    def test_shard_file_carries_provenance(self, tmp_path, capsys):
+        """Shard files record backend and wall time, so `fleet merge`
+        can report real total shard wall time instead of zeros."""
+        path = _write_mini_fleet(tmp_path, n_wearers=2)
+        part = tmp_path / "part.json"
+        assert main(["fleet", "run", str(path), "--shard", "0/1",
+                     "--out", str(part), "--backend", "serial"]) == 0
+        payload = json.loads(part.read_text())
+        assert payload["backend"] == "serial"
+        assert payload["wall_time_s"] > 0.0
+
+
 def test_module_invocation():
     """``python -m repro table3`` works from a subprocess."""
     result = subprocess.run([sys.executable, "-m", "repro", "table3"],
