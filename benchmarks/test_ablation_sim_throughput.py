@@ -19,6 +19,10 @@ benchmarks (and pins the cross-backend determinism of) the
 benchmarks the ``repro fleet search`` population grid search while
 pinning both its cross-backend determinism and the sharded
 ``run --shard`` / ``FleetResult.merge`` merge-exactness contract.
+A serve section (PR 6) runs the real HTTP service against a fresh
+content-addressed result store and records sustained requests/s on the
+cache-miss and cache-hit paths, pinning the serving contract: an
+identical resubmission is a cache hit with byte-identical result JSON.
 
 Run it::
 
@@ -193,7 +197,9 @@ def _measure_fleet() -> dict:
         t0 = time.perf_counter()
         result = runner.run(fleet)
         timings[backend] = time.perf_counter() - t0
-        payloads[backend] = json.dumps(result.to_dict())
+        # Identity is judged on the shared canonical encoding — the
+        # exact bytes the CLI emits and the serve store caches.
+        payloads[backend] = result.canonical_json()
         neutral = result.fraction_energy_neutral
     return {
         "wearers": wearers,
@@ -242,12 +248,14 @@ def _measure_fleet_grid() -> dict:
     payloads = {}
     candidates = 0
     best = ""
+    from repro.scenarios.spec import canonical_json
+
     for backend, workers in (("serial", 1), ("thread", 4)):
         runner = FleetRunner(workers=workers, backend=backend)
         t0 = time.perf_counter()
         result = runner.run_grid(fleet, grids)
         timings[backend] = time.perf_counter() - t0
-        payloads[backend] = json.dumps(result.to_dict())
+        payloads[backend] = canonical_json(result.to_dict())
         candidates = len(result.entries)
         best = result.best.label
     # Merge-exactness: a 3-way strided partition reduces to the exact
@@ -261,8 +269,7 @@ def _measure_fleet_grid() -> dict:
         runner.run(fleet, shard=(index, 3)).to_dict())))
         for index in range(3)]
     merged = FleetResult.merge(parts)
-    merge_exact = (json.dumps(merged.to_dict())
-                   == json.dumps(full.to_dict()))
+    merge_exact = merged.canonical_json() == full.canonical_json()
     return {
         "wearers": wearers,
         "horizon_days": days,
@@ -273,6 +280,65 @@ def _measure_fleet_grid() -> dict:
         "backends_identical": payloads["serial"] == payloads["thread"],
         "merge_exact": merge_exact,
         "best": best,
+    }
+
+
+def _measure_serve() -> dict:
+    """Serve-layer throughput: cache-miss vs cache-hit request rates.
+
+    Starts the real HTTP stack (PR 6) on an ephemeral port with a
+    fresh store, POSTs a batch of distinct ``/simulate`` requests (all
+    misses — each one simulates), then re-POSTs the identical batch
+    (all hits — served from the content-addressed store).  Before any
+    rate is reported, every repeat response must carry the ``hit``
+    cache state and byte-for-byte identical bodies — the serving
+    contract the section exists to pin.
+    """
+    import dataclasses
+    import tempfile
+
+    from repro.serve import (
+        ResultStore,
+        ServeService,
+        ServerThread,
+        http_request,
+    )
+
+    n = 4 if QUICK else 12
+    base = get_scenario("sunny_office_worker")
+    requests = [
+        {"scenario": dataclasses.replace(
+            base, name=f"bench_serve_{index}").to_dict()}
+        for index in range(n)
+    ]
+
+    def _post_all(live):
+        t0 = time.perf_counter()
+        responses = [http_request(live.host, live.port, "POST",
+                                  "/simulate", request)
+                     for request in requests]
+        return time.perf_counter() - t0, responses
+
+    with tempfile.TemporaryDirectory() as root:
+        service = ServeService(ResultStore(root), workers=2,
+                               backend="thread")
+        with ServerThread(service) as live:
+            miss_s, first = _post_all(live)
+            hit_s, repeat = _post_all(live)
+    return {
+        "requests": n,
+        "miss_s": round(miss_s, 6),
+        "hit_s": round(hit_s, 6),
+        "miss_requests_per_s": round(n / miss_s, 2),
+        "hit_requests_per_s": round(n / hit_s, 2),
+        "first_pass_all_miss": all(
+            headers.get("x-repro-cache") == "miss" and status == 200
+            for status, headers, _ in first),
+        "repeat_all_hit": all(
+            headers.get("x-repro-cache") == "hit" and status == 200
+            for status, headers, _ in repeat),
+        "repeat_bitwise_identical": all(
+            a[2] == b[2] for a, b in zip(first, repeat)),
     }
 
 
@@ -312,6 +378,7 @@ def test_sim_throughput_bench(print_rows):
     grid = _measure_policy_grid()
     fleet = _measure_fleet()
     fleet_grid = _measure_fleet_grid()
+    serve = _measure_serve()
 
     # Evaluated before the JSON is written so a failing run stamps
     # itself as failing — a bad baseline can then never be mistaken
@@ -331,6 +398,9 @@ def test_sim_throughput_bench(print_rows):
               and fleet_grid["backends_identical"]
               and fleet_grid["merge_exact"]
               and fleet_grid["candidates"] >= 8
+              and serve["first_pass_all_miss"]
+              and serve["repeat_all_hit"]
+              and serve["repeat_bitwise_identical"]
               and (QUICK or multi_day["speedup"] >= SPEEDUP_FLOOR))
     payload = {
         "bench": "sim_throughput",
@@ -346,6 +416,7 @@ def test_sim_throughput_bench(print_rows):
         "policy_grid": grid,
         "fleet": fleet,
         "fleet_grid": fleet_grid,
+        "serve": serve,
         "harvest_cache": {
             "hits": cache.hits,
             "misses": cache.misses,
@@ -378,6 +449,11 @@ def test_sim_throughput_bench(print_rows):
          f"{fleet_grid['candidates']} cands x {fleet_grid['wearers']}w)",
          f"thread {fleet_grid['thread_candidates_per_s']} "
          f"(merge_exact {fleet_grid['merge_exact']})"),
+        ("serve requests/s",
+         f"{serve['miss_requests_per_s']} (miss, "
+         f"{serve['requests']} reqs)",
+         f"hit {serve['hit_requests_per_s']} "
+         f"(bitwise {serve['repeat_bitwise_identical']})"),
         ("harvest memo", f"{cache.misses} misses",
          f"{cache.hits} hits ({100 * cache.hit_rate:.0f}%)"),
     ]
@@ -404,6 +480,11 @@ def test_sim_throughput_bench(print_rows):
     assert fleet_grid["backends_identical"]
     assert fleet_grid["candidates"] >= 8
     assert fleet_grid["merge_exact"]
+    # Serve acceptance (PR 6): resubmitting an identical spec is a
+    # cache hit returning bitwise-identical result JSON.
+    assert serve["first_pass_all_miss"]
+    assert serve["repeat_all_hit"]
+    assert serve["repeat_bitwise_identical"]
     # The acceptance bar: >=10x on the multi-day single run.  Not
     # asserted in quick mode, where the shrunken horizon makes the
     # ratio noise-dominated on shared CI runners.

@@ -42,6 +42,22 @@ population statistics::
         --shard 0/4 --out part0.json                     # one shard of four
     python -m repro fleet merge part*.json               # exact reduction
 
+Serving commands expose the whole stack as a long-lived HTTP service
+with a content-addressed result cache (:mod:`repro.serve`), and close
+the loop from device telemetry back into scenarios::
+
+    python -m repro serve --store results/ --port 8751   # fleet-as-a-service
+    python -m repro serve --smoke                        # end-to-end self-check
+    python -m repro ingest trace.jsonl --name commute_day \
+        --out my_scenarios/                              # telemetry -> scenario
+    python -m repro simulate my_scenarios/commute_day.json
+
+Machine-readable output (``--json`` and ``--out``) is always emitted
+through the shared canonical encoder
+(:func:`repro.scenarios.spec.canonical_json`): sorted keys, compact
+separators, ASCII.  The bytes a command prints are exactly the bytes
+the result store caches for the equivalent HTTP request.
+
 ``sweep --backend`` / ``search --backend`` pick the execution
 backend: ``serial``, ``thread`` (default) or ``process``.  The
 process backend spawns fresh workers, so scenarios must reference
@@ -179,6 +195,19 @@ _ARTIFACTS = {
 
 # --- scenario subcommands ----------------------------------------------------
 
+def _print_json(payload: dict) -> None:
+    """Emit one ``--json`` payload through the shared canonical encoder.
+
+    Sorted keys, compact separators, ASCII — byte-identical to what
+    the serve result store caches for the same request, so piping a
+    CLI result into a file and diffing it against a served response is
+    a meaningful check.
+    """
+    from repro.scenarios.spec import canonical_json
+
+    print(canonical_json(payload))
+
+
 def _cmd_scenarios(args: argparse.Namespace) -> int:
     from repro.scenarios import all_scenarios
 
@@ -193,15 +222,33 @@ def _cmd_scenarios(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_scenario(reference: str):
+    """A :class:`ScenarioSpec` from a library name or a ``.json`` path.
+
+    The same name-or-file convention as fleets: anything that looks
+    like a file (ends in ``.json``, contains a path separator, or
+    exists on disk) loads as a scenario file — what ``repro ingest
+    --out DIR`` writes — and everything else is a library lookup.
+    """
+    import os
+
+    from repro.scenarios import get_scenario, load_scenario_file
+
+    if (reference.endswith(".json") or os.sep in reference
+            or os.path.isfile(reference)):
+        return load_scenario_file(reference)
+    return get_scenario(reference)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     import dataclasses
 
-    from repro.scenarios import build_simulation, get_scenario
+    from repro.scenarios import build_simulation
     from repro.scenarios.runner import ScenarioOutcome
 
     from repro.units import SECONDS_PER_DAY
 
-    spec = get_scenario(args.scenario)
+    spec = _resolve_scenario(args.scenario)
     # Built by hand (rather than run_scenario) so the simulation object
     # stays inspectable: the harvest-cache stats live on its harvester.
     lean = (spec if spec.trace == "none"
@@ -215,9 +262,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         "hit_rate": round(stats.hit_rate, 4),
     })
     if args.json:
-        print(json.dumps({"spec": spec.to_dict(),
-                          "outcome": outcome.to_dict(),
-                          "harvest_cache": cache}, indent=2))
+        _print_json({"spec": spec.to_dict(),
+                     "outcome": outcome.to_dict(),
+                     "harvest_cache": cache})
         return 0
     days = outcome.duration_s / SECONDS_PER_DAY
     print(f"Scenario: {spec.name}")
@@ -265,7 +312,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep = ScenarioRunner(workers=args.workers,
                            backend=args.backend).run_batch(specs)
     if args.json:
-        print(json.dumps(sweep.to_dict(), indent=2))
+        _print_json(sweep.to_dict())
     else:
         print(f"Sweep: {len(specs)} scenario(s), {args.workers} worker(s), "
               f"{sweep.backend} backend, {sweep.wall_time_s:.2f} s")
@@ -279,44 +326,24 @@ def _parse_policy_grids(grid_json: str | None,
     """The :class:`PolicyGrid` list selected by ``--grid``/``--policy``.
 
     Shared by ``repro search`` (one scenario) and ``repro fleet
-    search`` (one population).  Unknown policy names and malformed
-    ``--grid`` JSON raise :class:`~repro.errors.SpecError` — the
-    policy-registry error contract: the message lists the registered
-    names so a typo fails with the menu in hand.  Returns an empty
-    list when nothing was selected (callers then default to the whole
-    registry at default params).
+    search`` (one population), and the same deserializer the HTTP
+    endpoints use (:func:`repro.policies.grid.grids_from_mapping`), so
+    a ``--grid`` string and a ``/search`` request body fail with the
+    same messages.  Unknown policy names raise
+    :class:`~repro.errors.SpecError` listing the registered menu.
+    Returns an empty list when nothing was selected (callers then
+    default to the whole registry at default params).
     """
     from repro.errors import SpecError
-    from repro.policies import PolicyGrid
-    from repro.scenarios import POLICIES
+    from repro.policies import grids_from_mapping
 
-    def _check_policy(name: str) -> str:
-        if name not in POLICIES:
-            raise SpecError(f"unknown policy {name!r}; registered "
-                            f"policies: {POLICIES.names()}")
-        return name
-
-    grids: list[PolicyGrid] = []
+    parsed = None
     if grid_json:
         try:
             parsed = json.loads(grid_json)
         except json.JSONDecodeError as exc:
             raise SpecError(f"--grid is not valid JSON: {exc}") from None
-        if not isinstance(parsed, dict):
-            raise SpecError("--grid must be a JSON object mapping policy "
-                            "name to {param: [values, ...]} axes")
-        for name, axes in parsed.items():
-            if not isinstance(axes, dict):
-                raise SpecError(
-                    f"--grid entry for {name!r} must map params to value "
-                    f"lists, got {axes!r}")
-            grids.append(PolicyGrid(_check_policy(name), axes={
-                key: tuple(values) if isinstance(values, list) else (values,)
-                for key, values in axes.items()
-            }))
-    for name in policy_names or ():
-        grids.append(PolicyGrid(_check_policy(name)))
-    return grids
+    return grids_from_mapping(parsed, policy_names or (), what="--grid")
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -332,7 +359,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
     runner = ScenarioRunner(workers=args.workers, backend=args.backend)
     result = runner.run_grid(spec, grids)
     if args.json:
-        print(json.dumps(result.to_dict(), indent=2))
+        _print_json(result.to_dict())
         return 0
     print(f"Policy search: {spec.name} — {len(result.entries)} grid "
           f"point(s), {len(result.policy_names)} policy(ies), "
@@ -383,8 +410,9 @@ def _emit_payload(payload: dict, out: str | None) -> None:
     to a traceback would be the worst possible ending.
     """
     from repro.errors import SpecError
+    from repro.scenarios.spec import canonical_json
 
-    text = json.dumps(payload, indent=2)
+    text = canonical_json(payload)
     if out:
         try:
             with open(out, "w") as handle:
@@ -457,8 +485,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
             grids = [PolicyGrid(name) for name in POLICIES.names()]
         result = runner.run_grid(fleet, grids)
         if args.json:
-            print(json.dumps({"spec": fleet.to_dict(),
-                              "search": result.to_dict()}, indent=2))
+            _print_json({"spec": fleet.to_dict(),
+                         "search": result.to_dict()})
             return 0
         print(f"Fleet policy search: {fleet.name} — {fleet.n_wearers} "
               f"wearer(s) x {fleet.horizon_days} day(s), "
@@ -484,8 +512,8 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         names = POLICIES.names()
     comparison = runner.compare(fleet, [PolicySpec(name) for name in names])
     if args.json:
-        print(json.dumps({"spec": fleet.to_dict(),
-                          "comparison": comparison.to_dict()}, indent=2))
+        _print_json({"spec": fleet.to_dict(),
+                     "comparison": comparison.to_dict()})
         return 0
     print(f"Fleet policy comparison: {fleet.name} — {fleet.n_wearers} "
           f"wearer(s) x {fleet.horizon_days} day(s), "
@@ -496,6 +524,61 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     print(f"best: {best.label} "
           f"(p5 final SoC {100 * best.result.final_soc.p5:.1f}%, "
           f"median {best.result.detections_per_day.p50:.0f} detections/day)")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import run_smoke, serve_forever
+
+    if args.smoke:
+        import tempfile
+
+        if args.store:
+            summary = run_smoke(args.store, workers=args.workers,
+                                backend=args.backend)
+        else:
+            # The self-check must start cold — an ephemeral store
+            # guarantees the first request is a genuine miss.
+            with tempfile.TemporaryDirectory() as scratch:
+                summary = run_smoke(scratch, workers=args.workers,
+                                    backend=args.backend)
+        _print_json(summary)
+        return 0
+    serve_forever(args.store or ".repro-store", host=args.host,
+                  port=args.port, workers=args.workers,
+                  backend=args.backend)
+    return 0
+
+
+def _cmd_ingest(args: argparse.Namespace) -> int:
+    from repro.serve import ingest_file
+
+    options = {"harvester": args.harvester,
+               "ambient_c": args.ambient,
+               "skin_c": args.skin,
+               "detection_tag": args.detection_tag,
+               "step_s": args.step}
+    spec, path = ingest_file(args.trace, args.name, out_dir=args.out,
+                             **options)
+    if args.json:
+        _print_json({"spec": spec.to_dict(),
+                     "path": None if path is None else str(path)})
+        return 0
+    segments = spec.timeline.segments
+    total_s = sum(segment.duration_s for segment in segments)
+    print(f"Ingested: {args.trace} -> scenario {spec.name!r}")
+    print(f"  span       : {total_s / 3600.0:.2f} h across "
+          f"{len(segments)} segment(s)")
+    for segment in segments:
+        label = segment.label or "(untagged)"
+        print(f"    {label:20s} {segment.duration_s / 60.0:7.1f} min "
+              f"at {segment.lux:10.1f} lx")
+    rate = spec.system.policy.params.get("rate_per_min", 0.0)
+    print(f"  load model : {spec.system.policy.name} "
+          f"({rate:g} detections/min observed)")
+    if path is not None:
+        print(f"  wrote      : {path}")
+        print(f"  run it     : python -m repro simulate {path}")
     return 0
 
 
@@ -526,7 +609,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_simulate = sub.add_parser(
         "simulate", help="run one named scenario end to end")
     p_simulate.add_argument("scenario", help="library scenario name "
-                            "(see `scenarios list`)")
+                            "(see `scenarios list`) or a ScenarioSpec "
+                            "*.json file (e.g. written by `ingest --out`)")
     p_simulate.add_argument("--json", action="store_true",
                             help="emit the spec and outcome as JSON")
 
@@ -638,6 +722,63 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="FILE",
         help="write the JSON payload to FILE instead of stdout")
 
+    p_serve = sub.add_parser(
+        "serve", help="run the fleet service: an HTTP API over the "
+                      "scenario/fleet runners with a content-addressed "
+                      "result cache")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8751,
+                         help="listen port (default 8751; 0 picks a "
+                              "free ephemeral port)")
+    p_serve.add_argument("--store", metavar="DIR",
+                         help="result store directory (default "
+                              ".repro-store; created if missing)")
+    p_serve.add_argument("--workers", type=int, default=4,
+                         help="simulation workers per request (default 4)")
+    p_serve.add_argument("--backend",
+                         choices=["serial", "thread", "process"],
+                         default="thread",
+                         help="simulation backend (default thread)")
+    p_serve.add_argument("--smoke", action="store_true",
+                         help="start a throwaway server, submit one "
+                              "fleet twice, assert the resubmission is "
+                              "a bitwise-identical cache hit, and exit")
+
+    p_ingest = sub.add_parser(
+        "ingest", help="fit a streamed power-telemetry trace (JSONL of "
+                       "{t_s, power_w, event} records) into a runnable "
+                       "scenario")
+    p_ingest.add_argument("trace", metavar="TRACE.jsonl",
+                          help="telemetry trace file, one JSON record "
+                               "per line")
+    p_ingest.add_argument("--name", required=True,
+                          help="name for the fitted scenario (and its "
+                               "--out file)")
+    p_ingest.add_argument("--out", metavar="DIR",
+                          help="register the scenario as DIR/NAME.json "
+                               "(loadable by `simulate` and `sweep "
+                               "--from-json`)")
+    p_ingest.add_argument("--harvester", default="calibrated_dual",
+                          help="registered harvester chain to invert "
+                               "the power readings through (default "
+                               "calibrated_dual)")
+    p_ingest.add_argument("--ambient", type=float, default=22.0,
+                          help="assumed air temperature during the "
+                               "trace, Celsius (default 22.0)")
+    p_ingest.add_argument("--skin", type=float, default=32.0,
+                          help="assumed skin temperature during the "
+                               "trace, Celsius (default 32.0)")
+    p_ingest.add_argument("--detection-tag", default="detection",
+                          help="event tag marking one detection "
+                               "(default 'detection')")
+    p_ingest.add_argument("--step", type=float, default=60.0,
+                          help="simulation step for the fitted "
+                               "scenario, seconds (default 60)")
+    p_ingest.add_argument("--json", action="store_true",
+                          help="emit the fitted spec (and output path) "
+                               "as JSON")
+
     return parser
 
 
@@ -666,6 +807,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_search(args)
         if args.command == "fleet":
             return _cmd_fleet(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "ingest":
+            return _cmd_ingest(args)
         return _cmd_sweep(args)
     except ReproError as exc:
         # Bad scenario names, worker counts etc. are user input errors:

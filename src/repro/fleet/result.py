@@ -35,7 +35,7 @@ from typing import Any, Mapping, Sequence
 from repro.errors import SpecError
 from repro.fleet.spec import FleetSpec
 from repro.scenarios.runner import ScenarioOutcome
-from repro.scenarios.spec import check_mapping_keys
+from repro.scenarios.spec import canonical_json, check_mapping_keys
 
 __all__ = ["percentile", "DistributionSummary", "WearerRecord",
            "PartialFleetResult", "FleetResult", "load_partial_file"]
@@ -426,6 +426,18 @@ class FleetResult:
         wall_time_s = sum(part.wall_time_s for part in parts)
         return cls.from_records(spec, records, backend="merged",
                                 wall_time_s=wall_time_s)
+
+    def canonical_json(self) -> str:
+        """The canonical payload through the one shared encoder.
+
+        ``canonical_json(a) == canonical_json(b)`` is *the* fleet
+        determinism contract — what the cross-backend and merge-exact
+        tests compare, what the result store caches, and what the CLI
+        prints under ``--json`` — all through
+        :func:`repro.scenarios.spec.canonical_json_bytes`, so no two
+        call sites can drift on encoder settings.
+        """
+        return canonical_json(self.to_dict())
 
     def to_dict(self) -> dict[str, Any]:
         """The canonical, backend-independent payload (see module doc)."""

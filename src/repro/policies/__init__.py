@@ -42,6 +42,7 @@ from repro.policies.grid import (
     GridEntry,
     GridResult,
     PolicyGrid,
+    grids_from_mapping,
     policy_label,
 )
 
@@ -58,5 +59,6 @@ __all__ = [
     "GridEntry",
     "GridResult",
     "PolicyGrid",
+    "grids_from_mapping",
     "policy_label",
 ]

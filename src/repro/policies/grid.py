@@ -28,7 +28,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.scenarios.spec import PolicySpec
 
 __all__ = ["PolicyGrid", "GridEntry", "GridResult", "expand_grids",
-           "policy_label"]
+           "grids_from_mapping", "policy_label"]
 
 
 def policy_label(spec: "PolicySpec") -> str:
@@ -165,6 +165,49 @@ def expand_grids(
     return list(zip(labels, points))
 
 
+def grids_from_mapping(mapping: Any,
+                       policy_names: Iterable[str] = (),
+                       what: str = "grid mapping") -> list[PolicyGrid]:
+    """:class:`PolicyGrid` list from a JSON-shaped grid request.
+
+    The shared deserialization step behind ``repro search --grid``,
+    ``repro fleet search --grid`` and the ``/search``/``/fleet/search``
+    HTTP endpoints: ``mapping`` maps a registered policy name to its
+    ``{param: [values, ...]}`` axes (scalar values are promoted to
+    one-point axes), and ``policy_names`` appends default-parameter
+    grids.  Unknown policy names raise
+    :class:`~repro.errors.SpecError` listing the registered menu;
+    malformed shapes raise naming ``what`` so CLI and HTTP callers both
+    fail with a pointed message.
+    """
+    # Deferred: the registry lives above this module in import order.
+    from repro.scenarios.registry import POLICIES
+
+    def _check_policy(name: str) -> str:
+        if name not in POLICIES:
+            raise SpecError(f"unknown policy {name!r}; registered "
+                            f"policies: {POLICIES.names()}")
+        return name
+
+    grids: list[PolicyGrid] = []
+    if mapping is not None:
+        if not isinstance(mapping, Mapping):
+            raise SpecError(f"{what} must be a JSON object mapping policy "
+                            "name to {param: [values, ...]} axes")
+        for name, axes in mapping.items():
+            if not isinstance(axes, Mapping):
+                raise SpecError(
+                    f"{what} entry for {name!r} must map params to value "
+                    f"lists, got {axes!r}")
+            grids.append(PolicyGrid(_check_policy(name), axes={
+                key: tuple(values) if isinstance(values, list) else (values,)
+                for key, values in axes.items()
+            }))
+    for name in policy_names or ():
+        grids.append(PolicyGrid(_check_policy(name)))
+    return grids
+
+
 @dataclass(frozen=True)
 class GridEntry:
     """One evaluated grid point: the policy and its scenario outcome."""
@@ -195,8 +238,9 @@ class GridResult:
     Attributes:
         scenario: the swept scenario's name.
         entries: one entry per grid point, in grid order.
-        backend: the runner backend that executed the sweep.
-        wall_time_s: wall-clock spent executing the sweep.
+        backend: the runner backend that executed the sweep
+            (provenance; not part of the canonical dict).
+        wall_time_s: wall-clock spent executing the sweep (ditto).
     """
 
     scenario: str
@@ -222,10 +266,16 @@ class GridResult:
         return sorted({entry.policy.name for entry in self.entries})
 
     def to_dict(self) -> dict[str, Any]:
+        """Canonical payload: ranking only, no timing provenance.
+
+        A pure function of (scenario, grids) — identical on every
+        backend and run — so ``repro search --json`` output and the
+        result store's cached ``/search`` payloads are byte-identical
+        under the shared canonical encoder.  ``backend`` and
+        ``wall_time_s`` stay on the object.
+        """
         return {
             "scenario": self.scenario,
-            "backend": self.backend,
-            "wall_time_s": self.wall_time_s,
             "ranking": [entry.to_dict() for entry in self.ranked()],
         }
 

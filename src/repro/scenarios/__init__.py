@@ -34,6 +34,9 @@ from repro.scenarios.spec import (
     SegmentSpec,
     SystemSpec,
     TimelineSpec,
+    canonical_json,
+    canonical_json_bytes,
+    spec_digest,
 )
 from repro.scenarios.registry import (
     APPS,
@@ -85,6 +88,9 @@ __all__ = [
     "SegmentSpec",
     "SystemSpec",
     "TimelineSpec",
+    "canonical_json",
+    "canonical_json_bytes",
+    "spec_digest",
     "ComponentRegistry",
     "APPS",
     "BATTERIES",

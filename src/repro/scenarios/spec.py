@@ -21,6 +21,8 @@ True
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, fields
 from typing import Any, Mapping
 
@@ -28,6 +30,9 @@ from repro.errors import SpecError
 from repro.power.loads import SYSTEM_SLEEP_W
 
 __all__ = [
+    "canonical_json",
+    "canonical_json_bytes",
+    "spec_digest",
     "check_mapping_keys",
     "SegmentSpec",
     "TimelineSpec",
@@ -37,6 +42,58 @@ __all__ = [
     "SystemSpec",
     "ScenarioSpec",
 ]
+
+
+def canonical_json_bytes(obj: Any) -> bytes:
+    """The one canonical JSON encoding of a spec/result payload.
+
+    Sorted keys, compact separators, ASCII-only, NaN/Infinity rejected
+    — so equal payloads encode to equal bytes on every platform and
+    Python version.  Objects with a ``to_dict`` method are serialized
+    through it; everything else must already be JSON-compatible.
+
+    This is the single encoder shared by everything that stores or
+    compares spec/result JSON: the content-addressed result store's
+    keys and cached payloads (:mod:`repro.serve.store`), the CLI's
+    ``--json``/``--out`` emission, canonical ``FleetResult`` payload
+    comparisons and shard files.  Hand-rolled ``json.dumps`` with
+    ad-hoc settings is how byte-identity contracts rot.
+
+    >>> canonical_json_bytes({"b": 1, "a": [True, None]})
+    b'{"a":[true,null],"b":1}'
+    """
+    payload = obj.to_dict() if hasattr(obj, "to_dict") else obj
+    try:
+        return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                          ensure_ascii=True, allow_nan=False).encode("ascii")
+    except ValueError as exc:
+        raise SpecError(
+            f"payload is not canonically JSON-serializable: {exc}") from None
+
+
+def canonical_json(obj: Any) -> str:
+    """:func:`canonical_json_bytes` as text (what the CLI prints).
+
+    >>> canonical_json({"b": 1, "a": 2})
+    '{"a":2,"b":1}'
+    """
+    return canonical_json_bytes(obj).decode("ascii")
+
+
+def spec_digest(obj: Any) -> str:
+    """SHA-256 hex digest of a payload's canonical JSON bytes.
+
+    The content address of a spec (or any ``to_dict``-able value):
+    because the encoding is canonical, equal specs digest identically
+    across processes, machines and runs — the key contract of the
+    result store.
+
+    >>> spec_digest({"a": 1}) == spec_digest({"a": 1})
+    True
+    >>> len(spec_digest({"a": 1}))
+    64
+    """
+    return hashlib.sha256(canonical_json_bytes(obj)).hexdigest()
 
 
 def _check_dict(data: Any, what: str) -> Mapping[str, Any]:

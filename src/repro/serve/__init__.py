@@ -1,0 +1,65 @@
+"""Fleet-as-a-service: HTTP API, result store, telemetry ingest.
+
+The serving layer turns the simulation stack into a long-lived
+service:
+
+* :mod:`repro.serve.store` — the content-addressed
+  :class:`ResultStore`: canonical-JSON SHA-256 of a normalized request
+  keys a disk cache of canonical result bytes, with in-flight
+  deduplication so *n* concurrent identical requests cost one
+  simulation;
+* :mod:`repro.serve.handlers` — :class:`ServeService`, the
+  transport-free request/response contract (normalize → address →
+  serve) over the existing :class:`~repro.scenarios.runner.ScenarioRunner`
+  and :class:`~repro.fleet.runner.FleetRunner` backends;
+* :mod:`repro.serve.app` — the stdlib-asyncio HTTP/1.1 front-end
+  (``repro serve``), the :class:`ServerThread` test harness, and the
+  :func:`run_smoke` end-to-end self-check;
+* :mod:`repro.serve.ingest` — the telemetry-to-scenario pipeline
+  (``repro ingest``): per-device ``(t_s, power_w, event)`` JSONL
+  streams are segmented, inverted through a harvester model to an
+  environment timeline plus a load model, and registered as on-disk
+  scenario files.
+
+Everything is pure stdlib — no new dependencies over the simulation
+core.
+"""
+
+from repro.serve.app import (
+    ReproServer,
+    ServerThread,
+    http_request,
+    run_smoke,
+    serve_forever,
+)
+from repro.serve.handlers import ServeResponse, ServeService
+from repro.serve.ingest import (
+    TelemetryRecord,
+    fit_scenario,
+    ingest_file,
+    parse_records,
+    read_trace_file,
+    segment_records,
+    write_scenario_file,
+)
+from repro.serve.store import ResultStore, StoreStats, request_digest
+
+__all__ = [
+    "ReproServer",
+    "ServerThread",
+    "http_request",
+    "run_smoke",
+    "serve_forever",
+    "ServeResponse",
+    "ServeService",
+    "TelemetryRecord",
+    "fit_scenario",
+    "ingest_file",
+    "parse_records",
+    "read_trace_file",
+    "segment_records",
+    "write_scenario_file",
+    "ResultStore",
+    "StoreStats",
+    "request_digest",
+]

@@ -1,0 +1,410 @@
+"""Telemetry-to-scenario pipeline: fit device power traces into specs.
+
+Real deployments stream per-device power telemetry — the INA219-style
+record is one JSON object per line::
+
+    {"t_s": 0.0,   "power_w": 0.00092, "event": "office"}
+    {"t_s": 60.0,  "power_w": 0.00091, "event": "office"}
+    {"t_s": 65.0,  "power_w": 0.00091, "event": "detection"}
+    {"t_s": 120.0, "power_w": 0.00002, "event": "commute"}
+
+where ``t_s`` is a non-decreasing device timestamp in seconds,
+``power_w`` the measured *harvest intake at the battery*, and
+``event`` a free-form tag (``""`` when untagged).  This module closes
+the loop from such traces back into the simulator:
+
+1. **Parse** (:func:`parse_records` / :func:`read_trace_file`) —
+   strict validation, errors name the line number.
+2. **Segment** (:func:`segment_records`) — consecutive runs of the
+   same event tag become one piecewise-constant segment with a
+   time-weighted mean power.  Records tagged with the *detection tag*
+   are momentary load markers, not environment changes: they inherit
+   the surrounding tag for segmentation and feed the load model
+   instead.
+3. **Fit** (:func:`fit_lux` / :func:`fit_scenario`) — each segment's
+   mean intake is inverted through a registered harvester chain to the
+   equivalent illuminance (bisection over the monotone lux → intake
+   curve, thermal conditions held at the configured wrist defaults),
+   yielding inline :class:`~repro.scenarios.spec.SegmentSpec` values;
+   detection-tagged records fit a ``static_duty_cycle`` load model at
+   the observed detections/minute.
+4. **Register** (:func:`ingest_file` / :func:`write_scenario_file`) —
+   the fitted :class:`~repro.scenarios.spec.ScenarioSpec` is written
+   as a canonical-JSON scenario file, loadable by the existing
+   :mod:`repro.scenarios.files` machinery (``repro simulate FILE``,
+   ``repro sweep --from-json DIR``).
+
+Everything here is a pure function of the input records and fit
+parameters — ingesting the same trace twice yields byte-identical
+scenario files, so ingested scenarios content-address cleanly in the
+result store.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import SpecError
+from repro.harvest.environment import LightingCondition, ThermalCondition
+from repro.scenarios.registry import HARVESTERS
+from repro.scenarios.spec import (
+    PolicySpec,
+    ScenarioSpec,
+    SegmentSpec,
+    SystemSpec,
+    TimelineSpec,
+    canonical_json_bytes,
+    check_mapping_keys,
+)
+
+__all__ = [
+    "TelemetryRecord",
+    "SegmentEstimate",
+    "parse_records",
+    "records_from_dicts",
+    "read_trace_file",
+    "segment_records",
+    "fit_lux",
+    "fit_scenario",
+    "write_scenario_file",
+    "ingest_file",
+    "DEFAULT_DETECTION_TAG",
+]
+
+#: Event tag marking one detection (inference) in the stream.
+DEFAULT_DETECTION_TAG = "detection"
+
+#: Upper bracket of the lux inversion — bright outdoor sun (the
+#: paper's Table I tops out at 30 klx; headroom for direct summer sun).
+MAX_FIT_LUX = 120_000.0
+
+_FIT_ITERATIONS = 60
+
+
+@dataclass(frozen=True)
+class TelemetryRecord:
+    """One telemetry sample: timestamp, battery intake power, event tag.
+
+    Attributes:
+        t_s: device timestamp in seconds (non-decreasing per trace).
+        power_w: measured harvest intake at the battery, >= 0.
+        event: free-form tag ("" when untagged).
+    """
+
+    t_s: float
+    power_w: float
+    event: str = ""
+
+    def __post_init__(self) -> None:
+        for attr in ("t_s", "power_w"):
+            value = getattr(self, attr)
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                raise SpecError(
+                    f"telemetry {attr} must be a number, got {value!r}")
+            if value != value or value in (float("inf"), float("-inf")):
+                raise SpecError(
+                    f"telemetry {attr} must be finite, got {value!r}")
+        if self.t_s < 0:
+            raise SpecError(f"telemetry t_s cannot be negative: {self.t_s}")
+        if self.power_w < 0:
+            raise SpecError(
+                f"telemetry power_w cannot be negative: {self.power_w}")
+        if not isinstance(self.event, str):
+            raise SpecError(
+                f"telemetry event must be a string, got {self.event!r}")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TelemetryRecord":
+        data = check_mapping_keys("TelemetryRecord", data,
+                                  {"t_s", "power_w", "event"},
+                                  required={"t_s", "power_w"})
+        return cls(t_s=data["t_s"], power_w=data["power_w"],
+                   event=data.get("event", ""))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"t_s": self.t_s, "power_w": self.power_w,
+                "event": self.event}
+
+
+@dataclass(frozen=True)
+class SegmentEstimate:
+    """One fitted run of samples: duration, mean intake, tag, count."""
+
+    duration_s: float
+    mean_power_w: float
+    label: str
+    samples: int
+
+
+def parse_records(lines: Iterable[str],
+                  source: str = "<trace>") -> list[TelemetryRecord]:
+    """Validated records from JSONL text, blank lines ignored.
+
+    Every failure — invalid JSON, non-object line, unknown/missing
+    keys, bad values, timestamps running backwards — raises
+    :class:`~repro.errors.SpecError` naming ``source`` and the
+    1-based line number, so a gigabyte trace fails with a pointer
+    instead of a shrug.
+    """
+    records: list[TelemetryRecord] = []
+    for number, line in enumerate(lines, start=1):
+        text = line.strip()
+        if not text:
+            continue
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError(
+                f"{source}:{number}: invalid JSON record: {exc}") from None
+        if not isinstance(payload, dict):
+            raise SpecError(
+                f"{source}:{number}: telemetry record must be a JSON "
+                f"object, got {type(payload).__name__}")
+        try:
+            record = TelemetryRecord.from_dict(payload)
+        except SpecError as exc:
+            raise SpecError(f"{source}:{number}: {exc}") from None
+        if records and record.t_s < records[-1].t_s:
+            raise SpecError(
+                f"{source}:{number}: timestamps must be non-decreasing "
+                f"({record.t_s} after {records[-1].t_s})")
+        records.append(record)
+    if len(records) < 2:
+        raise SpecError(
+            f"{source}: a telemetry trace needs at least 2 records to "
+            f"establish durations, got {len(records)}")
+    return records
+
+
+def records_from_dicts(items: Any,
+                       source: str = "<records>") -> list[TelemetryRecord]:
+    """Validated records from already-parsed JSON objects.
+
+    The in-memory twin of :func:`parse_records` — the ``/ingest`` HTTP
+    endpoint ships records as a JSON array rather than JSONL lines.
+    Same contract: per-record errors name ``source`` and the 1-based
+    position, timestamps must be non-decreasing, and a trace needs at
+    least 2 records.
+    """
+    if not isinstance(items, Sequence) or isinstance(items, (str, bytes)):
+        raise SpecError(f"{source}: telemetry records must be a JSON array "
+                        f"of objects, got {type(items).__name__}")
+    records: list[TelemetryRecord] = []
+    for number, payload in enumerate(items, start=1):
+        if not isinstance(payload, Mapping):
+            raise SpecError(
+                f"{source}[{number}]: telemetry record must be a JSON "
+                f"object, got {type(payload).__name__}")
+        try:
+            record = TelemetryRecord.from_dict(payload)
+        except SpecError as exc:
+            raise SpecError(f"{source}[{number}]: {exc}") from None
+        if records and record.t_s < records[-1].t_s:
+            raise SpecError(
+                f"{source}[{number}]: timestamps must be non-decreasing "
+                f"({record.t_s} after {records[-1].t_s})")
+        records.append(record)
+    if len(records) < 2:
+        raise SpecError(
+            f"{source}: a telemetry trace needs at least 2 records to "
+            f"establish durations, got {len(records)}")
+    return records
+
+
+def read_trace_file(path: str | Path) -> list[TelemetryRecord]:
+    """Records of one JSONL trace file on disk."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SpecError(f"cannot read trace file {path}: {exc}") from None
+    return parse_records(text.splitlines(), source=str(path))
+
+
+def _record_durations(records: Sequence[TelemetryRecord]) -> list[float]:
+    """How long each sample's conditions hold.
+
+    Sample *i* holds until sample *i+1* arrives; the final sample —
+    which has no successor — holds for the median positive gap of the
+    trace, the best available estimate of the stream's cadence.
+    """
+    gaps = [b.t_s - a.t_s for a, b in zip(records, records[1:])]
+    positive = sorted(gap for gap in gaps if gap > 0)
+    if not positive:
+        raise SpecError("telemetry trace spans zero time "
+                        "(all timestamps equal)")
+    tail = positive[len(positive) // 2]
+    return gaps + [tail]
+
+
+def segment_records(records: Sequence[TelemetryRecord],
+                    detection_tag: str = DEFAULT_DETECTION_TAG,
+                    ) -> list[SegmentEstimate]:
+    """Runs of equal event tags, reduced to duration + mean power.
+
+    Detection-tagged records inherit the surrounding environment tag
+    (a detection is a load event *inside* an environment, not an
+    environment of its own) — their power and duration still count
+    toward the segment they sit in.  Zero-duration samples (repeated
+    timestamps) contribute no weight; a whole segment of them is
+    rejected.
+    """
+    durations = _record_durations(records)
+    segments: list[SegmentEstimate] = []
+    current_tag: str | None = None
+    run: list[tuple[TelemetryRecord, float]] = []
+
+    def _flush() -> None:
+        if not run:
+            return
+        total = sum(duration for _, duration in run)
+        if total <= 0:
+            raise SpecError(
+                f"telemetry segment {current_tag!r} spans zero time")
+        mean = sum(record.power_w * duration
+                   for record, duration in run) / total
+        segments.append(SegmentEstimate(
+            duration_s=total, mean_power_w=mean,
+            label=current_tag or "", samples=len(run)))
+
+    for record, duration in zip(records, durations):
+        tag = record.event
+        if tag == detection_tag:
+            tag = current_tag if current_tag is not None else ""
+        if current_tag is None:
+            current_tag = tag
+        elif tag != current_tag:
+            _flush()
+            run = []
+            current_tag = tag
+        run.append((record, duration))
+    _flush()
+    return segments
+
+
+def detections_per_minute(records: Sequence[TelemetryRecord],
+                          detection_tag: str = DEFAULT_DETECTION_TAG,
+                          ) -> float:
+    """Observed detection rate over the trace span, per minute."""
+    span_s = sum(_record_durations(records))
+    count = sum(1 for record in records if record.event == detection_tag)
+    return count / (span_s / 60.0)
+
+
+def fit_lux(target_w: float, harvester: Any,
+            thermal: ThermalCondition) -> float:
+    """The illuminance at which ``harvester`` intake matches ``target_w``.
+
+    Bisection over the monotone lux → battery-intake curve with the
+    thermal conditions held fixed.  Targets at or below the TEG-only
+    floor fit to darkness (0 lx); targets beyond :data:`MAX_FIT_LUX`
+    clamp to it (the trace out-harvests the model's calibration range
+    — the fit saturates rather than extrapolating).
+    """
+    if target_w < 0:
+        raise SpecError(f"cannot fit a negative intake: {target_w}")
+    floor = harvester.battery_intake_w(LightingCondition(0.0), thermal)
+    if target_w <= floor:
+        return 0.0
+    ceiling = harvester.battery_intake_w(
+        LightingCondition(MAX_FIT_LUX), thermal)
+    if target_w >= ceiling:
+        return MAX_FIT_LUX
+    low, high = 0.0, MAX_FIT_LUX
+    for _ in range(_FIT_ITERATIONS):
+        mid = (low + high) / 2.0
+        if harvester.battery_intake_w(LightingCondition(mid),
+                                      thermal) < target_w:
+            low = mid
+        else:
+            high = mid
+    return (low + high) / 2.0
+
+
+def fit_scenario(records: Sequence[TelemetryRecord],
+                 name: str,
+                 harvester: str = "calibrated_dual",
+                 ambient_c: float = 22.0,
+                 skin_c: float = 32.0,
+                 detection_tag: str = DEFAULT_DETECTION_TAG,
+                 step_s: float = 60.0,
+                 description: str = "") -> ScenarioSpec:
+    """A runnable :class:`ScenarioSpec` fitted from a telemetry trace.
+
+    The environment timeline comes from inverting each segment's mean
+    intake to an equivalent illuminance under ``harvester`` (thermal
+    conditions fixed at ``ambient_c``/``skin_c``); the load model is a
+    ``static_duty_cycle`` policy at the observed detection rate.  The
+    returned spec is self-contained (inline segments, registered
+    component names only), so it runs on every backend and serializes
+    canonically.
+    """
+    chain = HARVESTERS.get(harvester)()
+    thermal = ThermalCondition(ambient_c=ambient_c, skin_c=skin_c)
+    estimates = segment_records(records, detection_tag=detection_tag)
+    segments = tuple(
+        SegmentSpec(
+            duration_s=estimate.duration_s,
+            lux=round(fit_lux(estimate.mean_power_w, chain, thermal), 3),
+            ambient_c=ambient_c,
+            skin_c=skin_c,
+            label=estimate.label,
+        )
+        for estimate in estimates
+    )
+    rate = round(detections_per_minute(records, detection_tag), 6)
+    system = SystemSpec(
+        harvester=harvester,
+        policy=PolicySpec("static_duty_cycle",
+                          {"rate_per_min": rate} if rate > 0 else {}),
+    )
+    return ScenarioSpec(
+        name=name,
+        timeline=TimelineSpec(segments=segments),
+        system=system,
+        step_s=step_s,
+        description=description or (
+            f"ingested telemetry trace: {len(records)} samples, "
+            f"{len(segments)} segment(s)"),
+        trace="none",
+    )
+
+
+def write_scenario_file(spec: ScenarioSpec, out_dir: str | Path) -> Path:
+    """Register ``spec`` on disk as ``out_dir/<name>.json``.
+
+    The file is exactly one canonical-JSON ``ScenarioSpec.to_dict``
+    payload — what :func:`repro.scenarios.files.load_scenario_file`
+    and ``repro sweep --from-json`` consume — so ingesting the same
+    trace twice writes byte-identical files.
+    """
+    directory = Path(out_dir)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise SpecError(
+            f"cannot create scenario directory {directory}: {exc}") from None
+    path = directory / f"{spec.name}.json"
+    try:
+        path.write_bytes(canonical_json_bytes(spec.to_dict()) + b"\n")
+    except OSError as exc:
+        raise SpecError(f"cannot write scenario file {path}: {exc}") from None
+    return path
+
+
+def ingest_file(trace_path: str | Path, name: str,
+                out_dir: str | Path | None = None,
+                **fit_kwargs: Any) -> tuple[ScenarioSpec, Path | None]:
+    """The whole pipeline: trace file in, (spec, scenario file) out.
+
+    ``fit_kwargs`` pass through to :func:`fit_scenario`.  With
+    ``out_dir`` the fitted scenario is also registered on disk; the
+    returned path is ``None`` otherwise.
+    """
+    records = read_trace_file(trace_path)
+    spec = fit_scenario(records, name, **fit_kwargs)
+    written = None if out_dir is None else write_scenario_file(spec, out_dir)
+    return spec, written

@@ -1,0 +1,237 @@
+"""Content-addressed result store: canonical JSON keyed by spec digest.
+
+Specs are frozen and JSON-round-trippable, so a canonical-JSON SHA-256
+(:func:`repro.scenarios.spec.spec_digest`) of a *normalized* request
+is a complete content address for its result: identical resubmissions
+— across processes, machines and runs — hash to the same key and can
+be served from disk without simulating.  The store holds exactly the
+canonical result bytes (:func:`~repro.scenarios.spec.canonical_json_bytes`
+output), so a cache hit is bitwise-identical to the response computed
+on the original miss.
+
+Three access outcomes, all counted in :class:`StoreStats`:
+
+* **hit** — the digest's file existed and held valid JSON; the stored
+  bytes are returned untouched.
+* **miss** — nothing stored (or a corrupted entry was evicted); the
+  caller's compute function runs and its bytes are persisted.
+* **coalesced** — another thread was already computing the same
+  digest; this request waited on that single flight and shares its
+  bytes (in-flight deduplication: *n* concurrent identical requests
+  cost one simulation).
+
+Corrupted entries (truncated writes, hand-edited files) are detected
+by re-parsing on read, counted (``corrupt``), evicted and recomputed —
+a bad cache can cost time, never wrong answers.  Writes are atomic
+(temp file + ``os.replace``) so a crashed server never leaves a
+half-written entry that later reads as valid JSON.
+
+The store is thread-safe; the asyncio app calls it from executor
+threads so the single-flight map also deduplicates concurrent HTTP
+requests.
+"""
+
+from __future__ import annotations
+
+import os
+import json
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.errors import SpecError
+from repro.scenarios.spec import spec_digest
+
+__all__ = ["ResultStore", "StoreStats", "request_digest"]
+
+#: Access outcomes fetch_or_compute can report.
+CACHE_STATES = ("hit", "miss", "coalesced")
+
+
+def request_digest(kind: str, payload: Any) -> str:
+    """The store key for one request: digest of ``{kind, request}``.
+
+    ``kind`` namespaces the endpoint ("fleet_run", "search", ...) so
+    two request families whose payloads could ever collide never share
+    an address; ``payload`` must be the *normalized* request — specs
+    round-tripped through ``from_dict``/``to_dict`` — so key order and
+    omitted defaults in the client's JSON do not split the cache.
+    """
+    if not kind:
+        raise SpecError("request digest needs a non-empty kind")
+    return spec_digest({"kind": kind, "request": payload})
+
+
+@dataclass
+class StoreStats:
+    """Counters one :class:`ResultStore` accumulates over its lifetime.
+
+    Attributes:
+        hits: requests served from a stored entry.
+        misses: requests that ran the compute function.
+        coalesced: requests that joined another request's in-flight
+            computation instead of starting their own.
+        corrupt: stored entries that failed JSON validation and were
+            evicted (each also counts toward the miss that recomputed
+            it).
+        entries_written: successful :meth:`ResultStore.put` calls.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    coalesced: int = 0
+    corrupt: int = 0
+    entries_written: int = 0
+
+    def to_dict(self) -> dict[str, Any]:
+        requests = self.hits + self.misses + self.coalesced
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "corrupt": self.corrupt,
+            "entries_written": self.entries_written,
+            "requests": requests,
+            "hit_rate": round(self.hits / requests, 4) if requests else 0.0,
+        }
+
+
+@dataclass
+class _Flight:
+    """One in-flight computation: its future plus a joiner count."""
+
+    future: Future = field(default_factory=Future)
+    joiners: int = 0
+
+
+class ResultStore:
+    """Disk cache of canonical result JSON, addressed by content digest.
+
+    Args:
+        root: directory holding the entries (created if missing).
+            Layout is ``root/<digest[:2]>/<digest>.json`` — two-level
+            fan-out so a million-entry store never puts a million
+            files in one directory.
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+        except OSError as exc:
+            raise SpecError(
+                f"cannot create result store at {self.root}: {exc}") from None
+        self.stats = StoreStats()
+        self._lock = threading.Lock()
+        self._inflight: dict[str, _Flight] = {}
+
+    def path_for(self, digest: str) -> Path:
+        """Where the entry for ``digest`` lives (whether or not it exists)."""
+        if not digest or any(c not in "0123456789abcdef" for c in digest):
+            raise SpecError(f"malformed store digest {digest!r}")
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def get(self, digest: str) -> bytes | None:
+        """The stored bytes for ``digest``, or ``None`` if absent/corrupt.
+
+        Does *not* touch the hit/miss counters — bookkeeping belongs
+        to :meth:`fetch_or_compute`, so a manual inspection never
+        skews the serving stats.  Corrupt entries are evicted here
+        (and counted) so the next fetch recomputes cleanly.
+        """
+        path = self.path_for(digest)
+        try:
+            payload = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            json.loads(payload)
+        except ValueError:
+            with self._lock:
+                self.stats.corrupt += 1
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing eviction is benign
+                pass
+            return None
+        return payload
+
+    def put(self, digest: str, payload: bytes) -> None:
+        """Persist ``payload`` under ``digest``, atomically."""
+        try:
+            json.loads(payload)
+        except ValueError as exc:
+            raise SpecError(
+                f"refusing to store non-JSON payload for {digest[:12]}…: "
+                f"{exc}") from None
+        path = self.path_for(digest)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp-{threading.get_ident()}")
+            tmp.write_bytes(payload)
+            os.replace(tmp, path)
+        except OSError as exc:
+            raise SpecError(f"cannot write store entry {path}: {exc}") from None
+        with self._lock:
+            self.stats.entries_written += 1
+
+    def fetch_or_compute(self, digest: str,
+                         compute: Callable[[], bytes],
+                         ) -> tuple[bytes, str]:
+        """Serve ``digest`` from disk, a shared flight, or ``compute()``.
+
+        Returns ``(payload, state)`` with ``state`` one of ``"hit"``
+        (stored bytes returned untouched), ``"coalesced"`` (waited on
+        another thread computing the same digest) or ``"miss"``
+        (``compute()`` ran here; its bytes were persisted).  A failing
+        ``compute`` propagates to the owner *and* every joiner, and
+        leaves nothing stored.
+        """
+        payload = self.get(digest)
+        if payload is not None:
+            with self._lock:
+                self.stats.hits += 1
+            return payload, "hit"
+        with self._lock:
+            flight = self._inflight.get(digest)
+            if flight is None:
+                flight = _Flight()
+                self._inflight[digest] = flight
+                owner = True
+            else:
+                flight.joiners += 1
+                owner = False
+        if not owner:
+            payload = flight.future.result()
+            with self._lock:
+                self.stats.coalesced += 1
+            return payload, "coalesced"
+        try:
+            payload = compute()
+            self.put(digest, payload)
+        except BaseException as exc:
+            flight.future.set_exception(exc)
+            # A Future whose exception is never retrieved warns at GC;
+            # with zero joiners nobody else will ever .result() it.
+            if flight.joiners == 0:
+                flight.future.exception()
+            raise
+        finally:
+            with self._lock:
+                self._inflight.pop(digest, None)
+        flight.future.set_result(payload)
+        with self._lock:
+            self.stats.misses += 1
+        return payload, "miss"
+
+    @property
+    def inflight(self) -> int:
+        """How many distinct digests are being computed right now."""
+        with self._lock:
+            return len(self._inflight)
+
+    def __len__(self) -> int:
+        """Entries currently on disk (walks the store — diagnostics)."""
+        return sum(1 for _ in self.root.glob("*/*.json"))

@@ -1,0 +1,311 @@
+"""The HTTP service end to end: routing, caching, errors, smoke."""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.fleet import FleetRunner, FleetSpec
+from repro.scenarios import get_scenario
+from repro.scenarios.runner import run_scenario
+from repro.scenarios.spec import canonical_json_bytes
+from repro.serve import (
+    ResultStore,
+    ServeService,
+    ServerThread,
+    http_request,
+    run_smoke,
+)
+from repro.serve.app import MAX_BODY_BYTES
+
+TINY_FLEET = {"name": "tiny", "base_scenario": "sunny_office_worker",
+              "n_wearers": 3, "horizon_days": 1, "seed": 11}
+
+
+@pytest.fixture(scope="module")
+def server(tmp_path_factory):
+    """One live server (and its store) shared by the module's tests."""
+    store = ResultStore(tmp_path_factory.mktemp("store"))
+    service = ServeService(store, workers=2, backend="thread")
+    with ServerThread(service) as live:
+        yield live
+
+
+def _request(server, method, path, payload=None):
+    return http_request(server.host, server.port, method, path, payload)
+
+
+class TestDiagnostics:
+    def test_health(self, server):
+        status, _, body = _request(server, "GET", "/health")
+        assert status == 200
+        assert json.loads(body) == {"status": "ok"}
+
+    def test_scenarios_lists_library(self, server):
+        status, _, body = _request(server, "GET", "/scenarios")
+        assert status == 200
+        assert "paper_indoor_worst_case" in json.loads(body)["scenarios"]
+
+    def test_stats_shape(self, server):
+        status, _, body = _request(server, "GET", "/stats")
+        assert status == 200
+        stats = json.loads(body)
+        assert set(stats) == {"store", "inflight", "entries", "backend",
+                              "workers"}
+        assert stats["backend"] == "thread"
+
+    def test_unknown_path_404_lists_routes(self, server):
+        status, _, body = _request(server, "GET", "/nope")
+        assert status == 404
+        assert "/fleet/run" in json.loads(body)["paths"]
+
+    def test_wrong_method_405(self, server):
+        status, _, body = _request(server, "GET", "/simulate")
+        assert status == 405
+        assert "expects POST" in json.loads(body)["error"]
+
+    def test_missing_body_400(self, server):
+        status, _, body = _request(server, "POST", "/simulate")
+        assert status == 400
+        assert "JSON object body" in json.loads(body)["error"]
+
+
+class TestSimulate:
+    def test_matches_direct_run(self, server):
+        status, headers, body = _request(
+            server, "POST", "/simulate",
+            {"scenario": "paper_indoor_worst_case"})
+        assert status == 200
+        payload = json.loads(body)
+        direct = run_scenario(get_scenario("paper_indoor_worst_case"))
+        assert payload["outcome"] == direct.to_dict()
+
+    def test_resubmission_hits_bitwise(self, server):
+        request = {"scenario": "sunny_office_worker"}
+        first = _request(server, "POST", "/simulate", request)
+        second = _request(server, "POST", "/simulate", request)
+        assert second[1]["x-repro-cache"] == "hit"
+        assert first[2] == second[2]
+
+    def test_inline_spec_normalizes_to_library_digest(self, server):
+        # A client shipping the full spec inline (any trace mode) must
+        # land on the same cache entry as the library-name spelling.
+        spec = get_scenario("sunny_office_worker").to_dict()
+        _request(server, "POST", "/simulate",
+                 {"scenario": "sunny_office_worker"})
+        status, headers, _ = _request(server, "POST", "/simulate",
+                                      {"scenario": spec})
+        assert status == 200
+        assert headers["x-repro-cache"] == "hit"
+
+    def test_unknown_scenario_400(self, server):
+        status, _, body = _request(server, "POST", "/simulate",
+                                   {"scenario": "no_such_place"})
+        assert status == 400
+        assert "no_such_place" in json.loads(body)["error"]
+
+    def test_unknown_request_key_400(self, server):
+        status, _, body = _request(
+            server, "POST", "/simulate",
+            {"scenario": "sunny_office_worker", "turbo": True})
+        assert status == 400
+        assert "turbo" in json.loads(body)["error"]
+
+
+class TestSearch:
+    GRID = {"static_duty_cycle": {"rate_per_min": [2, 24]}}
+
+    def test_matches_runner_and_caches(self, server):
+        request = {"scenario": "paper_indoor_worst_case", "grid": self.GRID}
+        first = _request(server, "POST", "/search", request)
+        assert first[0] == 200
+        payload = json.loads(first[2])
+        assert payload["scenario"] == "paper_indoor_worst_case"
+        assert len(payload["ranking"]) == 2
+        second = _request(server, "POST", "/search", request)
+        assert second[1]["x-repro-cache"] == "hit"
+        assert first[2] == second[2]
+
+    def test_empty_selection_400(self, server):
+        status, _, body = _request(server, "POST", "/search",
+                                   {"scenario": "sunny_office_worker"})
+        assert status == 400
+        assert "grid" in json.loads(body)["error"]
+
+
+class TestFleet:
+    def test_run_matches_fleet_runner_bitwise(self, server):
+        status, headers, body = _request(server, "POST", "/fleet/run",
+                                         {"spec": TINY_FLEET})
+        assert status == 200
+        assert headers["x-repro-cache"] == "miss"
+        direct = FleetRunner(workers=2).run(
+            FleetSpec.from_dict(TINY_FLEET))
+        expected = canonical_json_bytes(
+            {"spec": FleetSpec.from_dict(TINY_FLEET).to_dict(),
+             "result": direct.to_dict()}) + b"\n"
+        assert body == expected
+
+    def test_run_resubmission_hits_bitwise(self, server):
+        first = _request(server, "POST", "/fleet/run", {"spec": TINY_FLEET})
+        second = _request(server, "POST", "/fleet/run", {"spec": TINY_FLEET})
+        assert second[1]["x-repro-cache"] == "hit"
+        assert first[2] == second[2]
+
+    def test_search_and_recommend_share_one_computation(self, server):
+        request = {"spec": dict(TINY_FLEET, name="tiny_search"),
+                   "grid": {"static_duty_cycle": {"rate_per_min": [2, 8]}}}
+        searched = _request(server, "POST", "/fleet/search", request)
+        assert searched[0] == 200
+        ranking = json.loads(searched[2])["search"]["ranking"]
+        assert len(ranking) == 2
+        recommended = _request(server, "POST", "/recommend", request)
+        assert recommended[0] == 200
+        # Same digest underneath: the recommendation reads the search
+        # cache instead of re-simulating the fleet.
+        assert recommended[1]["x-repro-cache"] == "hit"
+        best = json.loads(recommended[2])["recommendation"]
+        assert best["label"] == ranking[0]["label"]
+        assert best["policy"] == ranking[0]["policy"]
+
+    def test_bad_fleet_spec_400(self, server):
+        status, _, body = _request(server, "POST", "/fleet/run",
+                                   {"spec": {"name": "x"}})
+        assert status == 400
+        assert "base_scenario" in json.loads(body)["error"]
+
+
+class TestIngest:
+    RECORDS = [
+        {"t_s": 0.0, "power_w": 0.0009, "event": "office"},
+        {"t_s": 60.0, "power_w": 0.0009, "event": "office"},
+        {"t_s": 120.0, "power_w": 0.00002, "event": "commute"},
+        {"t_s": 180.0, "power_w": 0.00002, "event": "commute"},
+    ]
+
+    def test_ingest_returns_runnable_spec(self, server):
+        status, _, body = _request(
+            server, "POST", "/ingest",
+            {"name": "served_trace", "records": self.RECORDS})
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["segments"] == 2
+        from repro.scenarios.spec import ScenarioSpec
+        spec = ScenarioSpec.from_dict(payload["spec"])
+        outcome = run_scenario(spec)
+        assert outcome.name == "served_trace"
+
+    def test_ingest_caches(self, server):
+        request = {"name": "cached_trace", "records": self.RECORDS}
+        first = _request(server, "POST", "/ingest", request)
+        second = _request(server, "POST", "/ingest", request)
+        assert second[1]["x-repro-cache"] == "hit"
+        assert first[2] == second[2]
+
+    def test_bad_records_400(self, server):
+        status, _, body = _request(
+            server, "POST", "/ingest",
+            {"name": "x", "records": [{"t_s": 0}]})
+        assert status == 400
+        assert "power_w" in json.loads(body)["error"]
+
+
+class TestProtocolErrors:
+    """Framing failures the JSON layer never sees, via raw sockets."""
+
+    @staticmethod
+    def _raw(server, payload: bytes) -> bytes:
+        with socket.create_connection((server.host, server.port),
+                                      timeout=30) as sock:
+            sock.sendall(payload)
+            sock.shutdown(socket.SHUT_WR)
+            chunks = []
+            while chunk := sock.recv(65536):
+                chunks.append(chunk)
+        return b"".join(chunks)
+
+    def test_malformed_request_line_400(self, server):
+        raw = self._raw(server, b"NONSENSE\r\n\r\n")
+        assert raw.startswith(b"HTTP/1.1 400")
+        assert b"malformed request line" in raw
+
+    def test_bad_content_length_400(self, server):
+        raw = self._raw(
+            server,
+            b"POST /simulate HTTP/1.1\r\nContent-Length: lots\r\n\r\n")
+        assert raw.startswith(b"HTTP/1.1 400")
+        assert b"bad Content-Length" in raw
+
+    def test_oversized_body_rejected_413(self, server):
+        raw = self._raw(
+            server,
+            b"POST /simulate HTTP/1.1\r\n"
+            b"Content-Length: " + str(MAX_BODY_BYTES + 1).encode() +
+            b"\r\n\r\n")
+        assert raw.startswith(b"HTTP/1.1 413")
+
+    def test_invalid_json_body_400(self, server):
+        body = b"{not json"
+        raw = self._raw(
+            server,
+            b"POST /simulate HTTP/1.1\r\n"
+            b"Content-Length: " + str(len(body)).encode() +
+            b"\r\n\r\n" + body)
+        assert raw.startswith(b"HTTP/1.1 400")
+        assert b"invalid JSON body" in raw
+
+    def test_non_object_json_body_400(self, server):
+        body = b"[1, 2, 3]"
+        raw = self._raw(
+            server,
+            b"POST /simulate HTTP/1.1\r\n"
+            b"Content-Length: " + str(len(body)).encode() +
+            b"\r\n\r\n" + body)
+        assert raw.startswith(b"HTTP/1.1 400")
+        assert b"must be a JSON object" in raw
+
+    def test_empty_connection_closed_quietly(self, server):
+        # Opening and closing without sending anything must not wedge
+        # the server.
+        assert self._raw(server, b"") == b""
+        status, _, _ = _request(server, "GET", "/health")
+        assert status == 200
+
+
+class TestConcurrency:
+    def test_concurrent_identical_requests_coalesce(self, tmp_path):
+        # A dedicated server so this test owns the stats counters.
+        store = ResultStore(tmp_path / "store")
+        service = ServeService(store, workers=2, backend="thread")
+        request = {"spec": dict(TINY_FLEET, name="concurrent",
+                                n_wearers=6)}
+        results = []
+        with ServerThread(service, request_workers=8) as live:
+            def post():
+                results.append(http_request(live.host, live.port, "POST",
+                                            "/fleet/run", request))
+
+            threads = [threading.Thread(target=post) for _ in range(5)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join(timeout=60)
+        assert len(results) == 5
+        assert {status for status, _, _ in results} == {200}
+        assert len({body for _, _, body in results}) == 1
+        states = sorted(headers["x-repro-cache"]
+                        for _, headers, _ in results)
+        # Exactly one request simulated; the rest coalesced onto it or
+        # (if they arrived after it finished) hit the fresh cache entry.
+        assert states.count("miss") == 1
+        assert store.stats.misses == 1
+        assert store.stats.coalesced + store.stats.hits == 4
+
+
+class TestSmoke:
+    def test_run_smoke_passes_on_fresh_store(self, tmp_path):
+        summary = run_smoke(tmp_path / "store", workers=2)
+        assert summary["ok"] is True
+        assert summary["cache"] == ["miss", "hit"]
+        assert summary["bitwise_identical"] is True

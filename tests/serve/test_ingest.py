@@ -1,0 +1,225 @@
+"""Ingest pipeline: parsing, segmentation, lux fitting, round-trip."""
+
+import json
+
+import pytest
+
+from repro.errors import SpecError
+from repro.harvest.environment import LightingCondition, ThermalCondition
+from repro.scenarios import load_scenario_file
+from repro.scenarios.registry import HARVESTERS
+from repro.scenarios.runner import run_scenario
+from repro.serve.ingest import (
+    TelemetryRecord,
+    detections_per_minute,
+    fit_lux,
+    fit_scenario,
+    ingest_file,
+    parse_records,
+    records_from_dicts,
+    segment_records,
+    write_scenario_file,
+)
+
+
+def _line(t_s, power_w, event=""):
+    return json.dumps({"t_s": t_s, "power_w": power_w, "event": event})
+
+
+OFFICE_W = 0.0009   # roughly 800 lx through the calibrated chain
+DARK_W = 0.00002    # TEG-only floor
+
+TRACE = [
+    _line(0, OFFICE_W, "office"),
+    _line(60, OFFICE_W, "office"),
+    _line(95, 0.003, "detection"),
+    _line(120, OFFICE_W, "office"),
+    _line(180, DARK_W, "commute"),
+    _line(240, DARK_W, "commute"),
+]
+
+
+class TestParsing:
+    def test_parses_valid_trace(self):
+        records = parse_records(TRACE)
+        assert len(records) == 6
+        assert records[0] == TelemetryRecord(0, OFFICE_W, "office")
+        assert records[2].event == "detection"
+
+    def test_blank_lines_ignored(self):
+        records = parse_records(["", TRACE[0], "   ", TRACE[1], ""])
+        assert len(records) == 2
+
+    def test_invalid_json_names_line(self):
+        with pytest.raises(SpecError, match=r"t\.jsonl:2: invalid JSON"):
+            parse_records([TRACE[0], "{oops", TRACE[1]], source="t.jsonl")
+
+    def test_non_object_line_rejected(self):
+        with pytest.raises(SpecError, match="must be a JSON object"):
+            parse_records([TRACE[0], "[1, 2]"])
+
+    def test_unknown_key_rejected(self):
+        bad = json.dumps({"t_s": 0, "power_w": 1e-3, "volts": 3.3})
+        with pytest.raises(SpecError, match="volts"):
+            parse_records([bad, TRACE[1]])
+
+    def test_backwards_timestamps_rejected(self):
+        with pytest.raises(SpecError, match="non-decreasing"):
+            parse_records([_line(60, OFFICE_W), _line(0, OFFICE_W)])
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(SpecError, match="negative"):
+            parse_records([_line(0, -1e-3), _line(60, 1e-3)])
+
+    def test_non_finite_values_rejected(self):
+        with pytest.raises(SpecError, match="finite"):
+            TelemetryRecord(t_s=0.0, power_w=float("nan"))
+
+    def test_single_record_rejected(self):
+        with pytest.raises(SpecError, match="at least 2"):
+            parse_records([TRACE[0]])
+
+    def test_records_from_dicts_matches_parse(self):
+        payloads = [json.loads(line) for line in TRACE]
+        assert records_from_dicts(payloads) == parse_records(TRACE)
+
+    def test_records_from_dicts_rejects_non_list(self):
+        with pytest.raises(SpecError, match="JSON array"):
+            records_from_dicts({"t_s": 0})
+
+
+class TestSegmentation:
+    def test_tag_runs_become_segments(self):
+        segments = segment_records(parse_records(TRACE))
+        assert [segment.label for segment in segments] == \
+            ["office", "commute"]
+        # office: 0-180 s (detection record inherits the office tag);
+        # commute: 180 s plus the 60 s median-gap tail for the last
+        # record.
+        assert segments[0].duration_s == pytest.approx(180.0)
+        assert segments[1].duration_s == pytest.approx(120.0)
+
+    def test_mean_power_time_weighted(self):
+        records = parse_records([
+            _line(0, 0.001, "a"),       # holds 100 s
+            _line(100, 0.004, "a"),     # holds 300 s
+            _line(400, 0.004, "a"),
+        ])
+        [segment] = segment_records(records)
+        # tail = upper-median positive gap = 300 s -> weights 100/300/300.
+        expected = (0.001 * 100 + 0.004 * 300 + 0.004 * 300) / 700
+        assert segment.mean_power_w == pytest.approx(expected)
+
+    def test_leading_detection_record_gets_empty_tag(self):
+        records = parse_records([
+            _line(0, 0.003, "detection"),
+            _line(10, OFFICE_W, "office"),
+            _line(70, OFFICE_W, "office"),
+        ])
+        segments = segment_records(records)
+        assert [segment.label for segment in segments] == ["", "office"]
+
+    def test_zero_span_trace_rejected(self):
+        records = parse_records([_line(5, 1e-3), _line(5, 1e-3)])
+        with pytest.raises(SpecError, match="zero time"):
+            segment_records(records)
+
+    def test_detection_rate(self):
+        rate = detections_per_minute(parse_records(TRACE))
+        assert rate == pytest.approx(1 / 5.0)  # 1 detection in 300 s
+
+
+class TestLuxFit:
+    @pytest.fixture(scope="class")
+    def chain(self):
+        return HARVESTERS.get("calibrated_dual")()
+
+    THERMAL = ThermalCondition(ambient_c=22.0, skin_c=32.0)
+
+    # Above the solar converter's cold-start threshold (~100 lx) the
+    # lux -> intake curve is strictly increasing and invertible; below
+    # it the chain outputs the TEG floor and the fit saturates to 0.
+    @pytest.mark.parametrize("lux", [150.0, 700.0, 5_000.0, 30_000.0])
+    def test_fit_inverts_forward_model(self, chain, lux):
+        target = chain.battery_intake_w(LightingCondition(lux), self.THERMAL)
+        fitted = fit_lux(target, chain, self.THERMAL)
+        assert fitted == pytest.approx(lux, rel=1e-6)
+
+    def test_teg_floor_fits_to_darkness(self, chain):
+        floor = chain.battery_intake_w(LightingCondition(0.0), self.THERMAL)
+        assert fit_lux(floor, chain, self.THERMAL) == 0.0
+        assert fit_lux(floor / 2, chain, self.THERMAL) == 0.0
+
+    def test_out_of_range_target_saturates(self, chain):
+        assert fit_lux(10.0, chain, self.THERMAL) == 120_000.0
+
+    def test_negative_target_rejected(self, chain):
+        with pytest.raises(SpecError, match="negative"):
+            fit_lux(-1e-3, chain, self.THERMAL)
+
+
+class TestFitScenario:
+    def test_spec_shape(self):
+        spec = fit_scenario(parse_records(TRACE), "commute_day")
+        assert spec.name == "commute_day"
+        assert len(spec.timeline.segments) == 2
+        office, commute = spec.timeline.segments
+        assert office.label == "office"
+        assert office.lux > 100.0      # bright enough to notice
+        assert commute.lux == 0.0      # TEG-floor power -> darkness
+        assert spec.system.policy.name == "static_duty_cycle"
+        assert spec.system.policy.params["rate_per_min"] == \
+            pytest.approx(0.2)
+
+    def test_fit_is_deterministic(self):
+        records = parse_records(TRACE)
+        first = fit_scenario(records, "x")
+        second = fit_scenario(records, "x")
+        assert first == second
+
+    def test_unknown_harvester_errors_with_menu(self):
+        from repro.errors import RegistryError
+
+        with pytest.raises(RegistryError, match="calibrated_dual"):
+            fit_scenario(parse_records(TRACE), "x", harvester="warp_core")
+
+
+class TestRoundTrip:
+    """The acceptance criterion: trace file -> scenario file -> run."""
+
+    def test_ingest_write_load_simulate(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text("\n".join(TRACE) + "\n")
+        spec, path = ingest_file(trace, "office_trace",
+                                 out_dir=tmp_path / "scenarios")
+        assert path == tmp_path / "scenarios" / "office_trace.json"
+        loaded = load_scenario_file(path)
+        assert loaded == spec
+        outcome = run_scenario(loaded)
+        assert outcome.name == "office_trace"
+        assert outcome.duration_s == pytest.approx(300.0)
+
+    def test_ingesting_twice_writes_identical_bytes(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text("\n".join(TRACE) + "\n")
+        _, first = ingest_file(trace, "t", out_dir=tmp_path / "a")
+        _, second = ingest_file(trace, "t", out_dir=tmp_path / "b")
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_write_without_out_dir_returns_none(self, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        trace.write_text("\n".join(TRACE) + "\n")
+        spec, path = ingest_file(trace, "t")
+        assert path is None
+        assert spec.name == "t"
+
+    def test_missing_trace_file_errors(self, tmp_path):
+        with pytest.raises(SpecError, match="cannot read trace file"):
+            ingest_file(tmp_path / "nope.jsonl", "t")
+
+    def test_written_file_is_canonical_json(self, tmp_path):
+        spec = fit_scenario(parse_records(TRACE), "t")
+        path = write_scenario_file(spec, tmp_path)
+        raw = path.read_bytes()
+        from repro.scenarios.spec import canonical_json_bytes
+        assert raw == canonical_json_bytes(spec.to_dict()) + b"\n"

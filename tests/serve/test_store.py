@@ -1,0 +1,218 @@
+"""ResultStore: content addressing, bitwise hits, corruption, dedup."""
+
+import json
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.errors import SpecError
+from repro.scenarios.spec import (
+    ScenarioSpec,
+    canonical_json_bytes,
+    spec_digest,
+)
+from repro.scenarios.library import get_scenario
+from repro.serve.store import ResultStore, request_digest
+
+PAYLOAD = {"b": 2, "a": [1, 2.5, "x"], "nested": {"k": True, "j": None}}
+
+
+class TestCanonicalEncoding:
+    def test_key_order_does_not_matter(self):
+        shuffled = {"nested": {"j": None, "k": True},
+                    "a": [1, 2.5, "x"], "b": 2}
+        assert canonical_json_bytes(PAYLOAD) == canonical_json_bytes(shuffled)
+
+    def test_compact_sorted_ascii(self):
+        assert canonical_json_bytes({"b": 1, "a": "é"}) == \
+            b'{"a":"\\u00e9","b":1}'
+
+    def test_to_dict_objects_encode_as_their_payload(self):
+        spec = get_scenario("paper_indoor_worst_case")
+        assert canonical_json_bytes(spec) == canonical_json_bytes(
+            spec.to_dict())
+
+    def test_nan_rejected(self):
+        with pytest.raises(SpecError, match="not canonically"):
+            canonical_json_bytes({"x": float("nan")})
+
+    def test_digest_stable_across_processes(self):
+        # The whole point of content addressing: another interpreter
+        # must derive the same key from the same spec.
+        spec = get_scenario("paper_indoor_worst_case")
+        expected = spec_digest(spec)
+        script = (
+            "from repro.scenarios.library import get_scenario\n"
+            "from repro.scenarios.spec import spec_digest\n"
+            "print(spec_digest(get_scenario('paper_indoor_worst_case')))\n"
+        )
+        src = Path(__file__).resolve().parents[2] / "src"
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            env={"PYTHONPATH": str(src), "PATH": "/usr/bin:/bin"},
+            capture_output=True, text=True, check=True)
+        assert out.stdout.strip() == expected
+
+    def test_request_digest_namespaces_by_kind(self):
+        spec = get_scenario("paper_indoor_worst_case").to_dict()
+        assert request_digest("simulate", spec) != \
+            request_digest("search", spec)
+
+    def test_request_digest_normalization_collapses_spellings(self):
+        spec = get_scenario("paper_indoor_worst_case")
+        round_tripped = ScenarioSpec.from_dict(
+            json.loads(canonical_json_bytes(spec)))
+        assert request_digest("simulate", spec.to_dict()) == \
+            request_digest("simulate", round_tripped.to_dict())
+
+    def test_empty_kind_rejected(self):
+        with pytest.raises(SpecError, match="kind"):
+            request_digest("", {})
+
+
+class TestStoreBasics:
+    def test_roundtrip_bitwise(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        digest = spec_digest(PAYLOAD)
+        payload = canonical_json_bytes(PAYLOAD)
+        store.put(digest, payload)
+        assert store.get(digest) == payload
+        assert len(store) == 1
+
+    def test_get_missing_returns_none(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.get(spec_digest(PAYLOAD)) is None
+
+    def test_malformed_digest_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        for bad in ("", "XYZ", "../../etc/passwd", "AB12"):
+            with pytest.raises(SpecError, match="malformed"):
+                store.path_for(bad)
+
+    def test_put_rejects_non_json(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(SpecError, match="non-JSON"):
+            store.put(spec_digest(PAYLOAD), b"{truncated")
+        assert len(store) == 0
+
+    def test_two_level_layout(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digest = spec_digest(PAYLOAD)
+        assert store.path_for(digest) == \
+            tmp_path / digest[:2] / f"{digest}.json"
+
+
+class TestFetchOrCompute:
+    def test_miss_then_bitwise_identical_hit(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digest = spec_digest(PAYLOAD)
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return canonical_json_bytes(PAYLOAD)
+
+        first, first_state = store.fetch_or_compute(digest, compute)
+        second, second_state = store.fetch_or_compute(digest, compute)
+        assert (first_state, second_state) == ("miss", "hit")
+        assert first == second  # bitwise, not just equal-after-parse
+        assert calls == [1]
+        assert store.stats.hits == 1
+        assert store.stats.misses == 1
+
+    def test_hit_survives_new_store_instance(self, tmp_path):
+        digest = spec_digest(PAYLOAD)
+        payload = canonical_json_bytes(PAYLOAD)
+        ResultStore(tmp_path).fetch_or_compute(digest, lambda: payload)
+        fresh = ResultStore(tmp_path)  # e.g. a server restart
+        got, state = fresh.fetch_or_compute(
+            digest, lambda: pytest.fail("must not recompute"))
+        assert state == "hit"
+        assert got == payload
+
+    def test_corrupt_entry_evicted_and_recomputed(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digest = spec_digest(PAYLOAD)
+        payload = canonical_json_bytes(PAYLOAD)
+        store.put(digest, payload)
+        store.path_for(digest).write_bytes(b'{"truncated": ')
+        got, state = store.fetch_or_compute(digest, lambda: payload)
+        assert state == "miss"
+        assert got == payload
+        assert store.stats.corrupt == 1
+        # The recomputed entry replaced the corrupt one on disk.
+        assert store.get(digest) == payload
+
+    def test_compute_failure_stores_nothing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digest = spec_digest(PAYLOAD)
+
+        def boom():
+            raise SpecError("simulated failure")
+
+        with pytest.raises(SpecError, match="simulated failure"):
+            store.fetch_or_compute(digest, boom)
+        assert store.get(digest) is None
+        assert store.inflight == 0
+        # The digest recovers once compute succeeds.
+        got, state = store.fetch_or_compute(
+            digest, lambda: canonical_json_bytes(PAYLOAD))
+        assert state == "miss"
+        assert got == canonical_json_bytes(PAYLOAD)
+
+    def test_concurrent_identical_requests_coalesce(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digest = spec_digest(PAYLOAD)
+        release = threading.Event()
+        calls = []
+        results = []
+
+        def compute():
+            calls.append(1)
+            release.wait(timeout=30)
+            return canonical_json_bytes(PAYLOAD)
+
+        def request():
+            results.append(store.fetch_or_compute(digest, compute))
+
+        threads = [threading.Thread(target=request) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        # Only release the owner once all five joiners are parked on
+        # its flight — otherwise a slow-starting thread could arrive
+        # after the computation finished and read a disk hit instead.
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            with store._lock:
+                flight = store._inflight.get(digest)
+                if flight is not None and flight.joiners == 5:
+                    break
+            time.sleep(0.001)
+        release.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert len(calls) == 1  # one simulation for six requests
+        payloads = {payload for payload, _ in results}
+        assert len(payloads) == 1  # everyone got the same bytes
+        states = sorted(state for _, state in results)
+        assert states.count("miss") == 1
+        assert states.count("coalesced") == 5
+        assert store.stats.coalesced == 5
+        assert store.inflight == 0
+
+    def test_stats_payload_shape(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digest = spec_digest(PAYLOAD)
+        payload = canonical_json_bytes(PAYLOAD)
+        store.fetch_or_compute(digest, lambda: payload)
+        store.fetch_or_compute(digest, lambda: payload)
+        stats = store.stats.to_dict()
+        assert stats["requests"] == 2
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+        assert stats["entries_written"] == 1

@@ -152,7 +152,10 @@ class TestSearchCommand:
                      "--backend", "serial"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["scenario"] == "paper_indoor_worst_case"
-        assert payload["backend"] == "serial"
+        # The canonical payload carries no timing provenance — it is a
+        # pure function of (scenario, grids), identical on every
+        # backend, which is what makes result-store hits bitwise exact.
+        assert set(payload) == {"scenario", "ranking"}
         names = {entry["policy"]["name"] for entry in payload["ranking"]}
         assert len(names) >= 3
 
@@ -512,3 +515,76 @@ def test_module_invocation_sweep_all():
     for name in ("paper_indoor_worst_case", "outdoor_hiker",
                  "cloudy_week_multi_day"):
         assert name in result.stdout
+
+
+class TestCanonicalJsonEmission:
+    """Every --json/--out payload goes through the shared canonical
+    encoder, so CLI output is byte-identical to what the serve result
+    store caches for the equivalent request."""
+
+    def test_search_json_is_canonical_bytes(self, capsys):
+        from repro.scenarios.spec import canonical_json
+
+        assert main(["search", "paper_indoor_worst_case", "--json",
+                     "--policy", "static_duty_cycle",
+                     "--backend", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert out == canonical_json(json.loads(out)) + "\n"
+
+    def test_fleet_run_out_file_is_canonical_bytes(self, tmp_path, capsys):
+        from repro.scenarios.spec import canonical_json
+
+        path = _write_mini_fleet(tmp_path, n_wearers=2)
+        out_file = tmp_path / "result.json"
+        assert main(["fleet", "run", str(path), "--out", str(out_file),
+                     "--backend", "serial"]) == 0
+        raw = out_file.read_text()
+        assert raw == canonical_json(json.loads(raw)) + "\n"
+
+
+class TestServeCommand:
+    def test_smoke_passes(self, capsys):
+        assert main(["serve", "--smoke", "--workers", "2"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["ok"] is True
+        assert summary["cache"] == ["miss", "hit"]
+
+
+class TestIngestCommand:
+    TRACE = [
+        {"t_s": 0.0, "power_w": 0.0009, "event": "office"},
+        {"t_s": 60.0, "power_w": 0.0009, "event": "office"},
+        {"t_s": 90.0, "power_w": 0.003, "event": "detection"},
+        {"t_s": 120.0, "power_w": 0.00002, "event": "commute"},
+        {"t_s": 180.0, "power_w": 0.00002, "event": "commute"},
+    ]
+
+    def _write_trace(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text("\n".join(json.dumps(r) for r in self.TRACE) + "\n")
+        return path
+
+    def test_ingest_then_simulate_round_trip(self, tmp_path, capsys):
+        trace = self._write_trace(tmp_path)
+        assert main(["ingest", str(trace), "--name", "cli_trace",
+                     "--out", str(tmp_path / "scn")]) == 0
+        out = capsys.readouterr().out
+        assert "office" in out and "commute" in out
+        scenario = tmp_path / "scn" / "cli_trace.json"
+        assert scenario.is_file()
+        assert main(["simulate", str(scenario)]) == 0
+        assert "cli_trace" in capsys.readouterr().out
+
+    def test_ingest_json_emits_spec(self, tmp_path, capsys):
+        trace = self._write_trace(tmp_path)
+        assert main(["ingest", str(trace), "--name", "t", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["path"] is None
+        assert payload["spec"]["name"] == "t"
+        assert len(payload["spec"]["timeline"]["segments"]) == 2
+
+    def test_ingest_bad_trace_errors(self, tmp_path, capsys):
+        trace = tmp_path / "bad.jsonl"
+        trace.write_text('{"t_s": 0, "power_w": 1e-3}\n{oops\n')
+        assert main(["ingest", str(trace), "--name", "t"]) == 2
+        assert "invalid JSON" in capsys.readouterr().err
