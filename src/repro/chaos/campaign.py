@@ -1,0 +1,485 @@
+"""Run chaos campaigns: every policy x every case, judged, shardable.
+
+A campaign run is the cross product of the strategist's composed cases
+(:mod:`repro.chaos.strategist`) and a policy list (default: every
+registered policy), each run executed under the
+:class:`~repro.chaos.judge.LedgerBattery` and classified by the judge.
+Execution mirrors the scenario runner's backends — serial / thread /
+process (spawned workers, JSON payloads) — and the result model
+mirrors the fleet's merge-exact sharding: shards own strided case
+subsets, carry raw :class:`RunRecord` values, and
+:meth:`CampaignResult.merge` re-assembles any complete partition into
+a payload bitwise-identical to the unsharded run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from repro.chaos.judge import RunJudgement, judge_scenario
+from repro.chaos.spec import ChaosSpec
+from repro.chaos.strategist import case_indices, chaos_cases
+from repro.errors import RegistryError, SpecError
+from repro.scenarios.registry import POLICIES
+from repro.scenarios.spec import (
+    PolicySpec,
+    ScenarioSpec,
+    canonical_json,
+    check_mapping_keys,
+)
+
+__all__ = ["RunRecord", "PartialCampaignResult", "CampaignResult",
+           "ChaosRunner", "run_campaign", "default_policies",
+           "load_campaign_result"]
+
+BACKENDS = ("serial", "thread", "process")
+
+
+def default_policies() -> list[PolicySpec]:
+    """Every registered policy at default parameters, sorted by name."""
+    return [PolicySpec(name) for name in POLICIES.names()]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One judged (case, policy) run.
+
+    Attributes:
+        case_index: the case's 0-based index in the campaign.
+        scenario: the composed case's scenario name.
+        policy: the policy that ran.
+        judgement: the judge's verdict, reasons and outcome metrics.
+    """
+
+    case_index: int
+    scenario: str
+    policy: PolicySpec
+    judgement: RunJudgement
+
+    def __post_init__(self) -> None:
+        if (isinstance(self.case_index, bool)
+                or not isinstance(self.case_index, int)
+                or self.case_index < 0):
+            raise SpecError(
+                f"case_index must be a non-negative integer, "
+                f"got {self.case_index!r}")
+
+    @property
+    def verdict(self) -> str:
+        return self.judgement.verdict
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "case_index": self.case_index,
+            "scenario": self.scenario,
+            "policy": self.policy.to_dict(),
+            "judgement": self.judgement.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunRecord":
+        required = ("case_index", "scenario", "policy", "judgement")
+        data = check_mapping_keys("RunRecord", data, known=required,
+                                  required=required)
+        return cls(
+            case_index=data["case_index"],
+            scenario=data["scenario"],
+            policy=PolicySpec.from_dict(data["policy"]),
+            judgement=RunJudgement.from_dict(data["judgement"]),
+        )
+
+
+def _policy_key(policy: PolicySpec) -> str:
+    """A policy's identity for ordering/equality across shards."""
+    return canonical_json(policy.to_dict())
+
+
+def _sorted_records(records: Sequence[RunRecord],
+                    policies: Sequence[PolicySpec]) -> tuple[RunRecord, ...]:
+    order = {_policy_key(policy): i for i, policy in enumerate(policies)}
+    return tuple(sorted(
+        records,
+        key=lambda r: (r.case_index, order.get(_policy_key(r.policy), -1))))
+
+
+def _check_policies(policies: Sequence[PolicySpec]) -> tuple[PolicySpec, ...]:
+    policies = tuple(policies)
+    if not policies:
+        raise SpecError("a campaign needs at least one policy")
+    keys = [_policy_key(policy) for policy in policies]
+    if len(set(keys)) != len(keys):
+        raise SpecError("campaign policies must be unique")
+    return policies
+
+
+@dataclass(frozen=True)
+class PartialCampaignResult:
+    """One shard's judged records — strided case subset, raw records.
+
+    Attributes:
+        spec: the full campaign spec (every shard carries it so merge
+            can verify the parts describe the same campaign).
+        shard_index / shard_count: this shard's position.
+        policies: the policy list the shard ran (merge requires all
+            shards to agree).
+        records: one record per (case, policy) of this shard.
+        backend / wall_time_s: provenance; outside the canonical
+            payload.
+    """
+
+    spec: ChaosSpec
+    shard_index: int
+    shard_count: int
+    policies: tuple[PolicySpec, ...]
+    records: tuple[RunRecord, ...]
+    backend: str = ""
+    wall_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        for attr in ("shard_index", "shard_count"):
+            value = getattr(self, attr)
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SpecError(f"{attr} must be an integer, got {value!r}")
+        if self.shard_count < 1:
+            raise SpecError(
+                f"shard count must be at least 1, got {self.shard_count}")
+        if not 0 <= self.shard_index < self.shard_count:
+            raise SpecError(
+                f"shard index {self.shard_index} outside partition of "
+                f"{self.shard_count}")
+        object.__setattr__(self, "policies",
+                           _check_policies(self.policies))
+        object.__setattr__(self, "records",
+                           _sorted_records(self.records, self.policies))
+        seen = set()
+        for record in self.records:
+            if record.case_index >= self.spec.n_cases:
+                raise SpecError(
+                    f"case index {record.case_index} outside campaign "
+                    f"{self.spec.name!r} of {self.spec.n_cases}")
+            if record.case_index % self.shard_count != self.shard_index:
+                raise SpecError(
+                    f"case {record.case_index} does not belong to shard "
+                    f"{self.shard_index}/{self.shard_count}")
+            key = (record.case_index, _policy_key(record.policy))
+            if key in seen:
+                raise SpecError(
+                    f"duplicate record for case {record.case_index} in "
+                    f"shard {self.shard_index}/{self.shard_count}")
+            seen.add(key)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "shard": [self.shard_index, self.shard_count],
+            "policies": [policy.to_dict() for policy in self.policies],
+            "records": [record.to_dict() for record in self.records],
+            "backend": self.backend,
+            "wall_time_s": self.wall_time_s,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PartialCampaignResult":
+        required = {"spec", "shard", "policies", "records"}
+        check_mapping_keys("PartialCampaignResult", data,
+                           required | {"backend", "wall_time_s"},
+                           required=required)
+        shard = data["shard"]
+        if not isinstance(shard, (list, tuple)) or len(shard) != 2:
+            raise SpecError(
+                f"shard must be a [index, count] pair, got {shard!r}")
+        return cls(
+            spec=ChaosSpec.from_dict(data["spec"]),
+            shard_index=shard[0],
+            shard_count=shard[1],
+            policies=tuple(PolicySpec.from_dict(p)
+                           for p in data["policies"]),
+            records=tuple(RunRecord.from_dict(r) for r in data["records"]),
+            backend=data.get("backend", ""),
+            wall_time_s=data.get("wall_time_s", 0.0),
+        )
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """The judged outcome of a whole campaign.
+
+    ``to_dict`` is the canonical payload — a pure function of the
+    campaign spec and policy list, bitwise-identical across backends,
+    shardings and runs (the chaos reproducibility contract).
+    Provenance (``backend``, ``wall_time_s``) stays outside it.
+    """
+
+    spec: ChaosSpec
+    policies: tuple[PolicySpec, ...]
+    records: tuple[RunRecord, ...]
+    backend: str = ""
+    wall_time_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "policies",
+                           _check_policies(self.policies))
+        object.__setattr__(self, "records",
+                           _sorted_records(self.records, self.policies))
+        expected = {(case, _policy_key(policy))
+                    for case in range(self.spec.n_cases)
+                    for policy in self.policies}
+        actual = [(record.case_index, _policy_key(record.policy))
+                  for record in self.records]
+        if len(actual) != len(set(actual)):
+            raise SpecError("duplicate campaign records")
+        if set(actual) != expected:
+            missing = len(expected - set(actual))
+            raise SpecError(
+                f"campaign {self.spec.name!r} is incomplete: {missing} of "
+                f"{len(expected)} (case, policy) runs missing")
+
+    @classmethod
+    def merge(cls, parts: Sequence[PartialCampaignResult],
+              ) -> "CampaignResult":
+        """Reduce a complete shard partition to the unsharded result."""
+        parts = list(parts)
+        if not parts:
+            raise SpecError("cannot merge zero campaign shards")
+        spec = parts[0].spec
+        counts = {part.shard_count for part in parts}
+        if len(counts) != 1:
+            raise SpecError(
+                f"campaign shards disagree on the partition size: "
+                f"{sorted(counts)}")
+        for part in parts:
+            if part.spec != spec:
+                raise SpecError(
+                    f"campaign shards describe different campaigns: "
+                    f"{spec.name!r} vs {part.spec.name!r}")
+            if part.policies != parts[0].policies:
+                raise SpecError(
+                    "campaign shards disagree on the policy list")
+        seen_shards = [part.shard_index for part in parts]
+        if len(set(seen_shards)) != len(seen_shards):
+            duplicated = sorted({index for index in seen_shards
+                                 if seen_shards.count(index) > 1})
+            raise SpecError(f"duplicate campaign shards: {duplicated} "
+                            f"of {parts[0].shard_count}")
+        records = [record for part in parts for record in part.records]
+        return cls(spec=spec, policies=parts[0].policies,
+                   records=tuple(records), backend="merged",
+                   wall_time_s=sum(part.wall_time_s for part in parts))
+
+    def counts(self) -> dict[str, int]:
+        """Verdict totals over every record."""
+        totals = {"pass": 0, "survival_failure": 0, "violation": 0}
+        for record in self.records:
+            totals[record.verdict] += 1
+        return totals
+
+    @property
+    def violations(self) -> tuple[RunRecord, ...]:
+        return tuple(r for r in self.records if r.verdict == "violation")
+
+    @property
+    def survival_failures(self) -> tuple[RunRecord, ...]:
+        return tuple(r for r in self.records
+                     if r.verdict == "survival_failure")
+
+    def canonical_json(self) -> str:
+        """The canonical payload through the one shared encoder."""
+        return canonical_json(self.to_dict())
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "policies": [policy.to_dict() for policy in self.policies],
+            "records": [record.to_dict() for record in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "CampaignResult":
+        required = ("spec", "policies", "records")
+        data = check_mapping_keys("CampaignResult", data, known=required,
+                                  required=required)
+        return cls(
+            spec=ChaosSpec.from_dict(data["spec"]),
+            policies=tuple(PolicySpec.from_dict(p)
+                           for p in data["policies"]),
+            records=tuple(RunRecord.from_dict(r) for r in data["records"]),
+        )
+
+
+def _judge_payload(payload: dict) -> dict:
+    """Process-pool worker: (scenario, policy, rules, case) dict in,
+    :class:`RunRecord` dict out.  Mirrors the scenario runner's
+    registry-visibility contract."""
+    from repro.chaos.spec import JudgeRulesSpec
+
+    scenario = ScenarioSpec.from_dict(payload["scenario"])
+    policy = PolicySpec.from_dict(payload["policy"])
+    rules = JudgeRulesSpec.from_dict(payload["rules"])
+    spec = dataclasses.replace(
+        scenario,
+        system=dataclasses.replace(scenario.system, policy=policy))
+    try:
+        judgement = judge_scenario(spec, rules)
+    except RegistryError as exc:
+        raise SpecError(
+            f"chaos case {scenario.name!r} cannot run on the process "
+            f"backend: {exc}. Worker processes import repro fresh, so "
+            "only components registered at import time are visible; "
+            "runtime @register_* registrations require the thread or "
+            "serial backend.") from None
+    return RunRecord(case_index=payload["case_index"],
+                     scenario=scenario.name, policy=policy,
+                     judgement=judgement).to_dict()
+
+
+class ChaosRunner:
+    """Executes chaos campaigns, optionally in parallel or sharded.
+
+    Args:
+        workers: default worker count.
+        backend: ``"serial"``, ``"thread"`` (default) or ``"process"``.
+    """
+
+    def __init__(self, workers: int = 1, backend: str = "thread") -> None:
+        if workers < 1:
+            raise SpecError("worker count must be at least 1")
+        if backend not in BACKENDS:
+            raise SpecError(
+                f"unknown backend {backend!r}; known: {list(BACKENDS)}")
+        self.workers = workers
+        self.backend = backend
+
+    def run(self, spec: ChaosSpec,
+            policies: Sequence[PolicySpec] | None = None,
+            shard: tuple[int, int] | None = None,
+            workers: int | None = None,
+            backend: str | None = None,
+            ) -> "CampaignResult | PartialCampaignResult":
+        """Judge every (case, policy) run of the campaign.
+
+        Args:
+            spec: the campaign.
+            policies: policies to sweep (default: every registered
+                policy at default parameters).
+            shard: ``(index, count)`` — generate and run only the
+                strided case subset, returning a
+                :class:`PartialCampaignResult`.
+            workers / backend: override the runner defaults.
+        """
+        policies = _check_policies(default_policies()
+                                   if policies is None else policies)
+        for policy in policies:
+            if policy.name not in POLICIES:
+                raise SpecError(
+                    f"unknown policy {policy.name!r}; registered "
+                    f"policies: {POLICIES.names()}")
+        n = self.workers if workers is None else workers
+        if n < 1:
+            raise SpecError("worker count must be at least 1")
+        chosen = self.backend if backend is None else backend
+        if chosen not in BACKENDS:
+            raise SpecError(
+                f"unknown backend {chosen!r}; known: {list(BACKENDS)}")
+
+        if shard is None:
+            indices = range(spec.n_cases)
+        else:
+            indices = case_indices(spec, shard[0], shard[1])
+        cases = chaos_cases(spec, indices)
+
+        started = time.perf_counter()
+        tasks = [(index, case, policy)
+                 for index, case in zip(indices, cases)
+                 for policy in policies]
+        records = self._execute(spec, tasks, n, chosen)
+        wall = time.perf_counter() - started
+        if shard is None:
+            return CampaignResult(spec=spec, policies=policies,
+                                  records=tuple(records), backend=chosen,
+                                  wall_time_s=wall)
+        return PartialCampaignResult(
+            spec=spec, shard_index=shard[0], shard_count=shard[1],
+            policies=policies, records=tuple(records), backend=chosen,
+            wall_time_s=wall)
+
+    def _execute(self, spec: ChaosSpec, tasks, workers: int,
+                 backend: str) -> list[RunRecord]:
+        if not tasks:
+            return []
+        rules = spec.judge
+
+        def run_one(task) -> RunRecord:
+            index, case, policy = task
+            judged = judge_scenario(
+                dataclasses.replace(
+                    case,
+                    system=dataclasses.replace(case.system, policy=policy)),
+                rules)
+            return RunRecord(case_index=index, scenario=case.name,
+                             policy=policy, judgement=judged)
+
+        if backend == "process":
+            payloads = [{"scenario": case.to_dict(),
+                         "policy": policy.to_dict(),
+                         "rules": rules.to_dict(),
+                         "case_index": index}
+                        for index, case, policy in tasks]
+            current = "the campaign"
+            try:
+                with ProcessPoolExecutor(
+                        max_workers=min(workers, len(tasks)),
+                        mp_context=multiprocessing.get_context(
+                            "spawn")) as pool:
+                    futures = [pool.submit(_judge_payload, payload)
+                               for payload in payloads]
+                    records = []
+                    for (index, case, policy), future in zip(tasks, futures):
+                        current = (f"case {case.name!r} under policy "
+                                   f"{policy.name!r}")
+                        records.append(RunRecord.from_dict(future.result()))
+                    return records
+            except BrokenProcessPool as exc:
+                raise SpecError(
+                    f"process-backend worker died before completing "
+                    f"{current} ({len(tasks)} runs in the campaign "
+                    "shard); see the chained exception. The thread "
+                    "backend avoids worker crashes taking down the "
+                    "whole pool.") from exc
+        if backend == "serial" or workers == 1 or len(tasks) <= 1:
+            return [run_one(task) for task in tasks]
+        with ThreadPoolExecutor(
+                max_workers=min(workers, len(tasks))) as pool:
+            return list(pool.map(run_one, tasks))
+
+
+def run_campaign(spec: ChaosSpec, workers: int = 1,
+                 backend: str = "thread", **kwargs) -> CampaignResult:
+    """One-call campaign run (what ``repro chaos run`` uses)."""
+    return ChaosRunner(workers=workers, backend=backend).run(spec, **kwargs)
+
+
+def load_campaign_result(
+        path: str | Path,
+        ) -> "CampaignResult | PartialCampaignResult":
+    """A full or partial campaign result from a JSON file.
+
+    Shard files carry a ``"shard"`` key; full results do not.
+    Failures surface as :class:`~repro.errors.SpecError` naming the
+    path.
+    """
+    from repro.scenarios.files import load_json_payload
+
+    payload = load_json_payload(path, what="campaign result")
+    try:
+        if "shard" in payload:
+            return PartialCampaignResult.from_dict(payload)
+        return CampaignResult.from_dict(payload)
+    except SpecError as exc:
+        raise SpecError(f"campaign result file {path}: {exc}") from None

@@ -1,0 +1,135 @@
+"""Digest a judged campaign and promote failures to regressions.
+
+Promotion is the chaos flywheel: a failure the strategist finds once
+becomes a named, self-contained scenario file under
+``scenarios/regressions/`` that ``repro simulate`` and the tier-1
+suite then run forever.  The promoted file is the *composed* case
+(inline segments, inline faults, the failing policy embedded), so it
+replays without the chaos machinery at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from pathlib import Path
+
+from repro.chaos.campaign import CampaignResult, RunRecord
+from repro.chaos.strategist import chaos_case
+from repro.errors import SpecError
+from repro.scenarios.spec import canonical_json
+
+__all__ = ["interesting_failures", "promotion_name", "promote_failures",
+           "format_report"]
+
+
+def _severity(record: RunRecord) -> tuple:
+    """Sort key: violations first, then the deadest watches."""
+    rank = 0 if record.verdict == "violation" else 1
+    outcome = record.judgement.outcome
+    if outcome is None:
+        # Engine errors have no outcome; treat as maximally severe
+        # within their rank.
+        return (rank, -float("inf"), -float("inf"))
+    downtime_frac = (outcome.downtime_s / outcome.duration_s
+                     if outcome.duration_s > 0 else 0.0)
+    return (rank, -downtime_frac, outcome.final_soc)
+
+
+def interesting_failures(result: CampaignResult) -> list[RunRecord]:
+    """Every non-pass record, most interesting first.
+
+    Violations (simulator bugs) outrank survival failures; within each
+    class, higher downtime then lower final SoC sorts first.  Ties
+    resolve by (case, policy) record order, keeping the ranking
+    deterministic.
+    """
+    failures = [record for record in result.records
+                if record.verdict != "pass"]
+    return sorted(failures, key=_severity)
+
+
+def promotion_name(result: CampaignResult, record: RunRecord) -> str:
+    """The promoted scenario's name: campaign, case and policy, made
+    filesystem-safe (it doubles as the file stem)."""
+    policy_slug = re.sub(r"[^A-Za-z0-9_]+", "_", record.policy.name)
+    return (f"{result.spec.name}_case{record.case_index:04d}"
+            f"_{policy_slug}")
+
+
+def promote_failures(result: CampaignResult, out_dir: str | Path,
+                     limit: int = 2) -> list[Path]:
+    """Write the top failures as regression scenario files.
+
+    Each promoted file is the failing case regenerated from the
+    campaign seed with the failing policy embedded — fully
+    self-contained canonical JSON.  At most one promotion per case
+    (the most severe), so a single pathological case doesn't crowd out
+    the rest.  Returns the written paths, most severe first.
+    """
+    if limit < 1:
+        raise SpecError(f"promotion limit must be at least 1, got {limit}")
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    seen_cases: set[int] = set()
+    for record in interesting_failures(result):
+        if len(written) >= limit:
+            break
+        if record.case_index in seen_cases:
+            continue
+        seen_cases.add(record.case_index)
+        case = chaos_case(result.spec, record.case_index)
+        promoted = dataclasses.replace(
+            case,
+            name=promotion_name(result, record),
+            system=dataclasses.replace(case.system, policy=record.policy),
+            description=(f"promoted chaos regression: {record.verdict} — "
+                         + "; ".join(record.judgement.reasons)),
+        )
+        path = out_dir / f"{promoted.name}.json"
+        path.write_text(canonical_json(promoted.to_dict()) + "\n",
+                        encoding="utf-8")
+        written.append(path)
+    return written
+
+
+def format_report(result: CampaignResult, limit: int = 10) -> str:
+    """A human-readable campaign digest (what ``repro chaos report``
+    prints)."""
+    counts = result.counts()
+    total = len(result.records)
+    lines = [
+        f"campaign {result.spec.name!r}: {result.spec.n_cases} cases x "
+        f"{len(result.policies)} policies = {total} runs "
+        f"(seed {result.spec.seed}, {result.spec.horizon_days} d horizon)",
+        f"  pass: {counts['pass']}  survival failures: "
+        f"{counts['survival_failure']}  violations: {counts['violation']}",
+    ]
+
+    by_policy: dict[str, dict[str, int]] = {}
+    for record in result.records:
+        slot = by_policy.setdefault(
+            record.policy.name,
+            {"pass": 0, "survival_failure": 0, "violation": 0})
+        slot[record.verdict] += 1
+    lines.append("  per policy:")
+    for name in sorted(by_policy):
+        slot = by_policy[name]
+        lines.append(
+            f"    {name:<24} pass {slot['pass']:>3}  "
+            f"fail {slot['survival_failure']:>3}  "
+            f"violate {slot['violation']:>3}")
+
+    failures = interesting_failures(result)
+    if failures:
+        lines.append(f"  top failures (of {len(failures)}):")
+        for record in failures[:limit]:
+            reason = (record.judgement.reasons[0]
+                      if record.judgement.reasons else "(no reason)")
+            lines.append(
+                f"    [{record.verdict}] case {record.case_index:04d} "
+                f"policy {record.policy.name}: {reason}")
+    else:
+        lines.append("  no failures: every run passed the judge.")
+    return "\n".join(lines)

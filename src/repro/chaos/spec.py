@@ -1,0 +1,208 @@
+"""Frozen, JSON-round-trippable chaos campaign specs.
+
+A :class:`ChaosSpec` fully determines a chaos campaign: the base
+scenario to mutate, how many adversarial cases to compose, the horizon,
+the seed, which fault axes participate (:class:`ChaosAxisSpec`, by
+registry name), and the survival thresholds the judge applies
+(:class:`JudgeRulesSpec`).  Everything rides the canonical-JSON
+contract from :mod:`repro.scenarios.spec`, so equal campaigns digest
+identically and a seeded campaign is reproducible byte for byte.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Mapping
+
+from repro.errors import SpecError
+from repro.scenarios.spec import check_mapping_keys
+
+__all__ = ["ChaosAxisSpec", "JudgeRulesSpec", "ChaosSpec",
+           "load_chaos_file"]
+
+_PARAM_SCALARS = (bool, int, float, str)
+
+
+@dataclass(frozen=True)
+class ChaosAxisSpec:
+    """One fault axis by registry name, plus its keyword parameters.
+
+    Mirrors :class:`~repro.scenarios.spec.PolicySpec`: ``name`` keys
+    the ``AXES`` registry (:mod:`repro.chaos.axes`), ``params`` go to
+    the axis factory as keyword arguments and must be JSON scalars so
+    campaigns survive the process backend unchanged.
+    """
+
+    name: str
+    params: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("chaos axis name cannot be empty")
+        params = check_mapping_keys("ChaosAxisSpec params", self.params,
+                                    known=self.params)
+        for key, value in params.items():
+            if not isinstance(key, str) or not key:
+                raise SpecError(
+                    f"axis param names must be non-empty strings, got {key!r}")
+            if not isinstance(value, _PARAM_SCALARS):
+                raise SpecError(
+                    f"axis param {key!r} must be a JSON scalar "
+                    f"(number, string or bool), got {type(value).__name__}")
+        object.__setattr__(self, "params", dict(params))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "params": dict(self.params)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChaosAxisSpec":
+        data = check_mapping_keys("ChaosAxisSpec", data,
+                                  known=("name", "params"),
+                                  required=("name",))
+        return cls(name=data["name"], params=data.get("params", {}))
+
+
+@dataclass(frozen=True)
+class JudgeRulesSpec:
+    """Survival thresholds the judge applies after the invariants pass.
+
+    Attributes:
+        max_downtime_fraction: a run whose ``downtime_s`` exceeds this
+            fraction of the horizon is a survival failure — the watch
+            spent too long browned out or degraded.
+        min_final_soc: a run that ends below this state of charge is a
+            survival failure (the battery is effectively dead).
+        require_detections: when true, a run that executes zero
+            detections over the whole horizon is a survival failure
+            even if the battery stayed healthy — a watch that never
+            detects is not surviving, it is decorative.
+    """
+
+    max_downtime_fraction: float = 0.1
+    min_final_soc: float = 0.05
+    require_detections: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.max_downtime_fraction <= 1.0:
+            raise SpecError(
+                f"max_downtime_fraction must lie in [0, 1], "
+                f"got {self.max_downtime_fraction!r}")
+        if not 0.0 <= self.min_final_soc <= 1.0:
+            raise SpecError(
+                f"min_final_soc must lie in [0, 1], "
+                f"got {self.min_final_soc!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "JudgeRulesSpec":
+        data = check_mapping_keys(
+            "JudgeRulesSpec", data,
+            known=("max_downtime_fraction", "min_final_soc",
+                   "require_detections"))
+        return cls(**data)
+
+
+@dataclass(frozen=True)
+class ChaosSpec:
+    """A named, fully-seeded chaos campaign.
+
+    Attributes:
+        name: campaign identifier (report label, generated-case prefix).
+        base_scenario: library scenario the strategist mutates.
+        n_cases: how many adversarial cases to compose.
+        horizon_days: per-case simulated horizon.
+        seed: campaign seed; case ``i`` draws from
+            ``random.Random(seed + i)``, so any case regenerates alone.
+        axes: participating fault axes.  Empty means *every* registered
+            axis, resolved at generation time.
+        judge: survival thresholds (invariant checks are always on).
+        description: one-line human-readable summary.
+    """
+
+    name: str
+    base_scenario: str = "paper_indoor_worst_case"
+    n_cases: int = 8
+    horizon_days: int = 2
+    seed: int = 0
+    axes: tuple[ChaosAxisSpec, ...] = ()
+    judge: JudgeRulesSpec = JudgeRulesSpec()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SpecError("campaign name cannot be empty")
+        if not self.base_scenario:
+            raise SpecError("campaign base_scenario cannot be empty")
+        for label, value in (("n_cases", self.n_cases),
+                             ("horizon_days", self.horizon_days),
+                             ("seed", self.seed)):
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise SpecError(
+                    f"campaign {label} must be an integer, got {value!r}")
+        if self.n_cases < 1:
+            raise SpecError(
+                f"campaign n_cases must be at least 1, got {self.n_cases}")
+        if self.horizon_days < 1:
+            raise SpecError(
+                f"campaign horizon_days must be at least 1, "
+                f"got {self.horizon_days}")
+        object.__setattr__(self, "axes", tuple(self.axes))
+        for axis in self.axes:
+            if not isinstance(axis, ChaosAxisSpec):
+                raise SpecError(
+                    f"campaign axes must be ChaosAxisSpec instances, "
+                    f"got {type(axis).__name__}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "base_scenario": self.base_scenario,
+            "n_cases": self.n_cases,
+            "horizon_days": self.horizon_days,
+            "seed": self.seed,
+            "axes": [axis.to_dict() for axis in self.axes],
+            "judge": self.judge.to_dict(),
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChaosSpec":
+        data = check_mapping_keys(
+            "ChaosSpec", data,
+            known=("name", "base_scenario", "n_cases", "horizon_days",
+                   "seed", "axes", "judge", "description"),
+            required=("name",))
+        kwargs: dict[str, Any] = {"name": data["name"]}
+        if "axes" in data:
+            kwargs["axes"] = tuple(ChaosAxisSpec.from_dict(axis)
+                                   for axis in data["axes"])
+        if "judge" in data:
+            kwargs["judge"] = JudgeRulesSpec.from_dict(data["judge"])
+        for key in ("base_scenario", "n_cases", "horizon_days", "seed",
+                    "description"):
+            if key in data:
+                kwargs[key] = data[key]
+        return cls(**kwargs)
+
+
+def load_chaos_file(path: str | Path) -> ChaosSpec:
+    """A :class:`ChaosSpec` from a JSON file.
+
+    Accepts either a bare campaign-spec object or the envelope
+    ``repro chaos generate --out`` writes (``{"campaign": ...,
+    "cases": [...]}``) — the materialized cases are regenerable from
+    the spec, so only the spec is read back.
+    """
+    from repro.scenarios.files import load_json_payload
+
+    payload = load_json_payload(path, "chaos campaign")
+    if isinstance(payload, Mapping) and "campaign" in payload:
+        payload = payload["campaign"]
+    try:
+        return ChaosSpec.from_dict(payload)
+    except SpecError as exc:
+        raise SpecError(f"{path}: {exc}") from None

@@ -451,6 +451,59 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
               f"{result.wall_time_s:.2f} s total shard wall time")
         return 0
 
+    if args.fleet_command == "orchestrate":
+        from pathlib import Path
+
+        from repro.errors import SpecError
+        from repro.fleet import orchestrate, plan_manifest, write_manifest
+        from repro.fleet.orchestrate import MANIFEST_NAME
+
+        workspace = Path(args.dir)
+        manifest_path = workspace / MANIFEST_NAME
+        if args.resume:
+            if not manifest_path.is_file():
+                raise SpecError(
+                    f"--resume: no manifest at {manifest_path}; start a "
+                    "campaign first with --fleet or --chaos")
+        else:
+            if manifest_path.is_file():
+                raise SpecError(
+                    f"{manifest_path} already exists; pass --resume to "
+                    "continue it (finished shards are reused), or pick "
+                    "a fresh directory")
+            if bool(args.fleet) == bool(args.chaos):
+                raise SpecError(
+                    "orchestrate needs exactly one of --fleet or "
+                    "--chaos (or --resume on an existing directory)")
+            if args.fleet:
+                kind, spec = "fleet", _resolve_fleet(args.fleet)
+            else:
+                from repro.chaos import load_chaos_file
+
+                kind, spec = "chaos", load_chaos_file(args.chaos)
+            manifest = plan_manifest(
+                kind, spec, shard_count=args.shards,
+                timeout_s=args.timeout, max_attempts=args.retries + 1,
+                backoff_s=args.backoff, workers=args.workers,
+                backend=args.backend)
+            write_manifest(workspace, manifest)
+        summary = orchestrate(workspace,
+                              echo=None if args.json else print)
+        if args.json:
+            _print_json(summary)
+            return 0
+        print(f"orchestrate: {summary['kind']} campaign complete — "
+              f"{summary['reused']} shard(s) reused, "
+              f"{summary['ran']} ran")
+        print(f"  merged : {summary['merged_out']}")
+        print(f"  sha256 : {summary['sha256']}")
+        if "verdicts" in summary:
+            verdicts = summary["verdicts"]
+            print(f"  judged : pass {verdicts['pass']}, survival "
+                  f"failures {verdicts['survival_failure']}, "
+                  f"violations {verdicts['violation']}")
+        return 0
+
     from repro.fleet import FleetRunner
 
     fleet = _resolve_fleet(args.fleet)
@@ -546,7 +599,139 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
     serve_forever(args.store or ".repro-store", host=args.host,
                   port=args.port, workers=args.workers,
-                  backend=args.backend)
+                  backend=args.backend,
+                  request_timeout_s=args.timeout)
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    from repro.serve import ResultStore
+
+    store = ResultStore(args.store)
+    summary = store.gc(max_bytes=args.max_bytes)
+    if args.json:
+        _print_json(summary)
+        return 0
+    print(f"store gc: {args.store}")
+    print(f"  before : {summary['entries_before']} entry(ies), "
+          f"{summary['bytes_before']} bytes")
+    print(f"  evicted: {summary['evicted']} entry(ies), "
+          f"{summary['evicted_bytes']} bytes (LRU, budget "
+          f"{summary['max_bytes']} bytes)")
+    print(f"  after  : {summary['entries_after']} entry(ies), "
+          f"{summary['bytes_after']} bytes")
+    return 0
+
+
+def _parse_axis(text: str):
+    """A ``--axis NAME`` or ``--axis NAME:{json params}`` argument."""
+    import json as json_module
+
+    from repro.chaos import ChaosAxisSpec
+    from repro.errors import SpecError
+
+    name, _, params_text = text.partition(":")
+    params = {}
+    if params_text:
+        try:
+            params = json_module.loads(params_text)
+        except ValueError as exc:
+            raise SpecError(
+                f"--axis {name!r}: params must be a JSON object, "
+                f"got {params_text!r} ({exc})") from None
+        if not isinstance(params, dict):
+            raise SpecError(
+                f"--axis {name!r}: params must be a JSON object, "
+                f"got {type(params).__name__}")
+    return ChaosAxisSpec(name=name, params=params)
+
+
+def _resolve_campaign(args: argparse.Namespace):
+    """The campaign spec: a ChaosSpec JSON file, or built from flags."""
+    from repro.chaos import ChaosSpec, load_chaos_file
+
+    if args.spec:
+        return load_chaos_file(args.spec)
+    return ChaosSpec(
+        name=args.name,
+        base_scenario=args.base_scenario,
+        n_cases=args.cases,
+        horizon_days=args.days,
+        seed=args.seed,
+        axes=tuple(_parse_axis(text) for text in (args.axis or ())),
+    )
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    if args.chaos_command == "axes":
+        from repro.chaos import AXES, axis_names
+
+        print("Registered chaos axes")
+        for name in axis_names():
+            doc = (AXES.get(name).__doc__ or "").strip().splitlines()
+            print(f"  {name:22s}  {doc[0] if doc else ''}")
+        return 0
+
+    if args.chaos_command == "generate":
+        from repro.chaos import generate_payload
+
+        spec = _resolve_campaign(args)
+        _emit_payload(generate_payload(spec), args.out)
+        return 0
+
+    if args.chaos_command == "run":
+        from repro.chaos import ChaosRunner, format_report
+        from repro.scenarios.spec import PolicySpec
+
+        spec = _resolve_campaign(args)
+        runner = ChaosRunner(workers=args.workers, backend=args.backend)
+        policies = ([PolicySpec(name) for name in args.policy]
+                    if args.policy else None)
+        if args.shard:
+            # A shard is machine food for merging, not a report.
+            partial = runner.run(spec, policies=policies,
+                                 shard=_parse_shard(args.shard))
+            _emit_payload(partial.to_dict(), args.out)
+            return 0
+        result = runner.run(spec, policies=policies)
+        if args.json or args.out:
+            _emit_payload(result.to_dict(), args.out)
+            return 0
+        print(format_report(result))
+        return 0
+
+    # chaos report: digest result files, optionally promote failures.
+    from repro.chaos import (CampaignResult, PartialCampaignResult,
+                             format_report, load_campaign_result,
+                             promote_failures)
+    from repro.errors import SpecError
+
+    loaded = [load_campaign_result(path) for path in args.files]
+    full = [r for r in loaded if isinstance(r, CampaignResult)]
+    partial = [r for r in loaded if isinstance(r, PartialCampaignResult)]
+    if full and partial:
+        raise SpecError("chaos report: mix of full and partial campaign "
+                        "results; pass either one full result or a "
+                        "complete set of shards")
+    if len(full) > 1:
+        raise SpecError("chaos report: pass exactly one full campaign "
+                        f"result, got {len(full)}")
+    result = full[0] if full else CampaignResult.merge(partial)
+    if args.json:
+        _print_json({"result": result.to_dict(),
+                     "verdicts": result.counts()})
+    else:
+        print(format_report(result, limit=args.limit))
+    if args.promote:
+        paths = promote_failures(result, args.promote, limit=args.limit)
+        for path in paths:
+            print(f"promoted: {path}")
+        if not paths:
+            print("promoted: nothing (no failures to promote)")
+    if args.fail_on_violation and result.violations:
+        print(f"error: {len(result.violations)} invariant violation(s)",
+              file=sys.stderr)
+        return 3
     return 0
 
 
@@ -722,6 +907,151 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="FILE",
         help="write the JSON payload to FILE instead of stdout")
 
+    p_fleet_orch = fleet_sub.add_parser(
+        "orchestrate", help="drive a sharded fleet or chaos campaign "
+                            "to completion: manifest on disk, "
+                            "per-shard timeout, bounded retry with "
+                            "backoff, crash-safe resume, exact merge")
+    p_fleet_orch.add_argument(
+        "dir", help="campaign workspace directory (holds the manifest, "
+                    "shard outputs and the merged result)")
+    p_fleet_orch.add_argument(
+        "--fleet", metavar="NAME|FILE",
+        help="start a fleet campaign: library fleet name or FleetSpec "
+             "*.json file")
+    p_fleet_orch.add_argument(
+        "--chaos", metavar="FILE",
+        help="start a chaos campaign: ChaosSpec *.json file (or a "
+             "`chaos generate --out` envelope)")
+    p_fleet_orch.add_argument(
+        "--resume", action="store_true",
+        help="continue the campaign already in DIR: shards whose "
+             "outputs are on disk and valid are never re-simulated")
+    p_fleet_orch.add_argument("--shards", type=int, default=4,
+                              help="how many shard tasks (default 4)")
+    p_fleet_orch.add_argument(
+        "--timeout", type=float, default=600.0,
+        help="per-shard wall-clock ceiling in seconds (default 600)")
+    p_fleet_orch.add_argument(
+        "--retries", type=int, default=2,
+        help="retries per shard after the first attempt (default 2)")
+    p_fleet_orch.add_argument(
+        "--backoff", type=float, default=1.0,
+        help="base of the exponential retry backoff in seconds "
+             "(default 1.0)")
+    p_fleet_orch.add_argument("--workers", type=int, default=4,
+                              help="workers per shard task (default 4)")
+    p_fleet_orch.add_argument(
+        "--backend", choices=["serial", "thread", "process"],
+        default="thread", help="backend per shard task (default thread)")
+    p_fleet_orch.add_argument("--json", action="store_true",
+                              help="emit the final summary as JSON")
+
+    p_chaos = sub.add_parser(
+        "chaos", help="chaos engineering: fault-injected adversarial "
+                      "campaigns with an invariant judge")
+    chaos_sub = p_chaos.add_subparsers(dest="chaos_command", required=True,
+                                       metavar="action")
+    chaos_sub.add_parser("axes", help="list the registered fault axes")
+
+    def _chaos_campaign_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("spec", nargs="?",
+                       help="ChaosSpec *.json file (or a `chaos "
+                            "generate --out` envelope); omit to build "
+                            "a campaign from the flags below")
+        p.add_argument("--name", default="chaos",
+                       help="campaign name when no spec file is given "
+                            "(default 'chaos')")
+        p.add_argument("--base-scenario", default="paper_indoor_worst_case",
+                       help="library scenario the strategist mutates "
+                            "(default paper_indoor_worst_case)")
+        p.add_argument("--cases", type=int, default=8,
+                       help="adversarial cases to compose (default 8)")
+        p.add_argument("--days", type=int, default=2,
+                       help="per-case horizon in days (default 2)")
+        p.add_argument("--seed", type=int, default=0,
+                       help="campaign seed; case i draws from "
+                            "Random(seed + i) (default 0)")
+        p.add_argument("--axis", action="append", metavar="NAME[:JSON]",
+                       help="fault axis to apply, optionally with "
+                            "params, e.g. battery_aging:"
+                            "{\"min_fade\": 0.4} (repeatable; default: "
+                            "every registered axis)")
+
+    p_chaos_gen = chaos_sub.add_parser(
+        "generate", help="compose the campaign's adversarial scenarios "
+                         "(seeded, bitwise-reproducible) without "
+                         "running them")
+    _chaos_campaign_args(p_chaos_gen)
+    p_chaos_gen.add_argument("--out", metavar="FILE",
+                             help="write the JSON payload to FILE "
+                                  "instead of stdout")
+
+    p_chaos_run = chaos_sub.add_parser(
+        "run", help="run every policy over the campaign's cases under "
+                    "the invariant judge (or one shard of it)")
+    _chaos_campaign_args(p_chaos_run)
+    p_chaos_run.add_argument(
+        "--policy", action="append", metavar="NAME",
+        help="registered policy to include at default params "
+             "(repeatable; default: every registered policy)")
+    p_chaos_run.add_argument("--workers", type=int, default=4,
+                             help="parallel workers (default 4)")
+    p_chaos_run.add_argument(
+        "--backend", choices=["serial", "thread", "process"],
+        default="thread",
+        help="execution backend (default thread; cases are "
+             "self-contained, so process works)")
+    p_chaos_run.add_argument(
+        "--shard", metavar="I/N",
+        help="run only shard I of an N-way partition (cases with "
+             "index %% N == I) and emit a partial result")
+    p_chaos_run.add_argument("--out", metavar="FILE",
+                             help="write the JSON payload to FILE "
+                                  "instead of stdout")
+    p_chaos_run.add_argument("--json", action="store_true",
+                             help="emit the judged campaign result as "
+                                  "JSON")
+
+    p_chaos_report = chaos_sub.add_parser(
+        "report", help="digest judged campaign results; optionally "
+                       "promote the worst failures to regression "
+                       "scenarios")
+    p_chaos_report.add_argument(
+        "files", nargs="+", metavar="RESULT.json",
+        help="one full campaign result, or a complete set of `chaos "
+             "run --shard` partials (merged exactly)")
+    p_chaos_report.add_argument(
+        "--promote", metavar="DIR",
+        help="write the most severe failures as self-contained "
+             "regression scenario files under DIR")
+    p_chaos_report.add_argument(
+        "--limit", type=int, default=10,
+        help="failures to list (and, with --promote, the promotion "
+             "cap; default 10)")
+    p_chaos_report.add_argument(
+        "--fail-on-violation", action="store_true",
+        help="exit 3 when any run violated a simulator invariant")
+    p_chaos_report.add_argument("--json", action="store_true",
+                                help="emit the result and verdict "
+                                     "totals as JSON")
+
+    p_store = sub.add_parser(
+        "store", help="maintain a result store directory")
+    store_sub = p_store.add_subparsers(dest="store_command", required=True,
+                                       metavar="action")
+    p_store_gc = store_sub.add_parser(
+        "gc", help="evict least-recently-used entries until the store "
+                   "fits a byte budget")
+    p_store_gc.add_argument("store", metavar="DIR",
+                            help="result store directory")
+    p_store_gc.add_argument(
+        "--max-bytes", type=int, required=True,
+        help="byte budget the surviving entries must fit in "
+             "(0 empties the store)")
+    p_store_gc.add_argument("--json", action="store_true",
+                            help="emit the eviction summary as JSON")
+
     p_serve = sub.add_parser(
         "serve", help="run the fleet service: an HTTP API over the "
                       "scenario/fleet runners with a content-addressed "
@@ -744,6 +1074,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="start a throwaway server, submit one "
                               "fleet twice, assert the resubmission is "
                               "a bitwise-identical cache hit, and exit")
+    p_serve.add_argument("--timeout", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-request wall-clock ceiling; a "
+                              "request still running after this long "
+                              "gets a 504 JSON error (default: none)")
 
     p_ingest = sub.add_parser(
         "ingest", help="fit a streamed power-telemetry trace (JSONL of "
@@ -807,6 +1142,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_search(args)
         if args.command == "fleet":
             return _cmd_fleet(args)
+        if args.command == "chaos":
+            return _cmd_chaos(args)
+        if args.command == "store":
+            return _cmd_store(args)
         if args.command == "serve":
             return _cmd_serve(args)
         if args.command == "ingest":

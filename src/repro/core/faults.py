@@ -1,0 +1,136 @@
+"""Fault windows compiled into a piecewise-constant fault timeline.
+
+The chaos layer describes faults as independent, possibly-overlapping
+windows (:class:`repro.scenarios.spec.FaultSpec`): sensor dropout,
+harvester derating and parasitic load spikes.  The engine wants the
+opposite shape — "what is broken *right now*" as it walks forward in
+time.  :class:`FaultTimeline` does the compile once, up front: it
+merges every window's breakpoints into a sorted sequence of
+:class:`FaultInterval` states covering ``[0, ∞)``, so the stepping
+loop advances a cursor exactly like it does over environment segments
+and never scans the window list per step.
+
+Combination rules when windows overlap:
+
+* harvester derates **multiply** (two 50 % occlusions leave 25 %);
+* load spikes **add** (two 10 mW spikes draw 20 mW extra);
+* sensor dropout is a latch — the sensor is down while *any* dropout
+  window covers ``t``.
+
+This module is duck-typed over the window objects (anything with
+``kind`` / ``start_s`` / ``duration_s`` / ``magnitude``) so the engine
+keeps no import-time dependency on the spec layer.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.errors import SimulationError
+
+__all__ = ["FaultInterval", "FaultTimeline", "build_fault_timeline"]
+
+
+@dataclass(frozen=True)
+class FaultInterval:
+    """The combined fault state over one half-open span ``[start_s, end_s)``.
+
+    Attributes:
+        start_s: span start.
+        end_s: span end (``inf`` on the final interval).
+        harvest_scale: factor on harvest intake (product of active
+            derates; ``1.0`` when none).
+        extra_load_w: parasitic draw on top of sleep power (sum of
+            active spikes; ``0.0`` when none).
+        sensor_ok: ``False`` while any dropout window is active.
+    """
+
+    start_s: float
+    end_s: float
+    harvest_scale: float
+    extra_load_w: float
+    sensor_ok: bool
+
+    @property
+    def healthy(self) -> bool:
+        """True when nothing is broken in this span."""
+        return (self.sensor_ok and self.extra_load_w == 0.0
+                and self.harvest_scale == 1.0)
+
+
+class FaultTimeline:
+    """Sorted, gap-free fault intervals covering the whole run.
+
+    Args:
+        windows: fault windows (``FaultSpec``-shaped objects).  The
+            sequence may be empty, but callers normally use
+            :func:`build_fault_timeline`, which maps "no windows" to
+            ``None`` so the engine's fault-free fast path stays free.
+    """
+
+    def __init__(self, windows: Iterable) -> None:
+        self.windows = tuple(windows)
+        for window in self.windows:
+            if window.kind not in ("sensor_dropout", "harvester_derate",
+                                   "load_spike"):
+                raise SimulationError(
+                    f"unknown fault kind {window.kind!r}")
+            if window.start_s < 0 or window.duration_s <= 0:
+                raise SimulationError(
+                    f"fault window must start at t>=0 with positive "
+                    f"duration, got start={window.start_s!r} "
+                    f"duration={window.duration_s!r}")
+        breakpoints = {0.0}
+        for window in self.windows:
+            breakpoints.add(float(window.start_s))
+            breakpoints.add(float(window.start_s + window.duration_s))
+        edges = sorted(breakpoints)
+        intervals: list[FaultInterval] = []
+        for i, start in enumerate(edges):
+            end = edges[i + 1] if i + 1 < len(edges) else math.inf
+            scale = 1.0
+            extra = 0.0
+            sensor_ok = True
+            for window in self.windows:
+                if not (window.start_s <= start
+                        < window.start_s + window.duration_s):
+                    continue
+                if window.kind == "harvester_derate":
+                    scale *= float(window.magnitude)
+                elif window.kind == "load_spike":
+                    extra += float(window.magnitude)
+                else:
+                    sensor_ok = False
+            intervals.append(FaultInterval(
+                start_s=start, end_s=end, harvest_scale=scale,
+                extra_load_w=extra, sensor_ok=sensor_ok))
+        self.intervals: Sequence[FaultInterval] = tuple(intervals)
+
+    def at(self, time_s: float) -> FaultInterval:
+        """The fault state covering ``time_s`` (linear scan; the engine
+        keeps its own cursor instead of calling this per step)."""
+        if time_s < 0:
+            raise SimulationError("fault lookup time cannot be negative")
+        for interval in self.intervals:
+            if interval.start_s <= time_s < interval.end_s:
+                return interval
+        raise SimulationError(  # pragma: no cover - intervals cover [0, inf)
+            f"no fault interval covers t={time_s!r}")
+
+    def __len__(self) -> int:
+        return len(self.intervals)
+
+
+def build_fault_timeline(windows: Iterable) -> FaultTimeline | None:
+    """A :class:`FaultTimeline`, or ``None`` for an empty window set.
+
+    The ``None`` contract matters: the engine's stepping loop only
+    pays for fault bookkeeping when a timeline is present, keeping the
+    fault-free path bitwise identical to the pre-chaos engine.
+    """
+    windows = tuple(windows)
+    if not windows:
+        return None
+    return FaultTimeline(windows)

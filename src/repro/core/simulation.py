@@ -138,6 +138,10 @@ class SimulationResult:
             not deliver the full demand (detections were dropped or
             the watch browned out) — the "watch was degraded" clock
             that fleet studies aggregate into downtime hours.
+        fault_demand_j: energy demanded by injected load-spike faults
+            over the horizon (``0.0`` on fault-free runs).  The
+            invariant judge uses it to decompose consumption into
+            detections + sleep + faults.
     """
 
     steps: list[SimulationStep] = field(default_factory=list)
@@ -148,6 +152,7 @@ class SimulationResult:
     total_consumed_j: float = 0.0
     duration_s: float = 0.0
     downtime_s: float = 0.0
+    fault_demand_j: float = 0.0
 
     @property
     def energy_neutral(self) -> bool:
@@ -192,6 +197,10 @@ class DaySimulation:
             string form (``"full"``, ``"none"``, ``"decimated:<n>"``).
             Summary totals stay exact in every mode; only the
             ``steps`` list is affected.
+        faults: a compiled :class:`repro.core.faults.FaultTimeline` of
+            injected fault windows (sensor dropout, harvester derate,
+            load spikes), or ``None`` for a healthy system.  The
+            fault-free path is bitwise identical to passing nothing.
     """
 
     def __init__(self, timeline: EnvironmentTimeline,
@@ -204,7 +213,8 @@ class DaySimulation:
                  manager: EnergyAwareManager | None = None,
                  detection_energy_j: float | None = None,
                  duration_s: float | None = None,
-                 trace: TraceMode | str = "full") -> None:
+                 trace: TraceMode | str = "full",
+                 faults=None) -> None:
         if step_s <= 0:
             raise SimulationError("step size must be positive")
         if sleep_power_w < 0:
@@ -272,6 +282,11 @@ class DaySimulation:
         self.sleep_power_w = sleep_power_w
         self.duration_s = duration_s
         self.trace = TraceMode.parse(trace)
+        if faults is not None and not hasattr(faults, "intervals"):
+            raise SimulationError(
+                f"faults must be a FaultTimeline (or None), "
+                f"got {type(faults).__name__}")
+        self.faults = faults
 
     def run(self, duration_s: float | None = None) -> SimulationResult:
         """Run over ``duration_s`` (default: the constructor's
@@ -321,6 +336,16 @@ class DaySimulation:
         total_consumed_j = 0.0
         total_detections = 0.0
         downtime_s = 0.0
+        # Fault bookkeeping mirrors the segment cursor: precompiled
+        # intervals, advanced monotonically.  Every fault branch is
+        # guarded by ``faults is None`` so a healthy run performs the
+        # exact pre-chaos float operations (pinned by the bench's
+        # legacy-equivalence gate).
+        faults = self.faults
+        fault_intervals = faults.intervals if faults is not None else ()
+        fault_last = len(fault_intervals) - 1
+        fault_idx = 0
+        fault_demand_j = 0.0
 
         seg_idx = 0
         segment = segments[0]
@@ -338,13 +363,28 @@ class DaySimulation:
                 segment = segments[seg_idx]
                 harvest_w = self.harvester.battery_intake_w(segment.lighting,
                                                             segment.thermal)
-            stored_j = battery.charge(harvest_w, dt)
+            if faults is None:
+                intake_w = harvest_w
+                overhead_w = sleep_power_w
+                sensor_ok = True
+            else:
+                while (fault_idx < fault_last
+                       and t >= fault_intervals[fault_idx].end_s):
+                    fault_idx += 1
+                fault_state = fault_intervals[fault_idx]
+                intake_w = harvest_w * fault_state.harvest_scale
+                overhead_w = sleep_power_w + fault_state.extra_load_w
+                sensor_ok = fault_state.sensor_ok
+                fault_demand_j += fault_state.extra_load_w * dt
+            stored_j = battery.charge(intake_w, dt)
             total_harvest_j += stored_j
 
+            # The policy observes the *effective* intake: an occluded
+            # harvester looks like a dark segment, not a healthy one.
             rate = decide(PowerObservation(
                 time_s=t,
                 step_s=dt,
-                harvest_power_w=harvest_w,
+                harvest_power_w=intake_w,
                 state_of_charge=battery.state_of_charge,
             )).detection_rate_per_min
             if not rate >= 0.0:  # rejects negatives and NaN alike
@@ -362,18 +402,25 @@ class DaySimulation:
             # (the floor of 1 keeps sub-detection-per-step rates
             # accumulating across steps).
             step_cap = max(1.0, max_rate * dt / 60.0)
-            carry_detections += rate * dt / 60.0
-            detections_now = float(int(min(carry_detections, step_cap)))
-            carry_detections -= detections_now
+            if sensor_ok:
+                carry_detections += rate * dt / 60.0
+                detections_now = float(int(min(carry_detections, step_cap)))
+                carry_detections -= detections_now
+            else:
+                # Sensor dropout: the detection pipeline is dead — no
+                # samples arrive, so nothing executes and nothing
+                # accumulates on the carry either (a dropout is lost
+                # data, not a backlog).
+                detections_now = 0.0
 
-            demand_j = detections_now * detection_j + sleep_power_w * dt
+            demand_j = detections_now * detection_j + overhead_w * dt
             delivered_j = battery.discharge(demand_j / dt, dt)
             if delivered_j + 1e-12 < demand_j:
                 # Battery could not cover the step: only whole
                 # detections execute; the unexecuted remainder goes
                 # back on the carry (bounded — the watch does not owe
                 # detections from a long outage).
-                covered = max(0.0, delivered_j - sleep_power_w * dt)
+                covered = max(0.0, delivered_j - overhead_w * dt)
                 executed = (float(int(covered / detection_j))
                             if detection_j > 0 else 0.0)
                 carry_detections = min(
@@ -386,7 +433,7 @@ class DaySimulation:
             if trace_full or (trace_every and step_index % trace_every == 0):
                 steps.append(SimulationStep(
                     time_s=t,
-                    harvest_w=harvest_w,
+                    harvest_w=intake_w,
                     detection_rate_per_min=rate,
                     detections=detections_now,
                     state_of_charge=battery.state_of_charge,
@@ -403,7 +450,7 @@ class DaySimulation:
         if trace_every and step_index and last_recorded != step_index - 1:
             steps.append(SimulationStep(
                 time_s=step_start,
-                harvest_w=harvest_w,
+                harvest_w=intake_w,
                 detection_rate_per_min=last_rate,
                 detections=last_detections,
                 state_of_charge=battery.state_of_charge,
@@ -413,5 +460,6 @@ class DaySimulation:
         result.total_consumed_j = total_consumed_j
         result.total_detections = total_detections
         result.downtime_s = downtime_s
+        result.fault_demand_j = fault_demand_j
         result.final_soc = battery.state_of_charge
         return result

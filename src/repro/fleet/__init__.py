@@ -24,10 +24,13 @@ them to population statistics.
   :class:`WearerRecord`/:class:`PartialFleetResult` and the
   merge-exact reducer :meth:`FleetResult.merge`;
 * :mod:`repro.fleet.library` — named built-in fleets
-  (``office_cohort_week``, ...).
+  (``office_cohort_week``, ...);
+* :mod:`repro.fleet.orchestrate` — manifest-driven shard
+  orchestration with per-shard timeout, bounded retry with backoff,
+  and crash-safe resume (:func:`orchestrate`).
 
 CLI: ``repro fleet list | run [--shard I/N] | compare | search |
-merge`` — see ``docs/cli.md``.
+merge | orchestrate`` — see ``docs/cli.md``.
 """
 
 from repro.fleet.spec import FleetSpec, SamplerSpec, load_fleet_file
@@ -65,6 +68,12 @@ from repro.fleet.library import (
     get_fleet,
     register_fleet,
 )
+from repro.fleet.orchestrate import (
+    load_manifest,
+    orchestrate,
+    plan_manifest,
+    write_manifest,
+)
 
 __all__ = [
     "FleetSpec",
@@ -94,4 +103,8 @@ __all__ = [
     "fleet_names",
     "get_fleet",
     "register_fleet",
+    "load_manifest",
+    "orchestrate",
+    "plan_manifest",
+    "write_manifest",
 ]

@@ -59,13 +59,19 @@ class LiPoBattery:
         undervoltage_lockout_v: terminal voltage below which discharge
             is blocked (the BQ parts' VBAT_UV).
         overvoltage_v: charge is rejected above this OCV (VBAT_OV).
+        capacity_fade: irreversible capacity loss from aging as a
+            fraction of the nameplate in [0, 1) — ``0.3`` models a cell
+            that only holds 70 % of its rated charge.  State of charge
+            stays relative to the *effective* capacity, matching what a
+            fuel gauge on an aged cell reports.
     """
 
     def __init__(self, capacity_mah: float = 120.0, initial_soc: float = 0.5,
                  internal_resistance_ohm: float = 0.35,
                  charge_efficiency: float = 0.98,
                  undervoltage_lockout_v: float = 3.0,
-                 overvoltage_v: float = 4.2) -> None:
+                 overvoltage_v: float = 4.2,
+                 capacity_fade: float = 0.0) -> None:
         if capacity_mah <= 0:
             raise PowerModelError("capacity must be positive")
         if not 0.0 <= initial_soc <= 1.0:
@@ -74,7 +80,12 @@ class LiPoBattery:
             raise PowerModelError("charge_efficiency must lie in (0, 1]")
         if internal_resistance_ohm < 0:
             raise PowerModelError("internal resistance cannot be negative")
-        self.capacity_c = float(mah_to_coulombs(capacity_mah))
+        if not 0.0 <= capacity_fade < 1.0:
+            raise PowerModelError(
+                f"capacity_fade must lie in [0, 1), got {capacity_fade!r}")
+        self.capacity_fade = float(capacity_fade)
+        self.nameplate_capacity_c = float(mah_to_coulombs(capacity_mah))
+        self.capacity_c = self.nameplate_capacity_c * (1.0 - self.capacity_fade)
         self.charge_c = float(initial_soc) * self.capacity_c
         self.internal_resistance_ohm = internal_resistance_ohm
         self.charge_efficiency = charge_efficiency

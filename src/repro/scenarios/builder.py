@@ -16,6 +16,7 @@ transducer models; the wrapper's ``stats`` feed the throughput bench.
 
 from __future__ import annotations
 
+from repro.core.faults import build_fault_timeline
 from repro.core.simulation import DaySimulation
 from repro.errors import RegistryError, UnknownPolicyError
 from repro.harvest.dual import CachedHarvester
@@ -154,4 +155,5 @@ def build_simulation(scenario: ScenarioSpec, *,
         detection_energy_j=detection_energy_j,
         duration_s=scenario.duration_s,
         trace=scenario.trace,
+        faults=build_fault_timeline(scenario.faults),
     )

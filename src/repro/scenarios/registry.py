@@ -193,6 +193,7 @@ def _build_lipo(spec):
         initial_soc=spec.initial_soc,
         internal_resistance_ohm=spec.internal_resistance_ohm,
         charge_efficiency=spec.charge_efficiency,
+        capacity_fade=spec.capacity_fade,
     )
 
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import multiprocessing
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
@@ -206,6 +207,11 @@ def _run_scenario_payload(payload: dict) -> dict:
     re-raised as a SpecError that explains the backend's contract.
     """
     spec = ScenarioSpec.from_dict(payload)
+    if os.environ.get("REPRO_WORKER_CRASH") == spec.name:
+        # Test hook: die the way an OOM-killed or signalled worker
+        # does, so the crash-surfacing path is testable without real
+        # memory pressure.  Spawned workers inherit the environment.
+        os._exit(13)
     try:
         return run_scenario(spec).to_dict()
     except RegistryError as exc:
@@ -266,17 +272,28 @@ class ScenarioRunner:
             # semantics on every platform (fork would leak the
             # parent's runtime registrations on POSIX).
             payloads = [spec.to_dict() for spec in specs]
+            # One future per spec (not pool.map) so a dead worker is
+            # reported against the scenario it was running — for fleet
+            # batches that names the wearer (``fleet::wearer_0007``)
+            # instead of dumping a bare BrokenProcessPool traceback.
+            current = "the batch"
             try:
                 with ProcessPoolExecutor(
                         max_workers=min(n, len(specs)),
                         mp_context=multiprocessing.get_context("spawn")) as pool:
-                    outcomes = [ScenarioOutcome.from_dict(out)
-                                for out in pool.map(_run_scenario_payload,
-                                                    payloads)]
+                    futures = [pool.submit(_run_scenario_payload, payload)
+                               for payload in payloads]
+                    collected: list[ScenarioOutcome] = []
+                    for spec, future in zip(specs, futures):
+                        current = f"scenario {spec.name!r}"
+                        collected.append(
+                            ScenarioOutcome.from_dict(future.result()))
+                    outcomes = collected
             except BrokenProcessPool as exc:
                 raise SpecError(
-                    "process-backend worker processes died. Most often "
-                    "this means the launching script lacks the standard "
+                    f"process-backend worker died before completing "
+                    f"{current} (batch of {len(specs)}). Most often this "
+                    "means the launching script lacks the standard "
                     "`if __name__ == '__main__':` guard (spawned workers "
                     "re-import it, and stdin/REPL sessions cannot be "
                     "re-imported at all) — but a worker killed mid-sweep "

@@ -36,6 +36,8 @@ __all__ = [
     "check_mapping_keys",
     "SegmentSpec",
     "TimelineSpec",
+    "FaultSpec",
+    "FAULT_KINDS",
     "BatterySpec",
     "PolicySpec",
     "AppSpec",
@@ -207,24 +209,97 @@ class TimelineSpec:
         return cls(name=data.get("name", ""), segments=segments)
 
 
+#: Fault kinds the chaos layer can inject into the engine.
+FAULT_KINDS = ("sensor_dropout", "harvester_derate", "load_spike")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault window injected into the simulation.
+
+    Attributes:
+        kind: what breaks — one of :data:`FAULT_KINDS`:
+
+            * ``"sensor_dropout"`` — the detection pipeline is dead for
+              the window: no detections execute and none accumulate on
+              the carry (``magnitude`` unused, must stay ``0``);
+            * ``"harvester_derate"`` — harvest intake is scaled by
+              ``magnitude`` ∈ [0, 1] (``0`` is total occlusion,
+              overlapping derates multiply);
+            * ``"load_spike"`` — an extra parasitic draw of
+              ``magnitude`` watts (> 0) on top of sleep power
+              (overlapping spikes add).
+        start_s: window start, seconds from the run start.
+        duration_s: window length (must be positive).
+        magnitude: per-kind parameter, see above.
+    """
+
+    kind: str
+    start_s: float
+    duration_s: float
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise SpecError(
+                f"unknown fault kind {self.kind!r} "
+                f"(known: {list(FAULT_KINDS)})")
+        if self.start_s < 0:
+            raise SpecError("fault start_s cannot be negative")
+        if self.duration_s <= 0:
+            raise SpecError("fault duration_s must be positive")
+        if self.kind == "sensor_dropout" and self.magnitude != 0.0:
+            raise SpecError(
+                "sensor_dropout faults take no magnitude (leave it 0)")
+        if self.kind == "harvester_derate" and not 0.0 <= self.magnitude <= 1.0:
+            raise SpecError(
+                f"harvester_derate magnitude is the remaining intake "
+                f"fraction and must lie in [0, 1], got {self.magnitude!r}")
+        if self.kind == "load_spike" and not self.magnitude > 0.0:
+            raise SpecError(
+                f"load_spike magnitude is extra watts and must be "
+                f"positive, got {self.magnitude!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultSpec":
+        return _from_mapping(cls, data)
+
+
 @dataclass(frozen=True)
 class BatterySpec:
-    """Storage cell choice (by registry kind) and its parameters."""
+    """Storage cell choice (by registry kind) and its parameters.
+
+    ``capacity_fade`` is the chaos aging axis: the fraction of
+    nameplate capacity irreversibly lost, in [0, 1).  It is omitted
+    from ``to_dict`` when zero so every pre-aging spec keeps its
+    canonical JSON bytes (and therefore its result-store digest).
+    """
 
     kind: str = "lipo"
     capacity_mah: float = 120.0
     initial_soc: float = 0.5
     internal_resistance_ohm: float = 0.35
     charge_efficiency: float = 0.98
+    capacity_fade: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.kind:
             raise SpecError("battery kind cannot be empty")
         if not 0.0 <= self.initial_soc <= 1.0:
             raise SpecError("battery initial_soc must lie in [0, 1]")
+        if not 0.0 <= self.capacity_fade < 1.0:
+            raise SpecError(
+                f"battery capacity_fade must lie in [0, 1), "
+                f"got {self.capacity_fade!r}")
 
     def to_dict(self) -> dict[str, Any]:
-        return dataclasses.asdict(self)
+        data = dataclasses.asdict(self)
+        if self.capacity_fade == 0.0:
+            del data["capacity_fade"]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "BatterySpec":
@@ -376,6 +451,10 @@ class ScenarioSpec:
             ``"none"``, ``"decimated:<n>"``).  Summary totals are
             exact in every mode; sweeps over long horizons should use
             ``"none"`` so no per-step trace is allocated.
+        faults: chaos fault windows injected into the run (see
+            :class:`FaultSpec`); empty for a healthy system.  Omitted
+            from ``to_dict`` when empty so fault-free specs keep their
+            pre-chaos canonical JSON bytes.
     """
 
     name: str
@@ -385,8 +464,15 @@ class ScenarioSpec:
     duration_s: float | None = None
     description: str = ""
     trace: str = "full"
+    faults: tuple[FaultSpec, ...] = ()
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            if not isinstance(fault, FaultSpec):
+                raise SpecError(
+                    f"scenario faults must be FaultSpec instances, "
+                    f"got {type(fault).__name__}")
         if not self.name:
             raise SpecError("scenario name cannot be empty")
         if self.step_s <= 0:
@@ -406,7 +492,7 @@ class ScenarioSpec:
             object.__setattr__(self, "trace", str(self.trace))
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "name": self.name,
             "timeline": self.timeline.to_dict(),
             "system": self.system.to_dict(),
@@ -415,12 +501,15 @@ class ScenarioSpec:
             "description": self.description,
             "trace": self.trace,
         }
+        if self.faults:
+            data["faults"] = [fault.to_dict() for fault in self.faults]
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
         data = _check_dict(data, "ScenarioSpec")
         unknown = set(data) - {"name", "timeline", "system", "step_s",
-                               "duration_s", "description", "trace"}
+                               "duration_s", "description", "trace", "faults"}
         if unknown:
             raise SpecError(f"unknown ScenarioSpec keys: {sorted(unknown)}")
         if "name" not in data or "timeline" not in data:
@@ -431,6 +520,9 @@ class ScenarioSpec:
         }
         if "system" in data:
             kwargs["system"] = SystemSpec.from_dict(data["system"])
+        if "faults" in data:
+            kwargs["faults"] = tuple(FaultSpec.from_dict(fault)
+                                     for fault in data["faults"])
         for key in ("step_s", "duration_s", "description", "trace"):
             if key in data:
                 kwargs[key] = data[key]

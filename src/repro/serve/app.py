@@ -45,7 +45,7 @@ MAX_BODY_BYTES = 16 * 1024 * 1024
 
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
             405: "Method Not Allowed", 413: "Payload Too Large",
-            500: "Internal Server Error"}
+            500: "Internal Server Error", 504: "Gateway Timeout"}
 
 
 def _render(response: ServeResponse) -> bytes:
@@ -70,12 +70,22 @@ class ReproServer:
         request_workers: executor threads handling requests — the
             concurrency ceiling for simultaneous simulations (requests
             beyond it queue; identical ones coalesce in the store).
+        request_timeout_s: wall-clock ceiling per request; a request
+            still running after this long gets a 504 JSON error (the
+            worker thread finishes in the background — its result may
+            still land in the store for the retry to hit).  ``None``
+            (the default) means no ceiling.
     """
 
     def __init__(self, service: ServeService, host: str = "127.0.0.1",
-                 port: int = 0, request_workers: int = 8) -> None:
+                 port: int = 0, request_workers: int = 8,
+                 request_timeout_s: float | None = None) -> None:
+        if request_timeout_s is not None and request_timeout_s <= 0:
+            raise SpecError(
+                f"request timeout must be positive, got {request_timeout_s}")
         self.service = service
         self.host = host
+        self.request_timeout_s = request_timeout_s
         self._requested_port = port
         self._server: asyncio.base_events.Server | None = None
         self._executor = ThreadPoolExecutor(
@@ -114,7 +124,11 @@ class ReproServer:
             response = await self._read_and_dispatch(reader)
         except (asyncio.IncompleteReadError, ConnectionError,
                 asyncio.LimitOverrunError):
-            response = None  # client went away / unframeable request
+            # Client went away (or sent an unframeable request) before
+            # we had a response: nothing to write, count it and move on
+            # — a flaky client must never produce traceback spam.
+            self.service.transport["client_disconnects"] += 1
+            response = None
         except Exception as exc:  # noqa: BLE001 - last-resort 500
             response = ServeResponse(
                 status=500,
@@ -125,7 +139,8 @@ class ReproServer:
                 writer.write(_render(response))
                 await writer.drain()
         except (ConnectionError, RuntimeError):
-            pass
+            # Hung up mid-response (after the simulation ran).
+            self.service.transport["client_disconnects"] += 1
         finally:
             writer.close()
             try:
@@ -188,8 +203,20 @@ class ReproServer:
         # Simulations can take seconds; keep the loop free to accept
         # (and coalesce) concurrent requests while they run.
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(
+        work = loop.run_in_executor(
             self._executor, self.service.handle, method, path, body)
+        if self.request_timeout_s is None:
+            return await work
+        try:
+            return await asyncio.wait_for(work, self.request_timeout_s)
+        except TimeoutError:
+            self.service.transport["timeouts"] += 1
+            return ServeResponse(
+                status=504,
+                body=json.dumps(
+                    {"error": f"request timed out after "
+                              f"{self.request_timeout_s:g} s"})
+                .encode("ascii") + b"\n")
 
 
 class ServerThread:
@@ -207,9 +234,11 @@ class ServerThread:
     """
 
     def __init__(self, service: ServeService, host: str = "127.0.0.1",
-                 port: int = 0, request_workers: int = 8) -> None:
+                 port: int = 0, request_workers: int = 8,
+                 request_timeout_s: float | None = None) -> None:
         self.server = ReproServer(service, host=host, port=port,
-                                  request_workers=request_workers)
+                                  request_workers=request_workers,
+                                  request_timeout_s=request_timeout_s)
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(target=self._run, daemon=True,
                                         name="repro-serve-loop")
@@ -279,11 +308,14 @@ def http_request(host: str, port: int, method: str, path: str,
 
 def serve_forever(store_root: str, host: str = "127.0.0.1",
                   port: int = 8751, workers: int = 4,
-                  backend: str = "thread") -> None:  # pragma: no cover
+                  backend: str = "thread",
+                  request_timeout_s: float | None = None,
+                  ) -> None:  # pragma: no cover
     """Blocking entry point behind ``repro serve``."""
     service = ServeService(ResultStore(store_root), workers=workers,
                            backend=backend)
-    server = ReproServer(service, host=host, port=port)
+    server = ReproServer(service, host=host, port=port,
+                         request_timeout_s=request_timeout_s)
 
     async def _main() -> None:
         await server.start()

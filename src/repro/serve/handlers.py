@@ -88,6 +88,10 @@ class ServeService:
             else ResultStore(store)
         self.runner = ScenarioRunner(workers=workers, backend=backend)
         self.fleet_runner = FleetRunner(workers=workers, backend=backend)
+        # Transport-layer incident counters; the HTTP front-end
+        # increments these (request timeouts, clients hanging up
+        # mid-request) and /stats surfaces them.
+        self.transport = {"timeouts": 0, "client_disconnects": 0}
         self._routes: dict[str, tuple[str, Callable[..., ServeResponse]]] = {
             "/health": ("GET", self._health),
             "/stats": ("GET", self._stats),
@@ -138,6 +142,7 @@ class ServeService:
             "entries": len(self.store),
             "backend": self.runner.backend,
             "workers": self.runner.workers,
+            "transport": dict(self.transport),
         })
 
     def _scenarios(self) -> ServeResponse:

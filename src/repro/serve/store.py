@@ -77,6 +77,8 @@ class StoreStats:
             evicted (each also counts toward the miss that recomputed
             it).
         entries_written: successful :meth:`ResultStore.put` calls.
+        evicted: entries removed by :meth:`ResultStore.gc`.
+        evicted_bytes: total size of those removed entries.
     """
 
     hits: int = 0
@@ -84,6 +86,8 @@ class StoreStats:
     coalesced: int = 0
     corrupt: int = 0
     entries_written: int = 0
+    evicted: int = 0
+    evicted_bytes: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         requests = self.hits + self.misses + self.coalesced
@@ -93,6 +97,8 @@ class StoreStats:
             "coalesced": self.coalesced,
             "corrupt": self.corrupt,
             "entries_written": self.entries_written,
+            "evicted": self.evicted,
+            "evicted_bytes": self.evicted_bytes,
             "requests": requests,
             "hit_rate": round(self.hits / requests, 4) if requests else 0.0,
         }
@@ -156,6 +162,12 @@ class ResultStore:
             except OSError:  # pragma: no cover - racing eviction is benign
                 pass
             return None
+        try:
+            # Touch on hit: gc() evicts least-recently-*used*, not
+            # least-recently-written, so a hot entry survives.
+            os.utime(path)
+        except OSError:  # pragma: no cover - racing eviction is benign
+            pass
         return payload
 
     def put(self, digest: str, payload: bytes) -> None:
@@ -225,6 +237,57 @@ class ResultStore:
         with self._lock:
             self.stats.misses += 1
         return payload, "miss"
+
+    def gc(self, max_bytes: int) -> dict[str, Any]:
+        """Evict least-recently-used entries until the store fits.
+
+        Entries are ranked by modification time, which :meth:`get`
+        refreshes on every hit — so this is LRU over *accesses*, not
+        writes.  Eviction is size-driven only: ``max_bytes`` is the
+        byte budget the surviving entries must fit in (0 empties the
+        store).  Counted in ``stats.evicted`` / ``stats.evicted_bytes``
+        and summarised in the returned dict.
+        """
+        if isinstance(max_bytes, bool) or not isinstance(max_bytes, int):
+            raise SpecError(
+                f"max_bytes must be an integer, got {max_bytes!r}")
+        if max_bytes < 0:
+            raise SpecError(
+                f"max_bytes must be non-negative, got {max_bytes}")
+        entries = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - racing eviction is benign
+                continue
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort(key=lambda entry: entry[0])
+        total = sum(size for _, size, _ in entries)
+        bytes_before = total
+        evicted = 0
+        evicted_bytes = 0
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing eviction is benign
+                continue
+            total -= size
+            evicted += 1
+            evicted_bytes += size
+        with self._lock:
+            self.stats.evicted += evicted
+            self.stats.evicted_bytes += evicted_bytes
+        return {
+            "entries_before": len(entries),
+            "entries_after": len(entries) - evicted,
+            "bytes_before": bytes_before,
+            "bytes_after": total,
+            "evicted": evicted,
+            "evicted_bytes": evicted_bytes,
+            "max_bytes": max_bytes,
+        }
 
     @property
     def inflight(self) -> int:

@@ -1,0 +1,2 @@
+"""Chaos engine tests: fault timelines, specs, the strategist, the
+invariant judge, campaign execution and failure promotion."""

@@ -1,0 +1,163 @@
+"""Fault windows, the compiled timeline, and their effect in the engine."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.faults import FaultTimeline, build_fault_timeline
+from repro.errors import SimulationError, SpecError
+from repro.scenarios import build_simulation, get_scenario
+from repro.scenarios.spec import FaultSpec, ScenarioSpec
+
+
+def _scenario_with(faults, name="faulted"):
+    base = get_scenario("sunny_office_worker")
+    return dataclasses.replace(base, name=name, trace="none",
+                               faults=tuple(faults))
+
+
+class TestFaultSpec:
+    def test_round_trip(self):
+        spec = FaultSpec(kind="harvester_derate", start_s=60.0,
+                         duration_s=600.0, magnitude=0.25)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SpecError, match="kind"):
+            FaultSpec(kind="meteor_strike", start_s=0.0, duration_s=1.0)
+
+    def test_dropout_takes_no_magnitude(self):
+        with pytest.raises(SpecError, match="magnitude"):
+            FaultSpec(kind="sensor_dropout", start_s=0.0, duration_s=1.0,
+                      magnitude=0.5)
+
+    def test_derate_magnitude_bounded(self):
+        with pytest.raises(SpecError, match="magnitude"):
+            FaultSpec(kind="harvester_derate", start_s=0.0, duration_s=1.0,
+                      magnitude=1.5)
+
+    def test_load_spike_needs_positive_watts(self):
+        with pytest.raises(SpecError, match="magnitude"):
+            FaultSpec(kind="load_spike", start_s=0.0, duration_s=1.0,
+                      magnitude=0.0)
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SpecError, match="duration"):
+            FaultSpec(kind="sensor_dropout", start_s=0.0, duration_s=-5.0)
+
+    def test_scenario_spec_carries_faults_through_json(self):
+        spec = _scenario_with([
+            FaultSpec(kind="sensor_dropout", start_s=0.0, duration_s=60.0),
+            FaultSpec(kind="load_spike", start_s=120.0, duration_s=60.0,
+                      magnitude=0.01),
+        ])
+        again = ScenarioSpec.from_dict(spec.to_dict())
+        assert again == spec
+        assert len(again.faults) == 2
+
+    def test_no_faults_key_when_empty(self):
+        # Digest stability: pre-chaos payloads keep their bytes.
+        spec = _scenario_with([])
+        assert "faults" not in spec.to_dict()
+
+
+class TestFaultTimeline:
+    def test_empty_windows_build_none(self):
+        assert build_fault_timeline(()) is None
+
+    def test_intervals_cover_everything_gap_free(self):
+        timeline = build_fault_timeline([
+            FaultSpec(kind="harvester_derate", start_s=100.0,
+                      duration_s=50.0, magnitude=0.5)])
+        assert timeline is not None
+        spans = timeline.intervals
+        assert spans[0].start_s == 0.0
+        for left, right in zip(spans, spans[1:]):
+            assert left.end_s == right.start_s
+        assert spans[-1].end_s == float("inf")
+
+    def test_overlapping_derates_multiply(self):
+        timeline = FaultTimeline([
+            FaultSpec(kind="harvester_derate", start_s=0.0,
+                      duration_s=100.0, magnitude=0.5),
+            FaultSpec(kind="harvester_derate", start_s=50.0,
+                      duration_s=100.0, magnitude=0.5)])
+        assert timeline.at(75.0).harvest_scale == pytest.approx(0.25)
+        assert timeline.at(25.0).harvest_scale == pytest.approx(0.5)
+        assert timeline.at(200.0).harvest_scale == 1.0
+
+    def test_overlapping_spikes_add(self):
+        timeline = FaultTimeline([
+            FaultSpec(kind="load_spike", start_s=0.0, duration_s=100.0,
+                      magnitude=0.01),
+            FaultSpec(kind="load_spike", start_s=0.0, duration_s=50.0,
+                      magnitude=0.02)])
+        assert timeline.at(10.0).extra_load_w == pytest.approx(0.03)
+        assert timeline.at(75.0).extra_load_w == pytest.approx(0.01)
+
+    def test_dropout_latches(self):
+        timeline = FaultTimeline([
+            FaultSpec(kind="sensor_dropout", start_s=10.0,
+                      duration_s=10.0)])
+        assert timeline.at(5.0).sensor_ok
+        assert not timeline.at(15.0).sensor_ok
+        assert timeline.at(25.0).sensor_ok
+
+    def test_healthy_property(self):
+        timeline = FaultTimeline([
+            FaultSpec(kind="load_spike", start_s=10.0, duration_s=10.0,
+                      magnitude=0.01)])
+        assert timeline.at(0.0).healthy
+        assert not timeline.at(15.0).healthy
+
+    def test_rejects_unknown_kind(self):
+        class Bogus:
+            kind = "gremlin"
+            start_s = 0.0
+            duration_s = 1.0
+            magnitude = 0.0
+
+        with pytest.raises(SimulationError, match="gremlin"):
+            FaultTimeline([Bogus()])
+
+
+class TestFaultsInEngine:
+    def test_sensor_dropout_suppresses_detections(self):
+        base = _scenario_with([])
+        blind = _scenario_with([FaultSpec(kind="sensor_dropout",
+                                          start_s=0.0,
+                                          duration_s=7 * 86400.0)])
+        healthy = build_simulation(base).run()
+        dropped = build_simulation(blind).run()
+        assert healthy.total_detections > 0
+        assert dropped.total_detections == 0.0
+
+    def test_total_derate_kills_harvest(self):
+        occluded = _scenario_with([
+            FaultSpec(kind="harvester_derate", start_s=0.0,
+                      duration_s=7 * 86400.0, magnitude=0.0)])
+        result = build_simulation(occluded).run()
+        assert result.total_harvest_j == 0.0
+
+    def test_load_spike_accumulates_fault_demand(self):
+        spiked = _scenario_with([
+            FaultSpec(kind="load_spike", start_s=0.0, duration_s=3600.0,
+                      magnitude=0.01)])
+        result = build_simulation(spiked).run()
+        assert result.fault_demand_j == pytest.approx(0.01 * 3600.0)
+
+    def test_no_fault_run_reports_zero_fault_demand(self):
+        result = build_simulation(_scenario_with([])).run()
+        assert result.fault_demand_j == 0.0
+
+    def test_faulted_run_equals_no_fault_run_when_windows_are_neutral(self):
+        # A derate of 1.0 (no attenuation) must not change the physics
+        # even though it routes through the fault path.
+        neutral = _scenario_with([
+            FaultSpec(kind="harvester_derate", start_s=0.0,
+                      duration_s=3600.0, magnitude=1.0)])
+        clean = build_simulation(_scenario_with([])).run()
+        routed = build_simulation(neutral).run()
+        assert routed.total_harvest_j == pytest.approx(
+            clean.total_harvest_j, rel=1e-12)
+        assert routed.total_detections == clean.total_detections

@@ -1,0 +1,103 @@
+"""ChaosSpec / ChaosAxisSpec / JudgeRulesSpec: frozen, validated,
+JSON-round-trippable."""
+
+import json
+
+import pytest
+
+from repro.chaos import ChaosAxisSpec, ChaosSpec, JudgeRulesSpec, load_chaos_file
+from repro.errors import SpecError
+from repro.scenarios.spec import canonical_json
+
+
+class TestChaosAxisSpec:
+    def test_round_trip(self):
+        axis = ChaosAxisSpec(name="battery_aging",
+                             params={"min_fade": 0.2, "max_fade": 0.5})
+        assert ChaosAxisSpec.from_dict(axis.to_dict()) == axis
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecError, match="name"):
+            ChaosAxisSpec(name="")
+
+    def test_non_scalar_param_rejected(self):
+        with pytest.raises(SpecError, match="scalar"):
+            ChaosAxisSpec(name="x", params={"windows": [1, 2]})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SpecError, match="bogus"):
+            ChaosAxisSpec.from_dict({"name": "x", "bogus": 1})
+
+
+class TestJudgeRulesSpec:
+    def test_defaults_round_trip(self):
+        rules = JudgeRulesSpec()
+        assert JudgeRulesSpec.from_dict(rules.to_dict()) == rules
+
+    def test_fraction_bounds(self):
+        with pytest.raises(SpecError, match="max_downtime_fraction"):
+            JudgeRulesSpec(max_downtime_fraction=1.5)
+        with pytest.raises(SpecError, match="min_final_soc"):
+            JudgeRulesSpec(min_final_soc=-0.1)
+
+
+class TestChaosSpec:
+    def test_round_trip_with_axes(self):
+        spec = ChaosSpec(
+            name="storm", n_cases=4, horizon_days=3, seed=9,
+            axes=(ChaosAxisSpec("polar_winter", {"min_scale": 0.05}),),
+            judge=JudgeRulesSpec(min_final_soc=0.2),
+            description="test campaign")
+        again = ChaosSpec.from_dict(json.loads(canonical_json(spec.to_dict())))
+        assert again == spec
+
+    def test_defaults(self):
+        spec = ChaosSpec(name="c")
+        assert spec.base_scenario == "paper_indoor_worst_case"
+        assert spec.axes == ()
+        assert spec.judge == JudgeRulesSpec()
+
+    def test_bool_is_not_an_integer(self):
+        with pytest.raises(SpecError, match="n_cases"):
+            ChaosSpec(name="c", n_cases=True)
+
+    def test_n_cases_floor(self):
+        with pytest.raises(SpecError, match="n_cases"):
+            ChaosSpec(name="c", n_cases=0)
+
+    def test_horizon_floor(self):
+        with pytest.raises(SpecError, match="horizon_days"):
+            ChaosSpec(name="c", horizon_days=0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SpecError, match="name"):
+            ChaosSpec(name="")
+
+    def test_unknown_key_named_in_error(self):
+        with pytest.raises(SpecError, match="n_case "):
+            ChaosSpec.from_dict({"name": "c", "n_case ": 3})
+
+
+class TestLoadChaosFile:
+    def test_bare_spec(self, tmp_path):
+        path = tmp_path / "c.json"
+        spec = ChaosSpec(name="filed", n_cases=2)
+        path.write_text(canonical_json(spec.to_dict()))
+        assert load_chaos_file(path) == spec
+
+    def test_generate_envelope(self, tmp_path):
+        path = tmp_path / "c.json"
+        spec = ChaosSpec(name="enveloped", n_cases=2)
+        path.write_text(canonical_json(
+            {"campaign": spec.to_dict(), "cases": []}))
+        assert load_chaos_file(path) == spec
+
+    def test_missing_file_names_path(self, tmp_path):
+        with pytest.raises(SpecError, match="nope.json"):
+            load_chaos_file(tmp_path / "nope.json")
+
+    def test_bad_payload_names_path(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"name": "x", "n_cases": 0}')
+        with pytest.raises(SpecError, match="bad.json"):
+            load_chaos_file(path)

@@ -155,3 +155,77 @@ class TestLockouts:
         battery = LiPoBattery(initial_soc=1.0)
         stored_j = battery.charge_c * 3.8
         assert stored_j / 605e-6 > 2e6
+
+
+class TestCapacityFade:
+    """The chaos aging axis: irreversible nameplate-capacity loss."""
+
+    def test_fade_shrinks_usable_capacity(self):
+        fresh = LiPoBattery(capacity_mah=120.0, initial_soc=1.0)
+        aged = LiPoBattery(capacity_mah=120.0, initial_soc=1.0,
+                           capacity_fade=0.25)
+        assert aged.capacity_c == pytest.approx(0.75 * fresh.capacity_c)
+        assert aged.nameplate_capacity_c == fresh.nameplate_capacity_c
+
+    def test_fade_bounds_enforced(self):
+        with pytest.raises(PowerModelError, match="capacity_fade"):
+            LiPoBattery(capacity_fade=1.0)
+        with pytest.raises(PowerModelError, match="capacity_fade"):
+            LiPoBattery(capacity_fade=-0.1)
+
+    def test_spec_round_trips_fade_through_json(self):
+        import json
+
+        from repro.scenarios.spec import BatterySpec, canonical_json
+
+        aged = BatterySpec(capacity_fade=0.3)
+        payload = json.loads(canonical_json(aged.to_dict()))
+        assert payload["capacity_fade"] == 0.3
+        assert BatterySpec.from_dict(payload) == aged
+
+    def test_spec_omits_zero_fade_to_keep_digests_stable(self):
+        from repro.scenarios.spec import BatterySpec
+
+        fresh = BatterySpec()
+        assert "capacity_fade" not in fresh.to_dict()
+        assert BatterySpec.from_dict(fresh.to_dict()) == fresh
+
+    def test_spec_fade_bounds(self):
+        from repro.errors import SpecError
+        from repro.scenarios.spec import BatterySpec
+
+        with pytest.raises(SpecError, match="capacity_fade"):
+            BatterySpec(capacity_fade=1.0)
+
+
+class TestUndervoltageReentry:
+    """Brown-out and recovery: discharge stops at the UV floor, a
+    recharge lifts the cell back out, and discharge resumes."""
+
+    def test_discharge_stops_exactly_at_uv_floor(self):
+        battery = LiPoBattery(capacity_mah=10.0, initial_soc=0.3)
+        # Ask for far more than the cell holds.
+        battery.discharge(1.0, 3600.0)
+        assert battery.is_undervoltage
+        assert battery.charge_c == pytest.approx(battery._uv_floor_c)
+
+    def test_locked_out_cell_delivers_nothing(self):
+        battery = LiPoBattery(capacity_mah=10.0, initial_soc=0.3)
+        battery.discharge(1.0, 3600.0)
+        assert battery.discharge(0.001, 60.0) == 0.0
+
+    def test_recharge_reenters_service(self):
+        battery = LiPoBattery(capacity_mah=10.0, initial_soc=0.3)
+        battery.discharge(1.0, 3600.0)  # brown out
+        stored = battery.charge(0.05, 600.0)  # harvest returns
+        assert stored > 0.0
+        assert not battery.is_undervoltage
+        delivered = battery.discharge(0.001, 60.0)
+        assert delivered > 0.0  # back in service
+
+    def test_reentry_cycle_never_dips_below_floor(self):
+        battery = LiPoBattery(capacity_mah=10.0, initial_soc=0.3)
+        for _ in range(5):
+            battery.discharge(0.5, 3600.0)
+            assert battery.charge_c >= battery._uv_floor_c - 1e-12
+            battery.charge(0.02, 120.0)

@@ -1,0 +1,54 @@
+"""Promoted chaos regressions: every scenario under
+``scenarios/regressions/`` runs forever.
+
+These files were promoted by ``repro chaos report --promote`` from
+real campaign failures (the generating campaign specs live next door
+in ``scenarios/chaos/``).  The contract: each file is a self-contained
+canonical-JSON ScenarioSpec that (a) loads, (b) simulates without
+tripping a single conservation invariant, and (c) still reproduces the
+survival failure it was promoted for — if a model change makes one
+pass, that is a finding to celebrate (and re-promote), not silently
+absorb.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import judge_scenario
+from repro.scenarios.files import load_scenario_dir, load_scenario_file
+from repro.scenarios.spec import canonical_json
+
+REGRESSIONS_DIR = (Path(__file__).resolve().parents[2]
+                   / "scenarios" / "regressions")
+REGRESSION_FILES = sorted(REGRESSIONS_DIR.glob("*.json"))
+
+
+def test_shipped_regressions_present():
+    # The acceptance floor: the repo ships at least two promoted
+    # regression scenarios.
+    assert len(REGRESSION_FILES) >= 2
+
+
+def test_directory_loads_as_a_suite():
+    specs = load_scenario_dir(REGRESSIONS_DIR)
+    assert len(specs) == len(REGRESSION_FILES)
+
+
+@pytest.mark.parametrize(
+    "path", REGRESSION_FILES, ids=lambda p: p.stem)
+class TestPromotedRegression:
+    def test_canonical_bytes_on_disk(self, path):
+        import json
+
+        payload = json.loads(path.read_text())
+        assert path.read_text() == canonical_json(payload) + "\n"
+
+    def test_judge_reproduces_the_failure(self, path):
+        spec = load_scenario_file(path)
+        judgement = judge_scenario(spec)
+        # Never a violation: conservation invariants hold even in the
+        # failure regime.  Never a pass either: the regression must
+        # keep reproducing the failure it was promoted for.
+        assert judgement.verdict == "survival_failure", judgement.reasons
+        assert judgement.outcome is not None

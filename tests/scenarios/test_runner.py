@@ -108,3 +108,29 @@ class TestSweepResult:
         for name in BATCH_NAMES:
             assert name in table
         assert "det/day" in table
+
+
+class TestWorkerCrashSurfacing:
+    def test_dead_worker_names_the_scenario(self, monkeypatch):
+        """A worker killed mid-run (OOM, signal) must surface as a
+        SpecError naming the scenario, not a bare BrokenProcessPool.
+
+        The REPRO_WORKER_CRASH hook makes the worker ``os._exit`` when
+        it picks up the named spec — spawned workers inherit the
+        environment, so this simulates the kill without real memory
+        pressure."""
+        spec = get_scenario("dead_battery_cold_start")
+        monkeypatch.setenv("REPRO_WORKER_CRASH", spec.name)
+        runner = ScenarioRunner(workers=1, backend="process")
+        with pytest.raises(SpecError) as excinfo:
+            runner.run_batch([spec])
+        message = str(excinfo.value)
+        assert "worker died" in message
+        assert "dead_battery_cold_start" in message
+
+    def test_crash_hook_inert_for_other_scenarios(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_CRASH", "some_other_scenario")
+        spec = get_scenario("sunny_office_worker")
+        sweep = ScenarioRunner(workers=1, backend="process").run_batch(
+            [spec, get_scenario("dead_battery_cold_start")])
+        assert len(sweep.outcomes) == 2

@@ -3,6 +3,7 @@
 import json
 import socket
 import threading
+import time
 
 import pytest
 
@@ -52,8 +53,10 @@ class TestDiagnostics:
         assert status == 200
         stats = json.loads(body)
         assert set(stats) == {"store", "inflight", "entries", "backend",
-                              "workers"}
+                              "workers", "transport"}
         assert stats["backend"] == "thread"
+        assert set(stats["transport"]) == {"timeouts",
+                                           "client_disconnects"}
 
     def test_unknown_path_404_lists_routes(self, server):
         status, _, body = _request(server, "GET", "/nope")
@@ -271,6 +274,54 @@ class TestProtocolErrors:
         assert self._raw(server, b"") == b""
         status, _, _ = _request(server, "GET", "/health")
         assert status == 200
+
+
+class TestHardening:
+    def test_slow_request_times_out_504(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        service = ServeService(store, workers=1, backend="thread")
+        real_handle = service.handle
+        release = threading.Event()
+
+        def stuck_handle(method, path, body=None):
+            release.wait(timeout=30)
+            return real_handle(method, path, body)
+
+        service.handle = stuck_handle
+        with ServerThread(service, request_timeout_s=0.2) as live:
+            status, _, body = http_request(live.host, live.port, "GET",
+                                           "/health")
+            assert status == 504
+            assert "timed out after 0.2 s" in json.loads(body)["error"]
+            # Unblock the worker; the server must still be serving.
+            release.set()
+            service.handle = real_handle
+            status, _, body = http_request(live.host, live.port, "GET",
+                                           "/stats")
+            assert status == 200
+            assert json.loads(body)["transport"]["timeouts"] == 1
+
+    def test_no_timeout_by_default(self, server):
+        assert server.server.request_timeout_s is None
+
+    def test_client_disconnect_counted_on_stats(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        service = ServeService(store, workers=1, backend="thread")
+        with ServerThread(service) as live:
+            # Promise a body, then hang up before sending it: the read
+            # side sees an incomplete request.
+            with socket.create_connection((live.host, live.port),
+                                          timeout=30) as sock:
+                sock.sendall(b"POST /simulate HTTP/1.1\r\n"
+                             b"Content-Length: 100\r\n\r\n")
+            for _ in range(100):
+                _, _, body = http_request(live.host, live.port, "GET",
+                                          "/stats")
+                if json.loads(body)["transport"]["client_disconnects"]:
+                    break
+                time.sleep(0.05)
+            stats = json.loads(body)
+            assert stats["transport"]["client_disconnects"] == 1
 
 
 class TestConcurrency:

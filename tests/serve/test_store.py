@@ -216,3 +216,77 @@ class TestFetchOrCompute:
         assert stats["misses"] == 1
         assert stats["hit_rate"] == 0.5
         assert stats["entries_written"] == 1
+        assert stats["evicted"] == 0
+        assert stats["evicted_bytes"] == 0
+
+
+class TestGarbageCollection:
+    @staticmethod
+    def _fill(store, count):
+        """``count`` entries with strictly increasing (old→new) mtimes."""
+        import os
+
+        digests = []
+        base = time.time() - 1000.0
+        for i in range(count):
+            digest = spec_digest({"entry": i})
+            store.put(digest, canonical_json_bytes({"entry": i}))
+            os.utime(store.path_for(digest), (base + i, base + i))
+            digests.append(digest)
+        return digests
+
+    def test_evicts_oldest_first(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digests = self._fill(store, 3)
+        entry_size = store.path_for(digests[0]).stat().st_size
+        summary = store.gc(max_bytes=2 * entry_size)
+        assert summary["evicted"] == 1
+        assert summary["evicted_bytes"] == entry_size
+        assert summary["entries_after"] == 2
+        assert store.get(digests[0]) is None  # the oldest went
+        assert store.get(digests[1]) is not None
+        assert store.get(digests[2]) is not None
+
+    def test_hit_refreshes_recency(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digests = self._fill(store, 3)
+        # Read the *oldest* entry: get() touches its mtime, promoting
+        # it well past the stale backdated mtimes of the other two.
+        assert store.get(digests[0]) is not None
+        entry_size = store.path_for(digests[0]).stat().st_size
+        store.gc(max_bytes=1 * entry_size)
+        # LRU over *uses*: the read entry survives; the unread go.
+        assert store.get(digests[0]) is not None
+        assert store.get(digests[1]) is None
+        assert store.get(digests[2]) is None
+
+    def test_zero_budget_empties_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self._fill(store, 2)
+        summary = store.gc(max_bytes=0)
+        assert summary["entries_after"] == 0
+        assert summary["bytes_after"] == 0
+        assert len(store) == 0
+
+    def test_large_budget_evicts_nothing(self, tmp_path):
+        store = ResultStore(tmp_path)
+        digests = self._fill(store, 2)
+        summary = store.gc(max_bytes=10**9)
+        assert summary["evicted"] == 0
+        assert all(store.get(d) is not None for d in digests)
+
+    def test_eviction_counters_cumulative(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self._fill(store, 3)
+        store.gc(max_bytes=0)
+        assert store.stats.evicted == 3
+        assert store.stats.evicted_bytes > 0
+
+    def test_bad_budget_rejected(self, tmp_path):
+        store = ResultStore(tmp_path)
+        with pytest.raises(SpecError, match="non-negative"):
+            store.gc(max_bytes=-1)
+        with pytest.raises(SpecError, match="integer"):
+            store.gc(max_bytes=True)
+        with pytest.raises(SpecError, match="integer"):
+            store.gc(max_bytes=1.5)

@@ -1,20 +1,23 @@
 #!/usr/bin/env python3
 """Execute every documented CLI command and fail on drift.
 
-``docs/cli.md`` promises that every fenced ``console`` command on the
-page runs; this script keeps the promise enforceable:
+The executable docs pages (``docs/cli.md`` and ``docs/chaos.md``)
+promise that every fenced ``console`` command on them runs; this
+script keeps the promise enforceable:
 
 1. **Smoke-run**: each ````console```` fence is executed as one
    ``bash -e`` script (lines starting with ``$ `` are commands, with
    backslash and open-quote continuations; everything else is
-   display-only output).  All fences share one scratch directory, in
-   document order, so multi-step flows (export a file, then sweep it)
-   work.  A ``repro`` shim on ``PATH`` maps to ``python -m repro``
-   with ``PYTHONPATH=src``, so the page works installed or not.
+   display-only output).  All fences of one page share one scratch
+   directory, in document order, so multi-step flows (export a file,
+   then sweep it) work; pages are isolated from each other.  A
+   ``repro`` shim on ``PATH`` maps to ``python -m repro`` with
+   ``PYTHONPATH=src``, so the pages work installed or not.
 2. **Coverage**: every subcommand registered in
-   :func:`repro.cli.build_parser` (including ``fleet`` actions) must
-   be mentioned on the page as ``repro <name>`` — adding a subcommand
-   without documenting it fails CI.
+   :func:`repro.cli.build_parser` (including nested ``fleet``/
+   ``chaos``/``store`` actions) must be mentioned on at least one of
+   the pages as ``repro <name>`` — adding a subcommand without
+   documenting it fails CI.
 
 Exit status is non-zero on the first failing fence or any
 undocumented subcommand.  Run it from the repo root::
@@ -38,7 +41,10 @@ import tempfile
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DOCS_CLI = REPO_ROOT / "docs" / "cli.md"
+DOC_FILES = [
+    REPO_ROOT / "docs" / "cli.md",
+    REPO_ROOT / "docs" / "chaos.md",
+]
 FENCE_TIMEOUT_S = 600
 
 SKIP_MARK = "<!-- docs-check: skip -->"
@@ -136,11 +142,11 @@ def make_repro_shim(bin_dir: Path) -> None:
     shim.chmod(shim.stat().st_mode | stat.S_IXUSR | stat.S_IXGRP)
 
 
-def run_fences(quick: bool) -> int:
-    text = DOCS_CLI.read_text()
+def run_fences(doc: Path, quick: bool) -> int:
+    text = doc.read_text()
     fences = extract_fences(text)
     if not fences:
-        print(f"error: no console fences found in {DOCS_CLI}",
+        print(f"error: no console fences found in {doc}",
               file=sys.stderr)
         return 1
     failures = 0
@@ -161,7 +167,7 @@ def run_fences(quick: bool) -> int:
         }
         for start, marker, body in fences:
             if marker == SKIP_MARK or (quick and marker == SLOW_MARK):
-                print(f"  skip  {DOCS_CLI.name}:{start} ({marker})")
+                print(f"  skip  {doc.name}:{start} ({marker})")
                 continue
             commands = fence_commands(body)
             if not commands:
@@ -173,20 +179,21 @@ def run_fences(quick: bool) -> int:
                     ["bash", "-c", script], cwd=scratch, env=env,
                     capture_output=True, text=True, timeout=FENCE_TIMEOUT_S)
             except subprocess.TimeoutExpired:
-                print(f"  FAIL  {DOCS_CLI.name}:{start}  {label}  "
+                print(f"  FAIL  {doc.name}:{start}  {label}  "
                       f"(timeout after {FENCE_TIMEOUT_S}s)")
                 failures += 1
                 continue
             executed += 1
             if proc.returncode != 0:
                 failures += 1
-                print(f"  FAIL  {DOCS_CLI.name}:{start}  {label}")
+                print(f"  FAIL  {doc.name}:{start}  {label}")
                 tail = (proc.stderr or proc.stdout).strip().splitlines()[-12:]
                 for line in tail:
                     print(f"        {line}")
             else:
-                print(f"  ok    {DOCS_CLI.name}:{start}  {label}")
-    print(f"{executed} fence(s) executed, {failures} failure(s)")
+                print(f"  ok    {doc.name}:{start}  {label}")
+    print(f"{doc.name}: {executed} fence(s) executed, "
+          f"{failures} failure(s)")
     return 1 if failures else 0
 
 
@@ -211,8 +218,9 @@ def documented_subcommands(text: str) -> int:
                             text):
                         missing.append(f"{name} {nested_name}")
     if missing:
-        print(f"error: subcommand(s) missing from {DOCS_CLI.name}: "
-              f"{missing}", file=sys.stderr)
+        pages = ", ".join(doc.name for doc in DOC_FILES)
+        print(f"error: subcommand(s) missing from the docs pages "
+              f"({pages}): {missing}", file=sys.stderr)
         return 1
     print("all subcommands documented")
     return 0
@@ -223,9 +231,13 @@ def main() -> int:
     parser.add_argument("--quick", action="store_true",
                         help="skip fences marked docs-check: slow")
     args = parser.parse_args()
-    print(f"docs-check: {DOCS_CLI.relative_to(REPO_ROOT)}")
-    status = documented_subcommands(DOCS_CLI.read_text())
-    status |= run_fences(args.quick)
+    print("docs-check: "
+          + ", ".join(str(doc.relative_to(REPO_ROOT))
+                      for doc in DOC_FILES))
+    status = documented_subcommands(
+        "\n".join(doc.read_text() for doc in DOC_FILES))
+    for doc in DOC_FILES:
+        status |= run_fences(doc, args.quick)
     return status
 
 
