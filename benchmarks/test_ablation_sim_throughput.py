@@ -342,6 +342,66 @@ def _measure_serve() -> dict:
     }
 
 
+def _measure_learned_policy() -> dict:
+    """Learned-policy pipeline: training cost and inference throughput.
+
+    Times the PR 8 oracle-supervised path — dataset replay, iRPROP-
+    training (twice, asserting the retrain is bitwise identical: the
+    reproducibility contract the subsystem sells), then the engine
+    stepping the deployed float and fixed-point policies on a one-day
+    scenario.  The quantized deployment summary must fit the paper's
+    MCU budgets before any rate is reported.
+    """
+    import dataclasses
+
+    from repro.fann.deploy import deployment_summary
+    from repro.learn import DatasetSpec, TrainSpec, generate_dataset, \
+        train_policy
+    from repro.policies.learned import network_from_params
+    from repro.scenarios.spec import canonical_json
+
+    dataset_spec = DatasetSpec(fleet="office_cohort_week",
+                               wearers=2 if QUICK else 4,
+                               stride=10 if QUICK else 5)
+    train_spec = TrainSpec(hidden=(8,), epochs=20 if QUICK else 100, seed=0)
+    t0 = time.perf_counter()
+    dataset = generate_dataset(dataset_spec)
+    dataset_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    trained = train_policy(dataset, train_spec)
+    train_s = time.perf_counter() - t0
+    retrained = train_policy(dataset, train_spec)
+    retrain_identical = (canonical_json(retrained.to_dict())
+                         == canonical_json(trained.to_dict()))
+
+    base = _office_worker_spec(1)
+    throughput = {}
+    for spec in (trained.policy, trained.quantized):
+        day = dataclasses.replace(
+            base, name=f"{base.name}_{spec.name}", trace="none",
+            system=dataclasses.replace(base.system, policy=spec))
+        elapsed, result = _best_of(
+            lambda day=day: build_simulation(day),
+            lambda sim: sim.run(), 3)
+        throughput[spec.name] = round(
+            (result.duration_s / STEP_S) / elapsed, 1)
+    network, _ = network_from_params(trained.policy.params)
+    deployment = deployment_summary(network)
+    return {
+        "dataset_samples": len(dataset.samples),
+        "dataset_s": round(dataset_s, 6),
+        "train_epochs": train_spec.epochs,
+        "train_s": round(train_s, 6),
+        "final_mse": round(trained.final_mse, 6),
+        "retrain_bitwise_identical": retrain_identical,
+        "learned_steps_per_s": throughput["learned"],
+        "learned_q_steps_per_s": throughput["learned_q"],
+        "flash_bytes": deployment.total_flash_bytes,
+        "fits_mcu_budget": (deployment.fits_nrf52_ram
+                            and deployment.fits_mrwolf_l1),
+    }
+
+
 def _measure_sweep() -> dict:
     # run_scenario forces trace="none" itself, so the stock library
     # specs already take the lean path in every backend.
@@ -379,6 +439,7 @@ def test_sim_throughput_bench(print_rows):
     fleet = _measure_fleet()
     fleet_grid = _measure_fleet_grid()
     serve = _measure_serve()
+    learned = _measure_learned_policy()
 
     # Evaluated before the JSON is written so a failing run stamps
     # itself as failing — a bad baseline can then never be mistaken
@@ -401,6 +462,8 @@ def test_sim_throughput_bench(print_rows):
               and serve["first_pass_all_miss"]
               and serve["repeat_all_hit"]
               and serve["repeat_bitwise_identical"]
+              and learned["retrain_bitwise_identical"]
+              and learned["fits_mcu_budget"]
               and (QUICK or multi_day["speedup"] >= SPEEDUP_FLOOR))
     payload = {
         "bench": "sim_throughput",
@@ -417,6 +480,7 @@ def test_sim_throughput_bench(print_rows):
         "fleet": fleet,
         "fleet_grid": fleet_grid,
         "serve": serve,
+        "learned_policy": learned,
         "harvest_cache": {
             "hits": cache.hits,
             "misses": cache.misses,
@@ -454,6 +518,11 @@ def test_sim_throughput_bench(print_rows):
          f"{serve['requests']} reqs)",
          f"hit {serve['hit_requests_per_s']} "
          f"(bitwise {serve['repeat_bitwise_identical']})"),
+        ("learned policy steps/s",
+         f"{learned['learned_steps_per_s']:,.0f} (float, "
+         f"{learned['train_s']:.2f}s train)",
+         f"fixed-point {learned['learned_q_steps_per_s']:,.0f} "
+         f"(retrain bitwise {learned['retrain_bitwise_identical']})"),
         ("harvest memo", f"{cache.misses} misses",
          f"{cache.hits} hits ({100 * cache.hit_rate:.0f}%)"),
     ]
@@ -485,6 +554,11 @@ def test_sim_throughput_bench(print_rows):
     assert serve["first_pass_all_miss"]
     assert serve["repeat_all_hit"]
     assert serve["repeat_bitwise_identical"]
+    # Learned-policy acceptance (PR 8): retraining the same spec on the
+    # same dataset is bitwise-identical, and the quantized network
+    # fits the paper's MCU budget.
+    assert learned["retrain_bitwise_identical"]
+    assert learned["fits_mcu_budget"]
     # The acceptance bar: >=10x on the multi-day single run.  Not
     # asserted in quick mode, where the shrunken horizon makes the
     # ratio noise-dominated on shared CI runners.

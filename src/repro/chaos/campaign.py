@@ -43,8 +43,15 @@ BACKENDS = ("serial", "thread", "process")
 
 
 def default_policies() -> list[PolicySpec]:
-    """Every registered policy at default parameters, sorted by name."""
-    return [PolicySpec(name) for name in POLICIES.names()]
+    """Every default-buildable policy at default parameters, sorted.
+
+    Trained policies (``learned``/``learned_q``) are excluded — they
+    cannot build without weight params; pass them explicitly to stress
+    a trained policy under chaos.
+    """
+    from repro.policies.learned import default_policy_names
+
+    return [PolicySpec(name) for name in default_policy_names()]
 
 
 @dataclass(frozen=True)
@@ -377,9 +384,9 @@ class ChaosRunner:
                                    if policies is None else policies)
         for policy in policies:
             if policy.name not in POLICIES:
-                raise SpecError(
-                    f"unknown policy {policy.name!r}; registered "
-                    f"policies: {POLICIES.names()}")
+                from repro.policies.learned import unknown_policy_message
+
+                raise SpecError(unknown_policy_message(policy.name))
         n = self.workers if workers is None else workers
         if n < 1:
             raise SpecError("worker count must be at least 1")

@@ -347,14 +347,15 @@ def _parse_policy_grids(grid_json: str | None,
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    from repro.policies import PolicyGrid
-    from repro.scenarios import POLICIES, ScenarioRunner, get_scenario
+    from repro.policies import PolicyGrid, default_policy_names
+    from repro.scenarios import ScenarioRunner, get_scenario
 
     spec = get_scenario(args.scenario)
     grids = _parse_policy_grids(args.grid, args.policy)
     if not grids:
-        # No selection: every registered policy competes at defaults.
-        grids = [PolicyGrid(name) for name in POLICIES.names()]
+        # No selection: every default-buildable policy competes
+        # (trained policies need weights, so they must be named).
+        grids = [PolicyGrid(name) for name in default_policy_names()]
 
     runner = ScenarioRunner(workers=args.workers, backend=args.backend)
     result = runner.run_grid(spec, grids)
@@ -369,6 +370,104 @@ def _cmd_search(args: argparse.Namespace) -> int:
     print(f"best: {best.label} "
           f"({best.outcome.detections_per_day:.0f} detections/day, "
           f"{'energy-neutral' if best.outcome.energy_neutral else 'draining'})")
+    return 0
+
+
+def _write_text(text: str, out: str | None, what: str) -> None:
+    """Write ``text`` to ``--out FILE`` (or stdout when omitted)."""
+    from repro.errors import SpecError
+
+    if out:
+        try:
+            with open(out, "w") as handle:
+                handle.write(text)
+        except OSError as exc:
+            raise SpecError(f"cannot write --out file {out}: {exc}") from None
+        print(f"wrote {out} ({what})")
+    else:
+        sys.stdout.write(text)
+
+
+def _cmd_learn(args: argparse.Namespace) -> int:
+    if args.learn_command == "dataset":
+        from repro.learn import DatasetSpec, generate_dataset
+
+        spec = DatasetSpec(fleet=args.fleet, wearers=args.wearers,
+                           stride=args.stride, lookahead_s=args.lookahead)
+        shard = _parse_shard(args.shard) if args.shard else None
+        dataset = generate_dataset(spec, shard=shard)
+        _write_text(dataset.to_jsonl(), args.out,
+                    f"{len(dataset.samples)} samples from "
+                    f"{len(dataset.wearers)} wearer(s)")
+        return 0
+
+    if args.learn_command == "merge":
+        from repro.learn import Dataset, load_dataset_file
+
+        merged = Dataset.merge([load_dataset_file(path)
+                                for path in args.files])
+        _write_text(merged.to_jsonl(), args.out,
+                    f"{len(merged.samples)} samples from "
+                    f"{len(merged.wearers)} wearer(s)")
+        return 0
+
+    if args.learn_command == "train":
+        from repro.errors import SpecError
+        from repro.learn import TrainSpec, load_dataset_file, train_policy
+
+        try:
+            hidden = tuple(int(width) for width in args.hidden.split(","))
+        except ValueError:
+            raise SpecError(
+                f"--hidden must be comma-separated layer widths "
+                f"(e.g. 8 or 8,4), got {args.hidden!r}") from None
+        dataset = load_dataset_file(args.dataset)
+        spec = TrainSpec(hidden=hidden, epochs=args.epochs, seed=args.seed,
+                         desired_mse=args.desired_mse,
+                         max_rate_per_min=args.max_rate)
+        trained = train_policy(dataset, spec)
+        _emit_payload(trained.to_dict(), args.out)
+        if args.out:
+            print(f"trained on {trained.samples} samples: "
+                  f"{trained.epochs_run} epoch(s), final MSE "
+                  f"{trained.final_mse:.5f}"
+                  f"{' (converged)' if trained.converged else ''}")
+        return 0
+
+    # learn eval: the trained policy against every built-in on a fleet.
+    from repro.learn import evaluate_trained, load_trained_file
+
+    trained = load_trained_file(args.trained)
+    fleet = _resolve_fleet(args.fleet) if args.fleet else None
+    report = evaluate_trained(trained, fleet=fleet,
+                              include_quantized=not args.no_quantized,
+                              workers=args.workers, backend=args.backend)
+    if args.json or args.out:
+        _emit_payload(report.to_dict(), args.out)
+        return 0
+    comparison = report.comparison
+    print(f"Learned-policy evaluation: {report.fleet} — "
+          f"{len(comparison.entries)} policy(ies), {comparison.backend} "
+          f"backend, {comparison.wall_time_s:.2f} s")
+    print(comparison.format_table())
+    gap = report.gap
+    if gap["gap_closed"] is None:
+        print(f"gap: {gap['oracle']} opens no {gap['metric']} gap over "
+              f"{gap['baseline']} on this fleet")
+    else:
+        print(f"gap closed: {100 * gap['gap_closed']:.1f}% of "
+              f"{gap['baseline']} -> {gap['oracle']} on {gap['metric']} "
+              f"({gap['baseline_value']:.0f} -> {gap['candidate_value']:.0f} "
+              f"vs oracle {gap['oracle_value']:.0f})")
+        quantized = gap.get("quantized")
+        if quantized and quantized["gap_closed"] is not None:
+            print(f"quantized (learned_q): "
+                  f"{100 * quantized['gap_closed']:.1f}% closed")
+    deployment = report.deployment
+    print(f"deployment: {deployment['total_flash_bytes']} B flash, "
+          f"{deployment['buffer_bytes']} B activation buffers — "
+          f"nRF52 RAM {'OK' if deployment['fits_nrf52_ram'] else 'EXCEEDED'}, "
+          f"Mr. Wolf L1 {'OK' if deployment['fits_mrwolf_l1'] else 'EXCEEDED'}")
     return 0
 
 
@@ -529,13 +628,12 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
     if args.fleet_command == "search":
         # fleet search: every grid candidate against one sampled
         # population, ranked by the comparison ordering.
-        from repro.policies import PolicyGrid
-        from repro.scenarios import POLICIES
+        from repro.policies import PolicyGrid, default_policy_names
 
         grids = _parse_policy_grids(args.grid, args.policy)
         if not grids:
-            # No selection: every registered policy competes at defaults.
-            grids = [PolicyGrid(name) for name in POLICIES.names()]
+            # No selection: every default-buildable policy competes.
+            grids = [PolicyGrid(name) for name in default_policy_names()]
         result = runner.run_grid(fleet, grids)
         if args.json:
             _print_json({"spec": fleet.to_dict(),
@@ -556,13 +654,13 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
         return 0
 
     # fleet compare: the same sampled population under each policy.
-    from repro.scenarios import POLICIES
+    from repro.policies import default_policy_names
     from repro.scenarios.spec import PolicySpec
 
     names = list(args.policy or ())
     if not names:
-        # No selection: every registered policy competes at defaults.
-        names = POLICIES.names()
+        # No selection: every default-buildable policy competes.
+        names = default_policy_names()
     comparison = runner.compare(fleet, [PolicySpec(name) for name in names])
     if args.json:
         _print_json({"spec": fleet.to_dict(),
@@ -1114,6 +1212,88 @@ def build_parser() -> argparse.ArgumentParser:
                           help="emit the fitted spec (and output path) "
                                "as JSON")
 
+    p_learn = sub.add_parser(
+        "learn", help="oracle-supervised learned policy: dataset -> "
+                      "train -> evaluate")
+    learn_sub = p_learn.add_subparsers(dest="learn_command", required=True,
+                                       metavar="action")
+    p_learn_dataset = learn_sub.add_parser(
+        "dataset", help="replay the oracle teacher over a fleet into "
+                        "a canonical JSONL supervision dataset")
+    p_learn_dataset.add_argument("fleet",
+                                 help="library fleet name (see "
+                                      "`repro fleet list`)")
+    p_learn_dataset.add_argument("--wearers", type=int, default=0,
+                                 help="cap the fleet at this many wearers "
+                                      "(0 = the whole fleet)")
+    p_learn_dataset.add_argument("--stride", type=int, default=1,
+                                 help="record every Nth decision step "
+                                      "(default 1 = all)")
+    p_learn_dataset.add_argument("--lookahead", type=float, default=21600.0,
+                                 help="oracle teacher lookahead window, "
+                                      "seconds (default 21600 = 6 h)")
+    p_learn_dataset.add_argument("--shard", metavar="I/N",
+                                 help="generate only strided wearer "
+                                      "partition I of N (merge parts "
+                                      "with `repro learn merge`)")
+    p_learn_dataset.add_argument("--out", metavar="FILE",
+                                 help="write the JSONL dataset here "
+                                      "instead of stdout")
+    p_learn_merge = learn_sub.add_parser(
+        "merge", help="reassemble a complete shard partition into the "
+                      "exact unsharded dataset")
+    p_learn_merge.add_argument("files", metavar="PART.jsonl", nargs="+",
+                               help="the shard files, one per partition "
+                                    "position")
+    p_learn_merge.add_argument("--out", metavar="FILE",
+                               help="write the merged JSONL dataset here "
+                                    "instead of stdout")
+    p_learn_train = learn_sub.add_parser(
+        "train", help="fit the rate network to a dataset and package "
+                      "it as deployable learned/learned_q policies")
+    p_learn_train.add_argument("dataset", metavar="DATA.jsonl",
+                               help="a `repro learn dataset` file")
+    p_learn_train.add_argument("--hidden", default="8",
+                               help="comma-separated hidden layer widths "
+                                    "(default 8)")
+    p_learn_train.add_argument("--epochs", type=int, default=200,
+                               help="iRPROP- epochs (default 200)")
+    p_learn_train.add_argument("--seed", type=int, default=0,
+                               help="weight init seed (default 0)")
+    p_learn_train.add_argument("--desired-mse", type=float, default=0.0,
+                               help="stop early at this training MSE "
+                                    "(default 0 = run all epochs)")
+    p_learn_train.add_argument("--max-rate", type=float, default=24.0,
+                               help="deployed policy rate ceiling, "
+                                    "detections/min (default 24)")
+    p_learn_train.add_argument("--out", metavar="FILE",
+                               help="write the trained policy JSON here "
+                                    "instead of stdout")
+    p_learn_eval = learn_sub.add_parser(
+        "eval", help="race the trained policy against every built-in "
+                     "on a fleet and report the oracle gap closed")
+    p_learn_eval.add_argument("trained", metavar="POLICY.json",
+                              help="a `repro learn train` output file")
+    p_learn_eval.add_argument("fleet", nargs="?",
+                              help="fleet name or spec file (default: "
+                                   "the full fleet the dataset came "
+                                   "from)")
+    p_learn_eval.add_argument("--workers", type=int, default=4,
+                              help="parallel wearer simulations "
+                                   "(default 4)")
+    p_learn_eval.add_argument("--backend",
+                              choices=["serial", "thread", "process"],
+                              default="thread",
+                              help="execution backend (default thread)")
+    p_learn_eval.add_argument("--no-quantized", action="store_true",
+                              help="skip the fixed-point learned_q "
+                                   "variant")
+    p_learn_eval.add_argument("--json", action="store_true",
+                              help="emit the full evaluation report "
+                                   "as JSON")
+    p_learn_eval.add_argument("--out", metavar="FILE",
+                              help="write the JSON report here")
+
     return parser
 
 
@@ -1150,6 +1330,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "ingest":
             return _cmd_ingest(args)
+        if args.command == "learn":
+            return _cmd_learn(args)
         return _cmd_sweep(args)
     except ReproError as exc:
         # Bad scenario names, worker counts etc. are user input errors:

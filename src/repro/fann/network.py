@@ -61,16 +61,23 @@ class MultiLayerPerceptron:
         layers: destination layer specs, one per connection layer
             (hidden layers first, output layer last).
         seed: seed for the deterministic initial weight draw.
+        rng: explicit generator for the initial weight draw; wins over
+            ``seed`` when given.  Initialization never touches global
+            ``np.random`` state, so a seed (or generator) fully
+            determines the network — two constructions from the same
+            seed are bitwise identical.
     """
 
-    def __init__(self, num_inputs: int, layers: list[LayerSpec], seed: int = 0) -> None:
+    def __init__(self, num_inputs: int, layers: list[LayerSpec], seed: int = 0,
+                 rng: np.random.Generator | None = None) -> None:
         if num_inputs < 1:
             raise NetworkStructureError(f"num_inputs must be >= 1, got {num_inputs}")
         if not layers:
             raise NetworkStructureError("a network needs at least one layer")
         self.num_inputs = int(num_inputs)
         self.layers = list(layers)
-        rng = np.random.default_rng(seed)
+        if rng is None:
+            rng = np.random.default_rng(seed)
         self.weights: list[np.ndarray] = []
         fan_in = self.num_inputs
         for spec in self.layers:

@@ -40,7 +40,7 @@ from repro.fleet.result import FleetResult, PartialFleetResult, WearerRecord
 from repro.fleet.spec import FleetSpec
 from repro.policies.grid import PolicyGrid, expand_grids, policy_label
 from repro.scenarios.runner import BACKENDS, ScenarioRunner
-from repro.scenarios.spec import PolicySpec
+from repro.scenarios.spec import PolicySpec, canonical_json
 
 __all__ = ["FleetRunner", "ComparisonEntry", "FleetComparison",
            "FleetGridResult", "run_fleet"]
@@ -266,7 +266,9 @@ class FleetRunner:
         policies = list(policies)
         if not policies:
             raise SpecError("a fleet comparison needs at least one policy")
-        keys = [(p.name, tuple(sorted(p.params.items()))) for p in policies]
+        # Canonical JSON rather than sorted items: params may carry
+        # nested weight arrays, which are unhashable as tuples.
+        keys = [canonical_json(p.to_dict()) for p in policies]
         if len(set(keys)) != len(keys):
             raise SpecError("duplicate policies in fleet comparison")
         candidates = [(policy_label(policy), policy) for policy in policies]

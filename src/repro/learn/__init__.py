@@ -1,0 +1,61 @@
+"""Oracle-supervised learning: dataset -> train -> quantize -> deploy.
+
+The training half of the learned energy manager (the inference half —
+the registered ``learned``/``learned_q`` policies — lives in
+:mod:`repro.policies.learned`):
+
+* :mod:`repro.learn.spec` — frozen :class:`DatasetSpec` /
+  :class:`TrainSpec`, so datasets and trained policies are
+  reproducible from their headers;
+* :mod:`repro.learn.dataset` — replay the ``oracle_lookahead``
+  teacher over a seeded fleet into canonical JSONL supervision,
+  sharded and merge-exact like every other fleet artifact;
+* :mod:`repro.learn.train` — deterministic seeded init + full-batch
+  iRPROP- (:class:`~repro.fann.training.RpropTrainer`), packaged as
+  :class:`~repro.scenarios.spec.PolicySpec` values whose params carry
+  the weights;
+* :mod:`repro.learn.evaluate` — fleet-scale comparison against every
+  built-in, reporting the fraction of the oracle-vs-``energy_aware``
+  gap closed and the quantized network's MCU deployment summary.
+
+Driven end to end by ``repro learn dataset|merge|train|eval``.
+"""
+
+from repro.learn.spec import DatasetSpec, TrainSpec
+from repro.learn.dataset import (
+    Dataset,
+    RecordingPolicy,
+    Sample,
+    generate_dataset,
+    load_dataset_file,
+)
+from repro.learn.train import (
+    TrainedPolicy,
+    build_network,
+    load_trained_file,
+    train_policy,
+)
+from repro.learn.evaluate import (
+    BASELINE_POLICIES,
+    EvalReport,
+    evaluate_trained,
+    oracle_gap,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "TrainSpec",
+    "Dataset",
+    "RecordingPolicy",
+    "Sample",
+    "generate_dataset",
+    "load_dataset_file",
+    "TrainedPolicy",
+    "build_network",
+    "load_trained_file",
+    "train_policy",
+    "BASELINE_POLICIES",
+    "EvalReport",
+    "evaluate_trained",
+    "oracle_gap",
+]

@@ -1,0 +1,169 @@
+"""Frozen specs for the oracle-supervised learning pipeline.
+
+Two small specs pin everything the pipeline does, so a dataset or a
+trained policy is reproducible from its header alone:
+
+* :class:`DatasetSpec` — which fleet supplies the supervision, how
+  many wearers, the decision-step stride, and the oracle teacher's
+  lookahead window.
+* :class:`TrainSpec` — network shape, epoch budget and the seed that
+  fully determines the initial weight draw (and therefore, with
+  deterministic full-batch iRPROP-, the trained network: retraining is
+  bitwise-identical).
+
+Both round-trip losslessly through ``to_dict``/``from_dict`` under the
+shared canonical encoder, like every other spec in the repo.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import SpecError
+from repro.scenarios.spec import PolicySpec, check_mapping_keys
+
+__all__ = ["DatasetSpec", "TrainSpec"]
+
+
+def _check_int(what: str, value: Any, minimum: int) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecError(f"{what} must be an integer, got {value!r}")
+    if value < minimum:
+        raise SpecError(f"{what} must be >= {minimum}, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """What one supervision dataset is made of.
+
+    Attributes:
+        fleet: built-in fleet name (see ``repro.fleet.fleet_names()``)
+            whose sampled wearers the oracle replays over.
+        wearers: cap on the number of wearers replayed (0 = the whole
+            fleet).  Capping keeps smoke datasets cheap while the
+            wearer scenarios stay identical to the full fleet's first
+            ``wearers`` entries (per-wearer seeding).
+        stride: record every ``stride``-th decision step; 1 keeps all.
+        lookahead_s: the ``oracle_lookahead`` teacher's window.
+    """
+
+    fleet: str = "office_cohort_week"
+    wearers: int = 0
+    stride: int = 1
+    lookahead_s: float = 6 * 3600.0
+
+    def __post_init__(self) -> None:
+        if not self.fleet or not isinstance(self.fleet, str):
+            raise SpecError(
+                f"dataset fleet must be a non-empty name, got {self.fleet!r}")
+        _check_int("dataset wearers", self.wearers, 0)
+        _check_int("dataset stride", self.stride, 1)
+        if (isinstance(self.lookahead_s, bool)
+                or not isinstance(self.lookahead_s, (int, float))
+                or not math.isfinite(self.lookahead_s)
+                or self.lookahead_s <= 0):
+            raise SpecError(
+                f"dataset lookahead_s must be a positive finite number, "
+                f"got {self.lookahead_s!r}")
+
+    def teacher_policy(self) -> PolicySpec:
+        """The oracle policy whose decisions become the targets."""
+        return PolicySpec("oracle_lookahead",
+                          {"lookahead_s": float(self.lookahead_s)})
+
+    def resolved_fleet(self):
+        """The (possibly wearer-capped) :class:`FleetSpec` to replay."""
+        from repro.fleet import get_fleet
+
+        fleet = get_fleet(self.fleet)
+        if self.wearers and self.wearers < fleet.n_wearers:
+            fleet = fleet.replace(n_wearers=self.wearers)
+        return fleet
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "fleet": self.fleet,
+            "wearers": self.wearers,
+            "stride": self.stride,
+            "lookahead_s": float(self.lookahead_s),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DatasetSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        check_mapping_keys("DatasetSpec", data, known)
+        return cls(**dict(data))
+
+
+@dataclass(frozen=True)
+class TrainSpec:
+    """Network shape and training budget, frozen for reproducibility.
+
+    Attributes:
+        hidden: hidden-layer widths (TANH activations); the output is
+            always one SIGMOID neuron — the fraction of
+            ``max_rate_per_min`` to run.
+        epochs: iRPROP- epoch budget (full-batch, deterministic).
+        seed: seed of the initial weight draw; with the deterministic
+            trainer it pins the trained network bitwise.
+        desired_mse: early-stop target (0 disables early stopping).
+        max_rate_per_min: the rate ceiling the output scales to.
+    """
+
+    hidden: tuple[int, ...] = (8,)
+    epochs: int = 200
+    seed: int = 0
+    desired_mse: float = 0.0
+    max_rate_per_min: float = 24.0
+
+    def __post_init__(self) -> None:
+        if isinstance(self.hidden, (str, bytes)) or not hasattr(
+                self.hidden, "__iter__"):
+            raise SpecError(
+                f"train hidden must be a sequence of layer widths, "
+                f"got {self.hidden!r}")
+        hidden = tuple(self.hidden)
+        for width in hidden:
+            _check_int("train hidden layer width", width, 1)
+        object.__setattr__(self, "hidden", hidden)
+        _check_int("train epochs", self.epochs, 1)
+        _check_int("train seed", self.seed, 0)
+        if (isinstance(self.desired_mse, bool)
+                or not isinstance(self.desired_mse, (int, float))
+                or not self.desired_mse >= 0):
+            raise SpecError(
+                f"train desired_mse must be >= 0, got {self.desired_mse!r}")
+        if (isinstance(self.max_rate_per_min, bool)
+                or not isinstance(self.max_rate_per_min, (int, float))
+                or not math.isfinite(self.max_rate_per_min)
+                or self.max_rate_per_min <= 0):
+            raise SpecError(
+                f"train max_rate_per_min must be a positive finite number, "
+                f"got {self.max_rate_per_min!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "hidden": list(self.hidden),
+            "epochs": self.epochs,
+            "seed": self.seed,
+            "desired_mse": float(self.desired_mse),
+            "max_rate_per_min": float(self.max_rate_per_min),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrainSpec":
+        known = {f.name for f in dataclasses.fields(cls)}
+        check_mapping_keys("TrainSpec", data, known)
+        data = dict(data)
+        if "hidden" in data:
+            hidden = data["hidden"]
+            if not isinstance(hidden, (list, tuple)):
+                raise SpecError(
+                    f"TrainSpec hidden must be a list of widths, "
+                    f"got {hidden!r}")
+            data["hidden"] = tuple(hidden)
+        return cls(**data)

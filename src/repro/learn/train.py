@@ -1,0 +1,166 @@
+"""Fit the tiny rate network and package it as deployable policies.
+
+:func:`train_policy` is the bridge from a supervision
+:class:`~repro.learn.dataset.Dataset` to registered policies: a
+seeded :class:`~repro.fann.network.MultiLayerPerceptron` (TANH hidden
+layers, one SIGMOID output) trained with FANN's deterministic
+full-batch :class:`~repro.fann.training.RpropTrainer`.  Because both
+the initial draw and the trainer are deterministic, the same dataset
+and :class:`~repro.learn.spec.TrainSpec` always produce bitwise-
+identical weights — pinned by the train-twice test and the bench gate.
+
+The result bundles two :class:`~repro.scenarios.spec.PolicySpec`
+values whose params carry the weights as nested JSON arrays:
+``learned`` (float inference) and ``learned_q`` (the
+``repro.quant``/fixed-point MCU path, with the derived binary point
+frozen in) — both ride the ordinary spec machinery anywhere a policy
+travels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Mapping
+
+from repro.errors import SpecError
+from repro.fann.activation import Activation
+from repro.fann.fixedpoint import required_decimal_point
+from repro.fann.network import LayerSpec, MultiLayerPerceptron
+from repro.fann.training import RpropTrainer
+from repro.learn.dataset import Dataset
+from repro.learn.spec import DatasetSpec, TrainSpec
+from repro.policies.learned import FEATURE_NAMES, network_to_params
+from repro.scenarios.spec import PolicySpec, check_mapping_keys
+
+__all__ = ["TrainedPolicy", "build_network", "train_policy",
+           "load_trained_file"]
+
+#: Format tag of a saved trained-policy payload.
+TRAINED_KIND = "repro.learn/trained"
+TRAINED_VERSION = 1
+
+
+def build_network(spec: TrainSpec) -> MultiLayerPerceptron:
+    """The seeded, untrained rate network of one :class:`TrainSpec`."""
+    layers = [LayerSpec(width, Activation.TANH) for width in spec.hidden]
+    layers.append(LayerSpec(1, Activation.SIGMOID))
+    return MultiLayerPerceptron(len(FEATURE_NAMES), layers, seed=spec.seed)
+
+
+@dataclass(frozen=True)
+class TrainedPolicy:
+    """A trained rate network packaged for deployment and provenance.
+
+    Attributes:
+        policy: the ``learned`` spec (float inference), weights inline.
+        quantized: the ``learned_q`` spec — same weights through the
+            fixed-point path, binary point frozen at training time.
+        train: the :class:`TrainSpec` that produced the weights.
+        dataset: the :class:`DatasetSpec` of the supervision data.
+        samples: how many supervision pairs were fitted.
+        epochs_run / final_mse / converged: the training report.
+    """
+
+    policy: PolicySpec
+    quantized: PolicySpec
+    train: TrainSpec
+    dataset: DatasetSpec
+    samples: int
+    epochs_run: int
+    final_mse: float
+    converged: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": TRAINED_KIND,
+            "version": TRAINED_VERSION,
+            "policy": self.policy.to_dict(),
+            "quantized": self.quantized.to_dict(),
+            "train": self.train.to_dict(),
+            "dataset": self.dataset.to_dict(),
+            "report": {
+                "samples": self.samples,
+                "epochs_run": self.epochs_run,
+                "final_mse": self.final_mse,
+                "converged": self.converged,
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TrainedPolicy":
+        known = {"kind", "version", "policy", "quantized", "train",
+                 "dataset", "report"}
+        check_mapping_keys("trained policy payload", data, known,
+                           required={"policy", "quantized", "train",
+                                     "dataset", "report"})
+        if data.get("kind", TRAINED_KIND) != TRAINED_KIND:
+            raise SpecError(
+                f"not a {TRAINED_KIND} payload (kind={data.get('kind')!r})")
+        if data.get("version", TRAINED_VERSION) != TRAINED_VERSION:
+            raise SpecError(
+                f"trained payload version {data.get('version')!r} is not "
+                f"{TRAINED_VERSION}")
+        report = data["report"]
+        check_mapping_keys("trained policy report", report,
+                           {"samples", "epochs_run", "final_mse",
+                            "converged"},
+                           required={"samples", "epochs_run", "final_mse",
+                                     "converged"})
+        return cls(
+            policy=PolicySpec.from_dict(data["policy"]),
+            quantized=PolicySpec.from_dict(data["quantized"]),
+            train=TrainSpec.from_dict(data["train"]),
+            dataset=DatasetSpec.from_dict(data["dataset"]),
+            samples=report["samples"],
+            epochs_run=report["epochs_run"],
+            final_mse=report["final_mse"],
+            converged=report["converged"],
+        )
+
+
+def train_policy(dataset: Dataset, spec: TrainSpec) -> TrainedPolicy:
+    """Fit the rate network to one dataset, deterministically.
+
+    The returned bundle's float params reproduce the trained weights
+    exactly (JSON floats round-trip IEEE doubles); the quantized spec
+    adds the binary point :func:`required_decimal_point` derives, so
+    the deployed fixed-point network is also pinned.
+    """
+    inputs, targets = dataset.matrices()
+    network = build_network(spec)
+    report = RpropTrainer().train(network, inputs, targets,
+                                  max_epochs=spec.epochs,
+                                  desired_mse=spec.desired_mse)
+    params = network_to_params(network, spec.max_rate_per_min)
+    quantized_params = dict(params)
+    quantized_params["decimal_point"] = int(required_decimal_point(network))
+    return TrainedPolicy(
+        policy=PolicySpec("learned", params),
+        quantized=PolicySpec("learned_q", quantized_params),
+        train=spec,
+        dataset=dataset.spec,
+        samples=len(dataset.samples),
+        epochs_run=report.epochs_run,
+        final_mse=float(report.final_mse),
+        converged=report.converged,
+    )
+
+
+def load_trained_file(path: Any) -> TrainedPolicy:
+    """Read a saved :meth:`TrainedPolicy.to_dict` JSON file."""
+    import json
+    from pathlib import Path
+
+    file_path = Path(path)
+    try:
+        data = json.loads(file_path.read_text())
+    except OSError as exc:
+        raise SpecError(
+            f"cannot read trained policy {file_path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise SpecError(
+            f"trained policy {file_path} is not valid JSON: {exc}") from None
+    if not isinstance(data, Mapping):
+        raise SpecError(
+            f"trained policy {file_path} must hold a JSON object")
+    return TrainedPolicy.from_dict(data)

@@ -11,6 +11,9 @@ of the engine behind a typed observation -> decision protocol:
   ``oracle_lookahead``), registered in the shared ``POLICIES``
   registry so any :class:`~repro.scenarios.spec.PolicySpec` can name
   them and round-trip through JSON and the process backend;
+* :mod:`repro.policies.learned` — the oracle-supervised ``learned`` /
+  ``learned_q`` trained policies (weights ride inside
+  ``PolicySpec.params``; training lives in :mod:`repro.learn`);
 * :mod:`repro.policies.grid` — :class:`PolicyGrid` cartesian parameter
   grids and the ranked :class:`GridResult`, driven by
   :meth:`repro.scenarios.runner.ScenarioRunner.run_grid` and the
@@ -38,6 +41,15 @@ from repro.policies.library import (
     StaticDutyCyclePolicy,
     policy_names,
 )
+from repro.policies.learned import (
+    LearnedPolicy,
+    LearnedQPolicy,
+    default_policy_names,
+    extract_features,
+    network_from_params,
+    network_to_params,
+    unknown_policy_message,
+)
 from repro.policies.grid import (
     GridEntry,
     GridResult,
@@ -55,7 +67,14 @@ __all__ = [
     "EwmaForecastPolicy",
     "OracleLookaheadPolicy",
     "StaticDutyCyclePolicy",
+    "LearnedPolicy",
+    "LearnedQPolicy",
     "policy_names",
+    "default_policy_names",
+    "extract_features",
+    "network_from_params",
+    "network_to_params",
+    "unknown_policy_message",
     "GridEntry",
     "GridResult",
     "PolicyGrid",

@@ -43,13 +43,30 @@ def policy_label(spec: "PolicySpec") -> str:
     >>> policy_label(PolicySpec("static_duty_cycle",
     ...                         {"rate_per_min": 12.0}))
     'static_duty_cycle(rate_per_min=12)'
+
+    Nested-array params (trained-policy weight blobs) are summarized
+    by their scalar count instead of rendered verbatim:
+
+    >>> policy_label(PolicySpec("energy_aware",
+    ...                         {"low_soc": 0.1, "table": [[1, 2], [3, 4]]}))
+    'energy_aware(low_soc=0.1,table=<4 values>)'
     """
     if not spec.params:
         return spec.name
-    inner = ",".join(f"{key}={spec.params[key]:g}"
-                     if isinstance(spec.params[key], (int, float))
-                     and not isinstance(spec.params[key], bool)
-                     else f"{key}={spec.params[key]}"
+
+    def _leaves(value: Any) -> int:
+        if isinstance(value, list):
+            return sum(_leaves(item) for item in value)
+        return 1
+
+    def _text(value: Any) -> str:
+        if isinstance(value, list):
+            return f"<{_leaves(value)} values>"
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return f"{value:g}"
+        return str(value)
+
+    inner = ",".join(f"{key}={_text(spec.params[key])}"
                      for key in sorted(spec.params))
     return f"{spec.name}({inner})"
 
@@ -137,15 +154,17 @@ def expand_grids(
     ...                axes={"rate_per_min": (2.0, 24.0)}))]
     ['static_duty_cycle(rate_per_min=2)', 'static_duty_cycle(rate_per_min=24)']
     """
+    from repro.scenarios.spec import canonical_json
+
     grids = [grids] if isinstance(grids, PolicyGrid) else list(grids)
     if not grids:
         raise SpecError("a policy grid search needs at least one grid")
     points = [point for grid in grids for point in grid.specs()]
     # True duplicates are identical (name, params) points — judged on
-    # the specs themselves, since the compact %g labels can collide
-    # for values that differ past six significant digits.
-    keys = [(point.name, tuple(sorted(point.params.items())))
-            for point in points]
+    # the canonical JSON of the specs themselves, since the compact %g
+    # labels can collide for values that differ past six significant
+    # digits (and params may hold unhashable weight arrays).
+    keys = [canonical_json(point.to_dict()) for point in points]
     key_counts = Counter(keys)
     duplicates = sorted({policy_label(point)
                          for point, key in zip(points, keys)
@@ -181,12 +200,12 @@ def grids_from_mapping(mapping: Any,
     fail with a pointed message.
     """
     # Deferred: the registry lives above this module in import order.
+    from repro.policies.learned import unknown_policy_message
     from repro.scenarios.registry import POLICIES
 
     def _check_policy(name: str) -> str:
         if name not in POLICIES:
-            raise SpecError(f"unknown policy {name!r}; registered "
-                            f"policies: {POLICIES.names()}")
+            raise SpecError(unknown_policy_message(name))
         return name
 
     grids: list[PolicyGrid] = []

@@ -106,9 +106,9 @@ def build_policy(spec: PolicySpec | None = None,
     try:
         factory = POLICIES.get(spec.name)
     except RegistryError:
-        raise UnknownPolicyError(
-            f"unknown policy {spec.name!r}; registered policies: "
-            f"{POLICIES.names()}") from None
+        from repro.policies.learned import unknown_policy_message
+
+        raise UnknownPolicyError(unknown_policy_message(spec.name)) from None
     if context is None:
         context = PolicyContext(
             detection_energy_j=build_app().energy_budget().total_j)

@@ -315,6 +315,43 @@ _LEGACY_POLICY_KEYS = frozenset({
 
 _PARAM_SCALARS = (bool, int, float, str)
 
+#: Ceilings for nested-array policy params (trained-policy weight
+#: blobs).  The scalar budget bounds the canonical JSON body a spec
+#: can produce — a ``learned`` MLP of a few hundred weights uses well
+#: under 1% of it — and the depth guard turns a pathologically nested
+#: payload into a :class:`SpecError` instead of deep recursion.
+MAX_PARAM_SCALARS = 65_536
+MAX_PARAM_DEPTH = 8
+
+
+def _check_param_value(key: str, value: Any, depth: int,
+                       budget: list[int]) -> Any:
+    """Validate one param value: a JSON scalar or nested scalar arrays.
+
+    Returns the normalized value (sequences become plain lists, so two
+    specs built from tuples and lists compare and serialize equal) and
+    charges every scalar leaf against the per-spec ``budget``.
+    """
+    if isinstance(value, _PARAM_SCALARS):
+        budget[0] += 1
+        if budget[0] > MAX_PARAM_SCALARS:
+            raise SpecError(
+                f"policy params exceed {MAX_PARAM_SCALARS} scalar values "
+                f"(param {key!r} crosses the cap); weight blobs larger "
+                f"than this cannot round-trip as a PolicySpec")
+        return value
+    if isinstance(value, (list, tuple)):
+        if depth >= MAX_PARAM_DEPTH:
+            raise SpecError(
+                f"policy param {key!r} nests arrays deeper than "
+                f"{MAX_PARAM_DEPTH} levels")
+        return [_check_param_value(key, item, depth + 1, budget)
+                for item in value]
+    raise SpecError(
+        f"policy param {key!r} must be a JSON scalar (number, string "
+        f"or bool) or a nested array of scalars, "
+        f"got {type(value).__name__}")
+
 
 @dataclass(frozen=True)
 class PolicySpec:
@@ -322,12 +359,14 @@ class PolicySpec:
 
     Any policy in the ``POLICIES`` registry can be named
     (``energy_aware``, ``static_duty_cycle``, ``ewma_forecast``,
-    ``oracle_lookahead``, or a third-party registration); ``params``
-    are passed to its factory as keyword arguments, so the spec stays
-    JSON-round-trippable for every policy rather than hard-coding one
-    policy's threshold fields.  Param values must be JSON scalars
-    (numbers, strings, booleans) so specs survive the process backend
-    unchanged.
+    ``oracle_lookahead``, ``learned``, or a third-party registration);
+    ``params`` are passed to its factory as keyword arguments, so the
+    spec stays JSON-round-trippable for every policy rather than
+    hard-coding one policy's threshold fields.  Param values must be
+    JSON scalars (numbers, strings, booleans) or nested arrays of
+    scalars — the latter carry trained-policy weight blobs, capped at
+    ``MAX_PARAM_SCALARS`` total scalars — so specs survive the process
+    backend unchanged.
     """
 
     name: str = "energy_aware"
@@ -337,16 +376,15 @@ class PolicySpec:
         if not self.name:
             raise SpecError("policy name cannot be empty")
         params = _check_dict(self.params, "PolicySpec params")
+        budget = [0]
+        checked = {}
         for key, value in params.items():
             if not isinstance(key, str) or not key:
                 raise SpecError(
                     f"policy param names must be non-empty strings, "
                     f"got {key!r}")
-            if not isinstance(value, _PARAM_SCALARS):
-                raise SpecError(
-                    f"policy param {key!r} must be a JSON scalar "
-                    f"(number, string or bool), got {type(value).__name__}")
-        object.__setattr__(self, "params", dict(params))
+            checked[key] = _check_param_value(key, value, 0, budget)
+        object.__setattr__(self, "params", checked)
 
     def to_dict(self) -> dict[str, Any]:
         return {"name": self.name, "params": dict(self.params)}

@@ -40,6 +40,23 @@ class TestConstruction:
         assert any(not np.array_equal(wa, wb)
                    for wa, wb in zip(a.weights, b.weights))
 
+    def test_explicit_rng_wins_over_seed(self):
+        layers = [LayerSpec(3, Activation.TANH),
+                  LayerSpec(1, Activation.LINEAR)]
+        a = MultiLayerPerceptron(2, layers, seed=999,
+                                 rng=np.random.default_rng(7))
+        b = MultiLayerPerceptron(2, layers, seed=7)
+        for wa, wb in zip(a.weights, b.weights):
+            np.testing.assert_array_equal(wa, wb)
+
+    def test_init_ignores_global_numpy_state(self):
+        np.random.seed(1)
+        a = tiny_network(seed=5)
+        np.random.seed(2)
+        b = tiny_network(seed=5)
+        for wa, wb in zip(a.weights, b.weights):
+            np.testing.assert_array_equal(wa, wb)
+
 
 class TestCounting:
     def test_fann_connection_counting(self):

@@ -134,3 +134,16 @@ class TestRprop:
 
         with pytest.raises(TrainingError):
             _ = TrainingReport(epochs_run=0).final_mse
+
+    def test_train_twice_is_bitwise_identical(self):
+        # Seeded init + deterministic full-batch updates: two runs of
+        # the same spec end with exactly the same weights, which is
+        # what lets repro.learn promise reproducible trained policies.
+        x, t = xor_data()
+        runs = []
+        for _ in range(2):
+            net = xor_network(seed=9)
+            RpropTrainer().train(net, x, t, max_epochs=50)
+            runs.append([w.copy() for w in net.weights])
+        for wa, wb in zip(*runs):
+            np.testing.assert_array_equal(wa, wb)

@@ -24,7 +24,8 @@ from repro.chaos.judge import (
     check_invariants,
     judge_simulation,
 )
-from repro.scenarios import POLICIES, all_scenarios, build_simulation
+from repro.policies import default_policy_names
+from repro.scenarios import all_scenarios, build_simulation
 from repro.scenarios.spec import PolicySpec
 
 SCENARIOS = [spec.name for spec in all_scenarios()]
@@ -41,7 +42,7 @@ def _build(scenario_name, policy_name):
     return build_simulation(spec)
 
 
-@pytest.mark.parametrize("policy_name", sorted(POLICIES.names()))
+@pytest.mark.parametrize("policy_name", sorted(default_policy_names()))
 @pytest.mark.parametrize("scenario_name", SCENARIOS)
 def test_energy_accounting_invariants(scenario_name, policy_name):
     sim = _build(scenario_name, policy_name)
@@ -52,7 +53,7 @@ def test_energy_accounting_invariants(scenario_name, policy_name):
     assert violations == [], "\n".join(str(v) for v in violations)
 
 
-@pytest.mark.parametrize("policy_name", sorted(POLICIES.names()))
+@pytest.mark.parametrize("policy_name", sorted(default_policy_names()))
 @pytest.mark.parametrize("scenario_name", SCENARIOS)
 def test_judge_never_sees_a_violation(scenario_name, policy_name):
     """The judge's verdict on a healthy library run is never
@@ -62,3 +63,26 @@ def test_judge_never_sees_a_violation(scenario_name, policy_name):
                                  name=scenario_name)
     assert judgement.verdict != "violation", judgement.reasons
     assert judgement.outcome is not None
+
+
+@pytest.mark.parametrize("policy_name", ["learned", "learned_q"])
+def test_trained_policies_keep_the_same_books(policy_name):
+    """The trained policies build from weight params, not defaults, so
+    they get their own invariant pass: a (seeded, untrained) network is
+    a valid policy, and the engine's books must balance under it."""
+    from repro.learn import TrainSpec, build_network
+    from repro.policies.learned import network_to_params
+    from repro.scenarios import get_scenario
+
+    params = network_to_params(build_network(TrainSpec(hidden=(4,), seed=2)))
+    spec = get_scenario("sunny_office_worker")
+    spec = dataclasses.replace(
+        spec, trace="none",
+        system=dataclasses.replace(spec.system,
+                                   policy=PolicySpec(policy_name, params)))
+    sim = build_simulation(spec)
+    ledger = LedgerBattery(sim.battery)
+    sim.battery = ledger
+    result = sim.run()
+    violations = check_invariants(sim, ledger, result)
+    assert violations == [], "\n".join(str(v) for v in violations)

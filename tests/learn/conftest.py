@@ -1,0 +1,24 @@
+"""Shared tiny dataset/trained-policy fixtures for the learn tests.
+
+Session-scoped: dataset generation replays two wearers of the weekly
+cohort and training runs a handful of epochs, so every module reuses
+one cheap pipeline run instead of re-replaying the fleet.
+"""
+
+import pytest
+
+from repro.learn import DatasetSpec, TrainSpec, generate_dataset, train_policy
+
+TINY_DATASET_SPEC = DatasetSpec(fleet="office_cohort_week", wearers=2,
+                                stride=20)
+TINY_TRAIN_SPEC = TrainSpec(hidden=(4,), epochs=25, seed=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    return generate_dataset(TINY_DATASET_SPEC)
+
+
+@pytest.fixture(scope="session")
+def trained(tiny_dataset):
+    return train_policy(tiny_dataset, TINY_TRAIN_SPEC)

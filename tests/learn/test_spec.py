@@ -1,0 +1,97 @@
+"""DatasetSpec / TrainSpec validation and round trips."""
+
+import pytest
+
+from repro.errors import SpecError
+from repro.learn import DatasetSpec, TrainSpec
+
+
+class TestDatasetSpec:
+    def test_round_trip(self):
+        spec = DatasetSpec(fleet="office_cohort_week", wearers=3,
+                           stride=5, lookahead_s=3600.0)
+        assert DatasetSpec.from_dict(spec.to_dict()) == spec
+
+    def test_defaults_cover_whole_fleet(self):
+        spec = DatasetSpec()
+        assert spec.wearers == 0
+        assert spec.stride == 1
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(SpecError, match="fleet"):
+            DatasetSpec(fleet="")
+
+    def test_negative_wearers_rejected(self):
+        with pytest.raises(SpecError, match="wearers"):
+            DatasetSpec(wearers=-1)
+
+    def test_zero_stride_rejected(self):
+        with pytest.raises(SpecError, match="stride"):
+            DatasetSpec(stride=0)
+
+    @pytest.mark.parametrize("lookahead", [0.0, -5.0, float("nan"), True])
+    def test_bad_lookahead_rejected(self, lookahead):
+        with pytest.raises(SpecError, match="lookahead_s"):
+            DatasetSpec(lookahead_s=lookahead)
+
+    def test_teacher_policy_is_the_oracle(self):
+        teacher = DatasetSpec(lookahead_s=1800).teacher_policy()
+        assert teacher.name == "oracle_lookahead"
+        assert teacher.params == {"lookahead_s": 1800.0}
+
+    def test_resolved_fleet_caps_wearers(self):
+        fleet = DatasetSpec(wearers=2).resolved_fleet()
+        assert fleet.n_wearers == 2
+
+    def test_wearer_cap_above_fleet_size_is_noop(self):
+        full = DatasetSpec().resolved_fleet()
+        capped = DatasetSpec(wearers=full.n_wearers + 10).resolved_fleet()
+        assert capped == full
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SpecError, match="turbo"):
+            DatasetSpec.from_dict({"fleet": "office_cohort_week",
+                                   "turbo": True})
+
+
+class TestTrainSpec:
+    def test_round_trip(self):
+        spec = TrainSpec(hidden=(8, 4), epochs=50, seed=7,
+                         desired_mse=0.01, max_rate_per_min=12.0)
+        assert TrainSpec.from_dict(spec.to_dict()) == spec
+
+    def test_hidden_list_normalizes_to_tuple(self):
+        assert TrainSpec(hidden=[8, 4]).hidden == (8, 4)
+
+    def test_hidden_scalar_rejected(self):
+        with pytest.raises(SpecError, match="hidden"):
+            TrainSpec(hidden=8)
+
+    def test_zero_width_layer_rejected(self):
+        with pytest.raises(SpecError, match="width"):
+            TrainSpec(hidden=(8, 0))
+
+    def test_zero_epochs_rejected(self):
+        with pytest.raises(SpecError, match="epochs"):
+            TrainSpec(epochs=0)
+
+    def test_negative_seed_rejected(self):
+        with pytest.raises(SpecError, match="seed"):
+            TrainSpec(seed=-1)
+
+    def test_negative_desired_mse_rejected(self):
+        with pytest.raises(SpecError, match="desired_mse"):
+            TrainSpec(desired_mse=-0.1)
+
+    @pytest.mark.parametrize("rate", [0.0, -24.0, float("inf")])
+    def test_bad_max_rate_rejected(self, rate):
+        with pytest.raises(SpecError, match="max_rate_per_min"):
+            TrainSpec(max_rate_per_min=rate)
+
+    def test_from_dict_hidden_must_be_list(self):
+        with pytest.raises(SpecError, match="hidden"):
+            TrainSpec.from_dict({"hidden": 8})
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(SpecError, match="momentum"):
+            TrainSpec.from_dict({"momentum": 0.9})

@@ -1,0 +1,119 @@
+"""Training: bitwise reproducibility and the trained-policy bundle."""
+
+import json
+
+import pytest
+
+from repro.errors import SpecError
+from repro.learn import TrainSpec, TrainedPolicy, build_network, train_policy
+from repro.learn.train import TRAINED_KIND
+from repro.policies.learned import FEATURE_NAMES
+from repro.scenarios.spec import canonical_json
+
+from tests.learn.conftest import TINY_TRAIN_SPEC
+
+
+class TestBuildNetwork:
+    def test_shape_follows_spec(self):
+        network = build_network(TrainSpec(hidden=(8, 4)))
+        assert network.layer_sizes == [len(FEATURE_NAMES), 8, 4, 1]
+
+    def test_seed_pins_initial_weights(self):
+        a = build_network(TrainSpec(seed=5))
+        b = build_network(TrainSpec(seed=5))
+        for wa, wb in zip(a.weights, b.weights):
+            assert (wa == wb).all()
+
+
+class TestTrainPolicy:
+    def test_train_twice_is_bitwise_identical(self, tiny_dataset, trained):
+        again = train_policy(tiny_dataset, TINY_TRAIN_SPEC)
+        assert (canonical_json(again.to_dict())
+                == canonical_json(trained.to_dict()))
+
+    def test_policy_specs_name_the_trained_policies(self, trained):
+        assert trained.policy.name == "learned"
+        assert trained.quantized.name == "learned_q"
+
+    def test_quantized_params_freeze_the_binary_point(self, trained):
+        decimal_point = trained.quantized.params["decimal_point"]
+        assert isinstance(decimal_point, int)
+        # Same weights otherwise.
+        assert (trained.quantized.params["weights"]
+                == trained.policy.params["weights"])
+
+    def test_report_fields(self, trained, tiny_dataset):
+        assert trained.samples == len(tiny_dataset.samples)
+        assert trained.epochs_run == TINY_TRAIN_SPEC.epochs
+        assert trained.final_mse >= 0.0
+
+    def test_params_survive_json(self, trained):
+        # The whole point of the params codec: weights round-trip
+        # exactly through the JSON representation PolicySpec travels in.
+        recovered = json.loads(canonical_json(trained.policy.to_dict()))
+        assert recovered["params"]["weights"] \
+            == trained.policy.params["weights"]
+
+
+class TestTrainedPolicyPayload:
+    def test_round_trip(self, trained):
+        again = TrainedPolicy.from_dict(trained.to_dict())
+        assert (canonical_json(again.to_dict())
+                == canonical_json(trained.to_dict()))
+
+    def test_wrong_kind_rejected(self, trained):
+        payload = trained.to_dict()
+        payload["kind"] = "other"
+        with pytest.raises(SpecError, match=TRAINED_KIND):
+            TrainedPolicy.from_dict(payload)
+
+    def test_wrong_version_rejected(self, trained):
+        payload = trained.to_dict()
+        payload["version"] = 99
+        with pytest.raises(SpecError, match="version"):
+            TrainedPolicy.from_dict(payload)
+
+    def test_missing_report_rejected(self, trained):
+        payload = trained.to_dict()
+        del payload["report"]
+        with pytest.raises(SpecError, match="report"):
+            TrainedPolicy.from_dict(payload)
+
+    def test_unknown_report_key_rejected(self, trained):
+        payload = trained.to_dict()
+        payload["report"] = dict(payload["report"], loss_curve=[])
+        with pytest.raises(SpecError, match="loss_curve"):
+            TrainedPolicy.from_dict(payload)
+
+
+class TestLoadTrainedFile:
+    def test_round_trip(self, trained, tmp_path):
+        from repro.learn import load_trained_file
+
+        path = tmp_path / "policy.json"
+        path.write_text(canonical_json(trained.to_dict()))
+        again = load_trained_file(path)
+        assert (canonical_json(again.to_dict())
+                == canonical_json(trained.to_dict()))
+
+    def test_missing_file_rejected(self, tmp_path):
+        from repro.learn import load_trained_file
+
+        with pytest.raises(SpecError, match="cannot read"):
+            load_trained_file(tmp_path / "nope.json")
+
+    def test_invalid_json_rejected(self, tmp_path):
+        from repro.learn import load_trained_file
+
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(SpecError, match="not valid JSON"):
+            load_trained_file(path)
+
+    def test_non_object_rejected(self, tmp_path):
+        from repro.learn import load_trained_file
+
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(SpecError, match="JSON object"):
+            load_trained_file(path)

@@ -133,11 +133,48 @@ class TestPolicySpec:
         with pytest.raises(SpecError):
             PolicySpec(name="")
 
-    def test_params_must_be_json_scalars(self):
+    def test_params_must_be_scalars_or_nested_arrays(self):
         with pytest.raises(SpecError, match="JSON scalar"):
-            PolicySpec(params={"rates": [1.0, 2.0]})
+            PolicySpec(params={"table": {"a": 1.0}})
+        with pytest.raises(SpecError, match="JSON scalar"):
+            PolicySpec(params={"rates": [1.0, {"a": 1.0}]})
         with pytest.raises(SpecError, match="non-empty strings"):
             PolicySpec(params={"": 1.0})
+
+    def test_nested_array_params_round_trip(self):
+        """Weight-blob params (nested arrays) survive the JSON cycle."""
+        weights = [[[0.25, -1.5, 3.0], [0.0, 2.0, -0.125]],
+                   [[1.0, -2.0, 0.5]]]
+        spec = PolicySpec(name="learned",
+                          params={"weights": weights, "features": 1})
+        rebuilt = PolicySpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert rebuilt == spec
+        assert rebuilt.params["weights"] == weights
+
+    def test_tuple_params_normalize_to_lists(self):
+        """Sequence params compare and serialize as plain lists."""
+        spec = PolicySpec(params={"rates": ((1.0, 2.0), (3.0,))})
+        assert spec.params["rates"] == [[1.0, 2.0], [3.0]]
+        assert spec == PolicySpec(params={"rates": [[1.0, 2.0], [3.0]]})
+
+    def test_param_scalar_budget_is_capped(self):
+        from repro.scenarios.spec import MAX_PARAM_SCALARS
+
+        within = {"weights": [0.0] * (MAX_PARAM_SCALARS - 1), "tag": "ok"}
+        assert PolicySpec(params=within).params["tag"] == "ok"
+        over = {"weights": [0.0] * MAX_PARAM_SCALARS, "tag": "no"}
+        with pytest.raises(SpecError, match="exceed .* scalar values"):
+            PolicySpec(params=over)
+
+    def test_param_nesting_depth_is_capped(self):
+        from repro.scenarios.spec import MAX_PARAM_DEPTH
+
+        nested: object = 1.0
+        for _ in range(MAX_PARAM_DEPTH):
+            nested = [nested]
+        assert PolicySpec(params={"deep": nested}).params["deep"] == nested
+        with pytest.raises(SpecError, match="nests arrays deeper"):
+            PolicySpec(params={"deep": [nested]})
 
     def test_legacy_flat_form_gets_redesign_pointer(self):
         """Pre-protocol payloads fail with a message naming the new

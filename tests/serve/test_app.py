@@ -179,6 +179,46 @@ class TestFleet:
         assert "base_scenario" in json.loads(body)["error"]
 
 
+class TestLearnedPolicy:
+    """Trained weights travel inside the spec — and cache by content."""
+
+    @pytest.fixture(scope="class")
+    def learned_scenario(self):
+        from repro.learn import DatasetSpec, TrainSpec
+        from repro.learn import generate_dataset, train_policy
+
+        trained = train_policy(
+            generate_dataset(DatasetSpec(fleet="office_cohort_week",
+                                         wearers=1, stride=20)),
+            TrainSpec(hidden=(4,), epochs=10, seed=1))
+        scenario = get_scenario("sunny_office_worker").to_dict()
+        scenario["name"] = "learned_serve_case"
+        scenario["system"] = dict(scenario["system"],
+                                  policy=trained.policy.to_dict())
+        return scenario
+
+    def test_same_weights_hit_the_same_cache_entry(self, server,
+                                                   learned_scenario):
+        first = _request(server, "POST", "/simulate",
+                         {"scenario": learned_scenario})
+        assert first[0] == 200
+        second = _request(server, "POST", "/simulate",
+                          {"scenario": learned_scenario})
+        # Identical weights ⟹ identical canonical spec ⟹ same digest.
+        assert second[1]["x-repro-cache"] == "hit"
+        assert first[2] == second[2]
+
+    def test_different_weights_miss(self, server, learned_scenario):
+        _request(server, "POST", "/simulate",
+                 {"scenario": learned_scenario})
+        perturbed = json.loads(json.dumps(learned_scenario))
+        perturbed["system"]["policy"]["params"]["weights"][0][0][0] += 0.5
+        status, headers, _ = _request(server, "POST", "/simulate",
+                                      {"scenario": perturbed})
+        assert status == 200
+        assert headers["x-repro-cache"] == "miss"
+
+
 class TestIngest:
     RECORDS = [
         {"t_s": 0.0, "power_w": 0.0009, "event": "office"},

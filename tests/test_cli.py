@@ -588,3 +588,99 @@ class TestIngestCommand:
         trace.write_text('{"t_s": 0, "power_w": 1e-3}\n{oops\n')
         assert main(["ingest", str(trace), "--name", "t"]) == 2
         assert "invalid JSON" in capsys.readouterr().err
+
+
+class TestLearnCommands:
+    DATASET_ARGS = ["learn", "dataset", "office_cohort_week",
+                    "--wearers", "2", "--stride", "20"]
+
+    def _dataset(self, tmp_path, capsys, name="ds.jsonl", extra=()):
+        path = tmp_path / name
+        assert main(self.DATASET_ARGS + list(extra)
+                    + ["--out", str(path)]) == 0
+        capsys.readouterr()
+        return path
+
+    def test_dataset_writes_jsonl(self, tmp_path, capsys):
+        path = tmp_path / "ds.jsonl"
+        assert main(self.DATASET_ARGS + ["--out", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "samples from 2 wearer(s)" in out
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["kind"] == "repro.learn/dataset"
+        assert header["spec"]["stride"] == 20
+
+    def test_dataset_stdout_without_out(self, capsys):
+        assert main(self.DATASET_ARGS + ["--shard", "0/2"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert json.loads(lines[0])["shard"] == [0, 2]
+
+    def test_shards_merge_to_the_unsharded_bytes(self, tmp_path, capsys):
+        whole = self._dataset(tmp_path, capsys)
+        parts = [self._dataset(tmp_path, capsys, name=f"p{i}.jsonl",
+                               extra=["--shard", f"{i}/2"])
+                 for i in range(2)]
+        merged = tmp_path / "merged.jsonl"
+        assert main(["learn", "merge", str(parts[0]), str(parts[1]),
+                     "--out", str(merged)]) == 0
+        assert merged.read_bytes() == whole.read_bytes()
+
+    def test_train_eval_round_trip(self, tmp_path, capsys):
+        dataset = self._dataset(tmp_path, capsys)
+        policy = tmp_path / "learned.json"
+        assert main(["learn", "train", str(dataset), "--hidden", "4",
+                     "--epochs", "10", "--out", str(policy)]) == 0
+        assert "trained on" in capsys.readouterr().out
+        payload = json.loads(policy.read_text())
+        assert payload["kind"] == "repro.learn/trained"
+        assert payload["policy"]["name"] == "learned"
+        fleet = json.dumps({"name": "cli_learn_eval",
+                            "base_scenario": "sunny_office_worker",
+                            "n_wearers": 2, "horizon_days": 1, "seed": 3})
+        fleet_path = tmp_path / "fleet.json"
+        fleet_path.write_text(fleet)
+        assert main(["learn", "eval", str(policy), str(fleet_path),
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "cli_learn_eval" in out
+        assert "deployment:" in out
+
+    def test_eval_json_payload(self, tmp_path, capsys):
+        dataset = self._dataset(tmp_path, capsys)
+        policy = tmp_path / "learned.json"
+        assert main(["learn", "train", str(dataset), "--hidden", "4",
+                     "--epochs", "10", "--out", str(policy)]) == 0
+        capsys.readouterr()
+        fleet_path = tmp_path / "fleet.json"
+        fleet_path.write_text(json.dumps(
+            {"name": "cli_learn_eval_json",
+             "base_scenario": "sunny_office_worker",
+             "n_wearers": 2, "horizon_days": 1, "seed": 3}))
+        assert main(["learn", "eval", str(policy), str(fleet_path),
+                     "--workers", "2", "--json", "--no-quantized"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {"fleet", "search", "gap", "deployment"}
+        assert payload["gap"]["metric"] == "detections_per_day.p50"
+
+    def test_train_bad_hidden_errors(self, tmp_path, capsys):
+        dataset = self._dataset(tmp_path, capsys)
+        assert main(["learn", "train", str(dataset),
+                     "--hidden", "bogus"]) == 2
+        assert "--hidden" in capsys.readouterr().err
+
+    def test_train_missing_dataset_errors(self, tmp_path, capsys):
+        assert main(["learn", "train", str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_merge_incomplete_partition_errors(self, tmp_path, capsys):
+        part = self._dataset(tmp_path, capsys, extra=["--shard", "0/2"])
+        assert main(["learn", "merge", str(part)]) == 2
+        assert "each shard" in capsys.readouterr().err
+
+    def test_dataset_unknown_fleet_errors(self, capsys):
+        assert main(["learn", "dataset", "no_such_cohort"]) == 2
+        assert "no_such_cohort" in capsys.readouterr().err
+
+    def test_dataset_bad_shard_errors(self, capsys):
+        assert main(self.DATASET_ARGS + ["--shard", "2/2"]) == 2
+        assert "shard" in capsys.readouterr().err

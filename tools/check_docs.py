@@ -44,6 +44,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 DOC_FILES = [
     REPO_ROOT / "docs" / "cli.md",
     REPO_ROOT / "docs" / "chaos.md",
+    REPO_ROOT / "docs" / "learned-policies.md",
 ]
 FENCE_TIMEOUT_S = 600
 
