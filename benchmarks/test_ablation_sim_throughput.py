@@ -19,6 +19,10 @@ benchmarks (and pins the cross-backend determinism of) the
 benchmarks the ``repro fleet search`` population grid search while
 pinning both its cross-backend determinism and the sharded
 ``run --shard`` / ``FleetResult.merge`` merge-exactness contract.
+A fleet-vector section (PR 9) pins the vectorized fleet engine to the
+scalar oracle — ``backend="vector"`` must reproduce the serial
+canonical payload bitwise — and records its wearers/s on a
+batch-friendly cohort against the serial fleet baseline.
 A serve section (PR 6) runs the real HTTP service against a fresh
 content-addressed result store and records sustained requests/s on the
 cache-miss and cache-hit paths, pinning the serving contract: an
@@ -57,6 +61,7 @@ QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
 MULTI_DAYS = 3 if QUICK else 30
 STEP_S = 300.0
 SPEEDUP_FLOOR = 10.0
+VECTOR_SPEEDUP_FLOOR = 50.0
 
 
 def _office_worker_spec(days: int) -> ScenarioSpec:
@@ -167,7 +172,7 @@ def _measure_policy_grid() -> dict:
     }
 
 
-def _measure_fleet() -> dict:
+def _measure_fleet() -> tuple[dict, str]:
     """Fleet-scale stochastic throughput (PR 4 acceptance path).
 
     Runs a seeded 100-wearer, 7-day jittered fleet (16 x 2 in quick
@@ -175,6 +180,9 @@ def _measure_fleet() -> dict:
     ``FleetResult`` payloads must be byte-identical — sampling happens
     in the parent and the per-wearer specs ship as JSON, so any
     divergence is a determinism regression, not noise.
+
+    Also returns the serial canonical payload, the oracle the vector
+    section (:func:`_measure_fleet_vector`) compares against.
     """
     from repro.fleet import FleetRunner, FleetSpec, SamplerSpec
 
@@ -201,7 +209,7 @@ def _measure_fleet() -> dict:
         # exact bytes the CLI emits and the serve store caches.
         payloads[backend] = result.canonical_json()
         neutral = result.fraction_energy_neutral
-    return {
+    section = {
         "wearers": wearers,
         "horizon_days": days,
         "sampler": fleet.sampler.label,
@@ -210,6 +218,79 @@ def _measure_fleet() -> dict:
            for b, t in timings.items()},
         "backends_identical": payloads["serial"] == payloads["process"],
         "fraction_energy_neutral": neutral,
+    }
+    return section, payloads["serial"]
+
+
+def _measure_fleet_vector(serial_payload: str, serial_rate: float) -> dict:
+    """Vectorized fleet engine (PR 9 acceptance path).
+
+    Two gates, correctness first.  ``matches_scalar``: running the
+    *same jittered bench fleet* on ``backend="vector"`` must reproduce
+    the serial canonical payload byte for byte — the scalar engine is
+    the oracle and the vector engine claims no tolerance.  Speed: a
+    batch-friendly cohort (``identity`` sampler — every wearer shares
+    the base timeline, so the per-segment Lambert-W harvest solves
+    amortize across the whole fleet instead of repeating per wearer)
+    is stepped as arrays and reported as wearers/s against the
+    jittered serial baseline above.  The jittered fleet itself gains
+    little from vectorization — its cost is the per-wearer harvest
+    pricing, which no engine can batch away bitwise — so the speed
+    figure deliberately measures the engine, not the pricing.
+    """
+    from repro.fleet import FleetRunner, FleetSpec, SamplerSpec
+
+    jittered_wearers = 16 if QUICK else 100
+    days = 2 if QUICK else 7
+    jittered = FleetSpec(
+        name="bench_office_fleet",
+        base_scenario="sunny_office_worker",
+        n_wearers=jittered_wearers,
+        horizon_days=days,
+        seed=2020,
+        sampler=SamplerSpec("daily_jitter"),
+        description="throughput-bench fleet",
+    )
+    runner = FleetRunner(backend="vector")
+    t0 = time.perf_counter()
+    matches_scalar = (runner.run(jittered).canonical_json()
+                      == serial_payload)
+    jittered_s = time.perf_counter() - t0
+
+    def cohort(n: int) -> FleetSpec:
+        return FleetSpec(
+            name="bench_vector_cohort",
+            base_scenario="sunny_office_worker",
+            n_wearers=n,
+            horizon_days=days,
+            seed=2020,
+            sampler=SamplerSpec("identity"),
+            description="batch-friendly vector-bench cohort",
+        )
+
+    # Cohort equivalence at a size the scalar oracle can afford, then
+    # vector throughput at fleet scale.
+    small = cohort(8)
+    cohort_identical = (
+        FleetRunner(workers=1, backend="serial").run(small).canonical_json()
+        == runner.run(small).canonical_json())
+    wearers = 256 if QUICK else 2048
+    t0 = time.perf_counter()
+    result = runner.run(cohort(wearers))
+    vector_s = time.perf_counter() - t0
+    rate = wearers / vector_s
+    return {
+        "jittered_wearers": jittered_wearers,
+        "jittered_vector_s": round(jittered_s, 6),
+        "matches_scalar": matches_scalar,
+        "cohort_wearers": wearers,
+        "horizon_days": days,
+        "sampler": "identity",
+        "vector_s": round(vector_s, 6),
+        "vector_wearers_per_s": round(rate, 2),
+        "speedup_vs_serial": round(rate / serial_rate, 2),
+        "cohort_identical": cohort_identical,
+        "fraction_energy_neutral": result.fraction_energy_neutral,
     }
 
 
@@ -436,7 +517,9 @@ def test_sim_throughput_bench(print_rows):
 
     sweep = _measure_sweep()
     grid = _measure_policy_grid()
-    fleet = _measure_fleet()
+    fleet, fleet_serial_payload = _measure_fleet()
+    fleet_vector = _measure_fleet_vector(fleet_serial_payload,
+                                         fleet["serial_wearers_per_s"])
     fleet_grid = _measure_fleet_grid()
     serve = _measure_serve()
     learned = _measure_learned_policy()
@@ -456,6 +539,8 @@ def test_sim_throughput_bench(print_rows):
               and grid["backends_identical"]
               and grid["distinct_policies"] >= 3
               and fleet["backends_identical"]
+              and fleet_vector["matches_scalar"]
+              and fleet_vector["cohort_identical"]
               and fleet_grid["backends_identical"]
               and fleet_grid["merge_exact"]
               and fleet_grid["candidates"] >= 8
@@ -464,7 +549,9 @@ def test_sim_throughput_bench(print_rows):
               and serve["repeat_bitwise_identical"]
               and learned["retrain_bitwise_identical"]
               and learned["fits_mcu_budget"]
-              and (QUICK or multi_day["speedup"] >= SPEEDUP_FLOOR))
+              and (QUICK or multi_day["speedup"] >= SPEEDUP_FLOOR)
+              and (QUICK or (fleet_vector["speedup_vs_serial"]
+                             >= VECTOR_SPEEDUP_FLOOR)))
     payload = {
         "bench": "sim_throughput",
         "quick_mode": QUICK,
@@ -478,6 +565,7 @@ def test_sim_throughput_bench(print_rows):
         "sweep": sweep,
         "policy_grid": grid,
         "fleet": fleet,
+        "fleet_vector": fleet_vector,
         "fleet_grid": fleet_grid,
         "serve": serve,
         "learned_policy": learned,
@@ -508,6 +596,11 @@ def test_sim_throughput_bench(print_rows):
          f"{fleet['serial_wearers_per_s']} (serial, "
          f"{fleet['wearers']}x{fleet['horizon_days']}d)",
          f"process {fleet['process_wearers_per_s']}"),
+        ("fleet vector wearers/s",
+         f"{fleet['serial_wearers_per_s']} (serial baseline)",
+         f"vector {fleet_vector['vector_wearers_per_s']:,} "
+         f"({fleet_vector['speedup_vs_serial']:.0f}x, matches_scalar "
+         f"{fleet_vector['matches_scalar']})"),
         ("fleet grid cand/s",
          f"{fleet_grid['serial_candidates_per_s']} (serial, "
          f"{fleet_grid['candidates']} cands x {fleet_grid['wearers']}w)",
@@ -543,6 +636,11 @@ def test_sim_throughput_bench(print_rows):
     # Fleet acceptance: the stochastic population reduces to the same
     # canonical payload whether it ran serially or on spawned workers.
     assert fleet["backends_identical"]
+    # Vector-engine acceptance (PR 9): backend="vector" reproduces the
+    # scalar oracle's canonical payload bitwise, on the jittered bench
+    # fleet and on the batch-friendly cohort alike.
+    assert fleet_vector["matches_scalar"]
+    assert fleet_vector["cohort_identical"]
     # Fleet-grid acceptance (PR 5): the population grid search is
     # backend-invariant, covers the >=8-candidate acceptance shape,
     # and a sharded partition merges to the exact unsharded payload.
@@ -564,3 +662,8 @@ def test_sim_throughput_bench(print_rows):
     # ratio noise-dominated on shared CI runners.
     if not QUICK:
         assert multi_day["speedup"] >= SPEEDUP_FLOOR, multi_day
+        # Vector-engine speed bar: >=50x the serial fleet baseline on
+        # the batch-friendly cohort.  Quick mode skips the ratio (tiny
+        # fleets are overhead-dominated) but keeps both identity gates.
+        assert (fleet_vector["speedup_vs_serial"]
+                >= VECTOR_SPEEDUP_FLOOR), fleet_vector

@@ -945,11 +945,14 @@ def build_parser() -> argparse.ArgumentParser:
                        "or a FleetSpec *.json file")
         p.add_argument("--workers", type=int, default=4,
                        help="parallel workers (default 4)")
-        p.add_argument("--backend", choices=["serial", "thread", "process"],
+        p.add_argument("--backend",
+                       choices=["serial", "thread", "process", "vector"],
                        default="thread",
                        help="execution backend (default thread; wearer "
                             "scenarios are self-contained, so process "
-                            "works for every fleet)")
+                            "works for every fleet, and vector steps "
+                            "the whole population as numpy arrays with "
+                            "a bitwise-identical result)")
         p.add_argument("--json", action="store_true",
                        help="emit the fleet spec and result as JSON")
 

@@ -108,6 +108,37 @@ class FaultTimeline:
                 extra_load_w=extra, sensor_ok=sensor_ok))
         self.intervals: Sequence[FaultInterval] = tuple(intervals)
 
+    @property
+    def end_times(self) -> tuple[float, ...]:
+        """End boundaries of every interval (``inf`` closes the last)."""
+        return tuple(interval.end_s for interval in self.intervals)
+
+    def indices_at(self, times_s) -> list[int]:
+        """Interval indices active at a non-decreasing sequence of times.
+
+        Walked with the same monotone cursor the engine keeps (advance
+        while the time has reached the current interval's ``end_s``),
+        so the returned indices are exactly the fault states the
+        stepping loop applies at those times.  The vectorized fleet
+        engine uses this to precompute per-step fault masks.
+        """
+        indices: list[int] = []
+        idx = 0
+        last = len(self.intervals) - 1
+        previous = None
+        for time_s in times_s:
+            if time_s < 0:
+                raise SimulationError("fault lookup time cannot be negative")
+            if previous is not None and time_s < previous:
+                raise SimulationError(
+                    "indices_at needs non-decreasing times (the cursor "
+                    "only moves forward); use at() for random access")
+            previous = time_s
+            while idx < last and time_s >= self.intervals[idx].end_s:
+                idx += 1
+            indices.append(idx)
+        return indices
+
     def at(self, time_s: float) -> FaultInterval:
         """The fault state covering ``time_s`` (linear scan; the engine
         keeps its own cursor instead of calling this per step)."""

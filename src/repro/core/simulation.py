@@ -38,7 +38,38 @@ from repro.harvest.environment import (
 from repro.power.loads import SYSTEM_SLEEP_W
 
 __all__ = ["HarvestChain", "TraceMode", "SimulationStep", "SimulationResult",
-           "DaySimulation"]
+           "DaySimulation", "step_grid"]
+
+
+def step_grid(horizon_s: float, step_s: float,
+              ) -> tuple[tuple[float, ...], tuple[float, ...]]:
+    """The exact ``(times, dts)`` sequence :meth:`DaySimulation.run` steps.
+
+    Reproduces the engine's own accumulation — ``dt = min(step_s,
+    horizon - t)`` then ``t += dt`` — with the same float operations in
+    the same order, so the returned start times and step durations are
+    bitwise what the scalar loop sees.  The vectorized fleet engine
+    (:mod:`repro.fleet.vector`) steps every wearer over this shared
+    grid; anything else that needs to line arrays up with engine steps
+    (per-step fault masks, per-step intake tables) should build them
+    from this function rather than re-deriving the arithmetic.
+
+    >>> step_grid(150.0, 60.0)
+    ((0.0, 60.0, 120.0), (60.0, 60.0, 30.0))
+    """
+    if step_s <= 0:
+        raise SimulationError("step size must be positive")
+    if horizon_s <= 0:
+        raise SimulationError("simulation horizon must be positive")
+    times: list[float] = []
+    dts: list[float] = []
+    t = 0.0
+    while t < horizon_s - 1e-9:
+        dt = min(step_s, horizon_s - t)
+        times.append(t)
+        dts.append(dt)
+        t += dt
+    return tuple(times), tuple(dts)
 
 
 class HarvestChain(Protocol):

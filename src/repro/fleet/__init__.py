@@ -14,10 +14,14 @@ them to population statistics.
   generation (``random.Random(seed + index)``, sampled before any
   fan-out);
 * :mod:`repro.fleet.runner` — :class:`FleetRunner` over the
-  serial/thread/process sweep backends, the paired policy comparison
+  serial/thread/process/vector backends, the paired policy comparison
   :meth:`FleetRunner.compare`, the fleet-level policy grid search
   :meth:`FleetRunner.run_grid`, and sharded execution
   (``run(fleet, shard=(i, N))``);
+* :mod:`repro.fleet.vector` — the ``backend="vector"`` array engine:
+  all wearers stepped simultaneously as numpy vectors,
+  bitwise-identical to the scalar oracle (scalar fallback for
+  unbatchable policies);
 * :mod:`repro.fleet.result` — :class:`FleetResult` population
   statistics (SoC percentiles, fraction energy-neutral, downtime
   hours, detections/day distribution), plus the sharding types
@@ -56,11 +60,17 @@ from repro.fleet.result import (
     percentile,
 )
 from repro.fleet.runner import (
+    BACKENDS,
     ComparisonEntry,
     FleetComparison,
     FleetGridResult,
     FleetRunner,
     run_fleet,
+)
+from repro.fleet.vector import (
+    batchable,
+    run_batch_vector,
+    simulate_specs_vector,
 )
 from repro.fleet.library import (
     all_fleets,
@@ -94,11 +104,15 @@ __all__ = [
     "WearerRecord",
     "load_partial_file",
     "percentile",
+    "BACKENDS",
     "ComparisonEntry",
     "FleetComparison",
     "FleetGridResult",
     "FleetRunner",
     "run_fleet",
+    "batchable",
+    "run_batch_vector",
+    "simulate_specs_vector",
     "all_fleets",
     "fleet_names",
     "get_fleet",

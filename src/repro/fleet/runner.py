@@ -6,7 +6,11 @@ wearer's scenario (:mod:`repro.fleet.population`), runs the batch on
 the chosen backend, and reduces the per-wearer outcomes into a
 :class:`~repro.fleet.result.FleetResult`.  Because sampling happens
 before the fan-out, the result's canonical payload is identical on
-every backend — the backends only change how fast you get it.
+every backend — the backends only change how fast you get it.  On top
+of the scenario sweep pools, fleets can run on the fleet-only
+``"vector"`` backend (:mod:`repro.fleet.vector`), which steps the
+whole population as numpy arrays and reproduces the scalar engine's
+payload bitwise.
 
 :meth:`FleetRunner.compare` reruns the *same sampled population* under
 candidate power policies (every wearer's environment is held fixed
@@ -38,12 +42,20 @@ from repro.errors import SpecError
 from repro.fleet.population import shard_indices, wearer_scenarios
 from repro.fleet.result import FleetResult, PartialFleetResult, WearerRecord
 from repro.fleet.spec import FleetSpec
+from repro.fleet.vector import run_batch_vector
 from repro.policies.grid import PolicyGrid, expand_grids, policy_label
-from repro.scenarios.runner import BACKENDS, ScenarioRunner
+from repro.scenarios.runner import BACKENDS as SCENARIO_BACKENDS
+from repro.scenarios.runner import ScenarioRunner
 from repro.scenarios.spec import PolicySpec, canonical_json
 
-__all__ = ["FleetRunner", "ComparisonEntry", "FleetComparison",
+__all__ = ["BACKENDS", "FleetRunner", "ComparisonEntry", "FleetComparison",
            "FleetGridResult", "run_fleet"]
+
+#: Every backend a fleet study can run on: the scenario sweep backends
+#: plus the fleet-only ``"vector"`` array engine
+#: (:mod:`repro.fleet.vector`).  All of them produce bitwise-identical
+#: canonical payloads; they only change how fast you get them.
+BACKENDS = (*SCENARIO_BACKENDS, "vector")
 
 
 @dataclass(frozen=True)
@@ -153,20 +165,45 @@ class FleetRunner:
     Args:
         workers: worker count handed to the underlying
             :class:`~repro.scenarios.runner.ScenarioRunner`.
-        backend: ``"serial"``, ``"thread"`` (default) or ``"process"``.
-            Fleet wearer scenarios are always self-contained (inline
-            segments, import-time components), so every backend works
-            for every fleet — the process pool is the right choice
-            from roughly a hundred wearer-weeks up.
+        backend: ``"serial"``, ``"thread"`` (default), ``"process"``
+            or ``"vector"``.  Fleet wearer scenarios are always
+            self-contained (inline segments, import-time components),
+            so every backend works for every fleet — the process pool
+            is the right choice from roughly a hundred wearer-weeks
+            up, and the vector engine (:mod:`repro.fleet.vector`)
+            beats it by another order of magnitude on fleets whose
+            policy can batch (falling back to a serial scalar loop per
+            wearer when it cannot).
     """
 
     def __init__(self, workers: int = 4, backend: str = "thread") -> None:
         if backend not in BACKENDS:
             raise SpecError(
                 f"unknown backend {backend!r}; known: {list(BACKENDS)}")
-        self._runner = ScenarioRunner(workers=workers, backend=backend)
+        # The vector engine needs no scenario runner of its own; keep a
+        # serial one around for per-call backend overrides.
+        scenario_backend = (backend if backend in SCENARIO_BACKENDS
+                            else "serial")
+        self._runner = ScenarioRunner(workers=workers,
+                                      backend=scenario_backend)
         self.workers = workers
         self.backend = backend
+
+    def _sweep(self, specs, workers: int | None, backend: str | None):
+        """Run one batch on the chosen backend (the dispatch point).
+
+        ``backend=None`` means the runner's own; ``"vector"`` routes to
+        :func:`~repro.fleet.vector.run_batch_vector`, everything else
+        to the scenario runner's pools.
+        """
+        chosen = self.backend if backend is None else backend
+        if chosen not in BACKENDS:
+            raise SpecError(
+                f"unknown backend {chosen!r}; known: {list(BACKENDS)}")
+        if chosen == "vector":
+            return run_batch_vector(specs)
+        return self._runner.run_batch(specs, workers=workers,
+                                      backend=chosen)
 
     def run(self, fleet: FleetSpec,
             workers: int | None = None,
@@ -189,8 +226,7 @@ class FleetRunner:
         """
         if shard is None:
             specs = wearer_scenarios(fleet)
-            sweep = self._runner.run_batch(specs, workers=workers,
-                                           backend=backend)
+            sweep = self._sweep(specs, workers, backend)
             return FleetResult.from_outcomes(fleet, sweep.outcomes,
                                              backend=sweep.backend,
                                              wall_time_s=sweep.wall_time_s)
@@ -202,8 +238,7 @@ class FleetRunner:
             ) from None
         indices = shard_indices(fleet, shard_index, shard_count)
         specs = wearer_scenarios(fleet, indices)
-        sweep = self._runner.run_batch(specs, workers=workers,
-                                       backend=backend)
+        sweep = self._sweep(specs, workers, backend)
         records = tuple(
             WearerRecord.from_outcome(index, outcome)
             for index, outcome in zip(indices, sweep.outcomes))
@@ -239,8 +274,7 @@ class FleetRunner:
                     system=dataclasses.replace(spec.system, policy=policy))
                 for spec in base_specs
             ]
-            sweep = self._runner.run_batch(specs, workers=workers,
-                                           backend=backend)
+            sweep = self._sweep(specs, workers, backend)
             used = sweep.backend
             entries.append(ComparisonEntry(
                 label=label,

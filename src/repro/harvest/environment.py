@@ -132,6 +132,34 @@ class EnvironmentTimeline:
         """Conditions active at time ``t_s`` from the timeline start."""
         return self.segments[self.index_at(t_s)]
 
+    def indices_at(self, times_s) -> list[int]:
+        """Segment indices active at a non-decreasing sequence of times.
+
+        The batch form of :meth:`index_at`, walked with the same
+        monotone cursor the simulation engine keeps (advance while the
+        time has passed the current segment's end boundary), so the
+        returned indices are exactly the segments the engine's stepping
+        loop evaluates at those times.  Times at or beyond the timeline
+        end map to the final segment, as in :meth:`index_at`.
+        """
+        indices: list[int] = []
+        idx = 0
+        last = len(self.segments) - 1
+        boundaries = self.boundaries_s
+        previous = None
+        for t_s in times_s:
+            if t_s < 0:
+                raise HarvestModelError(f"time cannot be negative: {t_s}")
+            if previous is not None and t_s < previous:
+                raise HarvestModelError(
+                    "indices_at needs non-decreasing times (the cursor "
+                    "only moves forward); use index_at for random access")
+            previous = t_s
+            while idx < last and t_s >= boundaries[idx]:
+                idx += 1
+            indices.append(idx)
+        return indices
+
     def repeated(self, times: int) -> "EnvironmentTimeline":
         """A new timeline with these segments tiled ``times`` times.
 

@@ -38,6 +38,7 @@ __all__ = [
     "PowerObservation",
     "PolicyDecision",
     "Policy",
+    "BatchPolicy",
     "PolicyContext",
 ]
 
@@ -91,12 +92,45 @@ class Policy(Protocol):
     Anything with a ``max_rate_per_min`` ceiling and a
     ``decide(obs) -> PolicyDecision`` method is a policy; no
     inheritance required.  Stateful policies may additionally expose
-    ``reset()``, called by the engine at the start of each run.
+    ``reset()``, called by the engine at the start of each run, and
+    batchable policies may expose ``decide_batch`` (see
+    :class:`BatchPolicy`) so the vectorized fleet engine can decide
+    for a whole population in one call.
     """
 
     max_rate_per_min: float
 
     def decide(self, obs: PowerObservation) -> PolicyDecision: ...
+
+
+@runtime_checkable
+class BatchPolicy(Policy, Protocol):
+    """A policy that can also decide for N wearers at once.
+
+    The optional hook the vectorized fleet engine
+    (:mod:`repro.fleet.vector`) dispatches on: policies exposing
+    ``decide_batch`` step through the array engine, everything else
+    falls back to the per-wearer scalar loop.  The contract mirrors
+    :meth:`Policy.decide` element-wise:
+
+    * ``harvest_power_w`` and ``state_of_charge`` are parallel float64
+      arrays, one entry per wearer — the same post-charge SoC and
+      effective (fault-scaled) intake a :class:`PowerObservation`
+      would carry; ``time_s``/``step_s`` are shared scalars (wearers
+      step in lockstep).
+    * The return value is the per-wearer detection rate (an array
+      broadcastable to the wearer count), and entry ``i`` must be
+      bit-for-bit the ``detection_rate_per_min`` that ``decide`` would
+      return for wearer ``i``'s observation — the scalar engine is the
+      oracle, and the differential harness asserts this equivalence.
+    * A batch decision must be a pure function of its arguments: the
+      engine offers no per-wearer ``reset`` hook, so stateful policies
+      (forecasts, counters) should *not* implement ``decide_batch``
+      and will be stepped by the scalar fallback instead.
+    """
+
+    def decide_batch(self, time_s: float, step_s: float,
+                     harvest_power_w, state_of_charge): ...
 
 
 @dataclass(frozen=True)

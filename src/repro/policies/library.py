@@ -33,6 +33,8 @@ from __future__ import annotations
 from bisect import bisect_right
 from typing import Any, Mapping
 
+import numpy as np
+
 from repro.core.manager import EnergyAwareManager, ManagerPolicy
 from repro.errors import ConfigurationError, SpecError
 from repro.policies.base import PolicyContext, PolicyDecision, PowerObservation
@@ -128,6 +130,32 @@ class EnergyAwarePolicy:
             mode = "neutral"
         return PolicyDecision(rate, mode)
 
+    def decide_batch(self, time_s: float, step_s: float,
+                     harvest_power_w: np.ndarray,
+                     state_of_charge: np.ndarray) -> np.ndarray:
+        """Per-wearer rates, element-wise identical to :meth:`decide`.
+
+        The :class:`~repro.policies.base.BatchPolicy` hook: the same
+        starving / abundant / clamped-neutral regimes the wrapped
+        manager implements, computed as masks with the manager's exact
+        float operations (``harvest * (1 - margin)`` then
+        ``usable * 60 / E``, then ``min(max, max(min, neutral))``), so
+        every entry is bit-for-bit the scalar decision.
+        """
+        if np.any((state_of_charge < 0.0) | (state_of_charge > 1.0)):
+            # Mirrors EnergyAwareManager.detection_rate_per_min.
+            raise ConfigurationError("state of charge must lie in [0, 1]")
+        manager = self.manager
+        p = manager.policy
+        usable = harvest_power_w * (1.0 - p.neutrality_margin)
+        neutral = np.where(harvest_power_w > 0,
+                           usable * 60.0 / manager.detection_energy_j, 0.0)
+        banded = np.minimum(p.max_rate_per_min,
+                            np.maximum(p.min_rate_per_min, neutral))
+        return np.where(state_of_charge < p.low_soc, p.min_rate_per_min,
+                        np.where(state_of_charge > p.high_soc,
+                                 p.max_rate_per_min, banded))
+
 
 class StaticDutyCyclePolicy:
     """A fixed detection rate, blind to harvest and battery state.
@@ -148,6 +176,12 @@ class StaticDutyCyclePolicy:
 
     def decide(self, obs: PowerObservation) -> PolicyDecision:
         return PolicyDecision(self.rate_per_min, "static")
+
+    def decide_batch(self, time_s: float, step_s: float,
+                     harvest_power_w: np.ndarray,
+                     state_of_charge: np.ndarray) -> np.ndarray:
+        """The constant rate for every wearer (trivially batchable)."""
+        return np.full_like(state_of_charge, self.rate_per_min)
 
 
 class _SocBandedPolicy:

@@ -49,6 +49,31 @@ class TestRun:
         with pytest.raises(SpecError, match="unknown backend"):
             FleetRunner(backend="gpu")
 
+    def test_unknown_backend_error_lists_every_backend(self):
+        """The "unknown backend" message enumerates the fleet-level
+        BACKENDS tuple — the superset including "vector" — and can
+        never fall out of sync with it, on the constructor path or the
+        per-call override path."""
+        from repro.fleet import BACKENDS
+        from repro.scenarios.runner import BACKENDS as SCENARIO_BACKENDS
+
+        assert "vector" in BACKENDS
+        assert set(SCENARIO_BACKENDS) < set(BACKENDS)
+        with pytest.raises(SpecError) as ctor_err:
+            FleetRunner(backend="gpu")
+        runner = FleetRunner(workers=1, backend="serial")
+        with pytest.raises(SpecError) as call_err:
+            runner.run(SMALL, backend="gpu")
+        for message in (str(ctor_err.value), str(call_err.value)):
+            listed = message.split("known: ", 1)[1]
+            assert listed == str(list(BACKENDS))
+
+    def test_vector_backend_runs(self):
+        vector = run_fleet(SMALL, backend="vector")
+        serial = run_fleet(SMALL, backend="serial")
+        assert vector.backend == "vector"
+        assert vector.canonical_json() == serial.canonical_json()
+
 
 class TestCompare:
     def test_paired_and_ranked(self):

@@ -1,0 +1,137 @@
+"""Fault-window edge cases under the vectorized fleet engine.
+
+Faults are where the vector engine's mask arithmetic earns its keep:
+derates scale the intake matrix, spikes ride on the per-step overhead,
+dropout zeroes the detection lanes, and the brown-out branch becomes a
+``np.where``.  Each case here runs the same specs through the scalar
+oracle and :func:`repro.fleet.vector.simulate_specs_vector`, asserts
+the per-wearer results are float-exact, and then puts the (identical)
+numbers in front of the chaos judge's
+:func:`~repro.chaos.judge.check_invariants` — so the vector path is
+pinned both to the oracle and to the energy-conservation books.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.chaos.judge import LedgerBattery, check_invariants
+from repro.core.faults import FaultTimeline
+from repro.errors import SimulationError, SpecError
+from repro.fleet import FleetSpec, SamplerSpec, batchable, wearer_scenarios
+from repro.fleet.vector import simulate_specs_vector
+from repro.scenarios import build_simulation
+from repro.scenarios.builder import build_timeline
+from repro.scenarios.spec import FaultSpec
+
+STEP_S = 300.0
+
+
+def _faulted_specs(faults, n_wearers: int = 3):
+    fleet = FleetSpec(name="vector_faults",
+                      base_scenario="sunny_office_worker",
+                      n_wearers=n_wearers, horizon_days=1, seed=23,
+                      sampler=SamplerSpec("daily_jitter"))
+    return [dataclasses.replace(spec, faults=tuple(faults))
+            for spec in wearer_scenarios(fleet)]
+
+
+def _assert_vector_equals_scalar_and_books_balance(specs):
+    """The shared three-way pin: array path taken, oracle matched
+    float-exactly, invariants clean on the (identical) numbers."""
+    assert batchable(specs)  # the array path, not a trivial fallback
+    scalar = [build_simulation(spec).run() for spec in specs]
+    vector = simulate_specs_vector(specs)
+    assert vector == scalar
+    for spec in specs:
+        sim = build_simulation(spec)
+        ledger = LedgerBattery(sim.battery)
+        sim.battery = ledger
+        result = sim.run()
+        violations = check_invariants(sim, ledger, result)
+        assert violations == [], "\n".join(str(v) for v in violations)
+
+
+def test_sub_step_window_is_skipped_entirely():
+    """A window opening and closing strictly inside one step is never
+    observed — the monotone fault cursor (scalar and vector alike)
+    only samples at step starts, so [310, 590) under a 300 s step
+    must change nothing."""
+    faults = [FaultSpec("load_spike", start_s=310.0, duration_s=280.0,
+                        magnitude=5.0)]
+    specs = _faulted_specs(faults)
+    clean = [dataclasses.replace(spec, faults=()) for spec in specs]
+    vector = simulate_specs_vector(specs)
+    assert vector == simulate_specs_vector(clean)
+    _assert_vector_equals_scalar_and_books_balance(specs)
+
+
+def test_zero_length_window_rejected_everywhere():
+    """Zero-length windows are a spec error at construction and a
+    simulation error at compile time (for duck-typed windows that
+    bypass the spec layer) — the vector engine can never see one."""
+    with pytest.raises(SpecError, match="duration_s must be positive"):
+        FaultSpec("sensor_dropout", start_s=100.0, duration_s=0.0)
+
+    @dataclasses.dataclass
+    class RawWindow:
+        kind: str = "sensor_dropout"
+        start_s: float = 100.0
+        duration_s: float = 0.0
+        magnitude: float = 0.0
+
+    with pytest.raises(SimulationError, match="positive"):
+        FaultTimeline([RawWindow()])
+
+
+def test_overlapping_derates_and_spikes():
+    """Two derates multiplying, two spikes adding, all four windows
+    overlapping mid-morning — the per-step scale/overhead scalars must
+    compose exactly as the scalar cursor composes them, and the heavy
+    load must drive real brown-outs through the vector branch."""
+    faults = [
+        FaultSpec("harvester_derate", start_s=6 * 3600.0,
+                  duration_s=6 * 3600.0, magnitude=0.5),
+        FaultSpec("harvester_derate", start_s=8 * 3600.0,
+                  duration_s=2 * 3600.0, magnitude=0.2),
+        FaultSpec("load_spike", start_s=7 * 3600.0,
+                  duration_s=4 * 3600.0, magnitude=0.05),
+        FaultSpec("load_spike", start_s=9 * 3600.0,
+                  duration_s=3600.0, magnitude=0.08),
+    ]
+    specs = _faulted_specs(faults)
+    _assert_vector_equals_scalar_and_books_balance(specs)
+    # The combined spike is heavy enough to brown the wearers out, so
+    # the vector short-mask genuinely executed (not vacuously true).
+    results = simulate_specs_vector(specs)
+    assert any(result.downtime_s > 0.0 for result in results)
+    assert all(result.fault_demand_j > 0.0 for result in results)
+
+
+def test_total_occlusion_zeroes_the_charge_lanes():
+    """A magnitude-0 derate makes intake exactly 0.0 — the scalar
+    battery's ``power_w == 0`` early return, which the vector charge
+    mask must reproduce as a literal zero, not a denormal."""
+    faults = [FaultSpec("harvester_derate", start_s=10 * 3600.0,
+                        duration_s=4 * 3600.0, magnitude=0.0)]
+    _assert_vector_equals_scalar_and_books_balance(_faulted_specs(faults))
+
+
+def test_dropout_spanning_a_segment_boundary():
+    """Sensor dropout straddling an environment-segment boundary: the
+    segment cursor and the fault cursor advance in the same step, and
+    the dropped lanes must not accumulate carry across it."""
+    specs_plain = _faulted_specs([FaultSpec("sensor_dropout", start_s=0.0,
+                                            duration_s=STEP_S)])
+    boundaries = build_timeline(specs_plain[0].timeline).boundaries_s
+    edge = next(b for b in boundaries if 0 < b < 86_400.0)
+    faults = [FaultSpec("sensor_dropout", start_s=edge - 2 * STEP_S,
+                        duration_s=4 * STEP_S)]
+    specs = _faulted_specs(faults)
+    _assert_vector_equals_scalar_and_books_balance(specs)
+    # Dropout really suppressed work: fewer detections than fault-free.
+    clean = [dataclasses.replace(spec, faults=()) for spec in specs]
+    dropped = simulate_specs_vector(specs)
+    healthy = simulate_specs_vector(clean)
+    assert all(d.total_detections < h.total_detections
+               for d, h in zip(dropped, healthy))
