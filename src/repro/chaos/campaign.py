@@ -5,7 +5,9 @@ A campaign run is the cross product of the strategist's composed cases
 registered policy), each run executed under the
 :class:`~repro.chaos.judge.LedgerBattery` and classified by the judge.
 Execution mirrors the scenario runner's backends — serial / thread /
-process (spawned workers, JSON payloads) — and the result model
+process (the persistent shared pool of :mod:`repro.pool`: the campaign
+spec is broadcast once per chunk and workers regenerate their own
+cases from ``(case_index, policy_index)`` pairs) — and the result model
 mirrors the fleet's merge-exact sharding: shards own strided case
 subsets, carry raw :class:`RunRecord` values, and
 :meth:`CampaignResult.merge` re-assembles any complete partition into
@@ -15,10 +17,9 @@ a payload bitwise-identical to the unsharded run.
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Mapping, Sequence
@@ -30,14 +31,13 @@ from repro.errors import RegistryError, SpecError
 from repro.scenarios.registry import POLICIES
 from repro.scenarios.spec import (
     PolicySpec,
-    ScenarioSpec,
     canonical_json,
     check_mapping_keys,
 )
 
 __all__ = ["RunRecord", "PartialCampaignResult", "CampaignResult",
-           "ChaosRunner", "run_campaign", "default_policies",
-           "load_campaign_result"]
+           "ChaosRunner", "run_campaign", "run_chaos_chunk",
+           "default_policies", "load_campaign_result"]
 
 BACKENDS = ("serial", "thread", "process")
 
@@ -320,30 +320,54 @@ class CampaignResult:
         )
 
 
-def _judge_payload(payload: dict) -> dict:
-    """Process-pool worker: (scenario, policy, rules, case) dict in,
-    :class:`RunRecord` dict out.  Mirrors the scenario runner's
-    registry-visibility contract."""
-    from repro.chaos.spec import JudgeRulesSpec
+def run_chaos_chunk(context: Mapping[str, Any],
+                    items: Sequence[Sequence[int]]) -> list[dict]:
+    """Pool chunk handler: (case, policy) index pairs in, record dicts
+    out.
 
-    scenario = ScenarioSpec.from_dict(payload["scenario"])
-    policy = PolicySpec.from_dict(payload["policy"])
-    rules = JudgeRulesSpec.from_dict(payload["rules"])
-    spec = dataclasses.replace(
-        scenario,
-        system=dataclasses.replace(scenario.system, policy=policy))
+    The chaos half of the chunked-dispatch protocol
+    (:mod:`repro.pool`): the parent broadcasts the
+    :class:`~repro.chaos.spec.ChaosSpec` dict and the policy list once
+    per chunk, and each item is a ``[case_index, policy_index]`` pair.
+    The worker regenerates its own cases (each case draws only from
+    ``seed + index``, so any subset is independently generatable) and
+    judges them under the spec's rules — bitwise-identical to
+    parent-side composition.  Mirrors the scenario runner's
+    registry-visibility contract; runs unchanged in-process for the
+    identity tests.
+    """
+    from repro.chaos.strategist import chaos_cases
+
+    spec = ChaosSpec.from_dict(context["spec"])
+    policies = [PolicySpec.from_dict(p) for p in context["policies"]]
+    crash = context.get("crash") or os.environ.get("REPRO_WORKER_CRASH")
+    wanted = sorted({case_index for case_index, _ in items})
     try:
-        judgement = judge_scenario(spec, rules)
+        cases = dict(zip(wanted, chaos_cases(spec, wanted)))
+        results = []
+        for case_index, policy_index in items:
+            case = cases[case_index]
+            policy = policies[policy_index]
+            if crash and crash == case.name:
+                # The scenario runner's testable-crash hook, forwarded
+                # through the chunk context.
+                os._exit(13)
+            judgement = judge_scenario(
+                dataclasses.replace(
+                    case,
+                    system=dataclasses.replace(case.system, policy=policy)),
+                spec.judge)
+            results.append(RunRecord(
+                case_index=case_index, scenario=case.name,
+                policy=policy, judgement=judgement).to_dict())
+        return results
     except RegistryError as exc:
         raise SpecError(
-            f"chaos case {scenario.name!r} cannot run on the process "
+            f"chaos campaign {spec.name!r} cannot run on the process "
             f"backend: {exc}. Worker processes import repro fresh, so "
             "only components registered at import time are visible; "
             "runtime @register_* registrations require the thread or "
             "serial backend.") from None
-    return RunRecord(case_index=payload["case_index"],
-                     scenario=scenario.name, policy=policy,
-                     judgement=judgement).to_dict()
 
 
 class ChaosRunner:
@@ -405,21 +429,25 @@ class ChaosRunner:
         tasks = [(index, case, policy)
                  for index, case in zip(indices, cases)
                  for policy in policies]
-        records = self._execute(spec, tasks, n, chosen)
+        records, used = self._execute(spec, policies, tasks, n, chosen)
         wall = time.perf_counter() - started
         if shard is None:
             return CampaignResult(spec=spec, policies=policies,
-                                  records=tuple(records), backend=chosen,
+                                  records=tuple(records), backend=used,
                                   wall_time_s=wall)
         return PartialCampaignResult(
             spec=spec, shard_index=shard[0], shard_count=shard[1],
-            policies=policies, records=tuple(records), backend=chosen,
+            policies=policies, records=tuple(records), backend=used,
             wall_time_s=wall)
 
-    def _execute(self, spec: ChaosSpec, tasks, workers: int,
-                 backend: str) -> list[RunRecord]:
+    def _execute(self, spec: ChaosSpec,
+                 policies: Sequence[PolicySpec], tasks, workers: int,
+                 backend: str) -> tuple[list[RunRecord], str]:
+        """Run the (case, policy) tasks; returns (records, effective
+        backend) — trivial campaigns route serially whatever was
+        requested, and the result records what actually ran."""
         if not tasks:
-            return []
+            return [], "serial"
         rules = spec.judge
 
         def run_one(task) -> RunRecord:
@@ -432,38 +460,57 @@ class ChaosRunner:
             return RunRecord(case_index=index, scenario=case.name,
                              policy=policy, judgement=judged)
 
+        if workers == 1 or len(tasks) <= 1 or backend == "serial":
+            return [run_one(task) for task in tasks], "serial"
         if backend == "process":
-            payloads = [{"scenario": case.to_dict(),
-                         "policy": policy.to_dict(),
-                         "rules": rules.to_dict(),
-                         "case_index": index}
-                        for index, case, policy in tasks]
-            current = "the campaign"
-            try:
-                with ProcessPoolExecutor(
-                        max_workers=min(workers, len(tasks)),
-                        mp_context=multiprocessing.get_context(
-                            "spawn")) as pool:
-                    futures = [pool.submit(_judge_payload, payload)
-                               for payload in payloads]
-                    records = []
-                    for (index, case, policy), future in zip(tasks, futures):
-                        current = (f"case {case.name!r} under policy "
-                                   f"{policy.name!r}")
-                        records.append(RunRecord.from_dict(future.result()))
-                    return records
-            except BrokenProcessPool as exc:
-                raise SpecError(
-                    f"process-backend worker died before completing "
-                    f"{current} ({len(tasks)} runs in the campaign "
-                    "shard); see the chained exception. The thread "
-                    "backend avoids worker crashes taking down the "
-                    "whole pool.") from exc
-        if backend == "serial" or workers == 1 or len(tasks) <= 1:
-            return [run_one(task) for task in tasks]
+            return (self._execute_pooled(spec, policies, tasks, workers),
+                    "process")
         with ThreadPoolExecutor(
                 max_workers=min(workers, len(tasks))) as pool:
-            return list(pool.map(run_one, tasks))
+            return list(pool.map(run_one, tasks)), "thread"
+
+    @staticmethod
+    def _execute_pooled(spec: ChaosSpec, policies: Sequence[PolicySpec],
+                        tasks, workers: int) -> list[RunRecord]:
+        """Dispatch a campaign through the shared persistent pool.
+
+        The spec and policy list broadcast once per chunk; items are
+        bare ``[case_index, policy_index]`` pairs and the workers
+        regenerate their own cases.  A dead worker surfaces as a
+        :class:`~repro.errors.SpecError` naming the crashed chunk's
+        (case, policy) range; the pool self-heals on the next run.
+        """
+        from repro.pool import WorkerCrash, get_shared_pool
+
+        order = {_policy_key(policy): i for i, policy in enumerate(policies)}
+        context: dict[str, Any] = {
+            "spec": spec.to_dict(),
+            "policies": [policy.to_dict() for policy in policies],
+        }
+        crash = os.environ.get("REPRO_WORKER_CRASH")
+        if crash:
+            context["crash"] = crash
+        items = [[index, order[_policy_key(policy)]]
+                 for index, case, policy in tasks]
+        pool = get_shared_pool()
+        try:
+            results = pool.run_chunked("chaos", context, items,
+                                       chunks=min(workers, len(items)))
+        except WorkerCrash as exc:
+            names = [f"{tasks[i][1].name!r} x {tasks[i][2].name}"
+                     for i in exc.indices]
+            if len(names) <= 3:
+                span = ", ".join(names)
+            else:
+                span = f"{names[0]} .. {names[-1]} ({len(names)} runs)"
+            raise SpecError(
+                f"process-backend worker died while running chunk "
+                f"{exc.chunk_index + 1}/{exc.chunk_count} of campaign "
+                f"{spec.name!r} — runs {span}; see the chained "
+                "exception. The shared pool respawns on the next run; "
+                "the thread backend avoids worker crashes taking down "
+                "the whole pool.") from exc
+        return [RunRecord.from_dict(payload) for payload in results]
 
 
 def run_campaign(spec: ChaosSpec, workers: int = 1,

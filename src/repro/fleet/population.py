@@ -19,18 +19,21 @@ the engine).
 from __future__ import annotations
 
 import dataclasses
+import os
 import random
-from typing import Iterable
+from typing import Any, Iterable, Mapping, Sequence
 
-from repro.errors import SpecError
+from repro.errors import RegistryError, SpecError
 from repro.fleet.samplers import build_sampler
 from repro.fleet.spec import FleetSpec
 from repro.scenarios.builder import build_timeline
 from repro.scenarios.library import get_scenario
-from repro.scenarios.spec import ScenarioSpec, SegmentSpec, TimelineSpec
+from repro.scenarios.spec import (PolicySpec, ScenarioSpec, SegmentSpec,
+                                  TimelineSpec)
 from repro.units import SECONDS_PER_DAY
 
 __all__ = [
+    "run_wearer_chunk",
     "shard_indices",
     "template_segments",
     "wearer_name",
@@ -164,3 +167,57 @@ def wearer_scenarios(fleet: FleetSpec,
         indices = range(fleet.n_wearers)
     return [wearer_scenario(fleet, index, base=base, template=template)
             for index in indices]
+
+
+def run_wearer_chunk(context: Mapping[str, Any],
+                     items: Sequence[int]) -> list[dict]:
+    """Pool chunk handler: wearer indices in, outcome dicts out.
+
+    The fleet half of the chunked-dispatch protocol
+    (:mod:`repro.pool`): the parent broadcasts the :class:`FleetSpec`
+    dict (plus an optional replacement ``"policy"`` for paired
+    comparisons and the forwarded ``"crash"`` test hook) once per
+    chunk, and ships only wearer indices per item.  The worker
+    rematerializes each wearer from ``random.Random(seed + index)`` —
+    deterministic, so the outcomes are bitwise-identical to a parent
+    materialization — and runs it.  Because the worker resolves the
+    base scenario and sampler by name in its own fresh ``import
+    repro``, runtime-registered components raise the process backend's
+    usual explanatory :class:`~repro.errors.SpecError`.
+
+    Runs unchanged in-process; the chunked-vs-unchunked identity tests
+    call it directly.
+    """
+    # Deferred: repro.scenarios.runner imports stay off the fleet
+    # module's import path until a chunk actually runs.
+    from repro.scenarios.runner import run_scenario
+
+    fleet = FleetSpec.from_dict(context["fleet"])
+    crash = context.get("crash") or os.environ.get("REPRO_WORKER_CRASH")
+    try:
+        base = get_scenario(fleet.base_scenario)
+        if context.get("policy") is not None:
+            base = dataclasses.replace(
+                base,
+                system=dataclasses.replace(
+                    base.system,
+                    policy=PolicySpec.from_dict(context["policy"])))
+        template = template_segments(base)
+        results = []
+        for index in items:
+            spec = wearer_scenario(fleet, index, base=base,
+                                   template=template)
+            if crash and crash == spec.name:
+                # Same testable-crash hook as the scenario path: die
+                # like an OOM-killed worker would.
+                os._exit(13)
+            results.append(run_scenario(spec).to_dict())
+        return results
+    except RegistryError as exc:
+        raise SpecError(
+            f"fleet {fleet.name!r} cannot run on the process backend: "
+            f"{exc}. Worker processes import repro fresh, so only "
+            "components registered at import time are visible; runtime "
+            "@register_* registrations require the thread or serial "
+            "backend."
+        ) from None

@@ -4,8 +4,12 @@
 :class:`~repro.scenarios.runner.ScenarioRunner`: it materializes every
 wearer's scenario (:mod:`repro.fleet.population`), runs the batch on
 the chosen backend, and reduces the per-wearer outcomes into a
-:class:`~repro.fleet.result.FleetResult`.  Because sampling happens
-before the fan-out, the result's canonical payload is identical on
+:class:`~repro.fleet.result.FleetResult`.  On the process backend the
+materialization itself moves into the shared worker pool
+(:mod:`repro.pool`): the fleet spec is broadcast once per chunk, bare
+wearer indices ride as items, and each worker samples its own wearers
+from ``random.Random(seed + index)``.  Sampling is a pure function of
+the spec either way, so the result's canonical payload is identical on
 every backend — the backends only change how fast you get it.  On top
 of the scenario sweep pools, fleets can run on the fleet-only
 ``"vector"`` backend (:mod:`repro.fleet.vector`), which steps the
@@ -34,18 +38,21 @@ partition to a result bitwise-identical to the unsharded run.
 from __future__ import annotations
 
 import dataclasses
+import os
 import time
 from dataclasses import dataclass
 from typing import Any, Iterable, Sequence
 
 from repro.errors import SpecError
-from repro.fleet.population import shard_indices, wearer_scenarios
+from repro.fleet.population import (shard_indices, wearer_name,
+                                    wearer_scenarios)
 from repro.fleet.result import FleetResult, PartialFleetResult, WearerRecord
 from repro.fleet.spec import FleetSpec
 from repro.fleet.vector import run_batch_vector
 from repro.policies.grid import PolicyGrid, expand_grids, policy_label
 from repro.scenarios.runner import BACKENDS as SCENARIO_BACKENDS
-from repro.scenarios.runner import ScenarioRunner
+from repro.scenarios.runner import (ScenarioOutcome, ScenarioRunner,
+                                    SweepResult)
 from repro.scenarios.spec import PolicySpec, canonical_json
 
 __all__ = ["BACKENDS", "FleetRunner", "ComparisonEntry", "FleetComparison",
@@ -205,6 +212,84 @@ class FleetRunner:
         return self._runner.run_batch(specs, workers=workers,
                                       backend=chosen)
 
+    def _sweep_wearers(self, fleet: FleetSpec, indices: Sequence[int],
+                       policy: PolicySpec | None,
+                       workers: int | None,
+                       backend: str | None) -> SweepResult:
+        """Sweep the given wearers, materializing where it is cheapest.
+
+        On the process backend the wearer scenarios are *not* built in
+        the parent: the shared pool (:mod:`repro.pool`) broadcasts the
+        fleet spec once per chunk and ships bare wearer indices, and
+        the workers rematerialize their own wearers from
+        ``random.Random(seed + index)`` — deterministic, so the result
+        is bitwise-identical to parent materialization at a fraction
+        of the dispatch payload.  Every other backend keeps the
+        materialize-in-parent path (threads share memory; the vector
+        engine wants the full spec list).  Trivial runs (one wearer,
+        one worker) fall through to :meth:`ScenarioRunner.run_batch`,
+        which routes them serially and records the effective backend.
+        """
+        chosen = self.backend if backend is None else backend
+        if chosen not in BACKENDS:
+            raise SpecError(
+                f"unknown backend {chosen!r}; known: {list(BACKENDS)}")
+        n = self.workers if workers is None else workers
+        if chosen == "process" and len(indices) > 1 and n > 1:
+            return self._sweep_wearers_pooled(fleet, indices, policy, n)
+        specs = wearer_scenarios(fleet, indices)
+        if policy is not None:
+            specs = [
+                dataclasses.replace(
+                    spec,
+                    system=dataclasses.replace(spec.system, policy=policy))
+                for spec in specs
+            ]
+        return self._sweep(specs, workers, chosen)
+
+    def _sweep_wearers_pooled(self, fleet: FleetSpec,
+                              indices: Sequence[int],
+                              policy: PolicySpec | None,
+                              n: int) -> SweepResult:
+        """The process-backend fleet path: indices through the pool."""
+        from repro.pool import WorkerCrash, get_shared_pool
+
+        if n < 1:
+            raise SpecError("worker count must be at least 1")
+        started = time.perf_counter()
+        indices = list(indices)
+        context: dict[str, Any] = {"fleet": fleet.to_dict()}
+        if policy is not None:
+            context["policy"] = policy.to_dict()
+        crash = os.environ.get("REPRO_WORKER_CRASH")
+        if crash:
+            context["crash"] = crash
+        pool = get_shared_pool()
+        try:
+            results = pool.run_chunked("fleet", context, indices,
+                                       chunks=min(n, len(indices)))
+        except WorkerCrash as exc:
+            names = [wearer_name(fleet, indices[i]) for i in exc.indices]
+            if len(names) <= 3:
+                span = ", ".join(repr(name) for name in names)
+            else:
+                span = (f"{names[0]!r} .. {names[-1]!r} "
+                        f"({len(names)} wearers)")
+            raise SpecError(
+                f"process-backend worker died while running chunk "
+                f"{exc.chunk_index + 1}/{exc.chunk_count} of fleet "
+                f"{fleet.name!r} — wearers {span}. A worker killed "
+                "mid-fleet (OOM, signal) breaks the pool this way, as "
+                "does a launching script without the standard "
+                "`if __name__ == '__main__':` guard; see the chained "
+                "exception. The shared pool respawns on the next "
+                "batch; the thread backend avoids both."
+            ) from exc
+        outcomes = tuple(ScenarioOutcome.from_dict(payload)
+                         for payload in results)
+        return SweepResult(outcomes=outcomes, backend="process",
+                           wall_time_s=time.perf_counter() - started)
+
     def run(self, fleet: FleetSpec,
             workers: int | None = None,
             backend: str | None = None,
@@ -225,8 +310,8 @@ class FleetRunner:
         bitwise — run shards on as many machines as you like.
         """
         if shard is None:
-            specs = wearer_scenarios(fleet)
-            sweep = self._sweep(specs, workers, backend)
+            sweep = self._sweep_wearers(fleet, range(fleet.n_wearers),
+                                        None, workers, backend)
             return FleetResult.from_outcomes(fleet, sweep.outcomes,
                                              backend=sweep.backend,
                                              wall_time_s=sweep.wall_time_s)
@@ -237,8 +322,7 @@ class FleetRunner:
                 f"shard must be an (index, count) pair, got {shard!r}"
             ) from None
         indices = shard_indices(fleet, shard_index, shard_count)
-        specs = wearer_scenarios(fleet, indices)
-        sweep = self._sweep(specs, workers, backend)
+        sweep = self._sweep_wearers(fleet, indices, None, workers, backend)
         records = tuple(
             WearerRecord.from_outcome(index, outcome)
             for index, outcome in zip(indices, sweep.outcomes))
@@ -261,20 +345,34 @@ class FleetRunner:
         The paired-experiment core shared by :meth:`compare` and
         :meth:`run_grid`: the population is sampled once, and every
         candidate sees exactly the same wearer environments with only
-        ``system.policy`` replaced per wearer scenario.
+        ``system.policy`` replaced per wearer scenario.  (On the
+        process backend the sampling happens worker-side per
+        candidate — identical environments either way, since wearer
+        sampling is a pure function of ``seed + index``.)
         """
-        base_specs = wearer_scenarios(fleet)
+        chosen = self.backend if backend is None else backend
+        if chosen not in BACKENDS:
+            raise SpecError(
+                f"unknown backend {chosen!r}; known: {list(BACKENDS)}")
+        n = self.workers if workers is None else workers
+        pooled = chosen == "process" and fleet.n_wearers > 1 and n > 1
+        base_specs = None if pooled else wearer_scenarios(fleet)
         started = time.perf_counter()
         entries = []
-        used = self.backend if backend is None else backend
+        used = chosen
         for label, policy in candidates:
-            specs = [
-                dataclasses.replace(
-                    spec,
-                    system=dataclasses.replace(spec.system, policy=policy))
-                for spec in base_specs
-            ]
-            sweep = self._sweep(specs, workers, backend)
+            if pooled:
+                sweep = self._sweep_wearers_pooled(
+                    fleet, range(fleet.n_wearers), policy, n)
+            else:
+                specs = [
+                    dataclasses.replace(
+                        spec,
+                        system=dataclasses.replace(spec.system,
+                                                   policy=policy))
+                    for spec in base_specs
+                ]
+                sweep = self._sweep(specs, workers, chosen)
             used = sweep.backend
             entries.append(ComparisonEntry(
                 label=label,

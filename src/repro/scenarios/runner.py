@@ -7,10 +7,16 @@
 * ``"thread"`` — a :class:`concurrent.futures.ThreadPoolExecutor`
   (each scenario builds its own components, so runs share nothing
   mutable; threads also see runtime registry registrations);
-* ``"process"`` — a :class:`concurrent.futures.ProcessPoolExecutor`
-  over *spawned* workers.  Specs cross the process boundary through
-  their JSON ``to_dict``/``from_dict`` round-trip, so every component
-  must be resolvable by name in a fresh ``import repro.scenarios`` —
+* ``"process"`` — the persistent shared worker pool
+  (:mod:`repro.pool`): *spawned* workers created once per process and
+  reused across every ``run_batch``/``run_grid``/fleet/chaos call.
+  Dispatch is chunked — a worker receives a strided block of specs,
+  not one future per spec — and the batch's base spec is broadcast
+  once per chunk with per-spec deltas riding alongside, so repeated
+  structure (grid variants, fleet wearers) never ships twice.  Specs
+  still cross the process boundary through their JSON
+  ``to_dict``/``from_dict`` round-trip, so every component must be
+  resolvable by name in a fresh ``import repro.scenarios`` —
   components registered at runtime with ``@register_*`` are not
   visible to the workers, and referencing one raises a clear
   :class:`~repro.errors.SpecError`.  Use the thread backend for
@@ -29,11 +35,9 @@ sweep one scenario under a policy grid
 from __future__ import annotations
 
 import dataclasses
-import multiprocessing
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, fields
 from functools import cached_property
 from typing import Any, Iterable, Mapping, Sequence
@@ -44,7 +48,9 @@ from repro.scenarios.builder import build_simulation
 from repro.scenarios.spec import ScenarioSpec, check_mapping_keys
 from repro.units import SECONDS_PER_DAY
 
-__all__ = ["ScenarioOutcome", "SweepResult", "run_scenario", "ScenarioRunner"]
+__all__ = ["ScenarioOutcome", "SweepResult", "run_scenario",
+           "run_scenario_chunk", "spec_delta", "apply_spec_delta",
+           "ScenarioRunner"]
 
 BACKENDS = ("serial", "thread", "process")
 
@@ -198,7 +204,7 @@ def run_scenario(spec: ScenarioSpec) -> ScenarioOutcome:
     return ScenarioOutcome.from_result(spec.name, result)
 
 
-def _run_scenario_payload(payload: dict) -> dict:
+def _run_scenario_payload(payload: dict, crash: str | None = None) -> dict:
     """Process-pool worker: spec dict in, outcome dict out.
 
     Plain dicts cross the pool so the payload pickles trivially on any
@@ -207,10 +213,12 @@ def _run_scenario_payload(payload: dict) -> dict:
     re-raised as a SpecError that explains the backend's contract.
     """
     spec = ScenarioSpec.from_dict(payload)
-    if os.environ.get("REPRO_WORKER_CRASH") == spec.name:
+    if crash == spec.name or os.environ.get("REPRO_WORKER_CRASH") == spec.name:
         # Test hook: die the way an OOM-killed or signalled worker
         # does, so the crash-surfacing path is testable without real
-        # memory pressure.  Spawned workers inherit the environment.
+        # memory pressure.  The parent forwards REPRO_WORKER_CRASH in
+        # the chunk context — persistent pool workers may predate the
+        # variable, so environment inheritance alone is not enough.
         os._exit(13)
     try:
         return run_scenario(spec).to_dict()
@@ -222,6 +230,56 @@ def _run_scenario_payload(payload: dict) -> dict:
             "runtime @register_* registrations require the thread or "
             "serial backend."
         ) from None
+
+
+def spec_delta(base: Mapping[str, Any],
+               payload: Mapping[str, Any]) -> dict[str, Any]:
+    """The top-level-key delta turning ``base`` into ``payload``.
+
+    The broadcast half of the chunk protocol: a batch ships its first
+    spec once per chunk as the base, and every other spec as
+    ``{"set": {changed keys}, "drop": [absent keys]}``.  Grid variants
+    (same scenario, different policy) and fleet wearers (same system,
+    different timeline) compress to a fraction of their full payload;
+    a batch of unrelated scenarios degrades to full dicts under
+    ``"set"``.  Empty parts are omitted so identical specs ship as
+    ``{}``.
+    """
+    delta: dict[str, Any] = {}
+    changed = {key: value for key, value in payload.items()
+               if key not in base or base[key] != value}
+    dropped = [key for key in base if key not in payload]
+    if changed:
+        delta["set"] = changed
+    if dropped:
+        delta["drop"] = dropped
+    return delta
+
+
+def apply_spec_delta(base: Mapping[str, Any],
+                     delta: Mapping[str, Any]) -> dict[str, Any]:
+    """Rebuild a full spec dict from :func:`spec_delta` output (exact)."""
+    payload = dict(base)
+    for key in delta.get("drop", ()):
+        payload.pop(key, None)
+    payload.update(delta.get("set", {}))
+    return payload
+
+
+def run_scenario_chunk(context: Mapping[str, Any],
+                       items: Sequence[Mapping[str, Any]]) -> list[dict]:
+    """Pool chunk handler: base-plus-delta specs in, outcome dicts out.
+
+    ``context`` carries the chunk's broadcast state — ``"base"`` (the
+    batch's first spec dict) and optionally ``"crash"`` (the forwarded
+    ``REPRO_WORKER_CRASH`` test hook); each item is a
+    :func:`spec_delta`.  Runs unchanged in-process: the
+    chunked-vs-unchunked bitwise-identity tests call it directly.
+    """
+    base = context.get("base") or {}
+    crash = context.get("crash")
+    return [_run_scenario_payload(apply_spec_delta(base, delta), crash)
+            for delta in items]
 
 
 class ScenarioRunner:
@@ -267,47 +325,67 @@ class ScenarioRunner:
         started = time.perf_counter()
         outcomes: Sequence[ScenarioOutcome]
         used = chosen
-        if chosen == "process" and specs:
-            # Spawned workers give the same registry-visibility
-            # semantics on every platform (fork would leak the
-            # parent's runtime registrations on POSIX).
-            payloads = [spec.to_dict() for spec in specs]
-            # One future per spec (not pool.map) so a dead worker is
-            # reported against the scenario it was running — for fleet
-            # batches that names the wearer (``fleet::wearer_0007``)
-            # instead of dumping a bare BrokenProcessPool traceback.
-            current = "the batch"
-            try:
-                with ProcessPoolExecutor(
-                        max_workers=min(n, len(specs)),
-                        mp_context=multiprocessing.get_context("spawn")) as pool:
-                    futures = [pool.submit(_run_scenario_payload, payload)
-                               for payload in payloads]
-                    collected: list[ScenarioOutcome] = []
-                    for spec, future in zip(specs, futures):
-                        current = f"scenario {spec.name!r}"
-                        collected.append(
-                            ScenarioOutcome.from_dict(future.result()))
-                    outcomes = collected
-            except BrokenProcessPool as exc:
-                raise SpecError(
-                    f"process-backend worker died before completing "
-                    f"{current} (batch of {len(specs)}). Most often this "
-                    "means the launching script lacks the standard "
-                    "`if __name__ == '__main__':` guard (spawned workers "
-                    "re-import it, and stdin/REPL sessions cannot be "
-                    "re-imported at all) — but a worker killed mid-sweep "
-                    "(OOM, signal) breaks the pool the same way; see the "
-                    "chained exception. The thread backend avoids both."
-                ) from exc
-        elif chosen == "serial" or n == 1 or len(specs) <= 1:
+        if len(specs) <= 1 or chosen == "serial" or n == 1:
+            # Trivial batches never pay pool overhead, whatever backend
+            # was requested — and the result records the backend that
+            # actually ran, so provenance stays honest.
             outcomes = [run_scenario(s) for s in specs]
             used = "serial"
+        elif chosen == "process":
+            outcomes = self._run_process_batch(specs, n)
         else:
             with ThreadPoolExecutor(max_workers=min(n, len(specs))) as pool:
                 outcomes = list(pool.map(run_scenario, specs))
         return SweepResult(outcomes=tuple(outcomes), backend=used,
                            wall_time_s=time.perf_counter() - started)
+
+    @staticmethod
+    def _run_process_batch(specs: Sequence[ScenarioSpec],
+                           n: int) -> list[ScenarioOutcome]:
+        """Dispatch a batch through the shared persistent worker pool.
+
+        The first spec is the chunk broadcast; every spec ships as a
+        delta against it (grid variants and fleet wearers compress to
+        near-nothing).  ``REPRO_WORKER_CRASH`` is forwarded through the
+        chunk context because persistent workers may have been spawned
+        before the variable was set.  A dead worker surfaces as a
+        :class:`~repro.errors.SpecError` naming the crashed chunk's
+        scenario range; the pool self-heals on the next batch.
+        """
+        # Deferred: keeps repro.scenarios importable in pool workers
+        # without circularity games.
+        from repro.pool import WorkerCrash, get_shared_pool
+
+        base = specs[0].to_dict()
+        context = {"base": base}
+        crash = os.environ.get("REPRO_WORKER_CRASH")
+        if crash:
+            context["crash"] = crash
+        items = [spec_delta(base, spec.to_dict()) for spec in specs]
+        pool = get_shared_pool()
+        try:
+            results = pool.run_chunked("scenarios", context, items,
+                                       chunks=min(n, len(specs)))
+        except WorkerCrash as exc:
+            names = [specs[i].name for i in exc.indices]
+            if len(names) <= 3:
+                span = ", ".join(repr(name) for name in names)
+            else:
+                span = (f"{names[0]!r} .. {names[-1]!r} "
+                        f"({len(names)} scenarios)")
+            raise SpecError(
+                f"process-backend worker died while running chunk "
+                f"{exc.chunk_index + 1}/{exc.chunk_count} of the batch "
+                f"— scenarios {span}. Most often this means the "
+                "launching script lacks the standard "
+                "`if __name__ == '__main__':` guard (spawned workers "
+                "re-import it, and stdin/REPL sessions cannot be "
+                "re-imported at all) — but a worker killed mid-sweep "
+                "(OOM, signal) breaks the pool the same way; see the "
+                "chained exception. The shared pool respawns on the "
+                "next batch; the thread backend avoids both."
+            ) from exc
+        return [ScenarioOutcome.from_dict(payload) for payload in results]
 
     def run_grid(self, scenario: ScenarioSpec, grid,
                  workers: int | None = None,

@@ -74,7 +74,10 @@ class ReproServer:
             still running after this long gets a 504 JSON error (the
             worker thread finishes in the background — its result may
             still land in the store for the retry to hit).  ``None``
-            (the default) means no ceiling.
+            (the default) means no ceiling.  The same ceiling bounds
+            the shutdown drain: :meth:`close` stops accepting, then
+            waits up to this long for accepted requests to finish
+            instead of dropping them mid-computation.
     """
 
     def __init__(self, service: ServeService, host: str = "127.0.0.1",
@@ -88,6 +91,7 @@ class ReproServer:
         self.request_timeout_s = request_timeout_s
         self._requested_port = port
         self._server: asyncio.base_events.Server | None = None
+        self._inflight: set[asyncio.Task] = set()
         self._executor = ThreadPoolExecutor(
             max_workers=request_workers,
             thread_name_prefix="repro-serve")
@@ -104,9 +108,24 @@ class ReproServer:
             self._handle_connection, self.host, self._requested_port)
 
     async def close(self) -> None:
+        """Stop accepting, drain in-flight requests, then tear down.
+
+        Accepted requests keep running for up to ``request_timeout_s``
+        (unbounded when no timeout is configured — matching the
+        per-request ceiling) so a shutdown never drops a simulation
+        mid-computation; each request that finishes during the drain
+        is counted under ``/stats`` ``"transport"``
+        ``"drained_at_close"``.  Only then is the executor torn down,
+        cancelling whatever the drain deadline left behind.
+        """
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
+        pending = {task for task in self._inflight if not task.done()}
+        if pending:
+            done, _ = await asyncio.wait(pending,
+                                         timeout=self.request_timeout_s)
+            self.service.transport["drained_at_close"] += len(done)
         self._executor.shutdown(wait=False, cancel_futures=True)
 
     async def serve_forever(self) -> None:
@@ -120,6 +139,12 @@ class ReproServer:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            # Tracked so close() can drain accepted requests instead
+            # of dropping them mid-computation.
+            self._inflight.add(task)
+            task.add_done_callback(self._inflight.discard)
         try:
             response = await self._read_and_dispatch(reader)
         except (asyncio.IncompleteReadError, ConnectionError,

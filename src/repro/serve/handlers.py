@@ -80,6 +80,11 @@ class ServeService:
         workers: worker count for the underlying runners.
         backend: sweep backend executing the simulations — results are
             backend-independent, so this only changes latency.
+            ``"process"`` rides the process-wide persistent pool
+            (:func:`repro.pool.get_shared_pool`): the workers are
+            spawned once for the service's lifetime and reused across
+            every request, and ``/stats`` exposes their counters under
+            ``"pool"``.
     """
 
     def __init__(self, store: ResultStore | str, workers: int = 4,
@@ -88,10 +93,11 @@ class ServeService:
             else ResultStore(store)
         self.runner = ScenarioRunner(workers=workers, backend=backend)
         self.fleet_runner = FleetRunner(workers=workers, backend=backend)
-        # Transport-layer incident counters; the HTTP front-end
-        # increments these (request timeouts, clients hanging up
-        # mid-request) and /stats surfaces them.
-        self.transport = {"timeouts": 0, "client_disconnects": 0}
+        # Transport-layer counters; the HTTP front-end increments these
+        # (request timeouts, clients hanging up mid-request, in-flight
+        # requests drained at shutdown) and /stats surfaces them.
+        self.transport = {"timeouts": 0, "client_disconnects": 0,
+                          "drained_at_close": 0}
         self._routes: dict[str, tuple[str, Callable[..., ServeResponse]]] = {
             "/health": ("GET", self._health),
             "/stats": ("GET", self._stats),
@@ -136,6 +142,10 @@ class ServeService:
         return _json_response({"status": "ok"})
 
     def _stats(self) -> ServeResponse:
+        # Deferred: the pool is only relevant to process-backed
+        # services, and importing it here keeps handlers import-light.
+        from repro.pool import shared_pool_stats
+
         return _json_response({
             "store": self.store.stats.to_dict(),
             "inflight": self.store.inflight,
@@ -143,6 +153,9 @@ class ServeService:
             "backend": self.runner.backend,
             "workers": self.runner.workers,
             "transport": dict(self.transport),
+            # The shared persistent worker pool every process-backed
+            # runner dispatches through (None until process work ran).
+            "pool": shared_pool_stats(),
         })
 
     def _scenarios(self) -> ServeResponse:

@@ -82,6 +82,24 @@ class TestBackendsAgree:
                                policies=POLICIES_2)
         assert process.canonical_json() == full_result.canonical_json()
 
+    def test_process_pool_pids_stable_across_runs(self, full_result):
+        """Two consecutive runs on one runner must ride the same
+        persistent workers — no fresh pool per campaign (the bug this
+        PR fixes).  PID stability is asserted through the shared
+        pool's observability, not timing."""
+        from repro.pool import get_shared_pool
+
+        runner = ChaosRunner(workers=2, backend="process")
+        first = runner.run(SPEC, policies=POLICIES_2)
+        pool = get_shared_pool()
+        spawns = pool.stats.spawns
+        seen = pool.known_pids
+        second = runner.run(SPEC, policies=POLICIES_2)
+        assert pool.stats.spawns == spawns  # no respawn between runs
+        assert pool.last_batch_pids and pool.last_batch_pids <= seen
+        assert first.canonical_json() == second.canonical_json()
+        assert second.backend == "process"
+
 
 class TestSharding:
     @pytest.mark.parametrize("shard_count", [1, 2, 3])

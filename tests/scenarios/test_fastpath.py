@@ -160,7 +160,8 @@ class TestProcessBackend:
         )
         try:
             with pytest.raises(SpecError, match="process backend"):
-                ScenarioRunner(workers=2, backend="process").run_batch([spec])
+                ScenarioRunner(workers=2, backend="process").run_batch(
+                    [spec, get_scenario("night_shift")])
         finally:
             # Drop the throwaway factory so whole-registry consumers
             # (`repro search` with no selection) stay order-independent.

@@ -110,20 +110,38 @@ class TestSweepResult:
         assert "det/day" in table
 
 
+class TestEffectiveBackend:
+    def test_single_spec_process_batch_routes_serial(self):
+        """A one-spec process batch must not touch the pool — it runs
+        inline and the result records the backend that actually ran."""
+        runner = ScenarioRunner(workers=4, backend="process")
+        sweep = runner.run_batch([get_scenario("night_shift")])
+        assert sweep.backend == "serial"
+        assert len(sweep.outcomes) == 1
+
+    def test_one_worker_process_batch_routes_serial(self):
+        runner = ScenarioRunner(workers=1, backend="process")
+        sweep = runner.run_batch([get_scenario("night_shift"),
+                                  get_scenario("sunny_office_worker")])
+        assert sweep.backend == "serial"
+
+
 class TestWorkerCrashSurfacing:
     def test_dead_worker_names_the_scenario(self, monkeypatch):
         """A worker killed mid-run (OOM, signal) must surface as a
-        SpecError naming the scenario, not a bare BrokenProcessPool.
+        SpecError naming the crashed chunk's scenarios, not a bare
+        BrokenProcessPool.
 
         The REPRO_WORKER_CRASH hook makes the worker ``os._exit`` when
-        it picks up the named spec — spawned workers inherit the
-        environment, so this simulates the kill without real memory
+        it picks up the named spec — the runner forwards the variable
+        through the chunk context (persistent pool workers may predate
+        it), so this simulates the kill without real memory
         pressure."""
         spec = get_scenario("dead_battery_cold_start")
         monkeypatch.setenv("REPRO_WORKER_CRASH", spec.name)
-        runner = ScenarioRunner(workers=1, backend="process")
+        runner = ScenarioRunner(workers=2, backend="process")
         with pytest.raises(SpecError) as excinfo:
-            runner.run_batch([spec])
+            runner.run_batch([spec, get_scenario("night_shift")])
         message = str(excinfo.value)
         assert "worker died" in message
         assert "dead_battery_cold_start" in message
@@ -131,6 +149,7 @@ class TestWorkerCrashSurfacing:
     def test_crash_hook_inert_for_other_scenarios(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKER_CRASH", "some_other_scenario")
         spec = get_scenario("sunny_office_worker")
-        sweep = ScenarioRunner(workers=1, backend="process").run_batch(
+        sweep = ScenarioRunner(workers=2, backend="process").run_batch(
             [spec, get_scenario("dead_battery_cold_start")])
+        assert sweep.backend == "process"
         assert len(sweep.outcomes) == 2

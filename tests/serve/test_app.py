@@ -53,10 +53,11 @@ class TestDiagnostics:
         assert status == 200
         stats = json.loads(body)
         assert set(stats) == {"store", "inflight", "entries", "backend",
-                              "workers", "transport"}
+                              "workers", "transport", "pool"}
         assert stats["backend"] == "thread"
         assert set(stats["transport"]) == {"timeouts",
-                                           "client_disconnects"}
+                                           "client_disconnects",
+                                           "drained_at_close"}
 
     def test_unknown_path_404_lists_routes(self, server):
         status, _, body = _request(server, "GET", "/nope")
@@ -362,6 +363,71 @@ class TestHardening:
                 time.sleep(0.05)
             stats = json.loads(body)
             assert stats["transport"]["client_disconnects"] == 1
+
+
+class TestDrainOnClose:
+    def test_inflight_request_finishes_and_is_counted(self, tmp_path):
+        """Shutdown must drain accepted requests instead of dropping
+        them mid-computation: the slow request still gets its 200 and
+        the drain is counted under /stats "transport"."""
+        store = ResultStore(tmp_path / "store")
+        service = ServeService(store, workers=1, backend="thread")
+        real_handle = service.handle
+        entered = threading.Event()
+
+        def slow_handle(method, path, body=None):
+            entered.set()
+            time.sleep(0.4)
+            return real_handle(method, path, body)
+
+        service.handle = slow_handle
+        results = []
+        live = ServerThread(service, request_timeout_s=30.0)
+        with live:
+            worker = threading.Thread(
+                target=lambda: results.append(
+                    http_request(live.host, live.port, "GET", "/health")))
+            worker.start()
+            assert entered.wait(timeout=10)
+            # Leave the context while the request is still in flight:
+            # close() must wait for it, bounded by the timeout.
+        worker.join(timeout=30)
+        assert results and results[0][0] == 200
+        assert json.loads(results[0][2]) == {"status": "ok"}
+        assert service.transport["drained_at_close"] == 1
+
+    def test_idle_close_drains_nothing(self, tmp_path):
+        service = ServeService(ResultStore(tmp_path / "store"), workers=1)
+        with ServerThread(service) as live:
+            status, _, _ = http_request(live.host, live.port, "GET",
+                                        "/health")
+            assert status == 200
+        assert service.transport["drained_at_close"] == 0
+
+
+class TestSharedPoolService:
+    def test_process_backend_reuses_workers_across_requests(self, tmp_path):
+        """A process-backed service dispatches through the process-wide
+        persistent pool: consecutive requests must not respawn workers,
+        observable via the /stats "pool" counters."""
+        service = ServeService(ResultStore(tmp_path / "store"),
+                               workers=2, backend="process")
+        first = {"spec": dict(TINY_FLEET, name="pooled_a", n_wearers=4)}
+        second = {"spec": dict(TINY_FLEET, name="pooled_b", n_wearers=4)}
+        with ServerThread(service) as live:
+            status, _, _ = http_request(live.host, live.port, "POST",
+                                        "/fleet/run", first)
+            assert status == 200
+            _, _, body = http_request(live.host, live.port, "GET", "/stats")
+            before = json.loads(body)["pool"]
+            assert before is not None
+            status, _, _ = http_request(live.host, live.port, "POST",
+                                        "/fleet/run", second)
+            assert status == 200
+            _, _, body = http_request(live.host, live.port, "GET", "/stats")
+            after = json.loads(body)["pool"]
+        assert after["spawns"] == before["spawns"]  # same workers
+        assert after["batches"] == before["batches"] + 1
 
 
 class TestConcurrency:
